@@ -1,0 +1,110 @@
+//! Least-squares fits used by the experiment harness.
+
+/// Fit `y = c·x` through the origin; returns `c` and the coefficient of
+/// determination `R²`.
+///
+/// This is the estimator for the empirical speed-up constant of
+/// experiment E9: Theorem 1 claims speed-up `≥ c(n+1)`, so we regress
+/// measured speed-up on `n+1`.
+pub fn fit_through_origin(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(!xs.is_empty());
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    assert!(sxx > 0.0, "degenerate x values");
+    let c = sxy / sxx;
+    (c, r_squared(ys, &xs.iter().map(|x| c * x).collect::<Vec<_>>()))
+}
+
+/// Fit `y = a + b·x`; returns `(a, b, R²)`.
+pub fn fit_affine(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2);
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    assert!(sxx > 0.0, "degenerate x values");
+    let b = sxy / sxx;
+    let a = my - b * mx;
+    let pred: Vec<f64> = xs.iter().map(|x| a + b * x).collect();
+    (a, b, r_squared(ys, &pred))
+}
+
+/// Fit a power law `y = a·x^b` by regressing `ln y` on `ln x`; returns
+/// `(a, b, R²  in log space)`.
+///
+/// Used for experiment E2: Team SOLVE's speed-up should scale as `√p`,
+/// i.e. exponent `b ≈ 0.5`.
+pub fn fit_log_log(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert!(xs.iter().all(|&x| x > 0.0) && ys.iter().all(|&y| y > 0.0));
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let (la, b, r2) = fit_affine(&lx, &ly);
+    (la.exp(), b, r2)
+}
+
+fn r_squared(ys: &[f64], pred: &[f64]) -> f64 {
+    let my = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let ss_res: f64 = ys.iter().zip(pred).map(|(y, p)| (y - p).powi(2)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn through_origin_exact() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        let (c, r2) = fit_through_origin(&xs, &ys);
+        assert!((c - 2.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn through_origin_noisy_stays_close() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.1, 3.9, 6.2, 7.8];
+        let (c, r2) = fit_through_origin(&xs, &ys);
+        assert!((c - 2.0).abs() < 0.1);
+        assert!(r2 > 0.99);
+    }
+
+    #[test]
+    fn affine_exact() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [1.0, 3.0, 5.0];
+        let (a, b, r2) = fit_affine(&xs, &ys);
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_log_recovers_square_root() {
+        let xs: Vec<f64> = (1..=6).map(|k| (1u64 << k) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.sqrt()).collect();
+        let (a, b, r2) = fit_log_log(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 0.5).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn log_log_rejects_nonpositive() {
+        fit_log_log(&[1.0, -1.0], &[1.0, 1.0]);
+    }
+}

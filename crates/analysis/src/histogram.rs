@@ -1,0 +1,88 @@
+//! ASCII histograms: render a distribution (e.g. the per-step parallel
+//! degree counts `t_k`) as horizontal bars for terminal output.
+
+use std::fmt::Write as _;
+
+/// Render `(label, count)` rows as a bar chart, scaled to `width`
+/// characters for the largest count.
+pub fn bars<L: std::fmt::Display>(rows: &[(L, u64)], width: usize) -> String {
+    let max = rows.iter().map(|&(_, c)| c).max().unwrap_or(0);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.to_string().len())
+        .max()
+        .unwrap_or(1);
+    let count_w = rows
+        .iter()
+        .map(|&(_, c)| c.to_string().len())
+        .max()
+        .unwrap_or(1);
+    let mut out = String::new();
+    for (label, count) in rows {
+        let filled = if max == 0 {
+            0
+        } else {
+            ((*count as f64 / max as f64) * width as f64).round() as usize
+        };
+        let _ = writeln!(
+            out,
+            "{:>label_w$} | {:<width$} {:>count_w$}",
+            label.to_string(),
+            "#".repeat(filled),
+            count,
+        );
+    }
+    out
+}
+
+/// A compact sparkline over a series (8 levels).
+pub fn sparkline(series: &[u64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = series.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return LEVELS[0].to_string().repeat(series.len());
+    }
+    series
+        .iter()
+        .map(|&v| {
+            let idx = ((v as f64 / max as f64) * 7.0).round() as usize;
+            LEVELS[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_width() {
+        let s = bars(&[("a", 10), ("b", 5), ("c", 0)], 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].matches('#').count(), 10);
+        assert_eq!(lines[1].matches('#').count(), 5);
+        assert_eq!(lines[2].matches('#').count(), 0);
+        assert!(lines[0].trim_end().ends_with("10"));
+    }
+
+    #[test]
+    fn bars_handle_all_zero() {
+        let s = bars(&[(1u32, 0u64), (2, 0)], 8);
+        assert_eq!(s.matches('#').count(), 0);
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        let s = sparkline(&[0, 7, 14]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], '█');
+    }
+
+    #[test]
+    fn sparkline_all_zero_is_flat() {
+        assert_eq!(sparkline(&[0, 0, 0]), "▁▁▁");
+    }
+}

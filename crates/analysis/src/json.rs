@@ -1,0 +1,172 @@
+//! A minimal JSON writer so the experiment harness can emit
+//! machine-readable results without a serialization dependency (the
+//! output shapes are flat: objects of scalars and arrays of rows).
+
+use std::fmt::Write as _;
+
+/// A JSON value (the subset the harness needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// Null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer (kept separate from floats to avoid formatting noise).
+    Int(i128),
+    /// Float; non-finite values serialize as null per JSON rules.
+    Float(f64),
+    /// String (escaped on output).
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs.
+    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
+        Json::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Int(v as i128)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Int(v.into())
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v.into())
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-7).render(), "-7");
+        assert_eq!(Json::Float(1.5).render(), "1.5");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd".into()).render(),
+            r#""a\"b\\c\nd""#
+        );
+        assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structures_render() {
+        let j = Json::obj([
+            ("n", Json::from(14u32)),
+            ("speedup", Json::from(6.47)),
+            ("tags", Json::Array(vec!["a".into(), "b".into()])),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"n":14,"speedup":6.47,"tags":["a","b"]}"#
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::Array(vec![]).render(), "[]");
+        assert_eq!(Json::Object(vec![]).render(), "{}");
+    }
+}

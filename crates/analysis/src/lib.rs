@@ -1,0 +1,18 @@
+//! # gt-analysis — statistics, fitting and tables for the experiments
+//!
+//! Small, dependency-free numeric helpers used by the experiment harness:
+//! summary statistics with confidence intervals, least-squares fits (the
+//! empirical speed-up constant `c` of experiment E9 is a through-origin
+//! fit of speed-up against `n+1`), and fixed-width ASCII tables.
+
+pub mod fit;
+pub mod histogram;
+pub mod json;
+pub mod stats;
+pub mod table;
+
+pub use fit::{fit_affine, fit_log_log, fit_through_origin};
+pub use histogram::{bars, sparkline};
+pub use json::Json;
+pub use stats::{median, percentile, Summary};
+pub use table::Table;

@@ -1,0 +1,75 @@
+//! Criterion benches for the MIN/MAX pruning process (experiments
+//! E4/E10): Sequential α-β vs Parallel α-β across orderings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gt_sim::{parallel_alphabeta, sequential_alphabeta};
+use gt_tree::gen::UniformSource;
+use gt_tree::minimax::seq_alphabeta;
+use gt_tree::scout::scout;
+use gt_tree::sss::sss_star;
+use std::hint::black_box;
+
+fn bench_orderings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alphabeta_orderings");
+    let n = 10u32;
+    let iid = UniformSource::minmax_iid(2, n, 0, 1 << 20, 5);
+    let best = UniformSource::minmax_best_ordered(2, n, 0);
+    let worst = UniformSource::minmax_worst_ordered(2, n);
+    g.bench_function("seq_iid", |b| {
+        b.iter(|| black_box(seq_alphabeta(&iid, false).leaves_evaluated))
+    });
+    g.bench_function("seq_best_ordered", |b| {
+        b.iter(|| black_box(seq_alphabeta(&best, false).leaves_evaluated))
+    });
+    g.bench_function("seq_worst_ordered", |b| {
+        b.iter(|| black_box(seq_alphabeta(&worst, false).leaves_evaluated))
+    });
+    g.bench_function("par_w1_iid", |b| {
+        b.iter(|| black_box(parallel_alphabeta(&iid, 1, false).steps))
+    });
+    g.bench_function("par_w1_worst_ordered", |b| {
+        b.iter(|| black_box(parallel_alphabeta(&worst, 1, false).steps))
+    });
+    g.finish();
+}
+
+fn bench_pruning_process_vs_recursive(c: &mut Criterion) {
+    // The pruning-process simulator at width 0 computes the same leaf
+    // sequence as recursive fail-hard alpha-beta; compare their costs.
+    let mut g = c.benchmark_group("seq_alphabeta_impls");
+    for n in [8u32, 10] {
+        let src = UniformSource::minmax_iid(2, n, 0, 1 << 20, 9);
+        g.bench_with_input(BenchmarkId::new("recursive", n), &n, |b, _| {
+            b.iter(|| black_box(seq_alphabeta(&src, false).leaves_evaluated))
+        });
+        g.bench_with_input(BenchmarkId::new("pruning_process", n), &n, |b, _| {
+            b.iter(|| black_box(sequential_alphabeta(&src, false).total_work))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sequential_baselines(c: &mut Criterion) {
+    // The three sequential baselines on the same instance: alpha-beta,
+    // SCOUT (test-then-search), SSS* (best-first with an OPEN list).
+    let mut g = c.benchmark_group("sequential_baselines");
+    let src = UniformSource::minmax_iid(2, 10, 0, 1 << 20, 3);
+    g.bench_function("alphabeta", |b| {
+        b.iter(|| black_box(seq_alphabeta(&src, false).leaves_evaluated))
+    });
+    g.bench_function("scout", |b| {
+        b.iter(|| black_box(scout(&src).leaves_evaluated))
+    });
+    g.bench_function("sss_star", |b| {
+        b.iter(|| black_box(sss_star(&src).leaves_evaluated))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_orderings,
+    bench_pruning_process_vs_recursive,
+    bench_sequential_baselines
+);
+criterion_main!(benches);

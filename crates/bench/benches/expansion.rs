@@ -1,0 +1,45 @@
+//! Criterion benches for the node-expansion model and the randomized
+//! algorithms (experiments E5/E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gt_sim::randomized::{r_parallel_solve, r_sequential_solve};
+use gt_sim::{n_parallel_solve, n_sequential_solve};
+use gt_tree::gen::{critical_bias, UniformSource};
+use std::hint::black_box;
+
+fn bench_expansion_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("node_expansion");
+    for n in [10u32, 12] {
+        let src = UniformSource::nor_iid(2, n, critical_bias(2), 3);
+        g.bench_with_input(BenchmarkId::new("n_sequential", n), &n, |b, _| {
+            b.iter(|| black_box(n_sequential_solve(&src, false).total_work))
+        });
+        g.bench_with_input(BenchmarkId::new("n_parallel_w1", n), &n, |b, _| {
+            b.iter(|| black_box(n_parallel_solve(&src, 1, false).steps))
+        });
+    }
+    g.finish();
+}
+
+fn bench_randomized(c: &mut Criterion) {
+    let mut g = c.benchmark_group("randomized_on_worst_case");
+    let src = UniformSource::nor_worst_case(2, 12);
+    g.bench_function("r_sequential", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(r_sequential_solve(&src, seed, false).total_work)
+        })
+    });
+    g.bench_function("r_parallel_w1", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(r_parallel_solve(&src, 1, seed, false).steps)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_expansion_model, bench_randomized);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benches for the Section 7 message-passing machine
+//! (experiment E8): full machine vs zone-multiplexed budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gt_msgsim::{simulate, simulate_with_processors};
+use gt_tree::gen::{critical_bias, UniformSource};
+use std::hint::black_box;
+
+fn bench_full_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msgsim_full");
+    for n in [8u32, 10, 12] {
+        let worst = UniformSource::nor_worst_case(2, n);
+        g.bench_with_input(BenchmarkId::new("worst", n), &n, |b, _| {
+            b.iter(|| black_box(simulate(&worst).ticks))
+        });
+        let crit = UniformSource::nor_iid(2, n, critical_bias(2), 2);
+        g.bench_with_input(BenchmarkId::new("critical", n), &n, |b, _| {
+            b.iter(|| black_box(simulate(&crit).ticks))
+        });
+    }
+    g.finish();
+}
+
+fn bench_zone_multiplexing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msgsim_zones");
+    let src = UniformSource::nor_worst_case(2, 10);
+    for p in [1u32, 2, 4, 11] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| black_box(simulate_with_processors(&src, p).ticks))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_machine, bench_zone_multiplexing);
+criterion_main!(benches);

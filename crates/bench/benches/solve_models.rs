@@ -1,0 +1,67 @@
+//! Criterion benches for the NOR-tree algorithms (experiments E1/E2/E7):
+//! Sequential SOLVE, Team SOLVE and Parallel SOLVE across workloads and
+//! widths.  These measure simulator wall-time; the *model-level* metrics
+//! (steps, degrees) are printed by the `expt` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gt_sim::{parallel_solve, sequential_solve, team_solve};
+use gt_tree::gen::{critical_bias, UniformSource};
+use gt_tree::minimax::seq_solve;
+use std::hint::black_box;
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequential_solve");
+    for n in [10u32, 12, 14] {
+        let src = UniformSource::nor_iid(2, n, critical_bias(2), 42);
+        g.bench_with_input(BenchmarkId::new("recursive", n), &n, |b, _| {
+            b.iter(|| black_box(seq_solve(&src, false).leaves_evaluated))
+        });
+        g.bench_with_input(BenchmarkId::new("simulator_width0", n), &n, |b, _| {
+            b.iter(|| black_box(sequential_solve(&src, false).steps))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_widths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_solve_width");
+    let src = UniformSource::nor_iid(2, 12, critical_bias(2), 7);
+    for w in [1u32, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter(|| black_box(parallel_solve(&src, w, false).steps))
+        });
+    }
+    g.finish();
+}
+
+fn bench_team(c: &mut Criterion) {
+    let mut g = c.benchmark_group("team_solve");
+    let src = UniformSource::nor_worst_case(2, 12);
+    for p in [4u32, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| black_box(team_solve(&src, p, false).steps))
+        });
+    }
+    g.finish();
+}
+
+fn bench_worst_case(c: &mut Criterion) {
+    let mut g = c.benchmark_group("worst_case_solve");
+    let src = UniformSource::nor_worst_case(2, 14);
+    g.bench_function("sequential", |b| {
+        b.iter(|| black_box(seq_solve(&src, false).leaves_evaluated))
+    });
+    g.bench_function("parallel_w1", |b| {
+        b.iter(|| black_box(parallel_solve(&src, 1, false).steps))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential,
+    bench_parallel_widths,
+    bench_team,
+    bench_worst_case
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Experiment driver: regenerates every table of the reproduction.
+//!
+//! ```text
+//! cargo run -p gt-bench --release --bin expt -- all
+//! cargo run -p gt-bench --release --bin expt -- e1 e8
+//! cargo run -p gt-bench --release --bin expt -- all --quick
+//! cargo run -p gt-bench --release --bin expt -- e1 e4 --json
+//! ```
+
+use gt_bench::{run_experiment, run_experiment_json, ALL};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let ids: Vec<&str> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        ids.iter().map(|s| s.as_str()).collect()
+    };
+    if json {
+        let mut items = Vec::new();
+        for id in ids {
+            match run_experiment_json(id, quick) {
+                Some(j) => items.push(j),
+                None => {
+                    eprintln!("unknown experiment id: {id} (known: {ALL:?})");
+                    std::process::exit(2);
+                }
+            }
+        }
+        println!("{}", gt_analysis::Json::Array(items).render());
+        return;
+    }
+    for id in ids {
+        match run_experiment(id, quick) {
+            Some(report) => {
+                println!("{}", "=".repeat(78));
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (known: {ALL:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! E1 — Theorem 1: Parallel SOLVE of width 1 achieves a linear speed-up
+//! over Sequential SOLVE on every instance of `B(d,n)`.
+//!
+//! For each `(d, n, workload)` we run both algorithms in the
+//! leaf-evaluation model and report `S(T)`, `P(T)`, the speed-up
+//! `S(T)/P(T)`, the per-processor efficiency `speedup/(n+1)` (Theorem 1
+//! says this ratio is bounded below by an absolute constant `c` once `n`
+//! is large), and the processors actually used (Theorem 1: `n+1`).
+
+use crate::workloads::{solve_heights, NorKind};
+use gt_analysis::table::{f2, f3};
+use gt_analysis::Table;
+use gt_sim::parallel_solve;
+use gt_tree::minimax::seq_solve;
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Branching factor.
+    pub d: u32,
+    /// Height.
+    pub n: u32,
+    /// Workload family.
+    pub kind: NorKind,
+    /// Sequential leaves `S(T)`.
+    pub s: u64,
+    /// Parallel steps `P(T)` at width 1.
+    pub p: u64,
+    /// Processors used.
+    pub procs: u32,
+}
+
+impl Point {
+    /// `S(T) / P(T)`.
+    pub fn speedup(&self) -> f64 {
+        self.s as f64 / self.p as f64
+    }
+
+    /// The implied Theorem 1 constant `speedup / (n+1)`.
+    pub fn constant(&self) -> f64 {
+        self.speedup() / (self.n as f64 + 1.0)
+    }
+}
+
+/// Run the full measurement sweep (shared with E9's constant fit).
+pub fn sweep(quick: bool) -> Vec<Point> {
+    let mut out = Vec::new();
+    let degrees: &[u32] = if quick { &[2, 3] } else { &[2, 3, 4] };
+    for &d in degrees {
+        for &n in &solve_heights(d, quick) {
+            for kind in [NorKind::Critical, NorKind::Half, NorKind::WorstCase] {
+                let src = kind.source(d, n, 0xC0FFEE ^ u64::from(d * 100 + n));
+                let seq = seq_solve(&src, false);
+                let par = parallel_solve(&src, 1, false);
+                assert_eq!(par.value, seq.value, "value mismatch d={d} n={n}");
+                out.push(Point {
+                    d,
+                    n,
+                    kind,
+                    s: seq.leaves_evaluated,
+                    p: par.steps,
+                    procs: par.processors_used,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Render the E1 report.
+pub fn run(quick: bool) -> String {
+    let pts = sweep(quick);
+    let mut t = Table::new([
+        "d", "n", "workload", "S(T)", "P(T)", "speedup", "speedup/(n+1)", "procs", "n+1",
+    ]);
+    for p in &pts {
+        t.row([
+            p.d.to_string(),
+            p.n.to_string(),
+            p.kind.tag().to_string(),
+            p.s.to_string(),
+            p.p.to_string(),
+            f2(p.speedup()),
+            f3(p.constant()),
+            p.procs.to_string(),
+            (p.n + 1).to_string(),
+        ]);
+    }
+    format!(
+        "E1  Theorem 1: width-1 Parallel SOLVE speed-up on B(d,n)\n\
+         claim: S(T)/P(T) >= c(n+1) with n+1 processors\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_is_consistent() {
+        for p in sweep(true) {
+            assert!(p.p <= p.s, "parallel steps exceed sequential work");
+            assert!(p.procs <= p.n + 1, "processor bound violated");
+            assert!(p.speedup() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(true);
+        assert!(r.contains("Theorem 1"));
+        assert!(r.contains("speedup"));
+    }
+}

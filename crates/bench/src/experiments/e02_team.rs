@@ -1,0 +1,135 @@
+//! E2 — Proposition 1: Team SOLVE with `p` processors achieves a
+//! speed-up of `Θ(√p)` over Sequential SOLVE.
+//!
+//! We sweep `p = 2^k` on `B(2,n)` instances and fit the measured
+//! speed-up to a power law `a·p^b`; Proposition 1 (with the matching
+//! upper-bound construction) predicts an exponent around `b ≈ 0.5`,
+//! far from the `b = 1` a linear-speed-up scheme would show.
+
+use crate::workloads::NorKind;
+use gt_analysis::fit_log_log;
+use gt_analysis::table::{f2, f3};
+use gt_analysis::Table;
+use gt_sim::team_solve;
+use gt_tree::minimax::seq_solve;
+
+/// Team workload families.  Besides the shared [`NorKind`] families we
+/// add the *all-ones* instance: every leaf is 1, so a NOR node dies on
+/// its first child and Sequential SOLVE walks a proof tree of size
+/// `≈ 2^{n/2}`.  This is the adversarial regime for Team SOLVE — the
+/// team's look-ahead leaves are mostly about to die, which is exactly
+/// the `O(√p)` upper-bound construction the paper alludes to ("it is
+/// easy to construct a tree ... speed-up of at most O(√p)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TeamKind {
+    /// A shared workload family.
+    Nor(NorKind),
+    /// All leaves equal to 1.
+    AllOnes,
+}
+
+impl TeamKind {
+    /// Table tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TeamKind::Nor(k) => k.tag(),
+            TeamKind::AllOnes => "all-ones",
+        }
+    }
+}
+
+/// Measure Team SOLVE speed-ups on one instance; returns `(p, speedup)`.
+pub fn sweep(kind: TeamKind, n: u32, max_log_p: u32, seed: u64) -> Vec<(u32, f64)> {
+    let src: Box<dyn gt_tree::TreeSource + Send> = match kind {
+        TeamKind::Nor(k) => Box::new(k.source(2, n, seed)),
+        TeamKind::AllOnes => Box::new(gt_tree::gen::UniformSource::new(
+            2,
+            n,
+            gt_tree::gen::ConstLeaf(1),
+        )),
+    };
+    let s = seq_solve(&src, false).leaves_evaluated;
+    (0..=max_log_p)
+        .map(|k| {
+            let p = 1u32 << k;
+            let st = team_solve(&src, p, false);
+            (p, s as f64 / st.steps as f64)
+        })
+        .collect()
+}
+
+/// Render the E2 report.
+pub fn run(quick: bool) -> String {
+    let (n, max_log_p) = if quick { (8, 4) } else { (14, 8) };
+    let mut out = String::from(
+        "E2  Proposition 1: Team SOLVE speed-up is Θ(sqrt(p))\n\
+         claim: Ω(sqrt(p)) always; O(sqrt(p)) on adversarial instances\n\
+         (on the no-pruning worst-case instance Team SOLVE is embarrassingly\n\
+          parallel and the speed-up is ~p — shown for contrast)\n\n",
+    );
+    for kind in [
+        TeamKind::AllOnes,
+        TeamKind::Nor(NorKind::Critical),
+        TeamKind::Nor(NorKind::WorstCase),
+    ] {
+        let pts = sweep(kind, n, max_log_p, 7);
+        let mut t = Table::new(["p", "speedup", "speedup/sqrt(p)"]);
+        for &(p, s) in &pts {
+            t.row([p.to_string(), f2(s), f3(s / (p as f64).sqrt())]);
+        }
+        let xs: Vec<f64> = pts.iter().map(|&(p, _)| p as f64).collect();
+        let ys: Vec<f64> = pts.iter().map(|&(_, s)| s).collect();
+        // Drop p = 1 (speedup exactly 1) to reduce small-p bias.
+        let (a, b, r2) = fit_log_log(&xs[1..], &ys[1..]);
+        out.push_str(&format!(
+            "workload {} on B(2,{n}):\n{}fit: speedup = {:.2} * p^{:.3}   (R^2 = {:.3})\n\n",
+            kind.tag(),
+            t.render(),
+            a,
+            b,
+            r2
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_capped_by_p_and_monotone_in_p() {
+        let pts = sweep(TeamKind::Nor(NorKind::WorstCase), 8, 4, 1);
+        for &(p, s) in &pts {
+            assert!(s <= p as f64 + 1e-9, "speedup {s} exceeds p={p}");
+            assert!(s >= 1.0 - 1e-9);
+        }
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9, "more processors slowed Team SOLVE");
+        }
+    }
+
+    #[test]
+    fn exponent_is_sublinear_on_all_ones() {
+        // The adversarial instance: Team SOLVE wastes its look-ahead.
+        let pts = sweep(TeamKind::AllOnes, 12, 6, 3);
+        let xs: Vec<f64> = pts.iter().skip(1).map(|&(p, _)| p as f64).collect();
+        let ys: Vec<f64> = pts.iter().skip(1).map(|&(_, s)| s).collect();
+        let (_, b, _) = fit_log_log(&xs, &ys);
+        assert!(b < 0.9, "Team SOLVE should be clearly sublinear, got p^{b:.2}");
+    }
+
+    #[test]
+    fn worst_case_is_embarrassingly_parallel_for_teams() {
+        // Contrast: with no pruning anywhere, Team SOLVE's speculation is
+        // never wasted and the speed-up is essentially p.
+        let pts = sweep(TeamKind::Nor(NorKind::WorstCase), 10, 5, 3);
+        let &(p, s) = pts.last().unwrap();
+        assert!(s > 0.9 * p as f64, "expected ~linear, got {s} at p={p}");
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run(true).contains("Proposition 1"));
+    }
+}

@@ -1,0 +1,170 @@
+//! E4 — Theorem 3: Parallel α-β of width 1 achieves a linear speed-up
+//! over Sequential α-β on every instance of `M(d,n)`.
+//!
+//! The MIN/MAX counterpart of E1, across three orderings: i.i.d. random
+//! leaves, best-ordered (minimal sequential work — the hardest case for
+//! parallel gains), and worst-ordered (no pruning anywhere).
+
+use crate::workloads::alphabeta_heights;
+use gt_analysis::table::{f2, f3};
+use gt_analysis::Table;
+use gt_sim::{parallel_alphabeta, sequential_alphabeta};
+use gt_tree::gen::UniformSource;
+use gt_tree::TreeSource;
+
+/// MIN/MAX workload families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MinMaxKind {
+    /// I.i.d. integer leaves (distinct values with high probability).
+    Random,
+    /// Depth-correlated (random-walk) leaves: realistic incremental
+    /// evaluations, partially informative ordering.
+    Correlated,
+    /// All-equal leaves: sequential α-β meets the Knuth–Moore minimum.
+    BestOrdered,
+    /// Worst-to-best child ordering: no cutoffs at all.
+    WorstOrdered,
+}
+
+impl MinMaxKind {
+    /// Table tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            MinMaxKind::Random => "iid",
+            MinMaxKind::Correlated => "corr",
+            MinMaxKind::BestOrdered => "best-ord",
+            MinMaxKind::WorstOrdered => "worst-ord",
+        }
+    }
+
+    /// Materialize `M(d,n)`.
+    pub fn source(&self, d: u32, n: u32, seed: u64) -> Box<dyn TreeSource + Send> {
+        match self {
+            MinMaxKind::Random => Box::new(UniformSource::minmax_iid(d, n, 0, 1 << 30, seed)),
+            MinMaxKind::Correlated => {
+                Box::new(UniformSource::minmax_correlated(d, n, 8, seed))
+            }
+            MinMaxKind::BestOrdered => Box::new(UniformSource::minmax_best_ordered(d, n, 0)),
+            MinMaxKind::WorstOrdered => Box::new(UniformSource::minmax_worst_ordered(d, n)),
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Branching factor.
+    pub d: u32,
+    /// Height.
+    pub n: u32,
+    /// Workload family.
+    pub kind: MinMaxKind,
+    /// Sequential α-β leaves `S̃(T)`.
+    pub s: u64,
+    /// Parallel α-β width-1 steps `P̃(T)`.
+    pub p: u64,
+    /// Processors used.
+    pub procs: u32,
+}
+
+impl Point {
+    /// `S̃(T)/P̃(T)`.
+    pub fn speedup(&self) -> f64 {
+        self.s as f64 / self.p as f64
+    }
+}
+
+/// Run the Theorem 3 sweep.
+pub fn sweep(quick: bool) -> Vec<Point> {
+    let mut out = Vec::new();
+    let degrees: &[u32] = if quick { &[2] } else { &[2, 3] };
+    for &d in degrees {
+        for &n in &alphabeta_heights(d, quick) {
+            for kind in [
+                MinMaxKind::Random,
+                MinMaxKind::Correlated,
+                MinMaxKind::BestOrdered,
+                MinMaxKind::WorstOrdered,
+            ] {
+                let src = kind.source(d, n, 0xAB ^ u64::from(d * 31 + n));
+                let seq = sequential_alphabeta(&src, false);
+                let par = parallel_alphabeta(&src, 1, false);
+                assert_eq!(seq.value, par.value, "value mismatch d={d} n={n}");
+                out.push(Point {
+                    d,
+                    n,
+                    kind,
+                    s: seq.total_work,
+                    p: par.steps,
+                    procs: par.processors_used,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Render the E4 report.
+pub fn run(quick: bool) -> String {
+    let pts = sweep(quick);
+    let mut t = Table::new([
+        "d", "n", "ordering", "S~(T)", "P~(T)", "speedup", "speedup/(n+1)", "procs",
+    ]);
+    for p in &pts {
+        t.row([
+            p.d.to_string(),
+            p.n.to_string(),
+            p.kind.tag().to_string(),
+            p.s.to_string(),
+            p.p.to_string(),
+            f2(p.speedup()),
+            f3(p.speedup() / (p.n as f64 + 1.0)),
+            p.procs.to_string(),
+        ]);
+    }
+    format!(
+        "E4  Theorem 3: width-1 Parallel alpha-beta speed-up on M(d,n)\n\
+         claim: S~(T)/P~(T) >= c(n+1) with n+1 processors\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_invariants() {
+        for p in sweep(true) {
+            assert!(p.p <= p.s, "parallel steps exceed sequential work");
+            assert!(p.speedup() >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn best_ordered_sequential_work_is_knuth_moore() {
+        let pts = sweep(true);
+        for p in pts
+            .iter()
+            .filter(|p| p.kind == MinMaxKind::BestOrdered)
+        {
+            let km = gt_core::theory::knuth_moore_minimum(p.d, p.n);
+            assert_eq!(p.s, km, "d={} n={}", p.d, p.n);
+        }
+    }
+
+    #[test]
+    fn worst_ordered_sequential_work_is_everything() {
+        for p in sweep(true)
+            .iter()
+            .filter(|p| p.kind == MinMaxKind::WorstOrdered)
+        {
+            assert_eq!(p.s, (p.d as u64).pow(p.n));
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run(true).contains("Theorem 3"));
+    }
+}

@@ -1,0 +1,117 @@
+//! E5 — Theorem 4 / Proposition 6: the node-expansion model.
+//!
+//! N-Parallel SOLVE of width 1 keeps the linear speed-up when the unit
+//! of work is a node expansion, and the number of steps of parallel
+//! degree `k+1` is bounded by `Σ_{m=k}^{n} C(m,k)(d−1)^k` (we print the
+//! exact hockey-stick form `C(n+1,k+1)(d−1)^k`).
+
+use crate::workloads::{solve_heights, NorKind};
+use gt_analysis::table::{f2, f3};
+use gt_analysis::Table;
+use gt_core::theory::prop6_bound;
+use gt_sim::{n_parallel_solve, n_sequential_solve};
+use gt_tree::skeleton::nor_skeleton;
+
+/// Speed-up sweep in the node-expansion model.
+pub fn sweep(quick: bool) -> Vec<(u32, u32, NorKind, u64, u64, u32)> {
+    let mut out = Vec::new();
+    let degrees: &[u32] = if quick { &[2] } else { &[2, 3] };
+    for &d in degrees {
+        for &n in &solve_heights(d, quick) {
+            for kind in [NorKind::Critical, NorKind::WorstCase] {
+                let src = kind.source(d, n, 0x5EED ^ u64::from(n));
+                let seq = n_sequential_solve(&src, false);
+                let par = n_parallel_solve(&src, 1, false);
+                assert_eq!(seq.value, par.value);
+                out.push((d, n, kind, seq.total_work, par.steps, par.processors_used));
+            }
+        }
+    }
+    out
+}
+
+/// Degree histogram of N-Parallel SOLVE width 1 on the skeleton,
+/// against the Proposition 6 bound.
+pub fn histogram(d: u32, n: u32, kind: NorKind, seed: u64) -> Vec<(u32, u64, u128)> {
+    let src = kind.source(d, n, seed);
+    let h = nor_skeleton(&src);
+    let st = n_parallel_solve(&h, 1, false);
+    (0..=n)
+        .filter_map(|k| {
+            let t = st.t(k as usize + 1);
+            (t > 0).then(|| (k, t, prop6_bound(d, n, k)))
+        })
+        .collect()
+}
+
+/// Render the E5 report.
+pub fn run(quick: bool) -> String {
+    let mut out = String::from(
+        "E5  Theorem 4: node-expansion model — N-Parallel SOLVE width 1\n\
+         claim: S*(T)/P*(T) >= c(n+1); degree histogram obeys Prop 6\n\n",
+    );
+    let mut t = Table::new([
+        "d", "n", "workload", "S*(T)", "P*(T)", "speedup", "speedup/(n+1)", "procs",
+    ]);
+    for (d, n, kind, s, p, procs) in sweep(quick) {
+        let sp = s as f64 / p as f64;
+        t.row([
+            d.to_string(),
+            n.to_string(),
+            kind.tag().to_string(),
+            s.to_string(),
+            p.to_string(),
+            f2(sp),
+            f3(sp / (n as f64 + 1.0)),
+            procs.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    let (d, n) = if quick { (2, 8) } else { (2, 12) };
+    let mut h = Table::new(["k", "t*_{k+1} measured", "Prop6 bound", "ok"]);
+    for (k, meas, bound) in histogram(d, n, NorKind::WorstCase, 3) {
+        h.row([
+            k.to_string(),
+            meas.to_string(),
+            bound.to_string(),
+            if (meas as u128) <= bound {
+                "yes".to_string()
+            } else {
+                "VIOLATION".to_string()
+            },
+        ]);
+    }
+    out.push_str(&format!(
+        "\ndegree histogram on the skeleton of worst-case B({d},{n}):\n{}",
+        h.render()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prop6_bound_holds() {
+        for seed in 0..8 {
+            for kind in [NorKind::Critical, NorKind::WorstCase] {
+                for (k, meas, bound) in histogram(2, 8, kind, seed) {
+                    assert!((meas as u128) <= bound, "k={k}: {meas} > {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_speedups_are_sane() {
+        for (_, _, _, s, p, _) in sweep(true) {
+            assert!(p <= s);
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run(true).contains("Theorem 4"));
+    }
+}

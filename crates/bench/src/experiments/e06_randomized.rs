@@ -1,0 +1,106 @@
+//! E6 — Theorems 5–6: the randomized algorithms achieve a linear
+//! *expected* speed-up, with no assumptions on the input.
+//!
+//! We use the deterministic worst-case instances (on which the
+//! deterministic algorithms must expand everything) and average over
+//! seeds: R-Sequential SOLVE already beats Sequential SOLVE in
+//! expectation (Saks–Wigderson), and R-Parallel SOLVE of width 1 gets a
+//! further `Θ(n)` factor — `E[S*]/E[P*] ≥ c(n+1)` (Theorem 5).
+
+use gt_analysis::table::{f2, f3};
+use gt_analysis::{Summary, Table};
+use gt_sim::randomized::{r_parallel_alphabeta, r_parallel_solve, r_sequential_solve};
+use gt_tree::gen::UniformSource;
+use gt_tree::minimax::seq_solve;
+
+/// Expected-case measurements on worst-case `B(2,n)`:
+/// `(deterministic S*, E[S*_R] summary, E[P*_R] summary)`.
+pub fn measure(n: u32, seeds: u64) -> (u64, Summary, Summary) {
+    let src = UniformSource::nor_worst_case(2, n);
+    let det = seq_solve(&src, false).nodes_expanded;
+    let mut seqs = Vec::new();
+    let mut pars = Vec::new();
+    for seed in 0..seeds {
+        seqs.push(r_sequential_solve(&src, seed, false).total_work as f64);
+        pars.push(r_parallel_solve(&src, 1, seed, false).steps as f64);
+    }
+    (det, Summary::of(&seqs), Summary::of(&pars))
+}
+
+/// Render the E6 report.
+pub fn run(quick: bool) -> String {
+    let (heights, seeds): (&[u32], u64) = if quick {
+        (&[8, 10], 8)
+    } else {
+        (&[10, 12, 14, 16], 32)
+    };
+    let mut t = Table::new([
+        "n",
+        "det S*",
+        "E[S*_R]",
+        "+-95%",
+        "E[P*_R]",
+        "+-95%",
+        "E[S*]/E[P*]",
+        "ratio/(n+1)",
+    ]);
+    for &n in heights {
+        let (det, s, p) = measure(n, seeds);
+        let ratio = s.mean / p.mean;
+        t.row([
+            n.to_string(),
+            det.to_string(),
+            f2(s.mean),
+            f2(s.ci95()),
+            f2(p.mean),
+            f2(p.ci95()),
+            f2(ratio),
+            f3(ratio / (n as f64 + 1.0)),
+        ]);
+    }
+    let mut out = format!(
+        "E6  Theorems 5-6: randomized algorithms, expected linear speed-up\n\
+         workload: worst-case B(2,n), averaged over {seeds} seeds\n\n{}",
+        t.render()
+    );
+    // A small α-β spot check (Theorem 6).
+    let src = UniformSource::minmax_worst_ordered(2, if quick { 6 } else { 10 });
+    let mut steps = Vec::new();
+    for seed in 0..seeds.min(16) {
+        steps.push(r_parallel_alphabeta(&src, 1, seed, false).steps as f64);
+    }
+    let summ = Summary::of(&steps);
+    out.push_str(&format!(
+        "\nR-Parallel alpha-beta width 1 on worst-ordered M(2,n): E[steps] = {:.1} +- {:.1}\n",
+        summ.mean,
+        summ.ci95()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randomized_parallel_beats_randomized_sequential() {
+        let (_, s, p) = measure(9, 8);
+        assert!(
+            p.mean < s.mean,
+            "E[P*]={} should be below E[S*]={}",
+            p.mean,
+            s.mean
+        );
+    }
+
+    #[test]
+    fn randomized_sequential_beats_deterministic_on_worst_case() {
+        let (det, s, _) = measure(9, 8);
+        assert!(s.mean < det as f64);
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run(true).contains("Theorems 5-6"));
+    }
+}

@@ -1,0 +1,127 @@
+//! E7 — width ablation (Section 8): the paper proves linear speed-up
+//! only for width 1 and conjectures it persists for any fixed width,
+//! with `O(n^w)` processors.
+//!
+//! We sweep `w = 0..4` and report steps, processors used (compare the
+//! combinatorial cap `Σ_{k≤w} C(n,k)(d−1)^k`), speed-up, and the total
+//! work ratio `W(T)/S(T)` (Corollary 1: bounded by a constant for
+//! width 1).
+
+use crate::workloads::NorKind;
+use gt_analysis::table::{f2, f3};
+use gt_analysis::Table;
+use gt_core::theory::width_processor_cap;
+use gt_sim::{parallel_solve, parallel_solve_capped};
+use gt_tree::minimax::seq_solve;
+
+/// One row: `(w, steps, processors, total_work)`.
+pub fn sweep(d: u32, n: u32, kind: NorKind, widths: &[u32], seed: u64) -> Vec<(u32, u64, u32, u64)> {
+    let src = kind.source(d, n, seed);
+    widths
+        .iter()
+        .map(|&w| {
+            let st = parallel_solve(&src, w, false);
+            (w, st.steps, st.processors_used, st.total_work)
+        })
+        .collect()
+}
+
+/// Render the E7 report.
+pub fn run(quick: bool) -> String {
+    let (d, n) = if quick { (2, 9) } else { (2, 14) };
+    let widths: &[u32] = &[0, 1, 2, 3, 4];
+    let mut out = format!(
+        "E7  Width ablation on B({d},{n}) (Section 8 conjecture)\n\
+         claim (proved): w=1 linear; (conjectured): fixed w keeps speed-up linear in processors\n\n"
+    );
+    for kind in [NorKind::Critical, NorKind::WorstCase] {
+        let src = kind.source(d, n, 21);
+        let s = seq_solve(&src, false).leaves_evaluated;
+        let rows = sweep(d, n, kind, widths, 21);
+        let mut t = Table::new([
+            "w",
+            "steps",
+            "speedup",
+            "procs used",
+            "procs cap",
+            "work W(T)",
+            "W(T)/S(T)",
+        ]);
+        for (w, steps, procs, work) in rows {
+            t.row([
+                w.to_string(),
+                steps.to_string(),
+                f2(s as f64 / steps as f64),
+                procs.to_string(),
+                width_processor_cap(d, n, w).to_string(),
+                work.to_string(),
+                f3(work as f64 / s as f64),
+            ]);
+        }
+        out.push_str(&format!("workload {} (S(T) = {s}):\n{}\n", kind.tag(), t.render()));
+    }
+    // Fixed-processor budgets in the abstract model (the leaf-model
+    // analogue of Section 7's zone-multiplexing remark): width 3, but
+    // only the p smallest-pruning-number leaves evaluated per step.
+    let src = NorKind::WorstCase.source(d, n, 21);
+    let s = seq_solve(&src, false).leaves_evaluated;
+    let mut t = Table::new(["p", "steps", "speedup", "speedup/p"]);
+    for p in [1u32, 2, 4, 8, 16, 32] {
+        let st = parallel_solve_capped(&src, 3, p, false);
+        let sp = s as f64 / st.steps as f64;
+        t.row([
+            p.to_string(),
+            st.steps.to_string(),
+            f2(sp),
+            f3(sp / p as f64),
+        ]);
+    }
+    out.push_str(&format!(
+        "fixed processor budgets, width 3, worst-case B({d},{n}):\n{}",
+        t.render()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processors_respect_combinatorial_cap() {
+        for kind in [NorKind::Critical, NorKind::WorstCase] {
+            for (w, _, procs, _) in sweep(2, 8, kind, &[0, 1, 2, 3], 5) {
+                let cap = width_processor_cap(2, 8, w);
+                assert!(
+                    u128::from(procs) <= cap,
+                    "w={w}: {procs} procs > cap {cap}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn steps_monotone_in_width() {
+        let rows = sweep(2, 8, NorKind::WorstCase, &[0, 1, 2, 3], 9);
+        for pair in rows.windows(2) {
+            assert!(pair[1].1 <= pair[0].1, "wider got slower: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn corollary1_work_blowup_is_modest_at_width1() {
+        let src = NorKind::Critical.source(2, 10, 4);
+        let s = seq_solve(&src, false).leaves_evaluated;
+        let rows = sweep(2, 10, NorKind::Critical, &[1], 4);
+        let work = rows[0].3;
+        assert!(
+            (work as f64) <= 4.0 * s as f64,
+            "width-1 work {work} vs sequential {s}"
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run(true).contains("Width ablation"));
+    }
+}

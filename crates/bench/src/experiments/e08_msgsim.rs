@@ -1,0 +1,131 @@
+//! E8 — Section 7: the message-passing implementation of N-Parallel
+//! SOLVE of width 1 preserves the linear speed-up, and zone multiplexing
+//! lets it run with any fixed processor count.
+//!
+//! We run the discrete-event machine (one processor per level, unit-time
+//! messages, one unit action per processor per tick) and compare its
+//! tick count against N-Sequential SOLVE's expansion count, then repeat
+//! with fixed processor budgets.
+
+use crate::workloads::NorKind;
+use gt_analysis::table::{f2, f3};
+use gt_analysis::Table;
+use gt_msgsim::{simulate, simulate_with_processors};
+use gt_tree::minimax::seq_solve;
+
+/// `(n, S*, ticks, speedup, messages)` per height for the full machine.
+pub fn sweep(kind: NorKind, heights: &[u32], seed: u64) -> Vec<(u32, u64, u64, f64, u64)> {
+    heights
+        .iter()
+        .map(|&n| {
+            let src = kind.source(2, n, seed);
+            let s = seq_solve(&src, false).nodes_expanded;
+            let r = simulate(&src);
+            assert_eq!(
+                r.value,
+                gt_tree::minimax::nor_value(&src),
+                "machine value wrong at n={n}"
+            );
+            (n, s, r.ticks, s as f64 / r.ticks as f64, r.total_messages())
+        })
+        .collect()
+}
+
+/// Render the E8 report.
+pub fn run(quick: bool) -> String {
+    let heights: &[u32] = if quick { &[6, 8] } else { &[8, 10, 12, 14, 16] };
+    let mut out = String::from(
+        "E8  Section 7: message-passing implementation (binary NOR trees)\n\
+         claim: the implementation preserves the linear speed-up of N-Parallel SOLVE\n\n",
+    );
+    for kind in [NorKind::WorstCase, NorKind::Critical] {
+        let mut t = Table::new([
+            "n",
+            "S*(T)",
+            "ticks",
+            "speedup",
+            "speedup/(n+1)",
+            "messages",
+        ]);
+        for (n, s, ticks, sp, msgs) in sweep(kind, heights, 13) {
+            t.row([
+                n.to_string(),
+                s.to_string(),
+                ticks.to_string(),
+                f2(sp),
+                f3(sp / (n as f64 + 1.0)),
+                msgs.to_string(),
+            ]);
+        }
+        out.push_str(&format!("workload {} (p = n+1):\n{}\n", kind.tag(), t.render()));
+    }
+    // Load balance of the one-processor-per-level design.
+    let bal_n = if quick { 8 } else { 14 };
+    let src_bal = NorKind::WorstCase.source(2, bal_n, 0);
+    let r_bal = simulate(&src_bal);
+    out.push_str(&format!(
+        "level load balance on worst-case B(2,{bal_n}): busiest/mean = {:.2}\n\n",
+        r_bal.level_imbalance()
+    ));
+
+    // The d-ary generalization (the paper's binary restriction was
+    // expository; our machine generalizes the P-SOLVE**/*** messages to
+    // Resume(v, k)).
+    let (d3, n3) = if quick { (3u32, 5u32) } else { (3, 9) };
+    let src3 = gt_tree::gen::UniformSource::nor_worst_case(d3, n3);
+    let s3 = seq_solve(&src3, false).nodes_expanded;
+    let r3 = simulate(&src3);
+    out.push_str(&format!(
+        "d-ary generalization, worst-case B({d3},{n3}): S* = {s3}, ticks = {}, speedup = {:.2}\n\n",
+        r3.ticks,
+        s3 as f64 / r3.ticks as f64
+    ));
+
+    // Zone multiplexing with fixed p.
+    let n = if quick { 8 } else { 14 };
+    let src = NorKind::WorstCase.source(2, n, 0);
+    let s = seq_solve(&src, false).nodes_expanded;
+    let mut t = Table::new(["p", "ticks", "speedup", "speedup/p"]);
+    for p in [1u32, 2, 4, 8, n + 1] {
+        let r = simulate_with_processors(&src, p);
+        let sp = s as f64 / r.ticks as f64;
+        t.row([
+            p.to_string(),
+            r.ticks.to_string(),
+            f2(sp),
+            f3(sp / p as f64),
+        ]);
+    }
+    out.push_str(&format!(
+        "zone multiplexing on worst-case B(2,{n}) (S* = {s}):\n{}",
+        t.render()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_speedup_grows_with_height_on_worst_case() {
+        let rows = sweep(NorKind::WorstCase, &[6, 10], 1);
+        assert!(
+            rows[1].3 > rows[0].3,
+            "speedup should grow with n: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn message_count_is_linear_in_work() {
+        for (_, s, _, _, msgs) in sweep(NorKind::Critical, &[8], 2) {
+            // Each expansion triggers a bounded number of messages.
+            assert!(msgs <= 8 * s + 64, "messages {msgs} vs work {s}");
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run(true).contains("Section 7"));
+    }
+}

@@ -1,0 +1,124 @@
+//! E10 — Facts 1 and 2: the proof-tree lower bounds on total work, and
+//! the instances that meet them.
+//!
+//! * Fact 1: any algorithm on `B(d,n)` evaluates ≥ `d^⌊n/2⌋` leaves; we
+//!   verify measured sequential work and the smallest proof-tree size
+//!   against it.
+//! * Fact 2: any algorithm on `M(d,n)` evaluates ≥ `d^⌊n/2⌋ + d^⌈n/2⌉ −
+//!   1` leaves; the best-ordered instances meet this bound *exactly*
+//!   under sequential α-β (Knuth–Moore).
+
+use gt_analysis::Table;
+use gt_core::theory::{fact1_lower_bound, fact2_lower_bound};
+use gt_tree::gen::UniformSource;
+use gt_tree::minimax::{seq_alphabeta, seq_solve};
+use gt_tree::proof::nor_proof_size;
+
+/// Render the E10 report.
+pub fn run(quick: bool) -> String {
+    let nor_cases: &[(u32, u32)] = if quick {
+        &[(2, 8), (3, 5)]
+    } else {
+        &[(2, 10), (2, 14), (3, 8), (4, 6)]
+    };
+    let mut t = Table::new([
+        "d",
+        "n",
+        "Fact1 bound",
+        "proof-tree size",
+        "seq SOLVE work",
+        "ok",
+    ]);
+    for &(d, n) in nor_cases {
+        let src = UniformSource::nor_iid(d, n, 0.5, 77);
+        let bound = fact1_lower_bound(d, n);
+        let proof = nor_proof_size(&src);
+        let work = seq_solve(&src, false).leaves_evaluated;
+        t.row([
+            d.to_string(),
+            n.to_string(),
+            bound.to_string(),
+            proof.to_string(),
+            work.to_string(),
+            if proof >= bound && work >= bound {
+                "yes".to_string()
+            } else {
+                "VIOLATION".to_string()
+            },
+        ]);
+    }
+    let mm_cases: &[(u32, u32)] = if quick {
+        &[(2, 6), (3, 4)]
+    } else {
+        &[(2, 8), (2, 12), (3, 6), (4, 5)]
+    };
+    let mut t2 = Table::new([
+        "d",
+        "n",
+        "Fact2 bound",
+        "best-ordered seq work",
+        "random seq work",
+        "meets exactly",
+    ]);
+    for &(d, n) in mm_cases {
+        let bound = fact2_lower_bound(d, n);
+        let best = UniformSource::minmax_best_ordered(d, n, 1);
+        let best_work = seq_alphabeta(&best, false).leaves_evaluated;
+        let rand = UniformSource::minmax_iid(d, n, 0, 1 << 20, 3);
+        let rand_work = seq_alphabeta(&rand, false).leaves_evaluated;
+        t2.row([
+            d.to_string(),
+            n.to_string(),
+            bound.to_string(),
+            best_work.to_string(),
+            rand_work.to_string(),
+            if best_work == bound {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
+        ]);
+    }
+    format!(
+        "E10  Facts 1-2: inherent lower bounds on total work\n\n\
+         NOR trees (Fact 1: d^floor(n/2)):\n{}\n\
+         MIN/MAX trees (Fact 2: d^floor(n/2) + d^ceil(n/2) - 1):\n{}",
+        t.render(),
+        t2.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact1_never_violated_across_seeds() {
+        for seed in 0..20 {
+            let (d, n) = (2u32, 8u32);
+            let src = UniformSource::nor_iid(d, n, 0.4, seed);
+            assert!(seq_solve(&src, false).leaves_evaluated >= fact1_lower_bound(d, n));
+            assert!(nor_proof_size(&src) >= fact1_lower_bound(d, n));
+        }
+    }
+
+    #[test]
+    fn fact2_never_violated_across_seeds() {
+        for seed in 0..20 {
+            let (d, n) = (2u32, 8u32);
+            let src = UniformSource::minmax_iid(d, n, 0, 1 << 20, seed);
+            assert!(
+                seq_alphabeta(&src, false).leaves_evaluated >= fact2_lower_bound(d, n),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(true);
+        assert!(r.contains("Fact"));
+        assert!(!r.contains("VIOLATION"));
+        assert!(!r.contains(" NO"));
+    }
+}

@@ -1,0 +1,190 @@
+//! E11 — Propositions 2 and 5: the skeleton property `P_w(T) ≤ P_w(H_T)`
+//! (and the α-β counterpart `P̃_w(T) ≤ P̃_w(H̃_T)`).
+//!
+//! The whole Theorem 1 analysis stands on this reduction.  We verify
+//! Proposition 2 (NOR — *proved* in the paper via Property A) as a hard
+//! invariant: zero violations allowed.
+//!
+//! Proposition 5 (MIN/MAX) is *stated without proof* in the paper, and
+//! our reproduction finds it is **not literally true** as stated: on
+//! small random `M(d,n)` instances, Parallel α-β is occasionally slower
+//! on `T` than on `H̃_T`.  The mechanism: a NOR node is *determined* the
+//! moment one child is 1 (monotone short-circuit, so extra speculative
+//! leaves in `T` never delay anything — that is Property A), but a
+//! MIN/MAX node only contributes to α/β bounds once it is *finished*,
+//! i.e. every leaf of its pruned subtree is evaluated.  The extra
+//! non-skeleton leaves present in `T` delay finishing, hence delay bound
+//! sharpening, hence can delay cutoffs that `H̃_T` enjoys earlier.  We
+//! therefore *measure* the violation rate and magnitude instead of
+//! asserting zero; see EXPERIMENTS.md for the recorded discussion.
+
+use gt_analysis::table::f2;
+use gt_analysis::Table;
+use gt_sim::{parallel_alphabeta, parallel_solve};
+use gt_tree::gen::{IidBernoulli, NearUniformSource, UniformSource};
+use gt_tree::skeleton::{alphabeta_skeleton, nor_skeleton};
+
+/// Check the NOR skeleton property for one instance at widths `ws`.
+/// Returns `(w, P_w(T), P_w(H_T))` rows.
+pub fn check_nor<S: gt_tree::TreeSource>(src: &S, ws: &[u32]) -> Vec<(u32, u64, u64)> {
+    let h = nor_skeleton(src);
+    ws.iter()
+        .map(|&w| {
+            let on_t = parallel_solve(src, w, false).steps;
+            let on_h = parallel_solve(&h, w, false).steps;
+            (w, on_t, on_h)
+        })
+        .collect()
+}
+
+/// Check the α-β skeleton property (Proposition 5).
+pub fn check_alphabeta<S: gt_tree::TreeSource>(src: &S, ws: &[u32]) -> Vec<(u32, u64, u64)> {
+    let h = alphabeta_skeleton(src);
+    ws.iter()
+        .map(|&w| {
+            let on_t = parallel_alphabeta(src, w, false).steps;
+            let on_h = parallel_alphabeta(&h, w, false).steps;
+            (w, on_t, on_h)
+        })
+        .collect()
+}
+
+/// Render the E11 report.
+pub fn run(quick: bool) -> String {
+    let (n, seeds) = if quick { (8, 4u64) } else { (12, 16u64) };
+    let ws = [1u32, 2, 3];
+    // Proposition 2 (proved): hard invariant.
+    let mut nor_total = 0u64;
+    let mut nor_violations = 0u64;
+    let mut nor_margin = Vec::new();
+    // Proposition 5 (stated without proof): measured.
+    let mut ab_total = 0u64;
+    let mut ab_violations = 0u64;
+    let mut ab_worst_excess = 0.0f64;
+    let mut sample = Table::new(["instance", "w", "P_w(T)", "P_w(H_T)", "P(T)<=P(H_T)"]);
+    for seed in 0..seeds {
+        // Uniform instances.
+        let src = UniformSource::nor_iid(2, n, 0.5, seed);
+        for (w, on_t, on_h) in check_nor(&&src, &ws) {
+            nor_total += 1;
+            if on_t > on_h {
+                nor_violations += 1;
+            }
+            nor_margin.push(on_h as f64 / on_t as f64);
+            if seed == 0 {
+                sample.row([
+                    format!("B(2,{n}) seed {seed}"),
+                    w.to_string(),
+                    on_t.to_string(),
+                    on_h.to_string(),
+                    if on_t <= on_h { "yes" } else { "VIOLATION" }.to_string(),
+                ]);
+            }
+        }
+        // Corollary 2 near-uniform instances.
+        let nu = NearUniformSource::new(3, n, 0.67, 0.5, seed, IidBernoulli::new(0.4, seed));
+        for (_w, on_t, on_h) in check_nor(&&nu, &ws) {
+            nor_total += 1;
+            if on_t > on_h {
+                nor_violations += 1;
+            }
+            nor_margin.push(on_h as f64 / on_t as f64);
+        }
+        // MIN/MAX (Proposition 5) — measured, not asserted.
+        let mm = UniformSource::minmax_iid(2, n.min(10), 0, 1 << 20, seed);
+        for (w, on_t, on_h) in check_alphabeta(&&mm, &ws) {
+            ab_total += 1;
+            if on_t > on_h {
+                ab_violations += 1;
+                ab_worst_excess = ab_worst_excess.max(on_t as f64 / on_h as f64);
+            }
+            if seed == 0 {
+                sample.row([
+                    format!("M(2,{}) seed {seed}", n.min(10)),
+                    w.to_string(),
+                    on_t.to_string(),
+                    on_h.to_string(),
+                    if on_t <= on_h { "yes" } else { "violated" }.to_string(),
+                ]);
+            }
+        }
+    }
+    let mean_margin = nor_margin.iter().sum::<f64>() / nor_margin.len() as f64;
+    format!(
+        "E11  Propositions 2 & 5: the skeleton property P_w(T) <= P_w(H_T)\n\n\
+         Proposition 2 (NOR, proved in the paper): {nor_total} (instance, width)\n\
+         pairs across uniform and near-uniform (Corollary 2) trees:\n\
+         {nor_violations} violations (0 required); mean skeleton slowdown\n\
+         P_w(H_T)/P_w(T) = {}\n\n\
+         Proposition 5 (MIN/MAX, stated WITHOUT proof in the paper):\n\
+         {ab_violations}/{ab_total} pairs violated; worst excess P(T)/P(H_T) = {}\n\
+         — our reproduction shows the alpha-beta skeleton property fails as\n\
+         literally stated, and does so on MOST random instances (finishing,\n\
+         unlike NOR determination, is delayed by extra speculative leaves).\n\
+         The violations are mild, so the Theorem 3 speed-up itself survives\n\
+         (see E4); see EXPERIMENTS.md for discussion.\n\n\
+         sample rows (seed 0):\n{}",
+        f2(mean_margin),
+        f2(ab_worst_excess.max(1.0)),
+        sample.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skeleton_property_holds_on_uniform_nor() {
+        for seed in 0..8 {
+            let src = UniformSource::nor_iid(2, 9, 0.5, seed);
+            for (w, on_t, on_h) in check_nor(&&src, &[1, 2, 3]) {
+                assert!(on_t <= on_h, "w={w}: {on_t} > {on_h} (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn skeleton_property_holds_on_near_uniform() {
+        for seed in 0..8 {
+            let src =
+                NearUniformSource::new(3, 8, 0.67, 0.5, seed, IidBernoulli::new(0.5, seed));
+            for (w, on_t, on_h) in check_nor(&&src, &[1, 2]) {
+                assert!(on_t <= on_h, "w={w}: {on_t} > {on_h} (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn alphabeta_skeleton_violations_are_mild() {
+        // Proposition 5 is stated without proof; our reproduction finds
+        // it is violated on *most* random MIN/MAX instances (see module
+        // docs) — but always mildly: P(T) stays within a small constant
+        // factor of P(H̃_T), so the Theorem 3 *speed-up* survives (E4).
+        let mut total = 0u64;
+        let mut violated = 0u64;
+        for seed in 0..12 {
+            let src = UniformSource::minmax_iid(2, 8, 0, 1000, seed);
+            for (_w, on_t, on_h) in check_alphabeta(&&src, &[1, 2]) {
+                total += 1;
+                if on_t > on_h {
+                    violated += 1;
+                    assert!(
+                        (on_t as f64) < 2.0 * on_h as f64,
+                        "violation should be mild: {on_t} vs {on_h} (seed {seed})"
+                    );
+                }
+            }
+        }
+        // Document the reproduction finding in the assertion itself: the
+        // property really does fail routinely (if this starts passing
+        // with 0 violations, the finding in EXPERIMENTS.md is stale).
+        assert!(violated > 0, "expected Prop 5 violations, found none in {total}");
+    }
+
+    #[test]
+    fn report_shows_zero_nor_violations() {
+        let r = run(true);
+        assert!(r.contains("0 violations (0 required)"), "{r}");
+    }
+}

@@ -1,0 +1,98 @@
+//! E13 — the Section 6 remark on SCOUT: *"a randomized version of a
+//! variant of N-Sequential α-β called SCOUT was proved to possess this
+//! optimality"* (Saks–Wigderson).
+//!
+//! We compare sequential α-β and SCOUT leaf counts across orderings,
+//! and their randomized versions on the worst-ordered instances where
+//! randomization is supposed to help.
+
+use crate::experiments::e04_alphabeta::MinMaxKind;
+use gt_analysis::table::f2;
+use gt_analysis::{Summary, Table};
+use gt_tree::gen::UniformSource;
+use gt_tree::minimax::seq_alphabeta;
+use gt_tree::scout::{r_scout, scout};
+use gt_tree::source::Permuted;
+
+/// Render the E13 report.
+pub fn run(quick: bool) -> String {
+    let (d, n) = if quick { (2u32, 6u32) } else { (2, 12) };
+    let mut t = Table::new([
+        "ordering",
+        "alpha-beta leaves",
+        "SCOUT leaves",
+        "SCOUT tests",
+        "SCOUT re-searches",
+    ]);
+    for kind in [
+        MinMaxKind::Random,
+        MinMaxKind::BestOrdered,
+        MinMaxKind::WorstOrdered,
+    ] {
+        let src = kind.source(d, n, 17);
+        let ab = seq_alphabeta(&src, false).leaves_evaluated;
+        let sc = scout(&src);
+        t.row([
+            kind.tag().to_string(),
+            ab.to_string(),
+            sc.leaves_evaluated.to_string(),
+            sc.test_leaves.to_string(),
+            sc.researches.to_string(),
+        ]);
+    }
+    // Randomized comparison on the worst-ordered instance.
+    let src = UniformSource::minmax_worst_ordered(d, n);
+    let det_ab = seq_alphabeta(&src, false).leaves_evaluated;
+    let det_sc = scout(&src).leaves_evaluated;
+    let seeds = if quick { 8u64 } else { 32 };
+    let rab: Vec<f64> = (0..seeds)
+        .map(|s| {
+            seq_alphabeta(&Permuted::new(&src, s), false).leaves_evaluated as f64
+        })
+        .collect();
+    let rsc: Vec<f64> = (0..seeds)
+        .map(|s| r_scout(&src, s).leaves_evaluated as f64)
+        .collect();
+    let (rab, rsc) = (Summary::of(&rab), Summary::of(&rsc));
+    format!(
+        "E13  SCOUT vs alpha-beta (Section 6 remark) on M({d},{n})\n\n{}\n\
+         randomized, worst-ordered M({d},{n}) over {seeds} seeds:\n\
+         deterministic: alpha-beta {det_ab}, SCOUT {det_sc}\n\
+         E[R-alpha-beta leaves] = {} +- {}\n\
+         E[R-SCOUT leaves]      = {} +- {}\n\
+         (randomization beats determinism on adversarial orderings for both;\n\
+          R-SCOUT is the algorithm Saks-Wigderson proved optimal)\n",
+        t.render(),
+        f2(rab.mean),
+        f2(rab.ci95()),
+        f2(rsc.mean),
+        f2(rsc.ci95()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders() {
+        let r = run(true);
+        assert!(r.contains("SCOUT"));
+        assert!(r.contains("alpha-beta"));
+    }
+
+    #[test]
+    fn randomization_helps_both_on_worst_ordered() {
+        let src = UniformSource::minmax_worst_ordered(2, 8);
+        let det = seq_alphabeta(&src, false).leaves_evaluated as f64;
+        let mean_r: f64 = (0..8)
+            .map(|s| seq_alphabeta(&Permuted::new(&src, s), false).leaves_evaluated as f64)
+            .sum::<f64>()
+            / 8.0;
+        assert!(mean_r < det);
+        let det_sc = scout(&src).leaves_evaluated as f64;
+        let mean_sc: f64 =
+            (0..8).map(|s| r_scout(&src, s).leaves_evaluated as f64).sum::<f64>() / 8.0;
+        assert!(mean_sc < det_sc);
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per reproduced claim; see DESIGN.md §4 for the index.
+
+pub mod e01_theorem1;
+pub mod e02_team;
+pub mod e03_prop3;
+pub mod e04_alphabeta;
+pub mod e05_expansion;
+pub mod e06_randomized;
+pub mod e07_width;
+pub mod e08_msgsim;
+pub mod e09_constant;
+pub mod e10_bounds;
+pub mod e11_skeleton;
+pub mod e12_wallclock;
+pub mod e13_scout;
+pub mod e14_sss;

@@ -1,0 +1,133 @@
+//! Shared workload definitions for the experiments.
+//!
+//! Every experiment draws its instances from here so that instance
+//! families are named consistently across tables and EXPERIMENTS.md.
+
+use gt_tree::gen::{
+    critical_bias, IidBernoulli, UniformSource, WorstCaseNor,
+};
+
+/// NOR workload families used across experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NorKind {
+    /// I.i.d. leaves at the level-invariant critical bias (fixpoint of
+    /// `x = (1-x)^d`) — the "hard random" regime of Section 6.
+    Critical,
+    /// I.i.d. leaves at p = 0.5.
+    Half,
+    /// The deterministic worst case (Sequential SOLVE evaluates all
+    /// `d^n` leaves).
+    WorstCase,
+}
+
+impl NorKind {
+    /// Human-readable tag used in tables.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            NorKind::Critical => "iid-crit",
+            NorKind::Half => "iid-0.5",
+            NorKind::WorstCase => "worst",
+        }
+    }
+
+    /// Materialize a `B(d,n)` instance of this kind.
+    pub fn source(&self, d: u32, n: u32, seed: u64) -> NorWorkload {
+        match self {
+            NorKind::Critical => {
+                NorWorkload::Iid(UniformSource::nor_iid(d, n, critical_bias(d), seed))
+            }
+            NorKind::Half => NorWorkload::Iid(UniformSource::nor_iid(d, n, 0.5, seed)),
+            NorKind::WorstCase => NorWorkload::Worst(UniformSource::nor_worst_case(d, n)),
+        }
+    }
+}
+
+/// A concrete NOR instance (enum so callers can hold either family
+/// without boxing).
+pub enum NorWorkload {
+    /// I.i.d. leaves.
+    Iid(UniformSource<IidBernoulli>),
+    /// Worst-case leaves.
+    Worst(UniformSource<WorstCaseNor>),
+}
+
+impl gt_tree::TreeSource for NorWorkload {
+    fn arity(&self, path: &[u32]) -> u32 {
+        match self {
+            NorWorkload::Iid(s) => s.arity(path),
+            NorWorkload::Worst(s) => s.arity(path),
+        }
+    }
+
+    fn leaf_value(&self, path: &[u32]) -> i64 {
+        match self {
+            NorWorkload::Iid(s) => s.leaf_value(path),
+            NorWorkload::Worst(s) => s.leaf_value(path),
+        }
+    }
+
+    fn height_hint(&self) -> Option<u32> {
+        match self {
+            NorWorkload::Iid(s) => s.height_hint(),
+            NorWorkload::Worst(s) => s.height_hint(),
+        }
+    }
+}
+
+/// Heights for the Theorem 1 sweep at branching factor `d`.
+pub fn solve_heights(d: u32, quick: bool) -> Vec<u32> {
+    match (d, quick) {
+        (2, false) => vec![8, 10, 12, 14, 16, 18, 20],
+        (2, true) => vec![6, 8],
+        (3, false) => vec![6, 8, 10, 12],
+        (3, true) => vec![4, 6],
+        (4, false) => vec![5, 6, 7, 8, 9],
+        (4, true) => vec![4],
+        _ => vec![6],
+    }
+}
+
+/// Heights for the MIN/MAX (Theorem 3) sweep.
+pub fn alphabeta_heights(d: u32, quick: bool) -> Vec<u32> {
+    match (d, quick) {
+        (2, false) => vec![6, 8, 10, 12, 14],
+        (2, true) => vec![4, 6],
+        (3, false) => vec![4, 6, 8],
+        (3, true) => vec![4],
+        _ => vec![4],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_tree::minimax::seq_solve;
+    use gt_tree::TreeSource;
+
+    #[test]
+    fn kinds_produce_expected_shapes() {
+        for kind in [NorKind::Critical, NorKind::Half, NorKind::WorstCase] {
+            let w = kind.source(2, 5, 1);
+            assert_eq!(w.arity(&[]), 2);
+            assert_eq!(w.height_hint(), Some(5));
+            let st = seq_solve(&w, false);
+            assert!(st.leaves_evaluated >= 1);
+        }
+    }
+
+    #[test]
+    fn worst_kind_really_is_worst() {
+        let w = NorKind::WorstCase.source(2, 6, 0);
+        assert_eq!(seq_solve(&w, false).leaves_evaluated, 64);
+    }
+
+    #[test]
+    fn height_lists_nonempty() {
+        for d in [2, 3, 4] {
+            for q in [false, true] {
+                assert!(!solve_heights(d, q).is_empty());
+                assert!(!alphabeta_heights(d.min(3), q).is_empty());
+            }
+        }
+    }
+}

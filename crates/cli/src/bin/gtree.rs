@@ -1,0 +1,12 @@
+//! `gtree`: command-line front end.  See `gt_cli::run` for the logic.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gt_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("{}", e.message);
+            std::process::exit(e.exit_code);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # gt-cli — the `gtree` command-line tool
+//!
+//! A thin, dependency-free front end over the workspace:
+//!
+//! ```text
+//! gtree gen  worst:d=2,n=8                      # emit a tree (text format)
+//! gtree eval --algo par-solve --width 1 --gen worst:d=2,n=12
+//! gtree eval --algo ab --tree position.gt
+//! gtree render --gen minmax:d=2,n=3,lo=0,hi=9,seed=1 --dot
+//! gtree msgsim --gen worst:d=2,n=10 --processors 4
+//! ```
+//!
+//! All the logic lives in this library (so it is unit-testable); the
+//! binary is a two-line wrapper.
+
+pub mod run;
+pub mod spec;
+
+pub use run::{run, CliError};
+pub use spec::GenSpec;

@@ -1,0 +1,389 @@
+//! Command dispatch for `gtree`.
+
+use crate::spec::GenSpec;
+use gt_sim::{parallel_alphabeta, parallel_solve, team_solve};
+use gt_tree::minimax::{seq_alphabeta, seq_solve};
+use gt_tree::scout::scout;
+use gt_tree::sss::sss_star;
+use gt_tree::{ExplicitTree, TreeSource};
+use std::fmt::Write as _;
+
+/// A CLI failure: message plus suggested exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code to use.
+    pub exit_code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            message: format!("{}\n\n{}", message.into(), USAGE),
+            exit_code: 2,
+        }
+    }
+
+    fn runtime(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            exit_code: 1,
+        }
+    }
+}
+
+const USAGE: &str = "\
+gtree — game-tree toolkit (Karp & Zhang, SPAA 1989)
+
+USAGE:
+  gtree gen    <SPEC> [--max-nodes N]          emit a generated tree (text format)
+  gtree eval   (--gen <SPEC> | --tree <FILE>) [--algo A] [--width W] [--processors P]
+  gtree render (--gen <SPEC> | --tree <FILE>) [--dot]
+  gtree msgsim --gen <SPEC> [--processors P]
+
+SPEC:     kind:key=val,...   kinds: nor crit worst allones minmax
+                                    minmax-best minmax-worst minmax-corr
+          e.g.  worst:d=2,n=10   minmax:d=3,n=6,lo=0,hi=99,seed=7
+ALGO:     solve | team | par-solve | ab | par-ab | scout | sss   (default: picked by family)
+";
+
+/// Parsed common options.
+struct Opts {
+    gen: Option<GenSpec>,
+    tree_file: Option<String>,
+    algo: Option<String>,
+    width: u32,
+    processors: Option<u32>,
+    dot: bool,
+    max_nodes: u64,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
+    let mut o = Opts {
+        gen: None,
+        tree_file: None,
+        algo: None,
+        width: 1,
+        processors: None,
+        dot: false,
+        max_nodes: 1 << 20,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let next = |i: &mut usize| -> Result<String, CliError> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| CliError::usage(format!("flag {} needs a value", args[*i - 1])))
+        };
+        match args[i].as_str() {
+            "--gen" => {
+                let v = next(&mut i)?;
+                o.gen = Some(GenSpec::parse(&v).map_err(CliError::usage)?);
+            }
+            "--tree" => o.tree_file = Some(next(&mut i)?),
+            "--algo" => o.algo = Some(next(&mut i)?),
+            "--width" => {
+                let v = next(&mut i)?;
+                o.width = v
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("bad --width {v}: {e}")))?;
+            }
+            "--processors" => {
+                let v = next(&mut i)?;
+                o.processors = Some(
+                    v.parse()
+                        .map_err(|e| CliError::usage(format!("bad --processors {v}: {e}")))?,
+                );
+            }
+            "--max-nodes" => {
+                let v = next(&mut i)?;
+                o.max_nodes = v
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("bad --max-nodes {v}: {e}")))?;
+            }
+            "--dot" => o.dot = true,
+            other if !other.starts_with("--") && o.gen.is_none() && o.tree_file.is_none() => {
+                // Positional spec (for `gen`).
+                o.gen = Some(GenSpec::parse(other).map_err(CliError::usage)?);
+            }
+            other => return Err(CliError::usage(format!("unknown argument {other:?}"))),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+enum Input {
+    Spec(GenSpec),
+    Tree(ExplicitTree),
+}
+
+impl Input {
+    fn source(&self) -> Result<Box<dyn TreeSource + Send>, CliError> {
+        match self {
+            Input::Spec(spec) => spec.build().map_err(CliError::usage),
+            Input::Tree(t) => Ok(Box::new(t.clone())),
+        }
+    }
+
+    fn is_minmax(&self) -> bool {
+        match self {
+            Input::Spec(spec) => spec.is_minmax(),
+            // Heuristic for files: MIN/MAX iff any leaf is outside {0,1}.
+            Input::Tree(t) => {
+                fn boolean(t: &ExplicitTree) -> bool {
+                    match t {
+                        ExplicitTree::Leaf(v) => *v == 0 || *v == 1,
+                        ExplicitTree::Internal(c) => c.iter().all(boolean),
+                    }
+                }
+                !boolean(t)
+            }
+        }
+    }
+}
+
+fn load_input(o: &Opts) -> Result<Input, CliError> {
+    match (&o.gen, &o.tree_file) {
+        (Some(spec), None) => Ok(Input::Spec(spec.clone())),
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+            let tree = gt_tree::text::from_text(&text)
+                .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+            Ok(Input::Tree(tree))
+        }
+        (Some(_), Some(_)) => Err(CliError::usage("--gen and --tree are mutually exclusive")),
+        (None, None) => Err(CliError::usage("need --gen SPEC or --tree FILE")),
+    }
+}
+
+/// Execute a `gtree` invocation (everything after the program name) and
+/// return the text to print.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::usage("missing command"));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "gen" => {
+            let o = parse_opts(rest)?;
+            let input = load_input(&o)?;
+            let Input::Spec(spec) = &input else {
+                return Err(CliError::usage("gen needs a SPEC, not --tree"));
+            };
+            let src = spec.build().map_err(CliError::usage)?;
+            // Guard materialization.
+            let stats = gt_tree::stats::shape_stats(&src, o.max_nodes);
+            if stats.truncated {
+                return Err(CliError::runtime(format!(
+                    "tree exceeds --max-nodes {} — refusing to materialize",
+                    o.max_nodes
+                )));
+            }
+            let tree = ExplicitTree::from_source(&&src, 10_000);
+            Ok(gt_tree::text::to_text(&tree))
+        }
+        "eval" => {
+            let o = parse_opts(rest)?;
+            let input = load_input(&o)?;
+            let src = input.source()?;
+            let algo = o.algo.clone().unwrap_or_else(|| {
+                if input.is_minmax() {
+                    "par-ab".to_string()
+                } else {
+                    "par-solve".to_string()
+                }
+            });
+            let mut out = String::new();
+            match algo.as_str() {
+                "solve" => {
+                    let st = seq_solve(&src, false);
+                    let _ = writeln!(out, "value    : {}", st.value);
+                    let _ = writeln!(out, "leaves   : {}", st.leaves_evaluated);
+                    let _ = writeln!(out, "expanded : {}", st.nodes_expanded);
+                }
+                "team" => {
+                    let p = o.processors.unwrap_or(4).max(1);
+                    let st = team_solve(&src, p, false);
+                    let _ = writeln!(out, "value    : {}", st.value);
+                    let _ = writeln!(out, "steps    : {} (p = {p})", st.steps);
+                    let _ = writeln!(out, "work     : {}", st.total_work);
+                }
+                "par-solve" => {
+                    let st = parallel_solve(&src, o.width, false);
+                    let seq = seq_solve(&src, false).leaves_evaluated;
+                    let _ = writeln!(out, "value    : {}", st.value);
+                    let _ = writeln!(out, "S(T)     : {seq}");
+                    let _ = writeln!(out, "P(T)     : {} (width {})", st.steps, o.width);
+                    let _ = writeln!(out, "speedup  : {:.2}", seq as f64 / st.steps as f64);
+                    let _ = writeln!(out, "procs    : {}", st.processors_used);
+                }
+                "ab" => {
+                    let st = seq_alphabeta(&src, false);
+                    let _ = writeln!(out, "value    : {}", st.value);
+                    let _ = writeln!(out, "leaves   : {}", st.leaves_evaluated);
+                }
+                "par-ab" => {
+                    let st = parallel_alphabeta(&src, o.width, false);
+                    let seq = seq_alphabeta(&src, false).leaves_evaluated;
+                    let _ = writeln!(out, "value    : {}", st.value);
+                    let _ = writeln!(out, "S~(T)    : {seq}");
+                    let _ = writeln!(out, "P~(T)    : {} (width {})", st.steps, o.width);
+                    let _ = writeln!(out, "speedup  : {:.2}", seq as f64 / st.steps as f64);
+                    let _ = writeln!(out, "procs    : {}", st.processors_used);
+                }
+                "scout" => {
+                    let st = scout(&src);
+                    let _ = writeln!(out, "value      : {}", st.value);
+                    let _ = writeln!(out, "leaves     : {}", st.leaves_evaluated);
+                    let _ = writeln!(out, "re-searches: {}", st.researches);
+                }
+                "sss" => {
+                    let st = sss_star(&src);
+                    let _ = writeln!(out, "value    : {}", st.value);
+                    let _ = writeln!(out, "leaves   : {}", st.leaves_evaluated);
+                    let _ = writeln!(out, "peak OPEN: {}", st.peak_open);
+                }
+                other => return Err(CliError::usage(format!("unknown --algo {other:?}"))),
+            }
+            Ok(out)
+        }
+        "render" => {
+            let o = parse_opts(rest)?;
+            let input = load_input(&o)?;
+            let src = input.source()?;
+            let stats = gt_tree::stats::shape_stats(&src, o.max_nodes);
+            if stats.truncated {
+                return Err(CliError::runtime(format!(
+                    "tree exceeds --max-nodes {} — refusing to render",
+                    o.max_nodes
+                )));
+            }
+            let tree = ExplicitTree::from_source(&&src, 10_000);
+            Ok(if o.dot {
+                gt_tree::render::dot(&tree, "gtree")
+            } else {
+                gt_tree::render::ascii(&tree)
+            })
+        }
+        "msgsim" => {
+            let o = parse_opts(rest)?;
+            let input = load_input(&o)?;
+            let src = input.source()?;
+            let r = match o.processors {
+                Some(p) => gt_msgsim::simulate_with_processors(&src, p.max(1)),
+                None => gt_msgsim::simulate(&src),
+            };
+            let seq = seq_solve(&src, false).nodes_expanded;
+            let mut out = String::new();
+            let _ = writeln!(out, "value     : {}", r.value);
+            let _ = writeln!(out, "ticks     : {}", r.ticks);
+            let _ = writeln!(out, "S*(T)     : {seq}");
+            let _ = writeln!(out, "speedup   : {:.2}", seq as f64 / r.ticks as f64);
+            let _ = writeln!(out, "processors: {}", r.processors);
+            let _ = writeln!(out, "messages  : {}", r.total_messages());
+            Ok(out)
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::usage(format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&v)
+    }
+
+    #[test]
+    fn gen_emits_parseable_trees() {
+        let out = run_str(&["gen", "worst:d=2,n=4"]).unwrap();
+        let t = gt_tree::text::from_text(out.trim()).unwrap();
+        assert!(t.is_uniform(2, 4));
+    }
+
+    #[test]
+    fn gen_refuses_oversized_trees() {
+        let err = run_str(&["gen", "worst:d=2,n=24"]).unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        assert!(err.message.contains("max-nodes"));
+    }
+
+    #[test]
+    fn eval_par_solve_reports_speedup() {
+        let out = run_str(&["eval", "--gen", "worst:d=2,n=8", "--algo", "par-solve"]).unwrap();
+        assert!(out.contains("value    : 1"));
+        assert!(out.contains("S(T)     : 256"));
+        assert!(out.contains("speedup"));
+    }
+
+    #[test]
+    fn eval_defaults_by_family() {
+        let out = run_str(&["eval", "--gen", "minmax:d=2,n=4,seed=3"]).unwrap();
+        assert!(out.contains("S~(T)"), "default algo for minmax is par-ab");
+        let out = run_str(&["eval", "--gen", "crit:n=6"]).unwrap();
+        assert!(out.contains("P(T)"), "default algo for NOR is par-solve");
+    }
+
+    #[test]
+    fn eval_all_algorithms_agree_on_value() {
+        let mut values = Vec::new();
+        for algo in ["ab", "par-ab", "scout", "sss"] {
+            let out = run_str(&[
+                "eval",
+                "--gen",
+                "minmax:d=2,n=5,seed=11",
+                "--algo",
+                algo,
+            ])
+            .unwrap();
+            let line = out.lines().find(|l| l.contains("value")).unwrap();
+            values.push(line.split(':').nth(1).unwrap().trim().to_string());
+        }
+        assert!(values.windows(2).all(|w| w[0] == w[1]), "{values:?}");
+    }
+
+    #[test]
+    fn render_ascii_and_dot() {
+        let out = run_str(&["render", "--gen", "minmax:d=2,n=2,seed=1"]).unwrap();
+        assert!(out.contains("MAX"));
+        let out = run_str(&["render", "--gen", "minmax:d=2,n=2,seed=1", "--dot"]).unwrap();
+        assert!(out.starts_with("digraph"));
+    }
+
+    #[test]
+    fn msgsim_runs() {
+        let out = run_str(&["msgsim", "--gen", "worst:d=2,n=8", "--processors", "3"]).unwrap();
+        assert!(out.contains("value     : 1"));
+        assert!(out.contains("processors: 3"));
+    }
+
+    #[test]
+    fn tree_file_roundtrip() {
+        let dir = std::env::temp_dir().join("gtree-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.gt");
+        std::fs::write(&path, "((3 9) (7 1))").unwrap();
+        let out = run_str(&["eval", "--tree", path.to_str().unwrap(), "--algo", "ab"]).unwrap();
+        assert!(out.contains("value    : 3"));
+    }
+
+    #[test]
+    fn errors_carry_usage_and_codes() {
+        assert_eq!(run_str(&[]).unwrap_err().exit_code, 2);
+        assert_eq!(run_str(&["frobnicate"]).unwrap_err().exit_code, 2);
+        assert_eq!(
+            run_str(&["eval", "--gen", "nope:n=3"]).unwrap_err().exit_code,
+            2
+        );
+        assert!(run_str(&["help"]).unwrap().contains("USAGE"));
+        let err = run_str(&["eval"]).unwrap_err();
+        assert!(err.message.contains("--gen"));
+    }
+}

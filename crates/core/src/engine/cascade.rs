@@ -1,0 +1,438 @@
+//! Fork-join cascade engine: the top-down view of Parallel SOLVE /
+//! Parallel α-β (programs `P-SOLVE` / `P-SOLVE*` in the paper), on
+//! `rayon` with cooperative cancellation.
+//!
+//! At every node, up to `width + 1` consecutive children run
+//! concurrently: the leftmost with the full width budget (it may spawn
+//! further parallelism below — the paper's "parallel on left subtree"),
+//! and the `j`-th look-ahead sibling with budget `width − j` (budget 0 is
+//! a pure sequential search — the paper's `S-SOLVE` look-ahead).  When a
+//! child's result decides the node (a `1` child of a NOR node, an `α ≥
+//! β` cutoff of a MIN/MAX node), the remaining in-flight siblings are
+//! aborted through a shared flag — the paper's pre-emption.
+//!
+//! The paper's algorithm *re-budgets* pruning numbers dynamically as
+//! siblings die; this engine assigns budgets statically per batch, which
+//! keeps it lock-free and allocation-light.  The exact dynamic semantics
+//! (and the paper's step counts) live in `gt-sim` / [`super::round`];
+//! this engine trades a small amount of model fidelity for practical
+//! fork-join performance.  Root values are always exact.
+
+use gt_tree::{TreeSource, Value};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use super::round::EngineResult;
+
+/// Marker returned through internal channels when a subtree search was
+/// pre-empted.  Public because it appears in the signature of
+/// [`CascadeEngine::alphabeta_window`]'s `Err` case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+/// A chain of cancellation flags: a task is cancelled when any flag on
+/// its path to the root is set.
+#[derive(Clone, Copy)]
+struct CancelChain<'a> {
+    flag: &'a AtomicBool,
+    parent: Option<&'a CancelChain<'a>>,
+}
+
+impl<'a> CancelChain<'a> {
+    fn root(flag: &'a AtomicBool) -> Self {
+        CancelChain { flag, parent: None }
+    }
+
+    fn child(&'a self, flag: &'a AtomicBool) -> CancelChain<'a> {
+        CancelChain {
+            flag,
+            parent: Some(self),
+        }
+    }
+
+    fn is_cancelled(&self) -> bool {
+        let mut cur = Some(self);
+        while let Some(c) = cur {
+            if c.flag.load(Ordering::Relaxed) {
+                return true;
+            }
+            cur = c.parent;
+        }
+        false
+    }
+}
+
+/// Fork-join engine with the paper's width parameter.
+#[derive(Debug, Clone, Copy)]
+pub struct CascadeEngine {
+    /// Width `w`: up to `w+1` sibling searches run concurrently per node.
+    pub width: u32,
+}
+
+impl Default for CascadeEngine {
+    fn default() -> Self {
+        CascadeEngine { width: 1 }
+    }
+}
+
+impl CascadeEngine {
+    /// Engine with the given width (0 = fully sequential).
+    pub fn with_width(width: u32) -> Self {
+        CascadeEngine { width }
+    }
+
+    /// Evaluate a NOR tree.
+    pub fn solve_nor<S: TreeSource>(&self, source: &S) -> EngineResult {
+        let start = Instant::now();
+        let leaves = AtomicU64::new(0);
+        let never = AtomicBool::new(false);
+        let cancel = CancelChain::root(&never);
+        let v = self
+            .nor(source, &mut Vec::new(), self.width, cancel, &leaves)
+            .expect("root search cannot be cancelled");
+        EngineResult {
+            value: Value::from(v),
+            rounds: 0, // not a round-synchronous engine
+            leaves_evaluated: leaves.load(Ordering::Relaxed),
+            max_round_size: self.width + 1,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Evaluate a MIN/MAX tree (root is MAX).
+    pub fn solve_minmax<S: TreeSource>(&self, source: &S) -> EngineResult {
+        let start = Instant::now();
+        let leaves = AtomicU64::new(0);
+        let never = AtomicBool::new(false);
+        let cancel = CancelChain::root(&never);
+        let v = self
+            .ab(
+                source,
+                &mut Vec::new(),
+                Value::MIN,
+                Value::MAX,
+                true,
+                self.width,
+                cancel,
+                &leaves,
+            )
+            .expect("root search cannot be cancelled");
+        EngineResult {
+            value: v,
+            rounds: 0,
+            leaves_evaluated: leaves.load(Ordering::Relaxed),
+            max_round_size: self.width + 1,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Alpha-beta search of the subtree at the source's root with an
+    /// explicit window and orientation — the building block move
+    /// selection uses (`Err(Cancelled)` can only occur for non-root
+    /// calls, so callers passing a fresh window never see it).
+    pub fn alphabeta_window<S: TreeSource>(
+        &self,
+        source: &S,
+        alpha: Value,
+        beta: Value,
+        maximizing: bool,
+    ) -> Result<Value, Cancelled> {
+        self.alphabeta_window_counted(source, alpha, beta, maximizing)
+            .map(|(v, _)| v)
+    }
+
+    /// Like [`CascadeEngine::alphabeta_window`] but also reports the
+    /// number of leaves evaluated — used by the iterative-deepening
+    /// driver to account for search effort.
+    pub fn alphabeta_window_counted<S: TreeSource>(
+        &self,
+        source: &S,
+        alpha: Value,
+        beta: Value,
+        maximizing: bool,
+    ) -> Result<(Value, u64), Cancelled> {
+        let leaves = AtomicU64::new(0);
+        let never = AtomicBool::new(false);
+        let cancel = CancelChain::root(&never);
+        self.ab(
+            source,
+            &mut Vec::new(),
+            alpha,
+            beta,
+            maximizing,
+            self.width,
+            cancel,
+            &leaves,
+        )
+        .map(|v| (v, leaves.load(Ordering::Relaxed)))
+        .ok_or(Cancelled)
+    }
+
+    /// NOR search.  `None` = pre-empted.
+    fn nor<S: TreeSource>(
+        &self,
+        src: &S,
+        path: &mut Vec<u32>,
+        width: u32,
+        cancel: CancelChain<'_>,
+        leaves: &AtomicU64,
+    ) -> Option<bool> {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        let d = src.arity(path);
+        if d == 0 {
+            let v = src.leaf_value(path);
+            leaves.fetch_add(1, Ordering::Relaxed);
+            return Some(v != 0);
+        }
+        let mut i: u32 = 0;
+        while i < d {
+            if cancel.is_cancelled() {
+                return None;
+            }
+            let k = (width + 1).min(d - i);
+            if k == 1 {
+                path.push(i);
+                let r = self.nor(src, path, width, cancel, leaves);
+                path.pop();
+                match r? {
+                    true => return Some(false),
+                    false => i += 1,
+                }
+            } else {
+                let batch_flag = AtomicBool::new(false);
+                let chain = cancel.child(&batch_flag);
+                let base: Vec<u32> = path.clone();
+                let results: Vec<Option<bool>> = broadcast_batch(k, |j| {
+                    let mut p = base.clone();
+                    p.push(i + j);
+                    let r = self.nor(src, &mut p, width - j, chain, leaves);
+                    if r == Some(true) {
+                        // This child decides the node: pre-empt siblings.
+                        batch_flag.store(true, Ordering::Relaxed);
+                    }
+                    r
+                });
+                if cancel.is_cancelled() {
+                    return None;
+                }
+                if results.contains(&Some(true)) {
+                    return Some(false);
+                }
+                debug_assert!(
+                    results.iter().all(|r| *r == Some(false)),
+                    "batch member aborted without a deciding sibling"
+                );
+                i += k;
+            }
+        }
+        Some(true)
+    }
+
+    /// Fail-hard alpha-beta.  `None` = pre-empted.
+    #[allow(clippy::too_many_arguments)]
+    fn ab<S: TreeSource>(
+        &self,
+        src: &S,
+        path: &mut Vec<u32>,
+        mut alpha: Value,
+        mut beta: Value,
+        maximizing: bool,
+        width: u32,
+        cancel: CancelChain<'_>,
+        leaves: &AtomicU64,
+    ) -> Option<Value> {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        let d = src.arity(path);
+        if d == 0 {
+            let v = src.leaf_value(path);
+            leaves.fetch_add(1, Ordering::Relaxed);
+            return Some(v);
+        }
+        let mut best = if maximizing { Value::MIN } else { Value::MAX };
+        let mut i: u32 = 0;
+        while i < d {
+            if cancel.is_cancelled() {
+                return None;
+            }
+            let k = (width + 1).min(d - i);
+            if k == 1 {
+                path.push(i);
+                let v = self.ab(src, path, alpha, beta, !maximizing, width, cancel, leaves);
+                path.pop();
+                let v = v?;
+                if maximizing {
+                    best = best.max(v);
+                    alpha = alpha.max(best);
+                } else {
+                    best = best.min(v);
+                    beta = beta.min(best);
+                }
+                if alpha >= beta {
+                    return Some(best);
+                }
+                i += 1;
+            } else {
+                let batch_flag = AtomicBool::new(false);
+                let chain = cancel.child(&batch_flag);
+                let base: Vec<u32> = path.clone();
+                let (snap_a, snap_b) = (alpha, beta);
+                let results: Vec<Option<Value>> = broadcast_batch(k, |j| {
+                    let mut p = base.clone();
+                    p.push(i + j);
+                    let r = self.ab(
+                        src,
+                        &mut p,
+                        snap_a,
+                        snap_b,
+                        !maximizing,
+                        width - j,
+                        chain,
+                        leaves,
+                    );
+                    if let Some(v) = r {
+                        // A fail-high (fail-low for MIN) decides the node.
+                        let cutoff = if maximizing { v >= snap_b } else { v <= snap_a };
+                        if cutoff {
+                            batch_flag.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    r
+                });
+                if cancel.is_cancelled() {
+                    return None;
+                }
+                for v in results.into_iter().flatten() {
+                    if maximizing {
+                        best = best.max(v);
+                        alpha = alpha.max(best);
+                    } else {
+                        best = best.min(v);
+                        beta = beta.min(best);
+                    }
+                }
+                if alpha >= beta {
+                    return Some(best);
+                }
+                i += k;
+            }
+        }
+        Some(best)
+    }
+}
+
+/// Run `k` tasks concurrently and collect their results in index order.
+/// Uses `rayon::join` for pairs (the width-1 common case) and a parallel
+/// iterator otherwise.
+fn broadcast_batch<T: Send>(k: u32, f: impl Fn(u32) -> T + Sync + Send) -> Vec<T> {
+    match k {
+        0 => Vec::new(),
+        1 => vec![f(0)],
+        2 => {
+            let (a, b) = rayon::join(|| f(0), || f(1));
+            vec![a, b]
+        }
+        _ => {
+            use rayon::prelude::*;
+            (0..k).into_par_iter().map(f).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_tree::gen::UniformSource;
+    use gt_tree::minimax::{minimax_value, nor_value};
+    use gt_tree::ExplicitTree;
+
+    #[test]
+    fn nor_value_exact_for_all_widths() {
+        for seed in 0..10 {
+            let s = UniformSource::nor_iid(2, 9, 0.5, seed);
+            let truth = nor_value(&s);
+            for w in [0u32, 1, 2, 3] {
+                let r = CascadeEngine::with_width(w).solve_nor(&s);
+                assert_eq!(r.value, truth, "w={w} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_value_exact_for_all_widths() {
+        for seed in 0..10 {
+            let s = UniformSource::minmax_iid(3, 5, -100, 100, seed);
+            let truth = minimax_value(&s);
+            for w in [0u32, 1, 2, 3] {
+                let r = CascadeEngine::with_width(w).solve_minmax(&s);
+                assert_eq!(r.value, truth, "w={w} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn width_zero_evaluates_exactly_the_sequential_leaf_set() {
+        for seed in 0..10 {
+            let s = UniformSource::nor_iid(2, 8, 0.5, seed);
+            let r = CascadeEngine::with_width(0).solve_nor(&s);
+            let seq = gt_tree::minimax::seq_solve(&s, false);
+            assert_eq!(r.leaves_evaluated, seq.leaves_evaluated, "seed {seed}");
+            let s = UniformSource::minmax_iid(2, 6, 0, 50, seed);
+            let r = CascadeEngine::with_width(0).solve_minmax(&s);
+            let seq = gt_tree::minimax::seq_alphabeta(&s, false);
+            assert_eq!(r.leaves_evaluated, seq.leaves_evaluated, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn speculation_is_bounded_overhead() {
+        // Corollary 1: total work of the width-1 algorithm is within a
+        // constant factor of sequential.  The cascade engine speculates,
+        // so check a generous factor on random instances.
+        for seed in 0..10 {
+            let s = UniformSource::nor_iid(2, 10, 0.5, seed);
+            let seq = gt_tree::minimax::seq_solve(&s, false).leaves_evaluated;
+            let par = CascadeEngine::with_width(1).solve_nor(&s).leaves_evaluated;
+            assert!(
+                par <= 6 * seq + 16,
+                "speculative blow-up {par} vs {seq} (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn alphabeta_window_orientation() {
+        // MIN at the root of the subtree: value is the min of leaves.
+        let t = ExplicitTree::internal(vec![ExplicitTree::leaf(5), ExplicitTree::leaf(2)]);
+        let e = CascadeEngine::with_width(1);
+        let v = e
+            .alphabeta_window(&t, Value::MIN, Value::MAX, false)
+            .unwrap();
+        assert_eq!(v, 2);
+        let v = e
+            .alphabeta_window(&t, Value::MIN, Value::MAX, true)
+            .unwrap();
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn single_leaf_and_unary_chain() {
+        let e = CascadeEngine::default();
+        assert_eq!(e.solve_nor(&ExplicitTree::leaf(1)).value, 1);
+        let chain =
+            ExplicitTree::internal(vec![ExplicitTree::internal(vec![ExplicitTree::leaf(0)])]);
+        // NOR(NOR(0)) = NOR(1) = 0.
+        assert_eq!(e.solve_nor(&chain).value, 0);
+    }
+
+    #[test]
+    fn worst_case_tree_parallel_still_exact() {
+        let s = UniformSource::nor_worst_case(2, 10);
+        let r = CascadeEngine::with_width(2).solve_nor(&s);
+        assert_eq!(r.value, 1);
+        assert_eq!(r.leaves_evaluated, 1 << 10);
+    }
+}

@@ -1,0 +1,135 @@
+//! MTD(f): the memory-enhanced test driver (Plaat et al.) — computes
+//! the exact minimax value through a sequence of zero-window α-β
+//! searches around a converging guess, with the transposition table
+//! carrying information between passes.
+//!
+//! Included as the strongest classical sequential baseline (the lineage
+//! SSS\* was later shown equivalent to): every zero-window pass is a
+//! Boolean test like SCOUT's, but the table remembers partial results,
+//! so nothing is re-derived from scratch.
+
+use super::memo::TtSearch;
+use gt_games::Game;
+use gt_tree::Value;
+use std::hash::Hash;
+
+/// Statistics from an MTD(f) run.
+#[derive(Debug, Clone, Default)]
+pub struct MtdfStats {
+    /// Zero-window passes performed.
+    pub passes: u32,
+    /// Horizon/terminal evaluations across all passes (table hits
+    /// excluded).
+    pub evals: u64,
+}
+
+/// Compute the exact value of `state` at `depth` using MTD(f) with the
+/// given first guess.  Returns `(value, stats)`.
+pub fn mtdf<G: Game>(
+    tt: &mut TtSearch<G>,
+    state: &G::State,
+    depth: u32,
+    first_guess: Value,
+) -> (Value, MtdfStats)
+where
+    G::State: Eq + Hash + Clone,
+{
+    let mut stats = MtdfStats::default();
+    let mut g = first_guess;
+    let mut lower = Value::MIN;
+    let mut upper = Value::MAX;
+    while lower < upper {
+        stats.passes += 1;
+        // Zero-window test at beta (fail-soft bounds move g).
+        let beta = if g == lower { g + 1 } else { g };
+        let evals_before = tt.stats.evals;
+        let v = tt.search_window(state, depth, beta - 1, beta);
+        stats.evals += tt.stats.evals - evals_before;
+        if v < beta {
+            upper = v;
+        } else {
+            lower = v;
+        }
+        g = v;
+        debug_assert!(stats.passes < 1_000, "MTD(f) failed to converge");
+    }
+    (g, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_games::{Connect4, Game, GameTreeSource, Nim, NimState, TicTacToe};
+    use gt_tree::minimax::seq_alphabeta;
+
+    #[test]
+    fn matches_alphabeta_on_tictactoe() {
+        for depth in [3u32, 5, 9] {
+            let mut tt = TtSearch::new(TicTacToe, 1 << 20);
+            let (v, stats) = mtdf(&mut tt, &TicTacToe.initial(), depth, 0);
+            let src = GameTreeSource::from_initial(TicTacToe, depth);
+            assert_eq!(v, seq_alphabeta(&src, false).value, "depth {depth}");
+            assert!(stats.passes >= 1);
+        }
+    }
+
+    #[test]
+    fn matches_alphabeta_on_connect4_regardless_of_guess() {
+        let g = Connect4::default();
+        let src = GameTreeSource::from_initial(g, 5);
+        let truth = seq_alphabeta(&src, false).value;
+        for guess in [-500i64, 0, 7, 500] {
+            let mut tt = TtSearch::new(g, 1 << 20);
+            let (v, _) = mtdf(&mut tt, &g.initial(), 5, guess);
+            assert_eq!(v, truth, "guess {guess}");
+        }
+    }
+
+    #[test]
+    fn good_guess_converges_in_few_passes() {
+        let g = Connect4::default();
+        let src = GameTreeSource::from_initial(g, 5);
+        let truth = seq_alphabeta(&src, false).value;
+        let mut tt = TtSearch::new(g, 1 << 20);
+        let (_, good) = mtdf(&mut tt, &g.initial(), 5, truth);
+        let mut tt = TtSearch::new(g, 1 << 20);
+        let (_, bad) = mtdf(&mut tt, &g.initial(), 5, truth + 400);
+        assert!(
+            good.passes <= bad.passes,
+            "exact guess {} vs far guess {}",
+            good.passes,
+            bad.passes
+        );
+        assert!(good.passes <= 3, "exact guess should converge fast");
+    }
+
+    #[test]
+    fn nim_mtdf_matches_bouton() {
+        let g = Nim::default();
+        let s = NimState::new(vec![1, 2, 3]);
+        let depth: u32 = 7;
+        let mut tt = TtSearch::new(g, 1 << 16);
+        let (v, _) = mtdf(&mut tt, &s, depth, 0);
+        let theory = if s.mover_wins(None) { 1 } else { -1 };
+        assert_eq!(v, theory);
+    }
+
+    #[test]
+    fn mtdf_total_evals_is_competitive_with_plain_tt_search() {
+        // The zero-window passes plus table reuse should not blow up
+        // relative to one full-window TT search.
+        let g = Connect4::default();
+        let depth = 6u32;
+        let mut full = TtSearch::new(g, 1 << 22);
+        let _ = full.search(&g.initial(), depth);
+        let full_evals = full.stats.evals;
+        let mut tt = TtSearch::new(g, 1 << 22);
+        let (_, stats) = mtdf(&mut tt, &g.initial(), depth, 0);
+        assert!(
+            stats.evals <= 3 * full_evals,
+            "MTD(f) {} vs full-window {}",
+            stats.evals,
+            full_evals
+        );
+    }
+}

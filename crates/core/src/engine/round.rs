@@ -1,0 +1,239 @@
+//! Round-synchronous threaded engine.
+//!
+//! Drives the exact frontier logic of the `gt-sim` simulators, but
+//! evaluates each round's leaves on a rayon thread pool.  Because the
+//! frontier is identical to the model simulation's, the number of
+//! rounds equals the paper's `P(T)` exactly; wall-clock speed-up then
+//! follows the model speed-up whenever per-leaf evaluation cost
+//! dominates the (serial) frontier bookkeeping — which is precisely the
+//! leaf-evaluation model's accounting.
+
+use gt_sim::alphabeta::Model;
+use gt_sim::nor::Policy;
+use gt_sim::{AlphaBetaSim, ExpansionSim, NorSim, RunStats};
+use gt_tree::{NodeKind, TreeSource, Value};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Outcome of a threaded engine run.
+#[derive(Debug, Clone)]
+pub struct EngineResult {
+    /// Root value.
+    pub value: Value,
+    /// Rounds executed (equals the model's `P(T)` for this width).
+    pub rounds: u64,
+    /// Leaves evaluated.
+    pub leaves_evaluated: u64,
+    /// Largest round (processors that could be used at once).
+    pub max_round_size: u32,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+impl EngineResult {
+    fn from_stats(stats: &RunStats, elapsed: Duration) -> Self {
+        EngineResult {
+            value: stats.value,
+            rounds: stats.steps,
+            leaves_evaluated: stats.total_work,
+            max_round_size: stats.processors_used,
+            elapsed,
+        }
+    }
+}
+
+/// Round-synchronous parallel engine.
+///
+/// `sequential_cutoff` avoids paying rayon overhead on tiny rounds: a
+/// round smaller than the cutoff is evaluated on the calling thread.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundEngine {
+    /// The paper's width parameter `w` (0 = sequential).
+    pub width: u32,
+    /// Rounds smaller than this run without forking.
+    pub sequential_cutoff: usize,
+}
+
+impl Default for RoundEngine {
+    fn default() -> Self {
+        RoundEngine {
+            width: 1,
+            sequential_cutoff: 2,
+        }
+    }
+}
+
+impl RoundEngine {
+    /// Engine with the given width.
+    pub fn with_width(width: u32) -> Self {
+        RoundEngine {
+            width,
+            ..Default::default()
+        }
+    }
+
+    /// Evaluate a NOR tree (Parallel SOLVE of width `w`, threaded).
+    pub fn solve_nor<S: TreeSource>(&self, source: S) -> EngineResult {
+        let start = Instant::now();
+        let mut sim = NorSim::new(source);
+        let mut stats = RunStats::new(false);
+        loop {
+            let frontier = sim.frontier_paths(Policy::Width(self.width));
+            if frontier.is_empty() {
+                break;
+            }
+            let values = self.evaluate_batch(sim.tree().source(), &frontier);
+            sim.apply_step(&values, &mut stats);
+        }
+        EngineResult::from_stats(&stats, start.elapsed())
+    }
+
+    /// Evaluate a MIN/MAX tree (Parallel α-β of width `w`, threaded).
+    pub fn solve_minmax<S: TreeSource>(&self, source: S) -> EngineResult {
+        let start = Instant::now();
+        let mut sim = AlphaBetaSim::new(source, Model::LeafEvaluation);
+        let mut stats = RunStats::new(false);
+        loop {
+            let frontier = sim.frontier_paths(self.width);
+            if frontier.is_empty() {
+                break;
+            }
+            let values = self.evaluate_batch(sim.tree().source(), &frontier);
+            sim.apply_step(&values, &mut stats);
+        }
+        EngineResult::from_stats(&stats, start.elapsed())
+    }
+
+    /// Evaluate a NOR tree in the node-expansion model, expanding each
+    /// round's frontier in parallel (for game trees this parallelizes
+    /// move generation, the dominant cost of real engines).
+    pub fn solve_nor_expansion<S: TreeSource>(&self, source: S) -> EngineResult {
+        let start = Instant::now();
+        let mut sim = ExpansionSim::new(source);
+        let mut stats = RunStats::new(false);
+        loop {
+            let frontier = sim.frontier_paths(self.width);
+            if frontier.is_empty() {
+                break;
+            }
+            let kinds: Vec<(u32, NodeKind)> = if frontier.len() < self.sequential_cutoff {
+                frontier
+                    .iter()
+                    .map(|(id, path)| (*id, sim.tree().source().expand(path)))
+                    .collect()
+            } else {
+                let src = sim.tree().source();
+                frontier
+                    .par_iter()
+                    .map(|(id, path)| (*id, src.expand(path)))
+                    .collect()
+            };
+            sim.apply_expansions(&kinds, &mut stats);
+        }
+        EngineResult::from_stats(&stats, start.elapsed())
+    }
+
+    fn evaluate_batch<S: TreeSource>(
+        &self,
+        source: &S,
+        frontier: &[(u32, Vec<u32>)],
+    ) -> Vec<(u32, Value)> {
+        if frontier.len() < self.sequential_cutoff {
+            frontier
+                .iter()
+                .map(|(id, path)| (*id, source.leaf_value(path)))
+                .collect()
+        } else {
+            frontier
+                .par_iter()
+                .map(|(id, path)| (*id, source.leaf_value(path)))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_tree::gen::UniformSource;
+    use gt_tree::minimax::{minimax_value, nor_value};
+
+    #[test]
+    fn nor_value_matches_ground_truth() {
+        for seed in 0..10 {
+            let s = UniformSource::nor_iid(2, 8, 0.5, seed);
+            for w in [0u32, 1, 2] {
+                let r = RoundEngine::with_width(w).solve_nor(&s);
+                assert_eq!(r.value, nor_value(&s), "w={w} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_value_matches_ground_truth() {
+        for seed in 0..10 {
+            let s = UniformSource::minmax_iid(3, 4, 0, 100, seed);
+            for w in [0u32, 1, 2] {
+                let r = RoundEngine::with_width(w).solve_minmax(&s);
+                assert_eq!(r.value, minimax_value(&s), "w={w} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_counts_match_model_simulation() {
+        for seed in 0..6 {
+            let s = UniformSource::nor_iid(2, 9, 0.5, seed);
+            let model = gt_sim::parallel_solve(&s, 1, false);
+            let engine = RoundEngine::with_width(1).solve_nor(&s);
+            assert_eq!(engine.rounds, model.steps, "seed {seed}");
+            assert_eq!(engine.leaves_evaluated, model.total_work);
+            assert_eq!(engine.max_round_size, model.processors_used);
+        }
+    }
+
+    #[test]
+    fn alphabeta_rounds_match_model_simulation() {
+        for seed in 0..6 {
+            let s = UniformSource::minmax_iid(2, 6, 0, 1000, seed);
+            let model = gt_sim::parallel_alphabeta(&s, 1, false);
+            let engine = RoundEngine::with_width(1).solve_minmax(&s);
+            assert_eq!(engine.rounds, model.steps, "seed {seed}");
+            assert_eq!(engine.leaves_evaluated, model.total_work);
+        }
+    }
+
+    #[test]
+    fn expansion_engine_matches_model_simulation() {
+        for seed in 0..6 {
+            let s = UniformSource::nor_iid(2, 8, 0.5, seed);
+            let model = gt_sim::n_parallel_solve(&s, 1, false);
+            let engine = RoundEngine::with_width(1).solve_nor_expansion(&s);
+            assert_eq!(engine.value, model.value, "seed {seed}");
+            assert_eq!(engine.rounds, model.steps);
+            assert_eq!(engine.leaves_evaluated, model.total_work);
+        }
+    }
+
+    #[test]
+    fn expansion_engine_on_a_real_game() {
+        use gt_games::{GameTreeSource, TicTacToe};
+        // NOR interpretation of a game tree is not meaningful, but the
+        // expansion engine must still terminate and agree with the model
+        // run on the same source.
+        let src = GameTreeSource::from_initial(TicTacToe, 3);
+        let engine = RoundEngine::with_width(2).solve_nor_expansion(&src);
+        let model = gt_sim::n_parallel_solve(&src, 2, false);
+        assert_eq!(engine.value, model.value);
+        assert_eq!(engine.rounds, model.steps);
+    }
+
+    #[test]
+    fn width_zero_equals_sequential_leaf_count() {
+        let s = UniformSource::nor_iid(2, 8, 0.5, 3);
+        let r = RoundEngine::with_width(0).solve_nor(&s);
+        let re = gt_tree::minimax::seq_solve(&s, false);
+        assert_eq!(r.leaves_evaluated, re.leaves_evaluated);
+        assert_eq!(r.rounds, re.leaves_evaluated);
+    }
+}

@@ -1,0 +1,239 @@
+//! Young Brothers Wait (YBW): the classical parallel α-β scheme that
+//! grew out of this line of work (Feldmann et al.), as an ablation
+//! baseline against the paper-faithful engines.
+//!
+//! YBW's rule: search the *eldest* child of a node first (sequentially
+//! with respect to its siblings — it establishes the window), then
+//! search all the *younger brothers* in parallel with the narrowed
+//! window, aborting them on a cutoff.  Compared to the paper's width-1
+//! cascade, YBW spawns unbounded sibling parallelism below the first
+//! child instead of a fixed-width look-ahead.
+
+use gt_tree::{TreeSource, Value};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+use super::round::EngineResult;
+
+/// Young-Brothers-Wait parallel α-β.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct YbwEngine {
+    /// Below this remaining depth the search runs sequentially (tiny
+    /// subtrees are not worth forking).  Depth here means path length
+    /// from the root; 0 disables the cutoff.
+    pub sequential_below: u32,
+}
+
+impl YbwEngine {
+    /// Engine with a sequential cutoff at the given depth-from-root.
+    pub fn with_cutoff(sequential_below: u32) -> Self {
+        YbwEngine { sequential_below }
+    }
+
+    /// Evaluate a MIN/MAX tree (root MAX).
+    pub fn solve_minmax<S: TreeSource>(&self, source: &S) -> EngineResult {
+        let start = Instant::now();
+        let leaves = AtomicU64::new(0);
+        let cancel = AtomicBool::new(false);
+        let v = self
+            .ab(
+                source,
+                &mut Vec::new(),
+                Value::MIN,
+                Value::MAX,
+                true,
+                &cancel,
+                &leaves,
+            )
+            .expect("root search is never cancelled");
+        EngineResult {
+            value: v,
+            rounds: 0,
+            leaves_evaluated: leaves.load(Ordering::Relaxed),
+            max_round_size: 0,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn ab<S: TreeSource>(
+        &self,
+        src: &S,
+        path: &mut Vec<u32>,
+        alpha: Value,
+        beta: Value,
+        maximizing: bool,
+        cancel: &AtomicBool,
+        leaves: &AtomicU64,
+    ) -> Option<Value> {
+        if cancel.load(Ordering::Relaxed) {
+            return None;
+        }
+        let d = src.arity(path);
+        if d == 0 {
+            leaves.fetch_add(1, Ordering::Relaxed);
+            return Some(src.leaf_value(path));
+        }
+        // Eldest brother first, full window.
+        path.push(0);
+        let first = self.ab(src, path, alpha, beta, !maximizing, cancel, leaves)?;
+        path.pop();
+        let mut best = first;
+        let (mut alpha, mut beta) = (alpha, beta);
+        if maximizing {
+            alpha = alpha.max(best);
+        } else {
+            beta = beta.min(best);
+        }
+        if alpha >= beta || d == 1 {
+            return Some(best);
+        }
+        let deep = self.sequential_below > 0 && path.len() as u32 >= self.sequential_below;
+        if deep {
+            // Sequential tail for small subtrees.
+            for i in 1..d {
+                path.push(i);
+                let v = self.ab(src, path, alpha, beta, !maximizing, cancel, leaves)?;
+                path.pop();
+                if maximizing {
+                    best = best.max(v);
+                    alpha = alpha.max(best);
+                } else {
+                    best = best.min(v);
+                    beta = beta.min(best);
+                }
+                if alpha >= beta {
+                    break;
+                }
+            }
+            return Some(best);
+        }
+        // Younger brothers in parallel with the narrowed window; a
+        // cutoff by any brother aborts the rest.
+        let local_cutoff = AtomicBool::new(false);
+        let best_atomic = AtomicI64::new(best);
+        let base = path.clone();
+        let results: Vec<Option<Value>> = {
+            use rayon::prelude::*;
+            (1..d)
+                .into_par_iter()
+                .map(|i| {
+                    if cancel.load(Ordering::Relaxed) || local_cutoff.load(Ordering::Relaxed) {
+                        return None;
+                    }
+                    let mut p = base.clone();
+                    p.push(i);
+                    // Brothers share the parent's cancel; the local
+                    // cutoff flag is checked at entry (cheap best-effort
+                    // abort without chaining a new flag per node).
+                    let r = self.ab(src, &mut p, alpha, beta, !maximizing, cancel, leaves);
+                    if let Some(v) = r {
+                        // Fail-high (fail-low for MIN) triggers a cutoff.
+                        let cut = if maximizing { v >= beta } else { v <= alpha };
+                        if cut {
+                            local_cutoff.store(true, Ordering::Relaxed);
+                        }
+                        // Fold into the running best.
+                        best_atomic
+                            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                                Some(if maximizing { cur.max(v) } else { cur.min(v) })
+                            })
+                            .ok();
+                    }
+                    r
+                })
+                .collect()
+        };
+        if cancel.load(Ordering::Relaxed) {
+            return None;
+        }
+        let mut best = best_atomic.load(Ordering::Relaxed);
+        // Brothers skipped by the best-effort cutoff check never ran;
+        // with a cutoff their values cannot change the fail-hard result.
+        // Without a cutoff every brother must have completed.
+        if !local_cutoff.load(Ordering::Relaxed) {
+            debug_assert!(results.iter().all(|r| r.is_some()));
+            for v in results.into_iter().flatten() {
+                best = if maximizing { best.max(v) } else { best.min(v) };
+            }
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_tree::gen::UniformSource;
+    use gt_tree::minimax::minimax_value;
+    use gt_tree::ExplicitTree;
+
+    #[test]
+    fn exact_on_random_uniform_trees() {
+        for seed in 0..15 {
+            let s = UniformSource::minmax_iid(3, 5, -100, 100, seed);
+            let truth = minimax_value(&s);
+            assert_eq!(YbwEngine::default().solve_minmax(&s).value, truth);
+            assert_eq!(
+                YbwEngine::with_cutoff(2).solve_minmax(&s).value,
+                truth,
+                "seed {seed} with cutoff"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_with_duplicate_leaf_values() {
+        for seed in 0..10 {
+            let s = UniformSource::minmax_iid(2, 7, 0, 3, seed);
+            assert_eq!(
+                YbwEngine::default().solve_minmax(&s).value,
+                minimax_value(&s),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_on_ordered_extremes() {
+        let best = UniformSource::minmax_best_ordered(2, 8, 5);
+        assert_eq!(YbwEngine::default().solve_minmax(&best).value, 5);
+        let worst = UniformSource::minmax_worst_ordered(2, 8);
+        assert_eq!(
+            YbwEngine::default().solve_minmax(&worst).value,
+            minimax_value(&worst)
+        );
+    }
+
+    #[test]
+    fn single_leaf_and_irregular_trees() {
+        assert_eq!(
+            YbwEngine::default()
+                .solve_minmax(&ExplicitTree::leaf(9))
+                .value,
+            9
+        );
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::leaf(4),
+            ExplicitTree::internal(vec![ExplicitTree::leaf(6), ExplicitTree::leaf(2)]),
+            ExplicitTree::leaf(5),
+        ]);
+        assert_eq!(
+            YbwEngine::default().solve_minmax(&t).value,
+            minimax_value(&t)
+        );
+    }
+
+    #[test]
+    fn eldest_first_keeps_speculation_bounded_on_best_ordered() {
+        // With perfect ordering the eldest brother always causes the
+        // cutoff, so YBW's total work stays close to sequential.
+        let s = UniformSource::minmax_best_ordered(2, 10, 0);
+        let seq = gt_tree::minimax::seq_alphabeta(&s, false).leaves_evaluated;
+        let ybw = YbwEngine::default().solve_minmax(&s).leaves_evaluated;
+        assert!(
+            ybw <= 2 * seq,
+            "YBW speculation too high on ordered tree: {ybw} vs {seq}"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # gt-core — parallel game-tree evaluation (Karp & Zhang, SPAA 1989)
+//!
+//! This crate is the adoptable library form of the paper's contribution:
+//!
+//! * [`engine::RoundEngine`] — Parallel SOLVE / Parallel α-β of width
+//!   `w` as a round-synchronous threaded engine whose step counts match
+//!   the paper's model exactly;
+//! * [`engine::CascadeEngine`] — the fork-join realization of the
+//!   `P-SOLVE` program (parallel left subtree, sequential look-ahead
+//!   siblings, pre-emption on decisive results);
+//! * [`engine::best_move`] — move selection for real games on top of the
+//!   cascade engine;
+//! * [`theory`] — every bound and constant from the paper's analysis
+//!   (Facts 1–2, Propositions 3/4/6, Lemmas 1–2), computable, so
+//!   experiments can print "measured vs. bound" tables.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gt_core::engine::RoundEngine;
+//! use gt_tree::gen::UniformSource;
+//!
+//! // A uniform binary NOR tree of height 12 with i.i.d. leaves.
+//! let tree = UniformSource::nor_critical(2, 12, 42);
+//! let result = RoundEngine::with_width(1).solve_nor(&tree);
+//! assert!(result.value == 0 || result.value == 1);
+//! // Rounds = the paper's P(T); compare with S(T):
+//! let seq = gt_tree::minimax::seq_solve(&tree, false);
+//! assert!(result.rounds <= seq.leaves_evaluated);
+//! ```
+
+pub mod engine;
+pub mod theory;
+
+pub use engine::{best_move, CascadeEngine, EngineResult, RoundEngine, SearchConfig};
+
+// Re-export the foundational crates so `gt-core` is self-sufficient as a
+// single dependency for downstream users.
+pub use gt_games as games;
+pub use gt_sim as sim;
+pub use gt_tree as tree;

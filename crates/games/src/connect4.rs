@@ -1,0 +1,285 @@
+//! Connect Four on a 7×6 bitboard.
+//!
+//! This is the "wide and shallow" workload Section 8 contrasts with the
+//! paper's deep-tree asymptotics: branching factor up to 7, search depth
+//! limited by a heuristic horizon.  The bitboard layout is the classical
+//! 7-columns-of-7-bits encoding (one spare bit per column as a sentinel),
+//! which makes win detection four shifts.
+
+use crate::Game;
+use gt_tree::Value;
+
+/// Connect Four rules object.  `width`/`height` are fixed at 7×6.
+#[derive(Debug, Clone, Copy)]
+pub struct Connect4 {
+    /// Value awarded for a win at the horizon (scaled by remaining depth
+    /// so quicker wins score higher).
+    pub win_score: Value,
+}
+
+impl Default for Connect4 {
+    fn default() -> Self {
+        Connect4 { win_score: 1_000 }
+    }
+}
+
+const WIDTH: u32 = 7;
+const HEIGHT: u32 = 6;
+const COL_BITS: u32 = HEIGHT + 1; // one sentinel bit per column
+
+/// A Connect Four position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Position {
+    /// Stones of the player who moved first (MAX).
+    pub first: u64,
+    /// Stones of both players.
+    pub occupied: u64,
+    /// Plies played so far.
+    pub plies: u32,
+}
+
+impl Position {
+    /// The empty board.
+    pub fn empty() -> Self {
+        Position {
+            first: 0,
+            occupied: 0,
+            plies: 0,
+        }
+    }
+
+    /// True if the first player (MAX) is to move.
+    pub fn first_to_move(&self) -> bool {
+        self.plies.is_multiple_of(2)
+    }
+
+    fn column_mask(col: u32) -> u64 {
+        ((1u64 << HEIGHT) - 1) << (col * COL_BITS)
+    }
+
+    /// Can a stone be dropped in `col`?
+    pub fn column_open(&self, col: u32) -> bool {
+        self.occupied & Self::column_mask(col) != Self::column_mask(col)
+    }
+
+    /// Columns that accept a stone, left to right.
+    pub fn open_columns(&self) -> Vec<u32> {
+        (0..WIDTH).filter(|&c| self.column_open(c)).collect()
+    }
+
+    /// Drop a stone for the side to move in `col`.
+    pub fn drop(&self, col: u32) -> Position {
+        debug_assert!(self.column_open(col));
+        let col_occ = self.occupied & Self::column_mask(col);
+        let bit = if col_occ == 0 {
+            1u64 << (col * COL_BITS)
+        } else {
+            (col_occ + (1u64 << (col * COL_BITS))) & !col_occ & Self::column_mask(col)
+        };
+        let mut next = *self;
+        if self.first_to_move() {
+            next.first |= bit;
+        }
+        next.occupied |= bit;
+        next.plies += 1;
+        next
+    }
+
+    /// Does `stones` contain four in a row?
+    pub fn has_four(stones: u64) -> bool {
+        // Vertical, horizontal, and the two diagonals.
+        for shift in [1, COL_BITS, COL_BITS + 1, COL_BITS - 1] {
+            let m = stones & (stones >> shift);
+            if m & (m >> (2 * shift)) != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Stones of the second player.
+    pub fn second(&self) -> u64 {
+        self.occupied & !self.first
+    }
+
+    /// Terminal outcome from the first player's perspective, if any.
+    pub fn outcome(&self) -> Option<Value> {
+        if Self::has_four(self.first) {
+            Some(1)
+        } else if Self::has_four(self.second()) {
+            Some(-1)
+        } else if self.plies == WIDTH * HEIGHT {
+            Some(0)
+        } else {
+            None
+        }
+    }
+
+    /// Count of 4-windows still open for `mine` and not blocked by
+    /// `theirs`, weighted by how full they already are — a standard
+    /// Connect Four heuristic.
+    fn line_potential(mine: u64, theirs: u64) -> Value {
+        let mut score = 0;
+        for col in 0..WIDTH {
+            for row in 0..HEIGHT {
+                for (dc, dr) in [(1i32, 0i32), (0, 1), (1, 1), (1, -1)] {
+                    let ec = col as i32 + 3 * dc;
+                    let er = row as i32 + 3 * dr;
+                    if ec < 0 || ec >= WIDTH as i32 || er < 0 || er >= HEIGHT as i32 {
+                        continue;
+                    }
+                    let mut m = 0u32;
+                    let mut t = 0u32;
+                    for k in 0..4 {
+                        let c = (col as i32 + k * dc) as u32;
+                        let r = (row as i32 + k * dr) as u32;
+                        let bit = 1u64 << (c * COL_BITS + r);
+                        if mine & bit != 0 {
+                            m += 1;
+                        }
+                        if theirs & bit != 0 {
+                            t += 1;
+                        }
+                    }
+                    if t == 0 && m > 0 {
+                        score += (1 << m) as Value; // 2,4,8 for 1,2,3 stones
+                    }
+                }
+            }
+        }
+        score
+    }
+}
+
+impl Game for Connect4 {
+    type State = Position;
+
+    fn num_moves(&self, state: &Self::State) -> u32 {
+        if state.outcome().is_some() {
+            0
+        } else {
+            state.open_columns().len() as u32
+        }
+    }
+
+    fn apply(&self, state: &Self::State, index: u32) -> Self::State {
+        let col = state.open_columns()[index as usize];
+        state.drop(col)
+    }
+
+    fn evaluate(&self, state: &Self::State) -> Value {
+        match state.outcome() {
+            Some(1) => self.win_score + Value::from(WIDTH * HEIGHT - state.plies),
+            Some(-1) => -(self.win_score + Value::from(WIDTH * HEIGHT - state.plies)),
+            Some(_) => 0,
+            None => {
+                let f = state.first;
+                let s = state.second();
+                Position::line_potential(f, s) - Position::line_potential(s, f)
+            }
+        }
+    }
+
+    fn first_player_to_move(&self, state: &Self::State) -> bool {
+        state.first_to_move()
+    }
+
+    fn initial(&self) -> Self::State {
+        Position::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_board_has_seven_moves() {
+        let g = Connect4::default();
+        assert_eq!(g.num_moves(&g.initial()), 7);
+    }
+
+    #[test]
+    fn stones_stack_in_a_column() {
+        let p = Position::empty().drop(3).drop(3).drop(3);
+        let col3 = Position::column_mask(3);
+        assert_eq!((p.occupied & col3).count_ones(), 3);
+        // First player owns rows 0 and 2 of column 3.
+        assert_eq!(p.first.count_ones(), 2);
+        assert_eq!(p.plies, 3);
+    }
+
+    #[test]
+    fn column_fills_up() {
+        let mut p = Position::empty();
+        for _ in 0..6 {
+            assert!(p.column_open(0));
+            p = p.drop(0);
+        }
+        assert!(!p.column_open(0));
+        assert_eq!(p.open_columns().len(), 6);
+    }
+
+    #[test]
+    fn vertical_win() {
+        // First player drops col 0 four times (second player elsewhere).
+        let mut p = Position::empty();
+        for _ in 0..3 {
+            p = p.drop(0).drop(1);
+        }
+        p = p.drop(0);
+        assert_eq!(p.outcome(), Some(1));
+        assert_eq!(Connect4::default().num_moves(&p), 0);
+        assert!(Connect4::default().evaluate(&p) > 0);
+    }
+
+    #[test]
+    fn horizontal_win_for_second_player() {
+        // Second player builds a row on the floor of cols 3..7 while the
+        // first player stacks in col 0.
+        let mut p = Position::empty();
+        for c in 3..6 {
+            p = p.drop(0).drop(c);
+        }
+        p = p.drop(0); // first player's 4th in col 0 ... that's a win!
+        assert_eq!(p.outcome(), Some(1));
+        // Redo with first player spreading instead.
+        let mut p = Position::empty();
+        for (f, s) in [(0u32, 3u32), (1, 4), (0, 5)] {
+            p = p.drop(f).drop(s);
+        }
+        p = p.drop(2).drop(6); // second player completes 3,4,5,6
+        assert_eq!(p.outcome(), Some(-1));
+    }
+
+    #[test]
+    fn diagonal_win() {
+        // Build a / diagonal for the first player: stones at
+        // (c0,r0),(c1,r1),(c2,r2),(c3,r3).
+        let moves_first = [0u32, 1, 2, 2, 3, 3];
+        let moves_second = [1u32, 2, 3, 3, 6];
+        let mut p = Position::empty();
+        for i in 0..5 {
+            p = p.drop(moves_first[i]);
+            assert_eq!(p.outcome(), None, "premature end at {i}");
+            p = p.drop(moves_second[i]);
+            assert_eq!(p.outcome(), None, "premature end at {i}");
+        }
+        p = p.drop(moves_first[5]);
+        assert_eq!(p.outcome(), Some(1));
+    }
+
+    #[test]
+    fn heuristic_is_antisymmetric_at_start() {
+        let g = Connect4::default();
+        assert_eq!(g.evaluate(&g.initial()), 0);
+    }
+
+    #[test]
+    fn heuristic_prefers_center_development() {
+        let g = Connect4::default();
+        let center = Position::empty().drop(3);
+        let edge = Position::empty().drop(0);
+        assert!(g.evaluate(&center) > g.evaluate(&edge));
+    }
+}

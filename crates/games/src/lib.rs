@@ -1,0 +1,79 @@
+//! # gt-games — concrete games exposed as game trees
+//!
+//! The paper motivates game-tree evaluation with game-playing programs
+//! ("game trees traditionally occur in the game-playing applications of
+//! AI such as chess").  This crate supplies the games the examples and
+//! wall-clock benchmarks search:
+//!
+//! * [`TicTacToe`] — small enough to solve exactly;
+//! * [`Connect4`] — a bitboard implementation with a line-counting
+//!   heuristic, the "wide and shallow" regime Section 8 contrasts with
+//!   the paper's asymptotics;
+//! * [`SyntheticGame`] — a reproducible synthetic game with configurable
+//!   branching factor and per-leaf evaluation cost, used to sweep the
+//!   leaf-cost axis in the wall-clock experiments.
+//!
+//! [`GameTreeSource`] adapts any [`Game`] + depth limit into a
+//! [`gt_tree::TreeSource`], so every simulator and engine in the
+//! workspace can run on real game trees unchanged.
+
+pub mod connect4;
+pub mod nim;
+pub mod othello;
+pub mod perft;
+pub mod synthetic;
+pub mod tictactoe;
+pub mod tree;
+
+pub use connect4::Connect4;
+pub use nim::{Nim, NimState};
+pub use othello::{Othello, OthelloState};
+pub use perft::{perft, perft_vector};
+pub use synthetic::SyntheticGame;
+pub use tictactoe::TicTacToe;
+pub use tree::GameTreeSource;
+
+use gt_tree::Value;
+
+/// A two-player, zero-sum, perfect-information game.
+///
+/// Scores are *absolute*: always from the perspective of the game's
+/// first player, independent of whose turn it is.  A search therefore
+/// maximizes at positions where the first player moves and minimizes
+/// otherwise — the paper's MIN/MAX alternation.
+pub trait Game: Sync {
+    /// A position.
+    type State: Clone + Send + Sync;
+
+    /// Enumerate the legal moves of `state` as child indices `0..n`; `0`
+    /// means the position is terminal.
+    fn num_moves(&self, state: &Self::State) -> u32;
+
+    /// Apply the `index`-th legal move.
+    fn apply(&self, state: &Self::State, index: u32) -> Self::State;
+
+    /// Score `state` from the first player's perspective.  Used both for
+    /// terminal positions and as the heuristic at the search horizon.
+    fn evaluate(&self, state: &Self::State) -> Value;
+
+    /// True if the game's first player (the maximizer) is to move.
+    fn first_player_to_move(&self, state: &Self::State) -> bool;
+
+    /// The starting position.
+    fn initial(&self) -> Self::State;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe_enough_for_generics() {
+        // Compile-time check: a generic function over Game.
+        fn probe<G: Game>(g: &G) -> u32 {
+            g.num_moves(&g.initial())
+        }
+        assert_eq!(probe(&TicTacToe), 9);
+        assert_eq!(probe(&Connect4::default()), 7);
+    }
+}

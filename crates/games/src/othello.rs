@@ -1,0 +1,297 @@
+//! Othello (Reversi) on a 6×6 board: the most branching-rich game in
+//! the suite, with captures, forced passes and a mobility+discs
+//! heuristic.  6×6 keeps full-game searches affordable while exercising
+//! variable arity (0–12 moves), non-alternating effective turns (pass
+//! moves) and deep tactical flips.
+
+use crate::Game;
+use gt_tree::Value;
+
+const N: i32 = 6;
+const CELLS: u32 = 36;
+
+/// Othello rules object.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Othello;
+
+/// A 6×6 Othello position (bitboards over 36 cells, row-major).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OthelloState {
+    /// Discs of the first player (Black).
+    pub black: u64,
+    /// Discs of the second player (White).
+    pub white: u64,
+    /// True if Black is to move.
+    pub black_to_move: bool,
+}
+
+const DIRS: [(i32, i32); 8] = [
+    (-1, -1),
+    (-1, 0),
+    (-1, 1),
+    (0, -1),
+    (0, 1),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+];
+
+fn bit(r: i32, c: i32) -> u64 {
+    1u64 << (r * N + c)
+}
+
+fn on_board(r: i32, c: i32) -> bool {
+    (0..N).contains(&r) && (0..N).contains(&c)
+}
+
+impl OthelloState {
+    /// The standard starting position (center 2×2, diagonal colours).
+    pub fn start() -> Self {
+        // Center cells (2,2),(3,3) white... use Othello convention:
+        // (2,3),(3,2) black; (2,2),(3,3) white.
+        OthelloState {
+            black: bit(2, 3) | bit(3, 2),
+            white: bit(2, 2) | bit(3, 3),
+            black_to_move: true,
+        }
+    }
+
+    fn mover_discs(&self) -> (u64, u64) {
+        if self.black_to_move {
+            (self.black, self.white)
+        } else {
+            (self.white, self.black)
+        }
+    }
+
+    /// Discs that would flip if the mover played at `(r, c)`; 0 if the
+    /// move is illegal.
+    pub fn flips(&self, r: i32, c: i32) -> u64 {
+        let (mine, theirs) = self.mover_discs();
+        let occupied = self.black | self.white;
+        if !on_board(r, c) || occupied & bit(r, c) != 0 {
+            return 0;
+        }
+        let mut all = 0u64;
+        for (dr, dc) in DIRS {
+            let mut run = 0u64;
+            let (mut rr, mut cc) = (r + dr, c + dc);
+            while on_board(rr, cc) && theirs & bit(rr, cc) != 0 {
+                run |= bit(rr, cc);
+                rr += dr;
+                cc += dc;
+            }
+            if run != 0 && on_board(rr, cc) && mine & bit(rr, cc) != 0 {
+                all |= run;
+            }
+        }
+        all
+    }
+
+    /// Legal placement cells for the side to move (row-major order).
+    pub fn legal_moves(&self) -> Vec<(i32, i32)> {
+        let mut out = Vec::new();
+        for r in 0..N {
+            for c in 0..N {
+                if self.flips(r, c) != 0 {
+                    out.push((r, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Does the side to move have any legal placement?
+    pub fn can_move(&self) -> bool {
+        for r in 0..N {
+            for c in 0..N {
+                if self.flips(r, c) != 0 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Apply a placement (must be legal).
+    pub fn place(&self, r: i32, c: i32) -> OthelloState {
+        let flips = self.flips(r, c);
+        debug_assert_ne!(flips, 0, "illegal move ({r},{c})");
+        let mut next = *self;
+        if self.black_to_move {
+            next.black |= flips | bit(r, c);
+            next.white &= !flips;
+        } else {
+            next.white |= flips | bit(r, c);
+            next.black &= !flips;
+        }
+        next.black_to_move = !next.black_to_move;
+        next
+    }
+
+    /// Apply a pass (legal only when the mover cannot place but the
+    /// opponent can).
+    pub fn pass(&self) -> OthelloState {
+        let mut next = *self;
+        next.black_to_move = !next.black_to_move;
+        next
+    }
+
+    /// The game is over when neither side can place.
+    pub fn is_terminal(&self) -> bool {
+        if (self.black | self.white).count_ones() == CELLS {
+            return true;
+        }
+        !self.can_move() && !self.pass().can_move()
+    }
+
+    /// Disc difference, Black − White.
+    pub fn disc_diff(&self) -> i32 {
+        self.black.count_ones() as i32 - self.white.count_ones() as i32
+    }
+}
+
+impl Game for Othello {
+    type State = OthelloState;
+
+    fn num_moves(&self, state: &Self::State) -> u32 {
+        if state.is_terminal() {
+            return 0;
+        }
+        let placements = state.legal_moves().len() as u32;
+        if placements == 0 {
+            1 // forced pass
+        } else {
+            placements
+        }
+    }
+
+    fn apply(&self, state: &Self::State, index: u32) -> Self::State {
+        let moves = state.legal_moves();
+        if moves.is_empty() {
+            debug_assert_eq!(index, 0, "pass is the only move");
+            state.pass()
+        } else {
+            let (r, c) = moves[index as usize];
+            state.place(r, c)
+        }
+    }
+
+    fn evaluate(&self, state: &Self::State) -> Value {
+        let diff = Value::from(state.disc_diff());
+        if state.is_terminal() {
+            // Exact outcome dominates any heuristic scale.
+            return diff * 1000;
+        }
+        // Heuristic: discs + mobility (moves available to Black minus
+        // moves available to White, each measured on their own turn).
+        let my_mob = state.legal_moves().len() as Value;
+        let their_mob = state.pass().legal_moves().len() as Value;
+        let mobility = if state.black_to_move {
+            my_mob - their_mob
+        } else {
+            their_mob - my_mob
+        };
+        diff + 3 * mobility
+    }
+
+    fn first_player_to_move(&self, state: &Self::State) -> bool {
+        state.black_to_move
+    }
+
+    fn initial(&self) -> Self::State {
+        OthelloState::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GameTreeSource;
+    use gt_tree::minimax::{minimax_value, seq_alphabeta};
+
+    #[test]
+    fn opening_has_four_moves() {
+        // Symmetric start: Black has exactly 4 legal placements.
+        let s = OthelloState::start();
+        assert_eq!(s.legal_moves().len(), 4);
+        assert_eq!(Othello.num_moves(&s), 4);
+        assert!(!s.is_terminal());
+    }
+
+    #[test]
+    fn placement_flips_captured_discs() {
+        let s = OthelloState::start();
+        let (r, c) = s.legal_moves()[0];
+        let next = s.place(r, c);
+        // Black gains the placed disc plus at least one flip; White
+        // loses exactly the flipped discs.
+        assert_eq!(next.black.count_ones(), 4);
+        assert_eq!(next.white.count_ones(), 1);
+        assert!(!next.black_to_move);
+        // Total discs grow by exactly one per placement.
+        assert_eq!(
+            (next.black | next.white).count_ones(),
+            (s.black | s.white).count_ones() + 1
+        );
+        // No overlap ever.
+        assert_eq!(next.black & next.white, 0);
+    }
+
+    #[test]
+    fn flips_rejects_occupied_and_non_flipping_cells() {
+        let s = OthelloState::start();
+        assert_eq!(s.flips(2, 2), 0, "occupied");
+        assert_eq!(s.flips(0, 0), 0, "no line");
+    }
+
+    #[test]
+    fn pass_switches_mover_only() {
+        let s = OthelloState::start();
+        let p = s.pass();
+        assert_eq!(p.black, s.black);
+        assert_eq!(p.white, s.white);
+        assert_ne!(p.black_to_move, s.black_to_move);
+    }
+
+    #[test]
+    fn search_is_consistent_across_algorithms() {
+        let src = GameTreeSource::from_initial(Othello, 5);
+        let ab = seq_alphabeta(&src, false);
+        assert_eq!(ab.value, minimax_value(&src));
+    }
+
+    #[test]
+    fn terminal_full_board_detected() {
+        // Artificial full board.
+        let full = OthelloState {
+            black: (1u64 << 36) - 1,
+            white: 0,
+            black_to_move: true,
+        };
+        assert!(full.is_terminal());
+        assert_eq!(Othello.num_moves(&full), 0);
+        assert_eq!(Othello.evaluate(&full), 36 * 1000);
+    }
+
+    #[test]
+    fn evaluate_is_zero_sum_symmetric_at_start() {
+        // Disc diff 0, mobility symmetric: heuristic must be 0.
+        assert_eq!(Othello.evaluate(&OthelloState::start()), 0);
+    }
+
+    #[test]
+    fn deep_positions_keep_disc_invariants() {
+        // Play a few plies of greedy self-play and check invariants hold.
+        let g = Othello;
+        let mut s = g.initial();
+        for _ in 0..10 {
+            if g.num_moves(&s) == 0 {
+                break;
+            }
+            s = g.apply(&s, 0);
+            assert_eq!(s.black & s.white, 0, "disc overlap");
+            assert!(s.black.count_ones() + s.white.count_ones() <= CELLS);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! `perft`: count the positions reachable at each depth of a game tree
+//! — the standard way to validate move generators exactly.  For the
+//! games here, shallow perft values have closed forms (no terminal
+//! positions interfere yet), giving hard oracles.
+
+use crate::Game;
+
+/// Number of leaf positions at exactly `depth` plies below `state`
+/// (terminal positions above the horizon count once, where they stop).
+pub fn perft<G: Game>(game: &G, state: &G::State, depth: u32) -> u64 {
+    if depth == 0 {
+        return 1;
+    }
+    let n = game.num_moves(state);
+    if n == 0 {
+        return 1;
+    }
+    (0..n)
+        .map(|i| perft(game, &game.apply(state, i), depth - 1))
+        .sum()
+}
+
+/// Per-depth perft vector `[perft(1), ..., perft(max_depth)]`.
+pub fn perft_vector<G: Game>(game: &G, max_depth: u32) -> Vec<u64> {
+    let root = game.initial();
+    (1..=max_depth).map(|d| perft(game, &root, d)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Connect4, Nim, NimState, Othello, SyntheticGame, TicTacToe};
+
+    #[test]
+    fn tictactoe_perft_matches_falling_factorials() {
+        // No line can complete before ply 5, so perft(k) = 9!/(9-k)! for
+        // k ≤ 4.
+        let v = perft_vector(&TicTacToe, 4);
+        assert_eq!(v, vec![9, 72, 504, 3024]);
+    }
+
+    #[test]
+    fn tictactoe_perft5_accounts_for_wins() {
+        // At ply 5 the first wins appear: 9*8*7*6*5 = 15120 sequences,
+        // minus nothing (wins still count as leaves at exactly depth 5),
+        // so perft(5) = 15120.  At depth 6, won games stop early, so
+        // perft(6) < 15120 * 4.
+        let root = TicTacToe.initial();
+        assert_eq!(perft(&TicTacToe, &root, 5), 15120);
+        assert!(perft(&TicTacToe, &root, 6) < 15120 * 4);
+    }
+
+    #[test]
+    fn connect4_perft_is_seven_powers_early() {
+        // Columns cannot fill and nobody can win before ply 7, so
+        // perft(k) = 7^k for k ≤ 6.
+        let v = perft_vector(&Connect4::default(), 5);
+        assert_eq!(v, vec![7, 49, 343, 2401, 16807]);
+    }
+
+    #[test]
+    fn synthetic_perft_is_exact_powers() {
+        let g = SyntheticGame::new(3, 4, 0, 9);
+        assert_eq!(perft_vector(&g, 4), vec![3, 9, 27, 81]);
+        // Beyond max_plies everything is terminal.
+        assert_eq!(perft(&g, &g.initial(), 5), 81);
+    }
+
+    #[test]
+    fn nim_perft_counts_move_sequences() {
+        // Nim [2,1]: moves = take 1 or 2 from pile 0, or 1 from pile 1 →
+        // perft(1) = 3.
+        let g = Nim::default();
+        let s = NimState::new(vec![2, 1]);
+        assert_eq!(perft(&g, &s, 1), 3);
+        // Depth 2: [1,1]→(2 moves each of 2 successors)... enumerate by
+        // hand: from [2,1]: take1→[1,1] (2 moves), take2→[0,1] (1 move),
+        // pile1→[2,0] (2 moves) ⇒ perft(2) = 2 + 1 + 2 = 5.
+        assert_eq!(perft(&g, &s, 2), 5);
+    }
+
+    #[test]
+    fn othello_perft_opening() {
+        // Symmetric 6x6 opening: 4 first moves; every reply count is
+        // position-dependent but must be perft(2) = sum over 4 children.
+        let g = Othello;
+        let v1 = perft(&g, &g.initial(), 1);
+        assert_eq!(v1, 4);
+        let v2 = perft(&g, &g.initial(), 2);
+        // By symmetry all four children have the same reply count.
+        let child = g.apply(&g.initial(), 0);
+        assert_eq!(v2, 4 * g.num_moves(&child) as u64);
+        assert!(v2 >= 8, "suspiciously few replies: {v2}");
+    }
+
+    #[test]
+    fn perft_zero_is_one() {
+        assert_eq!(perft(&TicTacToe, &TicTacToe.initial(), 0), 1);
+    }
+}

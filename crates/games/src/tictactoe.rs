@@ -1,0 +1,182 @@
+//! Tic-Tac-Toe: a game small enough to solve exactly, used to validate
+//! that the parallel engines compute the same game-theoretic value and
+//! move as exhaustive search.
+
+use crate::Game;
+use gt_tree::Value;
+
+/// Zero-sized game type; all state lives in [`Board`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TicTacToe;
+
+/// 3×3 board.  Cells are indexed row-major 0..9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Board {
+    /// Bitmask of X's cells (X always moves first and is the MAX player).
+    pub x: u16,
+    /// Bitmask of O's cells.
+    pub o: u16,
+}
+
+const LINES: [u16; 8] = [
+    0b000_000_111,
+    0b000_111_000,
+    0b111_000_000, // rows
+    0b001_001_001,
+    0b010_010_010,
+    0b100_100_100, // columns
+    0b100_010_001,
+    0b001_010_100, // diagonals
+];
+
+const FULL: u16 = 0b111_111_111;
+
+impl Board {
+    /// The empty board.
+    pub fn empty() -> Self {
+        Board { x: 0, o: 0 }
+    }
+
+    /// True if it is X's turn (X moves on even plies).
+    pub fn x_to_move(&self) -> bool {
+        self.x.count_ones() == self.o.count_ones()
+    }
+
+    /// Does `mask` contain a completed line?
+    #[allow(clippy::manual_contains)] // `contains` would need the masked value per line
+    fn wins(mask: u16) -> bool {
+        LINES.iter().any(|&l| mask & l == l)
+    }
+
+    /// Game outcome, if the position is terminal: `Some(+1)` X wins,
+    /// `Some(-1)` O wins, `Some(0)` draw, `None` if play continues.
+    pub fn outcome(&self) -> Option<Value> {
+        if Self::wins(self.x) {
+            Some(1)
+        } else if Self::wins(self.o) {
+            Some(-1)
+        } else if (self.x | self.o) == FULL {
+            Some(0)
+        } else {
+            None
+        }
+    }
+
+    /// Indices of the empty cells, ascending.
+    pub fn empty_cells(&self) -> Vec<u16> {
+        let occ = self.x | self.o;
+        (0..9).filter(|&c| occ & (1 << c) == 0).collect()
+    }
+}
+
+impl Game for TicTacToe {
+    type State = Board;
+
+    fn num_moves(&self, state: &Self::State) -> u32 {
+        if state.outcome().is_some() {
+            0
+        } else {
+            9 - (state.x | state.o).count_ones()
+        }
+    }
+
+    fn apply(&self, state: &Self::State, index: u32) -> Self::State {
+        let cell = state.empty_cells()[index as usize];
+        let mut next = *state;
+        if state.x_to_move() {
+            next.x |= 1 << cell;
+        } else {
+            next.o |= 1 << cell;
+        }
+        next
+    }
+
+    fn evaluate(&self, state: &Self::State) -> Value {
+        // Exact at terminals; prefer faster wins by scaling with the
+        // number of empty cells remaining.
+        let empties = Value::from(9 - (state.x | state.o).count_ones());
+        match state.outcome() {
+            Some(1) => 10 + empties,
+            Some(-1) => -(10 + empties),
+            Some(_) => 0,
+            None => 0, // horizon heuristic: neutral
+        }
+    }
+
+    fn first_player_to_move(&self, state: &Self::State) -> bool {
+        state.x_to_move()
+    }
+
+    fn initial(&self) -> Self::State {
+        Board::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_board_has_nine_moves() {
+        let g = TicTacToe;
+        let b = g.initial();
+        assert_eq!(g.num_moves(&b), 9);
+        assert!(b.x_to_move());
+        assert_eq!(b.outcome(), None);
+    }
+
+    #[test]
+    fn apply_alternates_players() {
+        let g = TicTacToe;
+        let b1 = g.apply(&g.initial(), 4); // X center
+        assert!(!b1.x_to_move());
+        assert_eq!(b1.x, 1 << 4);
+        let b2 = g.apply(&b1, 0); // O corner (cell 0)
+        assert_eq!(b2.o, 1);
+        assert!(b2.x_to_move());
+    }
+
+    #[test]
+    fn row_win_detected() {
+        let b = Board {
+            x: 0b000_000_111,
+            o: 0b000_011_000,
+        };
+        assert_eq!(b.outcome(), Some(1));
+        assert_eq!(TicTacToe.num_moves(&b), 0);
+        assert!(TicTacToe.evaluate(&b) > 0);
+    }
+
+    #[test]
+    fn diagonal_win_for_o() {
+        // O on the anti-diagonal (cells 2, 4, 6).
+        let b = Board {
+            x: 0b000_011_001,
+            o: 0b001_010_100,
+        };
+        assert_eq!(b.outcome(), Some(-1));
+        assert!(TicTacToe.evaluate(&b) < 0);
+    }
+
+    #[test]
+    fn draw_detected() {
+        // X O X / X O O / O X X  — no completed line.
+        let b = Board {
+            x: 0b110_001_101,
+            o: 0b001_110_010,
+        };
+        assert_eq!((b.x | b.o), FULL);
+        assert_eq!(b.outcome(), Some(0));
+        assert_eq!(TicTacToe.evaluate(&b), 0);
+    }
+
+    #[test]
+    fn move_indices_map_to_empty_cells() {
+        let g = TicTacToe;
+        let mut b = g.initial();
+        b = g.apply(&b, 0); // X takes cell 0
+        // Now move index 0 refers to cell 1.
+        let b2 = g.apply(&b, 0);
+        assert_eq!(b2.o, 1 << 1);
+    }
+}

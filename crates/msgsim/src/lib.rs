@@ -1,0 +1,36 @@
+//! # gt-msgsim — Section 7's message-passing implementation, simulated
+//!
+//! The paper closes the gap between the node-expansion model and real
+//! machines with a concrete implementation of N-Parallel SOLVE of width
+//! 1 for **binary NOR trees** on a message-passing multiprocessor where
+//! any processor can send a message to any other in unit time:
+//!
+//! * one processor per tree *level*; processor `d` owns every invocation
+//!   whose root node lies at level `d`;
+//! * six message types: `S-SOLVE*(v)`, `P-SOLVE*(v)`, `P-SOLVE**(v)`,
+//!   `P-SOLVE***(v)`, `val(v)=0`, `val(v)=1`;
+//! * `S-SOLVE*` is a *non-recursive* depth-first search run entirely by
+//!   one processor, with an explicit stack holding the path to the node
+//!   being expanded;
+//! * no abort messages: the **pre-emption rule** says a processor works
+//!   only on its most recent `S-SOLVE*` invocation and its most recent
+//!   `P-SOLVE*`-family invocation — anything older is implicitly
+//!   terminated;
+//! * when `P-SOLVE*(v)` arrives while `S-SOLVE*(v)` is in progress (the
+//!   paper's "case two"), the processor *walks the stack path* top-down,
+//!   one node per time step, promoting each path node to a coordinator
+//!   (`P-SOLVE**`/`P-SOLVE***`) and restarting the right-sibling
+//!   look-ahead searches on the levels below;
+//! * a fixed processor count `p` is supported by *zone multiplexing*:
+//!   processor `d` serves level `d` of every zone of `p` consecutive
+//!   levels, round-robin.
+//!
+//! This crate is a faithful discrete-event simulation of that machine:
+//! time advances in ticks, messages sent at tick `t` arrive at `t+1`,
+//! and each (physical) processor performs at most one unit action per
+//! tick — one node expansion, or one step of the case-two stack walk.
+
+pub mod machine;
+pub mod proc;
+
+pub use machine::{simulate, simulate_with_processors, MsgSimResult};

@@ -1,0 +1,693 @@
+//! The discrete-event machine: levels, inboxes, ticks, zone
+//! multiplexing, the pre-emption rule, and the recovery mechanisms the
+//! paper's prose leaves implicit (see DESIGN.md §4a).
+
+use crate::proc::{Frame, Msg, PTask, STask, UNEXPANDED};
+use gt_tree::{LazyTree, NodeId, NodeKind, TreeSource};
+
+/// Result of a message-passing simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgSimResult {
+    /// Root value.
+    pub value: i64,
+    /// Ticks until the root value was determined (the implementation's
+    /// running time; unit-time messages, one unit action per processor
+    /// per tick).
+    pub ticks: u64,
+    /// Unit work actions performed (node expansions + stack-walk steps).
+    pub work_actions: u64,
+    /// Distinct nodes expanded (knowledge gained; re-searches of a
+    /// subtree do not re-expand).
+    pub unique_expansions: u64,
+    /// Messages sent, indexed by [`Msg::kind_index`]:
+    /// `[S-SOLVE*, P-SOLVE*, P-SOLVE**, P-SOLVE***, val]`.
+    pub messages: [u64; 5],
+    /// Number of physical processors used.
+    pub processors: u32,
+    /// Unit work actions per *level* (the logical processors): exposes
+    /// the load balance of the one-processor-per-level design.
+    pub level_work: Vec<u64>,
+}
+
+impl MsgSimResult {
+    /// Total messages of all types.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().sum()
+    }
+
+    /// Load imbalance of the per-level work distribution: busiest level
+    /// divided by the mean (1.0 = perfectly balanced).
+    pub fn level_imbalance(&self) -> f64 {
+        let n = self.level_work.len().max(1) as f64;
+        let total: u64 = self.level_work.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = *self.level_work.iter().max().unwrap() as f64;
+        max / (total as f64 / n)
+    }
+}
+
+/// Per-level logical state (one "virtual processor" per tree level).
+struct Level {
+    s_task: Option<STask>,
+    p_task: Option<PTask>,
+    /// A P-family invocation that arrived while a case-two stack walk
+    /// was in progress.  The walk's own continuation (`Resume(v, ..)`
+    /// sent to this very level) must not pre-empt the walk, so it parks
+    /// here and is installed when the walk completes.  Most recent wins,
+    /// per the pre-emption rule.
+    pending_p: Option<PTask>,
+    /// Ticks this level's coordinator has been waiting on a child whose
+    /// lineage may have been pre-empted; drives the watchdog re-issue.
+    stuck_ticks: u32,
+    inbox: Vec<Msg>,
+}
+
+impl Level {
+    fn new() -> Self {
+        Level {
+            s_task: None,
+            p_task: None,
+            pending_p: None,
+            stuck_ticks: 0,
+            inbox: Vec::new(),
+        }
+    }
+
+    /// Install a new P-family invocation, honouring an in-flight
+    /// traversal.
+    fn install_p(&mut self, task: PTask) {
+        if matches!(self.p_task, Some(PTask::Traverse { .. })) {
+            self.pending_p = Some(task);
+        } else {
+            self.p_task = Some(task);
+        }
+    }
+
+    fn has_work(&self) -> bool {
+        matches!(
+            self.p_task,
+            Some(PTask::Expand { .. }) | Some(PTask::Traverse { .. })
+        ) || self.s_task.is_some()
+    }
+}
+
+/// The machine: a lazily materialized tree plus one logical processor
+/// per level, multiplexed onto `processors` physical processors in
+/// zones of consecutive levels.
+struct Machine<S: TreeSource> {
+    tree: LazyTree<S>,
+    levels: Vec<Level>,
+    /// Messages in flight, delivered at the start of the next tick:
+    /// `(destination level, message)`.
+    in_flight: Vec<(u32, Msg)>,
+    processors: u32,
+    /// Round-robin pointers, one per physical processor.
+    rr: Vec<u32>,
+    /// Values delivered by `val(u)=b` messages.  A `val(u)` message is
+    /// always addressed to level `d(u)−1`, which is exactly where any
+    /// coordinator of `u`'s parent lives, so this memo is precisely "the
+    /// processor remembers the val messages it received" — it lets a
+    /// coordinator installed *after* the message arrived (e.g. behind a
+    /// case-two stack walk) still see it.
+    val_memo: Vec<Option<bool>>,
+    msg_counts: [u64; 5],
+    work_actions: u64,
+    level_work: Vec<u64>,
+    root_value: Option<bool>,
+}
+
+impl<S: TreeSource> Machine<S> {
+    fn new(source: S, processors: u32) -> Self {
+        assert!(processors >= 1);
+        Machine {
+            tree: LazyTree::new(source),
+            levels: Vec::new(),
+            in_flight: vec![(0, Msg::PSolve(0))],
+            processors,
+            rr: vec![0; processors as usize],
+            val_memo: Vec::new(),
+            msg_counts: [0; 5],
+            work_actions: 0,
+            level_work: Vec::new(),
+            root_value: None,
+        }
+    }
+
+    fn level_mut(&mut self, d: u32) -> &mut Level {
+        while self.levels.len() <= d as usize {
+            self.levels.push(Level::new());
+        }
+        &mut self.levels[d as usize]
+    }
+
+    fn send(&mut self, dest_level: i64, msg: Msg) {
+        self.msg_counts[msg.kind_index()] += 1;
+        if dest_level < 0 {
+            // val(root) reaches the (virtual) host: the run is over.
+            if let Msg::Val(v, b) = msg {
+                debug_assert_eq!(v, 0);
+                self.root_value = Some(b);
+            }
+            return;
+        }
+        self.in_flight.push((dest_level as u32, msg));
+    }
+
+    /// Deliver messages sent last tick and apply the pre-emption rule.
+    fn deliver(&mut self) {
+        let batch = std::mem::take(&mut self.in_flight);
+        for (d, msg) in batch {
+            self.level_mut(d).inbox.push(msg);
+        }
+        for d in 0..self.levels.len() {
+            let inbox = std::mem::take(&mut self.levels[d].inbox);
+            for msg in inbox {
+                self.receive(d as u32, msg);
+            }
+        }
+    }
+
+    fn receive(&mut self, d: u32, msg: Msg) {
+        // Memo cut-off: a request to (re-)solve a node whose value the
+        // machine has already reported is answered immediately.  This
+        // makes the watchdog re-issues converge instead of re-searching
+        // solved subtrees.
+        match msg {
+            Msg::SSolve(v) | Msg::PSolve(v) | Msg::Resume(v, _) => {
+                if let Some(b) = self.memo(v) {
+                    self.send(d as i64 - 1, Msg::Val(v, b));
+                    return;
+                }
+            }
+            Msg::Val(_, _) => {}
+        }
+        match msg {
+            Msg::SSolve(v) => {
+                // Pre-emption: the most recent S-SOLVE* invocation wins.
+                self.level_mut(d).s_task = Some(STask::new(v));
+            }
+            Msg::PSolve(v) => {
+                // Case two: P-SOLVE*(v) while S-SOLVE*(v) is in progress
+                // — capture the stack path and walk it.
+                let has_matching_stask = self.levels[d as usize]
+                    .s_task
+                    .as_ref()
+                    .is_some_and(|t| t.root == v);
+                if has_matching_stask {
+                    let t = self.level_mut(d).s_task.take().unwrap();
+                    // A traversal is itself the most recent invocation:
+                    // it replaces whatever P-task was active.
+                    let lvl = self.level_mut(d);
+                    lvl.p_task = Some(PTask::Traverse {
+                        frames: t.stack,
+                        idx: 0,
+                    });
+                    lvl.pending_p = None;
+                } else {
+                    // Case one.
+                    self.level_mut(d).install_p(PTask::Expand { v });
+                }
+            }
+            Msg::Resume(v, k) => {
+                // Children 0..k of v are known 0; child k is covered by
+                // the walk's deeper promotions; the walk also restarts
+                // the look-ahead on child k+1 (recorded here so the
+                // coordinator doesn't re-send it).
+                let arity = if self.tree.is_expanded(v) && !self.tree.is_leaf(v) {
+                    self.tree.arity(v)
+                } else {
+                    0
+                };
+                let promoted_s = (k + 1 < arity).then_some(k + 1);
+                self.level_mut(d).install_p(PTask::Coordinate {
+                    v,
+                    zeros: k,
+                    promoted_p: Some(k),
+                    promoted_s,
+                });
+                self.refresh_coordinator(d);
+            }
+            Msg::Val(u, b) => {
+                if self.val_memo.len() <= u as usize {
+                    self.val_memo.resize(u as usize + 1, None);
+                }
+                self.val_memo[u as usize] = Some(b);
+                self.refresh_coordinator(d);
+            }
+        }
+    }
+
+    fn memo(&self, u: NodeId) -> Option<bool> {
+        self.val_memo.get(u as usize).copied().flatten()
+    }
+
+    /// Is there a live invocation (or one in flight) responsible for
+    /// reporting `val(node)` from level `d`?
+    fn lineage_on(&self, d: u32, node: NodeId) -> bool {
+        if self
+            .in_flight
+            .iter()
+            .any(|&(dest, m)| dest == d && message_covers(m, node))
+        {
+            return true;
+        }
+        let Some(lvl) = self.levels.get(d as usize) else {
+            return false;
+        };
+        if lvl.inbox.iter().any(|&m| message_covers(m, node)) {
+            return true;
+        }
+        let p_covers = |p: &PTask| match p {
+            PTask::Expand { v } => *v == node,
+            PTask::Coordinate { v, .. } => *v == node,
+            PTask::Traverse { frames, .. } => frames.first().is_some_and(|f| f.node == node),
+        };
+        lvl.p_task.as_ref().is_some_and(p_covers)
+            || lvl.pending_p.as_ref().is_some_and(p_covers)
+            || lvl.s_task.as_ref().is_some_and(|t| t.root == node)
+    }
+
+    /// Advance the coordinator at level `d` with everything the memo
+    /// knows: finish `v` when decided, otherwise (re-)dispatch the
+    /// parallel search of the leftmost unknown child and the sequential
+    /// look-ahead on its successor — the width-1 cascade.
+    fn refresh_coordinator(&mut self, d: u32) {
+        let Some(PTask::Coordinate { v, .. }) = &self.levels[d as usize].p_task else {
+            return; // no active coordinator (stale value, or parked walk)
+        };
+        let v = *v;
+        if !self.tree.is_expanded(v) || self.tree.is_leaf(v) {
+            return;
+        }
+        let arity = self.tree.arity(v);
+        // Advance `zeros` over children with memoized values.
+        let mut outcome: Option<bool> = None;
+        {
+            let mut z = match &self.levels[d as usize].p_task {
+                Some(PTask::Coordinate { zeros, .. }) => *zeros,
+                _ => unreachable!(),
+            };
+            loop {
+                if z == arity {
+                    outcome = Some(true); // all children 0 ⇒ NOR(v) = 1
+                    break;
+                }
+                match self.memo(self.tree.child(v, z)) {
+                    Some(true) => {
+                        outcome = Some(false); // a 1-child ⇒ NOR(v) = 0
+                        break;
+                    }
+                    Some(false) => z += 1,
+                    None => break,
+                }
+            }
+            if let Some(PTask::Coordinate { zeros, .. }) =
+                &mut self.levels[d as usize].p_task
+            {
+                *zeros = z;
+            }
+        }
+        if let Some(val) = outcome {
+            self.levels[d as usize].p_task = None;
+            self.send(d as i64 - 1, Msg::Val(v, val));
+            return;
+        }
+        // Unfinished: make sure the cascade below is running.
+        let (zeros, promoted_p, promoted_s) = match &self.levels[d as usize].p_task {
+            Some(PTask::Coordinate {
+                zeros,
+                promoted_p,
+                promoted_s,
+                ..
+            }) => (*zeros, *promoted_p, *promoted_s),
+            _ => unreachable!(),
+        };
+        let mut sends = Vec::new();
+        if promoted_p.is_none_or(|p| p < zeros) {
+            sends.push(Msg::PSolve(self.tree.child(v, zeros)));
+            if let Some(PTask::Coordinate { promoted_p, .. }) =
+                &mut self.levels[d as usize].p_task
+            {
+                *promoted_p = Some(zeros);
+            }
+        }
+        if zeros + 1 < arity && promoted_s.is_none_or(|s| s < zeros + 1) {
+            sends.push(Msg::SSolve(self.tree.child(v, zeros + 1)));
+            if let Some(PTask::Coordinate { promoted_s, .. }) =
+                &mut self.levels[d as usize].p_task
+            {
+                *promoted_s = Some(zeros + 1);
+            }
+        }
+        for m in sends {
+            self.send(d as i64 + 1, m);
+        }
+    }
+
+    /// Watchdog: the pre-emption rule can orphan a subtree when two
+    /// coordinator lineages transiently collide on one level's single
+    /// P-slot (the paper's "all other invocations automatically become
+    /// terminated" — without a re-issue, the parent would wait forever).
+    /// A coordinator that has been waiting on a child with no live
+    /// lineage re-sends the request; the memo cut-off in `receive`
+    /// makes re-issues of already-solved subtrees answer instantly.
+    fn watchdog(&mut self) {
+        const PATIENCE: u32 = 8;
+        for d in 0..self.levels.len() {
+            let Some(PTask::Coordinate { v, zeros, .. }) = self.levels[d].p_task else {
+                self.levels[d].stuck_ticks = 0;
+                continue;
+            };
+            if !self.tree.is_expanded(v) || self.tree.is_leaf(v) {
+                continue;
+            }
+            let arity = self.tree.arity(v);
+            if zeros >= arity {
+                continue; // refresh will close it out
+            }
+            let pending = self.tree.child(v, zeros);
+            if self.lineage_on(d as u32 + 1, pending) {
+                self.levels[d].stuck_ticks = 0;
+                continue;
+            }
+            self.levels[d].stuck_ticks += 1;
+            if self.levels[d].stuck_ticks >= PATIENCE {
+                self.levels[d].stuck_ticks = 0;
+                self.send(d as i64 + 1, Msg::PSolve(pending));
+            }
+        }
+    }
+
+    /// One unit action for the logical processor at level `d`, if it has
+    /// any work.  Returns true if an action was performed.
+    fn work(&mut self, d: u32) -> bool {
+        if d as usize >= self.levels.len() {
+            return false;
+        }
+        // Priority: coordinator work (expand / stack walk), then the
+        // sequential look-ahead search.
+        match self.levels[d as usize].p_task.take() {
+            Some(PTask::Expand { v }) => {
+                self.work_actions += 1;
+                match self.tree.expand(v) {
+                    NodeKind::Leaf(val) => {
+                        self.send(d as i64 - 1, Msg::Val(v, val != 0));
+                        // p_task stays None: this invocation halts.
+                    }
+                    NodeKind::Internal(_) => {
+                        self.levels[d as usize].p_task = Some(PTask::Coordinate {
+                            v,
+                            zeros: 0,
+                            promoted_p: None,
+                            promoted_s: None,
+                        });
+                        // The refresh dispatches P-SOLVE*(first child)
+                        // and S-SOLVE*(second child), the paper's case
+                        // one.
+                        self.refresh_coordinator(d);
+                    }
+                }
+                true
+            }
+            Some(PTask::Traverse { frames, idx }) => {
+                self.work_actions += 1;
+                let f: Frame = frames[idx];
+                let u = f.node;
+                let du = self.tree.depth(u) as i64;
+                if f.state == UNEXPANDED {
+                    // Terminal node of the path.
+                    self.send(du, Msg::PSolve(u));
+                } else {
+                    // Child f.state is on the path: u resumes as a
+                    // coordinator and the look-ahead restarts on the
+                    // next sibling.
+                    self.send(du, Msg::Resume(u, f.state));
+                    if f.state + 1 < self.tree.arity(u) {
+                        let next = self.tree.child(u, f.state + 1);
+                        self.send(du + 1, Msg::SSolve(next));
+                    }
+                }
+                let next = idx + 1;
+                if next < frames.len() {
+                    self.levels[d as usize].p_task = Some(PTask::Traverse { frames, idx: next });
+                } else {
+                    // Walk complete: install the invocation that arrived
+                    // during the walk (typically our own Resume(v, ..)).
+                    self.levels[d as usize].p_task = self.levels[d as usize].pending_p.take();
+                    self.refresh_coordinator(d);
+                }
+                true
+            }
+            Some(coord @ PTask::Coordinate { .. }) => {
+                // Coordinators wait for messages; no unit work.  Put it
+                // back and fall through to the S-task.
+                self.levels[d as usize].p_task = Some(coord);
+                self.s_work(d)
+            }
+            None => self.s_work(d),
+        }
+    }
+
+    fn s_work(&mut self, d: u32) -> bool {
+        let Some(task) = &mut self.levels[d as usize].s_task else {
+            return false;
+        };
+        self.work_actions += 1;
+        let root = task.root;
+        if let Some(b) = task.step(&mut self.tree) {
+            self.levels[d as usize].s_task = None;
+            self.send(d as i64 - 1, Msg::Val(root, b));
+        }
+        true
+    }
+
+    /// Run to completion; `max_ticks` is a safety valve against
+    /// implementation bugs.
+    fn run(&mut self, max_ticks: u64) -> MsgSimResult {
+        let mut ticks = 0u64;
+        while self.root_value.is_none() {
+            assert!(ticks < max_ticks, "message-passing machine did not converge");
+            // Fail fast on a hard deadlock: nothing in flight, nothing
+            // runnable, no coordinator left to watchdog, root unknown ⇒
+            // the machine can never progress.
+            if ticks > 0 {
+                let quiescent = self.in_flight.is_empty()
+                    && self.levels.iter().all(|l| {
+                        !l.has_work() && !matches!(l.p_task, Some(PTask::Coordinate { .. }))
+                    });
+                assert!(!quiescent, "message-passing machine deadlocked at tick {ticks}");
+            }
+            ticks += 1;
+            self.deliver();
+            self.watchdog();
+            if self.root_value.is_some() {
+                break;
+            }
+            // Each physical processor performs one unit action on one of
+            // its levels (zones of `processors` consecutive levels,
+            // round-robin within the zone set).
+            let nlevels = self.levels.len() as u32;
+            for proc in 0..self.processors.min(nlevels.max(1)) {
+                // Levels proc, proc+p, proc+2p, ... — scan from the
+                // round-robin pointer.
+                let mut zones: Vec<u32> =
+                    (proc..nlevels).step_by(self.processors as usize).collect();
+                if zones.is_empty() {
+                    continue;
+                }
+                let start = (self.rr[proc as usize] as usize) % zones.len();
+                zones.rotate_left(start);
+                for (off, d) in zones.iter().enumerate() {
+                    if self.levels[*d as usize].has_work() && self.work(*d) {
+                        if self.level_work.len() <= *d as usize {
+                            self.level_work.resize(*d as usize + 1, 0);
+                        }
+                        self.level_work[*d as usize] += 1;
+                        self.rr[proc as usize] = ((start + off + 1) % zones.len()) as u32;
+                        break;
+                    }
+                }
+            }
+        }
+        MsgSimResult {
+            value: i64::from(self.root_value.unwrap()),
+            ticks,
+            work_actions: self.work_actions,
+            unique_expansions: self.tree.expansions(),
+            messages: self.msg_counts,
+            processors: self.processors,
+            level_work: std::mem::take(&mut self.level_work),
+        }
+    }
+}
+
+/// Does delivering `m` (re-)create an invocation that will eventually
+/// report `val(node)`?
+fn message_covers(m: Msg, node: NodeId) -> bool {
+    match m {
+        Msg::SSolve(v) | Msg::PSolve(v) | Msg::Resume(v, _) => v == node,
+        Msg::Val(v, _) => v == node,
+    }
+}
+
+/// Simulate Section 7's machine with one processor per level (the
+/// paper's primary configuration).
+///
+/// ```
+/// use gt_msgsim::simulate;
+/// use gt_tree::gen::UniformSource;
+///
+/// let tree = UniformSource::nor_worst_case(2, 8);
+/// let result = simulate(&tree);
+/// assert_eq!(result.value, 1);
+/// assert!(result.ticks > 0 && result.total_messages() > 0);
+/// ```
+pub fn simulate<S: TreeSource>(source: S) -> MsgSimResult {
+    let hint = source.height_hint().unwrap_or(64);
+    simulate_with_processors(source, hint + 1)
+}
+
+/// Simulate with a fixed number `p ≥ 1` of physical processors using
+/// zone multiplexing (the paper's closing remark of Section 7).
+pub fn simulate_with_processors<S: TreeSource>(source: S, p: u32) -> MsgSimResult {
+    Machine::new(source, p).run(1_u64 << 34)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_tree::gen::UniformSource;
+    use gt_tree::minimax::{nor_value, seq_solve};
+    use gt_tree::ExplicitTree;
+
+    #[test]
+    fn single_leaf_root() {
+        let r = simulate(ExplicitTree::leaf(1));
+        assert_eq!(r.value, 1);
+        assert!(r.ticks <= 3);
+        assert_eq!(r.unique_expansions, 1);
+    }
+
+    #[test]
+    fn two_leaf_tree() {
+        for (a, b) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            let t = ExplicitTree::internal(vec![ExplicitTree::leaf(a), ExplicitTree::leaf(b)]);
+            let r = simulate(&t);
+            assert_eq!(r.value, nor_value(&t), "leaves {a},{b}");
+        }
+    }
+
+    #[test]
+    fn correct_on_random_uniform_trees() {
+        for seed in 0..20 {
+            for n in [3u32, 5, 8] {
+                let s = UniformSource::nor_iid(2, n, 0.5, seed);
+                let r = simulate(&s);
+                assert_eq!(r.value, nor_value(&s), "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn correct_on_ternary_and_quaternary_trees() {
+        // The d-ary generalization (the paper's binary restriction was
+        // expository only).
+        for seed in 0..12 {
+            for (d, n) in [(3u32, 5u32), (4, 4)] {
+                let s = UniformSource::nor_iid(d, n, 0.4, seed);
+                let r = simulate(&s);
+                assert_eq!(r.value, nor_value(&s), "d={d} n={n} seed={seed}");
+                let r = simulate_with_processors(&s, 3);
+                assert_eq!(r.value, nor_value(&s), "p=3 d={d} n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn correct_on_worst_case_trees() {
+        for n in [4u32, 8, 10] {
+            let s = UniformSource::nor_worst_case(2, n);
+            let r = simulate(&s);
+            assert_eq!(r.value, 1, "n={n}");
+        }
+        let s = UniformSource::nor_worst_case(3, 6);
+        assert_eq!(simulate(&s).value, 1);
+    }
+
+    #[test]
+    fn correct_with_few_processors() {
+        for p in [1u32, 2, 3, 5] {
+            for seed in 0..8 {
+                let s = UniformSource::nor_iid(2, 7, 0.5, seed);
+                let r = simulate_with_processors(&s, p);
+                assert_eq!(r.value, nor_value(&s), "p={p} seed={seed}");
+                assert_eq!(r.processors, p);
+            }
+        }
+    }
+
+    #[test]
+    fn speedup_over_sequential_on_worst_case() {
+        // On the worst-case tree the sequential machine expands every
+        // node; the parallel machine must finish in noticeably fewer
+        // ticks.
+        let n = 12u32;
+        let s = UniformSource::nor_worst_case(2, n);
+        let seq = seq_solve(&s, false).nodes_expanded;
+        let r = simulate(&s);
+        assert_eq!(r.value, 1);
+        let speedup = seq as f64 / r.ticks as f64;
+        assert!(
+            speedup > 2.0,
+            "expected real speedup, got {speedup:.2} ({seq} / {})",
+            r.ticks
+        );
+    }
+
+    #[test]
+    fn single_processor_is_roughly_sequential() {
+        // p = 1 serializes everything; ticks should be within a modest
+        // factor of the sequential expansion count (messaging and
+        // speculative look-ahead add overhead).
+        let s = UniformSource::nor_worst_case(2, 8);
+        let seq = seq_solve(&s, false).nodes_expanded;
+        let r = simulate_with_processors(&s, 1);
+        assert_eq!(r.value, 1);
+        assert!(
+            r.ticks >= seq,
+            "one processor cannot beat sequential: {} < {seq}",
+            r.ticks
+        );
+    }
+
+    #[test]
+    fn message_counts_are_populated() {
+        let s = UniformSource::nor_iid(2, 6, 0.5, 3);
+        let r = simulate(&s);
+        assert!(r.total_messages() > 0);
+        // At least one P-SOLVE* (the kick-off) and one val (the answer).
+        assert!(r.messages[1] >= 1);
+        assert!(r.messages[4] >= 1);
+    }
+
+    #[test]
+    fn level_work_accounts_for_all_actions() {
+        let s = UniformSource::nor_worst_case(2, 10);
+        let r = simulate(&s);
+        let sum: u64 = r.level_work.iter().sum();
+        assert_eq!(sum, r.work_actions);
+        assert!(r.level_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn more_processors_never_hurt_much() {
+        let s = UniformSource::nor_worst_case(2, 10);
+        let r_full = simulate(&s);
+        let r_half = simulate_with_processors(&s, 5);
+        // Zone multiplexing with fewer processors takes at least as long.
+        assert!(r_half.ticks >= r_full.ticks);
+        assert_eq!(r_half.value, r_full.value);
+    }
+}

@@ -1,0 +1,269 @@
+//! Per-level processor state: the S-SOLVE* stack machine and the
+//! P-SOLVE*-family coordinator.
+//!
+//! The paper presents the implementation for binary trees "for
+//! convenience in exposition"; this module implements the natural
+//! `d`-ary generalization.  The binary message types map onto ours as:
+//!
+//! | paper (binary) | here (d-ary) |
+//! |---|---|
+//! | `S-SOLVE*(v)` | [`Msg::SSolve`] |
+//! | `P-SOLVE*(v)` | [`Msg::PSolve`] |
+//! | `P-SOLVE**(v)` (left child pending) | [`Msg::Resume`] with `k = 0` |
+//! | `P-SOLVE***(v)` (left child known 0) | [`Msg::Resume`] with `k ≥ 1` |
+//! | `val(v) = b` | [`Msg::Val`] |
+//!
+//! `Resume(v, k)` means: node `v` is expanded, its children `0..k` are
+//! known to be 0, and child `k` is being evaluated by the lineage below
+//! (it lies on the captured stack path).
+
+use gt_tree::{LazyTree, NodeId, NodeKind, TreeSource};
+
+/// Frame state: the child index currently being searched, or
+/// "unexpanded".
+pub const UNEXPANDED: u32 = u32::MAX;
+
+/// The message alphabet of Section 7 (d-ary generalization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    /// Begin (or pre-empt with) a sequential search of the subtree at `v`.
+    SSolve(NodeId),
+    /// Begin coordinating the width-1 parallel evaluation of `v`.
+    PSolve(NodeId),
+    /// `v` is already expanded; children `0..k` are 0; child `k` is on
+    /// the captured path (the paper's `P-SOLVE**`/`P-SOLVE***`).
+    Resume(NodeId, u32),
+    /// `val(v) = b`, sent from processor `d(v)` to `d(v) − 1`.
+    Val(NodeId, bool),
+}
+
+impl Msg {
+    /// Index used by the per-type message counters, matching the
+    /// paper's six types: `[S-SOLVE*, P-SOLVE*, P-SOLVE**, P-SOLVE***,
+    /// val]`.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Msg::SSolve(_) => 0,
+            Msg::PSolve(_) => 1,
+            Msg::Resume(_, 0) => 2,
+            Msg::Resume(_, _) => 3,
+            Msg::Val(_, _) => 4,
+        }
+    }
+}
+
+/// One frame of the S-SOLVE* stack: a node plus how far its evaluation
+/// has progressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// The node this frame evaluates.
+    pub node: NodeId,
+    /// [`UNEXPANDED`], or the index of the child currently searched
+    /// (all earlier children returned 0).
+    pub state: u32,
+}
+
+/// The non-recursive sequential search (program `S-SOLVE*`, Section 7:
+/// "a depth-first search ... a pushdown stack is used to control the
+/// search; at each step the stack contains a description of the path
+/// from v to the node currently being expanded").
+#[derive(Debug, Clone)]
+pub struct STask {
+    /// Root of the subtree being searched.
+    pub root: NodeId,
+    /// Path from `root` to the current node, with per-node progress.
+    pub stack: Vec<Frame>,
+    /// Value returned by the child most recently completed (bookkeeping
+    /// register; always consumed within a tick).
+    ret: Option<bool>,
+}
+
+impl STask {
+    /// Start a search of the subtree rooted at `v`.
+    pub fn new(v: NodeId) -> Self {
+        STask {
+            root: v,
+            stack: vec![Frame {
+                node: v,
+                state: UNEXPANDED,
+            }],
+            ret: None,
+        }
+    }
+
+    /// Perform one unit of work: a single node expansion, followed by
+    /// free bookkeeping (folding completed values into parent frames).
+    /// Returns `Some(value)` when the search of `root` completes.
+    ///
+    /// Invariant: at every tick boundary the top frame is
+    /// [`UNEXPANDED`] — it names the node the search is about to
+    /// expand, matching the paper's stack description.
+    pub fn step<S: TreeSource>(&mut self, tree: &mut LazyTree<S>) -> Option<bool> {
+        debug_assert!(self.ret.is_none());
+        let top = *self.stack.last().expect("live task has a frame");
+        debug_assert_eq!(top.state, UNEXPANDED);
+        match tree.expand(top.node) {
+            NodeKind::Internal(_) => {
+                let first = tree.child(top.node, 0);
+                self.stack.last_mut().unwrap().state = 0;
+                self.stack.push(Frame {
+                    node: first,
+                    state: UNEXPANDED,
+                });
+                None
+            }
+            NodeKind::Leaf(v) => {
+                self.stack.pop();
+                self.ret = Some(v != 0);
+                // Free bookkeeping: fold the value into enclosing frames
+                // until a new unexpanded frame is pushed or the root
+                // closes.
+                while let Some(b) = self.ret.take() {
+                    match self.stack.last_mut() {
+                        None => return Some(b),
+                        Some(f) => {
+                            let k = f.state;
+                            debug_assert_ne!(k, UNEXPANDED);
+                            if b {
+                                // A 1-child determines the NOR node as 0.
+                                self.stack.pop();
+                                self.ret = Some(false);
+                            } else if k + 1 == tree.arity(f.node) {
+                                // All children 0: the NOR node is 1.
+                                self.stack.pop();
+                                self.ret = Some(true);
+                            } else {
+                                f.state = k + 1;
+                                let next = tree.child(f.node, k + 1);
+                                self.stack.push(Frame {
+                                    node: next,
+                                    state: UNEXPANDED,
+                                });
+                            }
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+/// The P-SOLVE*-family coordinator state for one node.
+#[derive(Debug, Clone)]
+pub enum PTask {
+    /// Waiting to expand `v` (case one of `P-SOLVE*`).
+    Expand {
+        /// The node to coordinate.
+        v: NodeId,
+    },
+    /// Coordinating `v`'s children (covers `P-SOLVE*` after expansion
+    /// and `Resume` in all its forms).
+    Coordinate {
+        /// The coordinated node.
+        v: NodeId,
+        /// Children `0..zeros` are known to be 0.
+        zeros: u32,
+        /// Child index with an outstanding parallel (`P-SOLVE*`)
+        /// lineage, if any.
+        promoted_p: Option<u32>,
+        /// Highest child index with a sequential look-ahead
+        /// (`S-SOLVE*`) dispatched, if any.
+        promoted_s: Option<u32>,
+    },
+    /// Case two of `P-SOLVE*`: walking the captured stack path top-down,
+    /// one node per tick, promoting path nodes to coordinators.
+    Traverse {
+        /// Path frames captured from the pre-empted `S-SOLVE*`.
+        frames: Vec<Frame>,
+        /// Next frame to process.
+        idx: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_tree::gen::UniformSource;
+    use gt_tree::minimax::nor_value;
+    use gt_tree::ExplicitTree;
+
+    fn run_stask<S: TreeSource>(src: S) -> (bool, u64) {
+        let mut tree = LazyTree::new(src);
+        let mut t = STask::new(tree.root());
+        let mut ticks = 0u64;
+        loop {
+            ticks += 1;
+            if let Some(b) = t.step(&mut tree) {
+                return (b, ticks);
+            }
+            assert!(ticks < 1_000_000, "runaway S-SOLVE*");
+        }
+    }
+
+    #[test]
+    fn stask_single_leaf() {
+        let (b, ticks) = run_stask(ExplicitTree::leaf(1));
+        assert!(b);
+        assert_eq!(ticks, 1);
+    }
+
+    #[test]
+    fn stask_matches_recursive_reference_binary() {
+        for seed in 0..20 {
+            let s = UniformSource::nor_iid(2, 8, 0.5, seed);
+            let (b, ticks) = run_stask(&s);
+            assert_eq!(i64::from(b), nor_value(&s), "seed {seed}");
+            let re = gt_tree::minimax::seq_solve(&s, false);
+            assert_eq!(ticks, re.nodes_expanded, "ticks = expansions, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stask_matches_recursive_reference_ternary() {
+        for seed in 0..20 {
+            let s = UniformSource::nor_iid(3, 5, 0.4, seed);
+            let (b, ticks) = run_stask(&s);
+            assert_eq!(i64::from(b), nor_value(&s), "seed {seed}");
+            let re = gt_tree::minimax::seq_solve(&s, false);
+            assert_eq!(ticks, re.nodes_expanded, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stask_handles_mixed_arities() {
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::leaf(0),
+            ExplicitTree::internal(vec![
+                ExplicitTree::leaf(0),
+                ExplicitTree::leaf(0),
+                ExplicitTree::leaf(0),
+            ]),
+            ExplicitTree::leaf(1),
+        ]);
+        let (b, _) = run_stask(&t);
+        assert_eq!(i64::from(b), nor_value(&t));
+    }
+
+    #[test]
+    fn stask_early_exit_on_one() {
+        // Root's left child is a leaf 1 → done after 2 expansions.
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::leaf(1),
+            ExplicitTree::internal(vec![ExplicitTree::leaf(0), ExplicitTree::leaf(0)]),
+        ]);
+        let (b, ticks) = run_stask(t);
+        assert!(!b);
+        assert_eq!(ticks, 2);
+    }
+
+    #[test]
+    fn msg_kind_indices_match_the_papers_types() {
+        assert_eq!(Msg::SSolve(0).kind_index(), 0);
+        assert_eq!(Msg::PSolve(0).kind_index(), 1);
+        assert_eq!(Msg::Resume(0, 0).kind_index(), 2); // P-SOLVE**
+        assert_eq!(Msg::Resume(0, 1).kind_index(), 3); // P-SOLVE***
+        assert_eq!(Msg::Resume(0, 5).kind_index(), 3);
+        assert_eq!(Msg::Val(0, true).kind_index(), 4);
+    }
+}

@@ -1,0 +1,99 @@
+//! Stress tests for the Section 7 machine: correctness and termination
+//! across tree families, heights and processor budgets — including the
+//! zone-multiplexed configurations that historically exposed lineage
+//! collisions on a level's single P-slot.
+
+use gt_msgsim::{simulate, simulate_with_processors};
+use gt_tree::gen::{critical_bias, UniformSource};
+use gt_tree::minimax::nor_value;
+use gt_tree::TreeSource;
+
+fn check_all_processor_budgets<S: TreeSource>(src: &S, n: u32, label: &str) {
+    let truth = nor_value(src);
+    let full = simulate(src);
+    assert_eq!(full.value, truth, "{label}: full machine wrong");
+    for p in [1u32, 2, 3, 4, 5, 7, n + 1] {
+        let r = simulate_with_processors(src, p);
+        assert_eq!(r.value, truth, "{label}: p={p} wrong");
+        assert!(r.ticks > 0);
+    }
+}
+
+#[test]
+fn worst_case_trees_all_budgets() {
+    for n in [4u32, 6, 8, 10, 12] {
+        let src = UniformSource::nor_worst_case(2, n);
+        check_all_processor_budgets(&src, n, &format!("worst n={n}"));
+    }
+}
+
+#[test]
+fn critical_iid_trees_all_budgets() {
+    for n in [6u32, 9, 12] {
+        for seed in 0..6 {
+            let src = UniformSource::nor_iid(2, n, critical_bias(2), seed);
+            check_all_processor_budgets(&src, n, &format!("crit n={n} seed={seed}"));
+        }
+    }
+}
+
+#[test]
+fn biased_trees_both_directions() {
+    // Heavily biased leaves exercise both the fast-death (many 1s) and
+    // full-evaluation (many 0s) regimes.
+    for p_leaf in [0.1f64, 0.9] {
+        for seed in 0..4 {
+            let src = UniformSource::nor_iid(2, 10, p_leaf, seed);
+            check_all_processor_budgets(&src, 10, &format!("p={p_leaf} seed={seed}"));
+        }
+    }
+}
+
+#[test]
+fn d_ary_trees_all_budgets() {
+    for (d, n) in [(3u32, 6u32), (4, 5), (5, 4)] {
+        let worst = UniformSource::nor_worst_case(d, n);
+        check_all_processor_budgets(&worst, n, &format!("worst d={d} n={n}"));
+        for seed in 0..4 {
+            let iid = UniformSource::nor_iid(d, n, critical_bias(d), seed);
+            check_all_processor_budgets(&iid, n, &format!("crit d={d} n={n} seed={seed}"));
+        }
+    }
+}
+
+#[test]
+fn large_worst_case_zone_multiplexing_terminates() {
+    // The historical deadlock configurations: big worst-case trees with
+    // small processor budgets.
+    for (n, p) in [(14u32, 2u32), (14, 3), (16, 8)] {
+        let src = UniformSource::nor_worst_case(2, n);
+        let r = simulate_with_processors(&src, p);
+        assert_eq!(r.value, 1, "n={n} p={p}");
+    }
+}
+
+#[test]
+fn ticks_shrink_with_more_processors_on_worst_case() {
+    let src = UniformSource::nor_worst_case(2, 12);
+    let t1 = simulate_with_processors(&src, 1).ticks;
+    let t4 = simulate_with_processors(&src, 4).ticks;
+    let tfull = simulate(&src).ticks;
+    assert!(t4 < t1, "4 processors not faster than 1: {t4} vs {t1}");
+    assert!(tfull <= t4, "full machine not fastest: {tfull} vs {t4}");
+}
+
+#[test]
+fn work_actions_bounded_by_constant_factor_of_sequential() {
+    // Pre-emptions re-search subtrees, but the memo cut-off keeps the
+    // duplication bounded in practice.
+    for n in [8u32, 10, 12] {
+        let src = UniformSource::nor_worst_case(2, n);
+        let seq = gt_tree::minimax::seq_solve(&src, false).nodes_expanded;
+        let r = simulate(&src);
+        assert!(
+            r.work_actions <= 6 * seq,
+            "n={n}: work {} vs sequential {seq}",
+            r.work_actions
+        );
+    }
+}

@@ -1,0 +1,634 @@
+//! MIN/MAX trees: the pruning process of Section 4, with Sequential α-β
+//! and Parallel α-β of width `w` as special cases, plus their
+//! node-expansion counterparts (Section 5 notes the conversion).
+//!
+//! The pruning process maintains a *pruned tree* `T̃` (we mark deleted
+//! subtrees rather than physically removing them).  A node is *finished*
+//! when every leaf of its subtree in `T̃` is evaluated; finished nodes
+//! have known values.  The α-bound of `v` is the largest value among
+//! finished siblings of MIN-ancestors of `v`; the β-bound is the
+//! smallest value among finished siblings of MAX-ancestors.  The pruning
+//! rule deletes any unfinished `v` with `α(v) ≥ β(v)`; Theorem 2 shows
+//! the root value of `T̃` is invariant under this rule.
+//!
+//! A general step is: evaluate a set of leaves (all unfinished leaves of
+//! `T̃` with pruning number ≤ width), then run pruning and propagation
+//! steps — which are free in the model — to a fixpoint.
+
+use crate::metrics::RunStats;
+use gt_tree::{LazyTree, NodeId, NodeKind, TreeSource, Value};
+
+/// Which cost model a run charges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// Leaf-evaluation model: work = leaves evaluated; expansion is free.
+    LeafEvaluation,
+    /// Node-expansion model: work = nodes expanded; expanding a leaf
+    /// evaluates it.
+    NodeExpansion,
+}
+
+/// A resumable simulation of the MIN/MAX pruning process.
+pub struct AlphaBetaSim<S: TreeSource> {
+    tree: LazyTree<S>,
+    finished: Vec<Option<Value>>,
+    deleted: Vec<bool>,
+    frontier: Vec<NodeId>,
+    model: Model,
+    /// When set, each step evaluates at most this many frontier entries
+    /// (those with the smallest pruning numbers, leftmost on ties).
+    processor_cap: Option<u32>,
+}
+
+impl<S: TreeSource> AlphaBetaSim<S> {
+    /// Set up a simulation in the given cost model.
+    pub fn new(source: S, model: Model) -> Self {
+        AlphaBetaSim {
+            tree: LazyTree::new(source),
+            finished: vec![None],
+            deleted: vec![false],
+            frontier: Vec::new(),
+            model,
+            processor_cap: None,
+        }
+    }
+
+    /// Limit every step to at most `p` evaluations (smallest pruning
+    /// numbers first) — the fixed-processor variant.
+    pub fn with_processor_cap(mut self, p: u32) -> Self {
+        assert!(p >= 1);
+        self.processor_cap = Some(p);
+        self
+    }
+
+    /// The materialized tree.
+    pub fn tree(&self) -> &LazyTree<S> {
+        &self.tree
+    }
+
+    /// Root value once the run has finished.
+    pub fn root_value(&self) -> Option<Value> {
+        self.finished[0]
+    }
+
+    fn sync_side_tables(&mut self) {
+        let n = self.tree.len();
+        if self.finished.len() < n {
+            self.finished.resize(n, None);
+            self.deleted.resize(n, false);
+        }
+    }
+
+    /// Expand for free (leaf-evaluation model only); structure only, so
+    /// leaf values stay un-fetched until the evaluation step.
+    fn ensure_expanded(&mut self, v: NodeId) {
+        debug_assert_eq!(self.model, Model::LeafEvaluation);
+        if !self.tree.is_expanded(v) {
+            self.tree.expand_shallow(v);
+            self.sync_side_tables();
+        }
+    }
+
+    /// Is `v` a MAX node?  The root (depth 0) is MAX; levels alternate.
+    #[inline]
+    pub fn is_max(&self, v: NodeId) -> bool {
+        self.tree.depth(v).is_multiple_of(2)
+    }
+
+    /// Collect the frontier: unfinished, undeleted leaves (leaf model) or
+    /// unexpanded nodes (expansion model) with pruning number ≤ budget.
+    /// The pruning number counts unfinished (and undeleted) left-siblings
+    /// of ancestors.  When `pns` is provided the *remaining budget* of
+    /// each frontier entry is recorded (pruning number = width − it).
+    fn collect(&mut self, v: NodeId, budget: i64, pns: &mut Option<Vec<u32>>) {
+        debug_assert!(budget >= 0);
+        match self.model {
+            Model::LeafEvaluation => {
+                self.ensure_expanded(v);
+                if self.tree.is_leaf(v) {
+                    self.frontier.push(v);
+                    if let Some(pns) = pns {
+                        pns.push(budget as u32);
+                    }
+                    return;
+                }
+            }
+            Model::NodeExpansion => {
+                if !self.tree.is_expanded(v) {
+                    self.frontier.push(v);
+                    if let Some(pns) = pns {
+                        pns.push(budget as u32);
+                    }
+                    return;
+                }
+                if self.tree.is_leaf(v) {
+                    // Expanded leaves are finished; the parent skips them.
+                    unreachable!("descended into a finished leaf");
+                }
+            }
+        }
+        let mut unf_seen: i64 = 0;
+        for i in 0..self.tree.arity(v) {
+            let u = self.tree.child(v, i);
+            if self.deleted[u as usize] || self.finished[u as usize].is_some() {
+                continue;
+            }
+            if unf_seen > budget {
+                break;
+            }
+            self.collect(u, budget - unf_seen, pns);
+            unf_seen += 1;
+        }
+    }
+
+    /// One propagation-and-pruning sweep over the live region; returns
+    /// whether anything changed.  Called repeatedly to a fixpoint — these
+    /// steps are free in the paper's models.
+    fn sweep(&mut self, v: NodeId, alpha: Value, beta: Value, maximizing: bool) -> bool {
+        if !self.tree.is_expanded(v) || self.tree.is_leaf(v) {
+            return false; // nothing known below an unexpanded node / raw leaf
+        }
+        let mut changed = false;
+        // Bound contributed by already-finished children.
+        let mut fb: Option<Value> = None;
+        let merge = |fb: &mut Option<Value>, x: Value| {
+            *fb = Some(match *fb {
+                None => x,
+                Some(y) if maximizing => y.max(x),
+                Some(y) => y.min(x),
+            });
+        };
+        for i in 0..self.tree.arity(v) {
+            let u = self.tree.child(v, i);
+            if self.deleted[u as usize] {
+                continue;
+            }
+            if let Some(val) = self.finished[u as usize] {
+                merge(&mut fb, val);
+            }
+        }
+        let mut any_unfinished = false;
+        for i in 0..self.tree.arity(v) {
+            let u = self.tree.child(v, i);
+            if self.deleted[u as usize] || self.finished[u as usize].is_some() {
+                continue;
+            }
+            let (ca, cb) = if maximizing {
+                (alpha.max(fb.unwrap_or(Value::MIN)), beta)
+            } else {
+                (alpha, beta.min(fb.unwrap_or(Value::MAX)))
+            };
+            if ca >= cb {
+                // Pruning rule: α(u) ≥ β(u).
+                self.deleted[u as usize] = true;
+                changed = true;
+                continue;
+            }
+            if self.sweep(u, ca, cb, !maximizing) {
+                changed = true;
+            }
+            if let Some(val) = self.finished[u as usize] {
+                merge(&mut fb, val);
+            } else {
+                any_unfinished = true;
+            }
+        }
+        if !any_unfinished {
+            // Every undeleted child is finished, so v is finished; a node
+            // can never lose *all* children (deletion needs a finished
+            // sibling's bound).
+            let val = fb.expect("finished node must retain a child");
+            self.finished[v as usize] = Some(val);
+            changed = true;
+        }
+        changed
+    }
+
+    fn fixpoint(&mut self) {
+        while self.finished[0].is_none() && self.sweep(0, Value::MIN, Value::MAX, true) {}
+    }
+
+    /// One basic step at the given width.  Returns the parallel degree,
+    /// or `None` when the root is finished.
+    pub fn step(&mut self, width: u32, stats: &mut RunStats) -> Option<u32> {
+        if self.finished[0].is_some() {
+            return None;
+        }
+        self.frontier.clear();
+        if let Some(p) = self.processor_cap {
+            let mut pns: Option<Vec<u32>> = Some(Vec::new());
+            self.collect(0, i64::from(width), &mut pns);
+            let remaining = pns.unwrap();
+            if self.frontier.len() as u32 > p {
+                let mut order: Vec<usize> = (0..self.frontier.len()).collect();
+                order.sort_by_key(|&i| (width - remaining[i], i));
+                order.truncate(p as usize);
+                order.sort_unstable();
+                self.frontier = order.iter().map(|&i| self.frontier[i]).collect();
+            }
+        } else {
+            self.collect(0, i64::from(width), &mut None);
+        }
+        debug_assert!(!self.frontier.is_empty(), "unfinished root, empty frontier");
+        let degree = self.frontier.len() as u32;
+        let nodes = std::mem::take(&mut self.frontier);
+        for &v in &nodes {
+            if let Some(tr) = &mut stats.trace {
+                tr.push(self.tree.path_of(v));
+            }
+            match self.model {
+                Model::LeafEvaluation => {
+                    let val = self.tree.evaluate_leaf(v);
+                    self.finished[v as usize] = Some(val);
+                }
+                Model::NodeExpansion => match self.tree.expand(v) {
+                    NodeKind::Leaf(val) => {
+                        self.sync_side_tables();
+                        self.finished[v as usize] = Some(val);
+                    }
+                    NodeKind::Internal(_) => self.sync_side_tables(),
+                },
+            }
+        }
+        self.frontier = nodes;
+        stats.record_step(degree);
+        self.fixpoint();
+        Some(degree)
+    }
+
+    /// Collect the next step's frontier *without evaluating it* (leaf
+    /// model only): each unfinished leaf (pruning number ≤ `width`) with
+    /// its path.  Empty when the root is finished.
+    pub fn frontier_paths(&mut self, width: u32) -> Vec<(NodeId, Vec<u32>)> {
+        assert_eq!(self.model, Model::LeafEvaluation);
+        if self.finished[0].is_some() {
+            return Vec::new();
+        }
+        self.frontier.clear();
+        self.collect(0, i64::from(width), &mut None);
+        let ids = std::mem::take(&mut self.frontier);
+        let out = ids
+            .iter()
+            .map(|&id| (id, self.tree.path_of(id)))
+            .collect();
+        self.frontier = ids;
+        out
+    }
+
+    /// Complete a step whose leaf values were computed externally, then
+    /// run pruning/propagation to a fixpoint.
+    pub fn apply_step(&mut self, values: &[(NodeId, Value)], stats: &mut RunStats) {
+        assert!(!values.is_empty(), "a step must evaluate at least one leaf");
+        for &(id, v) in values {
+            self.tree.set_leaf_value(id, v);
+            if let Some(tr) = &mut stats.trace {
+                tr.push(self.tree.path_of(id));
+            }
+            self.finished[id as usize] = Some(v);
+        }
+        stats.record_step(values.len() as u32);
+        self.fixpoint();
+        if let Some(v) = self.finished[0] {
+            stats.value = v;
+            stats.nodes_materialized = self.tree.len() as u64;
+        }
+    }
+
+    /// Diagnostic: the minimax value of the *current pruned tree* `T̃`
+    /// (deleted subtrees excluded, finished nodes at their values,
+    /// untouched regions evaluated from the source).  Theorem 2 says
+    /// this equals `val_T(r)` at every moment of the run; the test
+    /// suite checks it step by step.  `O(tree)` — diagnostics only.
+    pub fn pruned_tree_value(&self) -> Value {
+        fn minimax_from<S: TreeSource>(
+            s: &S,
+            path: &mut Vec<u32>,
+            maximizing: bool,
+        ) -> Value {
+            let d = s.arity(path);
+            if d == 0 {
+                return s.leaf_value(path);
+            }
+            let mut best = if maximizing { Value::MIN } else { Value::MAX };
+            for i in 0..d {
+                path.push(i);
+                let v = minimax_from(s, path, !maximizing);
+                path.pop();
+                best = if maximizing { best.max(v) } else { best.min(v) };
+            }
+            best
+        }
+        fn go<S: TreeSource>(sim: &AlphaBetaSim<S>, v: gt_tree::NodeId) -> Value {
+            if let Some(val) = sim.finished[v as usize] {
+                return val;
+            }
+            let maximizing = sim.is_max(v);
+            if !sim.tree.is_expanded(v) {
+                let mut path = sim.tree.path_of(v);
+                return minimax_from(sim.tree.source(), &mut path, maximizing);
+            }
+            if sim.tree.is_leaf(v) {
+                let path = sim.tree.path_of(v);
+                return sim.tree.source().leaf_value(&path);
+            }
+            let mut best = if maximizing { Value::MIN } else { Value::MAX };
+            let mut any = false;
+            for i in 0..sim.tree.arity(v) {
+                let u = sim.tree.child(v, i);
+                if sim.deleted[u as usize] {
+                    continue;
+                }
+                any = true;
+                let val = go(sim, u);
+                best = if maximizing { best.max(val) } else { best.min(val) };
+            }
+            debug_assert!(any, "pruning must never delete every child");
+            best
+        }
+        go(self, 0)
+    }
+
+    /// Run to completion.
+    pub fn run(&mut self, width: u32, record: bool) -> RunStats {
+        let mut stats = RunStats::new(record);
+        while self.step(width, &mut stats).is_some() {}
+        stats.value = self.finished[0].expect("finished");
+        stats.nodes_materialized = self.tree.len() as u64;
+        stats
+    }
+}
+
+/// Parallel α-β of width `w` on a MIN/MAX tree, in the leaf-evaluation
+/// model.  Width 0 is Sequential α-β.
+///
+/// ```
+/// use gt_sim::parallel_alphabeta;
+/// use gt_tree::gen::UniformSource;
+/// use gt_tree::minimax::minimax_value;
+///
+/// let tree = UniformSource::minmax_iid(2, 8, 0, 100, 7);
+/// let run = parallel_alphabeta(&tree, 1, false);
+/// assert_eq!(run.value, minimax_value(&tree));   // Theorem 2: exact
+/// ```
+pub fn parallel_alphabeta<S: TreeSource>(source: S, width: u32, record: bool) -> RunStats {
+    AlphaBetaSim::new(source, Model::LeafEvaluation).run(width, record)
+}
+
+/// Sequential α-β: evaluate the leftmost unfinished leaf of the current
+/// pruned tree at each step.
+pub fn sequential_alphabeta<S: TreeSource>(source: S, record: bool) -> RunStats {
+    parallel_alphabeta(source, 0, record)
+}
+
+/// Parallel α-β of width `w` with a fixed processor budget `p`: each
+/// step evaluates the `p` unfinished leaves of smallest pruning number
+/// among those with pruning number ≤ `w`.
+pub fn parallel_alphabeta_capped<S: TreeSource>(
+    source: S,
+    width: u32,
+    processors: u32,
+    record: bool,
+) -> RunStats {
+    AlphaBetaSim::new(source, Model::LeafEvaluation)
+        .with_processor_cap(processors)
+        .run(width, record)
+}
+
+/// N-Parallel α-β of width `w`: the node-expansion version (Section 5).
+pub fn n_parallel_alphabeta<S: TreeSource>(source: S, width: u32, record: bool) -> RunStats {
+    AlphaBetaSim::new(source, Model::NodeExpansion).run(width, record)
+}
+
+/// N-Sequential α-β: expand the leftmost live frontier node each step.
+pub fn n_sequential_alphabeta<S: TreeSource>(source: S, record: bool) -> RunStats {
+    n_parallel_alphabeta(source, 0, record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_tree::gen::UniformSource;
+    use gt_tree::minimax::{minimax_value, seq_alphabeta};
+    use gt_tree::ExplicitTree;
+
+    #[test]
+    fn single_leaf() {
+        let st = parallel_alphabeta(ExplicitTree::leaf(42), 1, false);
+        assert_eq!(st.value, 42);
+        assert_eq!(st.steps, 1);
+    }
+
+    #[test]
+    fn width0_matches_classical_alphabeta_exactly() {
+        for seed in 0..25 {
+            for (d, n) in [(2u32, 6u32), (3, 4)] {
+                let s = UniformSource::minmax_iid(d, n, 0, 100, seed);
+                let sim = sequential_alphabeta(&s, true);
+                let re = seq_alphabeta(&s, true);
+                assert_eq!(sim.value, re.value, "d={d} n={n} seed={seed}");
+                assert_eq!(
+                    sim.total_work, re.leaves_evaluated,
+                    "leaf count d={d} n={n} seed={seed}"
+                );
+                assert_eq!(
+                    sim.trace.unwrap(),
+                    re.leaf_paths.unwrap(),
+                    "order d={d} n={n} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_value_matches_minimax() {
+        for seed in 0..15 {
+            let s = UniformSource::minmax_iid(2, 6, -50, 50, seed);
+            let truth = minimax_value(&s);
+            for w in 0..4 {
+                assert_eq!(
+                    parallel_alphabeta(&s, w, false).value,
+                    truth,
+                    "w={w} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_model_value_matches_minimax() {
+        for seed in 0..15 {
+            let s = UniformSource::minmax_iid(2, 5, 0, 20, seed);
+            let truth = minimax_value(&s);
+            for w in 0..3 {
+                assert_eq!(
+                    n_parallel_alphabeta(&s, w, false).value,
+                    truth,
+                    "w={w} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn width1_is_never_slower_in_steps() {
+        for seed in 0..10 {
+            let s = UniformSource::minmax_iid(3, 4, 0, 1000, seed);
+            let seq = sequential_alphabeta(&s, false);
+            let par = parallel_alphabeta(&s, 1, false);
+            assert!(par.steps <= seq.steps, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn best_ordered_sequential_meets_knuth_moore() {
+        for (d, n) in [(2u32, 6u32), (3, 4)] {
+            let s = UniformSource::minmax_best_ordered(d, n, 7);
+            let st = sequential_alphabeta(&s, false);
+            let expect = (d as u64).pow(n / 2) + (d as u64).pow(n.div_ceil(2)) - 1;
+            assert_eq!(st.total_work, expect, "d={d} n={n}");
+        }
+    }
+
+    #[test]
+    fn worst_ordered_sequential_evaluates_everything() {
+        let (d, n) = (2u32, 6u32);
+        let s = UniformSource::minmax_worst_ordered(d, n);
+        let st = sequential_alphabeta(&s, false);
+        assert_eq!(st.total_work, (d as u64).pow(n));
+    }
+
+    #[test]
+    fn duplicate_leaf_values_are_handled() {
+        // Equal values trigger the α ≥ β rule aggressively; the value
+        // must still be exact.
+        for seed in 0..10 {
+            let s = UniformSource::minmax_iid(2, 6, 0, 3, seed);
+            let truth = minimax_value(&s);
+            for w in 0..3 {
+                assert_eq!(parallel_alphabeta(&s, w, false).value, truth);
+            }
+        }
+    }
+
+    #[test]
+    fn deep_cutoff_is_realized() {
+        // Tree engineered so only a *deep* cutoff (α from the
+        // great-grandparent level) prunes the last leaf:
+        // MAX( MIN( 5 ), MIN( MAX( MIN(4, X) , ...)) ) — construct
+        // directly:
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::internal(vec![ExplicitTree::leaf(5)]),
+            ExplicitTree::internal(vec![ExplicitTree::internal(vec![
+                ExplicitTree::internal(vec![ExplicitTree::leaf(4), ExplicitTree::leaf(100)]),
+                ExplicitTree::leaf(9),
+            ])]),
+        ]);
+        let sim = sequential_alphabeta(&t, true);
+        let re = seq_alphabeta(&t, true);
+        assert_eq!(sim.value, re.value);
+        assert_eq!(sim.trace.unwrap(), re.leaf_paths.unwrap());
+        // The leaf value 100 must never be evaluated: after MIN(5)=5 at
+        // the root's first child, α=5 at every MAX level below; the MIN
+        // node that saw 4 has β=4 ≤ α.
+        assert_eq!(sim.total_work, re.leaves_evaluated);
+        assert!(sim.total_work < t.leaf_count());
+    }
+
+    #[test]
+    fn non_uniform_minmax_tree() {
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::leaf(3),
+            ExplicitTree::internal(vec![
+                ExplicitTree::leaf(7),
+                ExplicitTree::internal(vec![ExplicitTree::leaf(2), ExplicitTree::leaf(8)]),
+            ]),
+        ]);
+        let truth = minimax_value(&t);
+        for w in 0..3 {
+            assert_eq!(parallel_alphabeta(&t, w, false).value, truth, "w={w}");
+            assert_eq!(n_parallel_alphabeta(&t, w, false).value, truth, "nw={w}");
+        }
+    }
+
+    #[test]
+    fn capped_one_processor_replays_sequential() {
+        for seed in 0..8 {
+            let s = UniformSource::minmax_iid(2, 6, 0, 100, seed);
+            let capped = parallel_alphabeta_capped(&s, 2, 1, true);
+            let seq = sequential_alphabeta(&s, true);
+            assert_eq!(capped.trace.unwrap(), seq.trace.unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn capped_large_budget_equals_uncapped() {
+        for seed in 0..8 {
+            let s = UniformSource::minmax_iid(2, 6, 0, 100, seed);
+            let capped = parallel_alphabeta_capped(&s, 1, 10_000, false);
+            let plain = parallel_alphabeta(&s, 1, false);
+            assert_eq!(capped.steps, plain.steps, "seed {seed}");
+            assert_eq!(capped.value, plain.value);
+        }
+    }
+
+    #[test]
+    fn capped_respects_budget_and_stays_exact() {
+        for seed in 0..8 {
+            let s = UniformSource::minmax_iid(3, 4, 0, 1000, seed);
+            for p in [2u32, 3] {
+                let st = parallel_alphabeta_capped(&s, 2, p, false);
+                assert_eq!(st.value, minimax_value(&s), "p={p} seed={seed}");
+                assert!(st.processors_used <= p);
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_invariant_holds_after_every_step() {
+        // val_T̃(r) = val_T(r) at every point of the pruning process —
+        // the statement of Theorem 2, checked step by step.
+        for seed in 0..8 {
+            for w in [0u32, 1, 2] {
+                let s = UniformSource::minmax_iid(2, 5, 0, 20, seed);
+                let truth = minimax_value(&s);
+                let mut sim = AlphaBetaSim::new(&s, Model::LeafEvaluation);
+                let mut stats = crate::RunStats::new(false);
+                assert_eq!(sim.pruned_tree_value(), truth, "before any step");
+                let mut guard = 0;
+                while sim.step(w, &mut stats).is_some() {
+                    assert_eq!(
+                        sim.pruned_tree_value(),
+                        truth,
+                        "invariant broken mid-run (w={w} seed={seed})"
+                    );
+                    guard += 1;
+                    assert!(guard < 10_000);
+                }
+                assert_eq!(sim.root_value(), Some(truth));
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_invariant_holds_in_expansion_model() {
+        for seed in 0..6 {
+            let s = UniformSource::minmax_iid(3, 3, -5, 5, seed);
+            let truth = minimax_value(&s);
+            let mut sim = AlphaBetaSim::new(&s, Model::NodeExpansion);
+            let mut stats = crate::RunStats::new(false);
+            while sim.step(1, &mut stats).is_some() {
+                assert_eq!(sim.pruned_tree_value(), truth, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn n_sequential_alphabeta_counts_expansions() {
+        let s = UniformSource::minmax_iid(2, 4, 0, 100, 5);
+        let st = n_sequential_alphabeta(&s, false);
+        // Expansion count is at least leaves evaluated + internal spine.
+        let leaves = seq_alphabeta(&s, false).leaves_evaluated;
+        assert!(st.total_work >= leaves);
+        assert_eq!(st.value, minimax_value(&s));
+    }
+}

@@ -1,0 +1,224 @@
+//! The base-path *code* machinery from the proof of Proposition 3 —
+//! instrumented, so the proof's central invariant can be checked on
+//! real executions.
+//!
+//! For each step `t` of width-1 Parallel SOLVE, the **base path** `P_t`
+//! is the root-leaf path ending at the leftmost live leaf `w_t`.  Its
+//! **code** `C(t) = (c_1, …, c_n)` records, for each node `v_i` on the
+//! path, the number of live right-siblings of `v_i` before the step.
+//! The proof shows:
+//!
+//! 1. `C(t+1) <` `C(t)` in lexicographic order — so all codes are
+//!    distinct, and
+//! 2. the parallel degree of step `t` equals `|{i : c_i > 0}| + 1`,
+//!
+//! which together give `t_{k+1}(H_T) ≤ C(n,k)(d−1)^k` (the number of
+//! vectors with exactly `k` nonzero components).
+//!
+//! [`InstrumentedRun`] executes width-1 Parallel SOLVE while recording
+//! the code of every step; tests (and experiment E3) verify both
+//! invariants hold on real trees, not just in the proof.
+
+use crate::metrics::RunStats;
+use crate::nor::{NorSim, Policy};
+use gt_tree::{NodeId, TreeSource};
+use std::cmp::Ordering;
+
+/// The code of one step's base path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepCode {
+    /// `c_i` = live right-siblings of the i-th base-path node before
+    /// the step (index 0 = the root's child on the path).
+    pub code: Vec<u32>,
+    /// Parallel degree of the step (leaves actually evaluated).
+    pub degree: u32,
+    /// Base-path leaf (the leftmost live leaf at this step).
+    pub leaf_path: Vec<u32>,
+}
+
+impl StepCode {
+    /// Number of nonzero components — the proof predicts
+    /// `degree = nonzeros + 1` on uniform trees.
+    pub fn nonzeros(&self) -> usize {
+        self.code.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+/// Compare two codes lexicographically, padding the shorter with zeros
+/// (base paths in non-uniform trees can differ in length).
+pub fn cmp_codes(a: &[u32], b: &[u32]) -> Ordering {
+    let n = a.len().max(b.len());
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        match x.cmp(&y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// A width-1 Parallel SOLVE run that records the Proposition 3 code of
+/// every step.
+pub struct InstrumentedRun {
+    /// Per-step codes, in execution order.
+    pub steps: Vec<StepCode>,
+    /// The ordinary run statistics.
+    pub stats: RunStats,
+}
+
+/// Execute width-1 Parallel SOLVE on `source`, recording base-path
+/// codes.
+pub fn instrumented_parallel_solve<S: TreeSource>(source: S) -> InstrumentedRun {
+    let mut sim = NorSim::new(source);
+    let mut stats = RunStats::new(false);
+    let mut steps = Vec::new();
+    loop {
+        // The frontier of a width-1 step, leftmost first.
+        let frontier = sim.frontier_paths(Policy::Width(1));
+        if frontier.is_empty() {
+            break;
+        }
+        let (leftmost_id, leftmost_path) = frontier[0].clone();
+        let code = base_path_code(&sim, leftmost_id);
+        steps.push(StepCode {
+            code,
+            degree: frontier.len() as u32,
+            leaf_path: leftmost_path,
+        });
+        sim.step(Policy::Width(1), &mut stats);
+    }
+    stats.value = i64::from(sim.root_value().expect("run finished"));
+    InstrumentedRun { steps, stats }
+}
+
+/// Compute the code of the base path ending at `leaf`: for each path
+/// node, its number of live right-siblings.
+fn base_path_code<S: TreeSource>(sim: &NorSim<S>, leaf: NodeId) -> Vec<u32> {
+    // Walk root -> leaf; at each node count undetermined right-siblings.
+    let tree = sim.tree();
+    let mut rev = Vec::new();
+    let mut cur = leaf;
+    while let Some(parent) = tree.parent(cur) {
+        let my_index = tree.child_index(cur);
+        let mut live_right = 0u32;
+        for i in (my_index + 1)..tree.arity(parent) {
+            let sib = tree.child(parent, i);
+            if sim.is_live_node(sib) {
+                live_right += 1;
+            }
+        }
+        rev.push(live_right);
+        cur = parent;
+    }
+    rev.reverse();
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_tree::gen::{critical_bias, UniformSource};
+    use gt_tree::minimax::nor_value;
+    use gt_tree::skeleton::nor_skeleton;
+
+    #[test]
+    fn codes_strictly_decrease_lexicographically() {
+        // The heart of Proposition 3's proof, checked on skeletons
+        // (where the proof lives) across seeds.
+        for seed in 0..10 {
+            let src = UniformSource::nor_iid(2, 9, critical_bias(2), seed);
+            let h = nor_skeleton(&src);
+            let run = instrumented_parallel_solve(&h);
+            for w in run.steps.windows(2) {
+                assert_eq!(
+                    cmp_codes(&w[1].code, &w[0].code),
+                    Ordering::Less,
+                    "codes did not decrease: {:?} then {:?} (seed {seed})",
+                    w[0].code,
+                    w[1].code
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_equals_nonzeros_plus_one_on_skeletons() {
+        for seed in 0..10 {
+            for (d, n) in [(2u32, 8u32), (3, 5)] {
+                let src = UniformSource::nor_iid(d, n, 0.5, seed);
+                let h = nor_skeleton(&src);
+                let run = instrumented_parallel_solve(&h);
+                for (i, st) in run.steps.iter().enumerate() {
+                    assert_eq!(
+                        st.degree as usize,
+                        st.nonzeros() + 1,
+                        "step {i}: degree {} vs code {:?} (d={d} n={n} seed={seed})",
+                        st.degree,
+                        st.code
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn codes_on_full_trees_still_decrease() {
+        // The lexicographic-decrease argument does not require the
+        // skeleton; verify it on the full tree too.
+        for seed in 0..6 {
+            let src = UniformSource::nor_iid(2, 8, 0.6, seed);
+            let run = instrumented_parallel_solve(&src);
+            assert_eq!(run.stats.value, nor_value(&src));
+            for w in run.steps.windows(2) {
+                assert_eq!(cmp_codes(&w[1].code, &w[0].code), Ordering::Less);
+            }
+        }
+    }
+
+    #[test]
+    fn code_count_implies_prop3_bound() {
+        // Distinct codes with k nonzeros are at most C(n,k)(d-1)^k, so
+        // counting measured codes per k must respect the bound.
+        let (d, n) = (2u32, 10u32);
+        let src = UniformSource::nor_worst_case(d, n);
+        let h = nor_skeleton(&src);
+        let run = instrumented_parallel_solve(&h);
+        let mut per_k = std::collections::HashMap::new();
+        for st in &run.steps {
+            *per_k.entry(st.nonzeros() as u32).or_insert(0u64) += 1;
+        }
+        for (&k, &count) in &per_k {
+            let bound = gt_tree_binom(n, k) * ((d - 1) as u64).pow(k);
+            assert!(count <= bound, "k={k}: {count} > {bound}");
+        }
+    }
+
+    fn gt_tree_binom(n: u32, k: u32) -> u64 {
+        if k > n {
+            return 0;
+        }
+        let k = k.min(n - k);
+        let mut acc = 1u64;
+        for i in 0..k {
+            acc = acc * (n - i) as u64 / (i + 1) as u64;
+        }
+        acc
+    }
+
+    #[test]
+    fn cmp_codes_pads_with_zeros() {
+        assert_eq!(cmp_codes(&[1, 0], &[1]), Ordering::Equal);
+        assert_eq!(cmp_codes(&[1], &[1, 2]), Ordering::Less);
+        assert_eq!(cmp_codes(&[2], &[1, 9, 9]), Ordering::Greater);
+    }
+
+    #[test]
+    fn base_path_is_the_leftmost_live_leaf() {
+        let src = UniformSource::nor_iid(2, 6, 0.5, 1);
+        let run = instrumented_parallel_solve(&src);
+        // Step 1's base path must be the all-zeros path (leftmost leaf).
+        assert!(run.steps[0].leaf_path.iter().all(|&c| c == 0));
+    }
+}

@@ -1,0 +1,262 @@
+//! NOR-tree algorithms in the node-expansion model (Section 5):
+//! N-Sequential SOLVE and N-Parallel SOLVE of width `w`.
+//!
+//! Here the algorithm is given only the root; applying *node expansion*
+//! to a node either evaluates it (if it is a leaf) or produces its
+//! children.  A **frontier node** is a live node that has not been
+//! expanded, and its pruning number is the number of live left-siblings
+//! of its ancestors.  N-Parallel SOLVE of width `w` expands, per step,
+//! every frontier node with pruning number at most `w`.
+
+use crate::metrics::RunStats;
+use gt_tree::{LazyTree, NodeId, NodeKind, TreeSource};
+
+/// A resumable simulation of N-(Sequential/Parallel) SOLVE.
+pub struct ExpansionSim<S: TreeSource> {
+    tree: LazyTree<S>,
+    determined: Vec<Option<bool>>,
+    undet_children: Vec<u32>,
+    frontier: Vec<NodeId>,
+}
+
+impl<S: TreeSource> ExpansionSim<S> {
+    /// Set up a simulation over `source`; only the root exists initially.
+    pub fn new(source: S) -> Self {
+        ExpansionSim {
+            tree: LazyTree::new(source),
+            determined: vec![None],
+            undet_children: vec![0],
+            frontier: Vec::new(),
+        }
+    }
+
+    /// The materialized tree (exactly the expanded region plus its
+    /// children).
+    pub fn tree(&self) -> &LazyTree<S> {
+        &self.tree
+    }
+
+    /// Root value once finished.
+    pub fn root_value(&self) -> Option<bool> {
+        self.determined[0]
+    }
+
+    fn sync_side_tables(&mut self) {
+        let n = self.tree.len();
+        if self.determined.len() < n {
+            self.determined.resize(n, None);
+            self.undet_children.resize(n, 0);
+        }
+    }
+
+    fn determine(&mut self, v: NodeId, val: bool) {
+        if self.determined[v as usize].is_some() {
+            return;
+        }
+        self.determined[v as usize] = Some(val);
+        if let Some(p) = self.tree.parent(v) {
+            if self.determined[p as usize].is_some() {
+                return;
+            }
+            if val {
+                self.determine(p, false);
+            } else {
+                self.undet_children[p as usize] -= 1;
+                if self.undet_children[p as usize] == 0 {
+                    self.determine(p, true);
+                }
+            }
+        }
+    }
+
+    /// Collect live unexpanded nodes with pruning number ≤ `budget`.
+    fn collect(&mut self, v: NodeId, budget: i64) {
+        debug_assert!(budget >= 0);
+        if !self.tree.is_expanded(v) {
+            self.frontier.push(v);
+            return;
+        }
+        // Expanded leaves are determined, so `v` is internal here.
+        debug_assert!(!self.tree.is_leaf(v));
+        let mut live_seen: i64 = 0;
+        for i in 0..self.tree.arity(v) {
+            let u = self.tree.child(v, i);
+            if self.determined[u as usize].is_some() {
+                continue;
+            }
+            if live_seen > budget {
+                break;
+            }
+            self.collect(u, budget - live_seen);
+            live_seen += 1;
+        }
+    }
+
+    /// One basic step: expand all frontier nodes with pruning number ≤
+    /// `width`.  Returns the parallel degree, or `None` when done.
+    pub fn step(&mut self, width: u32, stats: &mut RunStats) -> Option<u32> {
+        if self.determined[0].is_some() {
+            return None;
+        }
+        self.frontier.clear();
+        self.collect(0, i64::from(width));
+        debug_assert!(!self.frontier.is_empty());
+        let degree = self.frontier.len() as u32;
+        let nodes = std::mem::take(&mut self.frontier);
+        for &v in &nodes {
+            if let Some(tr) = &mut stats.trace {
+                tr.push(self.tree.path_of(v));
+            }
+            match self.tree.expand(v) {
+                NodeKind::Leaf(val) => {
+                    self.sync_side_tables();
+                    self.determine(v, val != 0);
+                }
+                NodeKind::Internal(d) => {
+                    self.sync_side_tables();
+                    self.undet_children[v as usize] = d;
+                }
+            }
+        }
+        self.frontier = nodes;
+        stats.record_step(degree);
+        Some(degree)
+    }
+
+    /// Collect the next step's frontier *without expanding it*: each
+    /// live unexpanded node (pruning number ≤ `width`) with its path.
+    /// Empty when the root is determined.  Used by the threaded engine,
+    /// which queries the source for the returned paths in parallel and
+    /// then calls [`ExpansionSim::apply_expansions`].
+    pub fn frontier_paths(&mut self, width: u32) -> Vec<(NodeId, Vec<u32>)> {
+        if self.determined[0].is_some() {
+            return Vec::new();
+        }
+        self.frontier.clear();
+        self.collect(0, i64::from(width));
+        let ids = std::mem::take(&mut self.frontier);
+        let out = ids
+            .iter()
+            .map(|&id| (id, self.tree.path_of(id)))
+            .collect();
+        self.frontier = ids;
+        out
+    }
+
+    /// Complete a step whose expansion results were computed externally
+    /// (against the same source).
+    pub fn apply_expansions(&mut self, kinds: &[(NodeId, NodeKind)], stats: &mut RunStats) {
+        assert!(!kinds.is_empty(), "a step must expand at least one node");
+        for &(id, kind) in kinds {
+            if let Some(tr) = &mut stats.trace {
+                tr.push(self.tree.path_of(id));
+            }
+            self.tree.install_expansion(id, kind);
+            self.sync_side_tables();
+            match kind {
+                NodeKind::Leaf(val) => self.determine(id, val != 0),
+                NodeKind::Internal(d) => self.undet_children[id as usize] = d,
+            }
+        }
+        stats.record_step(kinds.len() as u32);
+        if let Some(b) = self.determined[0] {
+            stats.value = i64::from(b);
+            stats.nodes_materialized = self.tree.len() as u64;
+        }
+    }
+
+    /// Run to completion with the given width.
+    pub fn run(&mut self, width: u32, record: bool) -> RunStats {
+        let mut stats = RunStats::new(record);
+        while self.step(width, &mut stats).is_some() {}
+        stats.value = i64::from(self.determined[0].expect("finished"));
+        stats.nodes_materialized = self.tree.len() as u64;
+        debug_assert_eq!(stats.total_work, self.tree.expansions());
+        stats
+    }
+}
+
+/// N-Parallel SOLVE of width `w` (Section 5).  Width 0 is N-Sequential
+/// SOLVE.
+pub fn n_parallel_solve<S: TreeSource>(source: S, width: u32, record: bool) -> RunStats {
+    ExpansionSim::new(source).run(width, record)
+}
+
+/// N-Sequential SOLVE: expand the leftmost frontier node at each step.
+pub fn n_sequential_solve<S: TreeSource>(source: S, record: bool) -> RunStats {
+    n_parallel_solve(source, 0, record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_tree::gen::UniformSource;
+    use gt_tree::minimax::{nor_value, seq_solve};
+    use gt_tree::ExplicitTree;
+
+    #[test]
+    fn single_leaf() {
+        let st = n_parallel_solve(ExplicitTree::leaf(0), 1, false);
+        assert_eq!(st.value, 0);
+        assert_eq!(st.steps, 1); // one expansion evaluates the root leaf
+        assert_eq!(st.total_work, 1);
+    }
+
+    #[test]
+    fn sequential_expansions_match_reference() {
+        for seed in 0..20 {
+            let s = UniformSource::nor_iid(2, 7, 0.5, seed);
+            let sim = n_sequential_solve(&s, false);
+            let re = seq_solve(&s, false);
+            assert_eq!(sim.value, re.value, "seed {seed}");
+            assert_eq!(sim.total_work, re.nodes_expanded, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn value_matches_ground_truth_all_widths() {
+        for seed in 0..10 {
+            let s = UniformSource::nor_iid(3, 4, 0.5, seed);
+            for w in 0..4 {
+                assert_eq!(n_parallel_solve(&s, w, false).value, nor_value(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn materializes_only_expanded_region_plus_fringe() {
+        let s = UniformSource::nor_iid(2, 12, 0.5, 3);
+        let st = n_parallel_solve(&s, 1, false);
+        // Each expansion creates ≤ 2 children, so nodes ≤ 2·work + 1.
+        assert!(st.nodes_materialized <= 2 * st.total_work + 1);
+    }
+
+    #[test]
+    fn width1_no_slower_than_sequential_steps() {
+        for seed in 0..10 {
+            let s = UniformSource::nor_iid(2, 8, 0.5, seed);
+            let seq = n_sequential_solve(&s, false);
+            let par = n_parallel_solve(&s, 1, false);
+            assert!(par.steps <= seq.steps, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn expansion_trace_starts_at_root() {
+        let s = UniformSource::nor_iid(2, 4, 0.5, 7);
+        let st = n_parallel_solve(&s, 1, true);
+        let tr = st.trace.unwrap();
+        assert_eq!(tr[0], Vec::<u32>::new(), "first expansion is the root");
+    }
+
+    #[test]
+    fn non_uniform_trees_work() {
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::leaf(0),
+            ExplicitTree::internal(vec![ExplicitTree::leaf(1), ExplicitTree::leaf(0)]),
+        ]);
+        for w in 0..3 {
+            assert_eq!(n_parallel_solve(&t, w, false).value, nor_value(&t));
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # gt-sim — step-synchronous simulators for the paper's two cost models
+//!
+//! The paper analyses algorithms in two abstract models:
+//!
+//! * the **leaf-evaluation model** (Sections 2–4): the unit of work is
+//!   evaluating a leaf; a basic step evaluates a *set* of leaves
+//!   simultaneously; the running time is the number of steps and the
+//!   number of processors is the largest set evaluated in one step;
+//! * the **node-expansion model** (Section 5): the unit of work is
+//!   expanding a node of an implicitly-given tree.
+//!
+//! This crate implements every algorithm the paper defines, in both
+//! models, as *exact* lock-step simulations that report the paper's own
+//! metrics — `S(T)`, `P(T)`, the per-step parallel degree histogram
+//! `t_k(T)`, the processor count, and the total work:
+//!
+//! | paper | here |
+//! |---|---|
+//! | Sequential SOLVE | [`sequential_solve`] (= width 0) |
+//! | Team SOLVE with p processors | [`team_solve`] |
+//! | Parallel SOLVE of width w | [`parallel_solve`] |
+//! | Sequential α-β | [`sequential_alphabeta`] (= width 0) |
+//! | Parallel α-β of width w | [`parallel_alphabeta`] |
+//! | N-Sequential SOLVE | [`n_sequential_solve`] |
+//! | N-Parallel SOLVE of width w | [`n_parallel_solve`] |
+//! | R-Sequential / R-Parallel SOLVE | [`randomized::r_parallel_solve`] |
+//! | R-Sequential / R-Parallel α-β | [`randomized::r_parallel_alphabeta`] |
+//!
+//! The simulators run on any [`gt_tree::TreeSource`]; trees materialize
+//! lazily, so only the region an algorithm actually touches costs memory.
+
+pub mod alphabeta;
+pub mod codes;
+pub mod expansion;
+pub mod metrics;
+pub mod nor;
+pub mod randomized;
+pub mod trace;
+
+pub use alphabeta::{
+    n_parallel_alphabeta, n_sequential_alphabeta, parallel_alphabeta, parallel_alphabeta_capped,
+    sequential_alphabeta, AlphaBetaSim,
+};
+pub use expansion::{n_parallel_solve, n_sequential_solve, ExpansionSim};
+pub use metrics::RunStats;
+pub use nor::{parallel_solve, parallel_solve_capped, sequential_solve, team_solve, NorSim};

@@ -1,0 +1,104 @@
+//! Run statistics: exactly the quantities the paper's analysis is about.
+
+use gt_tree::Value;
+
+/// Result of running a simulated algorithm on a tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunStats {
+    /// The value computed at the root.
+    pub value: Value,
+    /// Number of basic steps — the paper's running time (`P(T)` for the
+    /// parallel algorithms, `S(T)` for the sequential ones, since a
+    /// sequential step does one unit of work).
+    pub steps: u64,
+    /// Total units of work: leaves evaluated (leaf-evaluation model) or
+    /// nodes expanded (node-expansion model).  This is `W(T)` in
+    /// Corollary 1.
+    pub total_work: u64,
+    /// The largest parallel degree of any step — the paper's "number of
+    /// processors used".
+    pub processors_used: u32,
+    /// `degree_counts[k]` = number of steps with parallel degree exactly
+    /// `k` (index 0 unused) — the paper's `t_k(T)`.
+    pub degree_counts: Vec<u64>,
+    /// Work items (leaf paths, or expanded-node paths) in step order,
+    /// left-to-right within a step, when recording was requested.
+    pub trace: Option<Vec<Vec<u32>>>,
+    /// Number of tree nodes materialized by the end of the run (a memory
+    /// proxy; not a paper metric).
+    pub nodes_materialized: u64,
+}
+
+impl RunStats {
+    /// An empty stats accumulator; `record` enables trace collection.
+    pub fn new(record: bool) -> Self {
+        RunStats {
+            value: 0,
+            steps: 0,
+            total_work: 0,
+            processors_used: 0,
+            degree_counts: Vec::new(),
+            trace: record.then(Vec::new),
+            nodes_materialized: 0,
+        }
+    }
+
+    /// Record one completed step of parallel degree `k ≥ 1`.
+    pub fn record_step(&mut self, k: u32) {
+        self.steps += 1;
+        self.total_work += u64::from(k);
+        self.processors_used = self.processors_used.max(k);
+        if self.degree_counts.len() <= k as usize {
+            self.degree_counts.resize(k as usize + 1, 0);
+        }
+        self.degree_counts[k as usize] += 1;
+    }
+
+    /// `t_k`: the number of steps with parallel degree exactly `k`.
+    pub fn t(&self, k: usize) -> u64 {
+        self.degree_counts.get(k).copied().unwrap_or(0)
+    }
+
+    /// Speed-up of this run relative to a sequential work count
+    /// (`S(T) / P(T)` with `S(T) = seq_work`).
+    pub fn speedup_vs(&self, seq_work: u64) -> f64 {
+        seq_work as f64 / self.steps as f64
+    }
+
+    /// Average parallel degree (total work / steps).
+    pub fn avg_degree(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.total_work as f64 / self.steps as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_step_accumulates() {
+        let mut s = RunStats::new(false);
+        s.record_step(1);
+        s.record_step(3);
+        s.record_step(3);
+        assert_eq!(s.steps, 3);
+        assert_eq!(s.total_work, 7);
+        assert_eq!(s.processors_used, 3);
+        assert_eq!(s.t(1), 1);
+        assert_eq!(s.t(2), 0);
+        assert_eq!(s.t(3), 2);
+        assert_eq!(s.t(99), 0);
+        assert!((s.avg_degree() - 7.0 / 3.0).abs() < 1e-12);
+        assert!((s.speedup_vs(21) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_only_when_requested() {
+        assert!(RunStats::new(true).trace.is_some());
+        assert!(RunStats::new(false).trace.is_none());
+    }
+}

@@ -1,0 +1,150 @@
+//! Randomized algorithms (Section 6): R-Sequential / R-Parallel SOLVE
+//! and R-Sequential / R-Parallel α-β.
+//!
+//! The paper defines these by randomizing the child-visit order, and
+//! notes they are *conceptually equivalent to running the deterministic
+//! algorithm on a randomly permuted input tree*, with randomization
+//! performed lazily.  That is literally how we implement them: wrap the
+//! source in [`gt_tree::source::Permuted`] (which permutes children with
+//! a pseudo-random permutation derived from `(seed, path)`, computed on
+//! demand) and run the deterministic algorithm.
+//!
+//! All these run in the node-expansion model, as in the paper's Section 6
+//! ("we restrict our discussion of randomized algorithms to the
+//! node-expansion model").
+
+use crate::alphabeta::{n_parallel_alphabeta, parallel_alphabeta};
+use crate::expansion::n_parallel_solve;
+use crate::metrics::RunStats;
+use gt_tree::source::Permuted;
+use gt_tree::TreeSource;
+
+/// R-Parallel SOLVE of width `w` with random choices drawn from `seed`
+/// (node-expansion model).  Width 0 is R-Sequential SOLVE.
+pub fn r_parallel_solve<S: TreeSource>(source: S, width: u32, seed: u64, record: bool) -> RunStats {
+    n_parallel_solve(Permuted::new(source, seed), width, record)
+}
+
+/// R-Sequential SOLVE: expand a random unexpanded child at each step
+/// (realized as N-Sequential SOLVE on a randomly permuted tree).
+pub fn r_sequential_solve<S: TreeSource>(source: S, seed: u64, record: bool) -> RunStats {
+    r_parallel_solve(source, 0, seed, record)
+}
+
+/// R-Parallel α-β of width `w` (node-expansion model).
+pub fn r_parallel_alphabeta<S: TreeSource>(
+    source: S,
+    width: u32,
+    seed: u64,
+    record: bool,
+) -> RunStats {
+    n_parallel_alphabeta(Permuted::new(source, seed), width, record)
+}
+
+/// R-Sequential α-β: a random depth-first traversal.
+pub fn r_sequential_alphabeta<S: TreeSource>(source: S, seed: u64, record: bool) -> RunStats {
+    r_parallel_alphabeta(source, 0, seed, record)
+}
+
+/// R-Parallel α-β in the *leaf-evaluation* model (used by experiments
+/// that want leaf counts rather than expansion counts).
+pub fn r_parallel_alphabeta_leaf_model<S: TreeSource>(
+    source: S,
+    width: u32,
+    seed: u64,
+    record: bool,
+) -> RunStats {
+    parallel_alphabeta(Permuted::new(source, seed), width, record)
+}
+
+/// Average the running time and work of a randomized run over `seeds`.
+/// Returns `(mean_steps, mean_work)`.
+pub fn expected_over_seeds<F>(seeds: std::ops::Range<u64>, mut run: F) -> (f64, f64)
+where
+    F: FnMut(u64) -> RunStats,
+{
+    let n = seeds.clone().count().max(1) as f64;
+    let mut steps = 0.0;
+    let mut work = 0.0;
+    for seed in seeds {
+        let st = run(seed);
+        steps += st.steps as f64;
+        work += st.total_work as f64;
+    }
+    (steps / n, work / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_tree::gen::UniformSource;
+    use gt_tree::minimax::{minimax_value, nor_value};
+
+    #[test]
+    fn randomized_solve_is_correct_for_every_seed() {
+        let s = UniformSource::nor_iid(2, 6, 0.5, 11);
+        let truth = nor_value(&s);
+        for seed in 0..20 {
+            assert_eq!(r_sequential_solve(&s, seed, false).value, truth);
+            assert_eq!(r_parallel_solve(&s, 1, seed, false).value, truth);
+        }
+    }
+
+    #[test]
+    fn randomized_alphabeta_is_correct_for_every_seed() {
+        let s = UniformSource::minmax_iid(2, 5, 0, 50, 3);
+        let truth = minimax_value(&s);
+        for seed in 0..20 {
+            assert_eq!(r_sequential_alphabeta(&s, seed, false).value, truth);
+            assert_eq!(r_parallel_alphabeta(&s, 1, seed, false).value, truth);
+            assert_eq!(
+                r_parallel_alphabeta_leaf_model(&s, 1, seed, false).value,
+                truth
+            );
+        }
+    }
+
+    #[test]
+    fn randomization_beats_worst_case_on_average() {
+        // On the deterministic worst-case instance, Sequential SOLVE
+        // expands everything; the randomized version should do strictly
+        // better on average (Saks–Wigderson).
+        let (d, n) = (2u32, 10u32);
+        let s = UniformSource::nor_worst_case(d, n);
+        let det = crate::expansion::n_sequential_solve(&s, false).total_work;
+        let (_, mean_work) = expected_over_seeds(0..16, |seed| {
+            r_sequential_solve(&s, seed, false)
+        });
+        assert!(
+            mean_work < det as f64,
+            "expected randomized {mean_work} < deterministic {det}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_traces_somewhere() {
+        let s = UniformSource::nor_worst_case(2, 6);
+        let a = r_sequential_solve(&s, 1, true).trace.unwrap();
+        let mut any_diff = false;
+        for seed in 2..10 {
+            let b = r_sequential_solve(&s, seed, true).trace.unwrap();
+            if a != b {
+                any_diff = true;
+                break;
+            }
+        }
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn expected_over_seeds_averages() {
+        let (steps, work) = expected_over_seeds(0..4, |seed| {
+            let mut st = RunStats::new(false);
+            st.steps = seed + 1;
+            st.total_work = 2 * (seed + 1);
+            st
+        });
+        assert!((steps - 2.5).abs() < 1e-12);
+        assert!((work - 5.0).abs() < 1e-12);
+    }
+}

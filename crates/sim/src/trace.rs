@@ -1,0 +1,136 @@
+//! Step profiling: capture the per-step parallel-degree series of a
+//! run, so the *shape* of an execution (ramp-up, plateau, tail) can be
+//! inspected — this is how the paper's "steps of small parallel degree
+//! are rare" intuition looks in practice.
+
+use crate::alphabeta::Model;
+use crate::metrics::RunStats;
+use crate::nor::Policy;
+use crate::{AlphaBetaSim, NorSim};
+use gt_tree::TreeSource;
+
+/// The degree of every step, in order, plus the run's stats.
+#[derive(Debug, Clone)]
+pub struct StepProfile {
+    /// Parallel degree per step.
+    pub degrees: Vec<u32>,
+    /// Aggregate statistics.
+    pub stats: RunStats,
+}
+
+impl StepProfile {
+    /// Fraction of steps with parallel degree ≥ `k`.
+    pub fn fraction_at_least(&self, k: u32) -> f64 {
+        if self.degrees.is_empty() {
+            return 0.0;
+        }
+        self.degrees.iter().filter(|&&d| d >= k).count() as f64 / self.degrees.len() as f64
+    }
+
+    /// Fraction of the *total work* done in steps of degree ≥ `k` —
+    /// Proposition 4's argument is exactly that this is large.
+    pub fn work_fraction_at_least(&self, k: u32) -> f64 {
+        let total: u64 = self.degrees.iter().map(|&d| u64::from(d)).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let big: u64 = self
+            .degrees
+            .iter()
+            .filter(|&&d| d >= k)
+            .map(|&d| u64::from(d))
+            .sum();
+        big as f64 / total as f64
+    }
+
+    /// Bucket the degree series into `buckets` equal time slices
+    /// (averaging within each) — handy for sparkline rendering of long
+    /// runs.
+    pub fn bucketed(&self, buckets: usize) -> Vec<u64> {
+        assert!(buckets > 0);
+        if self.degrees.is_empty() {
+            return vec![0; buckets];
+        }
+        let n = self.degrees.len();
+        (0..buckets)
+            .map(|b| {
+                let lo = b * n / buckets;
+                let hi = (((b + 1) * n) / buckets).max(lo + 1).min(n);
+                let sum: u64 = self.degrees[lo..hi].iter().map(|&d| u64::from(d)).sum();
+                sum / (hi - lo) as u64
+            })
+            .collect()
+    }
+}
+
+/// Profile a width-`w` Parallel SOLVE run.
+pub fn profile_solve<S: TreeSource>(source: S, width: u32) -> StepProfile {
+    let mut sim = NorSim::new(source);
+    let mut stats = RunStats::new(false);
+    let mut degrees = Vec::new();
+    while let Some(k) = sim.step(Policy::Width(width), &mut stats) {
+        degrees.push(k);
+    }
+    stats.value = i64::from(sim.root_value().expect("finished"));
+    StepProfile { degrees, stats }
+}
+
+/// Profile a width-`w` Parallel α-β run.
+pub fn profile_alphabeta<S: TreeSource>(source: S, width: u32) -> StepProfile {
+    let mut sim = AlphaBetaSim::new(source, Model::LeafEvaluation);
+    let mut stats = RunStats::new(false);
+    let mut degrees = Vec::new();
+    while let Some(k) = sim.step(width, &mut stats) {
+        degrees.push(k);
+    }
+    stats.value = sim.root_value().expect("finished");
+    StepProfile { degrees, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_tree::gen::UniformSource;
+    use gt_tree::minimax::{minimax_value, nor_value};
+
+    #[test]
+    fn profile_agrees_with_plain_run() {
+        let src = UniformSource::nor_iid(2, 8, 0.5, 3);
+        let p = profile_solve(&src, 1);
+        let plain = crate::parallel_solve(&src, 1, false);
+        assert_eq!(p.stats.steps, plain.steps);
+        assert_eq!(p.stats.value, nor_value(&src));
+        assert_eq!(p.degrees.len() as u64, plain.steps);
+        let sum: u64 = p.degrees.iter().map(|&d| u64::from(d)).sum();
+        assert_eq!(sum, plain.total_work);
+    }
+
+    #[test]
+    fn alphabeta_profile_agrees() {
+        let src = UniformSource::minmax_iid(2, 6, 0, 100, 5);
+        let p = profile_alphabeta(&src, 1);
+        assert_eq!(p.stats.value, minimax_value(&src));
+        assert!(!p.degrees.is_empty());
+    }
+
+    #[test]
+    fn fractions_are_sane() {
+        let src = UniformSource::nor_worst_case(2, 10);
+        let p = profile_solve(&src, 1);
+        assert_eq!(p.fraction_at_least(1), 1.0);
+        assert!(p.fraction_at_least(2) <= 1.0);
+        assert!(p.work_fraction_at_least(2) >= p.work_fraction_at_least(5));
+        // Prop 4's engine: most work happens at large degrees on big
+        // worst-case instances.
+        assert!(p.work_fraction_at_least(3) > 0.5);
+    }
+
+    #[test]
+    fn bucketed_has_requested_length() {
+        let src = UniformSource::nor_iid(2, 9, 0.5, 1);
+        let p = profile_solve(&src, 1);
+        for b in [1usize, 4, 16, 1000] {
+            assert_eq!(p.bucketed(b).len(), b);
+        }
+    }
+}

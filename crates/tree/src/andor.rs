@@ -1,0 +1,192 @@
+//! AND/OR trees and their NOR representation (Section 2).
+//!
+//! The paper works with NOR trees because *"an AND/OR tree is
+//! equivalent to its NOR-tree representation up to complementation of
+//! the value of the root and possibly the values on the leaves"*.  This
+//! module makes that equivalence executable: convert an explicit AND/OR
+//! tree (alternating OR/AND levels, OR at the root) into the NOR tree
+//! the paper's algorithms run on, with the exact complementation
+//! bookkeeping, and prove the value relation in tests.
+//!
+//! The transformation: a NOR node computes `¬(x₁ ∨ … ∨ x_d)`.  An OR
+//! node is `NOR` with a complemented output; an AND node is
+//! `x₁ ∧ … ∧ x_d = ¬(¬x₁ ∨ … ∨ ¬x_d)` — a NOR of complemented inputs.
+//! Walking the tree top-down and tracking the pending complement on
+//! each edge yields a NOR tree whose leaves are the original leaves,
+//! complemented exactly where the parity bookkeeping demands.
+
+use crate::explicit::ExplicitTree;
+
+/// Node types of an AND/OR tree (root is OR, levels alternate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Maximum of Boolean children.
+    Or,
+    /// Minimum of Boolean children.
+    And,
+}
+
+impl Gate {
+    /// The gate at `depth` for an OR-rooted alternating tree.
+    pub fn at_depth(depth: u32) -> Gate {
+        if depth.is_multiple_of(2) {
+            Gate::Or
+        } else {
+            Gate::And
+        }
+    }
+}
+
+/// Evaluate an explicit tree as an OR-rooted alternating AND/OR tree.
+pub fn and_or_value(tree: &ExplicitTree) -> i64 {
+    fn go(t: &ExplicitTree, depth: u32) -> i64 {
+        match t {
+            ExplicitTree::Leaf(v) => *v,
+            ExplicitTree::Internal(children) => {
+                let vals = children.iter().map(|c| go(c, depth + 1));
+                match Gate::at_depth(depth) {
+                    Gate::Or => vals.max().unwrap(),
+                    Gate::And => vals.min().unwrap(),
+                }
+            }
+        }
+    }
+    go(tree, 0)
+}
+
+/// Convert an OR-rooted AND/OR tree into its NOR representation.
+///
+/// Returns `(nor_tree, root_complemented)`: evaluating the returned
+/// tree with NOR semantics yields the original AND/OR value if
+/// `root_complemented` is false, and its complement otherwise (for an
+/// OR root it is always complemented, per the paper).
+pub fn to_nor(tree: &ExplicitTree) -> (ExplicitTree, bool) {
+    // `complement` = the NOR value of this subtree equals the original
+    // value complemented?  We build so each internal node is a NOR.
+    //
+    // OR  (no pending complement on inputs): ¬NOR(x…)            ⇒ output complemented
+    // AND: ¬(¬x₁ ∨ …) = NOR(¬x…)                                 ⇒ inputs complemented
+    //
+    // Maintain `flip`: whether this subtree's ORIGINAL value must be
+    // delivered complemented to the parent NOR input.  At a leaf, emit
+    // the leaf value XOR flip.  At an internal node with gate g:
+    //   g = Or : children flips = flip of... derive:
+    // Let N(t) be NOR-evaluation of the built subtree; we want
+    // N(built(t, flip)) = val(t) XOR flip.
+    //   Leaf: built = Leaf(val XOR flip). ✓
+    //   Or:  val = x₁ ∨ …; want val XOR flip.
+    //        NOR(children) = ¬(c₁ ∨ …) where cᵢ = N(built(xᵢ, fᵢ)).
+    //        Take fᵢ = 0: NOR = ¬val ⇒ need flip = 1 case: ¬val = val XOR 1 ✓;
+    //        for flip = 0 we need val itself: take fᵢ = 1 instead:
+    //        NOR(xᵢ XOR 1 …) = ¬(¬x₁ ∨ … ) = x₁ ∧ … — wrong gate.  So
+    //        for an OR node the built NOR delivers ¬val, and we must
+    //        push the residual complement DOWN through the parent: the
+    //        child flip fᵢ = 0 and the node "produces" flip XOR 1.
+    // The clean formulation: choose children flips so that the node's
+    // delivered complement is forced, i.e. delivered(t) = flip_in is
+    // achievable iff we pick children flips accordingly:
+    //   Or  node: NOR(deliver(xᵢ, 0)) = ¬(∨ xᵢ) = ¬val ⇒ delivered
+    //             complement = 1.  With children flips = 1:
+    //             NOR(¬xᵢ) = ∧ xᵢ — an AND, not val.  So an OR node can
+    //             only deliver ¬val: require flip == 1 and recurse
+    //             children with flip 0.
+    //   And node: NOR(deliver(xᵢ, 1)) = ¬(∨ ¬xᵢ) = ∧ xᵢ = val ⇒
+    //             delivers val: require flip == 0, children flip 1.
+    // Since OR delivers 1 and AND delivers 0, and levels alternate
+    // OR/AND, the required flips alternate 1,0,1,0… down the tree —
+    // exactly "complementation of the root and possibly the leaves".
+    fn build(t: &ExplicitTree, depth: u32, flip: bool) -> ExplicitTree {
+        match t {
+            ExplicitTree::Leaf(v) => ExplicitTree::Leaf(if flip { 1 - *v } else { *v }),
+            ExplicitTree::Internal(children) => {
+                let gate = Gate::at_depth(depth);
+                // OR delivers complement (flip must be true), AND
+                // delivers the value (flip must be false); the
+                // alternation guarantees this.
+                debug_assert_eq!(flip, gate == Gate::Or, "alternation violated");
+                let child_flip = gate == Gate::And;
+                ExplicitTree::Internal(
+                    children
+                        .iter()
+                        .map(|c| build(c, depth + 1, child_flip))
+                        .collect(),
+                )
+            }
+        }
+    }
+    match tree {
+        ExplicitTree::Leaf(_) => (tree.clone(), false),
+        _ => (build(tree, 0, true), true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimax::nor_value;
+    use proptest::prelude::*;
+
+    fn boolean_tree() -> impl Strategy<Value = ExplicitTree> {
+        let leaf = prop_oneof![
+            Just(ExplicitTree::Leaf(0)),
+            Just(ExplicitTree::Leaf(1))
+        ];
+        leaf.prop_recursive(4, 48, 3, |inner| {
+            prop::collection::vec(inner, 1..=3).prop_map(ExplicitTree::Internal)
+        })
+    }
+
+    #[test]
+    fn gates_alternate() {
+        assert_eq!(Gate::at_depth(0), Gate::Or);
+        assert_eq!(Gate::at_depth(1), Gate::And);
+        assert_eq!(Gate::at_depth(2), Gate::Or);
+    }
+
+    #[test]
+    fn simple_or_of_leaves() {
+        let t = ExplicitTree::internal(vec![ExplicitTree::leaf(0), ExplicitTree::leaf(1)]);
+        assert_eq!(and_or_value(&t), 1);
+        let (nor, complemented) = to_nor(&t);
+        assert!(complemented);
+        assert_eq!(1 - nor_value(&nor), 1);
+    }
+
+    #[test]
+    fn or_of_ands() {
+        // OR(AND(1,1), AND(1,0)) = 1.
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::internal(vec![ExplicitTree::leaf(1), ExplicitTree::leaf(1)]),
+            ExplicitTree::internal(vec![ExplicitTree::leaf(1), ExplicitTree::leaf(0)]),
+        ]);
+        assert_eq!(and_or_value(&t), 1);
+        let (nor, complemented) = to_nor(&t);
+        assert!(complemented);
+        assert_eq!(1 - nor_value(&nor), 1);
+        // Shape is preserved exactly.
+        assert_eq!(nor.node_count(), t.node_count());
+        assert_eq!(nor.height(), t.height());
+    }
+
+    #[test]
+    fn leaf_passes_through() {
+        let (nor, complemented) = to_nor(&ExplicitTree::leaf(1));
+        assert!(!complemented);
+        assert_eq!(nor_value(&nor), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn nor_representation_preserves_the_value(t in boolean_tree()) {
+            // Section 2's equivalence, on arbitrary alternating trees.
+            let expected = and_or_value(&t);
+            let (nor, complemented) = to_nor(&t);
+            let got = nor_value(&nor);
+            let got = if complemented { 1 - got } else { got };
+            prop_assert_eq!(got, expected);
+            prop_assert_eq!(nor.node_count(), t.node_count());
+        }
+    }
+}

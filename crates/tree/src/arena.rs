@@ -1,0 +1,395 @@
+//! [`LazyTree`]: an arena that materializes a [`TreeSource`] on demand.
+//!
+//! The arena stores pure structure (parent / children links, depth, child
+//! index); algorithm state (determined values, finished flags, pruning)
+//! lives in side vectors owned by the simulators, indexed by [`NodeId`].
+//! Nodes are created only when their parent is expanded, so the memory
+//! footprint tracks the region an algorithm actually explores — which is
+//! what makes deep uniform trees affordable.
+
+use crate::source::{NodeKind, TreeSource, Value};
+
+/// Index of a node in a [`LazyTree`] arena.
+pub type NodeId = u32;
+
+/// Sentinel for "no node" (the root's parent).
+pub const NONE: NodeId = u32::MAX;
+
+/// One arena slot.  Children of a node are allocated contiguously, so a
+/// node only needs the index of its first child and its arity.
+#[derive(Debug, Clone)]
+struct Slot {
+    parent: NodeId,
+    /// Index of this node among its siblings.
+    child_index: u32,
+    depth: u32,
+    /// First child id, or [`NONE`] while unexpanded / for leaves.
+    first_child: NodeId,
+    /// Arity after expansion; meaningless before.
+    arity: u32,
+    state: SlotState,
+    /// Leaf value, cached on first evaluation (or injected via
+    /// [`LazyTree::set_leaf_value`] when computed externally).
+    value: Option<Value>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Unexpanded,
+    Internal,
+    Leaf,
+}
+
+/// A lazily materialized game tree over a [`TreeSource`].
+pub struct LazyTree<S> {
+    source: S,
+    slots: Vec<Slot>,
+    expansions: u64,
+}
+
+impl<S: TreeSource> LazyTree<S> {
+    /// Create a tree containing only the (unexpanded) root.
+    pub fn new(source: S) -> Self {
+        let mut t = Self {
+            source,
+            slots: Vec::with_capacity(1024),
+            expansions: 0,
+        };
+        t.slots.push(Slot {
+            parent: NONE,
+            child_index: 0,
+            depth: 0,
+            first_child: NONE,
+            arity: 0,
+            state: SlotState::Unexpanded,
+            value: None,
+        });
+        t
+    }
+
+    /// The root node (always id 0).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Number of materialized nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when only the root exists and it is unexpanded.
+    pub fn is_empty(&self) -> bool {
+        self.slots.len() == 1 && !self.is_expanded(0)
+    }
+
+    /// Total number of `expand` operations performed so far.  This is the
+    /// paper's unit of work in the node-expansion model.
+    #[inline]
+    pub fn expansions(&self) -> u64 {
+        self.expansions
+    }
+
+    /// The underlying source.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        let p = self.slots[id as usize].parent;
+        (p != NONE).then_some(p)
+    }
+
+    #[inline]
+    pub fn depth(&self, id: NodeId) -> u32 {
+        self.slots[id as usize].depth
+    }
+
+    /// This node's index among its siblings.
+    #[inline]
+    pub fn child_index(&self, id: NodeId) -> u32 {
+        self.slots[id as usize].child_index
+    }
+
+    #[inline]
+    pub fn is_expanded(&self, id: NodeId) -> bool {
+        self.slots[id as usize].state != SlotState::Unexpanded
+    }
+
+    /// True if the node has been expanded and turned out to be a leaf.
+    #[inline]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.slots[id as usize].state == SlotState::Leaf
+    }
+
+    /// Arity of an expanded internal node (0 for leaves).
+    #[inline]
+    pub fn arity(&self, id: NodeId) -> u32 {
+        debug_assert!(self.is_expanded(id));
+        self.slots[id as usize].arity
+    }
+
+    /// Cached value of an evaluated leaf; panics if the leaf has not been
+    /// evaluated yet.
+    #[inline]
+    pub fn leaf_value(&self, id: NodeId) -> Value {
+        debug_assert!(self.is_leaf(id));
+        self.slots[id as usize]
+            .value
+            .expect("leaf has not been evaluated")
+    }
+
+    /// Cached value of a leaf, if it has been evaluated.
+    #[inline]
+    pub fn leaf_value_cached(&self, id: NodeId) -> Option<Value> {
+        self.slots[id as usize].value
+    }
+
+    /// The `i`-th child of an expanded internal node.
+    #[inline]
+    pub fn child(&self, id: NodeId, i: u32) -> NodeId {
+        let s = &self.slots[id as usize];
+        debug_assert!(s.state == SlotState::Internal && i < s.arity);
+        s.first_child + i
+    }
+
+    /// Iterate over the children of an expanded internal node.
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let s = &self.slots[id as usize];
+        let (first, n) = match s.state {
+            SlotState::Internal => (s.first_child, s.arity),
+            _ => (0, 0),
+        };
+        (0..n).map(move |i| first + i)
+    }
+
+    /// Root-to-node path of `id` (child indices, root excluded).
+    pub fn path_of(&self, id: NodeId) -> Vec<u32> {
+        let mut p = Vec::with_capacity(self.depth(id) as usize);
+        let mut cur = id;
+        while let Some(par) = self.parent(cur) {
+            p.push(self.child_index(cur));
+            cur = par;
+        }
+        p.reverse();
+        p
+    }
+
+    /// Expand `id` *structurally*: query the source's arity, create
+    /// children for internal nodes, mark leaves — but do **not** fetch
+    /// leaf values (the leaf-evaluation model charges for those
+    /// separately; see [`LazyTree::evaluate_leaf`]).  Returns `true` if
+    /// the node is a leaf.  Idempotent: re-expanding is a cheap no-op.
+    pub fn expand_shallow(&mut self, id: NodeId) -> bool {
+        match self.slots[id as usize].state {
+            SlotState::Internal => return false,
+            SlotState::Leaf => return true,
+            SlotState::Unexpanded => {}
+        }
+        self.expansions += 1;
+        let path = self.path_of(id);
+        let d = self.source.arity(&path);
+        if d == 0 {
+            self.slots[id as usize].state = SlotState::Leaf;
+            true
+        } else {
+            let first = self.slots.len() as NodeId;
+            let depth = self.slots[id as usize].depth + 1;
+            for i in 0..d {
+                self.slots.push(Slot {
+                    parent: id,
+                    child_index: i,
+                    depth,
+                    first_child: NONE,
+                    arity: 0,
+                    state: SlotState::Unexpanded,
+                    value: None,
+                });
+            }
+            let s = &mut self.slots[id as usize];
+            s.state = SlotState::Internal;
+            s.first_child = first;
+            s.arity = d;
+            false
+        }
+    }
+
+    /// Expand `id` fully: like [`LazyTree::expand_shallow`] but a leaf is
+    /// also evaluated, matching the node-expansion model's operation
+    /// ("when applied to a node v it either evaluates v if v is a leaf
+    /// or else produces the children of v").
+    pub fn expand(&mut self, id: NodeId) -> NodeKind {
+        if self.expand_shallow(id) {
+            NodeKind::Leaf(self.evaluate_leaf(id))
+        } else {
+            NodeKind::Internal(self.slots[id as usize].arity)
+        }
+    }
+
+    /// Install an externally computed expansion result for `id` without
+    /// querying the source — the threaded node-expansion engine computes
+    /// `NodeKind`s for a whole frontier in parallel against the source
+    /// and then installs them here.  Counts as one expansion.  No-op if
+    /// already expanded (the kinds must agree; checked in debug builds).
+    pub fn install_expansion(&mut self, id: NodeId, kind: NodeKind) {
+        if self.is_expanded(id) {
+            debug_assert_eq!(
+                matches!(kind, NodeKind::Leaf(_)),
+                self.is_leaf(id),
+                "conflicting expansion for node {id}"
+            );
+            if let NodeKind::Leaf(v) = kind {
+                self.set_leaf_value(id, v);
+            }
+            return;
+        }
+        self.expansions += 1;
+        match kind {
+            NodeKind::Leaf(v) => {
+                let s = &mut self.slots[id as usize];
+                s.state = SlotState::Leaf;
+                s.value = Some(v);
+            }
+            NodeKind::Internal(d) => {
+                assert!(d > 0, "internal node must have children");
+                let first = self.slots.len() as NodeId;
+                let depth = self.slots[id as usize].depth + 1;
+                for i in 0..d {
+                    self.slots.push(Slot {
+                        parent: id,
+                        child_index: i,
+                        depth,
+                        first_child: NONE,
+                        arity: 0,
+                        state: SlotState::Unexpanded,
+                        value: None,
+                    });
+                }
+                let s = &mut self.slots[id as usize];
+                s.state = SlotState::Internal;
+                s.first_child = first;
+                s.arity = d;
+            }
+        }
+    }
+
+    /// Evaluate the leaf at `id` (expanding it structurally if needed),
+    /// caching the value.  Panics if the node turns out to be internal.
+    pub fn evaluate_leaf(&mut self, id: NodeId) -> Value {
+        assert!(
+            self.expand_shallow(id),
+            "evaluate_leaf called on internal node {id}"
+        );
+        if let Some(v) = self.slots[id as usize].value {
+            return v;
+        }
+        let path = self.path_of(id);
+        let v = self.source.leaf_value(&path);
+        self.slots[id as usize].value = Some(v);
+        v
+    }
+
+    /// Inject an externally computed value for the leaf at `id` (used by
+    /// the threaded engines, which evaluate frontier leaves in parallel
+    /// against the source and then store the results here).
+    pub fn set_leaf_value(&mut self, id: NodeId, value: Value) {
+        assert!(
+            self.expand_shallow(id),
+            "set_leaf_value called on internal node {id}"
+        );
+        debug_assert!(
+            self.slots[id as usize].value.is_none()
+                || self.slots[id as usize].value == Some(value),
+            "conflicting value for leaf {id}"
+        );
+        self.slots[id as usize].value = Some(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::ExplicitTree;
+
+    fn sample() -> ExplicitTree {
+        ExplicitTree::internal(vec![
+            ExplicitTree::internal(vec![ExplicitTree::leaf(1), ExplicitTree::leaf(0)]),
+            ExplicitTree::leaf(1),
+        ])
+    }
+
+    #[test]
+    fn root_starts_unexpanded() {
+        let t = LazyTree::new(sample());
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_expanded(t.root()));
+        assert_eq!(t.expansions(), 0);
+    }
+
+    #[test]
+    fn expansion_creates_children_contiguously() {
+        let mut t = LazyTree::new(sample());
+        assert_eq!(t.expand(0), NodeKind::Internal(2));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.child(0, 0), 1);
+        assert_eq!(t.child(0, 1), 2);
+        assert_eq!(t.depth(1), 1);
+        assert_eq!(t.child_index(2), 1);
+        assert_eq!(t.expansions(), 1);
+    }
+
+    #[test]
+    fn expansion_is_idempotent() {
+        let mut t = LazyTree::new(sample());
+        t.expand(0);
+        t.expand(0);
+        assert_eq!(t.expansions(), 1);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn leaf_expansion_records_value() {
+        let mut t = LazyTree::new(sample());
+        t.expand(0);
+        assert_eq!(t.expand(2), NodeKind::Leaf(1));
+        assert!(t.is_leaf(2));
+        assert_eq!(t.leaf_value(2), 1);
+    }
+
+    #[test]
+    fn path_of_roundtrips() {
+        let mut t = LazyTree::new(sample());
+        t.expand(0);
+        t.expand(1);
+        let inner_leaf = t.child(1, 1);
+        assert_eq!(t.path_of(inner_leaf), vec![0, 1]);
+        assert_eq!(t.path_of(t.root()), Vec::<u32>::new());
+        assert_eq!(t.evaluate_leaf(inner_leaf), 0);
+    }
+
+    #[test]
+    fn install_expansion_matches_source_driven_expansion() {
+        let mut a = LazyTree::new(sample());
+        let mut b = LazyTree::new(sample());
+        a.expand(0);
+        b.install_expansion(0, NodeKind::Internal(2));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.arity(0), b.arity(0));
+        b.install_expansion(2, NodeKind::Leaf(1));
+        assert!(b.is_leaf(2));
+        assert_eq!(b.leaf_value(2), 1);
+        assert_eq!(b.expansions(), 2);
+        // Idempotent.
+        b.install_expansion(2, NodeKind::Leaf(1));
+        assert_eq!(b.expansions(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn evaluate_leaf_rejects_internal() {
+        let mut t = LazyTree::new(sample());
+        t.evaluate_leaf(0);
+    }
+}

@@ -1,0 +1,213 @@
+//! [`ExplicitTree`]: a small, owned, recursive tree representation.
+//!
+//! Explicit trees serve three roles in the reproduction:
+//!
+//! 1. ground truth in unit and property tests (arbitrary shapes, not just
+//!    uniform ones — this is what exercises Corollary 2's "close to
+//!    uniform" relaxation);
+//! 2. the output of the skeleton construction `H_T` (Section 3), which is
+//!    an explicit subtree of the input tree; and
+//! 3. a [`TreeSource`] implementation so every simulator can run on them.
+
+use crate::source::{TreeSource, Value};
+
+/// An owned game tree.  NOR trees store `0`/`1` leaves; MIN/MAX trees use
+/// arbitrary values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExplicitTree {
+    /// A leaf with its value.
+    Leaf(Value),
+    /// An internal node and its ordered children (never empty).
+    Internal(Vec<ExplicitTree>),
+}
+
+impl ExplicitTree {
+    /// A leaf node.
+    pub fn leaf(v: Value) -> Self {
+        ExplicitTree::Leaf(v)
+    }
+
+    /// An internal node; panics on an empty child list (the paper's trees
+    /// have no childless internal nodes).
+    pub fn internal(children: Vec<ExplicitTree>) -> Self {
+        assert!(!children.is_empty(), "internal node needs children");
+        ExplicitTree::Internal(children)
+    }
+
+    /// Number of children (0 for leaves). Named `degree` to avoid
+    /// shadowing [`TreeSource::arity`].
+    pub fn degree(&self) -> u32 {
+        match self {
+            ExplicitTree::Leaf(_) => 0,
+            ExplicitTree::Internal(c) => c.len() as u32,
+        }
+    }
+
+    /// Follow a path; `None` if the path walks off the tree.
+    pub fn descend(&self, path: &[u32]) -> Option<&ExplicitTree> {
+        let mut cur = self;
+        for &i in path {
+            match cur {
+                ExplicitTree::Leaf(_) => return None,
+                ExplicitTree::Internal(c) => cur = c.get(i as usize)?,
+            }
+        }
+        Some(cur)
+    }
+
+    /// Height: leaves have height 0.
+    pub fn height(&self) -> u32 {
+        match self {
+            ExplicitTree::Leaf(_) => 0,
+            ExplicitTree::Internal(c) => 1 + c.iter().map(|t| t.height()).max().unwrap_or(0),
+        }
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> u64 {
+        match self {
+            ExplicitTree::Leaf(_) => 1,
+            ExplicitTree::Internal(c) => 1 + c.iter().map(|t| t.node_count()).sum::<u64>(),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> u64 {
+        match self {
+            ExplicitTree::Leaf(_) => 1,
+            ExplicitTree::Internal(c) => c.iter().map(|t| t.leaf_count()).sum(),
+        }
+    }
+
+    /// True if every root-leaf path has length `n` and every internal node
+    /// has exactly `d` children — i.e. the tree lies in `B(d,n)`/`M(d,n)`.
+    pub fn is_uniform(&self, d: u32, n: u32) -> bool {
+        match self {
+            ExplicitTree::Leaf(_) => n == 0,
+            ExplicitTree::Internal(c) => {
+                n > 0 && c.len() as u32 == d && c.iter().all(|t| t.is_uniform(d, n - 1))
+            }
+        }
+    }
+
+    /// Materialize a [`TreeSource`] (up to `max_depth` levels, which keeps
+    /// runaway sources from hanging tests) into an explicit tree.
+    pub fn from_source<S: TreeSource>(source: &S, max_depth: u32) -> Self {
+        fn go<S: TreeSource>(s: &S, path: &mut Vec<u32>, left: u32) -> ExplicitTree {
+            let d = s.arity(path);
+            if d == 0 {
+                return ExplicitTree::Leaf(s.leaf_value(path));
+            }
+            assert!(left > 0, "source deeper than max_depth");
+            let mut children = Vec::with_capacity(d as usize);
+            for i in 0..d {
+                path.push(i);
+                children.push(go(s, path, left - 1));
+                path.pop();
+            }
+            ExplicitTree::Internal(children)
+        }
+        go(source, &mut Vec::new(), max_depth)
+    }
+
+    /// Collect the paths of all leaves, left to right.
+    pub fn leaf_paths(&self) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        fn go(t: &ExplicitTree, path: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+            match t {
+                ExplicitTree::Leaf(_) => out.push(path.clone()),
+                ExplicitTree::Internal(c) => {
+                    for (i, ch) in c.iter().enumerate() {
+                        path.push(i as u32);
+                        go(ch, path, out);
+                        path.pop();
+                    }
+                }
+            }
+        }
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+impl TreeSource for ExplicitTree {
+    fn arity(&self, path: &[u32]) -> u32 {
+        self.descend(path)
+            .unwrap_or_else(|| panic!("path {path:?} off the tree"))
+            .degree()
+    }
+
+    fn leaf_value(&self, path: &[u32]) -> Value {
+        match self.descend(path) {
+            Some(ExplicitTree::Leaf(v)) => *v,
+            other => panic!("leaf_value at {path:?} found {other:?}"),
+        }
+    }
+
+    fn height_hint(&self) -> Option<u32> {
+        Some(self.height())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExplicitTree {
+        ExplicitTree::internal(vec![
+            ExplicitTree::internal(vec![ExplicitTree::leaf(1), ExplicitTree::leaf(0)]),
+            ExplicitTree::leaf(1),
+        ])
+    }
+
+    #[test]
+    fn basic_shape_queries() {
+        let t = sample();
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.leaf_count(), 3);
+        assert_eq!(t.degree(), 2);
+        assert!(!t.is_uniform(2, 2));
+    }
+
+    #[test]
+    fn descend_and_source_agree() {
+        let t = sample();
+        assert_eq!(t.arity(&[]), 2);
+        assert_eq!(t.arity(&[0]), 2);
+        assert_eq!(t.leaf_value(&[0, 1]), 0);
+        assert_eq!(t.leaf_value(&[1]), 1);
+        assert!(t.descend(&[1, 0]).is_none());
+    }
+
+    #[test]
+    fn uniform_detection() {
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::internal(vec![ExplicitTree::leaf(0), ExplicitTree::leaf(1)]),
+            ExplicitTree::internal(vec![ExplicitTree::leaf(1), ExplicitTree::leaf(1)]),
+        ]);
+        assert!(t.is_uniform(2, 2));
+        assert!(!t.is_uniform(2, 1));
+        assert!(!t.is_uniform(3, 2));
+        assert!(ExplicitTree::leaf(5).is_uniform(7, 0));
+    }
+
+    #[test]
+    fn from_source_roundtrip() {
+        let t = sample();
+        let copy = ExplicitTree::from_source(&&t, 10);
+        assert_eq!(t, copy);
+    }
+
+    #[test]
+    fn leaf_paths_are_in_left_to_right_order() {
+        let t = sample();
+        assert_eq!(t.leaf_paths(), vec![vec![0, 0], vec![0, 1], vec![1]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_internal_rejected() {
+        ExplicitTree::internal(vec![]);
+    }
+}

@@ -1,0 +1,77 @@
+//! The [`crate::tree!`] macro: ergonomic literals for explicit trees.
+//!
+//! ```
+//! use gt_tree::tree;
+//! use gt_tree::minimax::minimax_value;
+//!
+//! // MAX( MIN(3, 9), MIN(7, 1) ) — brackets nest, integers are leaves.
+//! let t = tree![[3, 9], [7, 1]];
+//! assert_eq!(minimax_value(&t), 3);
+//! ```
+
+/// Build an [`crate::ExplicitTree`] literal: integers are leaves,
+/// square brackets are internal nodes.  The outermost invocation is an
+/// internal node (use `ExplicitTree::leaf` directly for a lone leaf).
+#[macro_export]
+macro_rules! tree {
+    // Entry: a bracketed list of children becomes the root.
+    ( $($child:tt),+ $(,)? ) => {
+        $crate::ExplicitTree::Internal(vec![ $( $crate::tree!(@node $child) ),+ ])
+    };
+    // Internal node.
+    (@node [ $($child:tt),+ $(,)? ]) => {
+        $crate::ExplicitTree::Internal(vec![ $( $crate::tree!(@node $child) ),+ ])
+    };
+    // Parenthesized leaf expression.
+    (@node ( $value:expr )) => {
+        $crate::ExplicitTree::Leaf($value)
+    };
+    // Bare leaf token (literals, identifiers).
+    (@node $value:tt) => {
+        $crate::ExplicitTree::Leaf($value)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::minimax::{minimax_value, nor_value};
+    use crate::ExplicitTree;
+
+    #[test]
+    fn flat_tree() {
+        let t = tree![1, 0, 1];
+        assert_eq!(
+            t,
+            ExplicitTree::Internal(vec![
+                ExplicitTree::Leaf(1),
+                ExplicitTree::Leaf(0),
+                ExplicitTree::Leaf(1),
+            ])
+        );
+        assert_eq!(nor_value(&t), 0);
+    }
+
+    #[test]
+    fn nested_tree() {
+        let t = tree![[3, 9], [7, 1]];
+        assert_eq!(minimax_value(&t), 3);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.leaf_count(), 4);
+    }
+
+    #[test]
+    fn mixed_depths_and_trailing_commas() {
+        let t = tree![[1, [0, 1]], 0,];
+        assert_eq!(t.leaf_count(), 4);
+        assert_eq!(t.height(), 3);
+    }
+
+    #[test]
+    fn expressions_as_leaves_need_parens() {
+        let x = 20;
+        let t = tree![(x + 1), (x - 1)];
+        assert_eq!(minimax_value(&t), 21);
+        let t = tree![x, 5];
+        assert_eq!(minimax_value(&t), 20);
+    }
+}

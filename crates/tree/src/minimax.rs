@@ -1,0 +1,334 @@
+//! Reference (ground-truth) evaluators.
+//!
+//! Everything here is a plain recursive algorithm over a [`TreeSource`]:
+//!
+//! * [`nor_value`] / [`minimax_value`] — exhaustive evaluation with no
+//!   pruning (the definitionally-correct value every other algorithm must
+//!   agree with);
+//! * [`seq_solve`] — the paper's *Sequential SOLVE* (program `S-SOLVE`):
+//!   left-to-right NOR evaluation with early exit, reporting `S(T)` and,
+//!   optionally, the evaluated leaf set `L(T)` (needed to build the
+//!   skeleton `H_T`);
+//! * [`seq_alphabeta`] — the paper's *Sequential α-β* realized as the
+//!   classical fail-hard depth-first procedure with `α ≥ β` cutoffs,
+//!   reporting `S̃(T)` and `L̃(T)`.
+//!
+//! These recursive versions exist alongside the step-driven simulators in
+//! `gt-sim` for two reasons: they are *fast* (no per-step frontier scan),
+//! and they provide an independent implementation to cross-check the
+//! simulators against (width 0 of the parallel algorithms must reproduce
+//! them step for step).
+
+use crate::source::{TreeSource, Value};
+
+/// Statistics from a sequential evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqStats {
+    /// The value computed for the root.
+    pub value: Value,
+    /// Leaves evaluated — the paper's `S(T)` (or `S̃(T)` for α-β).
+    pub leaves_evaluated: u64,
+    /// Nodes expanded (visited), the node-expansion model's `S*(T)`.
+    pub nodes_expanded: u64,
+    /// The evaluated leaf paths in evaluation order, when requested.
+    pub leaf_paths: Option<Vec<Vec<u32>>>,
+}
+
+/// Exhaustively evaluate a NOR tree: a node is `1` iff all children are
+/// `0`; leaves carry their own values.
+pub fn nor_value<S: TreeSource>(source: &S) -> Value {
+    fn go<S: TreeSource>(s: &S, path: &mut Vec<u32>) -> Value {
+        let d = s.arity(path);
+        if d == 0 {
+            return s.leaf_value(path);
+        }
+        let mut all_zero = true;
+        for i in 0..d {
+            path.push(i);
+            if go(s, path) != 0 {
+                all_zero = false;
+            }
+            path.pop();
+        }
+        Value::from(all_zero)
+    }
+    go(source, &mut Vec::new())
+}
+
+/// Exhaustively evaluate a MIN/MAX tree (root is MAX, levels alternate).
+pub fn minimax_value<S: TreeSource>(source: &S) -> Value {
+    fn go<S: TreeSource>(s: &S, path: &mut Vec<u32>, maximizing: bool) -> Value {
+        let d = s.arity(path);
+        if d == 0 {
+            return s.leaf_value(path);
+        }
+        let mut best = if maximizing { Value::MIN } else { Value::MAX };
+        for i in 0..d {
+            path.push(i);
+            let v = go(s, path, !maximizing);
+            path.pop();
+            best = if maximizing { best.max(v) } else { best.min(v) };
+        }
+        best
+    }
+    go(source, &mut Vec::new(), true)
+}
+
+/// The value of an AND/OR tree whose NOR representation is `source`:
+/// identical up to the complementation noted in Section 2.  Provided so
+/// users thinking in AND/OR terms get the conventional answer (root is an
+/// OR node).
+pub fn and_or_value<S: TreeSource>(source: &S) -> Value {
+    // An AND/OR tree with OR root converts to a NOR tree computing the
+    // complement of the OR-root value when leaves are complemented; for
+    // the uniform trees studied here we simply evaluate by minimax over
+    // booleans: OR = max, AND = min.
+    fn go<S: TreeSource>(s: &S, path: &mut Vec<u32>, or_level: bool) -> Value {
+        let d = s.arity(path);
+        if d == 0 {
+            return s.leaf_value(path);
+        }
+        let mut best = if or_level { 0 } else { 1 };
+        for i in 0..d {
+            path.push(i);
+            let v = go(s, path, !or_level);
+            path.pop();
+            best = if or_level { best.max(v) } else { best.min(v) };
+        }
+        best
+    }
+    go(source, &mut Vec::new(), true)
+}
+
+/// Sequential SOLVE (the left-to-right algorithm, program `S-SOLVE`).
+///
+/// Set `record_leaves` to also collect `L(T)`, the evaluated leaf set, in
+/// evaluation order — the ingredient of the skeleton `H_T`.
+pub fn seq_solve<S: TreeSource>(source: &S, record_leaves: bool) -> SeqStats {
+    struct Ctx<'a, S> {
+        s: &'a S,
+        leaves: u64,
+        expanded: u64,
+        record: Option<Vec<Vec<u32>>>,
+    }
+    fn go<S: TreeSource>(c: &mut Ctx<'_, S>, path: &mut Vec<u32>) -> Value {
+        c.expanded += 1;
+        let d = c.s.arity(path);
+        if d == 0 {
+            c.leaves += 1;
+            if let Some(r) = &mut c.record {
+                r.push(path.clone());
+            }
+            return c.s.leaf_value(path);
+        }
+        for i in 0..d {
+            path.push(i);
+            let b = go(c, path);
+            path.pop();
+            if b != 0 {
+                return 0;
+            }
+        }
+        1
+    }
+    let mut c = Ctx {
+        s: source,
+        leaves: 0,
+        expanded: 0,
+        record: record_leaves.then(Vec::new),
+    };
+    let value = go(&mut c, &mut Vec::new());
+    SeqStats {
+        value,
+        leaves_evaluated: c.leaves,
+        nodes_expanded: c.expanded,
+        leaf_paths: c.record,
+    }
+}
+
+/// Sequential α-β: fail-hard depth-first search with the paper's `α ≥ β`
+/// pruning rule (which realizes both shallow and deep cutoffs).
+pub fn seq_alphabeta<S: TreeSource>(source: &S, record_leaves: bool) -> SeqStats {
+    struct Ctx<'a, S> {
+        s: &'a S,
+        leaves: u64,
+        expanded: u64,
+        record: Option<Vec<Vec<u32>>>,
+    }
+    fn go<S: TreeSource>(
+        c: &mut Ctx<'_, S>,
+        path: &mut Vec<u32>,
+        mut alpha: Value,
+        mut beta: Value,
+        maximizing: bool,
+    ) -> Value {
+        c.expanded += 1;
+        let d = c.s.arity(path);
+        if d == 0 {
+            c.leaves += 1;
+            if let Some(r) = &mut c.record {
+                r.push(path.clone());
+            }
+            return c.s.leaf_value(path);
+        }
+        let mut best = if maximizing { Value::MIN } else { Value::MAX };
+        for i in 0..d {
+            path.push(i);
+            let v = go(c, path, alpha, beta, !maximizing);
+            path.pop();
+            if maximizing {
+                best = best.max(v);
+                alpha = alpha.max(best);
+            } else {
+                best = best.min(v);
+                beta = beta.min(best);
+            }
+            if alpha >= beta {
+                break;
+            }
+        }
+        best
+    }
+    let mut c = Ctx {
+        s: source,
+        leaves: 0,
+        expanded: 0,
+        record: record_leaves.then(Vec::new),
+    };
+    let value = go(&mut c, &mut Vec::new(), Value::MIN, Value::MAX, true);
+    SeqStats {
+        value,
+        leaves_evaluated: c.leaves,
+        nodes_expanded: c.expanded,
+        leaf_paths: c.record,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::ExplicitTree;
+    use crate::gen::UniformSource;
+
+    fn nor_sample() -> ExplicitTree {
+        // NOR tree: root(NOR) over [NOR(1,0)=0, leaf 0] → children (0,0) → 1.
+        ExplicitTree::internal(vec![
+            ExplicitTree::internal(vec![ExplicitTree::leaf(1), ExplicitTree::leaf(0)]),
+            ExplicitTree::leaf(0),
+        ])
+    }
+
+    #[test]
+    fn nor_value_ground_truth() {
+        assert_eq!(nor_value(&nor_sample()), 1);
+        assert_eq!(nor_value(&ExplicitTree::leaf(0)), 0);
+        assert_eq!(nor_value(&ExplicitTree::leaf(1)), 1);
+    }
+
+    #[test]
+    fn seq_solve_early_exit() {
+        // Root children: first child evaluates to 1 ⇒ root 0 without
+        // touching the second subtree.
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::internal(vec![ExplicitTree::leaf(0), ExplicitTree::leaf(0)]),
+            ExplicitTree::internal(vec![ExplicitTree::leaf(0), ExplicitTree::leaf(0)]),
+        ]);
+        let st = seq_solve(&t, true);
+        assert_eq!(st.value, 0);
+        assert_eq!(st.leaves_evaluated, 2);
+        assert_eq!(st.leaf_paths.unwrap(), vec![vec![0, 0], vec![0, 1]]);
+    }
+
+    #[test]
+    fn seq_solve_stops_within_a_node_on_a_one() {
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::leaf(1),
+            ExplicitTree::leaf(0),
+            ExplicitTree::leaf(0),
+        ]);
+        let st = seq_solve(&t, false);
+        assert_eq!(st.value, 0);
+        assert_eq!(st.leaves_evaluated, 1);
+        assert_eq!(st.nodes_expanded, 2); // root + first leaf
+    }
+
+    #[test]
+    fn worst_case_nor_evaluates_everything() {
+        for (d, n) in [(2u32, 6u32), (3, 4), (4, 3)] {
+            let s = UniformSource::nor_worst_case(d, n);
+            let st = seq_solve(&s, false);
+            assert_eq!(st.leaves_evaluated, (d as u64).pow(n), "d={d} n={n}");
+            assert_eq!(st.value, nor_value(&s));
+        }
+    }
+
+    #[test]
+    fn minimax_matches_exhaustive_on_small_tree() {
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::internal(vec![ExplicitTree::leaf(3), ExplicitTree::leaf(9)]),
+            ExplicitTree::internal(vec![ExplicitTree::leaf(7), ExplicitTree::leaf(1)]),
+        ]);
+        // MAX( MIN(3,9)=3, MIN(7,1)=1 ) = 3
+        assert_eq!(minimax_value(&t), 3);
+        let st = seq_alphabeta(&t, true);
+        assert_eq!(st.value, 3);
+        // Alpha-beta: after MIN(3,9)=3, second MIN sees 7 then 1; with
+        // fail-hard windows the 1 closes the window after being read.
+        assert!(st.leaves_evaluated <= 4);
+    }
+
+    #[test]
+    fn alphabeta_cutoff_happens() {
+        // MAX(MIN(5, _), MIN(4, X)): after the first MIN returns ≤5 is
+        // known exactly (5 if second leaf ≥5); second MIN's first leaf 4
+        // with α=5 ⇒ β=4 ≤ α ⇒ X never evaluated.
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::internal(vec![ExplicitTree::leaf(5), ExplicitTree::leaf(8)]),
+            ExplicitTree::internal(vec![ExplicitTree::leaf(4), ExplicitTree::leaf(100)]),
+        ]);
+        let st = seq_alphabeta(&t, true);
+        assert_eq!(st.value, 5);
+        assert_eq!(st.leaves_evaluated, 3);
+        assert_eq!(
+            st.leaf_paths.unwrap(),
+            vec![vec![0, 0], vec![0, 1], vec![1, 0]]
+        );
+    }
+
+    #[test]
+    fn alphabeta_agrees_with_minimax_on_iid_trees() {
+        for seed in 0..10 {
+            let s = UniformSource::minmax_iid(3, 4, 0, 100, seed);
+            assert_eq!(seq_alphabeta(&s, false).value, minimax_value(&s));
+        }
+    }
+
+    #[test]
+    fn best_ordered_meets_knuth_moore_minimum() {
+        for (d, n) in [(2u32, 6u32), (3, 4), (4, 4), (5, 3)] {
+            let s = UniformSource::minmax_best_ordered(d, n, 42);
+            let st = seq_alphabeta(&s, false);
+            let expect =
+                (d as u64).pow(n / 2) + (d as u64).pow(n.div_ceil(2)) - 1;
+            assert_eq!(st.leaves_evaluated, expect, "d={d} n={n}");
+        }
+    }
+
+    #[test]
+    fn worst_ordered_defeats_all_pruning() {
+        for (d, n) in [(2u32, 6u32), (3, 4), (4, 3)] {
+            let s = UniformSource::minmax_worst_ordered(d, n);
+            let st = seq_alphabeta(&s, false);
+            assert_eq!(st.leaves_evaluated, (d as u64).pow(n), "d={d} n={n}");
+            assert_eq!(st.value, minimax_value(&s));
+        }
+    }
+
+    #[test]
+    fn and_or_value_single_leaf() {
+        assert_eq!(and_or_value(&ExplicitTree::leaf(1)), 1);
+        let t = ExplicitTree::internal(vec![ExplicitTree::leaf(0), ExplicitTree::leaf(1)]);
+        // OR(0, 1) = 1.
+        assert_eq!(and_or_value(&t), 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Path utilities: lexicographic comparison and leaf indexing for
+//! uniform trees.
+
+use std::cmp::Ordering;
+
+/// Lexicographic comparison of two root-to-node paths.  A proper prefix
+/// precedes its extensions (the ancestor comes first in a pre-order
+/// walk).
+pub fn cmp_paths(a: &[u32], b: &[u32]) -> Ordering {
+    a.cmp(b)
+}
+
+/// True if `a` is a (not necessarily proper) prefix of `b`, i.e. the node
+/// at `a` is an ancestor of the node at `b`.
+pub fn is_ancestor(a: &[u32], b: &[u32]) -> bool {
+    a.len() <= b.len() && a.iter().zip(b).all(|(x, y)| x == y)
+}
+
+/// Index (0-based, left to right) of the leaf at `path` in the uniform
+/// `d`-ary tree of height `path.len()`.
+pub fn leaf_index(path: &[u32], d: u32) -> u64 {
+    path.iter()
+        .fold(0u64, |acc, &c| acc * d as u64 + c as u64)
+}
+
+/// Path of the `index`-th leaf in the uniform `d`-ary tree of height `n`.
+pub fn leaf_path(mut index: u64, d: u32, n: u32) -> Vec<u32> {
+    let mut p = vec![0u32; n as usize];
+    for i in (0..n as usize).rev() {
+        p[i] = (index % d as u64) as u32;
+        index /= d as u64;
+    }
+    assert_eq!(index, 0, "leaf index out of range");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_index_roundtrip() {
+        for d in 2..5u32 {
+            for n in 0..5u32 {
+                let total = (d as u64).pow(n);
+                for i in 0..total {
+                    let p = leaf_path(i, d, n);
+                    assert_eq!(p.len(), n as usize);
+                    assert_eq!(leaf_index(&p, d), i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lexicographic_order_matches_left_to_right() {
+        assert_eq!(cmp_paths(&[0, 1], &[1, 0]), Ordering::Less);
+        assert_eq!(cmp_paths(&[0], &[0, 0]), Ordering::Less);
+        assert_eq!(cmp_paths(&[2, 1], &[2, 1]), Ordering::Equal);
+    }
+
+    #[test]
+    fn ancestor_test() {
+        assert!(is_ancestor(&[], &[0, 1]));
+        assert!(is_ancestor(&[0, 1], &[0, 1]));
+        assert!(is_ancestor(&[0], &[0, 2, 1]));
+        assert!(!is_ancestor(&[1], &[0, 2]));
+        assert!(!is_ancestor(&[0, 1, 2], &[0, 1]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn leaf_path_rejects_out_of_range() {
+        leaf_path(8, 2, 3);
+    }
+}

@@ -1,0 +1,239 @@
+//! Proof trees and the Fact 1 / Fact 2 work lower bounds.
+//!
+//! A *proof tree* of a NOR tree `T` is a smallest subtree that verifies
+//! the value of `T`: to certify a NOR node is `0` one child certified `1`
+//! suffices; to certify it is `1` every child must be certified `0`.  Any
+//! algorithm that evaluates `T` must have evaluated all leaves of some
+//! proof tree, which yields Fact 1: on `B(d,n)` the total work is at
+//! least `d^⌊n/2⌋`.  Fact 2 extends this to MIN/MAX trees via a pair of
+//! proof trees sharing one leaf: `d^⌊n/2⌋ + d^⌈n/2⌉ − 1`.
+
+use crate::minimax::minimax_value;
+use crate::source::{TreeSource, Value};
+
+/// Fact 1: lower bound `d^⌊n/2⌋` on the leaves any algorithm must
+/// evaluate on an instance of `B(d,n)`.
+pub fn fact1_lower_bound(d: u32, n: u32) -> u64 {
+    (d as u64).pow(n / 2)
+}
+
+/// Fact 2: lower bound `d^⌊n/2⌋ + d^⌈n/2⌉ − 1` for `M(d,n)`.
+pub fn fact2_lower_bound(d: u32, n: u32) -> u64 {
+    (d as u64).pow(n / 2) + (d as u64).pow(n.div_ceil(2)) - 1
+}
+
+/// Number of leaves in a smallest proof tree certifying the value of the
+/// NOR tree `source`.
+pub fn nor_proof_size<S: TreeSource>(source: &S) -> u64 {
+    fn go<S: TreeSource>(s: &S, path: &mut Vec<u32>) -> (Value, u64) {
+        let d = s.arity(path);
+        if d == 0 {
+            return (s.leaf_value(path), 1);
+        }
+        let mut child_results = Vec::with_capacity(d as usize);
+        for i in 0..d {
+            path.push(i);
+            child_results.push(go(s, path));
+            path.pop();
+        }
+        if child_results.iter().any(|&(v, _)| v != 0) {
+            // Node is 0: cheapest single child certified 1.
+            let cost = child_results
+                .iter()
+                .filter(|&&(v, _)| v != 0)
+                .map(|&(_, c)| c)
+                .min()
+                .unwrap();
+            (0, cost)
+        } else {
+            // Node is 1: all children certified 0.
+            (1, child_results.iter().map(|&(_, c)| c).sum())
+        }
+    }
+    go(source, &mut Vec::new()).1
+}
+
+/// Number of leaves in smallest proof trees certifying `val(r) > a`
+/// (first component) and `val(r) < b` (second component) for the MIN/MAX
+/// tree `source`, where `a < val(r) < b`.
+///
+/// Per Fact 2's proof, an evaluation algorithm must exhibit both, and on
+/// a uniform tree they overlap in exactly one leaf.
+pub fn minmax_proof_sizes<S: TreeSource>(source: &S, a: Value, b: Value) -> (u64, u64) {
+    let v = minimax_value(source);
+    assert!(a < v && v < b, "need a < val(r) < b (got {a} < {v} < {b})");
+    (
+        proof_gt(source, &mut Vec::new(), a, true),
+        proof_lt(source, &mut Vec::new(), b, true),
+    )
+}
+
+/// Leaves needed to certify `val(node) > a`.
+fn proof_gt<S: TreeSource>(s: &S, path: &mut Vec<u32>, a: Value, maximizing: bool) -> u64 {
+    let d = s.arity(path);
+    if d == 0 {
+        debug_assert!(s.leaf_value(path) > a);
+        return 1;
+    }
+    let mut costs = Vec::with_capacity(d as usize);
+    for i in 0..d {
+        path.push(i);
+        let v = minimax_value_at(s, path, !maximizing);
+        if v > a {
+            costs.push(proof_gt(s, path, a, !maximizing));
+        } else if !maximizing {
+            // A MIN node needs *all* children > a; this child fails, so
+            // record an impossible marker (caller guaranteed val > a, so
+            // this cannot happen on the chosen branch).
+            path.pop();
+            unreachable!("MIN child ≤ a under a node with value > a");
+        }
+        path.pop();
+    }
+    if maximizing {
+        // MAX > a: one child > a suffices.
+        costs.into_iter().min().expect("some child exceeds a")
+    } else {
+        // MIN > a: all children must exceed a.
+        costs.into_iter().sum()
+    }
+}
+
+/// Leaves needed to certify `val(node) < b`.
+fn proof_lt<S: TreeSource>(s: &S, path: &mut Vec<u32>, b: Value, maximizing: bool) -> u64 {
+    let d = s.arity(path);
+    if d == 0 {
+        debug_assert!(s.leaf_value(path) < b);
+        return 1;
+    }
+    let mut costs = Vec::with_capacity(d as usize);
+    for i in 0..d {
+        path.push(i);
+        let v = minimax_value_at(s, path, !maximizing);
+        if v < b {
+            costs.push(proof_lt(s, path, b, !maximizing));
+        } else if maximizing {
+            path.pop();
+            unreachable!("MAX child ≥ b under a node with value < b");
+        }
+        path.pop();
+    }
+    if maximizing {
+        // MAX < b: all children below b.
+        costs.into_iter().sum()
+    } else {
+        // MIN < b: one child below b suffices.
+        costs.into_iter().min().expect("some child is below b")
+    }
+}
+
+fn minimax_value_at<S: TreeSource>(s: &S, path: &mut Vec<u32>, maximizing: bool) -> Value {
+    let d = s.arity(path);
+    if d == 0 {
+        return s.leaf_value(path);
+    }
+    let mut best = if maximizing { Value::MIN } else { Value::MAX };
+    for i in 0..d {
+        path.push(i);
+        let v = minimax_value_at(s, path, !maximizing);
+        path.pop();
+        best = if maximizing { best.max(v) } else { best.min(v) };
+    }
+    best
+}
+
+/// Check Fact 1 directly on an instance: the smallest proof tree of any
+/// `T ∈ B(d,n)` has at least `d^⌊n/2⌋` leaves.
+pub fn verify_fact1<S: TreeSource>(source: &S, d: u32, n: u32) -> bool {
+    nor_proof_size(source) >= fact1_lower_bound(d, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::ExplicitTree;
+    use crate::gen::UniformSource;
+    use crate::minimax::{nor_value, seq_solve};
+
+    #[test]
+    fn fact_bounds_arithmetic() {
+        assert_eq!(fact1_lower_bound(2, 4), 4);
+        assert_eq!(fact1_lower_bound(2, 5), 4);
+        assert_eq!(fact1_lower_bound(3, 4), 9);
+        assert_eq!(fact2_lower_bound(2, 4), 4 + 4 - 1);
+        assert_eq!(fact2_lower_bound(2, 5), 4 + 8 - 1);
+        assert_eq!(fact2_lower_bound(3, 3), 3 + 9 - 1);
+    }
+
+    #[test]
+    fn proof_size_of_leaf_is_one() {
+        assert_eq!(nor_proof_size(&ExplicitTree::leaf(0)), 1);
+        assert_eq!(nor_proof_size(&ExplicitTree::leaf(1)), 1);
+    }
+
+    #[test]
+    fn proof_size_zero_node_picks_cheapest_one_child() {
+        // Root 0 because second child is 1 (cost 1); first child is a
+        // 1-subtree costing 2.
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::internal(vec![ExplicitTree::leaf(0), ExplicitTree::leaf(0)]),
+            ExplicitTree::leaf(1),
+        ]);
+        assert_eq!(nor_value(&t), 0);
+        assert_eq!(nor_proof_size(&t), 1);
+    }
+
+    #[test]
+    fn fact1_holds_on_uniform_instances() {
+        for seed in 0..6 {
+            for (d, n) in [(2u32, 6u32), (3, 4)] {
+                let s = UniformSource::nor_iid(d, n, 0.5, seed);
+                assert!(verify_fact1(&s, d, n), "d={d} n={n} seed={seed}");
+                // And the sequential algorithm's work respects it too.
+                assert!(seq_solve(&s, false).leaves_evaluated >= fact1_lower_bound(d, n));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_proof_tree_alternates_degree_1_and_d() {
+        // On B(d, n) the proof tree has degree 1 and d on alternate
+        // levels, so its size is d^⌊n/2⌋ or d^⌈n/2⌉ depending on the root
+        // value.
+        for seed in 0..6 {
+            let d = 2u32;
+            let n = 6u32;
+            let s = UniformSource::nor_iid(d, n, 0.5, seed);
+            let size = nor_proof_size(&s);
+            let v = nor_value(&s);
+            // Root NOR = 1 certificate needs all children 0 → wide level
+            // first; either way the two candidate sizes are:
+            let small = (d as u64).pow(n / 2);
+            let large = (d as u64).pow(n.div_ceil(2));
+            assert!(
+                size == small || size == large,
+                "size {size} not in {{{small},{large}}} (root {v}, seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn minmax_proofs_meet_fact2_on_uniform_trees() {
+        for seed in 0..6 {
+            let (d, n) = (2u32, 6u32);
+            let s = UniformSource::minmax_iid(d, n, 0, 1_000_000, seed);
+            let v = minimax_value(&s);
+            let (gt, lt) = minmax_proof_sizes(&s, v - 1, v + 1);
+            assert!(gt >= (d as u64).pow(n / 2), "gt proof too small");
+            assert!(lt >= (d as u64).pow(n.div_ceil(2)), "lt proof too small");
+            assert!(gt + lt > fact2_lower_bound(d, n));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn minmax_proofs_reject_bad_bracket() {
+        let t = ExplicitTree::leaf(5);
+        minmax_proof_sizes(&t, 5, 10);
+    }
+}

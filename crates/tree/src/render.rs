@@ -1,0 +1,126 @@
+//! Rendering explicit trees: ASCII art for terminals and Graphviz DOT
+//! for papers/slides.  Used by the examples and handy when debugging a
+//! counterexample instance.
+
+use crate::explicit::ExplicitTree;
+use std::fmt::Write as _;
+
+/// Render an [`ExplicitTree`] as indented ASCII, marking MAX/MIN levels
+/// (root is MAX).
+pub fn ascii(tree: &ExplicitTree) -> String {
+    let mut out = String::new();
+    fn go(t: &ExplicitTree, depth: usize, prefix: &mut String, last: bool, out: &mut String) {
+        let connector = if depth == 0 {
+            ""
+        } else if last {
+            "└── "
+        } else {
+            "├── "
+        };
+        let label = match t {
+            ExplicitTree::Leaf(v) => format!("{v}"),
+            ExplicitTree::Internal(_) => {
+                if depth.is_multiple_of(2) {
+                    "MAX".to_string()
+                } else {
+                    "MIN".to_string()
+                }
+            }
+        };
+        let _ = writeln!(out, "{prefix}{connector}{label}");
+        if let ExplicitTree::Internal(children) = t {
+            let extension = if depth == 0 {
+                ""
+            } else if last {
+                "    "
+            } else {
+                "│   "
+            };
+            prefix.push_str(extension);
+            for (i, c) in children.iter().enumerate() {
+                go(c, depth + 1, prefix, i + 1 == children.len(), out);
+            }
+            prefix.truncate(prefix.len() - extension.len());
+        }
+    }
+    go(tree, 0, &mut String::new(), true, &mut out);
+    out
+}
+
+/// Render an [`ExplicitTree`] as a Graphviz DOT digraph.  Internal
+/// nodes alternate MAX (box) and MIN (circle); leaves are plain labels.
+pub fn dot(tree: &ExplicitTree, name: &str) -> String {
+    let mut out = format!("digraph {name} {{\n  node [fontname=\"monospace\"];\n");
+    let mut next_id = 0usize;
+    fn go(
+        t: &ExplicitTree,
+        depth: usize,
+        next_id: &mut usize,
+        out: &mut String,
+    ) -> usize {
+        let my = *next_id;
+        *next_id += 1;
+        match t {
+            ExplicitTree::Leaf(v) => {
+                let _ = writeln!(out, "  n{my} [shape=plaintext, label=\"{v}\"];");
+            }
+            ExplicitTree::Internal(children) => {
+                let (shape, label) = if depth.is_multiple_of(2) {
+                    ("box", "MAX")
+                } else {
+                    ("circle", "MIN")
+                };
+                let _ = writeln!(out, "  n{my} [shape={shape}, label=\"{label}\"];");
+                for c in children {
+                    let cid = go(c, depth + 1, next_id, out);
+                    let _ = writeln!(out, "  n{my} -> n{cid};");
+                }
+            }
+        }
+        my
+    }
+    go(tree, 0, &mut next_id, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExplicitTree {
+        ExplicitTree::internal(vec![
+            ExplicitTree::internal(vec![ExplicitTree::leaf(3), ExplicitTree::leaf(9)]),
+            ExplicitTree::leaf(7),
+        ])
+    }
+
+    #[test]
+    fn ascii_contains_all_leaves_and_levels() {
+        let s = ascii(&sample());
+        assert!(s.contains("MAX"));
+        assert!(s.contains("MIN"));
+        for leaf in ["3", "9", "7"] {
+            assert!(s.contains(leaf), "missing {leaf} in:\n{s}");
+        }
+        // One line per node.
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn ascii_single_leaf() {
+        assert_eq!(ascii(&ExplicitTree::leaf(42)).trim(), "42");
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let s = dot(&sample(), "t");
+        assert!(s.starts_with("digraph t {"));
+        assert!(s.trim_end().ends_with('}'));
+        // 5 nodes, 4 edges.
+        assert_eq!(s.matches("->").count(), 4);
+        assert_eq!(s.matches("shape=").count(), 5);
+        assert_eq!(s.matches("MAX").count(), 1);
+        assert_eq!(s.matches("MIN").count(), 1);
+    }
+}

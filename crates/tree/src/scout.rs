@@ -1,0 +1,278 @@
+//! SCOUT (Pearl, *Heuristics* 1984): the test-then-search MIN/MAX
+//! evaluation algorithm.
+//!
+//! Section 6 of the paper remarks that the randomized version of a
+//! variant of sequential α-β, *SCOUT*, was proved optimal among
+//! randomized sequential algorithms (Saks–Wigderson).  SCOUT evaluates
+//! the first child exactly, then for each later child first runs a
+//! cheap Boolean *test* ("is val(child) > v?") and re-searches exactly
+//! only when the test succeeds.  We implement it as a second sequential
+//! baseline, with the same counters as the α-β reference, plus its
+//! randomized counterpart via [`crate::source::Permuted`].
+
+use crate::source::{Permuted, TreeSource, Value};
+
+/// Counters from a SCOUT run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoutStats {
+    /// The exact root value.
+    pub value: Value,
+    /// Leaf evaluations (tests and exact searches both count; repeated
+    /// evaluation of the same leaf counts each time, as SCOUT has no
+    /// memory).
+    pub leaves_evaluated: u64,
+    /// Leaf evaluations performed inside Boolean tests only.
+    pub test_leaves: u64,
+    /// Number of re-searches (tests that succeeded and forced an exact
+    /// evaluation).
+    pub researches: u64,
+}
+
+/// Evaluate a MIN/MAX tree with SCOUT (root is MAX).
+///
+/// ```
+/// use gt_tree::scout::scout;
+/// use gt_tree::gen::UniformSource;
+/// use gt_tree::minimax::minimax_value;
+///
+/// let tree = UniformSource::minmax_iid(2, 6, 0, 50, 1);
+/// assert_eq!(scout(&tree).value, minimax_value(&tree));
+/// ```
+pub fn scout<S: TreeSource>(source: &S) -> ScoutStats {
+    let mut st = ScoutStats {
+        value: 0,
+        leaves_evaluated: 0,
+        test_leaves: 0,
+        researches: 0,
+    };
+    st.value = eval(source, &mut Vec::new(), true, &mut st);
+    st
+}
+
+/// Randomized SCOUT: SCOUT on a randomly permuted tree (Section 6's
+/// randomization device).
+pub fn r_scout<S: TreeSource>(source: S, seed: u64) -> ScoutStats {
+    let permuted = Permuted::new(source, seed);
+    scout(&permuted)
+}
+
+fn eval<S: TreeSource>(
+    s: &S,
+    path: &mut Vec<u32>,
+    maximizing: bool,
+    st: &mut ScoutStats,
+) -> Value {
+    let d = s.arity(path);
+    if d == 0 {
+        st.leaves_evaluated += 1;
+        return s.leaf_value(path);
+    }
+    path.push(0);
+    let mut best = eval(s, path, !maximizing, st);
+    path.pop();
+    for i in 1..d {
+        path.push(i);
+        // TEST: can child i beat `best` for the mover?
+        let beats = if maximizing {
+            test_gt(s, path, best, !maximizing, st)
+        } else {
+            test_lt(s, path, best, !maximizing, st)
+        };
+        if beats {
+            st.researches += 1;
+            best = eval(s, path, !maximizing, st);
+        }
+        path.pop();
+    }
+    best
+}
+
+/// Boolean test: is `val(node) > bound`?
+fn test_gt<S: TreeSource>(
+    s: &S,
+    path: &mut Vec<u32>,
+    bound: Value,
+    maximizing: bool,
+    st: &mut ScoutStats,
+) -> bool {
+    let d = s.arity(path);
+    if d == 0 {
+        st.leaves_evaluated += 1;
+        st.test_leaves += 1;
+        return s.leaf_value(path) > bound;
+    }
+    if maximizing {
+        // MAX > bound iff some child > bound.
+        for i in 0..d {
+            path.push(i);
+            let r = test_gt(s, path, bound, false, st);
+            path.pop();
+            if r {
+                return true;
+            }
+        }
+        false
+    } else {
+        // MIN > bound iff all children > bound.
+        for i in 0..d {
+            path.push(i);
+            let r = test_gt(s, path, bound, true, st);
+            path.pop();
+            if !r {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Boolean test: is `val(node) < bound`?
+fn test_lt<S: TreeSource>(
+    s: &S,
+    path: &mut Vec<u32>,
+    bound: Value,
+    maximizing: bool,
+    st: &mut ScoutStats,
+) -> bool {
+    let d = s.arity(path);
+    if d == 0 {
+        st.leaves_evaluated += 1;
+        st.test_leaves += 1;
+        return s.leaf_value(path) < bound;
+    }
+    if maximizing {
+        // MAX < bound iff all children < bound.
+        for i in 0..d {
+            path.push(i);
+            let r = test_lt(s, path, bound, false, st);
+            path.pop();
+            if !r {
+                return false;
+            }
+        }
+        true
+    } else {
+        // MIN < bound iff some child < bound.
+        for i in 0..d {
+            path.push(i);
+            let r = test_lt(s, path, bound, true, st);
+            path.pop();
+            if r {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::UniformSource;
+    use crate::minimax::{minimax_value, seq_alphabeta};
+    use crate::ExplicitTree;
+
+    #[test]
+    fn scout_is_exact_on_small_trees() {
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::internal(vec![ExplicitTree::leaf(3), ExplicitTree::leaf(9)]),
+            ExplicitTree::internal(vec![ExplicitTree::leaf(7), ExplicitTree::leaf(1)]),
+        ]);
+        let st = scout(&t);
+        assert_eq!(st.value, 3);
+    }
+
+    #[test]
+    fn scout_matches_minimax_on_random_trees() {
+        for seed in 0..20 {
+            for (d, n) in [(2u32, 6u32), (3, 4)] {
+                let s = UniformSource::minmax_iid(d, n, -50, 50, seed);
+                assert_eq!(scout(&s).value, minimax_value(&s), "d={d} n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn scout_handles_duplicate_values() {
+        for seed in 0..10 {
+            let s = UniformSource::minmax_iid(2, 6, 0, 2, seed);
+            assert_eq!(scout(&s).value, minimax_value(&s), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scout_single_leaf_and_unary_chain() {
+        assert_eq!(scout(&ExplicitTree::leaf(5)).value, 5);
+        let chain = ExplicitTree::internal(vec![ExplicitTree::internal(vec![
+            ExplicitTree::leaf(-3),
+        ])]);
+        assert_eq!(scout(&chain).value, -3);
+    }
+
+    #[test]
+    fn scout_never_researches_on_best_ordered_trees() {
+        // All-equal leaves: no later child ever beats the first, so every
+        // test fails and nothing is re-searched.
+        let s = UniformSource::minmax_best_ordered(3, 4, 7);
+        let st = scout(&s);
+        assert_eq!(st.researches, 0);
+        assert_eq!(st.value, 7);
+    }
+
+    #[test]
+    fn scout_researches_on_worst_ordered_trees() {
+        // Worst-to-best ordering: every sibling beats the incumbent, so
+        // tests keep succeeding.
+        let s = UniformSource::minmax_worst_ordered(2, 6);
+        let st = scout(&s);
+        assert!(st.researches > 0);
+        assert_eq!(st.value, minimax_value(&s));
+    }
+
+    #[test]
+    fn scout_is_competitive_with_alphabeta_on_random_trees() {
+        // Classical result: SCOUT and alpha-beta are within a small
+        // factor of each other; check SCOUT isn't pathologically worse.
+        let mut scout_total = 0u64;
+        let mut ab_total = 0u64;
+        for seed in 0..10 {
+            let s = UniformSource::minmax_iid(2, 8, 0, 1 << 20, seed);
+            scout_total += scout(&s).leaves_evaluated;
+            ab_total += seq_alphabeta(&s, false).leaves_evaluated;
+        }
+        assert!(
+            scout_total < 3 * ab_total,
+            "SCOUT {scout_total} vs alpha-beta {ab_total}"
+        );
+    }
+
+    #[test]
+    fn r_scout_is_exact_for_every_seed() {
+        let s = UniformSource::minmax_iid(2, 5, 0, 100, 3);
+        let truth = minimax_value(&s);
+        for seed in 0..20 {
+            assert_eq!(r_scout(&s, seed).value, truth, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn r_scout_beats_deterministic_scout_on_worst_ordered() {
+        // On the worst-ordered instance the deterministic child order is
+        // maximally misleading; random orders are better in expectation.
+        let s = UniformSource::minmax_worst_ordered(2, 8);
+        let det = scout(&s).leaves_evaluated as f64;
+        let mean: f64 = (0..16)
+            .map(|seed| r_scout(&s, seed).leaves_evaluated as f64)
+            .sum::<f64>()
+            / 16.0;
+        assert!(mean < det, "E[R-SCOUT] {mean} should beat SCOUT {det}");
+    }
+
+    #[test]
+    fn test_leaves_are_counted_separately() {
+        let s = UniformSource::minmax_iid(2, 6, 0, 1 << 10, 1);
+        let st = scout(&s);
+        assert!(st.test_leaves > 0);
+        assert!(st.test_leaves <= st.leaves_evaluated);
+    }
+}

@@ -1,0 +1,175 @@
+//! The skeleton `H_T` of Section 3.
+//!
+//! For a NOR tree `T`, let `L(T)` be the leaves Sequential SOLVE
+//! evaluates.  The skeleton `H_T` is obtained from `T` by deleting every
+//! node that is not an ancestor of a leaf in `L(T)`.  Proposition 2 (and
+//! its α-β counterpart, Proposition 5) states `P_w(T) ≤ P_w(H_T)` — the
+//! parallel algorithm can only get *slower* on the skeleton — which is
+//! the reduction that lets the whole analysis work on `H_T`.
+//!
+//! [`skeleton_of`] builds `H_T` as an [`ExplicitTree`] from the evaluated
+//! leaf set; [`nor_skeleton`] and [`alphabeta_skeleton`] run the
+//! corresponding sequential algorithm first.
+
+use crate::explicit::ExplicitTree;
+use crate::minimax::{seq_alphabeta, seq_solve};
+use crate::source::TreeSource;
+
+/// Build the subtree of `source` spanned by the ancestors of the given
+/// leaf paths.  Children keep their original left-to-right order (indices
+/// are compacted).  Panics if `leaf_paths` is empty or contains a path
+/// that is not a leaf of `source`.
+pub fn skeleton_of<S: TreeSource>(source: &S, leaf_paths: &[Vec<u32>]) -> ExplicitTree {
+    assert!(!leaf_paths.is_empty(), "skeleton of an empty leaf set");
+    let mut sorted: Vec<&Vec<u32>> = leaf_paths.iter().collect();
+    sorted.sort();
+    sorted.dedup();
+    build(source, &mut Vec::new(), &sorted)
+}
+
+fn build<S: TreeSource>(
+    source: &S,
+    prefix: &mut Vec<u32>,
+    paths: &[&Vec<u32>],
+) -> ExplicitTree {
+    let depth = prefix.len();
+    // All paths share `prefix`.  If the first path ends here, this node is
+    // an evaluated leaf (and, being a leaf, it must be the only path).
+    if paths[0].len() == depth {
+        assert_eq!(
+            paths.len(),
+            1,
+            "leaf path {:?} is a prefix of another evaluated leaf",
+            paths[0]
+        );
+        assert_eq!(source.arity(prefix), 0, "path {prefix:?} is not a leaf");
+        return ExplicitTree::Leaf(source.leaf_value(prefix));
+    }
+    // Group by the child index at `depth`; paths are sorted, so groups are
+    // contiguous and in left-to-right order.
+    let mut children = Vec::new();
+    let mut i = 0;
+    while i < paths.len() {
+        let c = paths[i][depth];
+        let mut j = i + 1;
+        while j < paths.len() && paths[j][depth] == c {
+            j += 1;
+        }
+        prefix.push(c);
+        children.push(build(source, prefix, &paths[i..j]));
+        prefix.pop();
+        i = j;
+    }
+    ExplicitTree::Internal(children)
+}
+
+/// Run Sequential SOLVE on `source` and return its skeleton `H_T`.
+pub fn nor_skeleton<S: TreeSource>(source: &S) -> ExplicitTree {
+    let stats = seq_solve(source, true);
+    skeleton_of(source, &stats.leaf_paths.expect("leaves recorded"))
+}
+
+/// Run Sequential α-β on `source` and return its skeleton `H̃_T`.
+pub fn alphabeta_skeleton<S: TreeSource>(source: &S) -> ExplicitTree {
+    let stats = seq_alphabeta(source, true);
+    skeleton_of(source, &stats.leaf_paths.expect("leaves recorded"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::UniformSource;
+    use crate::minimax::{nor_value, seq_solve};
+
+    #[test]
+    fn skeleton_of_single_leaf() {
+        let t = ExplicitTree::internal(vec![ExplicitTree::leaf(1), ExplicitTree::leaf(0)]);
+        let h = skeleton_of(&t, &[vec![0]]);
+        assert_eq!(h, ExplicitTree::internal(vec![ExplicitTree::leaf(1)]));
+    }
+
+    #[test]
+    fn skeleton_preserves_order_and_values() {
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::internal(vec![ExplicitTree::leaf(10), ExplicitTree::leaf(20)]),
+            ExplicitTree::leaf(30),
+            ExplicitTree::leaf(40),
+        ]);
+        let h = skeleton_of(&t, &[vec![0, 1], vec![2]]);
+        assert_eq!(
+            h,
+            ExplicitTree::internal(vec![
+                ExplicitTree::internal(vec![ExplicitTree::leaf(20)]),
+                ExplicitTree::leaf(40),
+            ])
+        );
+    }
+
+    #[test]
+    fn nor_skeleton_has_same_value_and_leaf_count() {
+        for seed in 0..8 {
+            let s = UniformSource::nor_iid(2, 8, 0.5, seed);
+            let st = seq_solve(&s, false);
+            let h = nor_skeleton(&s);
+            assert_eq!(h.leaf_count(), st.leaves_evaluated, "seed {seed}");
+            // Sequential SOLVE on H_T evaluates all its leaves and yields
+            // the same value.
+            let sh = seq_solve(&h, false);
+            assert_eq!(sh.value, st.value);
+            assert_eq!(sh.leaves_evaluated, h.leaf_count());
+            assert_eq!(nor_value(&h), st.value);
+        }
+    }
+
+    #[test]
+    fn nor_skeleton_left_siblings_are_complete() {
+        // The paper notes nodes of H_T keep the same left-sibling set: the
+        // skeleton never skips a left sibling.  Verify: at every internal
+        // node of H_T built from Sequential SOLVE, the kept children are a
+        // prefix-closed selection only when the parent's value forces it —
+        // concretely, the kept child indices in T must form a contiguous
+        // prefix 0..k.
+        for seed in 0..8 {
+            let s = UniformSource::nor_iid(3, 5, 0.4, seed);
+            let stats = seq_solve(&s, true);
+            let mut paths = stats.leaf_paths.unwrap();
+            paths.sort();
+            // For every evaluated leaf path p and every ancestor position
+            // i, all sibling indices 0..p[i] must appear as ancestors of
+            // some evaluated leaf.
+            for p in &paths {
+                for i in 0..p.len() {
+                    for c in 0..p[i] {
+                        let mut want = p[..i].to_vec();
+                        want.push(c);
+                        assert!(
+                            paths.iter().any(|q| q.len() > i
+                                && q[..i] == want[..i]
+                                && q[i] == c),
+                            "missing left sibling {want:?} (seed {seed})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alphabeta_skeleton_value_preserved() {
+        for seed in 0..8 {
+            let s = UniformSource::minmax_iid(2, 6, 0, 1000, seed);
+            let st = seq_alphabeta(&s, false);
+            let h = alphabeta_skeleton(&s);
+            let sh = seq_alphabeta(&h, false);
+            assert_eq!(sh.value, st.value, "seed {seed}");
+            assert_eq!(h.leaf_count(), st.leaves_evaluated);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_leaf_set_rejected() {
+        let t = ExplicitTree::leaf(1);
+        skeleton_of(&t, &[]);
+    }
+}

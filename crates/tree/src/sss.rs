@@ -1,0 +1,505 @@
+//! SSS\* (Stockman 1979): best-first MIN/MAX tree search.
+//!
+//! The paper's related work (\[11\] Vornberger, *Parallel alpha-beta
+//! versus parallel SSS\**) compares parallel α-β against parallel
+//! SSS\*; we implement the sequential algorithm as a second baseline.
+//! SSS\* maintains a priority list of `(node, status, merit)` triples
+//! and repeatedly expands the highest-merit entry.  Its classical
+//! **dominance property**: SSS\* never evaluates a leaf that α-β (on
+//! the same tree, same ordering) skips — its leaf set is a subset of
+//! α-β's — at the price of storing the OPEN list.
+//!
+//! This implementation follows Stockman's Γ-operator formulation, with
+//! node identity = root path and leaf evaluation counted exactly like
+//! the other baselines.
+
+use crate::source::{TreeSource, Value};
+use std::collections::BinaryHeap;
+
+/// Solved/live status of an OPEN-list entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Merit is an upper bound; the node is still being explored.
+    Live,
+    /// Merit is the exact solved value of this node.
+    Solved,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    merit: Value,
+    /// Tie-break: deeper/leftmost first keeps the classical behaviour
+    /// deterministic.
+    path: Vec<u32>,
+    status: Status,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap on merit; ties: prefer Solved, then leftmost-deepest
+        // path (lexicographically smaller paths first).
+        self.merit
+            .cmp(&other.merit)
+            .then_with(|| {
+                let a = matches!(self.status, Status::Solved);
+                let b = matches!(other.status, Status::Solved);
+                a.cmp(&b)
+            })
+            .then_with(|| other.path.cmp(&self.path))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Counters from an SSS\* run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SssStats {
+    /// The exact root value.
+    pub value: Value,
+    /// Distinct leaves evaluated.
+    pub leaves_evaluated: u64,
+    /// Peak size of the OPEN list — the memory cost α-β avoids.
+    pub peak_open: usize,
+    /// Paths of evaluated leaves, in evaluation order.
+    pub leaf_paths: Vec<Vec<u32>>,
+}
+
+/// Evaluate a MIN/MAX tree (root MAX) with SSS\*.
+///
+/// ```
+/// use gt_tree::sss::sss_star;
+/// use gt_tree::gen::UniformSource;
+/// use gt_tree::minimax::seq_alphabeta;
+///
+/// let tree = UniformSource::minmax_iid(2, 6, 0, 1000, 5);
+/// let sss = sss_star(&tree);
+/// let ab = seq_alphabeta(&tree, false);
+/// assert_eq!(sss.value, ab.value);
+/// assert!(sss.leaves_evaluated <= ab.leaves_evaluated);  // dominance
+/// ```
+pub fn sss_star<S: TreeSource>(source: &S) -> SssStats {
+    let mut open: BinaryHeap<Entry> = BinaryHeap::new();
+    let mut stats = SssStats {
+        value: 0,
+        leaves_evaluated: 0,
+        peak_open: 0,
+        leaf_paths: Vec::new(),
+    };
+    open.push(Entry {
+        merit: Value::MAX,
+        path: Vec::new(),
+        status: Status::Live,
+    });
+    loop {
+        stats.peak_open = stats.peak_open.max(open.len());
+        let top = open.pop().expect("OPEN list never empties before root solves");
+        if top.path.is_empty() && top.status == Status::Solved {
+            stats.value = top.merit;
+            return stats;
+        }
+        match top.status {
+            Status::Live => {
+                let d = source.arity(&top.path);
+                if d == 0 {
+                    // Evaluate the leaf; merit becomes min(h, value).
+                    let v = source.leaf_value(&top.path);
+                    stats.leaves_evaluated += 1;
+                    stats.leaf_paths.push(top.path.clone());
+                    open.push(Entry {
+                        merit: top.merit.min(v),
+                        path: top.path,
+                        status: Status::Solved,
+                    });
+                } else if is_min(&top.path) {
+                    // MIN node: all children belong to the same solution
+                    // tree — explore them one at a time, leftmost first.
+                    let mut p = top.path.clone();
+                    p.push(0);
+                    open.push(Entry {
+                        merit: top.merit,
+                        path: p,
+                        status: Status::Live,
+                    });
+                } else {
+                    // MAX node: each child starts an alternative
+                    // solution tree — branch over all of them.
+                    for i in 0..d {
+                        let mut p = top.path.clone();
+                        p.push(i);
+                        open.push(Entry {
+                            merit: top.merit,
+                            path: p,
+                            status: Status::Live,
+                        });
+                    }
+                }
+            }
+            Status::Solved => {
+                let parent_is_min = is_min(&top.path[..top.path.len() - 1]);
+                let my_index = *top.path.last().unwrap();
+                let parent: Vec<u32> = top.path[..top.path.len() - 1].to_vec();
+                if parent_is_min {
+                    // Solved child of a MIN node: the solution tree
+                    // continues with the next sibling; when none remain
+                    // the MIN node is solved at the accumulated merit.
+                    let d = source.arity(&parent);
+                    if my_index + 1 < d {
+                        let mut p = parent;
+                        p.push(my_index + 1);
+                        open.push(Entry {
+                            merit: top.merit,
+                            path: p,
+                            status: Status::Live,
+                        });
+                    } else {
+                        open.push(Entry {
+                            merit: top.merit,
+                            path: parent,
+                            status: Status::Solved,
+                        });
+                    }
+                } else {
+                    // Solved child of a MAX node: best-first guarantees
+                    // no alternative child strategy can beat this merit,
+                    // so the MAX node is solved; purge the now-dominated
+                    // descendants.
+                    purge_descendants(&mut open, &parent);
+                    open.push(Entry {
+                        merit: top.merit,
+                        path: parent,
+                        status: Status::Solved,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Counters from a parallel SSS\* run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SssParStats {
+    /// The exact root value.
+    pub value: Value,
+    /// Total leaf evaluations.
+    pub leaves_evaluated: u64,
+    /// Lock-step batches executed (including pure-bookkeeping batches).
+    pub steps: u64,
+    /// Batches in which at least one leaf was evaluated — the running
+    /// time in the leaf-evaluation model's accounting, where internal
+    /// Γ-operations are free (exactly as the α-β pruning process's
+    /// propagation and pruning steps are free).
+    pub leaf_steps: u64,
+    /// Largest batch actually processed.
+    pub max_batch: u32,
+    /// Peak OPEN list size.
+    pub peak_open: usize,
+}
+
+/// Lock-step parallel SSS\* of width `k` (the subject of reference
+/// \[11\], Vornberger): each step pops the `k` best OPEN entries and
+/// applies the Γ-operator to all of them.
+///
+/// Entries popped later in a batch that fall inside a subtree purged by
+/// an earlier (better-merit) member of the same batch are discarded, so
+/// the batch behaves like a merit-ordered sequential burst — which
+/// keeps the root value exact while allowing `k`-way leaf parallelism.
+pub fn parallel_sss_star<S: TreeSource>(source: &S, k: u32) -> SssParStats {
+    assert!(k >= 1);
+    let mut open: BinaryHeap<Entry> = BinaryHeap::new();
+    let mut stats = SssParStats {
+        value: 0,
+        leaves_evaluated: 0,
+        steps: 0,
+        leaf_steps: 0,
+        max_batch: 0,
+        peak_open: 0,
+    };
+    open.push(Entry {
+        merit: Value::MAX,
+        path: Vec::new(),
+        status: Status::Live,
+    });
+    loop {
+        stats.peak_open = stats.peak_open.max(open.len());
+        stats.steps += 1;
+        let leaves_before = stats.leaves_evaluated;
+        let mut batch = Vec::new();
+        for _ in 0..k {
+            match open.pop() {
+                Some(e) => batch.push(e),
+                None => break,
+            }
+        }
+        assert!(!batch.is_empty(), "OPEN exhausted before the root solved");
+        stats.max_batch = stats.max_batch.max(batch.len() as u32);
+        // Subtrees purged by earlier batch members this step.
+        let mut purged_roots: Vec<Vec<u32>> = Vec::new();
+        let mut finished: Option<Value> = None;
+        for top in batch {
+            if purged_roots
+                .iter()
+                .any(|r| top.path.len() > r.len() && top.path[..r.len()] == r[..])
+            {
+                continue; // would have been purged before its pop
+            }
+            // Solved entries at a MAX decision point (including the
+            // root) may only act when no strictly better merit is
+            // outstanding — acting early would purge strategies that
+            // could still win.  Live expansions and MIN-side advances
+            // are merit-safe speculation and may run early.
+            let max_decision = top.status == Status::Solved
+                && (top.path.is_empty() || !is_min(&top.path[..top.path.len() - 1]));
+            if max_decision
+                && open.peek().is_some_and(|e| e.merit > top.merit)
+            {
+                open.push(top); // defer to a later step
+                continue;
+            }
+            if top.path.is_empty() && top.status == Status::Solved {
+                finished = Some(top.merit);
+                break;
+            }
+            match top.status {
+                Status::Live => {
+                    let d = source.arity(&top.path);
+                    if d == 0 {
+                        let v = source.leaf_value(&top.path);
+                        stats.leaves_evaluated += 1;
+                        open.push(Entry {
+                            merit: top.merit.min(v),
+                            path: top.path,
+                            status: Status::Solved,
+                        });
+                    } else if is_min(&top.path) {
+                        let mut p = top.path.clone();
+                        p.push(0);
+                        open.push(Entry {
+                            merit: top.merit,
+                            path: p,
+                            status: Status::Live,
+                        });
+                    } else {
+                        for i in 0..d {
+                            let mut p = top.path.clone();
+                            p.push(i);
+                            open.push(Entry {
+                                merit: top.merit,
+                                path: p,
+                                status: Status::Live,
+                            });
+                        }
+                    }
+                }
+                Status::Solved => {
+                    let parent_is_min = is_min(&top.path[..top.path.len() - 1]);
+                    let my_index = *top.path.last().unwrap();
+                    let parent: Vec<u32> = top.path[..top.path.len() - 1].to_vec();
+                    if parent_is_min {
+                        let d = source.arity(&parent);
+                        if my_index + 1 < d {
+                            let mut p = parent;
+                            p.push(my_index + 1);
+                            open.push(Entry {
+                                merit: top.merit,
+                                path: p,
+                                status: Status::Live,
+                            });
+                        } else {
+                            open.push(Entry {
+                                merit: top.merit,
+                                path: parent,
+                                status: Status::Solved,
+                            });
+                        }
+                    } else {
+                        purge_descendants(&mut open, &parent);
+                        purged_roots.push(parent.clone());
+                        open.push(Entry {
+                            merit: top.merit,
+                            path: parent,
+                            status: Status::Solved,
+                        });
+                    }
+                }
+            }
+        }
+        if stats.leaves_evaluated > leaves_before {
+            stats.leaf_steps += 1;
+        }
+        if let Some(v) = finished {
+            stats.value = v;
+            return stats;
+        }
+    }
+}
+
+/// Is the node at `path` a MIN node?  Root (depth 0) is MAX.
+fn is_min(path: &[u32]) -> bool {
+    path.len() % 2 == 1
+}
+
+/// Remove every OPEN entry strictly below `ancestor`.
+fn purge_descendants(open: &mut BinaryHeap<Entry>, ancestor: &[u32]) {
+    let keep: Vec<Entry> = open
+        .drain()
+        .filter(|e| {
+            !(e.path.len() > ancestor.len() && e.path[..ancestor.len()] == *ancestor)
+        })
+        .collect();
+    open.extend(keep);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::UniformSource;
+    use crate::minimax::{minimax_value, seq_alphabeta};
+    use crate::ExplicitTree;
+
+    #[test]
+    fn solves_a_leaf() {
+        let st = sss_star(&ExplicitTree::leaf(7));
+        assert_eq!(st.value, 7);
+        assert_eq!(st.leaves_evaluated, 1);
+    }
+
+    #[test]
+    fn solves_small_trees_exactly() {
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::internal(vec![ExplicitTree::leaf(3), ExplicitTree::leaf(9)]),
+            ExplicitTree::internal(vec![ExplicitTree::leaf(7), ExplicitTree::leaf(1)]),
+        ]);
+        assert_eq!(sss_star(&t).value, 3);
+    }
+
+    #[test]
+    fn matches_minimax_on_random_uniform_trees() {
+        for seed in 0..25 {
+            for (d, n) in [(2u32, 6u32), (3, 4)] {
+                let s = UniformSource::minmax_iid(d, n, -100, 100, seed);
+                assert_eq!(
+                    sss_star(&s).value,
+                    minimax_value(&s),
+                    "d={d} n={n} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_minimax_with_duplicate_leaves() {
+        for seed in 0..15 {
+            let s = UniformSource::minmax_iid(2, 6, 0, 3, seed);
+            assert_eq!(sss_star(&s).value, minimax_value(&s), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_minimax_on_irregular_trees() {
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::leaf(4),
+            ExplicitTree::internal(vec![
+                ExplicitTree::leaf(6),
+                ExplicitTree::internal(vec![ExplicitTree::leaf(2), ExplicitTree::leaf(9)]),
+                ExplicitTree::leaf(5),
+            ]),
+        ]);
+        assert_eq!(sss_star(&t).value, minimax_value(&t));
+    }
+
+    #[test]
+    fn dominance_over_alphabeta_on_uniform_trees() {
+        // The classical SSS* property: never more leaf evaluations than
+        // alpha-beta on the same instance.
+        for seed in 0..20 {
+            for (d, n) in [(2u32, 6u32), (3, 4)] {
+                let s = UniformSource::minmax_iid(d, n, 0, 1 << 20, seed);
+                let sss = sss_star(&s).leaves_evaluated;
+                let ab = seq_alphabeta(&s, false).leaves_evaluated;
+                assert!(
+                    sss <= ab,
+                    "SSS* {sss} > alpha-beta {ab} (d={d} n={n} seed={seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beats_alphabeta_on_worst_ordered_trees() {
+        // Best-first search is immune to bad left-to-right ordering.
+        let s = UniformSource::minmax_worst_ordered(2, 8);
+        let sss = sss_star(&s).leaves_evaluated;
+        let ab = seq_alphabeta(&s, false).leaves_evaluated;
+        assert!(sss < ab, "SSS* {sss} should beat alpha-beta {ab}");
+    }
+
+    #[test]
+    fn open_list_memory_is_reported() {
+        let s = UniformSource::minmax_iid(3, 4, 0, 1000, 1);
+        let st = sss_star(&s);
+        assert!(st.peak_open > 1, "OPEN list should grow beyond the root");
+        assert_eq!(st.leaf_paths.len() as u64, st.leaves_evaluated);
+    }
+
+    #[test]
+    fn parallel_sss_is_exact_across_widths() {
+        for seed in 0..12 {
+            for (d, n) in [(2u32, 6u32), (3, 4)] {
+                let s = UniformSource::minmax_iid(d, n, -100, 100, seed);
+                let truth = minimax_value(&s);
+                for k in [1u32, 2, 4, 8] {
+                    let st = parallel_sss_star(&s, k);
+                    assert_eq!(st.value, truth, "d={d} n={n} k={k} seed={seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sss_width1_matches_sequential_leaf_count() {
+        for seed in 0..10 {
+            let s = UniformSource::minmax_iid(2, 6, 0, 1000, seed);
+            let seq = sss_star(&s);
+            let par = parallel_sss_star(&s, 1);
+            assert_eq!(par.value, seq.value);
+            assert_eq!(par.leaves_evaluated, seq.leaves_evaluated, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_sss_steps_shrink_with_width() {
+        let s = UniformSource::minmax_worst_ordered(2, 8);
+        let mut prev = u64::MAX;
+        for k in [1u32, 2, 4, 8] {
+            let st = parallel_sss_star(&s, k);
+            assert!(st.steps <= prev, "k={k} slower: {} vs {prev}", st.steps);
+            prev = st.steps;
+        }
+    }
+
+    #[test]
+    fn parallel_sss_speculation_is_bounded() {
+        // Extra leaves from speculative batch members stay within a
+        // modest factor of the sequential best-first leaf count.
+        for seed in 0..8 {
+            let s = UniformSource::minmax_iid(2, 8, 0, 1 << 20, seed);
+            let seq = sss_star(&s).leaves_evaluated;
+            let par = parallel_sss_star(&s, 4).leaves_evaluated;
+            assert!(par <= 4 * seq + 8, "k=4: {par} vs {seq} (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn leaves_are_distinct() {
+        let s = UniformSource::minmax_iid(2, 6, 0, 100, 2);
+        let st = sss_star(&s);
+        let mut paths = st.leaf_paths.clone();
+        paths.sort();
+        paths.dedup();
+        assert_eq!(paths.len() as u64, st.leaves_evaluated, "a leaf was re-evaluated");
+    }
+}

@@ -1,0 +1,143 @@
+//! Shape statistics for tree sources: arity and leaf-depth histograms,
+//! leaf-value distributions.  Used to validate generators (e.g. that a
+//! Corollary 2 near-uniform source really keeps its promised arity and
+//! depth ranges) and to characterize workloads in reports.
+
+use crate::source::{TreeSource, Value};
+use std::collections::BTreeMap;
+
+/// Shape statistics of (a truncated exploration of) a tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShapeStats {
+    /// `arity → count` over internal nodes.
+    pub arity_histogram: BTreeMap<u32, u64>,
+    /// `depth → count` over leaves.
+    pub leaf_depth_histogram: BTreeMap<u32, u64>,
+    /// `value → count` over leaves.
+    pub leaf_value_histogram: BTreeMap<Value, u64>,
+    /// Total nodes visited.
+    pub nodes: u64,
+    /// True if the walk was cut off by the node budget.
+    pub truncated: bool,
+}
+
+impl ShapeStats {
+    /// Number of leaves seen.
+    pub fn leaf_count(&self) -> u64 {
+        self.leaf_depth_histogram.values().sum()
+    }
+
+    /// Smallest and largest leaf depth seen.
+    pub fn depth_range(&self) -> Option<(u32, u32)> {
+        let min = *self.leaf_depth_histogram.keys().next()?;
+        let max = *self.leaf_depth_histogram.keys().next_back()?;
+        Some((min, max))
+    }
+
+    /// Smallest and largest internal arity seen.
+    pub fn arity_range(&self) -> Option<(u32, u32)> {
+        let min = *self.arity_histogram.keys().next()?;
+        let max = *self.arity_histogram.keys().next_back()?;
+        Some((min, max))
+    }
+
+    /// Mean leaf value.
+    pub fn mean_leaf_value(&self) -> f64 {
+        let n = self.leaf_count();
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: i128 = self
+            .leaf_value_histogram
+            .iter()
+            .map(|(&v, &c)| v as i128 * c as i128)
+            .sum();
+        sum as f64 / n as f64
+    }
+}
+
+/// Walk `source` depth-first (up to `max_nodes` nodes) and collect shape
+/// statistics.
+pub fn shape_stats<S: TreeSource>(source: &S, max_nodes: u64) -> ShapeStats {
+    let mut st = ShapeStats::default();
+    let mut path = Vec::new();
+    walk(source, &mut path, max_nodes, &mut st);
+    st
+}
+
+fn walk<S: TreeSource>(s: &S, path: &mut Vec<u32>, budget: u64, st: &mut ShapeStats) {
+    if st.nodes >= budget {
+        st.truncated = true;
+        return;
+    }
+    st.nodes += 1;
+    let d = s.arity(path);
+    if d == 0 {
+        *st.leaf_depth_histogram.entry(path.len() as u32).or_insert(0) += 1;
+        *st.leaf_value_histogram.entry(s.leaf_value(path)).or_insert(0) += 1;
+        return;
+    }
+    *st.arity_histogram.entry(d).or_insert(0) += 1;
+    for i in 0..d {
+        path.push(i);
+        walk(s, path, budget, st);
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{IidBernoulli, NearUniformSource, UniformSource};
+
+    #[test]
+    fn uniform_tree_shape() {
+        let s = UniformSource::nor_iid(3, 4, 0.5, 1);
+        let st = shape_stats(&s, u64::MAX);
+        assert!(!st.truncated);
+        assert_eq!(st.leaf_count(), 81);
+        assert_eq!(st.arity_range(), Some((3, 3)));
+        assert_eq!(st.depth_range(), Some((4, 4)));
+        // 1 + 3 + 9 + 27 internal + 81 leaves = 121 nodes.
+        assert_eq!(st.nodes, 121);
+    }
+
+    #[test]
+    fn near_uniform_respects_corollary2_bounds() {
+        let s = NearUniformSource::new(4, 8, 0.5, 0.5, 7, IidBernoulli::new(0.5, 7));
+        let st = shape_stats(&s, 2_000_000);
+        let (amin, amax) = st.arity_range().unwrap();
+        assert!(amin >= 2, "arity below ceil(0.5 * 4)");
+        assert!(amax <= 4);
+        let (dmin, dmax) = st.depth_range().unwrap();
+        assert!(dmin >= 4, "leaf above ceil(0.5 * 8)");
+        assert!(dmax <= 8);
+    }
+
+    #[test]
+    fn bernoulli_leaf_values_track_bias() {
+        let s = UniformSource::nor_iid(2, 10, 0.25, 3);
+        let st = shape_stats(&s, u64::MAX);
+        let ones = *st.leaf_value_histogram.get(&1).unwrap_or(&0);
+        let freq = ones as f64 / st.leaf_count() as f64;
+        assert!((freq - 0.25).abs() < 0.05, "freq {freq}");
+        assert!((st.mean_leaf_value() - freq).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let s = UniformSource::nor_iid(2, 20, 0.5, 1);
+        let st = shape_stats(&s, 1000);
+        assert!(st.truncated);
+        assert!(st.nodes <= 1001);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let s = UniformSource::nor_iid(2, 0, 1.0, 0);
+        let st = shape_stats(&s, 100);
+        assert_eq!(st.leaf_count(), 1);
+        assert_eq!(st.arity_range(), None);
+        assert_eq!(st.depth_range(), Some((0, 0)));
+    }
+}

@@ -1,0 +1,200 @@
+//! A compact text format for explicit trees, for interchange, golden
+//! files and the command-line tools: a leaf is an integer, an internal
+//! node is a parenthesized list of children.
+//!
+//! ```text
+//! ((3 9) (7 1))        MAX( MIN(3,9), MIN(7,1) )
+//! (1 (0 1) 0)          mixed arities are fine
+//! ```
+
+use crate::explicit::ExplicitTree;
+use crate::source::Value;
+use std::fmt::Write as _;
+
+/// Serialize a tree into the parenthesized format.
+pub fn to_text(tree: &ExplicitTree) -> String {
+    let mut out = String::new();
+    fn go(t: &ExplicitTree, out: &mut String) {
+        match t {
+            ExplicitTree::Leaf(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ExplicitTree::Internal(children) => {
+                out.push('(');
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    go(c, out);
+                }
+                out.push(')');
+            }
+        }
+    }
+    go(tree, &mut out);
+    out
+}
+
+/// Parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the problem.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a tree from the parenthesized format.  Whitespace (including
+/// newlines) may appear between tokens; commas are treated as
+/// whitespace for convenience.
+pub fn from_text(input: &str) -> Result<ExplicitTree, ParseError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let tree = parse_node(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(ParseError {
+            at: pos,
+            message: "trailing input after tree".into(),
+        });
+    }
+    Ok(tree)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r' | b',') {
+        *pos += 1;
+    }
+}
+
+fn parse_node(bytes: &[u8], pos: &mut usize) -> Result<ExplicitTree, ParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(ParseError {
+            at: *pos,
+            message: "unexpected end of input".into(),
+        }),
+        Some(b'(') => {
+            *pos += 1;
+            let mut children = Vec::new();
+            loop {
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b')') => {
+                        *pos += 1;
+                        break;
+                    }
+                    None => {
+                        return Err(ParseError {
+                            at: *pos,
+                            message: "unclosed '('".into(),
+                        })
+                    }
+                    _ => children.push(parse_node(bytes, pos)?),
+                }
+            }
+            if children.is_empty() {
+                return Err(ParseError {
+                    at: *pos,
+                    message: "internal node with no children".into(),
+                });
+            }
+            Ok(ExplicitTree::Internal(children))
+        }
+        Some(_) => {
+            let start = *pos;
+            if bytes.get(*pos) == Some(&b'-') {
+                *pos += 1;
+            }
+            while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            if *pos == start || (bytes[start] == b'-' && *pos == start + 1) {
+                return Err(ParseError {
+                    at: start,
+                    message: format!(
+                        "expected '(' or integer, found {:?}",
+                        bytes[start] as char
+                    ),
+                });
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+            let v: Value = text.parse().map_err(|e| ParseError {
+                at: start,
+                message: format!("bad integer {text:?}: {e}"),
+            })?;
+            Ok(ExplicitTree::Leaf(v))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trips_a_small_tree() {
+        let t = ExplicitTree::internal(vec![
+            ExplicitTree::internal(vec![ExplicitTree::leaf(3), ExplicitTree::leaf(9)]),
+            ExplicitTree::internal(vec![ExplicitTree::leaf(7), ExplicitTree::leaf(-1)]),
+        ]);
+        let text = to_text(&t);
+        assert_eq!(text, "((3 9) (7 -1))");
+        assert_eq!(from_text(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn parses_commas_and_newlines() {
+        let t = from_text("( (3, 9)\n (7, 1) )").unwrap();
+        assert_eq!(to_text(&t), "((3 9) (7 1))");
+    }
+
+    #[test]
+    fn single_leaf() {
+        assert_eq!(from_text("42").unwrap(), ExplicitTree::Leaf(42));
+        assert_eq!(from_text(" -7 ").unwrap(), ExplicitTree::Leaf(-7));
+        assert_eq!(to_text(&ExplicitTree::Leaf(0)), "0");
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        assert!(from_text("").is_err());
+        assert!(from_text("(").is_err());
+        assert!(from_text("()").is_err());
+        assert!(from_text("(1) extra").is_err());
+        assert!(from_text("(1 x)").is_err());
+        assert!(from_text("-").is_err());
+        let err = from_text("(1 x)").unwrap_err();
+        assert_eq!(err.at, 3);
+        assert!(err.to_string().contains("byte 3"));
+    }
+
+    fn arb_tree() -> impl Strategy<Value = ExplicitTree> {
+        let leaf = (-1000i64..1000).prop_map(ExplicitTree::Leaf);
+        leaf.prop_recursive(4, 48, 4, |inner| {
+            prop::collection::vec(inner, 1..=4).prop_map(ExplicitTree::Internal)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn text_round_trips(t in arb_tree()) {
+            let text = to_text(&t);
+            prop_assert_eq!(from_text(&text).unwrap(), t);
+        }
+
+        #[test]
+        fn parser_never_panics_on_garbage(s in "[ ()0-9,\\-xyz]{0,64}") {
+            let _ = from_text(&s); // Ok or Err, never a panic
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Compare every sequential MIN/MAX baseline in the workspace — α-β,
+//! SCOUT, SSS\* — plus the width-1 parallel algorithms, on the same
+//! instances across all four orderings.
+//!
+//! ```text
+//! cargo run --release --example baselines
+//! ```
+
+use karp_zhang::sim::parallel_alphabeta;
+use karp_zhang::tree::gen::UniformSource;
+use karp_zhang::tree::minimax::seq_alphabeta;
+use karp_zhang::tree::scout::scout;
+use karp_zhang::tree::sss::{parallel_sss_star, sss_star};
+use karp_zhang::tree::TreeSource;
+
+fn main() {
+    let (d, n) = (2u32, 12u32);
+    println!("sequential baselines on M({d},{n}) (leaf evaluations):\n");
+    println!(
+        "{:>12} {:>12} {:>9} {:>9} {:>14} {:>14}",
+        "ordering", "alpha-beta", "SCOUT", "SSS*", "par-ab steps", "par-SSS* lf-steps"
+    );
+    let workloads: Vec<(&str, Box<dyn TreeSource + Send>)> = vec![
+        (
+            "iid",
+            Box::new(UniformSource::minmax_iid(d, n, 0, 1 << 20, 7)),
+        ),
+        (
+            "correlated",
+            Box::new(UniformSource::minmax_correlated(d, n, 4, 7)),
+        ),
+        (
+            "best-ord",
+            Box::new(UniformSource::minmax_best_ordered(d, n, 0)),
+        ),
+        (
+            "worst-ord",
+            Box::new(UniformSource::minmax_worst_ordered(d, n)),
+        ),
+    ];
+    for (tag, src) in &workloads {
+        let ab = seq_alphabeta(src, false);
+        let sc = scout(src);
+        let ss = sss_star(src);
+        let pab = parallel_alphabeta(src, 1, false);
+        let pss = parallel_sss_star(src, n + 1);
+        assert_eq!(ab.value, sc.value);
+        assert_eq!(ab.value, ss.value);
+        assert_eq!(ab.value, pab.value);
+        assert_eq!(ab.value, pss.value);
+        println!(
+            "{:>12} {:>12} {:>9} {:>9} {:>14} {:>14}",
+            tag, ab.leaves_evaluated, sc.leaves_evaluated, ss.leaves_evaluated, pab.steps, pss.leaf_steps
+        );
+    }
+    println!(
+        "\nall five algorithms agree on every value; SSS* never evaluates more\n\
+         leaves than alpha-beta (dominance), SCOUT trades re-searches for\n\
+         cheap Boolean tests, and the parallel variants compress leaf\n\
+         evaluations into lock-step rounds (the paper's P(T))."
+    );
+}

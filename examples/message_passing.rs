@@ -1,0 +1,37 @@
+//! Drive the Section 7 message-passing machine: one processor per tree
+//! level, six message types, the pre-emption rule, and zone
+//! multiplexing.
+//!
+//! ```text
+//! cargo run --release --example message_passing
+//! ```
+
+use karp_zhang::msgsim::{simulate, simulate_with_processors};
+use karp_zhang::tree::gen::UniformSource;
+use karp_zhang::tree::minimax::seq_solve;
+
+fn main() {
+    let n = 14u32;
+    let tree = UniformSource::nor_worst_case(2, n);
+    let s_star = seq_solve(&tree, false).nodes_expanded;
+    println!("worst-case B(2,{n}): N-Sequential SOLVE expands S* = {s_star} nodes\n");
+
+    let r = simulate(&tree);
+    println!("full machine (one processor per level, p = {}):", r.processors);
+    println!("  value            : {}", r.value);
+    println!("  ticks            : {}  (speed-up {:.2})", r.ticks, s_star as f64 / r.ticks as f64);
+    println!("  work actions     : {}", r.work_actions);
+    println!("  unique expansions: {}", r.unique_expansions);
+    println!(
+        "  messages         : S-SOLVE*={} P-SOLVE*={} P-SOLVE**={} P-SOLVE***={} val={}",
+        r.messages[0], r.messages[1], r.messages[2], r.messages[3], r.messages[4]
+    );
+
+    println!("\nzone multiplexing (fixed processor budgets):");
+    println!("{:>4} {:>10} {:>9} {:>10}", "p", "ticks", "speedup", "speedup/p");
+    for p in [1u32, 2, 4, 8, n + 1] {
+        let r = simulate_with_processors(&tree, p);
+        let sp = s_star as f64 / r.ticks as f64;
+        println!("{p:>4} {:>10} {sp:>9.2} {:>10.3}", r.ticks, sp / p as f64);
+    }
+}

@@ -1,0 +1,83 @@
+//! Othello 6×6: the richest game in the suite — variable branching,
+//! forced passes, capture dynamics — searched with the parallel α-β
+//! engine and the transposition-table baseline.
+//!
+//! ```text
+//! cargo run --release --example othello [depth]
+//! ```
+
+use karp_zhang::core::engine::{best_move, SearchConfig, TtSearch};
+use karp_zhang::games::{Game, GameTreeSource, Othello};
+use karp_zhang::tree::minimax::seq_alphabeta;
+use std::time::Instant;
+
+fn render(s: &karp_zhang::games::OthelloState) -> String {
+    let mut out = String::new();
+    for r in 0..6 {
+        for c in 0..6 {
+            let b = 1u64 << (r * 6 + c);
+            out.push(if s.black & b != 0 {
+                'X'
+            } else if s.white & b != 0 {
+                'O'
+            } else {
+                '.'
+            });
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let depth: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6);
+    let g = Othello;
+
+    // Opening search: tree-shaped vs transposition-table.
+    let src = GameTreeSource::from_initial(g, depth);
+    let t0 = Instant::now();
+    let tree = seq_alphabeta(&src, false);
+    let t_tree = t0.elapsed();
+    let mut tt = TtSearch::new(g, 1 << 22);
+    let t0 = Instant::now();
+    let v_tt = tt.search(&g.initial(), depth);
+    let t_tt = t0.elapsed();
+    assert_eq!(tree.value, v_tt);
+    println!("Othello 6x6 opening search, depth {depth}:");
+    println!(
+        "  tree alpha-beta: value {}, {} leaves, {t_tree:?}",
+        tree.value, tree.leaves_evaluated
+    );
+    println!(
+        "  TT alpha-beta  : value {v_tt}, {} evals ({} transposition hits), {t_tt:?}",
+        tt.stats.evals, tt.stats.hits
+    );
+
+    // Self-play to the end.
+    println!("\nself-play (depth-{depth} search per move):");
+    let mut state = g.initial();
+    let mut plies = 0;
+    while let Some((mv, _)) = best_move(&g, &state, SearchConfig { depth, width: 1 }) {
+        state = g.apply(&state, mv);
+        plies += 1;
+        if plies > 64 {
+            break;
+        }
+    }
+    println!("{}", render(&state));
+    let diff = state.disc_diff();
+    println!(
+        "final discs: Black {} — White {}  ({} after {plies} plies)",
+        state.black.count_ones(),
+        state.white.count_ones(),
+        match diff.cmp(&0) {
+            std::cmp::Ordering::Greater => "Black wins",
+            std::cmp::Ordering::Less => "White wins",
+            std::cmp::Ordering::Equal => "draw",
+        }
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: evaluate a game tree three ways and see the paper's
+//! speed-up.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use karp_zhang::core::engine::RoundEngine;
+use karp_zhang::sim::{parallel_solve, team_solve};
+use karp_zhang::tree::gen::{critical_bias, UniformSource};
+use karp_zhang::tree::minimax::seq_solve;
+
+fn main() {
+    // A uniform binary NOR (AND/OR) tree of height 16 with i.i.d. leaves
+    // at the critical bias — the classic hard random instance.
+    let (d, n) = (2u32, 16u32);
+    let tree = UniformSource::nor_iid(d, n, critical_bias(d), 2024);
+
+    // 1. Sequential SOLVE: the left-to-right algorithm.  S(T) = leaves
+    //    evaluated = running time.
+    let seq = seq_solve(&tree, false);
+    println!("Sequential SOLVE : value = {}, S(T) = {} leaves", seq.value, seq.leaves_evaluated);
+
+    // 2. Team SOLVE with 17 processors: the naive parallelization; only
+    //    a sqrt(p) speed-up in the worst case (Proposition 1).
+    let team = team_solve(&tree, n + 1, false);
+    println!(
+        "Team SOLVE (p={}) : {} steps  -> speed-up {:.2}",
+        n + 1,
+        team.steps,
+        seq.leaves_evaluated as f64 / team.steps as f64
+    );
+
+    // 3. Parallel SOLVE of width 1 — the paper's contribution: evaluate
+    //    every live leaf with pruning number <= 1.  Linear speed-up with
+    //    n+1 processors (Theorem 1).
+    let par = parallel_solve(&tree, 1, false);
+    println!(
+        "Parallel SOLVE w=1: {} steps  -> speed-up {:.2} using {} processors (n+1 = {})",
+        par.steps,
+        seq.leaves_evaluated as f64 / par.steps as f64,
+        par.processors_used,
+        n + 1
+    );
+    assert_eq!(par.value, seq.value);
+
+    // 4. The same algorithm on a real thread pool: rounds match the
+    //    model exactly.
+    let engine = RoundEngine::with_width(1).solve_nor(&tree);
+    println!(
+        "Threaded engine  : value = {}, {} rounds in {:?}",
+        engine.value, engine.rounds, engine.elapsed
+    );
+    assert_eq!(engine.rounds, par.steps);
+}

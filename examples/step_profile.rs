@@ -1,0 +1,55 @@
+//! Visualize the *shape* of a Parallel SOLVE execution: how the
+//! parallel degree ramps up, plateaus and tails off — the structure
+//! behind Proposition 4's "most work happens in steps of large degree".
+//!
+//! ```text
+//! cargo run --release --example step_profile
+//! ```
+
+use karp_zhang::analysis::{bars, sparkline};
+use karp_zhang::sim::trace::{profile_alphabeta, profile_solve};
+use karp_zhang::tree::gen::{critical_bias, UniformSource};
+
+fn main() {
+    let (d, n) = (2u32, 16u32);
+
+    for (label, profile) in [
+        (
+            "worst-case B(2,16), width 1",
+            profile_solve(UniformSource::nor_worst_case(d, n), 1),
+        ),
+        (
+            "critical i.i.d. B(2,16), width 1",
+            profile_solve(UniformSource::nor_iid(d, n, critical_bias(d), 9), 1),
+        ),
+        (
+            "i.i.d. M(2,12), alpha-beta width 1",
+            profile_alphabeta(UniformSource::minmax_iid(2, 12, 0, 1 << 20, 9), 1),
+        ),
+    ] {
+        println!("== {label}");
+        println!(
+            "   steps = {}, work = {}, max degree = {}, avg degree = {:.2}",
+            profile.stats.steps,
+            profile.stats.total_work,
+            profile.stats.processors_used,
+            profile.stats.avg_degree()
+        );
+        println!("   degree over time: {}", sparkline(&profile.bucketed(64)));
+        println!(
+            "   work done at degree >= n/2: {:.1}%  (Prop 4: most work is wide)",
+            100.0 * profile.work_fraction_at_least(n.div_ceil(2))
+        );
+        // Degree histogram.
+        let rows: Vec<(String, u64)> = profile
+            .stats
+            .degree_counts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|&(_, &c)| c > 0)
+            .map(|(k, &c)| (format!("deg {k}"), c))
+            .collect();
+        println!("{}", bars(&rows, 40));
+    }
+}

@@ -1,0 +1,41 @@
+//! Watch Theorem 1 happen: the width-1 speed-up grows linearly with the
+//! height of the tree.
+//!
+//! ```text
+//! cargo run --release --example theorem1_speedup
+//! ```
+
+use karp_zhang::analysis::fit_through_origin;
+use karp_zhang::core::theory;
+use karp_zhang::sim::parallel_solve;
+use karp_zhang::tree::gen::UniformSource;
+use karp_zhang::tree::minimax::seq_solve;
+
+fn main() {
+    println!("Theorem 1 on worst-case B(2,n): S(T)/P(T) vs c(n+1)\n");
+    println!("{:>4} {:>10} {:>8} {:>9} {:>14}", "n", "S(T)", "P(T)", "speedup", "speedup/(n+1)");
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for n in (8..=18).step_by(2) {
+        let tree = UniformSource::nor_worst_case(2, n);
+        let s = seq_solve(&tree, false).leaves_evaluated;
+        let p = parallel_solve(&tree, 1, false).steps;
+        let speedup = s as f64 / p as f64;
+        println!(
+            "{n:>4} {s:>10} {p:>8} {speedup:>9.2} {:>14.3}",
+            speedup / (n as f64 + 1.0)
+        );
+        xs.push(n as f64 + 1.0);
+        ys.push(speedup);
+    }
+    let (c, r2) = fit_through_origin(&xs, &ys);
+    println!("\nempirical fit: speedup = {c:.3} * (n+1)   (R^2 = {r2:.3})");
+
+    // Compare with the constant the paper's proof machinery guarantees.
+    let n_ref = 18;
+    let provable = theory::provable_speedup(2, n_ref, theory::fact1_u128(2, n_ref))
+        / (n_ref as f64 + 1.0);
+    println!("provable constant (Prop 4 at the Fact-1 work level, n={n_ref}): {provable:.4}");
+    println!("\n\"The provable constant c in Theorem 1 is rather poor.  Some simulations");
+    println!(" we did indicates that a better constant is achievable.\"  — Section 8");
+}

@@ -1,0 +1,60 @@
+//! The width knob (Section 8): the paper proves linear speed-up for
+//! width 1 and conjectures it for any fixed width with `O(n^w)`
+//! processors.  Sweep the width and watch steps, processors and total
+//! work trade off.
+//!
+//! ```text
+//! cargo run --release --example width_ablation
+//! ```
+
+use karp_zhang::core::theory::width_processor_cap;
+use karp_zhang::sim::{parallel_alphabeta, parallel_solve};
+use karp_zhang::tree::gen::{critical_bias, UniformSource};
+use karp_zhang::tree::minimax::{seq_alphabeta, seq_solve};
+
+fn main() {
+    let (d, n) = (2u32, 14u32);
+
+    println!("NOR tree: critical i.i.d. B({d},{n})");
+    let tree = UniformSource::nor_iid(d, n, critical_bias(d), 77);
+    let s = seq_solve(&tree, false).leaves_evaluated;
+    println!("  S(T) = {s}\n");
+    println!(
+        "{:>3} {:>8} {:>9} {:>11} {:>10} {:>10} {:>10}",
+        "w", "steps", "speedup", "procs used", "procs cap", "work", "work/S(T)"
+    );
+    for w in 0..=4 {
+        let st = parallel_solve(&tree, w, false);
+        println!(
+            "{w:>3} {:>8} {:>9.2} {:>11} {:>10} {:>10} {:>10.2}",
+            st.steps,
+            s as f64 / st.steps as f64,
+            st.processors_used,
+            width_processor_cap(d, n, w),
+            st.total_work,
+            st.total_work as f64 / s as f64
+        );
+    }
+
+    println!("\nMIN/MAX tree: i.i.d. M({d},12)");
+    let mm = UniformSource::minmax_iid(d, 12, 0, 1 << 20, 5);
+    let s = seq_alphabeta(&mm, false).leaves_evaluated;
+    println!("  S~(T) = {s}\n");
+    println!(
+        "{:>3} {:>8} {:>9} {:>11} {:>10}",
+        "w", "steps", "speedup", "procs used", "work"
+    );
+    for w in 0..=4 {
+        let st = parallel_alphabeta(&mm, w, false);
+        println!(
+            "{w:>3} {:>8} {:>9.2} {:>11} {:>10}",
+            st.steps,
+            s as f64 / st.steps as f64,
+            st.processors_used,
+            st.total_work,
+        );
+    }
+    println!("\n(Corollary 1: at width 1 the total work stays within a constant");
+    println!(" factor of S(T); the extra work at higher widths is the price of");
+    println!(" the additional O(n^w) parallelism.)");
+}

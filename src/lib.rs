@@ -1,0 +1,8 @@
+//! Umbrella crate: re-exports the whole Karp-Zhang reproduction for use
+//! by the examples and integration tests.
+pub use gt_analysis as analysis;
+pub use gt_core as core;
+pub use gt_games as games;
+pub use gt_msgsim as msgsim;
+pub use gt_sim as sim;
+pub use gt_tree as tree;

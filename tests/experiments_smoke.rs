@@ -1,0 +1,48 @@
+//! Every experiment must run end-to-end (quick mode) and produce a
+//! non-trivial report.  This is the regression net for the harness that
+//! regenerates the paper's results.
+
+use gt_bench::{run_experiment, ALL};
+
+#[test]
+fn all_experiments_run_in_quick_mode() {
+    for id in ALL {
+        let report = run_experiment(id, true)
+            .unwrap_or_else(|| panic!("experiment {id} unknown"));
+        assert!(
+            report.lines().count() >= 5,
+            "experiment {id} produced a suspiciously short report:\n{report}"
+        );
+        assert!(
+            !report.contains("VIOLATION"),
+            "experiment {id} reported a bound violation:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn experiment_reports_mention_their_claims() {
+    let checks = [
+        ("e1", "Theorem 1"),
+        ("e2", "Proposition 1"),
+        ("e3", "Proposition 3"),
+        ("e4", "Theorem 3"),
+        ("e5", "Theorem 4"),
+        ("e6", "Theorems 5-6"),
+        ("e7", "Width ablation"),
+        ("e8", "Section 7"),
+        ("e9", "constant"),
+        ("e10", "Fact"),
+        ("e11", "skeleton"),
+        ("e12", "Wall-clock"),
+        ("e13", "SCOUT"),
+        ("e14", "SSS*"),
+    ];
+    for (id, needle) in checks {
+        let report = run_experiment(id, true).unwrap();
+        assert!(
+            report.contains(needle),
+            "experiment {id} report lost its claim marker {needle:?}"
+        );
+    }
+}

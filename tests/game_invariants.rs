@@ -1,0 +1,112 @@
+//! Property tests over the games themselves: random playouts must
+//! never panic, state invariants must hold at every ply, and move
+//! enumeration must stay consistent with application.
+
+use karp_zhang::games::{Connect4, Game, Nim, NimState, Othello, SyntheticGame, TicTacToe};
+use proptest::prelude::*;
+
+/// Play `moves` (as fractions of the legal-move count) from the start;
+/// return the number of plies survived.
+fn playout<G: Game>(game: &G, picks: &[u8], check: impl Fn(&G::State, u32)) -> u32 {
+    let mut state = game.initial();
+    let mut plies = 0;
+    for &pick in picks {
+        let n = game.num_moves(&state);
+        if n == 0 {
+            break;
+        }
+        let idx = u32::from(pick) % n;
+        state = game.apply(&state, idx);
+        plies += 1;
+        check(&state, plies);
+        // Evaluation must always be callable and finite-ish.
+        let v = game.evaluate(&state);
+        assert!(v.abs() < 1_000_000, "evaluation blew up: {v}");
+    }
+    plies
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tictactoe_random_playouts(picks in prop::collection::vec(any::<u8>(), 0..12)) {
+        let plies = playout(&TicTacToe, &picks, |b, _| {
+            assert_eq!(b.x & b.o, 0, "cell owned by both players");
+            assert!(b.x.count_ones() + b.o.count_ones() <= 9);
+            // X moves first: piece counts differ by at most one.
+            let (x, o) = (b.x.count_ones(), b.o.count_ones());
+            assert!(x == o || x == o + 1, "turn order broken: {x} vs {o}");
+        });
+        prop_assert!(plies <= 9);
+    }
+
+    #[test]
+    fn connect4_random_playouts(picks in prop::collection::vec(any::<u8>(), 0..45)) {
+        let plies = playout(&Connect4::default(), &picks, |p, ply| {
+            assert_eq!(p.plies, ply, "ply counter consistent");
+            assert!(p.occupied.count_ones() == p.plies, "one stone per ply");
+            assert_eq!(p.first & !p.occupied, 0, "first-player stones are placed");
+        });
+        prop_assert!(plies <= 42);
+    }
+
+    #[test]
+    fn othello_random_playouts(picks in prop::collection::vec(any::<u8>(), 0..40)) {
+        playout(&Othello, &picks, |s, _| {
+            assert_eq!(s.black & s.white, 0, "disc owned by both");
+            assert!(s.black.count_ones() + s.white.count_ones() <= 36);
+            // Discs are never destroyed, only flipped or added.
+            assert!(s.black.count_ones() + s.white.count_ones() >= 4);
+        });
+    }
+
+    #[test]
+    fn nim_random_playouts(
+        piles in prop::collection::vec(0u32..5, 1..4),
+        picks in prop::collection::vec(any::<u8>(), 0..20),
+    ) {
+        let g = Nim::default();
+        let total: u32 = piles.iter().sum();
+        let mut state = NimState { piles, first_to_move: true };
+        let mut taken = 0u32;
+        for &pick in &picks {
+            let n = g.num_moves(&state);
+            if n == 0 { break; }
+            let before: u32 = state.piles.iter().sum();
+            state = g.apply(&state, u32::from(pick) % n);
+            let after: u32 = state.piles.iter().sum();
+            prop_assert!(after < before, "a move must remove stones");
+            taken += before - after;
+        }
+        prop_assert!(taken <= total);
+    }
+
+    #[test]
+    fn synthetic_playouts_terminate_exactly_at_max_plies(
+        b in 1u32..4,
+        depth in 0u32..6,
+        picks in prop::collection::vec(any::<u8>(), 8),
+    ) {
+        let g = SyntheticGame::new(b, depth, 0, 3);
+        let plies = playout(&g, &picks, |_, _| {});
+        prop_assert!(plies <= depth.min(8));
+    }
+
+    #[test]
+    fn move_indices_are_dense(picks in prop::collection::vec(any::<u8>(), 0..6)) {
+        // Every index < num_moves must be applicable (no panics), for a
+        // sampled set of reachable positions.
+        let g = Othello;
+        let mut state = g.initial();
+        for &pick in &picks {
+            let n = g.num_moves(&state);
+            if n == 0 { break; }
+            // Apply every legal index once (cloned), then advance.
+            for i in 0..n {
+                let _ = g.apply(&state, i);
+            }
+            state = g.apply(&state, u32::from(pick) % n);
+        }
+    }
+}

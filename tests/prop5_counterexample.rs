@@ -1,0 +1,67 @@
+//! A pinned, minimal counterexample to Proposition 5 as literally
+//! stated in the paper ("P̃_w(T) ≤ P̃_w(H̃_T)", asserted without
+//! proof) — the reproduction finding documented in EXPERIMENTS.md.
+//!
+//! The instance is a height-4 binary MIN/MAX tree with 0/1 leaves,
+//! found by exhaustive search over small random instances and frozen
+//! here so the finding stays reproducible byte-for-byte.
+
+use karp_zhang::sim::parallel_alphabeta;
+use karp_zhang::tree::minimax::minimax_value;
+use karp_zhang::tree::skeleton::alphabeta_skeleton;
+use karp_zhang::tree::text::from_text;
+
+const WITNESS: &str = "((((1 0) (1 1)) ((1 1) (1 1))) (((0 1) (0 1)) ((1 1) (0 0))))";
+
+#[test]
+fn proposition5_is_violated_by_the_pinned_witness() {
+    let t = from_text(WITNESS).expect("witness parses");
+    assert!(t.is_uniform(2, 4), "witness is in M(2,4)");
+
+    let h = alphabeta_skeleton(&t);
+    let on_t = parallel_alphabeta(&t, 1, false);
+    let on_h = parallel_alphabeta(&h, 1, false);
+
+    // Both runs are correct...
+    assert_eq!(on_t.value, minimax_value(&t));
+    assert_eq!(on_h.value, minimax_value(&t), "skeleton preserves the value");
+
+    // ...but the parallel algorithm is SLOWER on T than on its skeleton,
+    // contradicting Proposition 5 as stated: P̃₁(T) ≤ P̃₁(H̃_T).
+    assert_eq!(on_t.steps, 3, "P̃₁(T)");
+    assert_eq!(on_h.steps, 2, "P̃₁(H̃_T)");
+    assert!(
+        on_t.steps > on_h.steps,
+        "the witness no longer violates Proposition 5 — \
+         if the simulator semantics changed, update EXPERIMENTS.md"
+    );
+}
+
+#[test]
+fn witness_mechanism_extra_leaves_delay_finishing() {
+    // The mechanism: width-1 on T evaluates speculative leaves absent
+    // from H̃_T; those leaves delay nodes from *finishing*, which delays
+    // the α/β sharpening the skeleton enjoys earlier.  Observable as
+    // the T-run doing strictly more total work than the skeleton run.
+    let t = from_text(WITNESS).unwrap();
+    let h = alphabeta_skeleton(&t);
+    let work_t = parallel_alphabeta(&t, 1, false).total_work;
+    let work_h = parallel_alphabeta(&h, 1, false).total_work;
+    assert!(
+        work_t > work_h,
+        "expected extra speculative work on T: {work_t} vs {work_h}"
+    );
+}
+
+#[test]
+fn nor_analogue_of_the_witness_does_not_violate_proposition_2() {
+    // Interpreting the same 0/1 tree as a NOR tree, Proposition 2
+    // (which the paper *proves*) must hold — and it does.
+    use karp_zhang::sim::parallel_solve;
+    use karp_zhang::tree::skeleton::nor_skeleton;
+    let t = from_text(WITNESS).unwrap();
+    let h = nor_skeleton(&t);
+    let on_t = parallel_solve(&t, 1, false).steps;
+    let on_h = parallel_solve(&h, 1, false).steps;
+    assert!(on_t <= on_h, "Proposition 2 violated: {on_t} > {on_h}");
+}

@@ -1,0 +1,182 @@
+//! Property-based tests over *arbitrary* tree shapes (not just the
+//! uniform trees of the paper's analysis): value agreement, width-0
+//! equivalence, the skeleton property, pruning safety (Theorem 2), and
+//! the message-passing machine, all under proptest.
+
+use karp_zhang::msgsim::{simulate, simulate_with_processors};
+use karp_zhang::sim::{parallel_alphabeta, parallel_solve, team_solve};
+use karp_zhang::tree::gen::UniformSource;
+use karp_zhang::tree::minimax::{minimax_value, nor_value, seq_alphabeta, seq_solve};
+use karp_zhang::tree::scout::scout;
+use karp_zhang::tree::skeleton::nor_skeleton;
+use karp_zhang::tree::source::Permuted;
+use karp_zhang::tree::sss::sss_star;
+use karp_zhang::tree::ExplicitTree;
+use proptest::prelude::*;
+
+/// Arbitrary NOR tree: leaves 0/1, arity 1..=4, bounded size.
+fn nor_tree() -> impl Strategy<Value = ExplicitTree> {
+    let leaf = prop_oneof![Just(ExplicitTree::Leaf(0)), Just(ExplicitTree::Leaf(1))];
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        prop::collection::vec(inner, 1..=4).prop_map(ExplicitTree::Internal)
+    })
+}
+
+/// Arbitrary *binary* NOR tree (for the Section 7 machine).
+fn binary_nor_tree() -> impl Strategy<Value = ExplicitTree> {
+    let leaf = prop_oneof![Just(ExplicitTree::Leaf(0)), Just(ExplicitTree::Leaf(1))];
+    leaf.prop_recursive(6, 96, 2, |inner| {
+        prop::collection::vec(inner, 2..=2).prop_map(ExplicitTree::Internal)
+    })
+}
+
+/// Arbitrary MIN/MAX tree with small integer leaves (duplicates are
+/// likely, which stresses the `α ≥ β` rule).
+fn minmax_tree() -> impl Strategy<Value = ExplicitTree> {
+    let leaf = (-8i64..=8).prop_map(ExplicitTree::Leaf);
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        prop::collection::vec(inner, 1..=4).prop_map(ExplicitTree::Internal)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parallel_solve_agrees_with_ground_truth(t in nor_tree(), w in 0u32..4) {
+        prop_assert_eq!(parallel_solve(&t, w, false).value, nor_value(&t));
+    }
+
+    #[test]
+    fn width0_replays_sequential_exactly(t in nor_tree()) {
+        let sim = parallel_solve(&t, 0, true);
+        let re = seq_solve(&t, true);
+        prop_assert_eq!(sim.value, re.value);
+        prop_assert_eq!(sim.trace.unwrap(), re.leaf_paths.unwrap());
+    }
+
+    #[test]
+    fn team_solve_agrees(t in nor_tree(), p in 1u32..6) {
+        prop_assert_eq!(team_solve(&t, p, false).value, nor_value(&t));
+    }
+
+    #[test]
+    fn alphabeta_agrees_with_minimax(t in minmax_tree(), w in 0u32..4) {
+        prop_assert_eq!(parallel_alphabeta(&t, w, false).value, minimax_value(&t));
+    }
+
+    #[test]
+    fn scout_agrees_with_minimax_on_arbitrary_trees(t in minmax_tree()) {
+        prop_assert_eq!(scout(&t).value, minimax_value(&t));
+    }
+
+    #[test]
+    fn sss_star_agrees_with_minimax_on_arbitrary_trees(t in minmax_tree()) {
+        prop_assert_eq!(sss_star(&t).value, minimax_value(&t));
+    }
+
+    #[test]
+    fn sss_star_dominance_on_arbitrary_trees(t in minmax_tree()) {
+        // Stockman's dominance: SSS* never evaluates more leaves than
+        // alpha-beta on the same instance and ordering.
+        let sss = sss_star(&t).leaves_evaluated;
+        let ab = seq_alphabeta(&t, false).leaves_evaluated;
+        prop_assert!(sss <= ab, "SSS* {sss} > alpha-beta {ab}");
+    }
+
+    #[test]
+    fn minmax_value_invariant_under_permutation(t in minmax_tree(), seed in 0u64..1000) {
+        let p = Permuted::new(&t, seed);
+        prop_assert_eq!(minimax_value(&p), minimax_value(&t));
+    }
+
+    #[test]
+    fn alphabeta_width0_matches_classical(t in minmax_tree()) {
+        let sim = parallel_alphabeta(&t, 0, true);
+        let re = seq_alphabeta(&t, true);
+        prop_assert_eq!(sim.value, re.value);
+        prop_assert_eq!(sim.total_work, re.leaves_evaluated);
+        prop_assert_eq!(sim.trace.unwrap(), re.leaf_paths.unwrap());
+    }
+
+    #[test]
+    fn skeleton_property_on_arbitrary_nor_trees(t in nor_tree(), w in 1u32..4) {
+        // Proposition 2 (proved for all NOR trees, not just uniform).
+        let h = nor_skeleton(&t);
+        let on_t = parallel_solve(&t, w, false).steps;
+        let on_h = parallel_solve(&h, w, false).steps;
+        prop_assert!(on_t <= on_h, "P_{w}(T)={on_t} > P_{w}(H_T)={on_h}");
+    }
+
+    #[test]
+    fn skeleton_has_exactly_the_sequential_leaves(t in nor_tree()) {
+        let st = seq_solve(&t, false);
+        let h = nor_skeleton(&t);
+        prop_assert_eq!(h.leaf_count(), st.leaves_evaluated);
+        // Re-running sequential SOLVE on the skeleton evaluates all of it.
+        let sh = seq_solve(&h, false);
+        prop_assert_eq!(sh.leaves_evaluated, h.leaf_count());
+        prop_assert_eq!(sh.value, st.value);
+    }
+
+    #[test]
+    fn permutation_preserves_the_root_value(t in nor_tree(), seed in 0u64..1000) {
+        // NOR value is order-independent, so the randomly permuted tree
+        // (the Section 6 device) has the same value.
+        let p = Permuted::new(&t, seed);
+        prop_assert_eq!(nor_value(&p), nor_value(&t));
+    }
+
+    #[test]
+    fn message_machine_is_correct_on_arbitrary_binary_trees(t in binary_nor_tree()) {
+        prop_assert_eq!(simulate(&t).value, nor_value(&t));
+    }
+
+    #[test]
+    fn message_machine_zone_multiplexing_is_correct(t in binary_nor_tree(), p in 1u32..5) {
+        prop_assert_eq!(simulate_with_processors(&t, p).value, nor_value(&t));
+    }
+
+    #[test]
+    fn total_work_bounded_by_leaf_count(t in nor_tree(), w in 0u32..4) {
+        let st = parallel_solve(&t, w, false);
+        prop_assert!(st.total_work <= t.leaf_count());
+    }
+
+    #[test]
+    fn degree_counts_sum_to_steps(t in nor_tree(), w in 0u32..3) {
+        let st = parallel_solve(&t, w, false);
+        let total: u64 = st.degree_counts.iter().sum();
+        prop_assert_eq!(total, st.steps);
+        let work: u64 = st
+            .degree_counts
+            .iter()
+            .enumerate()
+            .map(|(k, c)| k as u64 * c)
+            .sum();
+        prop_assert_eq!(work, st.total_work);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem2_pruning_is_safe_on_uniform_random_instances(
+        seed in 0u64..10_000,
+        d in 2u32..4,
+        n in 1u32..6,
+        w in 0u32..3,
+    ) {
+        // Theorem 2: the pruning process never changes the root value.
+        let src = UniformSource::minmax_iid(d, n, -5, 5, seed);
+        prop_assert_eq!(parallel_alphabeta(&src, w, false).value, minimax_value(&src));
+    }
+
+    #[test]
+    fn processors_used_respect_width1_cap_on_uniform(seed in 0u64..10_000, n in 1u32..9) {
+        let src = UniformSource::nor_iid(2, n, 0.5, seed);
+        let st = parallel_solve(&src, 1, false);
+        prop_assert!(st.processors_used <= n + 1);
+    }
+}

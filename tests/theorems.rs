@@ -1,0 +1,170 @@
+//! Quantitative shape checks of the paper's theorems at test-sized
+//! instances: who wins, and in which direction the curves move.
+
+use karp_zhang::core::theory;
+use karp_zhang::sim::randomized::r_parallel_solve;
+use karp_zhang::sim::{n_parallel_solve, parallel_alphabeta, parallel_solve, team_solve};
+use karp_zhang::tree::gen::{critical_bias, UniformSource};
+use karp_zhang::tree::minimax::{seq_alphabeta, seq_solve};
+
+fn solve_speedup(n: u32) -> f64 {
+    let src = UniformSource::nor_worst_case(2, n);
+    let s = seq_solve(&src, false).leaves_evaluated;
+    let p = parallel_solve(&src, 1, false).steps;
+    s as f64 / p as f64
+}
+
+#[test]
+fn theorem1_speedup_grows_with_height() {
+    // Linear speed-up in n+1 means the speed-up must grow steadily.
+    let s8 = solve_speedup(8);
+    let s12 = solve_speedup(12);
+    let s16 = solve_speedup(16);
+    assert!(s12 > s8, "{s12} vs {s8}");
+    assert!(s16 > s12, "{s16} vs {s12}");
+    // And the per-processor constant stays in a sane band.
+    for (n, s) in [(8u32, s8), (12, s12), (16, s16)] {
+        let c = s / (n as f64 + 1.0);
+        assert!(
+            (0.2..=1.0).contains(&c),
+            "constant {c} out of band at n={n}"
+        );
+    }
+}
+
+#[test]
+fn proposition1_team_efficiency_collapses_while_parallel_stays_bounded() {
+    // The paper's contrast: Team SOLVE's speed-up is only Θ(√p) on
+    // adversarial instances, so its per-processor efficiency collapses
+    // as p grows, while Parallel SOLVE of width 1 keeps a bounded
+    // efficiency using just n+1 processors on *every* instance.
+    let n = 12u32;
+    let src = UniformSource::new(2, n, karp_zhang::tree::gen::ConstLeaf(1));
+    let s = seq_solve(&src, false).leaves_evaluated;
+
+    // Team efficiency at a small vs large budget.
+    let eff = |p: u32| {
+        let st = team_solve(&src, p, false);
+        (s as f64 / st.steps as f64) / p as f64
+    };
+    let eff_small = eff(4);
+    let eff_large = eff(64);
+    assert!(
+        eff_large < 0.5 * eff_small,
+        "Team efficiency should collapse: {eff_large} vs {eff_small}"
+    );
+
+    // Parallel width-1 efficiency across heights stays in a fixed band.
+    for n in [8u32, 12, 16] {
+        let src = UniformSource::new(2, n, karp_zhang::tree::gen::ConstLeaf(1));
+        let s = seq_solve(&src, false).leaves_evaluated;
+        let par = parallel_solve(&src, 1, false);
+        let eff = (s as f64 / par.steps as f64) / par.processors_used as f64;
+        assert!(eff > 0.15, "parallel efficiency {eff} collapsed at n={n}");
+    }
+}
+
+#[test]
+fn theorem3_alphabeta_speedup_grows_with_height() {
+    let speedup = |n: u32| {
+        let src = UniformSource::minmax_worst_ordered(2, n);
+        let s = seq_alphabeta(&src, false).leaves_evaluated;
+        let p = parallel_alphabeta(&src, 1, false).steps;
+        s as f64 / p as f64
+    };
+    let s6 = speedup(6);
+    let s10 = speedup(10);
+    assert!(s10 > s6, "{s10} vs {s6}");
+}
+
+#[test]
+fn theorem4_expansion_model_speedup_grows() {
+    let speedup = |n: u32| {
+        let src = UniformSource::nor_worst_case(2, n);
+        let s = seq_solve(&src, false).nodes_expanded;
+        let p = n_parallel_solve(&src, 1, false).steps;
+        s as f64 / p as f64
+    };
+    assert!(speedup(12) > speedup(8));
+}
+
+#[test]
+fn theorem5_randomized_expected_speedup() {
+    let n = 10u32;
+    let src = UniformSource::nor_worst_case(2, n);
+    let seeds = 8u64;
+    let mut seq_mean = 0.0;
+    let mut par_mean = 0.0;
+    for seed in 0..seeds {
+        seq_mean += r_parallel_solve(&src, 0, seed, false).steps as f64;
+        par_mean += r_parallel_solve(&src, 1, seed, false).steps as f64;
+    }
+    let ratio = seq_mean / par_mean;
+    assert!(ratio > 2.0, "expected randomized speed-up, got {ratio:.2}");
+}
+
+#[test]
+fn fact1_fact2_bounds_on_random_instances() {
+    for seed in 0..10 {
+        let (d, n) = (2u32, 10u32);
+        let nor = UniformSource::nor_iid(d, n, critical_bias(d), seed);
+        assert!(
+            seq_solve(&nor, false).leaves_evaluated >= theory::fact1_lower_bound(d, n),
+            "Fact 1 violated at seed {seed}"
+        );
+        let mm = UniformSource::minmax_iid(d, n, 0, 1 << 20, seed);
+        assert!(
+            seq_alphabeta(&mm, false).leaves_evaluated >= theory::fact2_lower_bound(d, n),
+            "Fact 2 violated at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn prop3_bound_as_step_upper_bound() {
+    // Summed over k, Proposition 3 bounds the total number of steps on
+    // the skeleton; Prop 4 turns this into the P(H_T) bound.  Verify
+    // measured steps never exceed the Prop 4 bound.
+    for seed in 0..6 {
+        let (d, n) = (2u32, 10u32);
+        let src = UniformSource::nor_iid(d, n, 0.5, seed);
+        let s = seq_solve(&src, false).leaves_evaluated;
+        let h = karp_zhang::tree::skeleton::nor_skeleton(&src);
+        let steps = parallel_solve(&h, 1, false).steps;
+        let bound = theory::prop4_step_bound(d, n, s as u128);
+        assert!(
+            (steps as u128) <= bound,
+            "P(H_T) = {steps} exceeds Prop 4 bound {bound} (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn corollary1_width1_work_is_linear_in_sequential_work() {
+    for seed in 0..6 {
+        let src = UniformSource::nor_iid(2, 12, critical_bias(2), seed);
+        let s = seq_solve(&src, false).leaves_evaluated;
+        let w = parallel_solve(&src, 1, false).total_work;
+        assert!(
+            w as f64 <= 4.0 * s as f64,
+            "W(T) = {w} vs S(T) = {s} (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn corollary2_near_uniform_trees_still_speed_up() {
+    use karp_zhang::tree::gen::{IidBernoulli, NearUniformSource};
+    let mk = |n: u32, seed: u64| {
+        NearUniformSource::new(3, n, 0.67, 0.6, seed, IidBernoulli::new(0.4, seed))
+    };
+    let speedup = |n: u32, seed: u64| {
+        let src = mk(n, seed);
+        let s = seq_solve(&src, false).leaves_evaluated;
+        let p = parallel_solve(&src, 1, false).steps;
+        s as f64 / p as f64
+    };
+    // Average over seeds to smooth shape noise.
+    let avg = |n: u32| (0..6).map(|s| speedup(n, s)).sum::<f64>() / 6.0;
+    assert!(avg(12) > avg(6), "{} vs {}", avg(12), avg(6));
+}
