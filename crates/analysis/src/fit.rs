@@ -13,7 +13,10 @@ pub fn fit_through_origin(xs: &[f64], ys: &[f64]) -> (f64, f64) {
     let sxx: f64 = xs.iter().map(|x| x * x).sum();
     assert!(sxx > 0.0, "degenerate x values");
     let c = sxy / sxx;
-    (c, r_squared(ys, &xs.iter().map(|x| c * x).collect::<Vec<_>>()))
+    (
+        c,
+        r_squared(ys, &xs.iter().map(|x| c * x).collect::<Vec<_>>()),
+    )
 }
 
 /// Fit `y = a + b·x`; returns `(a, b, R²)`.

@@ -117,7 +117,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(3.21987), "3.22");
         assert_eq!(f3(2.0), "2.000");
     }
 

@@ -71,7 +71,15 @@ pub fn sweep(quick: bool) -> Vec<Point> {
 pub fn run(quick: bool) -> String {
     let pts = sweep(quick);
     let mut t = Table::new([
-        "d", "n", "workload", "S(T)", "P(T)", "speedup", "speedup/(n+1)", "procs", "n+1",
+        "d",
+        "n",
+        "workload",
+        "S(T)",
+        "P(T)",
+        "speedup",
+        "speedup/(n+1)",
+        "procs",
+        "n+1",
     ]);
     for p in &pts {
         t.row([

@@ -116,7 +116,10 @@ mod tests {
         let xs: Vec<f64> = pts.iter().skip(1).map(|&(p, _)| p as f64).collect();
         let ys: Vec<f64> = pts.iter().skip(1).map(|&(_, s)| s).collect();
         let (_, b, _) = fit_log_log(&xs, &ys);
-        assert!(b < 0.9, "Team SOLVE should be clearly sublinear, got p^{b:.2}");
+        assert!(
+            b < 0.9,
+            "Team SOLVE should be clearly sublinear, got p^{b:.2}"
+        );
     }
 
     #[test]

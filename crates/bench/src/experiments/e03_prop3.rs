@@ -44,7 +44,11 @@ pub fn run(quick: bool) -> String {
                     k.to_string(),
                     meas.to_string(),
                     bound.to_string(),
-                    if ok { "yes".into() } else { "VIOLATION".to_string() },
+                    if ok {
+                        "yes".into()
+                    } else {
+                        "VIOLATION".to_string()
+                    },
                 ]);
             }
             out.push_str(&format!(

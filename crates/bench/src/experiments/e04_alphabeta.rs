@@ -41,9 +41,7 @@ impl MinMaxKind {
     pub fn source(&self, d: u32, n: u32, seed: u64) -> Box<dyn TreeSource + Send> {
         match self {
             MinMaxKind::Random => Box::new(UniformSource::minmax_iid(d, n, 0, 1 << 30, seed)),
-            MinMaxKind::Correlated => {
-                Box::new(UniformSource::minmax_correlated(d, n, 8, seed))
-            }
+            MinMaxKind::Correlated => Box::new(UniformSource::minmax_correlated(d, n, 8, seed)),
             MinMaxKind::BestOrdered => Box::new(UniformSource::minmax_best_ordered(d, n, 0)),
             MinMaxKind::WorstOrdered => Box::new(UniformSource::minmax_worst_ordered(d, n)),
         }
@@ -108,7 +106,14 @@ pub fn sweep(quick: bool) -> Vec<Point> {
 pub fn run(quick: bool) -> String {
     let pts = sweep(quick);
     let mut t = Table::new([
-        "d", "n", "ordering", "S~(T)", "P~(T)", "speedup", "speedup/(n+1)", "procs",
+        "d",
+        "n",
+        "ordering",
+        "S~(T)",
+        "P~(T)",
+        "speedup",
+        "speedup/(n+1)",
+        "procs",
     ]);
     for p in &pts {
         t.row([
@@ -144,10 +149,7 @@ mod tests {
     #[test]
     fn best_ordered_sequential_work_is_knuth_moore() {
         let pts = sweep(true);
-        for p in pts
-            .iter()
-            .filter(|p| p.kind == MinMaxKind::BestOrdered)
-        {
+        for p in pts.iter().filter(|p| p.kind == MinMaxKind::BestOrdered) {
             let km = gt_core::theory::knuth_moore_minimum(p.d, p.n);
             assert_eq!(p.s, km, "d={} n={}", p.d, p.n);
         }

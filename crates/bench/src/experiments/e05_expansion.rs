@@ -51,7 +51,14 @@ pub fn run(quick: bool) -> String {
          claim: S*(T)/P*(T) >= c(n+1); degree histogram obeys Prop 6\n\n",
     );
     let mut t = Table::new([
-        "d", "n", "workload", "S*(T)", "P*(T)", "speedup", "speedup/(n+1)", "procs",
+        "d",
+        "n",
+        "workload",
+        "S*(T)",
+        "P*(T)",
+        "speedup",
+        "speedup/(n+1)",
+        "procs",
     ]);
     for (d, n, kind, s, p, procs) in sweep(quick) {
         let sp = s as f64 / p as f64;

@@ -15,7 +15,13 @@ use gt_sim::{parallel_solve, parallel_solve_capped};
 use gt_tree::minimax::seq_solve;
 
 /// One row: `(w, steps, processors, total_work)`.
-pub fn sweep(d: u32, n: u32, kind: NorKind, widths: &[u32], seed: u64) -> Vec<(u32, u64, u32, u64)> {
+pub fn sweep(
+    d: u32,
+    n: u32,
+    kind: NorKind,
+    widths: &[u32],
+    seed: u64,
+) -> Vec<(u32, u64, u32, u64)> {
     let src = kind.source(d, n, seed);
     widths
         .iter()
@@ -58,7 +64,11 @@ pub fn run(quick: bool) -> String {
                 f3(work as f64 / s as f64),
             ]);
         }
-        out.push_str(&format!("workload {} (S(T) = {s}):\n{}\n", kind.tag(), t.render()));
+        out.push_str(&format!(
+            "workload {} (S(T) = {s}):\n{}\n",
+            kind.tag(),
+            t.render()
+        ));
     }
     // Fixed-processor budgets in the abstract model (the leaf-model
     // analogue of Section 7's zone-multiplexing remark): width 3, but
@@ -92,10 +102,7 @@ mod tests {
         for kind in [NorKind::Critical, NorKind::WorstCase] {
             for (w, _, procs, _) in sweep(2, 8, kind, &[0, 1, 2, 3], 5) {
                 let cap = width_processor_cap(2, 8, w);
-                assert!(
-                    u128::from(procs) <= cap,
-                    "w={w}: {procs} procs > cap {cap}"
-                );
+                assert!(u128::from(procs) <= cap, "w={w}: {procs} procs > cap {cap}");
             }
         }
     }

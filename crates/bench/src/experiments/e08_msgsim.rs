@@ -57,7 +57,11 @@ pub fn run(quick: bool) -> String {
                 msgs.to_string(),
             ]);
         }
-        out.push_str(&format!("workload {} (p = n+1):\n{}\n", kind.tag(), t.render()));
+        out.push_str(&format!(
+            "workload {} (p = n+1):\n{}\n",
+            kind.tag(),
+            t.render()
+        ));
     }
     // Load balance of the one-processor-per-level design.
     let bal_n = if quick { 8 } else { 14 };

@@ -147,8 +147,7 @@ mod tests {
     #[test]
     fn skeleton_property_holds_on_near_uniform() {
         for seed in 0..8 {
-            let src =
-                NearUniformSource::new(3, 8, 0.67, 0.5, seed, IidBernoulli::new(0.5, seed));
+            let src = NearUniformSource::new(3, 8, 0.67, 0.5, seed, IidBernoulli::new(0.5, seed));
             for (w, on_t, on_h) in check_nor(&&src, &[1, 2]) {
                 assert!(on_t <= on_h, "w={w}: {on_t} > {on_h} (seed {seed})");
             }
@@ -179,7 +178,10 @@ mod tests {
         // Document the reproduction finding in the assertion itself: the
         // property really does fail routinely (if this starts passing
         // with 0 violations, the finding in EXPERIMENTS.md is stale).
-        assert!(violated > 0, "expected Prop 5 violations, found none in {total}");
+        assert!(
+            violated > 0,
+            "expected Prop 5 violations, found none in {total}"
+        );
     }
 
     #[test]

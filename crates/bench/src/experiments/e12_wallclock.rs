@@ -18,7 +18,11 @@ use std::time::Instant;
 /// leaf-cost sweep.
 pub fn leaf_cost_sweep(quick: bool) -> Vec<(u32, f64, f64, f64, f64)> {
     let (branching, depth) = if quick { (3, 5) } else { (4, 7) };
-    let costs: &[u32] = if quick { &[0, 256] } else { &[0, 64, 256, 1024, 4096] };
+    let costs: &[u32] = if quick {
+        &[0, 256]
+    } else {
+        &[0, 64, 256, 1024, 4096]
+    };
     costs
         .iter()
         .map(|&work| {

@@ -46,9 +46,7 @@ pub fn run(quick: bool) -> String {
     let det_sc = scout(&src).leaves_evaluated;
     let seeds = if quick { 8u64 } else { 32 };
     let rab: Vec<f64> = (0..seeds)
-        .map(|s| {
-            seq_alphabeta(&Permuted::new(&src, s), false).leaves_evaluated as f64
-        })
+        .map(|s| seq_alphabeta(&Permuted::new(&src, s), false).leaves_evaluated as f64)
         .collect();
     let rsc: Vec<f64> = (0..seeds)
         .map(|s| r_scout(&src, s).leaves_evaluated as f64)
@@ -91,8 +89,10 @@ mod tests {
             / 8.0;
         assert!(mean_r < det);
         let det_sc = scout(&src).leaves_evaluated as f64;
-        let mean_sc: f64 =
-            (0..8).map(|s| r_scout(&src, s).leaves_evaluated as f64).sum::<f64>() / 8.0;
+        let mean_sc: f64 = (0..8)
+            .map(|s| r_scout(&src, s).leaves_evaluated as f64)
+            .sum::<f64>()
+            / 8.0;
         assert!(mean_sc < det_sc);
     }
 }

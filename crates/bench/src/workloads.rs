@@ -3,9 +3,7 @@
 //! Every experiment draws its instances from here so that instance
 //! families are named consistently across tables and EXPERIMENTS.md.
 
-use gt_tree::gen::{
-    critical_bias, IidBernoulli, UniformSource, WorstCaseNor,
-};
+use gt_tree::gen::{critical_bias, IidBernoulli, UniformSource, WorstCaseNor};
 
 /// NOR workload families used across experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -41,11 +41,19 @@ USAGE:
   gtree eval   (--gen <SPEC> | --tree <FILE>) [--algo A] [--width W] [--processors P]
   gtree render (--gen <SPEC> | --tree <FILE>) [--dot]
   gtree msgsim --gen <SPEC> [--processors P]
+  gtree serve  [--addr A] [--workers N] [--queue-depth N] [--cache N]
+               [--deadline-ms MS] [--max-leaves N]
+  gtree loadgen [--addr A] [--conns N] [--rps R] [--duration SECS]
+               [--spec SPEC] [--algo SERVE-ALGO] [--deadline-ms MS] [--json]
 
 SPEC:     kind:key=val,...   kinds: nor crit worst allones minmax
                                     minmax-best minmax-worst minmax-corr
           e.g.  worst:d=2,n=10   minmax:d=3,n=6,lo=0,hi=99,seed=7
 ALGO:     solve | team | par-solve | ab | par-ab | scout | sss   (default: picked by family)
+
+`serve` speaks newline-delimited JSON (see docs/SERVING.md); `loadgen`
+drives it: open loop at --rps, closed loop when --rps 0.  Serve-side
+algorithms: seq-solve alphabeta parallel-solve round cascade ybw tt.
 ";
 
 /// Parsed common options.
@@ -287,9 +295,160 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let _ = writeln!(out, "messages  : {}", r.total_messages());
             Ok(out)
         }
+        "serve" => run_serve(rest),
+        "loadgen" => run_loadgen_cmd(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
     }
+}
+
+/// SIGINT → a process-wide flag the serve loop polls.  Raw `signal(2)`
+/// FFI keeps the CLI dependency-free; the handler only stores to an
+/// atomic, which is async-signal-safe.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static FLAG: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn handle(_signum: i32) {
+        FLAG.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, handle);
+        }
+    }
+
+    pub fn fired() -> bool {
+        FLAG.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    pub fn install() {}
+    pub fn fired() -> bool {
+        false
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(name: &str, value: &str) -> Result<T, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    value
+        .parse()
+        .map_err(|e| CliError::usage(format!("bad {name} {value}: {e}")))
+}
+
+fn run_serve(args: &[String]) -> Result<String, CliError> {
+    let mut config = gt_serve::Config {
+        addr: "127.0.0.1:7171".into(),
+        workers: 4,
+        ..gt_serve::Config::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let next = |i: &mut usize| -> Result<String, CliError> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| CliError::usage(format!("flag {} needs a value", args[*i - 1])))
+        };
+        match args[i].as_str() {
+            "--addr" => config.addr = next(&mut i)?,
+            "--workers" => config.workers = parse_flag("--workers", &next(&mut i)?)?,
+            "--queue-depth" => config.queue_depth = parse_flag("--queue-depth", &next(&mut i)?)?,
+            "--cache" => config.cache_capacity = parse_flag("--cache", &next(&mut i)?)?,
+            "--deadline-ms" => {
+                config.default_deadline_ms = parse_flag("--deadline-ms", &next(&mut i)?)?;
+            }
+            "--max-leaves" => config.max_leaves = parse_flag("--max-leaves", &next(&mut i)?)?,
+            other => return Err(CliError::usage(format!("unknown argument {other:?}"))),
+        }
+        i += 1;
+    }
+    let server = gt_serve::Server::start(config)
+        .map_err(|e| CliError::runtime(format!("cannot start server: {e}")))?;
+    sigint::install();
+    eprintln!(
+        "gt-serve listening on {} — Ctrl-C or a {{\"op\":\"shutdown\"}} request drains and exits",
+        server.local_addr()
+    );
+    let flag = server.shutdown_flag();
+    while !flag.load(std::sync::atomic::Ordering::SeqCst) {
+        if sigint::fired() {
+            server.request_shutdown();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let snapshot = server.join();
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", snapshot.to_json().render());
+    out.push_str(&snapshot.render_ascii());
+    Ok(out)
+}
+
+fn run_loadgen_cmd(args: &[String]) -> Result<String, CliError> {
+    let mut config = gt_serve::LoadgenConfig {
+        conns: 4,
+        ..gt_serve::LoadgenConfig::default()
+    };
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        let next = |i: &mut usize| -> Result<String, CliError> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| CliError::usage(format!("flag {} needs a value", args[*i - 1])))
+        };
+        match args[i].as_str() {
+            "--addr" => config.addr = next(&mut i)?,
+            "--conns" => config.conns = parse_flag("--conns", &next(&mut i)?)?,
+            "--rps" => config.rps = parse_flag("--rps", &next(&mut i)?)?,
+            "--duration" => {
+                let secs: f64 = parse_flag("--duration", &next(&mut i)?)?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(CliError::usage("--duration must be positive"));
+                }
+                config.duration = std::time::Duration::from_secs_f64(secs);
+            }
+            "--spec" => config.spec = next(&mut i)?,
+            "--algo" => config.algo = next(&mut i)?,
+            "--deadline-ms" => {
+                config.deadline_ms = Some(parse_flag("--deadline-ms", &next(&mut i)?)?);
+            }
+            "--json" => json = true,
+            other => return Err(CliError::usage(format!("unknown argument {other:?}"))),
+        }
+        i += 1;
+    }
+    let report = gt_serve::run_loadgen(&config);
+    let replies = report.ok
+        + report.shed
+        + report.timeout
+        + report.bad
+        + report.draining
+        + report.other_error;
+    if replies == 0 && report.transport_errors > 0 {
+        return Err(CliError::runtime(format!(
+            "no server reachable at {}",
+            config.addr
+        )));
+    }
+    Ok(if json {
+        format!("{}\n", report.to_json().render())
+    } else {
+        report.render()
+    })
 }
 
 #[cfg(test)]
@@ -335,14 +494,8 @@ mod tests {
     fn eval_all_algorithms_agree_on_value() {
         let mut values = Vec::new();
         for algo in ["ab", "par-ab", "scout", "sss"] {
-            let out = run_str(&[
-                "eval",
-                "--gen",
-                "minmax:d=2,n=5,seed=11",
-                "--algo",
-                algo,
-            ])
-            .unwrap();
+            let out =
+                run_str(&["eval", "--gen", "minmax:d=2,n=5,seed=11", "--algo", algo]).unwrap();
             let line = out.lines().find(|l| l.contains("value")).unwrap();
             values.push(line.split(':').nth(1).unwrap().trim().to_string());
         }
@@ -379,11 +532,61 @@ mod tests {
         assert_eq!(run_str(&[]).unwrap_err().exit_code, 2);
         assert_eq!(run_str(&["frobnicate"]).unwrap_err().exit_code, 2);
         assert_eq!(
-            run_str(&["eval", "--gen", "nope:n=3"]).unwrap_err().exit_code,
+            run_str(&["eval", "--gen", "nope:n=3"])
+                .unwrap_err()
+                .exit_code,
             2
         );
         assert!(run_str(&["help"]).unwrap().contains("USAGE"));
         let err = run_str(&["eval"]).unwrap_err();
         assert!(err.message.contains("--gen"));
+    }
+
+    #[test]
+    fn serve_and_loadgen_flags_are_validated() {
+        assert_eq!(run_str(&["serve", "--bogus"]).unwrap_err().exit_code, 2);
+        assert_eq!(
+            run_str(&["serve", "--workers"]).unwrap_err().exit_code,
+            2,
+            "missing value"
+        );
+        assert_eq!(
+            run_str(&["loadgen", "--duration", "0"])
+                .unwrap_err()
+                .exit_code,
+            2
+        );
+        assert_eq!(
+            run_str(&["loadgen", "--rps", "fast"])
+                .unwrap_err()
+                .exit_code,
+            2
+        );
+    }
+
+    #[test]
+    fn loadgen_runs_against_an_in_process_server() {
+        let server = gt_serve::Server::start(gt_serve::Config::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let out = run_str(&[
+            "loadgen",
+            "--addr",
+            &addr,
+            "--conns",
+            "2",
+            "--duration",
+            "0.3",
+            "--spec",
+            "worst:d=2,n=6",
+            "--algo",
+            "seq-solve",
+            "--json",
+        ])
+        .unwrap();
+        assert!(out.contains("\"ok\":"), "{out}");
+        let err = run_str(&["loadgen", "--addr", "127.0.0.1:1", "--duration", "0.2"]).unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        server.request_shutdown();
+        server.join();
     }
 }

@@ -1,168 +1,7 @@
-//! Generator specs: `kind:key=value,key=value` strings that name a
-//! workload family, e.g. `worst:d=2,n=10` or
-//! `minmax:d=3,n=6,lo=0,hi=100,seed=7`.
+//! Generator specs — re-exported from [`gt_tree::spec`].
+//!
+//! The parser moved into `gt-tree` so that other front ends (notably
+//! `gt-serve`) can name workloads without depending on the CLI; this
+//! module keeps the historical `gt_cli::spec::GenSpec` path working.
 
-use gt_tree::gen::{critical_bias, UniformSource};
-use gt_tree::{TreeSource, Value};
-use std::collections::BTreeMap;
-
-/// A parsed generator specification.
-#[derive(Debug, Clone, PartialEq)]
-pub struct GenSpec {
-    /// Family name (`nor`, `worst`, `crit`, `allones`, `minmax`,
-    /// `minmax-best`, `minmax-worst`, `minmax-corr`).
-    pub kind: String,
-    /// Key/value parameters.
-    pub params: BTreeMap<String, String>,
-}
-
-impl GenSpec {
-    /// Parse `kind:key=val,...`.
-    pub fn parse(text: &str) -> Result<GenSpec, String> {
-        let (kind, rest) = match text.split_once(':') {
-            Some((k, r)) => (k, r),
-            None => (text, ""),
-        };
-        if kind.is_empty() {
-            return Err("empty generator kind".into());
-        }
-        let mut params = BTreeMap::new();
-        for piece in rest.split(',').filter(|p| !p.is_empty()) {
-            let (k, v) = piece
-                .split_once('=')
-                .ok_or_else(|| format!("bad parameter {piece:?} (want key=value)"))?;
-            params.insert(k.trim().to_string(), v.trim().to_string());
-        }
-        Ok(GenSpec {
-            kind: kind.trim().to_string(),
-            params,
-        })
-    }
-
-    fn u32_param(&self, key: &str, default: Option<u32>) -> Result<u32, String> {
-        match self.params.get(key) {
-            Some(v) => v.parse().map_err(|e| format!("bad {key}={v}: {e}")),
-            None => default.ok_or_else(|| format!("missing required parameter {key}")),
-        }
-    }
-
-    fn i64_param(&self, key: &str, default: i64) -> Result<Value, String> {
-        match self.params.get(key) {
-            Some(v) => v.parse().map_err(|e| format!("bad {key}={v}: {e}")),
-            None => Ok(default),
-        }
-    }
-
-    fn f64_param(&self, key: &str, default: f64) -> Result<f64, String> {
-        match self.params.get(key) {
-            Some(v) => v.parse().map_err(|e| format!("bad {key}={v}: {e}")),
-            None => Ok(default),
-        }
-    }
-
-    fn u64_param(&self, key: &str, default: u64) -> Result<u64, String> {
-        match self.params.get(key) {
-            Some(v) => v.parse().map_err(|e| format!("bad {key}={v}: {e}")),
-            None => Ok(default),
-        }
-    }
-
-    /// Materialize the spec as a tree source.
-    pub fn build(&self) -> Result<Box<dyn TreeSource + Send>, String> {
-        let d = self.u32_param("d", Some(2))?;
-        let n = self.u32_param("n", None)?;
-        if d == 0 {
-            return Err("d must be at least 1".into());
-        }
-        let seed = self.u64_param("seed", 0)?;
-        Ok(match self.kind.as_str() {
-            "nor" => {
-                let p = self.f64_param("p", 0.5)?;
-                if !(0.0..=1.0).contains(&p) {
-                    return Err(format!("p={p} is not a probability"));
-                }
-                Box::new(UniformSource::nor_iid(d, n, p, seed))
-            }
-            "crit" => Box::new(UniformSource::nor_iid(d, n, critical_bias(d), seed)),
-            "worst" => Box::new(UniformSource::nor_worst_case(d, n)),
-            "allones" => Box::new(UniformSource::new(d, n, gt_tree::gen::ConstLeaf(1))),
-            "minmax" => {
-                let lo = self.i64_param("lo", 0)?;
-                let hi = self.i64_param("hi", 1 << 20)?;
-                if lo > hi {
-                    return Err(format!("lo={lo} exceeds hi={hi}"));
-                }
-                Box::new(UniformSource::minmax_iid(d, n, lo, hi, seed))
-            }
-            "minmax-best" => {
-                let v = self.i64_param("value", 0)?;
-                Box::new(UniformSource::minmax_best_ordered(d, n, v))
-            }
-            "minmax-worst" => Box::new(UniformSource::minmax_worst_ordered(d, n)),
-            "minmax-corr" => {
-                let spread = self.i64_param("spread", 8)?;
-                Box::new(UniformSource::minmax_correlated(d, n, spread, seed))
-            }
-            other => return Err(format!("unknown generator kind {other:?}")),
-        })
-    }
-
-    /// Is this a MIN/MAX (as opposed to NOR) family?
-    pub fn is_minmax(&self) -> bool {
-        self.kind.starts_with("minmax")
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use gt_tree::minimax::seq_solve;
-
-    #[test]
-    fn parses_kinds_and_params() {
-        let s = GenSpec::parse("worst:d=2,n=10").unwrap();
-        assert_eq!(s.kind, "worst");
-        assert_eq!(s.params.get("n").unwrap(), "10");
-        assert!(!s.is_minmax());
-        let s = GenSpec::parse("minmax-corr:d=3,n=6,spread=4,seed=9").unwrap();
-        assert!(s.is_minmax());
-    }
-
-    #[test]
-    fn builds_every_kind() {
-        for spec in [
-            "nor:n=4",
-            "nor:d=3,n=4,p=0.25,seed=5",
-            "crit:n=6",
-            "worst:n=5",
-            "allones:n=4",
-            "minmax:n=4,lo=-5,hi=5",
-            "minmax-best:n=4,value=3",
-            "minmax-worst:n=4",
-            "minmax-corr:n=4",
-        ] {
-            let src = GenSpec::parse(spec).unwrap().build().unwrap();
-            // Smoke: evaluate something.
-            let st = seq_solve(&src, false);
-            assert!(st.leaves_evaluated >= 1, "{spec}");
-        }
-    }
-
-    #[test]
-    fn rejects_bad_specs() {
-        assert!(GenSpec::parse(":n=4").is_err());
-        assert!(GenSpec::parse("nor:n").is_err());
-        assert!(GenSpec::parse("nor:n=4").unwrap().build().is_ok());
-        assert!(GenSpec::parse("nor").unwrap().build().is_err(), "n required");
-        assert!(GenSpec::parse("nope:n=4").unwrap().build().is_err());
-        assert!(GenSpec::parse("nor:n=4,p=2.0").unwrap().build().is_err());
-        assert!(GenSpec::parse("minmax:n=4,lo=9,hi=1").unwrap().build().is_err());
-        assert!(GenSpec::parse("nor:n=4,d=0").unwrap().build().is_err());
-    }
-
-    #[test]
-    fn worst_spec_really_is_worst() {
-        let src = GenSpec::parse("worst:d=2,n=6").unwrap().build().unwrap();
-        assert_eq!(seq_solve(&src, false).leaves_evaluated, 64);
-    }
-}
+pub use gt_tree::spec::GenSpec;

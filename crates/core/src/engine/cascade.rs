@@ -126,6 +126,61 @@ impl CascadeEngine {
         }
     }
 
+    /// Like [`CascadeEngine::solve_nor`], but aborts when `cancel`
+    /// becomes `true` (set it from another thread — a deadline watcher,
+    /// a serving layer shedding load, a user interrupt).  The flag is
+    /// checked at every node entry and between sibling batches.
+    pub fn solve_nor_cancellable<S: TreeSource>(
+        &self,
+        source: &S,
+        cancel: &AtomicBool,
+    ) -> Result<EngineResult, Cancelled> {
+        let start = Instant::now();
+        let leaves = AtomicU64::new(0);
+        let chain = CancelChain::root(cancel);
+        match self.nor(source, &mut Vec::new(), self.width, chain, &leaves) {
+            Some(v) => Ok(EngineResult {
+                value: Value::from(v),
+                rounds: 0,
+                leaves_evaluated: leaves.load(Ordering::Relaxed),
+                max_round_size: self.width + 1,
+                elapsed: start.elapsed(),
+            }),
+            None => Err(Cancelled),
+        }
+    }
+
+    /// Like [`CascadeEngine::solve_minmax`], but aborts when `cancel`
+    /// becomes `true`.
+    pub fn solve_minmax_cancellable<S: TreeSource>(
+        &self,
+        source: &S,
+        cancel: &AtomicBool,
+    ) -> Result<EngineResult, Cancelled> {
+        let start = Instant::now();
+        let leaves = AtomicU64::new(0);
+        let chain = CancelChain::root(cancel);
+        match self.ab(
+            source,
+            &mut Vec::new(),
+            Value::MIN,
+            Value::MAX,
+            true,
+            self.width,
+            chain,
+            &leaves,
+        ) {
+            Some(v) => Ok(EngineResult {
+                value: v,
+                rounds: 0,
+                leaves_evaluated: leaves.load(Ordering::Relaxed),
+                max_round_size: self.width + 1,
+                elapsed: start.elapsed(),
+            }),
+            None => Err(Cancelled),
+        }
+    }
+
     /// Alpha-beta search of the subtree at the source's root with an
     /// explicit window and orientation — the building block move
     /// selection uses (`Err(Cancelled)` can only occur for non-root
@@ -426,6 +481,49 @@ mod tests {
             ExplicitTree::internal(vec![ExplicitTree::internal(vec![ExplicitTree::leaf(0)])]);
         // NOR(NOR(0)) = NOR(1) = 0.
         assert_eq!(e.solve_nor(&chain).value, 0);
+    }
+
+    #[test]
+    fn pre_set_cancel_flag_aborts_immediately() {
+        let s = UniformSource::nor_worst_case(2, 12);
+        let flag = AtomicBool::new(true);
+        let r = CascadeEngine::with_width(1).solve_nor_cancellable(&s, &flag);
+        assert_eq!(r.unwrap_err(), Cancelled);
+        let s = UniformSource::minmax_iid(2, 8, 0, 9, 1);
+        let r = CascadeEngine::with_width(1).solve_minmax_cancellable(&s, &flag);
+        assert_eq!(r.unwrap_err(), Cancelled);
+    }
+
+    #[test]
+    fn unset_cancel_flag_matches_plain_solve() {
+        let flag = AtomicBool::new(false);
+        let s = UniformSource::nor_iid(2, 9, 0.5, 4);
+        let plain = CascadeEngine::with_width(1).solve_nor(&s);
+        let cancellable = CascadeEngine::with_width(1)
+            .solve_nor_cancellable(&s, &flag)
+            .unwrap();
+        assert_eq!(cancellable.value, plain.value);
+        let s = UniformSource::minmax_iid(3, 5, -50, 50, 4);
+        let plain = CascadeEngine::with_width(2).solve_minmax(&s);
+        let cancellable = CascadeEngine::with_width(2)
+            .solve_minmax_cancellable(&s, &flag)
+            .unwrap();
+        assert_eq!(cancellable.value, plain.value);
+    }
+
+    #[test]
+    fn mid_flight_cancellation_from_another_thread() {
+        // A deliberately huge worst-case tree; cancel shortly after
+        // launch and require the engine to come back with Err quickly.
+        let s = UniformSource::nor_worst_case(2, 26);
+        let flag = AtomicBool::new(false);
+        let engine = CascadeEngine::with_width(1);
+        std::thread::scope(|scope| {
+            let h = scope.spawn(|| engine.solve_nor_cancellable(&s, &flag));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            flag.store(true, Ordering::Relaxed);
+            assert!(matches!(h.join().unwrap(), Err(Cancelled)));
+        });
     }
 
     #[test]

@@ -149,12 +149,20 @@ mod tests {
     #[test]
     fn sequential_and_parallel_choose_equal_valued_moves() {
         for depth in [3u32, 5] {
-            let seqv = best_move(&TicTacToe, &TicTacToe.initial(), SearchConfig { depth, width: 0 })
-                .unwrap()
-                .1;
-            let parv = best_move(&TicTacToe, &TicTacToe.initial(), SearchConfig { depth, width: 2 })
-                .unwrap()
-                .1;
+            let seqv = best_move(
+                &TicTacToe,
+                &TicTacToe.initial(),
+                SearchConfig { depth, width: 0 },
+            )
+            .unwrap()
+            .1;
+            let parv = best_move(
+                &TicTacToe,
+                &TicTacToe.initial(),
+                SearchConfig { depth, width: 2 },
+            )
+            .unwrap()
+            .1;
             assert_eq!(seqv, parv, "depth {depth}");
         }
     }

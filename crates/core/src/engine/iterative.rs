@@ -131,9 +131,7 @@ pub fn iterative_best_move<G: Game + Clone>(
         // iteration's value; re-search with the full window if the
         // result escapes it (fail-low or fail-high).
         let (asp_alpha, asp_beta) = match (config.aspiration, prev_value) {
-            (Some(delta), Some(pv)) => {
-                (pv.saturating_sub(delta), pv.saturating_add(delta))
-            }
+            (Some(delta), Some(pv)) => (pv.saturating_sub(delta), pv.saturating_add(delta)),
             _ => (Value::MIN, Value::MAX),
         };
         let (mut scored, mut best, mut leaves) = search_root(asp_alpha, asp_beta, &order);

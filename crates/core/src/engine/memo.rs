@@ -13,6 +13,9 @@ use gt_games::Game;
 use gt_tree::Value;
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use super::cascade::Cancelled;
 
 /// Entry bound type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,7 +88,21 @@ where
     /// Fail-soft α-β with transpositions, from the first player's
     /// (absolute) perspective; `depth` is the remaining horizon.
     pub fn search(&mut self, state: &G::State, depth: u32) -> Value {
-        self.ab(state, depth, Value::MIN, Value::MAX)
+        self.ab(state, depth, Value::MIN, Value::MAX, None)
+            .expect("search without a cancel flag cannot be cancelled")
+    }
+
+    /// Like [`TtSearch::search`], but aborts when `cancel` becomes
+    /// `true`; the flag is checked at every interior node.  The table
+    /// keeps whatever entries the aborted search stored — they are all
+    /// sound bounds, so a retry starts warm.
+    pub fn search_cancellable(
+        &mut self,
+        state: &G::State,
+        depth: u32,
+        cancel: &AtomicBool,
+    ) -> Result<Value, Cancelled> {
+        self.ab(state, depth, Value::MIN, Value::MAX, Some(cancel))
     }
 
     /// Fail-soft α-β over an explicit window — the zero-window probe
@@ -98,29 +115,42 @@ where
         beta: Value,
     ) -> Value {
         assert!(alpha < beta, "degenerate window");
-        self.ab(state, depth, alpha, beta)
+        self.ab(state, depth, alpha, beta, None)
+            .expect("search without a cancel flag cannot be cancelled")
     }
 
-    fn ab(&mut self, state: &G::State, depth: u32, mut alpha: Value, mut beta: Value) -> Value {
+    fn ab(
+        &mut self,
+        state: &G::State,
+        depth: u32,
+        mut alpha: Value,
+        mut beta: Value,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Value, Cancelled> {
+        if let Some(flag) = cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(Cancelled);
+            }
+        }
         let n = self.game.num_moves(state);
         if depth == 0 || n == 0 {
             self.stats.evals += 1;
-            return self.game.evaluate(state);
+            return Ok(self.game.evaluate(state));
         }
         if let Some(e) = self.table.get(state) {
             if e.depth >= depth {
                 match e.bound {
                     Bound::Exact => {
                         self.stats.hits += 1;
-                        return e.value;
+                        return Ok(e.value);
                     }
                     Bound::Lower if e.value >= beta => {
                         self.stats.hits += 1;
-                        return e.value;
+                        return Ok(e.value);
                     }
                     Bound::Upper if e.value <= alpha => {
                         self.stats.hits += 1;
-                        return e.value;
+                        return Ok(e.value);
                     }
                     _ => {}
                 }
@@ -131,7 +161,7 @@ where
         let mut best = if maximizing { Value::MIN } else { Value::MAX };
         for i in 0..n {
             let child = self.game.apply(state, i);
-            let v = self.ab(&child, depth - 1, alpha, beta);
+            let v = self.ab(&child, depth - 1, alpha, beta, cancel)?;
             if maximizing {
                 best = best.max(v);
                 alpha = alpha.max(best);
@@ -161,7 +191,7 @@ where
             );
             self.stats.stores += 1;
         }
-        best
+        Ok(best)
     }
 }
 
@@ -223,6 +253,39 @@ mod tests {
             let theory = if mover_wins { 1 } else { -1 };
             assert_eq!(v, theory, "{piles:?}");
         }
+    }
+
+    #[test]
+    fn cancellable_search_aborts_and_agrees_when_idle() {
+        let g = Connect4::default();
+        let mut tt = TtSearch::new(g, 1 << 18);
+        let flag = AtomicBool::new(true);
+        assert!(matches!(
+            tt.search_cancellable(&g.initial(), 6, &flag),
+            Err(Cancelled)
+        ));
+        // Aborted searches leave only sound entries behind: a fresh
+        // uncancelled search from the same table is still exact.
+        flag.store(false, Ordering::Relaxed);
+        let v = tt.search_cancellable(&g.initial(), 5, &flag).unwrap();
+        let mut fresh = TtSearch::new(g, 1 << 18);
+        assert_eq!(v, fresh.search(&g.initial(), 5));
+    }
+
+    #[test]
+    fn mid_search_cancellation_returns_quickly() {
+        let g = Connect4::default();
+        let mut tt = TtSearch::new(g, 1 << 20);
+        let flag = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(15));
+                flag.store(true, Ordering::Relaxed);
+            });
+            // Deep enough to outlast the timer by a wide margin.
+            let r = tt.search_cancellable(&g.initial(), 14, &flag);
+            assert!(matches!(r, Err(Cancelled)));
+        });
     }
 
     #[test]

@@ -28,10 +28,10 @@ pub mod mtdf;
 pub mod round;
 pub mod ybw;
 
-pub use cascade::{CascadeEngine, Cancelled};
+pub use cascade::{Cancelled, CascadeEngine};
+pub use gameplay::{best_move, SearchConfig};
 pub use iterative::{iterative_best_move, DeepeningConfig, DeepeningOutcome};
 pub use memo::{TtSearch, TtStats};
 pub use mtdf::{mtdf, MtdfStats};
-pub use gameplay::{best_move, SearchConfig};
 pub use round::{EngineResult, RoundEngine};
 pub use ybw::YbwEngine;

@@ -13,7 +13,10 @@ use gt_sim::nor::Policy;
 use gt_sim::{AlphaBetaSim, ExpansionSim, NorSim, RunStats};
 use gt_tree::{NodeKind, TreeSource, Value};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+use super::cascade::Cancelled;
 
 /// Outcome of a threaded engine run.
 #[derive(Debug, Clone)]
@@ -74,10 +77,26 @@ impl RoundEngine {
 
     /// Evaluate a NOR tree (Parallel SOLVE of width `w`, threaded).
     pub fn solve_nor<S: TreeSource>(&self, source: S) -> EngineResult {
+        let never = AtomicBool::new(false);
+        self.solve_nor_cancellable(source, &never)
+            .expect("unset flag cannot cancel")
+    }
+
+    /// Like [`RoundEngine::solve_nor`], but aborts between rounds when
+    /// `cancel` becomes `true` (the round in flight completes first —
+    /// the frontier is the engine's natural preemption boundary).
+    pub fn solve_nor_cancellable<S: TreeSource>(
+        &self,
+        source: S,
+        cancel: &AtomicBool,
+    ) -> Result<EngineResult, Cancelled> {
         let start = Instant::now();
         let mut sim = NorSim::new(source);
         let mut stats = RunStats::new(false);
         loop {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(Cancelled);
+            }
             let frontier = sim.frontier_paths(Policy::Width(self.width));
             if frontier.is_empty() {
                 break;
@@ -85,15 +104,30 @@ impl RoundEngine {
             let values = self.evaluate_batch(sim.tree().source(), &frontier);
             sim.apply_step(&values, &mut stats);
         }
-        EngineResult::from_stats(&stats, start.elapsed())
+        Ok(EngineResult::from_stats(&stats, start.elapsed()))
     }
 
     /// Evaluate a MIN/MAX tree (Parallel α-β of width `w`, threaded).
     pub fn solve_minmax<S: TreeSource>(&self, source: S) -> EngineResult {
+        let never = AtomicBool::new(false);
+        self.solve_minmax_cancellable(source, &never)
+            .expect("unset flag cannot cancel")
+    }
+
+    /// Like [`RoundEngine::solve_minmax`], but aborts between rounds
+    /// when `cancel` becomes `true`.
+    pub fn solve_minmax_cancellable<S: TreeSource>(
+        &self,
+        source: S,
+        cancel: &AtomicBool,
+    ) -> Result<EngineResult, Cancelled> {
         let start = Instant::now();
         let mut sim = AlphaBetaSim::new(source, Model::LeafEvaluation);
         let mut stats = RunStats::new(false);
         loop {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(Cancelled);
+            }
             let frontier = sim.frontier_paths(self.width);
             if frontier.is_empty() {
                 break;
@@ -101,7 +135,7 @@ impl RoundEngine {
             let values = self.evaluate_batch(sim.tree().source(), &frontier);
             sim.apply_step(&values, &mut stats);
         }
-        EngineResult::from_stats(&stats, start.elapsed())
+        Ok(EngineResult::from_stats(&stats, start.elapsed()))
     }
 
     /// Evaluate a NOR tree in the node-expansion model, expanding each
@@ -226,6 +260,27 @@ mod tests {
         let model = gt_sim::n_parallel_solve(&src, 2, false);
         assert_eq!(engine.value, model.value);
         assert_eq!(engine.rounds, model.steps);
+    }
+
+    #[test]
+    fn cancellation_aborts_between_rounds() {
+        let s = UniformSource::nor_worst_case(2, 12);
+        let flag = AtomicBool::new(true);
+        assert!(matches!(
+            RoundEngine::with_width(1).solve_nor_cancellable(&s, &flag),
+            Err(Cancelled)
+        ));
+        let s = UniformSource::minmax_iid(2, 6, 0, 9, 1);
+        assert!(matches!(
+            RoundEngine::with_width(1).solve_minmax_cancellable(&s, &flag),
+            Err(Cancelled)
+        ));
+        // An unset flag is invisible.
+        flag.store(false, Ordering::Relaxed);
+        let r = RoundEngine::with_width(1)
+            .solve_minmax_cancellable(&s, &flag)
+            .unwrap();
+        assert_eq!(r.value, minimax_value(&s));
     }
 
     #[test]

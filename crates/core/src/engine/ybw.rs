@@ -13,6 +13,7 @@ use gt_tree::{TreeSource, Value};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
 
+use super::cascade::Cancelled;
 use super::round::EngineResult;
 
 /// Young-Brothers-Wait parallel α-β.
@@ -32,26 +33,38 @@ impl YbwEngine {
 
     /// Evaluate a MIN/MAX tree (root MAX).
     pub fn solve_minmax<S: TreeSource>(&self, source: &S) -> EngineResult {
+        let never = AtomicBool::new(false);
+        self.solve_minmax_cancellable(source, &never)
+            .expect("unset flag cannot cancel")
+    }
+
+    /// Like [`YbwEngine::solve_minmax`], but aborts when `cancel`
+    /// becomes `true` (checked at every node entry; in-flight brothers
+    /// observe the same flag).
+    pub fn solve_minmax_cancellable<S: TreeSource>(
+        &self,
+        source: &S,
+        cancel: &AtomicBool,
+    ) -> Result<EngineResult, Cancelled> {
         let start = Instant::now();
         let leaves = AtomicU64::new(0);
-        let cancel = AtomicBool::new(false);
-        let v = self
-            .ab(
-                source,
-                &mut Vec::new(),
-                Value::MIN,
-                Value::MAX,
-                true,
-                &cancel,
-                &leaves,
-            )
-            .expect("root search is never cancelled");
-        EngineResult {
-            value: v,
-            rounds: 0,
-            leaves_evaluated: leaves.load(Ordering::Relaxed),
-            max_round_size: 0,
-            elapsed: start.elapsed(),
+        match self.ab(
+            source,
+            &mut Vec::new(),
+            Value::MIN,
+            Value::MAX,
+            true,
+            cancel,
+            &leaves,
+        ) {
+            Some(v) => Ok(EngineResult {
+                value: v,
+                rounds: 0,
+                leaves_evaluated: leaves.load(Ordering::Relaxed),
+                max_round_size: 0,
+                elapsed: start.elapsed(),
+            }),
+            None => Err(Cancelled),
         }
     }
 
@@ -222,6 +235,21 @@ mod tests {
             YbwEngine::default().solve_minmax(&t).value,
             minimax_value(&t)
         );
+    }
+
+    #[test]
+    fn cancellation_aborts_and_unset_flag_is_invisible() {
+        let s = UniformSource::minmax_iid(3, 5, -100, 100, 7);
+        let flag = AtomicBool::new(true);
+        assert!(matches!(
+            YbwEngine::default().solve_minmax_cancellable(&s, &flag),
+            Err(Cancelled)
+        ));
+        flag.store(false, Ordering::Relaxed);
+        let r = YbwEngine::default()
+            .solve_minmax_cancellable(&s, &flag)
+            .unwrap();
+        assert_eq!(r.value, minimax_value(&s));
     }
 
     #[test]

@@ -74,9 +74,7 @@ pub fn lemma1_k1(d: u32, n: u32) -> u32 {
 pub fn weighted_prefix_sum(d: u32, n: u32, k: u32) -> u128 {
     let mut acc: u128 = 0;
     for i in 0..=k.min(n) {
-        acc = acc.saturating_add(
-            (i as u128 + 1).saturating_mul(prop3_bound(d, n, i)),
-        );
+        acc = acc.saturating_add((i as u128 + 1).saturating_mul(prop3_bound(d, n, i)));
     }
     acc
 }
@@ -294,8 +292,7 @@ mod tests {
         for (d, n) in [(2u32, 12u32), (3, 9)] {
             for k in 0..n {
                 let exact = prop6_bound(d, n, k);
-                let crude = ((n - k + 1) as u128)
-                    .saturating_mul(prop3_bound(d, n, k));
+                let crude = ((n - k + 1) as u128).saturating_mul(prop3_bound(d, n, k));
                 assert!(exact <= crude, "d={d} n={n} k={k}");
                 // And it dominates the single-level Prop 3 bound.
                 assert!(exact >= prop3_bound(d, n, k));
@@ -308,9 +305,7 @@ mod tests {
         let d = 3u32;
         let n = 8u32;
         for k in 0..=n {
-            let direct: u128 = (k..=n)
-                .map(|m| binomial(m as u64, k as u64))
-                .sum::<u128>()
+            let direct: u128 = (k..=n).map(|m| binomial(m as u64, k as u64)).sum::<u128>()
                 * pow_u128((d - 1) as u128, k);
             assert_eq!(prop6_bound(d, n, k), direct, "k={k}");
         }
@@ -332,8 +327,7 @@ mod tests {
         let k1 = lemma1_k1(d, n);
         let lhs = binomial(n as u64, k1 as u64) * pow_u128(d as u128, k1);
         assert!(lhs <= half_power(d, n));
-        let lhs_next =
-            binomial(n as u64, (k1 + 1) as u64) * pow_u128(d as u128, k1 + 1);
+        let lhs_next = binomial(n as u64, (k1 + 1) as u64) * pow_u128(d as u128, k1 + 1);
         assert!(lhs_next > half_power(d, n));
     }
 
@@ -367,10 +361,7 @@ mod tests {
             // At x0 the defining inequality holds (with slack at x0·1.01).
             let lhs = |x: f64| 2.0 * (x + 1.0).ln() + x * ((d as f64 - 1.0).ln());
             let rhs = |x: f64| x * (d as f64).ln();
-            assert!(
-                lhs(x * 1.01) <= rhs(x * 1.01) + 1e-6,
-                "d={d} x0={x}"
-            );
+            assert!(lhs(x * 1.01) <= rhs(x * 1.01) + 1e-6, "d={d} x0={x}");
             assert!(lhs(x * 0.5) > rhs(x * 0.5), "d={d} x0={x} not minimal");
         }
     }

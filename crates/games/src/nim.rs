@@ -123,9 +123,7 @@ mod tests {
 
     #[test]
     fn move_enumeration_respects_cap() {
-        let g = Nim {
-            max_take: Some(2),
-        };
+        let g = Nim { max_take: Some(2) };
         let s = NimState::new(vec![3, 1]);
         // Pile 0: take 1 or 2; pile 1: take 1.
         assert_eq!(g.num_moves(&s), 3);
@@ -134,7 +132,13 @@ mod tests {
     #[test]
     fn search_agrees_with_bouton_on_small_positions() {
         let g = Nim::default();
-        for piles in [vec![1], vec![2, 2], vec![1, 2, 3], vec![1, 3, 5], vec![4, 1]] {
+        for piles in [
+            vec![1],
+            vec![2, 2],
+            vec![1, 2, 3],
+            vec![1, 3, 5],
+            vec![4, 1],
+        ] {
             let s = NimState::new(piles.clone());
             let total: u32 = piles.iter().sum();
             let src = GameTreeSource::new(g, s.clone(), total + 1);
@@ -147,9 +151,7 @@ mod tests {
 
     #[test]
     fn capped_nim_agrees_with_modular_bouton() {
-        let g = Nim {
-            max_take: Some(2),
-        };
+        let g = Nim { max_take: Some(2) };
         for piles in [vec![3], vec![3, 3], vec![4, 2], vec![5, 1, 1]] {
             let s = NimState::new(piles.clone());
             let total: u32 = piles.iter().sum();

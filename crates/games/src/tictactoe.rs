@@ -175,7 +175,7 @@ mod tests {
         let g = TicTacToe;
         let mut b = g.initial();
         b = g.apply(&b, 0); // X takes cell 0
-        // Now move index 0 refers to cell 1.
+                            // Now move index 0 refers to cell 1.
         let b2 = g.apply(&b, 0);
         assert_eq!(b2.o, 1 << 1);
     }

@@ -303,9 +303,7 @@ impl<S: TreeSource> Machine<S> {
                     None => break,
                 }
             }
-            if let Some(PTask::Coordinate { zeros, .. }) =
-                &mut self.levels[d as usize].p_task
-            {
+            if let Some(PTask::Coordinate { zeros, .. }) = &mut self.levels[d as usize].p_task {
                 *zeros = z;
             }
         }
@@ -327,16 +325,14 @@ impl<S: TreeSource> Machine<S> {
         let mut sends = Vec::new();
         if promoted_p.is_none_or(|p| p < zeros) {
             sends.push(Msg::PSolve(self.tree.child(v, zeros)));
-            if let Some(PTask::Coordinate { promoted_p, .. }) =
-                &mut self.levels[d as usize].p_task
+            if let Some(PTask::Coordinate { promoted_p, .. }) = &mut self.levels[d as usize].p_task
             {
                 *promoted_p = Some(zeros);
             }
         }
         if zeros + 1 < arity && promoted_s.is_none_or(|s| s < zeros + 1) {
             sends.push(Msg::SSolve(self.tree.child(v, zeros + 1)));
-            if let Some(PTask::Coordinate { promoted_s, .. }) =
-                &mut self.levels[d as usize].p_task
+            if let Some(PTask::Coordinate { promoted_s, .. }) = &mut self.levels[d as usize].p_task
             {
                 *promoted_s = Some(zeros + 1);
             }
@@ -468,7 +464,10 @@ impl<S: TreeSource> Machine<S> {
     fn run(&mut self, max_ticks: u64) -> MsgSimResult {
         let mut ticks = 0u64;
         while self.root_value.is_none() {
-            assert!(ticks < max_ticks, "message-passing machine did not converge");
+            assert!(
+                ticks < max_ticks,
+                "message-passing machine did not converge"
+            );
             // Fail fast on a hard deadlock: nothing in flight, nothing
             // runnable, no coordinator left to watchdog, root unknown ⇒
             // the machine can never progress.
@@ -477,7 +476,10 @@ impl<S: TreeSource> Machine<S> {
                     && self.levels.iter().all(|l| {
                         !l.has_work() && !matches!(l.p_task, Some(PTask::Coordinate { .. }))
                     });
-                assert!(!quiescent, "message-passing machine deadlocked at tick {ticks}");
+                assert!(
+                    !quiescent,
+                    "message-passing machine deadlocked at tick {ticks}"
+                );
             }
             ticks += 1;
             self.deliver();

@@ -1,0 +1,88 @@
+//! A small blocking client for the gt-serve wire protocol.
+//!
+//! One request in flight at a time: write a line, read a line.  Used
+//! by the load generator, the e2e tests, and the CLI.
+
+use crate::protocol::{Op, Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn invalid<E: std::fmt::Display>(e: E) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Send a raw request line and read one reply line.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<Response> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::parse(reply.trim()).map_err(invalid)
+    }
+
+    /// Send a parsed request.
+    pub fn send(&mut self, request: &Request) -> std::io::Result<Response> {
+        self.send_line(&request.render())
+    }
+
+    /// Evaluate `spec` with `algo` (optional deadline in ms).
+    pub fn eval(
+        &mut self,
+        spec: &str,
+        algo: &str,
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<Response> {
+        self.send(&Request::eval(spec, algo, deadline_ms))
+    }
+
+    fn control(&mut self, op: Op) -> std::io::Result<Response> {
+        self.send(&Request {
+            id: None,
+            op,
+            spec: None,
+            algo: None,
+            deadline_ms: None,
+        })
+    }
+
+    /// Fetch the server's metrics snapshot (in the reply's `stats`
+    /// field).
+    pub fn stats(&mut self) -> std::io::Result<Response> {
+        self.control(Op::Stats)
+    }
+
+    /// Liveness/version probe.
+    pub fn ping(&mut self) -> std::io::Result<Response> {
+        self.control(Op::Ping)
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown_server(&mut self) -> std::io::Result<Response> {
+        self.control(Op::Shutdown)
+    }
+}

@@ -1,0 +1,66 @@
+//! # gt-serve — a batching, backpressure-aware game-tree evaluation service
+//!
+//! Everything before this crate was a one-shot process: generate a
+//! workload, evaluate it, print, exit.  `gt-serve` turns the Karp–Zhang
+//! engines into a long-lived network service, the hot path every
+//! scaling and robustness PR can target:
+//!
+//! * **Wire protocol** ([`protocol`]) — newline-delimited JSON over
+//!   TCP.  A request names a workload with the `gt_tree::spec::GenSpec`
+//!   string format (`worst:d=2,n=10`) plus an algorithm selector
+//!   (`cascade:w=2`, `round:w=1`, `seq-solve`, …); the reply carries
+//!   the root value, work/step metrics, and server-side latency.
+//! * **Bounded queue with load shedding** ([`queue`]) — requests past
+//!   the configured depth are rejected immediately with a 429-style
+//!   `busy` error instead of growing an unbounded backlog.
+//! * **Worker pool with deadlines** ([`server`]) — per-request
+//!   deadlines drive the engines' cooperative cancellation
+//!   (`gt_core::engine::Cancelled`); an expired request gets a timely
+//!   `timeout` reply even while its abandoned work winds down.
+//! * **LRU result cache** ([`lru`]) — keyed by the canonical
+//!   spec+algorithm string, so repeated requests are O(1).
+//! * **Metrics registry** ([`metrics`]) — request/reject/timeout/cache
+//!   counters and a log-bucketed latency histogram, exposed via a
+//!   `stats` request and dumped as JSON on shutdown.
+//! * **Load generator** ([`loadgen`]) — open- and closed-loop client
+//!   fleets so throughput and tail latency are measurable in-repo.
+//!
+//! The crate is std-only: threads, `std::net`, and `std::sync::mpsc` —
+//! no async runtime, no serialization dependency (JSON I/O rides on
+//! `gt_analysis::json`).
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use gt_serve::{Client, Config, Server};
+//!
+//! let server = Server::start(Config {
+//!     addr: "127.0.0.1:0".into(),
+//!     workers: 4,
+//!     ..Config::default()
+//! })
+//! .unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let reply = client.eval("worst:d=2,n=8", "cascade:w=1", None).unwrap();
+//! assert!(reply.ok);
+//! server.request_shutdown();
+//! let stats = server.join();
+//! assert_eq!(stats.ok, 1);
+//! ```
+
+pub mod client;
+pub mod loadgen;
+pub mod lru;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod workload;
+
+pub use client::Client;
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use lru::LruCache;
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use protocol::{ErrorCode, Op, Request, Response};
+pub use server::{Config, Server};
+pub use workload::{AlgoSpec, EvalOutcome};

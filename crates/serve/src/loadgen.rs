@@ -1,0 +1,344 @@
+//! The load generator: client fleets for measuring throughput, tail
+//! latency, and shedding behaviour against a running server.
+//!
+//! Two modes, chosen by [`LoadgenConfig::rps`]:
+//!
+//! * **Open loop** (`rps > 0`) — each connection fires on a fixed
+//!   schedule regardless of how long replies take, the model that
+//!   actually exposes queueing delay (closed-loop clients slow down
+//!   with the server and hide it).  Late ticks are not skipped; the
+//!   generator sends them back-to-back, which is exactly the burst an
+//!   open-loop arrival process produces.
+//! * **Closed loop** (`rps == 0`) — each connection sends the next
+//!   request as soon as the previous reply lands: a saturation probe.
+
+use crate::client::Client;
+use gt_analysis::{percentile, Json};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Load generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7171`.
+    pub addr: String,
+    /// Concurrent connections.
+    pub conns: usize,
+    /// Total target request rate across all connections; 0 runs closed
+    /// loop.
+    pub rps: f64,
+    /// How long to generate load.
+    pub duration: Duration,
+    /// Workload spec sent in every request.
+    pub spec: String,
+    /// Algorithm selector sent in every request.
+    pub algo: String,
+    /// Per-request deadline, if any.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7171".into(),
+            conns: 1,
+            rps: 0.0,
+            duration: Duration::from_secs(5),
+            spec: "worst:d=2,n=8".into(),
+            algo: "cascade:w=1".into(),
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Per-thread tally, merged into the final report.
+#[derive(Debug, Default, Clone)]
+struct Tally {
+    sent: u64,
+    ok: u64,
+    cached: u64,
+    shed: u64,
+    timeout: u64,
+    bad: u64,
+    draining: u64,
+    other_error: u64,
+    transport_errors: u64,
+    latencies_us: Vec<f64>,
+}
+
+impl Tally {
+    fn absorb(&mut self, other: Tally) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.cached += other.cached;
+        self.shed += other.shed;
+        self.timeout += other.timeout;
+        self.bad += other.bad;
+        self.draining += other.draining;
+        self.other_error += other.other_error;
+        self.transport_errors += other.transport_errors;
+        self.latencies_us.extend(other.latencies_us);
+    }
+}
+
+/// Aggregated results of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// Successful replies.
+    pub ok: u64,
+    /// Successful replies served from the cache.
+    pub cached: u64,
+    /// 429 `busy` rejections (queue full).
+    pub shed: u64,
+    /// 408 `timeout` replies.
+    pub timeout: u64,
+    /// 400 `bad-request` replies.
+    pub bad: u64,
+    /// 503 `draining` rejections.
+    pub draining: u64,
+    /// Error replies outside the codes above.
+    pub other_error: u64,
+    /// Connections that failed at the transport level (connect, I/O,
+    /// or unparseable replies).
+    pub transport_errors: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Client-observed latencies of successful replies, microseconds.
+    pub latencies_us: Vec<f64>,
+}
+
+impl LoadgenReport {
+    /// Replies received per second (any status).
+    pub fn achieved_rps(&self) -> f64 {
+        let replies =
+            self.ok + self.shed + self.timeout + self.bad + self.draining + self.other_error;
+        replies as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn latency_quantile(&self, q: f64) -> Option<f64> {
+        if self.latencies_us.is_empty() {
+            None
+        } else {
+            Some(percentile(&self.latencies_us, q))
+        }
+    }
+
+    /// Serialize for scripting.
+    pub fn to_json(&self) -> Json {
+        let quantile = |q: f64| match self.latency_quantile(q) {
+            Some(v) => Json::from(v),
+            None => Json::Null,
+        };
+        Json::obj([
+            ("sent", Json::from(self.sent)),
+            ("ok", Json::from(self.ok)),
+            ("cached", Json::from(self.cached)),
+            ("shed", Json::from(self.shed)),
+            ("timeout", Json::from(self.timeout)),
+            ("bad", Json::from(self.bad)),
+            ("draining", Json::from(self.draining)),
+            ("other_error", Json::from(self.other_error)),
+            ("transport_errors", Json::from(self.transport_errors)),
+            ("elapsed_ms", Json::from(self.elapsed.as_millis() as u64)),
+            ("achieved_rps", Json::from(self.achieved_rps())),
+            ("latency_p50_us", quantile(0.50)),
+            ("latency_p90_us", quantile(0.90)),
+            ("latency_p99_us", quantile(0.99)),
+        ])
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sent {} in {:.2}s ({:.1} replies/s)",
+            self.sent,
+            self.elapsed.as_secs_f64(),
+            self.achieved_rps()
+        );
+        let _ = writeln!(
+            out,
+            "ok {} (cached {})  shed {}  timeout {}  bad {}  draining {}  other {}  transport {}",
+            self.ok,
+            self.cached,
+            self.shed,
+            self.timeout,
+            self.bad,
+            self.draining,
+            self.other_error,
+            self.transport_errors
+        );
+        if !self.latencies_us.is_empty() {
+            let _ = writeln!(
+                out,
+                "latency p50 {:.0}us  p90 {:.0}us  p99 {:.0}us",
+                self.latency_quantile(0.50).unwrap_or(0.0),
+                self.latency_quantile(0.90).unwrap_or(0.0),
+                self.latency_quantile(0.99).unwrap_or(0.0),
+            );
+        }
+        out
+    }
+}
+
+fn classify(tally: &mut Tally, status: u64, ok: bool, cached: bool, latency_us: f64) {
+    if ok {
+        tally.ok += 1;
+        if cached {
+            tally.cached += 1;
+        }
+        tally.latencies_us.push(latency_us);
+        return;
+    }
+    match status {
+        429 => tally.shed += 1,
+        408 => tally.timeout += 1,
+        400 => tally.bad += 1,
+        503 => tally.draining += 1,
+        _ => tally.other_error += 1,
+    }
+}
+
+fn connection_worker(config: &LoadgenConfig, per_conn_interval: Option<Duration>) -> Tally {
+    let mut tally = Tally::default();
+    let mut client = match Client::connect(&config.addr) {
+        Ok(c) => c,
+        Err(_) => {
+            tally.transport_errors += 1;
+            return tally;
+        }
+    };
+    let start = Instant::now();
+    let mut i: u32 = 0;
+    while start.elapsed() < config.duration {
+        if let Some(interval) = per_conn_interval {
+            // Open loop: wait for this request's scheduled send time.
+            let due = start + interval * i;
+            let now = Instant::now();
+            if due > now {
+                thread::sleep(due - now);
+            }
+            if start.elapsed() >= config.duration {
+                break;
+            }
+        }
+        i += 1;
+        tally.sent += 1;
+        let sent_at = Instant::now();
+        match client.eval(&config.spec, &config.algo, config.deadline_ms) {
+            Ok(reply) => {
+                let latency_us = sent_at.elapsed().as_secs_f64() * 1e6;
+                classify(
+                    &mut tally,
+                    reply.status,
+                    reply.ok,
+                    reply.cached(),
+                    latency_us,
+                );
+            }
+            Err(_) => {
+                tally.transport_errors += 1;
+                return tally; // the connection is broken; stop this worker
+            }
+        }
+    }
+    tally
+}
+
+/// Run a load-generation session against `config.addr` and aggregate
+/// the results.
+pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
+    let conns = config.conns.max(1);
+    let per_conn_interval = if config.rps > 0.0 {
+        Some(Duration::from_secs_f64(conns as f64 / config.rps))
+    } else {
+        None
+    };
+    let started = Instant::now();
+    let tallies: Vec<Tally> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|_| scope.spawn(|| connection_worker(config, per_conn_interval)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let mut total = Tally::default();
+    for t in tallies {
+        total.absorb(t);
+    }
+    LoadgenReport {
+        sent: total.sent,
+        ok: total.ok,
+        cached: total.cached,
+        shed: total.shed,
+        timeout: total.timeout,
+        bad: total.bad,
+        draining: total.draining,
+        other_error: total.other_error,
+        transport_errors: total.transport_errors,
+        elapsed,
+        latencies_us: total.latencies_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Config, Server};
+
+    #[test]
+    fn closed_loop_run_against_a_live_server() {
+        let server = Server::start(Config {
+            workers: 2,
+            ..Config::default()
+        })
+        .unwrap();
+        let report = run_loadgen(&LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            conns: 2,
+            rps: 0.0,
+            duration: Duration::from_millis(300),
+            spec: "worst:d=2,n=6".into(),
+            algo: "seq-solve".into(),
+            deadline_ms: Some(5_000),
+        });
+        assert!(report.sent > 0);
+        assert_eq!(report.transport_errors, 0);
+        assert!(report.ok > 0, "report: {}", report.render());
+        // Identical requests: everything after the first misses is
+        // served from the cache.
+        assert!(report.cached > 0);
+        assert!(!report.render().is_empty());
+        let j = report.to_json();
+        assert_eq!(j.get("ok").and_then(Json::as_u64), Some(report.ok));
+        server.request_shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn open_loop_paces_requests() {
+        let server = Server::start(Config::default()).unwrap();
+        let report = run_loadgen(&LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            conns: 1,
+            rps: 50.0,
+            duration: Duration::from_millis(400),
+            spec: "worst:d=2,n=4".into(),
+            algo: "seq-solve".into(),
+            deadline_ms: Some(5_000),
+        });
+        // 50 rps for 0.4s ≈ 20 requests; allow generous slack for
+        // scheduling noise but catch runaway closed-loop behaviour.
+        assert!(report.sent <= 30, "sent {}", report.sent);
+        assert!(report.sent >= 5, "sent {}", report.sent);
+        server.request_shutdown();
+        server.join();
+    }
+}

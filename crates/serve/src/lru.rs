@@ -1,0 +1,227 @@
+//! A plain-std LRU cache: `HashMap` index over an intrusive
+//! doubly-linked recency list stored in a slab.
+//!
+//! `get` and `insert` are O(1); eviction removes the least-recently
+//! used entry.  The serving layer keys this by the canonical
+//! spec+algorithm string so a repeated request costs a hash lookup
+//! instead of a tree evaluation.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map.  Capacity 0 disables
+/// storage entirely (every lookup misses, inserts are dropped).
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Look up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let i = *self.map.get(key)?;
+        if i != self.head {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(&self.slots[i].value)
+    }
+
+    /// Insert or refresh an entry, evicting the least-recently-used
+    /// entry when at capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            if i != self.head {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        let i = if self.map.len() == self.capacity {
+            // Reuse the LRU slot for the new entry.
+            let i = self.tail;
+            self.unlink(i);
+            let old_key = std::mem::replace(&mut self.slots[i].key, key.clone());
+            self.map.remove(&old_key);
+            self.slots[i].value = value;
+            i
+        } else {
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses() {
+        let mut c = LruCache::new(2);
+        assert!(c.is_empty());
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"missing"), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        // Touch "a" so "b" is the LRU entry.
+        assert_eq!(c.get(&"a"), Some(&1));
+        c.insert("c", 3);
+        assert_eq!(c.get(&"b"), None, "b should have been evicted");
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn insert_refreshes_existing_key() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10); // refresh value and recency
+        c.insert("c", 3); // evicts "b", not "a"
+        assert_eq!(c.get(&"a"), Some(&10));
+        assert_eq!(c.get(&"b"), None);
+    }
+
+    #[test]
+    fn capacity_zero_disables_storage() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), None);
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 0);
+    }
+
+    #[test]
+    fn capacity_one_churn() {
+        let mut c = LruCache::new(1);
+        for i in 0..100 {
+            c.insert(i, i * 10);
+            assert_eq!(c.get(&i), Some(&(i * 10)));
+            if i > 0 {
+                assert_eq!(c.get(&(i - 1)), None);
+            }
+            assert_eq!(c.len(), 1);
+        }
+    }
+
+    #[test]
+    fn long_mixed_workload_matches_reference_model() {
+        // Cross-check against a brute-force recency list.
+        let cap = 8;
+        let mut c: LruCache<u32, u32> = LruCache::new(cap);
+        let mut model: Vec<(u32, u32)> = Vec::new(); // most recent first
+        let mut x: u32 = 12345;
+        for step in 0..5000u32 {
+            // Cheap xorshift for a deterministic mixed key stream.
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            let key = x % 24;
+            if x.is_multiple_of(3) {
+                let val = step;
+                c.insert(key, val);
+                if let Some(pos) = model.iter().position(|(k, _)| *k == key) {
+                    model.remove(pos);
+                }
+                model.insert(0, (key, val));
+                model.truncate(cap);
+            } else {
+                let got = c.get(&key).copied();
+                let want = model.iter().position(|(k, _)| *k == key).map(|pos| {
+                    let entry = model.remove(pos);
+                    model.insert(0, entry);
+                    entry.1
+                });
+                assert_eq!(got, want, "step {step} key {key}");
+            }
+            assert_eq!(c.len(), model.len());
+        }
+    }
+}

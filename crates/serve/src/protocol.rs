@@ -1,0 +1,341 @@
+//! The wire protocol: newline-delimited JSON request/response framing.
+//!
+//! One request per line, one response line per request, in order.  The
+//! full field reference lives in `docs/SERVING.md`; the shapes are:
+//!
+//! ```text
+//! → {"op":"eval","spec":"worst:d=2,n=10","algo":"cascade:w=1","deadline_ms":250,"id":"r1"}
+//! ← {"ok":true,"id":"r1","value":1,"work":1024,"steps":0,"cached":false,"latency_us":812}
+//! ← {"ok":false,"id":"r1","status":429,"code":"busy","error":"queue full"}
+//! ```
+//!
+//! A malformed line yields an `ok:false` reply with `status` 400 and
+//! the connection stays open — clients never have to reconnect to
+//! recover from their own bad input.
+
+use gt_analysis::Json;
+
+/// Protocol revision, reported by `ping`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Request operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Evaluate a workload (`spec` + `algo`).
+    Eval,
+    /// Return the metrics snapshot.
+    Stats,
+    /// Liveness/version probe.
+    Ping,
+    /// Begin a graceful drain: in-flight work completes, new evals are
+    /// rejected, the server exits once idle.
+    Shutdown,
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen tag echoed back in the reply (string or integer).
+    pub id: Option<String>,
+    /// Operation; defaults to `eval` when the field is absent.
+    pub op: Op,
+    /// Workload spec (`kind:key=val,...`), required for `eval`.
+    pub spec: Option<String>,
+    /// Algorithm selector (`name` or `name:key=val,...`).
+    pub algo: Option<String>,
+    /// Per-request deadline; overrides the server default.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Request {
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let j = Json::parse(line)?;
+        if !matches!(j, Json::Object(_)) {
+            return Err("request must be a JSON object".into());
+        }
+        let op = match j.get("op").and_then(Json::as_str).unwrap_or("eval") {
+            "eval" => Op::Eval,
+            "stats" => Op::Stats,
+            "ping" => Op::Ping,
+            "shutdown" => Op::Shutdown,
+            other => return Err(format!("unknown op {other:?}")),
+        };
+        let id = j.get("id").and_then(|v| match v {
+            Json::Str(s) => Some(s.clone()),
+            Json::Int(i) => Some(i.to_string()),
+            _ => None,
+        });
+        let spec = j.get("spec").and_then(Json::as_str).map(str::to_string);
+        let algo = j.get("algo").and_then(Json::as_str).map(str::to_string);
+        let deadline_ms = match j.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| "deadline_ms must be a non-negative integer".to_string())?,
+            ),
+        };
+        if op == Op::Eval && spec.is_none() {
+            return Err("eval request needs a \"spec\" field".into());
+        }
+        Ok(Request {
+            id,
+            op,
+            spec,
+            algo,
+            deadline_ms,
+        })
+    }
+
+    /// Build an `eval` request (client side).
+    pub fn eval(spec: &str, algo: &str, deadline_ms: Option<u64>) -> Request {
+        Request {
+            id: None,
+            op: Op::Eval,
+            spec: Some(spec.to_string()),
+            algo: Some(algo.to_string()),
+            deadline_ms,
+        }
+    }
+
+    /// Serialize to a single request line (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        let op = match self.op {
+            Op::Eval => "eval",
+            Op::Stats => "stats",
+            Op::Ping => "ping",
+            Op::Shutdown => "shutdown",
+        };
+        fields.push(("op".into(), Json::from(op)));
+        if let Some(id) = &self.id {
+            fields.push(("id".into(), Json::from(id.clone())));
+        }
+        if let Some(spec) = &self.spec {
+            fields.push(("spec".into(), Json::from(spec.clone())));
+        }
+        if let Some(algo) = &self.algo {
+            fields.push(("algo".into(), Json::from(algo.clone())));
+        }
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms".into(), Json::from(ms)));
+        }
+        Json::Object(fields).render()
+    }
+}
+
+/// Reply error categories, with HTTP-flavoured status numbers so
+/// clients can triage without string matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Unparseable or invalid request (400).
+    BadRequest,
+    /// Deadline expired before a result was ready (408).
+    Timeout,
+    /// Queue full — request shed, try again later (429).
+    Busy,
+    /// Internal failure (500).
+    Internal,
+    /// Server is draining for shutdown (503).
+    Draining,
+}
+
+impl ErrorCode {
+    /// Numeric status.
+    pub fn status(self) -> u64 {
+        match self {
+            ErrorCode::BadRequest => 400,
+            ErrorCode::Timeout => 408,
+            ErrorCode::Busy => 429,
+            ErrorCode::Internal => 500,
+            ErrorCode::Draining => 503,
+        }
+    }
+
+    /// Short machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Internal => "internal",
+            ErrorCode::Draining => "draining",
+        }
+    }
+}
+
+/// Render a success reply line from `fields` (no trailing newline).
+pub fn ok_line(id: &Option<String>, fields: Vec<(&'static str, Json)>) -> String {
+    let mut pairs: Vec<(String, Json)> = vec![("ok".into(), Json::Bool(true))];
+    if let Some(id) = id {
+        pairs.push(("id".into(), Json::from(id.clone())));
+    }
+    for (k, v) in fields {
+        pairs.push((k.to_string(), v));
+    }
+    Json::Object(pairs).render()
+}
+
+/// Render an error reply line (no trailing newline).
+pub fn error_line(id: &Option<String>, code: ErrorCode, message: &str) -> String {
+    let mut pairs: Vec<(String, Json)> = vec![("ok".into(), Json::Bool(false))];
+    if let Some(id) = id {
+        pairs.push(("id".into(), Json::from(id.clone())));
+    }
+    pairs.push(("status".into(), Json::from(code.status())));
+    pairs.push(("code".into(), Json::from(code.name())));
+    pairs.push(("error".into(), Json::from(message)));
+    Json::Object(pairs).render()
+}
+
+/// A parsed response line (client side).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Success flag.
+    pub ok: bool,
+    /// Echo of the request id, when one was sent.
+    pub id: Option<String>,
+    /// Status number for errors (400/408/429/500/503); 0 on success.
+    pub status: u64,
+    /// Machine-readable error code name, for errors.
+    pub code: Option<String>,
+    /// Human-readable error message, for errors.
+    pub error: Option<String>,
+    /// The whole reply object, for access to op-specific fields
+    /// (`value`, `work`, `cached`, `stats`, ...).
+    pub body: Json,
+}
+
+impl Response {
+    /// Parse one response line.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let body = Json::parse(line)?;
+        let ok = body
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| "response missing \"ok\"".to_string())?;
+        let id = body.get("id").and_then(Json::as_str).map(str::to_string);
+        let status = body.get("status").and_then(Json::as_u64).unwrap_or(0);
+        let code = body.get("code").and_then(Json::as_str).map(str::to_string);
+        let error = body.get("error").and_then(Json::as_str).map(str::to_string);
+        Ok(Response {
+            ok,
+            id,
+            status,
+            code,
+            error,
+            body,
+        })
+    }
+
+    /// The root value, for successful eval replies.
+    pub fn value(&self) -> Option<i64> {
+        self.body
+            .get("value")
+            .and_then(Json::as_int)
+            .and_then(|v| i64::try_from(v).ok())
+    }
+
+    /// Whether the reply was served from the result cache.
+    pub fn cached(&self) -> bool {
+        self.body
+            .get("cached")
+            .and_then(Json::as_bool)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_eval_request() {
+        let r = Request::parse(r#"{"spec":"worst:d=2,n=4"}"#).unwrap();
+        assert_eq!(r.op, Op::Eval);
+        assert_eq!(r.spec.as_deref(), Some("worst:d=2,n=4"));
+        assert_eq!(r.algo, None);
+        assert_eq!(r.deadline_ms, None);
+        assert_eq!(r.id, None);
+    }
+
+    #[test]
+    fn parses_full_request_and_integer_id() {
+        let r = Request::parse(
+            r#"{"op":"eval","id":7,"spec":"crit:n=6","algo":"round:w=2","deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id.as_deref(), Some("7"));
+        assert_eq!(r.algo.as_deref(), Some("round:w=2"));
+        assert_eq!(r.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn control_ops_parse_without_spec() {
+        for (text, op) in [
+            (r#"{"op":"stats"}"#, Op::Stats),
+            (r#"{"op":"ping"}"#, Op::Ping),
+            (r#"{"op":"shutdown"}"#, Op::Shutdown),
+        ] {
+            assert_eq!(Request::parse(text).unwrap().op, op);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("[1,2]").is_err());
+        assert!(Request::parse(r#"{"op":"frobnicate"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"eval"}"#).is_err(), "spec required");
+        assert!(Request::parse(r#"{"spec":"x","deadline_ms":-5}"#).is_err());
+        assert!(Request::parse(r#"{"spec":"x","deadline_ms":"soon"}"#).is_err());
+    }
+
+    #[test]
+    fn request_render_parse_round_trips() {
+        let mut r = Request::eval("worst:d=2,n=8", "cascade:w=1", Some(100));
+        r.id = Some("tag".into());
+        let back = Request::parse(&r.render()).unwrap();
+        assert_eq!(back.op, Op::Eval);
+        assert_eq!(back.id.as_deref(), Some("tag"));
+        assert_eq!(back.spec, r.spec);
+        assert_eq!(back.algo, r.algo);
+        assert_eq!(back.deadline_ms, Some(100));
+    }
+
+    #[test]
+    fn ok_and_error_lines_parse_back() {
+        let id = Some("q".to_string());
+        let line = ok_line(
+            &id,
+            vec![("value", Json::from(3i64)), ("cached", Json::Bool(true))],
+        );
+        let resp = Response::parse(&line).unwrap();
+        assert!(resp.ok);
+        assert_eq!(resp.id.as_deref(), Some("q"));
+        assert_eq!(resp.value(), Some(3));
+        assert!(resp.cached());
+
+        let line = error_line(&id, ErrorCode::Busy, "queue full");
+        let resp = Response::parse(&line).unwrap();
+        assert!(!resp.ok);
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.code.as_deref(), Some("busy"));
+        assert_eq!(resp.error.as_deref(), Some("queue full"));
+    }
+
+    #[test]
+    fn every_error_code_has_distinct_status_and_name() {
+        let codes = [
+            ErrorCode::BadRequest,
+            ErrorCode::Timeout,
+            ErrorCode::Busy,
+            ErrorCode::Internal,
+            ErrorCode::Draining,
+        ];
+        let statuses: std::collections::BTreeSet<u64> = codes.iter().map(|c| c.status()).collect();
+        let names: std::collections::BTreeSet<&str> = codes.iter().map(|c| c.name()).collect();
+        assert_eq!(statuses.len(), codes.len());
+        assert_eq!(names.len(), codes.len());
+    }
+}

@@ -1,0 +1,90 @@
+//! A bounded request queue with explicit backpressure.
+//!
+//! Thin wrapper over [`std::sync::mpsc::sync_channel`] that turns the
+//! channel's blocking semantics into load-shedding ones: producers
+//! never wait — a full queue is reported immediately so the caller can
+//! reject the request (the serving layer's 429-style `busy` reply)
+//! instead of queueing unbounded work it cannot finish in time.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// All consumers are gone; the item is handed back.
+    Closed(T),
+}
+
+/// The producing half of a bounded queue.
+pub struct BoundedSender<T> {
+    inner: SyncSender<T>,
+}
+
+// Manual impl: `#[derive(Clone)]` would needlessly require `T: Clone`.
+impl<T> Clone for BoundedSender<T> {
+    fn clone(&self) -> Self {
+        BoundedSender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> BoundedSender<T> {
+    /// Push without blocking; a full or closed queue returns the item.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        self.inner.try_send(item).map_err(|e| match e {
+            TrySendError::Full(item) => PushError::Full(item),
+            TrySendError::Disconnected(item) => PushError::Closed(item),
+        })
+    }
+}
+
+/// Create a queue holding at most `depth` items (`depth` is clamped to
+/// at least 1 — a zero-capacity rendezvous channel would make every
+/// uncontended push fail).
+pub fn bounded<T>(depth: usize) -> (BoundedSender<T>, Receiver<T>) {
+    let (tx, rx) = sync_channel(depth.max(1));
+    (BoundedSender { inner: tx }, rx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheds_when_full_and_recovers_after_pop() {
+        let (tx, rx) = bounded(2);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(tx.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_push(4).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 4);
+    }
+
+    #[test]
+    fn zero_depth_is_clamped_to_one() {
+        let (tx, rx) = bounded(0);
+        tx.try_push("only").unwrap();
+        assert!(matches!(tx.try_push("extra"), Err(PushError::Full(_))));
+        assert_eq!(rx.recv().unwrap(), "only");
+    }
+
+    #[test]
+    fn closed_queue_reports_closed() {
+        let (tx, rx) = bounded::<u32>(4);
+        drop(rx);
+        assert_eq!(tx.try_push(9), Err(PushError::Closed(9)));
+    }
+
+    #[test]
+    fn clones_share_capacity() {
+        let (tx, _rx) = bounded(1);
+        let tx2 = tx.clone();
+        tx.try_push(1).unwrap();
+        assert!(matches!(tx2.try_push(2), Err(PushError::Full(_))));
+    }
+}

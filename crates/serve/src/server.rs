@@ -1,0 +1,586 @@
+//! The evaluation server: accept loop, connection handlers, worker
+//! pool, result cache, and graceful shutdown.
+//!
+//! ## Thread structure
+//!
+//! ```text
+//! accept thread ──spawns──▶ one thread per connection
+//! connection threads ──bounded queue──▶ worker pool (shared receiver)
+//! workers ──per-request mpsc reply──▶ the waiting connection thread
+//! ```
+//!
+//! Connection threads do all protocol work (parse, validate, cache
+//! lookup, reply rendering) so workers only ever run engines.  Requests
+//! enter the worker pool through the bounded [`crate::queue`]; a full
+//! queue sheds the request immediately with a `busy` reply.
+//!
+//! ## Deadlines
+//!
+//! Every eval carries a deadline (request `deadline_ms` or the server
+//! default).  The connection thread waits on the reply channel only
+//! until that deadline; on expiry it sets the job's cancellation flag,
+//! answers `timeout` right away, and abandons the reply channel.  The
+//! worker notices the flag at the next engine check-point and moves on.
+//!
+//! ## Shutdown
+//!
+//! `request_shutdown` (or a `shutdown` request, or the CLI's SIGINT
+//! handler) sets a flag that every loop polls: the accept loop stops
+//! accepting, connection threads finish the request in hand and close,
+//! new evals are refused with `draining`, and [`Server::join`] reaps
+//! every thread before handing back the final metrics snapshot.
+
+use crate::lru::LruCache;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::protocol::{error_line, ok_line, ErrorCode, Op, Request, PROTOCOL_VERSION};
+use crate::queue::{bounded, BoundedSender, PushError};
+use crate::workload::{evaluate, validate, AlgoSpec, EvalError, EvalOutcome};
+use gt_analysis::Json;
+use gt_tree::GenSpec;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Longest accepted request line; longer input closes the connection.
+const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// How often blocked loops poll the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Algorithm used when an eval names none: cancellable and valid for
+/// both NOR and minmax workloads.
+const DEFAULT_ALGO: &str = "cascade:w=1";
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads evaluating requests.
+    pub workers: usize,
+    /// Bounded queue depth; pushes beyond it are shed with `busy`.
+    pub queue_depth: usize,
+    /// Result-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Deadline applied to evals that do not carry `deadline_ms`.
+    pub default_deadline_ms: u64,
+    /// Leaf-count ceiling for non-cancellable algorithms.
+    pub max_leaves: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 64,
+            cache_capacity: 256,
+            default_deadline_ms: 10_000,
+            max_leaves: 1 << 22,
+        }
+    }
+}
+
+/// What a worker sends back for one job.
+enum WorkerReply {
+    Done(EvalOutcome),
+    Cancelled,
+    Failed(String),
+}
+
+/// One queued evaluation.
+struct Job {
+    spec: GenSpec,
+    algo: AlgoSpec,
+    cache_key: String,
+    cancel: Arc<AtomicBool>,
+    deadline: Instant,
+    reply: Sender<WorkerReply>,
+}
+
+type SharedCache = Arc<Mutex<LruCache<String, EvalOutcome>>>;
+
+/// Everything a connection thread needs, cheap to clone.
+#[derive(Clone)]
+struct Shared {
+    metrics: Arc<Metrics>,
+    cache: SharedCache,
+    job_tx: BoundedSender<Job>,
+    shutdown: Arc<AtomicBool>,
+    default_deadline_ms: u64,
+    max_leaves: u64,
+}
+
+/// A running evaluation server.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<Metrics>,
+    accept_handle: JoinHandle<()>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
+    // Dropped in `join` so idle workers see the channel close.
+    job_tx: Option<BoundedSender<Job>>,
+}
+
+impl Server {
+    /// Bind and start accepting; returns once the listener is live.
+    pub fn start(config: Config) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(Metrics::default());
+        let cache: SharedCache = Arc::new(Mutex::new(LruCache::new(config.cache_capacity)));
+        let (job_tx, job_rx) = bounded::<Job>(config.queue_depth);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&job_rx);
+                let cache = Arc::clone(&cache);
+                let metrics = Arc::clone(&metrics);
+                thread::spawn(move || worker_loop(&rx, &cache, &metrics))
+            })
+            .collect();
+
+        let shared = Shared {
+            metrics: Arc::clone(&metrics),
+            cache,
+            job_tx: job_tx.clone(),
+            shutdown: Arc::clone(&shutdown),
+            default_deadline_ms: config.default_deadline_ms,
+            max_leaves: config.max_leaves,
+        };
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_handle = {
+            let conns = Arc::clone(&conns);
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || accept_loop(&listener, &shared, &conns, &shutdown))
+        };
+
+        Ok(Server {
+            local_addr,
+            shutdown,
+            metrics,
+            accept_handle,
+            conns,
+            workers,
+            job_tx: Some(job_tx),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared shutdown flag — hand this to a signal handler.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The live metrics registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Begin a graceful drain (idempotent, returns immediately).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Drain and reap every thread; returns the final metrics.  Call
+    /// [`Server::request_shutdown`] first (or let a client's `shutdown`
+    /// request do it) or this blocks until one arrives.
+    pub fn join(mut self) -> MetricsSnapshot {
+        let _ = self.accept_handle.join();
+        // The accept loop has exited, so the connection list is final.
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conns.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        // Close the queue: every connection-side sender is gone now.
+        drop(self.job_tx.take());
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.metrics.snapshot()
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Shared,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shutdown: &AtomicBool,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = shared.clone();
+                let handle = thread::spawn(move || connection_loop(stream, &shared));
+                conns.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Read one newline-terminated line, polling the shutdown flag while
+/// idle.  `Ok(true)` means a complete line is in `line`; `Ok(false)`
+/// means the connection should close (EOF, shutdown, or an over-long
+/// line).
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    shutdown: &AtomicBool,
+) -> std::io::Result<bool> {
+    line.clear();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(false);
+        }
+        // Cap the line length; `take` makes `read_line` stop early and
+        // report a clean pseudo-EOF instead of buffering unboundedly.
+        let budget = (MAX_LINE_BYTES + 1).saturating_sub(line.len()) as u64;
+        let mut limited = reader.take(budget);
+        match limited.read_line(line) {
+            Ok(0) => return Ok(false), // EOF
+            Ok(_) => {
+                if line.ends_with('\n') {
+                    return Ok(true);
+                }
+                if line.len() > MAX_LINE_BYTES {
+                    return Ok(false); // over-long line: cut the connection
+                }
+                // Partial line followed by EOF.
+                return Ok(false);
+            }
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted =>
+            {
+                // Read timeout with a possibly partial line buffered in
+                // `line`; keep it and retry — `read_line` appends.
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Shared) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    // Replies are single small writes the client blocks on; Nagle would
+    // hold them for the peer's delayed ACK (~40ms per request).
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match read_request_line(&mut reader, &mut line, &shared.shutdown) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        shared.metrics.received.fetch_add(1, Ordering::Relaxed);
+        let mut reply = process_line(trimmed, shared);
+        reply.push('\n');
+        if writer
+            .write_all(reply.as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Handle one request line; returns the reply line (no newline).
+fn process_line(line: &str, shared: &Shared) -> String {
+    let m = &shared.metrics;
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => {
+            m.bad_request.fetch_add(1, Ordering::Relaxed);
+            return error_line(&None, ErrorCode::BadRequest, &e);
+        }
+    };
+    let id = request.id.clone();
+    match request.op {
+        Op::Ping => ok_line(
+            &id,
+            vec![
+                ("version", Json::from(PROTOCOL_VERSION)),
+                (
+                    "draining",
+                    Json::Bool(shared.shutdown.load(Ordering::SeqCst)),
+                ),
+            ],
+        ),
+        Op::Stats => ok_line(&id, vec![("stats", m.snapshot().to_json())]),
+        Op::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            ok_line(&id, vec![("draining", Json::Bool(true))])
+        }
+        Op::Eval => process_eval(&request, shared),
+    }
+}
+
+fn process_eval(request: &Request, shared: &Shared) -> String {
+    let m = &shared.metrics;
+    let id = &request.id;
+    if shared.shutdown.load(Ordering::SeqCst) {
+        m.draining.fetch_add(1, Ordering::Relaxed);
+        return error_line(id, ErrorCode::Draining, "server is draining");
+    }
+    let spec_text = request.spec.as_deref().unwrap_or_default();
+    let algo_text = request.algo.as_deref().unwrap_or(DEFAULT_ALGO);
+    let validated = match validate(spec_text, algo_text, shared.max_leaves) {
+        Ok(v) => v,
+        Err(e) => {
+            m.bad_request.fetch_add(1, Ordering::Relaxed);
+            return error_line(id, ErrorCode::BadRequest, &e);
+        }
+    };
+    let start = Instant::now();
+
+    if let Some(hit) = shared
+        .cache
+        .lock()
+        .unwrap()
+        .get(&validated.cache_key)
+        .copied()
+    {
+        m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return ok_eval_line(id, &hit, true, start, m);
+    }
+    m.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    let deadline_ms = request.deadline_ms.unwrap_or(shared.default_deadline_ms);
+    // Clamp to a day so absurd values cannot overflow Instant math.
+    let deadline = start + Duration::from_millis(deadline_ms.min(86_400_000));
+    let cancel = Arc::new(AtomicBool::new(false));
+    let (reply_tx, reply_rx) = channel();
+    let job = Job {
+        spec: validated.spec,
+        algo: validated.algo,
+        cache_key: validated.cache_key,
+        cancel: Arc::clone(&cancel),
+        deadline,
+        reply: reply_tx,
+    };
+    match shared.job_tx.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            m.shed.fetch_add(1, Ordering::Relaxed);
+            return error_line(id, ErrorCode::Busy, "queue full");
+        }
+        Err(PushError::Closed(_)) => {
+            m.internal.fetch_add(1, Ordering::Relaxed);
+            return error_line(id, ErrorCode::Internal, "worker pool is gone");
+        }
+    }
+    let wait = deadline.saturating_duration_since(Instant::now());
+    match reply_rx.recv_timeout(wait) {
+        Ok(WorkerReply::Done(outcome)) => ok_eval_line(id, &outcome, false, start, m),
+        Ok(WorkerReply::Cancelled) => {
+            m.timeout.fetch_add(1, Ordering::Relaxed);
+            error_line(id, ErrorCode::Timeout, "deadline exceeded")
+        }
+        Ok(WorkerReply::Failed(e)) => {
+            m.internal.fetch_add(1, Ordering::Relaxed);
+            error_line(id, ErrorCode::Internal, &e)
+        }
+        Err(RecvTimeoutError::Timeout) => {
+            // Expired while queued or mid-evaluation: flag the job so
+            // the worker abandons it, answer immediately.
+            cancel.store(true, Ordering::SeqCst);
+            m.timeout.fetch_add(1, Ordering::Relaxed);
+            error_line(id, ErrorCode::Timeout, "deadline exceeded")
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            m.internal.fetch_add(1, Ordering::Relaxed);
+            error_line(id, ErrorCode::Internal, "worker dropped the request")
+        }
+    }
+}
+
+fn ok_eval_line(
+    id: &Option<String>,
+    outcome: &EvalOutcome,
+    cached: bool,
+    start: Instant,
+    m: &Metrics,
+) -> String {
+    let latency_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    m.ok.fetch_add(1, Ordering::Relaxed);
+    m.latency.record(latency_us);
+    ok_line(
+        id,
+        vec![
+            ("value", Json::from(outcome.value)),
+            ("work", Json::from(outcome.work)),
+            ("steps", Json::from(outcome.steps)),
+            ("cached", Json::Bool(cached)),
+            ("latency_us", Json::from(latency_us)),
+        ],
+    )
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, cache: &SharedCache, metrics: &Metrics) {
+    loop {
+        // Hold the lock only for the receive itself.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // queue closed: all senders gone
+        };
+        if job.cancel.load(Ordering::SeqCst) || Instant::now() >= job.deadline {
+            let _ = job.reply.send(WorkerReply::Cancelled);
+            continue;
+        }
+        let reply = match evaluate(&job.spec, &job.algo, &job.cancel) {
+            Ok(outcome) => {
+                metrics.evaluated.fetch_add(1, Ordering::Relaxed);
+                cache.lock().unwrap().insert(job.cache_key.clone(), outcome);
+                WorkerReply::Done(outcome)
+            }
+            Err(EvalError::Cancelled) => WorkerReply::Cancelled,
+            Err(EvalError::Bad(e)) => WorkerReply::Failed(e),
+        };
+        // The connection may have timed out and gone; that's fine.
+        let _ = job.reply.send(reply);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Response;
+    use std::io::BufRead;
+
+    fn send(stream: &TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Response {
+        let mut w = stream.try_clone().unwrap();
+        w.write_all(line.as_bytes()).unwrap();
+        w.write_all(b"\n").unwrap();
+        w.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        Response::parse(reply.trim()).unwrap()
+    }
+
+    fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(addr).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
+    }
+
+    #[test]
+    fn serves_eval_ping_stats_and_drains() {
+        let server = Server::start(Config {
+            workers: 2,
+            ..Config::default()
+        })
+        .unwrap();
+        let (stream, mut reader) = connect(server.local_addr());
+
+        let r = send(&stream, &mut reader, r#"{"op":"ping"}"#);
+        assert!(r.ok);
+        assert_eq!(r.body.get("version").and_then(Json::as_u64), Some(1));
+
+        let r = send(
+            &stream,
+            &mut reader,
+            r#"{"id":"a","spec":"worst:d=2,n=6","algo":"seq-solve"}"#,
+        );
+        assert!(r.ok, "eval failed: {:?}", r.error);
+        assert_eq!(r.id.as_deref(), Some("a"));
+        assert_eq!(r.body.get("work").and_then(Json::as_u64), Some(64));
+        assert!(!r.cached());
+
+        // Same canonical request again: cache hit.
+        let r = send(
+            &stream,
+            &mut reader,
+            r#"{"spec":"worst: n=6 ,d=2","algo":"seq-solve"}"#,
+        );
+        assert!(r.ok);
+        assert!(r.cached());
+
+        // Malformed line: error reply, connection survives.
+        let r = send(&stream, &mut reader, "{nope");
+        assert!(!r.ok);
+        assert_eq!(r.status, 400);
+        let r = send(&stream, &mut reader, r#"{"op":"stats"}"#);
+        let stats = r.body.get("stats").unwrap();
+        assert_eq!(stats.get("cache_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("bad_request").and_then(Json::as_u64), Some(1));
+
+        let r = send(&stream, &mut reader, r#"{"op":"shutdown"}"#);
+        assert!(r.ok);
+        let snapshot = server.join();
+        assert_eq!(snapshot.ok, 2);
+        assert_eq!(snapshot.cache_hits, 1);
+        assert_eq!(snapshot.evaluated, 1);
+    }
+
+    #[test]
+    fn draining_server_refuses_new_evals() {
+        // Unit-level: a request processed after the flag flips gets a
+        // 503 (over the wire this is a race window, so test it here).
+        let (job_tx, _job_rx) = bounded::<Job>(1);
+        let shared = Shared {
+            metrics: Arc::new(Metrics::default()),
+            cache: Arc::new(Mutex::new(LruCache::new(4))),
+            job_tx,
+            shutdown: Arc::new(AtomicBool::new(true)),
+            default_deadline_ms: 1000,
+            max_leaves: 1 << 20,
+        };
+        let reply = process_line(r#"{"spec":"worst:d=2,n=4"}"#, &shared);
+        let r = Response::parse(&reply).unwrap();
+        assert!(!r.ok);
+        assert_eq!(r.status, 503);
+        assert_eq!(r.code.as_deref(), Some("draining"));
+        assert_eq!(shared.metrics.snapshot().draining, 1);
+        // Control ops still answer while draining.
+        let r = Response::parse(&process_line(r#"{"op":"ping"}"#, &shared)).unwrap();
+        assert!(r.ok);
+        assert_eq!(r.body.get("draining").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn join_after_request_shutdown_reaps_everything() {
+        let server = Server::start(Config::default()).unwrap();
+        let addr = server.local_addr();
+        let (stream, mut reader) = connect(addr);
+        let r = send(
+            &stream,
+            &mut reader,
+            r#"{"spec":"crit:d=2,n=4","algo":"round:w=2"}"#,
+        );
+        assert!(r.ok);
+        server.request_shutdown();
+        let snapshot = server.join();
+        assert_eq!(snapshot.ok, 1);
+        assert_eq!(snapshot.connections, 1);
+    }
+}

@@ -1,0 +1,419 @@
+//! Request validation and engine dispatch.
+//!
+//! A request names a workload with the [`GenSpec`] string format and an
+//! algorithm with the same `name:key=val,...` syntax.  Validation is
+//! front-loaded on the connection thread so malformed or oversized work
+//! is rejected *before* it occupies a queue slot; [`evaluate`] then
+//! runs on a worker with the request's cancellation flag threaded into
+//! every engine that supports it.
+//!
+//! Algorithms that cannot be cancelled mid-flight (`seq-solve`,
+//! `alphabeta`, `parallel-solve`) are gated by a leaf-count ceiling
+//! instead: a deadline can only be enforced cooperatively, so work
+//! that ignores the flag must be small enough to finish regardless.
+
+use gt_core::engine::{Cancelled, CascadeEngine, RoundEngine, TtSearch, YbwEngine};
+use gt_games::{Connect4, Game, Nim, TicTacToe};
+use gt_sim::{parallel_alphabeta, parallel_solve};
+use gt_tree::minimax::{seq_alphabeta, seq_solve};
+use gt_tree::{GenSpec, Uniform, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicBool;
+
+/// A parsed algorithm selector: `name` or `name:key=val,...`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgoSpec {
+    /// Algorithm name (`seq-solve`, `alphabeta`, `parallel-solve`,
+    /// `round`, `cascade`, `ybw`, `tt`).
+    pub name: String,
+    /// Key/value parameters (`w`, `cutoff`, ...).
+    pub params: BTreeMap<String, String>,
+}
+
+impl AlgoSpec {
+    /// Parse an algorithm selector (same grammar as [`GenSpec`]).
+    pub fn parse(text: &str) -> Result<AlgoSpec, String> {
+        let g = GenSpec::parse(text)?;
+        Ok(AlgoSpec {
+            name: g.kind,
+            params: g.params,
+        })
+    }
+
+    fn u32_param(&self, key: &str, default: u32) -> Result<u32, String> {
+        match self.params.get(key) {
+            Some(v) => v.parse().map_err(|e| format!("bad {key}={v}: {e}")),
+            None => Ok(default),
+        }
+    }
+
+    /// Evaluation width (`w`), defaulting to 1.
+    pub fn width(&self) -> Result<u32, String> {
+        let w = self.u32_param("w", 1)?;
+        if w == 0 {
+            return Err("width w must be at least 1".into());
+        }
+        Ok(w)
+    }
+
+    /// Canonical string form: name plus sorted parameters.
+    pub fn canonical(&self) -> String {
+        canonical_text(&self.name, &self.params)
+    }
+}
+
+fn canonical_text(kind: &str, params: &BTreeMap<String, String>) -> String {
+    let mut out = kind.to_string();
+    for (i, (k, v)) in params.iter().enumerate() {
+        out.push(if i == 0 { ':' } else { ',' });
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out
+}
+
+/// The result cache key: canonical spec and algorithm, joined.  Two
+/// textually different requests naming the same work (reordered or
+/// re-spaced parameters) collapse to one key.
+pub fn canonical_key(spec: &GenSpec, algo: &AlgoSpec) -> String {
+    format!(
+        "{}|{}",
+        canonical_text(&spec.kind, &spec.params),
+        algo.canonical()
+    )
+}
+
+/// What an engine produced for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOutcome {
+    /// Root value.
+    pub value: Value,
+    /// Work performed: leaves evaluated (tree engines) or positions
+    /// evaluated (game search).
+    pub work: u64,
+    /// Parallel steps/rounds, where the algorithm counts them; 0 for
+    /// purely sequential algorithms.
+    pub steps: u64,
+}
+
+/// Why an evaluation did not produce an outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The request was invalid in a way validation did not catch.
+    Bad(String),
+    /// The cancellation flag was set mid-flight.
+    Cancelled,
+}
+
+impl From<Cancelled> for EvalError {
+    fn from(_: Cancelled) -> Self {
+        EvalError::Cancelled
+    }
+}
+
+/// A request that passed validation and may enter the queue.
+#[derive(Debug, Clone)]
+pub struct ValidatedRequest {
+    /// The workload.
+    pub spec: GenSpec,
+    /// The algorithm.
+    pub algo: AlgoSpec,
+    /// Result-cache key.
+    pub cache_key: String,
+}
+
+const ALGOS: &[&str] = &[
+    "seq-solve",
+    "alphabeta",
+    "parallel-solve",
+    "round",
+    "cascade",
+    "ybw",
+    "tt",
+];
+
+/// Names of games the `tt` algorithm accepts as `spec` kinds.
+const GAMES: &[&str] = &["ttt", "tictactoe", "connect4", "nim"];
+
+fn spec_leaf_count(spec: &GenSpec) -> Result<u64, String> {
+    let d: u32 = match spec.params.get("d") {
+        Some(v) => v.parse().map_err(|e| format!("bad d={v}: {e}"))?,
+        None => 2,
+    };
+    let n: u32 = match spec.params.get("n") {
+        Some(v) => v.parse().map_err(|e| format!("bad n={v}: {e}"))?,
+        None => return Err("missing required parameter n".into()),
+    };
+    if d == 0 {
+        return Err("d must be at least 1".into());
+    }
+    Ok(Uniform::new(d, n).leaf_count())
+}
+
+/// Check a request end to end: both strings parse, the algorithm
+/// exists, the workload builds, families match, and non-cancellable
+/// algorithms fit under `max_leaves`.
+pub fn validate(
+    spec_text: &str,
+    algo_text: &str,
+    max_leaves: u64,
+) -> Result<ValidatedRequest, String> {
+    let spec = GenSpec::parse(spec_text)?;
+    let algo = AlgoSpec::parse(algo_text)?;
+    if !ALGOS.contains(&algo.name.as_str()) {
+        return Err(format!(
+            "unknown algorithm {:?} (expected one of {})",
+            algo.name,
+            ALGOS.join(", ")
+        ));
+    }
+    algo.width()?;
+    if algo.name == "tt" {
+        if !GAMES.contains(&spec.kind.as_str()) {
+            return Err(format!(
+                "algorithm \"tt\" searches a game, not a generated tree; \
+                 spec kind must be one of {} (got {:?})",
+                GAMES.join(", "),
+                spec.kind
+            ));
+        }
+        // Depth must parse; the search itself is cancellable, so no
+        // size ceiling is needed.
+        tt_depth(&spec)?;
+    } else {
+        // Tree algorithms: the generator must build, and the family
+        // must match the algorithm's semantics.
+        spec.build()?;
+        match algo.name.as_str() {
+            "seq-solve" if spec.is_minmax() => {
+                return Err("seq-solve evaluates NOR trees; use alphabeta for minmax specs".into());
+            }
+            "alphabeta" | "ybw" if !spec.is_minmax() => {
+                return Err(format!(
+                    "{} evaluates minmax trees; use seq-solve/round/cascade for NOR specs",
+                    algo.name
+                ));
+            }
+            _ => {}
+        }
+        let cancellable = matches!(algo.name.as_str(), "round" | "cascade" | "ybw");
+        if !cancellable {
+            let leaves = spec_leaf_count(&spec)?;
+            if leaves > max_leaves {
+                return Err(format!(
+                    "workload has {leaves} leaves, above the server ceiling of {max_leaves} \
+                     for non-cancellable algorithm {:?}",
+                    algo.name
+                ));
+            }
+        }
+    }
+    let cache_key = canonical_key(&spec, &algo);
+    Ok(ValidatedRequest {
+        spec,
+        algo,
+        cache_key,
+    })
+}
+
+fn tt_depth(spec: &GenSpec) -> Result<u32, String> {
+    match spec.params.get("d") {
+        Some(v) => v.parse().map_err(|e| format!("bad d={v}: {e}")),
+        None => Ok(8),
+    }
+}
+
+fn run_tt<G: Game>(game: G, depth: u32, cancel: &AtomicBool) -> Result<EvalOutcome, EvalError>
+where
+    G::State: Eq + std::hash::Hash,
+{
+    let initial = game.initial();
+    let mut tt = TtSearch::new(game, 1 << 20);
+    let value = tt.search_cancellable(&initial, depth, cancel)?;
+    Ok(EvalOutcome {
+        value,
+        work: tt.stats.evals,
+        steps: 0,
+    })
+}
+
+/// Run one validated request to completion (or cancellation) on the
+/// calling thread.
+pub fn evaluate(
+    spec: &GenSpec,
+    algo: &AlgoSpec,
+    cancel: &AtomicBool,
+) -> Result<EvalOutcome, EvalError> {
+    if algo.name == "tt" {
+        let depth = tt_depth(spec).map_err(EvalError::Bad)?;
+        return match spec.kind.as_str() {
+            "ttt" | "tictactoe" => run_tt(TicTacToe, depth, cancel),
+            "connect4" => run_tt(Connect4::default(), depth, cancel),
+            "nim" => run_tt(Nim::default(), depth, cancel),
+            other => Err(EvalError::Bad(format!("unknown game {other:?}"))),
+        };
+    }
+    let src = spec.build().map_err(EvalError::Bad)?;
+    let width = algo.width().map_err(EvalError::Bad)?;
+    let outcome = match algo.name.as_str() {
+        "seq-solve" => {
+            let st = seq_solve(&src, false);
+            EvalOutcome {
+                value: st.value,
+                work: st.leaves_evaluated,
+                steps: 0,
+            }
+        }
+        "alphabeta" => {
+            let st = seq_alphabeta(&src, false);
+            EvalOutcome {
+                value: st.value,
+                work: st.leaves_evaluated,
+                steps: 0,
+            }
+        }
+        "parallel-solve" => {
+            let st = if spec.is_minmax() {
+                parallel_alphabeta(&src, width, false)
+            } else {
+                parallel_solve(&src, width, false)
+            };
+            EvalOutcome {
+                value: st.value,
+                work: st.total_work,
+                steps: st.steps,
+            }
+        }
+        "round" => {
+            let engine = RoundEngine::with_width(width);
+            let r = if spec.is_minmax() {
+                engine.solve_minmax_cancellable(&src, cancel)?
+            } else {
+                engine.solve_nor_cancellable(&src, cancel)?
+            };
+            EvalOutcome {
+                value: r.value,
+                work: r.leaves_evaluated,
+                steps: r.rounds,
+            }
+        }
+        "cascade" => {
+            let engine = CascadeEngine::with_width(width);
+            let r = if spec.is_minmax() {
+                engine.solve_minmax_cancellable(&src, cancel)?
+            } else {
+                engine.solve_nor_cancellable(&src, cancel)?
+            };
+            EvalOutcome {
+                value: r.value,
+                work: r.leaves_evaluated,
+                steps: r.rounds,
+            }
+        }
+        "ybw" => {
+            let engine = match algo.params.get("cutoff") {
+                Some(v) => YbwEngine::with_cutoff(
+                    v.parse()
+                        .map_err(|e| EvalError::Bad(format!("bad cutoff={v}: {e}")))?,
+                ),
+                None => YbwEngine::default(),
+            };
+            let r = engine.solve_minmax_cancellable(&src, cancel)?;
+            EvalOutcome {
+                value: r.value,
+                work: r.leaves_evaluated,
+                steps: r.rounds,
+            }
+        }
+        other => return Err(EvalError::Bad(format!("unknown algorithm {other:?}"))),
+    };
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    fn never() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+
+    #[test]
+    fn validates_and_canonicalizes() {
+        let v = validate("worst: n=4 , d=2", "cascade:w=2", 1 << 20).unwrap();
+        assert_eq!(v.cache_key, "worst:d=2,n=4|cascade:w=2");
+        // Reordered parameters produce the same key.
+        let v2 = validate("worst:d=2,n=4", "cascade:w=2", 1 << 20).unwrap();
+        assert_eq!(v.cache_key, v2.cache_key);
+    }
+
+    #[test]
+    fn rejects_unknown_or_mismatched_algorithms() {
+        assert!(validate("worst:n=4", "quantum", 1 << 20).is_err());
+        assert!(validate("worst:n=4", "cascade:w=0", 1 << 20).is_err());
+        assert!(validate("minmax:n=4", "seq-solve", 1 << 20).is_err());
+        assert!(validate("worst:n=4", "alphabeta", 1 << 20).is_err());
+        assert!(validate("worst:n=4", "ybw", 1 << 20).is_err());
+        assert!(validate("nope:n=4", "cascade", 1 << 20).is_err());
+        assert!(
+            validate("worst:n=4", "tt", 1 << 20).is_err(),
+            "tt needs a game"
+        );
+        assert!(validate("ttt:d=5", "tt", 1 << 20).is_ok());
+    }
+
+    #[test]
+    fn leaf_ceiling_gates_non_cancellable_algorithms_only() {
+        // worst:d=2,n=20 has 2^20 leaves.
+        assert!(validate("worst:d=2,n=20", "seq-solve", 1 << 10).is_err());
+        assert!(validate("worst:d=2,n=20", "parallel-solve:w=4", 1 << 10).is_err());
+        assert!(validate("worst:d=2,n=20", "cascade:w=4", 1 << 10).is_ok());
+        assert!(validate("worst:d=2,n=10", "seq-solve", 1 << 10).is_ok());
+    }
+
+    #[test]
+    fn engines_agree_on_a_nor_workload() {
+        let spec = GenSpec::parse("crit:d=2,n=8,seed=11").unwrap();
+        let flag = never();
+        let baseline = evaluate(&spec, &AlgoSpec::parse("seq-solve").unwrap(), &flag)
+            .unwrap()
+            .value;
+        for algo in ["parallel-solve:w=3", "round:w=2", "cascade:w=2"] {
+            let got = evaluate(&spec, &AlgoSpec::parse(algo).unwrap(), &flag).unwrap();
+            assert_eq!(got.value, baseline, "{algo}");
+            assert!(got.work >= 1, "{algo}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_a_minmax_workload() {
+        let spec = GenSpec::parse("minmax:d=3,n=4,lo=-9,hi=9,seed=3").unwrap();
+        let flag = never();
+        let baseline = evaluate(&spec, &AlgoSpec::parse("alphabeta").unwrap(), &flag)
+            .unwrap()
+            .value;
+        for algo in ["parallel-solve:w=2", "round:w=2", "cascade:w=2", "ybw"] {
+            let got = evaluate(&spec, &AlgoSpec::parse(algo).unwrap(), &flag).unwrap();
+            assert_eq!(got.value, baseline, "{algo}");
+        }
+    }
+
+    #[test]
+    fn tt_solves_tictactoe_to_a_draw() {
+        let spec = GenSpec::parse("ttt:d=9").unwrap();
+        let got = evaluate(&spec, &AlgoSpec::parse("tt").unwrap(), &never()).unwrap();
+        assert_eq!(got.value, 0, "perfect tic-tac-toe is a draw");
+        assert!(got.work > 0);
+    }
+
+    #[test]
+    fn cancellation_surfaces_as_eval_error() {
+        let spec = GenSpec::parse("worst:d=2,n=12").unwrap();
+        let flag = AtomicBool::new(false);
+        flag.store(true, Ordering::Relaxed);
+        let got = evaluate(&spec, &AlgoSpec::parse("cascade:w=2").unwrap(), &flag);
+        assert_eq!(got, Err(EvalError::Cancelled));
+    }
+}

@@ -267,10 +267,7 @@ impl<S: TreeSource> AlphaBetaSim<S> {
         self.frontier.clear();
         self.collect(0, i64::from(width), &mut None);
         let ids = std::mem::take(&mut self.frontier);
-        let out = ids
-            .iter()
-            .map(|&id| (id, self.tree.path_of(id)))
-            .collect();
+        let out = ids.iter().map(|&id| (id, self.tree.path_of(id))).collect();
         self.frontier = ids;
         out
     }
@@ -300,11 +297,7 @@ impl<S: TreeSource> AlphaBetaSim<S> {
     /// this equals `val_T(r)` at every moment of the run; the test
     /// suite checks it step by step.  `O(tree)` — diagnostics only.
     pub fn pruned_tree_value(&self) -> Value {
-        fn minimax_from<S: TreeSource>(
-            s: &S,
-            path: &mut Vec<u32>,
-            maximizing: bool,
-        ) -> Value {
+        fn minimax_from<S: TreeSource>(s: &S, path: &mut Vec<u32>, maximizing: bool) -> Value {
             let d = s.arity(path);
             if d == 0 {
                 return s.leaf_value(path);
@@ -340,7 +333,11 @@ impl<S: TreeSource> AlphaBetaSim<S> {
                 }
                 any = true;
                 let val = go(sim, u);
-                best = if maximizing { best.max(val) } else { best.min(val) };
+                best = if maximizing {
+                    best.max(val)
+                } else {
+                    best.min(val)
+                };
             }
             debug_assert!(any, "pruning must never delete every child");
             best

@@ -135,10 +135,7 @@ impl<S: TreeSource> ExpansionSim<S> {
         self.frontier.clear();
         self.collect(0, i64::from(width));
         let ids = std::mem::take(&mut self.frontier);
-        let out = ids
-            .iter()
-            .map(|&id| (id, self.tree.path_of(id)))
-            .collect();
+        let out = ids.iter().map(|&id| (id, self.tree.path_of(id))).collect();
         self.frontier = ids;
         out
     }

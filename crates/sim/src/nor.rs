@@ -254,10 +254,7 @@ impl<S: TreeSource> NorSim<S> {
         }
         self.collect_frontier(policy);
         let ids = std::mem::take(&mut self.frontier);
-        let out = ids
-            .iter()
-            .map(|&id| (id, self.tree.path_of(id)))
-            .collect();
+        let out = ids.iter().map(|&id| (id, self.tree.path_of(id))).collect();
         self.frontier = ids;
         out
     }
@@ -487,7 +484,11 @@ mod tests {
                 let s = UniformSource::nor_iid(2, 7, 0.5, seed);
                 let capped = parallel_solve_capped(&s, w, 1, true);
                 let seq = sequential_solve(&s, true);
-                assert_eq!(capped.trace.unwrap(), seq.trace.unwrap(), "w={w} seed {seed}");
+                assert_eq!(
+                    capped.trace.unwrap(),
+                    seq.trace.unwrap(),
+                    "w={w} seed {seed}"
+                );
             }
         }
     }
@@ -499,7 +500,11 @@ mod tests {
             for p in [2u32, 3, 5] {
                 let st = parallel_solve_capped(&s, 2, p, false);
                 assert_eq!(st.value, nor_value(&s), "p={p} seed={seed}");
-                assert!(st.processors_used <= p, "p={p}: used {}", st.processors_used);
+                assert!(
+                    st.processors_used <= p,
+                    "p={p}: used {}",
+                    st.processors_used
+                );
             }
         }
     }

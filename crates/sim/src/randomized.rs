@@ -112,9 +112,7 @@ mod tests {
         let (d, n) = (2u32, 10u32);
         let s = UniformSource::nor_worst_case(d, n);
         let det = crate::expansion::n_sequential_solve(&s, false).total_work;
-        let (_, mean_work) = expected_over_seeds(0..16, |seed| {
-            r_sequential_solve(&s, seed, false)
-        });
+        let (_, mean_work) = expected_over_seeds(0..16, |seed| r_sequential_solve(&s, seed, false));
         assert!(
             mean_work < det as f64,
             "expected randomized {mean_work} < deterministic {det}"

@@ -127,10 +127,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn boolean_tree() -> impl Strategy<Value = ExplicitTree> {
-        let leaf = prop_oneof![
-            Just(ExplicitTree::Leaf(0)),
-            Just(ExplicitTree::Leaf(1))
-        ];
+        let leaf = prop_oneof![Just(ExplicitTree::Leaf(0)), Just(ExplicitTree::Leaf(1))];
         leaf.prop_recursive(4, 48, 3, |inner| {
             prop::collection::vec(inner, 1..=3).prop_map(ExplicitTree::Internal)
         })

@@ -300,8 +300,7 @@ impl<S: TreeSource> LazyTree<S> {
             "set_leaf_value called on internal node {id}"
         );
         debug_assert!(
-            self.slots[id as usize].value.is_none()
-                || self.slots[id as usize].value == Some(value),
+            self.slots[id as usize].value.is_none() || self.slots[id as usize].value == Some(value),
             "conflicting value for leaf {id}"
         );
         self.slots[id as usize].value = Some(value);

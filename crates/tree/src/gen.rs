@@ -301,11 +301,7 @@ impl LeafValues for WorstOrderedMinMax {
         for (depth, &i) in path.iter().enumerate() {
             width /= d;
             let is_max = depth % 2 == 0;
-            let band = if is_max {
-                i as i64
-            } else {
-                d - 1 - i as i64
-            };
+            let band = if is_max { i as i64 } else { d - 1 - i as i64 };
             lo += band * width;
         }
         lo // width is 1 at leaf depth
@@ -579,7 +575,10 @@ mod tests {
         // d = 2: x = (1-x)² ⇒ x = (3-√5)/2.
         let x2 = critical_bias(2);
         assert!((x2 - (3.0 - 5f64.sqrt()) / 2.0).abs() < 1e-12);
-        assert!((x2 + CRITICAL_BIAS - 1.0).abs() < 1e-9, "complement relation");
+        assert!(
+            (x2 + CRITICAL_BIAS - 1.0).abs() < 1e-9,
+            "complement relation"
+        );
         for d in [1u32, 3, 5, 8] {
             let x = critical_bias(d);
             assert!((0.0..=1.0).contains(&x));

@@ -38,6 +38,7 @@ pub mod render;
 pub mod scout;
 pub mod skeleton;
 pub mod source;
+pub mod spec;
 pub mod sss;
 pub mod stats;
 pub mod text;
@@ -45,6 +46,7 @@ pub mod text;
 pub use arena::{LazyTree, NodeId, NONE};
 pub use explicit::ExplicitTree;
 pub use source::{NodeKind, TreeSource, Value};
+pub use spec::GenSpec;
 
 /// `B(d, n)`: the class of uniform `d`-ary NOR (AND/OR) trees of height `n`.
 ///

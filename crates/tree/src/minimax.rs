@@ -308,8 +308,7 @@ mod tests {
         for (d, n) in [(2u32, 6u32), (3, 4), (4, 4), (5, 3)] {
             let s = UniformSource::minmax_best_ordered(d, n, 42);
             let st = seq_alphabeta(&s, false);
-            let expect =
-                (d as u64).pow(n / 2) + (d as u64).pow(n.div_ceil(2)) - 1;
+            let expect = (d as u64).pow(n / 2) + (d as u64).pow(n.div_ceil(2)) - 1;
             assert_eq!(st.leaves_evaluated, expect, "d={d} n={n}");
         }
     }

@@ -19,8 +19,7 @@ pub fn is_ancestor(a: &[u32], b: &[u32]) -> bool {
 /// Index (0-based, left to right) of the leaf at `path` in the uniform
 /// `d`-ary tree of height `path.len()`.
 pub fn leaf_index(path: &[u32], d: u32) -> u64 {
-    path.iter()
-        .fold(0u64, |acc, &c| acc * d as u64 + c as u64)
+    path.iter().fold(0u64, |acc, &c| acc * d as u64 + c as u64)
 }
 
 /// Path of the `index`-th leaf in the uniform `d`-ary tree of height `n`.

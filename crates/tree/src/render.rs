@@ -52,12 +52,7 @@ pub fn ascii(tree: &ExplicitTree) -> String {
 pub fn dot(tree: &ExplicitTree, name: &str) -> String {
     let mut out = format!("digraph {name} {{\n  node [fontname=\"monospace\"];\n");
     let mut next_id = 0usize;
-    fn go(
-        t: &ExplicitTree,
-        depth: usize,
-        next_id: &mut usize,
-        out: &mut String,
-    ) -> usize {
+    fn go(t: &ExplicitTree, depth: usize, next_id: &mut usize, out: &mut String) -> usize {
         let my = *next_id;
         *next_id += 1;
         match t {

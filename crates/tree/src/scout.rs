@@ -56,12 +56,7 @@ pub fn r_scout<S: TreeSource>(source: S, seed: u64) -> ScoutStats {
     scout(&permuted)
 }
 
-fn eval<S: TreeSource>(
-    s: &S,
-    path: &mut Vec<u32>,
-    maximizing: bool,
-    st: &mut ScoutStats,
-) -> Value {
+fn eval<S: TreeSource>(s: &S, path: &mut Vec<u32>, maximizing: bool, st: &mut ScoutStats) -> Value {
     let d = s.arity(path);
     if d == 0 {
         st.leaves_evaluated += 1;
@@ -187,7 +182,11 @@ mod tests {
         for seed in 0..20 {
             for (d, n) in [(2u32, 6u32), (3, 4)] {
                 let s = UniformSource::minmax_iid(d, n, -50, 50, seed);
-                assert_eq!(scout(&s).value, minimax_value(&s), "d={d} n={n} seed={seed}");
+                assert_eq!(
+                    scout(&s).value,
+                    minimax_value(&s),
+                    "d={d} n={n} seed={seed}"
+                );
             }
         }
     }
@@ -203,9 +202,8 @@ mod tests {
     #[test]
     fn scout_single_leaf_and_unary_chain() {
         assert_eq!(scout(&ExplicitTree::leaf(5)).value, 5);
-        let chain = ExplicitTree::internal(vec![ExplicitTree::internal(vec![
-            ExplicitTree::leaf(-3),
-        ])]);
+        let chain =
+            ExplicitTree::internal(vec![ExplicitTree::internal(vec![ExplicitTree::leaf(-3)])]);
         assert_eq!(scout(&chain).value, -3);
     }
 

@@ -27,11 +27,7 @@ pub fn skeleton_of<S: TreeSource>(source: &S, leaf_paths: &[Vec<u32>]) -> Explic
     build(source, &mut Vec::new(), &sorted)
 }
 
-fn build<S: TreeSource>(
-    source: &S,
-    prefix: &mut Vec<u32>,
-    paths: &[&Vec<u32>],
-) -> ExplicitTree {
+fn build<S: TreeSource>(source: &S, prefix: &mut Vec<u32>, paths: &[&Vec<u32>]) -> ExplicitTree {
     let depth = prefix.len();
     // All paths share `prefix`.  If the first path ends here, this node is
     // an evaluated leaf (and, being a leaf, it must be the only path).
@@ -143,9 +139,9 @@ mod tests {
                         let mut want = p[..i].to_vec();
                         want.push(c);
                         assert!(
-                            paths.iter().any(|q| q.len() > i
-                                && q[..i] == want[..i]
-                                && q[i] == c),
+                            paths
+                                .iter()
+                                .any(|q| q.len() > i && q[..i] == want[..i] && q[i] == c),
                             "missing left sibling {want:?} (seed {seed})"
                         );
                     }

@@ -232,9 +232,7 @@ mod tests {
 
     #[test]
     fn permuted_identity_on_unary_chain() {
-        let t = ExplicitTree::internal(vec![ExplicitTree::internal(vec![ExplicitTree::leaf(
-            7,
-        )])]);
+        let t = ExplicitTree::internal(vec![ExplicitTree::internal(vec![ExplicitTree::leaf(7)])]);
         let p = Permuted::new(&t, 99);
         assert_eq!(p.arity(&[]), 1);
         assert_eq!(p.arity(&[0]), 1);

@@ -96,7 +96,9 @@ pub fn sss_star<S: TreeSource>(source: &S) -> SssStats {
     });
     loop {
         stats.peak_open = stats.peak_open.max(open.len());
-        let top = open.pop().expect("OPEN list never empties before root solves");
+        let top = open
+            .pop()
+            .expect("OPEN list never empties before root solves");
         if top.path.is_empty() && top.status == Status::Solved {
             stats.value = top.merit;
             return stats;
@@ -253,9 +255,7 @@ pub fn parallel_sss_star<S: TreeSource>(source: &S, k: u32) -> SssParStats {
             // are merit-safe speculation and may run early.
             let max_decision = top.status == Status::Solved
                 && (top.path.is_empty() || !is_min(&top.path[..top.path.len() - 1]));
-            if max_decision
-                && open.peek().is_some_and(|e| e.merit > top.merit)
-            {
+            if max_decision && open.peek().is_some_and(|e| e.merit > top.merit) {
                 open.push(top); // defer to a later step
                 continue;
             }
@@ -346,9 +346,7 @@ fn is_min(path: &[u32]) -> bool {
 fn purge_descendants(open: &mut BinaryHeap<Entry>, ancestor: &[u32]) {
     let keep: Vec<Entry> = open
         .drain()
-        .filter(|e| {
-            !(e.path.len() > ancestor.len() && e.path[..ancestor.len()] == *ancestor)
-        })
+        .filter(|e| !(e.path.len() > ancestor.len() && e.path[..ancestor.len()] == *ancestor))
         .collect();
     open.extend(keep);
 }
@@ -500,6 +498,10 @@ mod tests {
         let mut paths = st.leaf_paths.clone();
         paths.sort();
         paths.dedup();
-        assert_eq!(paths.len() as u64, st.leaves_evaluated, "a leaf was re-evaluated");
+        assert_eq!(
+            paths.len() as u64,
+            st.leaves_evaluated,
+            "a leaf was re-evaluated"
+        );
     }
 }

@@ -73,8 +73,12 @@ fn walk<S: TreeSource>(s: &S, path: &mut Vec<u32>, budget: u64, st: &mut ShapeSt
     st.nodes += 1;
     let d = s.arity(path);
     if d == 0 {
-        *st.leaf_depth_histogram.entry(path.len() as u32).or_insert(0) += 1;
-        *st.leaf_value_histogram.entry(s.leaf_value(path)).or_insert(0) += 1;
+        *st.leaf_depth_histogram
+            .entry(path.len() as u32)
+            .or_insert(0) += 1;
+        *st.leaf_value_histogram
+            .entry(s.leaf_value(path))
+            .or_insert(0) += 1;
         return;
     }
     *st.arity_histogram.entry(d).or_insert(0) += 1;

@@ -120,10 +120,7 @@ fn parse_node(bytes: &[u8], pos: &mut usize) -> Result<ExplicitTree, ParseError>
             if *pos == start || (bytes[start] == b'-' && *pos == start + 1) {
                 return Err(ParseError {
                     at: start,
-                    message: format!(
-                        "expected '(' or integer, found {:?}",
-                        bytes[start] as char
-                    ),
+                    message: format!("expected '(' or integer, found {:?}", bytes[start] as char),
                 });
             }
             let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");

@@ -50,7 +50,12 @@ fn main() {
         assert_eq!(ab.value, pss.value);
         println!(
             "{:>12} {:>12} {:>9} {:>9} {:>14} {:>14}",
-            tag, ab.leaves_evaluated, sc.leaves_evaluated, ss.leaves_evaluated, pab.steps, pss.leaf_steps
+            tag,
+            ab.leaves_evaluated,
+            sc.leaves_evaluated,
+            ss.leaves_evaluated,
+            pab.steps,
+            pss.leaf_steps
         );
     }
     println!(

@@ -28,7 +28,10 @@ fn main() {
         )
         .expect("opening position has moves");
         println!("{label}:");
-        println!("{:>6} {:>6} {:>7} {:>12}", "depth", "move", "value", "leaves");
+        println!(
+            "{:>6} {:>6} {:>7} {:>12}",
+            "depth", "move", "value", "leaves"
+        );
         for d in &out.per_depth {
             println!(
                 "{:>6} {:>6} {:>7} {:>12}",

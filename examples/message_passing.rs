@@ -17,9 +17,16 @@ fn main() {
     println!("worst-case B(2,{n}): N-Sequential SOLVE expands S* = {s_star} nodes\n");
 
     let r = simulate(&tree);
-    println!("full machine (one processor per level, p = {}):", r.processors);
+    println!(
+        "full machine (one processor per level, p = {}):",
+        r.processors
+    );
     println!("  value            : {}", r.value);
-    println!("  ticks            : {}  (speed-up {:.2})", r.ticks, s_star as f64 / r.ticks as f64);
+    println!(
+        "  ticks            : {}  (speed-up {:.2})",
+        r.ticks,
+        s_star as f64 / r.ticks as f64
+    );
     println!("  work actions     : {}", r.work_actions);
     println!("  unique expansions: {}", r.unique_expansions);
     println!(
@@ -28,7 +35,10 @@ fn main() {
     );
 
     println!("\nzone multiplexing (fixed processor budgets):");
-    println!("{:>4} {:>10} {:>9} {:>10}", "p", "ticks", "speedup", "speedup/p");
+    println!(
+        "{:>4} {:>10} {:>9} {:>10}",
+        "p", "ticks", "speedup", "speedup/p"
+    );
     for p in [1u32, 2, 4, 8, n + 1] {
         let r = simulate_with_processors(&tree, p);
         let sp = s_star as f64 / r.ticks as f64;

@@ -19,7 +19,10 @@ fn main() {
     // 1. Sequential SOLVE: the left-to-right algorithm.  S(T) = leaves
     //    evaluated = running time.
     let seq = seq_solve(&tree, false);
-    println!("Sequential SOLVE : value = {}, S(T) = {} leaves", seq.value, seq.leaves_evaluated);
+    println!(
+        "Sequential SOLVE : value = {}, S(T) = {} leaves",
+        seq.value, seq.leaves_evaluated
+    );
 
     // 2. Team SOLVE with 17 processors: the naive parallelization; only
     //    a sqrt(p) speed-up in the worst case (Proposition 1).

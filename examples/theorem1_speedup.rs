@@ -13,7 +13,10 @@ use karp_zhang::tree::minimax::seq_solve;
 
 fn main() {
     println!("Theorem 1 on worst-case B(2,n): S(T)/P(T) vs c(n+1)\n");
-    println!("{:>4} {:>10} {:>8} {:>9} {:>14}", "n", "S(T)", "P(T)", "speedup", "speedup/(n+1)");
+    println!(
+        "{:>4} {:>10} {:>8} {:>9} {:>14}",
+        "n", "S(T)", "P(T)", "speedup", "speedup/(n+1)"
+    );
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for n in (8..=18).step_by(2) {
@@ -33,8 +36,8 @@ fn main() {
 
     // Compare with the constant the paper's proof machinery guarantees.
     let n_ref = 18;
-    let provable = theory::provable_speedup(2, n_ref, theory::fact1_u128(2, n_ref))
-        / (n_ref as f64 + 1.0);
+    let provable =
+        theory::provable_speedup(2, n_ref, theory::fact1_u128(2, n_ref)) / (n_ref as f64 + 1.0);
     println!("provable constant (Prop 4 at the Fact-1 work level, n={n_ref}): {provable:.4}");
     println!("\n\"The provable constant c in Theorem 1 is rather poor.  Some simulations");
     println!(" we did indicates that a better constant is achievable.\"  — Section 8");

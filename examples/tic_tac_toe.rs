@@ -35,7 +35,10 @@ fn main() {
     let par = parallel_alphabeta(&tree, 1, false);
     println!("Tic-Tac-Toe game tree (depth 9):");
     println!("  game value (perfect play) = {} (0 = draw)", seq.value);
-    println!("  Sequential alpha-beta     : {} leaf evaluations", seq.total_work);
+    println!(
+        "  Sequential alpha-beta     : {} leaf evaluations",
+        seq.total_work
+    );
     println!(
         "  Parallel alpha-beta w=1   : {} steps  (speed-up {:.2}, {} processors)",
         par.steps,

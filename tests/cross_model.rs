@@ -4,10 +4,10 @@
 
 use karp_zhang::core::engine::{CascadeEngine, RoundEngine};
 use karp_zhang::msgsim::simulate;
+use karp_zhang::sim::randomized::{r_parallel_alphabeta, r_parallel_solve};
 use karp_zhang::sim::{
     n_parallel_alphabeta, n_parallel_solve, parallel_alphabeta, parallel_solve, team_solve,
 };
-use karp_zhang::sim::randomized::{r_parallel_alphabeta, r_parallel_solve};
 use karp_zhang::tree::gen::{critical_bias, UniformSource};
 use karp_zhang::tree::minimax::{minimax_value, nor_value, seq_alphabeta, seq_solve};
 

@@ -19,7 +19,11 @@ fn check_nor<S: TreeSource>(src: &S, binary: bool, ctx: &str) {
     let truth = nor_value(src);
     assert_eq!(seq_solve(src, false).value, truth, "{ctx}: seq");
     for w in [0u32, 1, 3] {
-        assert_eq!(parallel_solve(src, w, false).value, truth, "{ctx}: par w={w}");
+        assert_eq!(
+            parallel_solve(src, w, false).value,
+            truth,
+            "{ctx}: par w={w}"
+        );
         assert_eq!(
             n_parallel_solve(src, w, false).value,
             truth,
@@ -112,14 +116,7 @@ fn differential_nor_uniform() {
 fn differential_nor_near_uniform() {
     for i in 0..15u64 {
         let seed = mix64(i ^ 0xABCD);
-        let src = NearUniformSource::new(
-            3,
-            6,
-            0.5,
-            0.5,
-            seed,
-            IidBernoulli::new(0.4, seed),
-        );
+        let src = NearUniformSource::new(3, 6, 0.5, 0.5, seed, IidBernoulli::new(0.4, seed));
         check_nor(&src, false, &format!("near-uniform seed={seed}"));
     }
 }

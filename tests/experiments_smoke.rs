@@ -7,8 +7,7 @@ use gt_bench::{run_experiment, ALL};
 #[test]
 fn all_experiments_run_in_quick_mode() {
     for id in ALL {
-        let report = run_experiment(id, true)
-            .unwrap_or_else(|| panic!("experiment {id} unknown"));
+        let report = run_experiment(id, true).unwrap_or_else(|| panic!("experiment {id} unknown"));
         assert!(
             report.lines().count() >= 5,
             "experiment {id} produced a suspiciously short report:\n{report}"

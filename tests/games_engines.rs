@@ -22,7 +22,13 @@ fn nim_theory_value(s: &NimState) -> i64 {
 #[test]
 fn all_engines_agree_with_bouton_on_nim() {
     let g = Nim::default();
-    for piles in [vec![1, 2], vec![2, 2], vec![1, 2, 3], vec![3, 1], vec![2, 3, 1]] {
+    for piles in [
+        vec![1, 2],
+        vec![2, 2],
+        vec![1, 2, 3],
+        vec![3, 1],
+        vec![2, 3, 1],
+    ] {
         let s = NimState::new(piles.clone());
         let depth: u32 = piles.iter().sum::<u32>() + 1;
         let src = GameTreeSource::new(g, s.clone(), depth);

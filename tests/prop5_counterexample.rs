@@ -24,7 +24,11 @@ fn proposition5_is_violated_by_the_pinned_witness() {
 
     // Both runs are correct...
     assert_eq!(on_t.value, minimax_value(&t));
-    assert_eq!(on_h.value, minimax_value(&t), "skeleton preserves the value");
+    assert_eq!(
+        on_h.value,
+        minimax_value(&t),
+        "skeleton preserves the value"
+    );
 
     // ...but the parallel algorithm is SLOWER on T than on its skeleton,
     // contradicting Proposition 5 as stated: P̃₁(T) ≤ P̃₁(H̃_T).
