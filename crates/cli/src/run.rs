@@ -42,9 +42,10 @@ USAGE:
   gtree render (--gen <SPEC> | --tree <FILE>) [--dot]
   gtree msgsim --gen <SPEC> [--processors P]
   gtree serve  [--addr A] [--workers N] [--queue-depth N] [--cache N]
-               [--deadline-ms MS] [--max-leaves N]
+               [--shards N] [--conn-window N] [--deadline-ms MS]
   gtree loadgen [--addr A] [--conns N] [--rps R] [--duration SECS]
-               [--spec SPEC] [--algo SERVE-ALGO] [--deadline-ms MS] [--json]
+               [--pipeline N] [--spec SPEC] [--algo SERVE-ALGO]
+               [--deadline-ms MS] [--json]
 
 SPEC:     kind:key=val,...   kinds: nor crit worst allones minmax
                                     minmax-best minmax-worst minmax-corr
@@ -52,8 +53,9 @@ SPEC:     kind:key=val,...   kinds: nor crit worst allones minmax
 ALGO:     solve | team | par-solve | ab | par-ab | scout | sss   (default: picked by family)
 
 `serve` speaks newline-delimited JSON (see docs/SERVING.md); `loadgen`
-drives it: open loop at --rps, closed loop when --rps 0.  Serve-side
-algorithms: seq-solve alphabeta parallel-solve round cascade ybw tt.
+drives it: open loop at --rps, closed loop when --rps 0, pipelined
+closed loop with --pipeline > 1.  Serve-side algorithms: seq-solve
+alphabeta parallel-solve round cascade ybw tt.
 ";
 
 /// Parsed common options.
@@ -302,26 +304,88 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
-/// SIGINT → a process-wide flag the serve loop polls.  Raw `signal(2)`
-/// FFI keeps the CLI dependency-free; the handler only stores to an
-/// atomic, which is async-signal-safe.
+/// SIGINT → a self-pipe the serve loop sleeps on.  Raw FFI keeps the
+/// CLI dependency-free; the handler only stores an atomic and writes
+/// one byte to the pipe, both async-signal-safe.  Poll-waiting on the
+/// pipe's read end wakes the drain instantly on Ctrl-C instead of at
+/// the next tick of a sleep loop, and composes with the server's
+/// pipelined accept loop (which keeps draining on its own flag).
 #[cfg(unix)]
 mod sigint {
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 
     pub static FLAG: AtomicBool = AtomicBool::new(false);
+    static WRITE_FD: AtomicI32 = AtomicI32::new(-1);
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        fn pipe(fds: *mut i32) -> i32;
+        fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+    const POLLIN: i16 = 1;
 
     extern "C" fn handle(_signum: i32) {
         FLAG.store(true, Ordering::SeqCst);
+        let fd = WRITE_FD.load(Ordering::SeqCst);
+        if fd >= 0 {
+            let byte = [1u8];
+            unsafe {
+                write(fd, byte.as_ptr(), 1);
+            }
+        }
     }
 
-    pub fn install() {
-        extern "C" {
-            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
-        }
+    /// Install the handler; returns the self-pipe's read end, or
+    /// `None` when the pipe could not be created (then `wait` falls
+    /// back to sleeping).
+    pub fn install() -> Option<i32> {
+        let mut fds = [-1i32; 2];
+        let read_fd = if unsafe { pipe(fds.as_mut_ptr()) } == 0 {
+            WRITE_FD.store(fds[1], Ordering::SeqCst);
+            Some(fds[0])
+        } else {
+            None
+        };
         const SIGINT: i32 = 2;
         unsafe {
             signal(SIGINT, handle);
+        }
+        read_fd
+    }
+
+    /// Sleep up to `timeout_ms`, waking early the instant SIGINT
+    /// lands on the self-pipe; reports whether it has fired.
+    pub fn wait(read_fd: Option<i32>, timeout_ms: i32) -> bool {
+        match read_fd {
+            Some(fd) => {
+                let mut p = PollFd {
+                    fd,
+                    events: POLLIN,
+                    revents: 0,
+                };
+                let n = unsafe { poll(&mut p, 1, timeout_ms) };
+                if n > 0 && p.revents & POLLIN != 0 {
+                    // Drain the pipe so repeated signals don't spin.
+                    let mut buf = [0u8; 16];
+                    unsafe {
+                        read(fd, buf.as_mut_ptr(), buf.len());
+                    }
+                }
+                fired()
+            }
+            None => {
+                std::thread::sleep(std::time::Duration::from_millis(timeout_ms.max(0) as u64));
+                fired()
+            }
         }
     }
 
@@ -332,7 +396,15 @@ mod sigint {
 
 #[cfg(not(unix))]
 mod sigint {
-    pub fn install() {}
+    pub fn install() -> Option<i32> {
+        None
+    }
+
+    pub fn wait(_read_fd: Option<i32>, timeout_ms: i32) -> bool {
+        std::thread::sleep(std::time::Duration::from_millis(timeout_ms.max(0) as u64));
+        false
+    }
+
     pub fn fired() -> bool {
         false
     }
@@ -366,28 +438,28 @@ fn run_serve(args: &[String]) -> Result<String, CliError> {
             "--workers" => config.workers = parse_flag("--workers", &next(&mut i)?)?,
             "--queue-depth" => config.queue_depth = parse_flag("--queue-depth", &next(&mut i)?)?,
             "--cache" => config.cache_capacity = parse_flag("--cache", &next(&mut i)?)?,
+            "--shards" => config.cache_shards = parse_flag("--shards", &next(&mut i)?)?,
+            "--conn-window" => config.conn_window = parse_flag("--conn-window", &next(&mut i)?)?,
             "--deadline-ms" => {
                 config.default_deadline_ms = parse_flag("--deadline-ms", &next(&mut i)?)?;
             }
-            "--max-leaves" => config.max_leaves = parse_flag("--max-leaves", &next(&mut i)?)?,
             other => return Err(CliError::usage(format!("unknown argument {other:?}"))),
         }
         i += 1;
     }
     let server = gt_serve::Server::start(config)
         .map_err(|e| CliError::runtime(format!("cannot start server: {e}")))?;
-    sigint::install();
+    let pipe_fd = sigint::install();
     eprintln!(
         "gt-serve listening on {} — Ctrl-C or a {{\"op\":\"shutdown\"}} request drains and exits",
         server.local_addr()
     );
     let flag = server.shutdown_flag();
     while !flag.load(std::sync::atomic::Ordering::SeqCst) {
-        if sigint::fired() {
+        if sigint::wait(pipe_fd, 100) {
             server.request_shutdown();
             break;
         }
-        std::thread::sleep(std::time::Duration::from_millis(100));
     }
     let snapshot = server.join();
     let mut out = String::new();
@@ -426,10 +498,16 @@ fn run_loadgen_cmd(args: &[String]) -> Result<String, CliError> {
             "--deadline-ms" => {
                 config.deadline_ms = Some(parse_flag("--deadline-ms", &next(&mut i)?)?);
             }
+            "--pipeline" => config.pipeline = parse_flag("--pipeline", &next(&mut i)?)?,
             "--json" => json = true,
             other => return Err(CliError::usage(format!("unknown argument {other:?}"))),
         }
         i += 1;
+    }
+    if config.pipeline > 1 && config.rps > 0.0 {
+        return Err(CliError::usage(
+            "--pipeline applies to closed loop only; drop it or set --rps 0",
+        ));
     }
     let report = gt_serve::run_loadgen(&config);
     let replies = report.ok
@@ -562,6 +640,16 @@ mod tests {
                 .exit_code,
             2
         );
+        assert_eq!(
+            run_str(&["serve", "--max-leaves", "10"])
+                .unwrap_err()
+                .exit_code,
+            2,
+            "the leaf ceiling is gone: every algorithm is cancellable"
+        );
+        let err = run_str(&["loadgen", "--pipeline", "8", "--rps", "10"]).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("closed loop"));
     }
 
     #[test]

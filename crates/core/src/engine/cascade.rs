@@ -24,11 +24,10 @@ use std::time::Instant;
 
 use super::round::EngineResult;
 
-/// Marker returned through internal channels when a subtree search was
-/// pre-empted.  Public because it appears in the signature of
-/// [`CascadeEngine::alphabeta_window`]'s `Err` case.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Cancelled;
+/// Marker returned when a search was pre-empted — the workspace-wide
+/// [`gt_tree::Cancelled`], re-exported here because engine signatures
+/// carry it in their `Err` case.
+pub use gt_tree::Cancelled;
 
 /// A chain of cancellation flags: a task is cancelled when any flag on
 /// its path to the root is set.

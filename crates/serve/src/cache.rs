@@ -1,0 +1,498 @@
+//! The result cache: a plain-std LRU sharded across independent locks.
+//!
+//! [`LruCache`] is the single-lock building block: a `HashMap` index
+//! over an intrusive doubly-linked recency list stored in a slab.
+//! `get` and `insert` are O(1); eviction removes the least-recently
+//! used entry.
+//!
+//! [`ShardedCache`] spreads keys across a power-of-two number of
+//! `Mutex<LruCache>` shards by hashing the canonical spec+algorithm
+//! string, so concurrent connections contend on `1/N` of the
+//! keyspace instead of one global lock.  Hit/miss/eviction counters
+//! are aggregated across shards and every stored-or-evicted entry is
+//! accounted for: `admitted == len + evictions` at all times.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map.  Capacity 0 disables
+/// storage entirely (every lookup misses, inserts are dropped).
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Look up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let i = *self.map.get(key)?;
+        if i != self.head {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(&self.slots[i].value)
+    }
+
+    /// Insert or refresh an entry, evicting the least-recently-used
+    /// entry when at capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.insert_reporting(key, value);
+    }
+
+    /// [`insert`](Self::insert), reporting what happened so callers
+    /// can keep exact admission/eviction accounts.
+    pub fn insert_reporting(&mut self, key: K, value: V) -> InsertOutcome<K> {
+        if self.capacity == 0 {
+            return InsertOutcome::Dropped;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            if i != self.head {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return InsertOutcome::Refreshed;
+        }
+        let (i, outcome) = if self.map.len() == self.capacity {
+            // Reuse the LRU slot for the new entry.
+            let i = self.tail;
+            self.unlink(i);
+            let old_key = std::mem::replace(&mut self.slots[i].key, key.clone());
+            self.map.remove(&old_key);
+            self.slots[i].value = value;
+            (i, InsertOutcome::Evicted(old_key))
+        } else {
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.slots.len() - 1, InsertOutcome::Stored)
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        outcome
+    }
+}
+
+/// What [`LruCache::insert_reporting`] did with the entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertOutcome<K> {
+    /// New entry stored; the cache grew by one.
+    Stored,
+    /// Key already present; its value and recency were refreshed.
+    Refreshed,
+    /// New entry stored by evicting the least-recently-used key.
+    Evicted(K),
+    /// Capacity is zero; the entry was not stored.
+    Dropped,
+}
+
+/// Point-in-time counters and occupancy for a [`ShardedCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Inserts that created a new entry (stored or evicted-into).
+    pub admitted: u64,
+    /// Entries displaced to make room.
+    pub evictions: u64,
+    /// Entries currently stored, summed over shards.
+    pub len: usize,
+    /// Total configured capacity, summed over shards.
+    pub capacity: usize,
+    /// Entries per shard, in shard order.
+    pub per_shard_len: Vec<usize>,
+}
+
+impl CacheStats {
+    /// Serialize for the `stats` reply.
+    pub fn to_json(&self) -> gt_analysis::Json {
+        use gt_analysis::Json;
+        Json::obj([
+            ("shards", Json::from(self.per_shard_len.len() as u64)),
+            ("len", Json::from(self.len as u64)),
+            ("capacity", Json::from(self.capacity as u64)),
+            ("hits", Json::from(self.hits)),
+            ("misses", Json::from(self.misses)),
+            ("admitted", Json::from(self.admitted)),
+            ("evictions", Json::from(self.evictions)),
+            (
+                "per_shard_len",
+                Json::Array(
+                    self.per_shard_len
+                        .iter()
+                        .map(|&n| Json::from(n as u64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// An LRU cache split across a power-of-two number of independently
+/// locked shards.  Keys are routed by their `DefaultHasher` hash, so
+/// hot concurrent traffic spreads its lock contention `1/N`-wise.
+///
+/// Capacity is divided evenly across shards (rounded up, so the total
+/// may slightly exceed the request).  Capacity 0 disables storage in
+/// every shard.
+pub struct ShardedCache<K, V> {
+    shards: Vec<Mutex<LruCache<K, V>>>,
+    mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    admitted: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
+    /// A cache holding at most ~`capacity` entries across `shards`
+    /// shards.  The shard count is rounded up to a power of two and
+    /// clamped to at least 1.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards)
+        };
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+            mask: shards as u64 - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<LruCache<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() & self.mask) as usize]
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Look up `key`, promoting it within its shard on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let got = self.shard(key).lock().unwrap().get(key).cloned();
+        match got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Insert or refresh an entry in its shard.
+    pub fn insert(&self, key: K, value: V) {
+        let outcome = self
+            .shard(&key)
+            .lock()
+            .unwrap()
+            .insert_reporting(key, value);
+        match outcome {
+            InsertOutcome::Stored => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+            }
+            InsertOutcome::Evicted(_) => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            InsertOutcome::Refreshed | InsertOutcome::Dropped => {}
+        }
+    }
+
+    /// Counters plus per-shard occupancy.  Counters are read after
+    /// occupancy under no global lock, so under concurrent traffic the
+    /// conservation law `admitted == len + evictions` holds exactly
+    /// only at quiescence.
+    pub fn stats(&self) -> CacheStats {
+        let per_shard_len: Vec<usize> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().len())
+            .collect();
+        let capacity = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().capacity())
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: per_shard_len.iter().sum(),
+            capacity,
+            per_shard_len,
+        }
+    }
+
+    /// Entries currently stored, summed over shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses() {
+        let mut c = LruCache::new(2);
+        assert!(c.is_empty());
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"missing"), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        // Touch "a" so "b" is the LRU entry.
+        assert_eq!(c.get(&"a"), Some(&1));
+        c.insert("c", 3);
+        assert_eq!(c.get(&"b"), None, "b should have been evicted");
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn insert_refreshes_existing_key() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10); // refresh value and recency
+        c.insert("c", 3); // evicts "b", not "a"
+        assert_eq!(c.get(&"a"), Some(&10));
+        assert_eq!(c.get(&"b"), None);
+    }
+
+    #[test]
+    fn capacity_zero_disables_storage() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), None);
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 0);
+    }
+
+    #[test]
+    fn capacity_one_churn() {
+        let mut c = LruCache::new(1);
+        for i in 0..100 {
+            c.insert(i, i * 10);
+            assert_eq!(c.get(&i), Some(&(i * 10)));
+            if i > 0 {
+                assert_eq!(c.get(&(i - 1)), None);
+            }
+            assert_eq!(c.len(), 1);
+        }
+    }
+
+    #[test]
+    fn long_mixed_workload_matches_reference_model() {
+        // Cross-check against a brute-force recency list.
+        let cap = 8;
+        let mut c: LruCache<u32, u32> = LruCache::new(cap);
+        let mut model: Vec<(u32, u32)> = Vec::new(); // most recent first
+        let mut x: u32 = 12345;
+        for step in 0..5000u32 {
+            // Cheap xorshift for a deterministic mixed key stream.
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            let key = x % 24;
+            if x.is_multiple_of(3) {
+                let val = step;
+                c.insert(key, val);
+                if let Some(pos) = model.iter().position(|(k, _)| *k == key) {
+                    model.remove(pos);
+                }
+                model.insert(0, (key, val));
+                model.truncate(cap);
+            } else {
+                let got = c.get(&key).copied();
+                let want = model.iter().position(|(k, _)| *k == key).map(|pos| {
+                    let entry = model.remove(pos);
+                    model.insert(0, entry);
+                    entry.1
+                });
+                assert_eq!(got, want, "step {step} key {key}");
+            }
+            assert_eq!(c.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn sharded_cache_rounds_shards_to_a_power_of_two() {
+        assert_eq!(ShardedCache::<u32, u32>::new(64, 1).shard_count(), 1);
+        assert_eq!(ShardedCache::<u32, u32>::new(64, 3).shard_count(), 4);
+        assert_eq!(ShardedCache::<u32, u32>::new(64, 8).shard_count(), 8);
+        assert_eq!(ShardedCache::<u32, u32>::new(64, 0).shard_count(), 1);
+    }
+
+    #[test]
+    fn sharded_cache_basic_hits_and_misses() {
+        let c: ShardedCache<&str, u32> = ShardedCache::new(16, 4);
+        assert_eq!(c.get(&"a"), None);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(1));
+        assert_eq!(c.get(&"b"), Some(2));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.admitted, s.evictions), (2, 1, 2, 0));
+        assert_eq!(s.len, 2);
+        assert_eq!(s.per_shard_len.len(), 4);
+        assert_eq!(s.per_shard_len.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn sharded_cache_capacity_zero_disables_storage() {
+        let c: ShardedCache<u32, u32> = ShardedCache::new(0, 4);
+        c.insert(1, 1);
+        assert_eq!(c.get(&1), None);
+        let s = c.stats();
+        assert_eq!((s.admitted, s.len, s.capacity), (0, 0, 0));
+    }
+
+    #[test]
+    fn sharded_cache_concurrent_hammer_accounts_exactly() {
+        use std::sync::Arc;
+
+        let cap = 64;
+        let threads = 8;
+        let ops_per_thread = 4000u32;
+        let cache: Arc<ShardedCache<u32, u32>> = Arc::new(ShardedCache::new(cap, 8));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    let mut gets = 0u64;
+                    let mut x: u32 = 0x9e37 + t;
+                    for _ in 0..ops_per_thread {
+                        x ^= x << 13;
+                        x ^= x >> 17;
+                        x ^= x << 5;
+                        // Key space ~3x capacity so evictions churn.
+                        let key = x % 200;
+                        if x.is_multiple_of(3) {
+                            cache.insert(key, key * 2);
+                        } else {
+                            if let Some(v) = cache.get(&key) {
+                                assert_eq!(v, key * 2, "value integrity under concurrency");
+                            }
+                            gets += 1;
+                        }
+                    }
+                    gets
+                })
+            })
+            .collect();
+        let total_gets: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, total_gets, "every lookup counted once");
+        assert_eq!(
+            s.admitted,
+            s.len as u64 + s.evictions,
+            "every admitted entry is either still stored or was evicted"
+        );
+        assert_eq!(s.len, s.per_shard_len.iter().sum::<usize>());
+        assert!(s.len <= s.capacity);
+        for (i, occ) in s.per_shard_len.iter().enumerate() {
+            assert!(*occ <= s.capacity / 8, "shard {i} over its slice");
+        }
+        assert!(s.evictions > 0, "key space exceeds capacity, must evict");
+        assert!(s.hits > 0, "hot keys must repeat");
+    }
+}

@@ -1,7 +1,12 @@
 //! A small blocking client for the gt-serve wire protocol.
 //!
-//! One request in flight at a time: write a line, read a line.  Used
-//! by the load generator, the e2e tests, and the CLI.
+//! The request/reply helpers ([`Client::send`], [`Client::eval`], …)
+//! keep one request in flight: write a line, read a line.  For
+//! pipelining, [`Client::write_request`] and [`Client::read_response`]
+//! split the two halves so several requests can be outstanding on one
+//! connection; replies then arrive in *completion* order and must be
+//! correlated by the echoed `id`.  Used by the load generator, the
+//! e2e tests, and the CLI.
 
 use crate::protocol::{Op, Request, Response};
 use std::io::{BufRead, BufReader, Write};
@@ -29,11 +34,22 @@ impl Client {
         })
     }
 
-    /// Send a raw request line and read one reply line.
-    pub fn send_line(&mut self, line: &str) -> std::io::Result<Response> {
+    /// Write a raw request line without waiting for its reply.
+    pub fn write_line(&mut self, line: &str) -> std::io::Result<()> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+        self.writer.flush()
+    }
+
+    /// Write a request without waiting for its reply (pipelining).
+    /// Give each request an `id`: replies to pipelined requests come
+    /// back in completion order, not send order.
+    pub fn write_request(&mut self, request: &Request) -> std::io::Result<()> {
+        self.write_line(&request.render())
+    }
+
+    /// Read the next reply line, whichever request it answers.
+    pub fn read_response(&mut self) -> std::io::Result<Response> {
         let mut reply = String::new();
         let n = self.reader.read_line(&mut reply)?;
         if n == 0 {
@@ -43,6 +59,12 @@ impl Client {
             ));
         }
         Response::parse(reply.trim()).map_err(invalid)
+    }
+
+    /// Send a raw request line and read one reply line.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<Response> {
+        self.write_line(line)?;
+        self.read_response()
     }
 
     /// Send a parsed request.

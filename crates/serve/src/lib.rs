@@ -10,6 +10,9 @@
 //!   string format (`worst:d=2,n=10`) plus an algorithm selector
 //!   (`cascade:w=2`, `round:w=1`, `seq-solve`, …); the reply carries
 //!   the root value, work/step metrics, and server-side latency.
+//!   Requests on one connection may be **pipelined**: the server reads
+//!   continuously, evaluates concurrently (bounded per connection),
+//!   and replies out of order, correlated by the echoed `id`.
 //! * **Bounded queue with load shedding** ([`queue`]) — requests past
 //!   the configured depth are rejected immediately with a 429-style
 //!   `busy` error instead of growing an unbounded backlog.
@@ -17,13 +20,20 @@
 //!   deadlines drive the engines' cooperative cancellation
 //!   (`gt_core::engine::Cancelled`); an expired request gets a timely
 //!   `timeout` reply even while its abandoned work winds down.
-//! * **LRU result cache** ([`lru`]) — keyed by the canonical
-//!   spec+algorithm string, so repeated requests are O(1).
+//! * **Sharded LRU result cache** ([`cache`]) — keyed by the canonical
+//!   spec+algorithm string and spread across independently locked
+//!   shards, so repeated requests are O(1) and concurrent traffic
+//!   does not serialize on one cache lock.
+//! * **Single-flight coalescing** ([`singleflight`]) — concurrent
+//!   requests for the same canonical key share one engine run; the
+//!   duplicates wait on the leader's flight instead of occupying
+//!   queue slots.
 //! * **Metrics registry** ([`metrics`]) — request/reject/timeout/cache
 //!   counters and a log-bucketed latency histogram, exposed via a
 //!   `stats` request and dumped as JSON on shutdown.
 //! * **Load generator** ([`loadgen`]) — open- and closed-loop client
-//!   fleets so throughput and tail latency are measurable in-repo.
+//!   fleets, optionally pipelined, so throughput and tail latency are
+//!   measurable in-repo.
 //!
 //! The crate is std-only: threads, `std::net`, and `std::sync::mpsc` —
 //! no async runtime, no serialization dependency (JSON I/O rides on
@@ -48,19 +58,21 @@
 //! assert_eq!(stats.ok, 1);
 //! ```
 
+pub mod cache;
 pub mod client;
 pub mod loadgen;
-pub mod lru;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod singleflight;
 pub mod workload;
 
+pub use cache::{CacheStats, LruCache, ShardedCache};
 pub use client::Client;
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
-pub use lru::LruCache;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use protocol::{ErrorCode, Op, Request, Response};
 pub use server::{Config, Server};
+pub use singleflight::{Flight, FlightResult, FlightTable, Joined};
 pub use workload::{AlgoSpec, EvalOutcome};

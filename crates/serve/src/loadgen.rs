@@ -11,9 +11,18 @@
 //!   open-loop arrival process produces.
 //! * **Closed loop** (`rps == 0`) — each connection sends the next
 //!   request as soon as the previous reply lands: a saturation probe.
+//!
+//! The closed loop optionally **pipelines**: with
+//! [`LoadgenConfig::pipeline`] `= n > 1`, each connection keeps `n`
+//! requests outstanding, reading one reply and immediately sending
+//! the next.  Requests carry sequence-number ids and latencies are
+//! correlated through them, since a pipelined server replies in
+//! completion order.
 
 use crate::client::Client;
+use crate::protocol::{Op, Request};
 use gt_analysis::{percentile, Json};
+use std::collections::HashMap;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -35,6 +44,10 @@ pub struct LoadgenConfig {
     pub algo: String,
     /// Per-request deadline, if any.
     pub deadline_ms: Option<u64>,
+    /// Requests kept in flight per connection in closed-loop mode;
+    /// 0 or 1 is the classic one-at-a-time loop.  Ignored in open
+    /// loop (`rps > 0`).
+    pub pipeline: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -47,6 +60,7 @@ impl Default for LoadgenConfig {
             spec: "worst:d=2,n=8".into(),
             algo: "cascade:w=1".into(),
             deadline_ms: None,
+            pipeline: 1,
         }
     }
 }
@@ -57,6 +71,7 @@ struct Tally {
     sent: u64,
     ok: u64,
     cached: u64,
+    coalesced: u64,
     shed: u64,
     timeout: u64,
     bad: u64,
@@ -71,6 +86,7 @@ impl Tally {
         self.sent += other.sent;
         self.ok += other.ok;
         self.cached += other.cached;
+        self.coalesced += other.coalesced;
         self.shed += other.shed;
         self.timeout += other.timeout;
         self.bad += other.bad;
@@ -90,6 +106,8 @@ pub struct LoadgenReport {
     pub ok: u64,
     /// Successful replies served from the cache.
     pub cached: u64,
+    /// Successful replies coalesced onto another request's engine run.
+    pub coalesced: u64,
     /// 429 `busy` rejections (queue full).
     pub shed: u64,
     /// 408 `timeout` replies.
@@ -135,6 +153,7 @@ impl LoadgenReport {
             ("sent", Json::from(self.sent)),
             ("ok", Json::from(self.ok)),
             ("cached", Json::from(self.cached)),
+            ("coalesced", Json::from(self.coalesced)),
             ("shed", Json::from(self.shed)),
             ("timeout", Json::from(self.timeout)),
             ("bad", Json::from(self.bad)),
@@ -162,9 +181,11 @@ impl LoadgenReport {
         );
         let _ = writeln!(
             out,
-            "ok {} (cached {})  shed {}  timeout {}  bad {}  draining {}  other {}  transport {}",
+            "ok {} (cached {} coalesced {})  shed {}  timeout {}  bad {}  draining {}  other {}  \
+             transport {}",
             self.ok,
             self.cached,
+            self.coalesced,
             self.shed,
             self.timeout,
             self.bad,
@@ -185,16 +206,21 @@ impl LoadgenReport {
     }
 }
 
-fn classify(tally: &mut Tally, status: u64, ok: bool, cached: bool, latency_us: f64) {
-    if ok {
+fn classify(tally: &mut Tally, reply: &crate::protocol::Response, latency_us: Option<f64>) {
+    if reply.ok {
         tally.ok += 1;
-        if cached {
+        if reply.cached() {
             tally.cached += 1;
         }
-        tally.latencies_us.push(latency_us);
+        if reply.coalesced() {
+            tally.coalesced += 1;
+        }
+        if let Some(us) = latency_us {
+            tally.latencies_us.push(us);
+        }
         return;
     }
-    match status {
+    match reply.status {
         429 => tally.shed += 1,
         408 => tally.timeout += 1,
         400 => tally.bad += 1,
@@ -232,18 +258,77 @@ fn connection_worker(config: &LoadgenConfig, per_conn_interval: Option<Duration>
         match client.eval(&config.spec, &config.algo, config.deadline_ms) {
             Ok(reply) => {
                 let latency_us = sent_at.elapsed().as_secs_f64() * 1e6;
-                classify(
-                    &mut tally,
-                    reply.status,
-                    reply.ok,
-                    reply.cached(),
-                    latency_us,
-                );
+                classify(&mut tally, &reply, Some(latency_us));
             }
             Err(_) => {
                 tally.transport_errors += 1;
                 return tally; // the connection is broken; stop this worker
             }
+        }
+    }
+    tally
+}
+
+/// Closed loop with `window` requests outstanding: pre-fill the
+/// window, then read-one-send-one until the clock runs out and the
+/// window drains.  Latencies are correlated by sequence-number id
+/// because replies arrive in completion order.
+fn pipelined_worker(config: &LoadgenConfig, window: usize) -> Tally {
+    let mut tally = Tally::default();
+    let mut client = match Client::connect(&config.addr) {
+        Ok(c) => c,
+        Err(_) => {
+            tally.transport_errors += 1;
+            return tally;
+        }
+    };
+    let start = Instant::now();
+    let mut in_flight: HashMap<String, Instant> = HashMap::new();
+    let mut seq: u64 = 0;
+    let mut send_next =
+        |client: &mut Client, in_flight: &mut HashMap<String, Instant>, tally: &mut Tally| {
+            let id = seq.to_string();
+            seq += 1;
+            let request = Request {
+                id: Some(id.clone()),
+                op: Op::Eval,
+                spec: Some(config.spec.clone()),
+                algo: Some(config.algo.clone()),
+                deadline_ms: config.deadline_ms,
+            };
+            tally.sent += 1;
+            match client.write_request(&request) {
+                Ok(()) => {
+                    in_flight.insert(id, Instant::now());
+                    true
+                }
+                Err(_) => {
+                    tally.transport_errors += 1;
+                    false
+                }
+            }
+        };
+    while in_flight.len() < window && start.elapsed() < config.duration {
+        if !send_next(&mut client, &mut in_flight, &mut tally) {
+            return tally;
+        }
+    }
+    while !in_flight.is_empty() {
+        let reply = match client.read_response() {
+            Ok(r) => r,
+            Err(_) => {
+                // Everything still outstanding is lost with the
+                // connection.
+                tally.transport_errors += in_flight.len() as u64;
+                return tally;
+            }
+        };
+        let sent_at = reply.id.as_ref().and_then(|id| in_flight.remove(id));
+        let latency_us = sent_at.map(|at| at.elapsed().as_secs_f64() * 1e6);
+        classify(&mut tally, &reply, latency_us);
+        if start.elapsed() < config.duration && !send_next(&mut client, &mut in_flight, &mut tally)
+        {
+            return tally;
         }
     }
     tally
@@ -258,10 +343,19 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
     } else {
         None
     };
+    let window = config.pipeline.max(1);
     let started = Instant::now();
     let tallies: Vec<Tally> = thread::scope(|scope| {
         let handles: Vec<_> = (0..conns)
-            .map(|_| scope.spawn(|| connection_worker(config, per_conn_interval)))
+            .map(|_| {
+                scope.spawn(move || {
+                    if per_conn_interval.is_none() && window > 1 {
+                        pipelined_worker(config, window)
+                    } else {
+                        connection_worker(config, per_conn_interval)
+                    }
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -277,6 +371,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
         sent: total.sent,
         ok: total.ok,
         cached: total.cached,
+        coalesced: total.coalesced,
         shed: total.shed,
         timeout: total.timeout,
         bad: total.bad,
@@ -308,6 +403,7 @@ mod tests {
             spec: "worst:d=2,n=6".into(),
             algo: "seq-solve".into(),
             deadline_ms: Some(5_000),
+            pipeline: 1,
         });
         assert!(report.sent > 0);
         assert_eq!(report.transport_errors, 0);
@@ -333,11 +429,48 @@ mod tests {
             spec: "worst:d=2,n=4".into(),
             algo: "seq-solve".into(),
             deadline_ms: Some(5_000),
+            pipeline: 1,
         });
         // 50 rps for 0.4s ≈ 20 requests; allow generous slack for
         // scheduling noise but catch runaway closed-loop behaviour.
         assert!(report.sent <= 30, "sent {}", report.sent);
         assert!(report.sent >= 5, "sent {}", report.sent);
+        server.request_shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn pipelined_closed_loop_keeps_a_window_in_flight() {
+        let server = Server::start(Config {
+            workers: 2,
+            ..Config::default()
+        })
+        .unwrap();
+        let report = run_loadgen(&LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            conns: 1,
+            rps: 0.0,
+            duration: Duration::from_millis(300),
+            spec: "worst:d=2,n=6".into(),
+            algo: "seq-solve".into(),
+            deadline_ms: Some(5_000),
+            pipeline: 8,
+        });
+        assert_eq!(report.transport_errors, 0, "report: {}", report.render());
+        assert!(report.ok > 0);
+        // Identical requests: the first cold burst coalesces, the
+        // rest hit the cache; every reply is accounted for.
+        assert_eq!(
+            report.ok
+                + report.shed
+                + report.timeout
+                + report.bad
+                + report.draining
+                + report.other_error,
+            report.sent
+        );
+        assert!(report.cached > 0, "report: {}", report.render());
+        assert_eq!(report.latencies_us.len() as u64, report.ok);
         server.request_shutdown();
         server.join();
     }

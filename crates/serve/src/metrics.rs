@@ -74,6 +74,9 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Evals that had to run an engine.
     pub cache_misses: AtomicU64,
+    /// Evals that joined another request's in-flight engine run
+    /// instead of starting their own (single-flight coalescing).
+    pub coalesced_hits: AtomicU64,
     /// Jobs a worker actually evaluated to completion.
     pub evaluated: AtomicU64,
     /// Connections accepted.
@@ -96,6 +99,7 @@ impl Metrics {
             internal: r(&self.internal),
             cache_hits: r(&self.cache_hits),
             cache_misses: r(&self.cache_misses),
+            coalesced_hits: r(&self.coalesced_hits),
             evaluated: r(&self.evaluated),
             connections: r(&self.connections),
             latency_count: self.latency.count.load(Ordering::Relaxed),
@@ -126,6 +130,8 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// See [`Metrics::cache_misses`].
     pub cache_misses: u64,
+    /// See [`Metrics::coalesced_hits`].
+    pub coalesced_hits: u64,
     /// See [`Metrics::evaluated`].
     pub evaluated: u64,
     /// See [`Metrics::connections`].
@@ -181,6 +187,7 @@ impl MetricsSnapshot {
             ("internal", Json::from(self.internal)),
             ("cache_hits", Json::from(self.cache_hits)),
             ("cache_misses", Json::from(self.cache_misses)),
+            ("coalesced_hits", Json::from(self.coalesced_hits)),
             ("evaluated", Json::from(self.evaluated)),
             ("connections", Json::from(self.connections)),
             ("latency_count", Json::from(self.latency_count)),
@@ -219,6 +226,7 @@ impl MetricsSnapshot {
         let _ = writeln!(out, "internal    : {}", self.internal);
         let _ = writeln!(out, "cache_hits  : {}", self.cache_hits);
         let _ = writeln!(out, "cache_misses: {}", self.cache_misses);
+        let _ = writeln!(out, "coalesced   : {}", self.coalesced_hits);
         let _ = writeln!(out, "evaluated   : {}", self.evaluated);
         let _ = writeln!(out, "connections : {}", self.connections);
         if self.latency_count > 0 {

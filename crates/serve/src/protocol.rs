@@ -243,6 +243,15 @@ impl Response {
             .and_then(Json::as_bool)
             .unwrap_or(false)
     }
+
+    /// Whether the reply was coalesced onto another request's engine
+    /// run (single flight) instead of running its own.
+    pub fn coalesced(&self) -> bool {
+        self.body
+            .get("coalesced")
+            .and_then(Json::as_bool)
+            .unwrap_or(false)
+    }
 }
 
 #[cfg(test)]

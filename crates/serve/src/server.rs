@@ -1,47 +1,64 @@
-//! The evaluation server: accept loop, connection handlers, worker
-//! pool, result cache, and graceful shutdown.
+//! The evaluation server: accept loop, pipelined connection handlers,
+//! worker pool, sharded result cache, single-flight coalescing, and
+//! graceful shutdown.
 //!
 //! ## Thread structure
 //!
 //! ```text
-//! accept thread ──spawns──▶ one thread per connection
-//! connection threads ──bounded queue──▶ worker pool (shared receiver)
-//! workers ──per-request mpsc reply──▶ the waiting connection thread
+//! accept thread ──spawns──▶ one reader thread per connection
+//! reader threads ──spawn (≤ conn_window each)──▶ request threads
+//! request threads ──bounded queue──▶ worker pool (shared receiver)
+//! workers ──publish into the request's Flight──▶ every parked waiter
 //! ```
 //!
-//! Connection threads do all protocol work (parse, validate, cache
-//! lookup, reply rendering) so workers only ever run engines.  Requests
-//! enter the worker pool through the bounded [`crate::queue`]; a full
-//! queue sheds the request immediately with a `busy` reply.
+//! Each connection is **pipelined**: its reader thread keeps reading
+//! NDJSON lines, answers control ops and cache hits inline, and hands
+//! every miss to a detached request thread (at most `conn_window` of
+//! them in flight per connection).  Replies go out in completion
+//! order through a shared writer, correlated by the echoed `id`; a
+//! client that keeps one request outstanding observes the old strict
+//! request/reply alternation unchanged.
+//!
+//! ## Single flight
+//!
+//! A miss first joins the [`FlightTable`].  The first request for a
+//! canonical key (the *leader*) pushes the job onto the bounded queue;
+//! every concurrent duplicate parks on the leader's [`Flight`] and is
+//! counted as a `coalesced_hit` — one engine run, N replies.  The
+//! worker inserts the outcome into the cache *before* publishing, so
+//! by the time any waiter (or any later request) looks, the result is
+//! already cached.
 //!
 //! ## Deadlines
 //!
-//! Every eval carries a deadline (request `deadline_ms` or the server
-//! default).  The connection thread waits on the reply channel only
-//! until that deadline; on expiry it sets the job's cancellation flag,
-//! answers `timeout` right away, and abandons the reply channel.  The
-//! worker notices the flag at the next engine check-point and moves on.
+//! Every eval waits on its flight only until its own deadline
+//! (request `deadline_ms` or the server default), then answers
+//! `timeout` right away.  Abandoning a flight only cancels the engine
+//! run when the abandoner was the *last* waiter; otherwise the run
+//! keeps going for the others.
 //!
 //! ## Shutdown
 //!
 //! `request_shutdown` (or a `shutdown` request, or the CLI's SIGINT
 //! handler) sets a flag that every loop polls: the accept loop stops
-//! accepting, connection threads finish the request in hand and close,
-//! new evals are refused with `draining`, and [`Server::join`] reaps
+//! accepting, readers stop reading, each connection drains its
+//! in-flight window (bounded by the requests' own deadlines), new
+//! evals are refused with `draining`, and [`Server::join`] reaps
 //! every thread before handing back the final metrics snapshot.
 
-use crate::lru::LruCache;
+use crate::cache::ShardedCache;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::protocol::{error_line, ok_line, ErrorCode, Op, Request, PROTOCOL_VERSION};
 use crate::queue::{bounded, BoundedSender, PushError};
-use crate::workload::{evaluate, validate, AlgoSpec, EvalError, EvalOutcome};
+use crate::singleflight::{Flight, FlightResult, FlightTable, Joined};
+use crate::workload::{evaluate, validate, AlgoSpec, EvalError, EvalOutcome, ValidatedRequest};
 use gt_analysis::Json;
 use gt_tree::GenSpec;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -64,12 +81,15 @@ pub struct Config {
     pub workers: usize,
     /// Bounded queue depth; pushes beyond it are shed with `busy`.
     pub queue_depth: usize,
-    /// Result-cache entries (0 disables caching).
+    /// Result-cache entries across all shards (0 disables caching).
     pub cache_capacity: usize,
+    /// Cache shards (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Concurrent evals allowed per connection (pipelining window);
+    /// requests past it wait in the reader until a slot frees.
+    pub conn_window: usize,
     /// Deadline applied to evals that do not carry `deadline_ms`.
     pub default_deadline_ms: u64,
-    /// Leaf-count ceiling for non-cancellable algorithms.
-    pub max_leaves: u64,
 }
 
 impl Default for Config {
@@ -79,40 +99,71 @@ impl Default for Config {
             workers: 2,
             queue_depth: 64,
             cache_capacity: 256,
+            cache_shards: 8,
+            conn_window: 32,
             default_deadline_ms: 10_000,
-            max_leaves: 1 << 22,
         }
     }
 }
 
-/// What a worker sends back for one job.
-enum WorkerReply {
-    Done(EvalOutcome),
-    Cancelled,
-    Failed(String),
-}
-
-/// One queued evaluation.
+/// One queued evaluation.  The flight carries the cancellation flag
+/// and every waiter; the worker publishes its result there.
 struct Job {
     spec: GenSpec,
     algo: AlgoSpec,
     cache_key: String,
-    cancel: Arc<AtomicBool>,
-    deadline: Instant,
-    reply: Sender<WorkerReply>,
+    flight: Arc<Flight>,
 }
 
-type SharedCache = Arc<Mutex<LruCache<String, EvalOutcome>>>;
+type ResultCache = Arc<ShardedCache<String, EvalOutcome>>;
 
 /// Everything a connection thread needs, cheap to clone.
 #[derive(Clone)]
 struct Shared {
     metrics: Arc<Metrics>,
-    cache: SharedCache,
+    cache: ResultCache,
+    flights: Arc<FlightTable>,
     job_tx: BoundedSender<Job>,
     shutdown: Arc<AtomicBool>,
     default_deadline_ms: u64,
-    max_leaves: u64,
+    conn_window: usize,
+}
+
+/// Counts a connection's in-flight evals; the reader blocks past the
+/// window and drains to zero before closing, so every reply is
+/// written before the connection thread exits.
+struct Window {
+    slots: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Window {
+    fn new() -> Window {
+        Window {
+            slots: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self, limit: usize) {
+        let mut n = self.slots.lock().unwrap();
+        while *n >= limit.max(1) {
+            n = self.cv.wait(n).unwrap();
+        }
+        *n += 1;
+    }
+
+    fn release(&self) {
+        *self.slots.lock().unwrap() -= 1;
+        self.cv.notify_all();
+    }
+
+    fn drain(&self) {
+        let mut n = self.slots.lock().unwrap();
+        while *n > 0 {
+            n = self.cv.wait(n).unwrap();
+        }
+    }
 }
 
 /// A running evaluation server.
@@ -136,7 +187,11 @@ impl Server {
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(Metrics::default());
-        let cache: SharedCache = Arc::new(Mutex::new(LruCache::new(config.cache_capacity)));
+        let cache: ResultCache = Arc::new(ShardedCache::new(
+            config.cache_capacity,
+            config.cache_shards,
+        ));
+        let flights = Arc::new(FlightTable::new());
         let (job_tx, job_rx) = bounded::<Job>(config.queue_depth);
         let job_rx = Arc::new(Mutex::new(job_rx));
 
@@ -144,18 +199,20 @@ impl Server {
             .map(|_| {
                 let rx = Arc::clone(&job_rx);
                 let cache = Arc::clone(&cache);
+                let flights = Arc::clone(&flights);
                 let metrics = Arc::clone(&metrics);
-                thread::spawn(move || worker_loop(&rx, &cache, &metrics))
+                thread::spawn(move || worker_loop(&rx, &cache, &flights, &metrics))
             })
             .collect();
 
         let shared = Shared {
             metrics: Arc::clone(&metrics),
             cache,
+            flights,
             job_tx: job_tx.clone(),
             shutdown: Arc::clone(&shutdown),
             default_deadline_ms: config.default_deadline_ms,
-            max_leaves: config.max_leaves,
+            conn_window: config.conn_window,
         };
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_handle = {
@@ -201,6 +258,7 @@ impl Server {
     pub fn join(mut self) -> MetricsSnapshot {
         let _ = self.accept_handle.join();
         // The accept loop has exited, so the connection list is final.
+        // Each connection drains its window before its thread exits.
         let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conns.lock().unwrap());
         for h in handles {
             let _ = h.join();
@@ -279,54 +337,91 @@ fn read_request_line(
     }
 }
 
+/// Write one reply line through the connection's shared writer.
+fn write_reply(writer: &Mutex<TcpStream>, reply: &str) -> std::io::Result<()> {
+    let mut w = writer.lock().unwrap();
+    w.write_all(reply.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// How one request line is to be answered.
+enum Handled {
+    /// Reply computed on the reader thread (control ops, cache hits,
+    /// and every error that needs no engine run).
+    Inline(String),
+    /// A cache miss that must go through the flight table; runs on a
+    /// request thread so the reader can keep reading.
+    Dispatch {
+        id: Option<String>,
+        validated: ValidatedRequest,
+        deadline: Instant,
+        start: Instant,
+    },
+}
+
 fn connection_loop(stream: TcpStream, shared: &Shared) {
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
-    // Replies are single small writes the client blocks on; Nagle would
+    // Replies are small writes the client may block on; Nagle would
     // hold them for the peer's delayed ACK (~40ms per request).
     let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
+    let window = Arc::new(Window::new());
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    loop {
-        match read_request_line(&mut reader, &mut line, &shared.shutdown) {
-            Ok(true) => {}
-            Ok(false) | Err(_) => return,
-        }
+    while let Ok(true) = read_request_line(&mut reader, &mut line, &shared.shutdown) {
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
         shared.metrics.received.fetch_add(1, Ordering::Relaxed);
-        let mut reply = process_line(trimmed, shared);
-        reply.push('\n');
-        if writer
-            .write_all(reply.as_bytes())
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            return;
+        match process_line(trimmed, shared) {
+            Handled::Inline(reply) => {
+                if write_reply(&writer, &reply).is_err() {
+                    break;
+                }
+            }
+            Handled::Dispatch {
+                id,
+                validated,
+                deadline,
+                start,
+            } => {
+                window.acquire(shared.conn_window);
+                let shared = shared.clone();
+                let writer = Arc::clone(&writer);
+                let window = Arc::clone(&window);
+                thread::spawn(move || {
+                    let reply = eval_via_flight(&shared, &id, validated, deadline, start);
+                    let _ = write_reply(&writer, &reply);
+                    window.release();
+                });
+            }
         }
     }
+    // Every dispatched request has written its reply once the window
+    // is empty; only then may the connection thread retire.
+    window.drain();
 }
 
-/// Handle one request line; returns the reply line (no newline).
-fn process_line(line: &str, shared: &Shared) -> String {
+/// Handle one request line on the reader thread.
+fn process_line(line: &str, shared: &Shared) -> Handled {
     let m = &shared.metrics;
     let request = match Request::parse(line) {
         Ok(r) => r,
         Err(e) => {
             m.bad_request.fetch_add(1, Ordering::Relaxed);
-            return error_line(&None, ErrorCode::BadRequest, &e);
+            return Handled::Inline(error_line(&None, ErrorCode::BadRequest, &e));
         }
     };
     let id = request.id.clone();
     match request.op {
-        Op::Ping => ok_line(
+        Op::Ping => Handled::Inline(ok_line(
             &id,
             vec![
                 ("version", Json::from(PROTOCOL_VERSION)),
@@ -335,91 +430,122 @@ fn process_line(line: &str, shared: &Shared) -> String {
                     Json::Bool(shared.shutdown.load(Ordering::SeqCst)),
                 ),
             ],
-        ),
-        Op::Stats => ok_line(&id, vec![("stats", m.snapshot().to_json())]),
+        )),
+        Op::Stats => {
+            let mut stats = m.snapshot().to_json();
+            if let Json::Object(fields) = &mut stats {
+                fields.push(("cache".into(), shared.cache.stats().to_json()));
+            }
+            Handled::Inline(ok_line(&id, vec![("stats", stats)]))
+        }
         Op::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
-            ok_line(&id, vec![("draining", Json::Bool(true))])
+            Handled::Inline(ok_line(&id, vec![("draining", Json::Bool(true))]))
         }
         Op::Eval => process_eval(&request, shared),
     }
 }
 
-fn process_eval(request: &Request, shared: &Shared) -> String {
+fn process_eval(request: &Request, shared: &Shared) -> Handled {
     let m = &shared.metrics;
     let id = &request.id;
     if shared.shutdown.load(Ordering::SeqCst) {
         m.draining.fetch_add(1, Ordering::Relaxed);
-        return error_line(id, ErrorCode::Draining, "server is draining");
+        return Handled::Inline(error_line(id, ErrorCode::Draining, "server is draining"));
     }
     let spec_text = request.spec.as_deref().unwrap_or_default();
     let algo_text = request.algo.as_deref().unwrap_or(DEFAULT_ALGO);
-    let validated = match validate(spec_text, algo_text, shared.max_leaves) {
+    let validated = match validate(spec_text, algo_text) {
         Ok(v) => v,
         Err(e) => {
             m.bad_request.fetch_add(1, Ordering::Relaxed);
-            return error_line(id, ErrorCode::BadRequest, &e);
+            return Handled::Inline(error_line(id, ErrorCode::BadRequest, &e));
         }
     };
     let start = Instant::now();
 
-    if let Some(hit) = shared
-        .cache
-        .lock()
-        .unwrap()
-        .get(&validated.cache_key)
-        .copied()
-    {
+    if let Some(hit) = shared.cache.get(&validated.cache_key) {
         m.cache_hits.fetch_add(1, Ordering::Relaxed);
-        return ok_eval_line(id, &hit, true, start, m);
+        return Handled::Inline(ok_eval_line(id, &hit, true, false, start, m));
     }
     m.cache_misses.fetch_add(1, Ordering::Relaxed);
 
     let deadline_ms = request.deadline_ms.unwrap_or(shared.default_deadline_ms);
     // Clamp to a day so absurd values cannot overflow Instant math.
     let deadline = start + Duration::from_millis(deadline_ms.min(86_400_000));
-    let cancel = Arc::new(AtomicBool::new(false));
-    let (reply_tx, reply_rx) = channel();
-    let job = Job {
-        spec: validated.spec,
-        algo: validated.algo,
-        cache_key: validated.cache_key,
-        cancel: Arc::clone(&cancel),
+    Handled::Dispatch {
+        id: id.clone(),
+        validated,
         deadline,
-        reply: reply_tx,
-    };
-    match shared.job_tx.try_push(job) {
-        Ok(()) => {}
-        Err(PushError::Full(_)) => {
-            m.shed.fetch_add(1, Ordering::Relaxed);
-            return error_line(id, ErrorCode::Busy, "queue full");
-        }
-        Err(PushError::Closed(_)) => {
-            m.internal.fetch_add(1, Ordering::Relaxed);
-            return error_line(id, ErrorCode::Internal, "worker pool is gone");
-        }
+        start,
     }
-    let wait = deadline.saturating_duration_since(Instant::now());
-    match reply_rx.recv_timeout(wait) {
-        Ok(WorkerReply::Done(outcome)) => ok_eval_line(id, &outcome, false, start, m),
-        Ok(WorkerReply::Cancelled) => {
-            m.timeout.fetch_add(1, Ordering::Relaxed);
-            error_line(id, ErrorCode::Timeout, "deadline exceeded")
+}
+
+/// Run one cache miss through the flight table: lead (enqueue the job)
+/// or follow (coalesce), then wait out the result or the deadline.
+fn eval_via_flight(
+    shared: &Shared,
+    id: &Option<String>,
+    validated: ValidatedRequest,
+    deadline: Instant,
+    start: Instant,
+) -> String {
+    let m = &shared.metrics;
+    let key = validated.cache_key.clone();
+    let mut coalesced = false;
+    let flight = match shared.flights.join(&key) {
+        Joined::Leader(flight) => {
+            let job = Job {
+                spec: validated.spec,
+                algo: validated.algo,
+                cache_key: key.clone(),
+                flight: Arc::clone(&flight),
+            };
+            match shared.job_tx.try_push(job) {
+                Ok(()) => {}
+                Err(PushError::Full(_)) => {
+                    // Publish so any follower that raced in is also
+                    // answered instead of hanging.
+                    shared.flights.publish(&key, &flight, FlightResult::Busy);
+                }
+                Err(PushError::Closed(_)) => {
+                    shared.flights.publish(
+                        &key,
+                        &flight,
+                        FlightResult::Failed("worker pool is gone".into()),
+                    );
+                }
+            }
+            flight
         }
-        Ok(WorkerReply::Failed(e)) => {
+        Joined::Follower(flight) => {
+            m.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+            coalesced = true;
+            flight
+        }
+    };
+    match flight.wait(deadline) {
+        Some(FlightResult::Done(outcome)) => ok_eval_line(id, &outcome, false, coalesced, start, m),
+        Some(FlightResult::Cancelled) => {
+            // Only reachable through drain races; waiters normally
+            // leave (and count their own timeout) before a run is
+            // cancelled.
+            m.timeout.fetch_add(1, Ordering::Relaxed);
+            error_line(id, ErrorCode::Timeout, "evaluation cancelled")
+        }
+        Some(FlightResult::Failed(e)) => {
             m.internal.fetch_add(1, Ordering::Relaxed);
             error_line(id, ErrorCode::Internal, &e)
         }
-        Err(RecvTimeoutError::Timeout) => {
-            // Expired while queued or mid-evaluation: flag the job so
-            // the worker abandons it, answer immediately.
-            cancel.store(true, Ordering::SeqCst);
+        Some(FlightResult::Busy) => {
+            m.shed.fetch_add(1, Ordering::Relaxed);
+            error_line(id, ErrorCode::Busy, "queue full")
+        }
+        None => {
+            // Deadline passed first.  Leaving the flight already
+            // cancelled the run if nobody else is waiting.
             m.timeout.fetch_add(1, Ordering::Relaxed);
             error_line(id, ErrorCode::Timeout, "deadline exceeded")
-        }
-        Err(RecvTimeoutError::Disconnected) => {
-            m.internal.fetch_add(1, Ordering::Relaxed);
-            error_line(id, ErrorCode::Internal, "worker dropped the request")
         }
     }
 }
@@ -428,6 +554,7 @@ fn ok_eval_line(
     id: &Option<String>,
     outcome: &EvalOutcome,
     cached: bool,
+    coalesced: bool,
     start: Instant,
     m: &Metrics,
 ) -> String {
@@ -441,33 +568,42 @@ fn ok_eval_line(
             ("work", Json::from(outcome.work)),
             ("steps", Json::from(outcome.steps)),
             ("cached", Json::Bool(cached)),
+            ("coalesced", Json::Bool(coalesced)),
             ("latency_us", Json::from(latency_us)),
         ],
     )
 }
 
-fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, cache: &SharedCache, metrics: &Metrics) {
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    cache: &ResultCache,
+    flights: &FlightTable,
+    metrics: &Metrics,
+) {
     loop {
         // Hold the lock only for the receive itself.
         let job = match rx.lock().unwrap().recv() {
             Ok(job) => job,
             Err(_) => return, // queue closed: all senders gone
         };
-        if job.cancel.load(Ordering::SeqCst) || Instant::now() >= job.deadline {
-            let _ = job.reply.send(WorkerReply::Cancelled);
+        // Every waiter already gave up (last one out set the flag):
+        // skip the run, retire the flight.
+        if job.flight.cancel.load(Ordering::Relaxed) {
+            flights.publish(&job.cache_key, &job.flight, FlightResult::Cancelled);
             continue;
         }
-        let reply = match evaluate(&job.spec, &job.algo, &job.cancel) {
+        let result = match evaluate(&job.spec, &job.algo, &job.flight.cancel) {
             Ok(outcome) => {
                 metrics.evaluated.fetch_add(1, Ordering::Relaxed);
-                cache.lock().unwrap().insert(job.cache_key.clone(), outcome);
-                WorkerReply::Done(outcome)
+                // Insert before publishing: once any waiter observes
+                // the result, the cache must already have it.
+                cache.insert(job.cache_key.clone(), outcome);
+                FlightResult::Done(outcome)
             }
-            Err(EvalError::Cancelled) => WorkerReply::Cancelled,
-            Err(EvalError::Bad(e)) => WorkerReply::Failed(e),
+            Err(EvalError::Cancelled) => FlightResult::Cancelled,
+            Err(EvalError::Bad(e)) => FlightResult::Failed(e),
         };
-        // The connection may have timed out and gone; that's fine.
-        let _ = job.reply.send(reply);
+        flights.publish(&job.cache_key, &job.flight, result);
     }
 }
 
@@ -533,6 +669,10 @@ mod tests {
         let stats = r.body.get("stats").unwrap();
         assert_eq!(stats.get("cache_hits").and_then(Json::as_u64), Some(1));
         assert_eq!(stats.get("bad_request").and_then(Json::as_u64), Some(1));
+        // The stats snapshot also reports the sharded cache.
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("len").and_then(Json::as_u64), Some(1));
+        assert_eq!(cache.get("shards").and_then(Json::as_u64), Some(8));
 
         let r = send(&stream, &mut reader, r#"{"op":"shutdown"}"#);
         assert!(r.ok);
@@ -542,29 +682,69 @@ mod tests {
         assert_eq!(snapshot.evaluated, 1);
     }
 
+    fn test_shared(draining: bool) -> Shared {
+        let (job_tx, _job_rx) = bounded::<Job>(1);
+        Shared {
+            metrics: Arc::new(Metrics::default()),
+            cache: Arc::new(ShardedCache::new(4, 2)),
+            flights: Arc::new(FlightTable::new()),
+            job_tx,
+            shutdown: Arc::new(AtomicBool::new(draining)),
+            default_deadline_ms: 1000,
+            conn_window: 4,
+        }
+    }
+
     #[test]
     fn draining_server_refuses_new_evals() {
         // Unit-level: a request processed after the flag flips gets a
         // 503 (over the wire this is a race window, so test it here).
-        let (job_tx, _job_rx) = bounded::<Job>(1);
-        let shared = Shared {
-            metrics: Arc::new(Metrics::default()),
-            cache: Arc::new(Mutex::new(LruCache::new(4))),
-            job_tx,
-            shutdown: Arc::new(AtomicBool::new(true)),
-            default_deadline_ms: 1000,
-            max_leaves: 1 << 20,
+        let shared = test_shared(true);
+        let reply = match process_line(r#"{"spec":"worst:d=2,n=4"}"#, &shared) {
+            Handled::Inline(reply) => reply,
+            Handled::Dispatch { .. } => panic!("draining evals must not dispatch"),
         };
-        let reply = process_line(r#"{"spec":"worst:d=2,n=4"}"#, &shared);
         let r = Response::parse(&reply).unwrap();
         assert!(!r.ok);
         assert_eq!(r.status, 503);
         assert_eq!(r.code.as_deref(), Some("draining"));
         assert_eq!(shared.metrics.snapshot().draining, 1);
         // Control ops still answer while draining.
-        let r = Response::parse(&process_line(r#"{"op":"ping"}"#, &shared)).unwrap();
+        let reply = match process_line(r#"{"op":"ping"}"#, &shared) {
+            Handled::Inline(reply) => reply,
+            Handled::Dispatch { .. } => panic!("ping is inline"),
+        };
+        let r = Response::parse(&reply).unwrap();
         assert!(r.ok);
         assert_eq!(r.body.get("draining").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn cache_misses_dispatch_and_hits_stay_inline() {
+        let shared = test_shared(false);
+        let line = r#"{"spec":"worst:d=2,n=4","algo":"seq-solve"}"#;
+        match process_line(line, &shared) {
+            Handled::Dispatch { validated, .. } => {
+                assert_eq!(validated.cache_key, "worst:d=2,n=4|seq-solve");
+            }
+            Handled::Inline(r) => panic!("miss must dispatch, got {r}"),
+        }
+        let hit = EvalOutcome {
+            value: 1,
+            work: 16,
+            steps: 0,
+        };
+        shared.cache.insert("worst:d=2,n=4|seq-solve".into(), hit);
+        match process_line(line, &shared) {
+            Handled::Inline(reply) => {
+                let r = Response::parse(&reply).unwrap();
+                assert!(r.ok);
+                assert!(r.cached());
+            }
+            Handled::Dispatch { .. } => panic!("hit must answer inline"),
+        }
+        assert_eq!(shared.metrics.snapshot().cache_hits, 1);
+        assert_eq!(shared.metrics.snapshot().cache_misses, 1);
     }
 
     #[test]

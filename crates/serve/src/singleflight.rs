@@ -1,0 +1,292 @@
+//! Single-flight coalescing: one engine run per canonical key.
+//!
+//! When several requests for the same canonical spec+algorithm arrive
+//! while none has a cached result yet, only the first (the *leader*)
+//! may run the engine; the rest (*followers*) park on the leader's
+//! [`Flight`] and receive whatever it publishes — result, error, or
+//! cancellation — without costing a queue slot or an engine run.
+//!
+//! Cancellation composes with coalescing: the flight's flag is the
+//! engine's cancellation flag, and it is only set by the *last* waiter
+//! to give up.  A follower whose deadline passes simply stops waiting;
+//! the run keeps going for everyone else.  Waiter counts are kept
+//! under the flight's own lock, so last-out detection is race-free.
+//!
+//! A flight whose waiters have all left is *doomed*: its engine run is
+//! winding down and its result must not be reused (it may be a
+//! cancellation).  A new arrival that finds a doomed flight replaces
+//! it and becomes the leader of a fresh run.  Publication removes the
+//! registry entry only if it still points at the publishing flight
+//! (`Arc::ptr_eq`), so a doomed flight's late publication cannot
+//! clobber its replacement.
+
+use crate::workload::EvalOutcome;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// What a flight's engine run produced, delivered to every waiter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightResult {
+    /// The engine finished; the outcome is also in the cache by the
+    /// time waiters observe this.
+    Done(EvalOutcome),
+    /// The run was cancelled (every waiter had already left, or the
+    /// server is draining).
+    Cancelled,
+    /// The engine reported an error.
+    Failed(String),
+    /// The leader could not enqueue the job: the queue was full.
+    Busy,
+}
+
+struct FlightInner {
+    done: Option<FlightResult>,
+    /// Requests currently parked on (or about to park on) this
+    /// flight, the leader included.
+    waiters: usize,
+}
+
+/// One in-flight engine run and the requests waiting on it.
+pub struct Flight {
+    inner: Mutex<FlightInner>,
+    cv: Condvar,
+    /// The engine's cooperative-cancellation flag.  Set by the last
+    /// waiter to abandon the flight, or by server drain.
+    pub cancel: AtomicBool,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            inner: Mutex::new(FlightInner {
+                done: None,
+                waiters: 1,
+            }),
+            cv: Condvar::new(),
+            cancel: AtomicBool::new(false),
+        }
+    }
+
+    /// Park until a result is published or `deadline` passes.
+    ///
+    /// `None` means the deadline passed first; the caller is no longer
+    /// a waiter, and if it was the last one the run is cancelled.
+    pub fn wait(&self, deadline: Instant) -> Option<FlightResult> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(r) = &inner.done {
+                return Some(r.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                inner.waiters -= 1;
+                if inner.waiters == 0 {
+                    self.cancel.store(true, Ordering::Relaxed);
+                }
+                return None;
+            }
+            (inner, _) = self.cv.wait_timeout(inner, deadline - now).unwrap();
+        }
+    }
+
+    #[cfg(test)]
+    fn waiters(&self) -> usize {
+        self.inner.lock().unwrap().waiters
+    }
+}
+
+/// The caller's role in a flight, decided by [`FlightTable::join`].
+pub enum Joined {
+    /// First arrival for the key: the caller must arrange for exactly
+    /// one engine run and [`publish`](FlightTable::publish) its result.
+    Leader(Arc<Flight>),
+    /// A run for the key is already in flight: the caller just
+    /// [`wait`](Flight::wait)s.
+    Follower(Arc<Flight>),
+}
+
+/// Registry of in-flight engine runs, keyed by canonical request key.
+#[derive(Default)]
+pub struct FlightTable {
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
+}
+
+impl FlightTable {
+    /// An empty table.
+    pub fn new() -> FlightTable {
+        FlightTable::default()
+    }
+
+    /// Join the flight for `key`, creating it (and leading) if absent
+    /// or doomed.
+    pub fn join(&self, key: &str) -> Joined {
+        let mut map = self.flights.lock().unwrap();
+        if let Some(f) = map.get(key) {
+            // The cancel flag is only ever set under the flight's
+            // inner lock, so checking it under that same lock makes
+            // doomed-flight detection race-free.
+            let mut inner = f.inner.lock().unwrap();
+            if !f.cancel.load(Ordering::Relaxed) {
+                inner.waiters += 1;
+                drop(inner);
+                return Joined::Follower(Arc::clone(f));
+            }
+        }
+        let f = Arc::new(Flight::new());
+        map.insert(key.to_string(), Arc::clone(&f));
+        Joined::Leader(f)
+    }
+
+    /// Deliver `result` to every waiter on `flight` and retire its
+    /// registry entry (only if the entry still points at `flight`).
+    ///
+    /// Retirement happens *before* waiters wake: once any waiter has
+    /// observed the result (and possibly replied to its client), a
+    /// follow-up request for the same key is guaranteed to lead a
+    /// fresh flight rather than re-join this completed one.
+    pub fn publish(&self, key: &str, flight: &Arc<Flight>, result: FlightResult) {
+        {
+            let mut map = self.flights.lock().unwrap();
+            if map.get(key).is_some_and(|cur| Arc::ptr_eq(cur, flight)) {
+                map.remove(key);
+            }
+        }
+        let mut inner = flight.inner.lock().unwrap();
+        inner.done = Some(result);
+        drop(inner);
+        flight.cv.notify_all();
+    }
+
+    /// Flights currently registered (doomed ones included until their
+    /// leader publishes).
+    pub fn len(&self) -> usize {
+        self.flights.lock().unwrap().len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.flights.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    fn outcome(value: i64) -> EvalOutcome {
+        EvalOutcome {
+            value,
+            work: 1,
+            steps: 0,
+        }
+    }
+
+    fn far() -> Instant {
+        Instant::now() + Duration::from_secs(30)
+    }
+
+    #[test]
+    fn first_join_leads_subsequent_joins_follow() {
+        let t = FlightTable::new();
+        let leader = match t.join("k") {
+            Joined::Leader(f) => f,
+            Joined::Follower(_) => panic!("first join must lead"),
+        };
+        let follower = match t.join("k") {
+            Joined::Follower(f) => f,
+            Joined::Leader(_) => panic!("second join must follow"),
+        };
+        assert!(Arc::ptr_eq(&leader, &follower));
+        assert_eq!(leader.waiters(), 2);
+        assert!(matches!(t.join("other"), Joined::Leader(_)));
+    }
+
+    #[test]
+    fn publish_wakes_all_waiters_with_the_same_result() {
+        let t = Arc::new(FlightTable::new());
+        let leader = match t.join("k") {
+            Joined::Leader(f) => f,
+            _ => unreachable!(),
+        };
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                thread::spawn(move || match t.join("k") {
+                    Joined::Follower(f) => f.wait(far()),
+                    Joined::Leader(_) => panic!("flight already exists"),
+                })
+            })
+            .collect();
+        // Give followers a moment to park before publishing.
+        thread::sleep(Duration::from_millis(20));
+        t.publish("k", &leader, FlightResult::Done(outcome(7)));
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Some(FlightResult::Done(outcome(7))));
+        }
+        assert_eq!(leader.wait(far()), Some(FlightResult::Done(outcome(7))));
+        assert!(t.is_empty(), "published flight is retired");
+    }
+
+    #[test]
+    fn one_waiter_leaving_does_not_cancel_the_run() {
+        let t = FlightTable::new();
+        let leader = match t.join("k") {
+            Joined::Leader(f) => f,
+            _ => unreachable!(),
+        };
+        let follower = match t.join("k") {
+            Joined::Follower(f) => f,
+            _ => unreachable!(),
+        };
+        // Follower's deadline passes immediately.
+        assert_eq!(follower.wait(Instant::now()), None);
+        assert!(
+            !leader.cancel.load(Ordering::Relaxed),
+            "leader still waiting; the run must keep going"
+        );
+    }
+
+    #[test]
+    fn last_waiter_leaving_cancels_and_dooms_the_flight() {
+        let t = FlightTable::new();
+        let leader = match t.join("k") {
+            Joined::Leader(f) => f,
+            _ => unreachable!(),
+        };
+        assert_eq!(leader.wait(Instant::now()), None);
+        assert!(leader.cancel.load(Ordering::Relaxed));
+        // A new arrival must not adopt the doomed flight.
+        let fresh = match t.join("k") {
+            Joined::Leader(f) => f,
+            Joined::Follower(_) => panic!("doomed flight must be replaced"),
+        };
+        assert!(!Arc::ptr_eq(&leader, &fresh));
+        // The doomed run's late publication must not clobber the
+        // fresh flight's registry entry.
+        t.publish("k", &leader, FlightResult::Cancelled);
+        assert_eq!(t.len(), 1);
+        t.publish("k", &fresh, FlightResult::Done(outcome(1)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn result_published_before_wait_is_returned_immediately() {
+        let t = FlightTable::new();
+        let leader = match t.join("k") {
+            Joined::Leader(f) => f,
+            _ => unreachable!(),
+        };
+        let follower = match t.join("k") {
+            Joined::Follower(f) => f,
+            _ => unreachable!(),
+        };
+        t.publish("k", &leader, FlightResult::Busy);
+        // Even with an already-expired deadline, a published result
+        // wins over the timeout.
+        assert_eq!(follower.wait(Instant::now()), Some(FlightResult::Busy));
+    }
+}

@@ -2,21 +2,18 @@
 //!
 //! A request names a workload with the [`GenSpec`] string format and an
 //! algorithm with the same `name:key=val,...` syntax.  Validation is
-//! front-loaded on the connection thread so malformed or oversized work
-//! is rejected *before* it occupies a queue slot; [`evaluate`] then
-//! runs on a worker with the request's cancellation flag threaded into
-//! every engine that supports it.
-//!
-//! Algorithms that cannot be cancelled mid-flight (`seq-solve`,
-//! `alphabeta`, `parallel-solve`) are gated by a leaf-count ceiling
-//! instead: a deadline can only be enforced cooperatively, so work
-//! that ignores the flag must be small enough to finish regardless.
+//! front-loaded on the connection thread so malformed work is rejected
+//! *before* it occupies a queue slot; [`evaluate`] then runs on a
+//! worker with the request's cancellation flag threaded into every
+//! engine.  All algorithms honour the flag cooperatively, so a
+//! deadline bounds any admitted workload and no size ceiling is
+//! needed.
 
 use gt_core::engine::{Cancelled, CascadeEngine, RoundEngine, TtSearch, YbwEngine};
 use gt_games::{Connect4, Game, Nim, TicTacToe};
-use gt_sim::{parallel_alphabeta, parallel_solve};
-use gt_tree::minimax::{seq_alphabeta, seq_solve};
-use gt_tree::{GenSpec, Uniform, Value};
+use gt_sim::{parallel_alphabeta_cancellable, parallel_solve_cancellable};
+use gt_tree::minimax::{seq_alphabeta_cancellable, seq_solve_cancellable};
+use gt_tree::{GenSpec, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::AtomicBool;
 
@@ -136,29 +133,10 @@ const ALGOS: &[&str] = &[
 /// Names of games the `tt` algorithm accepts as `spec` kinds.
 const GAMES: &[&str] = &["ttt", "tictactoe", "connect4", "nim"];
 
-fn spec_leaf_count(spec: &GenSpec) -> Result<u64, String> {
-    let d: u32 = match spec.params.get("d") {
-        Some(v) => v.parse().map_err(|e| format!("bad d={v}: {e}"))?,
-        None => 2,
-    };
-    let n: u32 = match spec.params.get("n") {
-        Some(v) => v.parse().map_err(|e| format!("bad n={v}: {e}"))?,
-        None => return Err("missing required parameter n".into()),
-    };
-    if d == 0 {
-        return Err("d must be at least 1".into());
-    }
-    Ok(Uniform::new(d, n).leaf_count())
-}
-
 /// Check a request end to end: both strings parse, the algorithm
-/// exists, the workload builds, families match, and non-cancellable
-/// algorithms fit under `max_leaves`.
-pub fn validate(
-    spec_text: &str,
-    algo_text: &str,
-    max_leaves: u64,
-) -> Result<ValidatedRequest, String> {
+/// exists, the workload builds, and the tree family matches the
+/// algorithm's semantics.
+pub fn validate(spec_text: &str, algo_text: &str) -> Result<ValidatedRequest, String> {
     let spec = GenSpec::parse(spec_text)?;
     let algo = AlgoSpec::parse(algo_text)?;
     if !ALGOS.contains(&algo.name.as_str()) {
@@ -196,17 +174,6 @@ pub fn validate(
                 ));
             }
             _ => {}
-        }
-        let cancellable = matches!(algo.name.as_str(), "round" | "cascade" | "ybw");
-        if !cancellable {
-            let leaves = spec_leaf_count(&spec)?;
-            if leaves > max_leaves {
-                return Err(format!(
-                    "workload has {leaves} leaves, above the server ceiling of {max_leaves} \
-                     for non-cancellable algorithm {:?}",
-                    algo.name
-                ));
-            }
         }
     }
     let cache_key = canonical_key(&spec, &algo);
@@ -258,7 +225,7 @@ pub fn evaluate(
     let width = algo.width().map_err(EvalError::Bad)?;
     let outcome = match algo.name.as_str() {
         "seq-solve" => {
-            let st = seq_solve(&src, false);
+            let st = seq_solve_cancellable(&src, false, cancel)?;
             EvalOutcome {
                 value: st.value,
                 work: st.leaves_evaluated,
@@ -266,7 +233,7 @@ pub fn evaluate(
             }
         }
         "alphabeta" => {
-            let st = seq_alphabeta(&src, false);
+            let st = seq_alphabeta_cancellable(&src, false, cancel)?;
             EvalOutcome {
                 value: st.value,
                 work: st.leaves_evaluated,
@@ -275,9 +242,9 @@ pub fn evaluate(
         }
         "parallel-solve" => {
             let st = if spec.is_minmax() {
-                parallel_alphabeta(&src, width, false)
+                parallel_alphabeta_cancellable(&src, width, false, cancel)?
             } else {
-                parallel_solve(&src, width, false)
+                parallel_solve_cancellable(&src, width, false, cancel)?
             };
             EvalOutcome {
                 value: st.value,
@@ -342,35 +309,32 @@ mod tests {
 
     #[test]
     fn validates_and_canonicalizes() {
-        let v = validate("worst: n=4 , d=2", "cascade:w=2", 1 << 20).unwrap();
+        let v = validate("worst: n=4 , d=2", "cascade:w=2").unwrap();
         assert_eq!(v.cache_key, "worst:d=2,n=4|cascade:w=2");
         // Reordered parameters produce the same key.
-        let v2 = validate("worst:d=2,n=4", "cascade:w=2", 1 << 20).unwrap();
+        let v2 = validate("worst:d=2,n=4", "cascade:w=2").unwrap();
         assert_eq!(v.cache_key, v2.cache_key);
     }
 
     #[test]
     fn rejects_unknown_or_mismatched_algorithms() {
-        assert!(validate("worst:n=4", "quantum", 1 << 20).is_err());
-        assert!(validate("worst:n=4", "cascade:w=0", 1 << 20).is_err());
-        assert!(validate("minmax:n=4", "seq-solve", 1 << 20).is_err());
-        assert!(validate("worst:n=4", "alphabeta", 1 << 20).is_err());
-        assert!(validate("worst:n=4", "ybw", 1 << 20).is_err());
-        assert!(validate("nope:n=4", "cascade", 1 << 20).is_err());
-        assert!(
-            validate("worst:n=4", "tt", 1 << 20).is_err(),
-            "tt needs a game"
-        );
-        assert!(validate("ttt:d=5", "tt", 1 << 20).is_ok());
+        assert!(validate("worst:n=4", "quantum").is_err());
+        assert!(validate("worst:n=4", "cascade:w=0").is_err());
+        assert!(validate("minmax:n=4", "seq-solve").is_err());
+        assert!(validate("worst:n=4", "alphabeta").is_err());
+        assert!(validate("worst:n=4", "ybw").is_err());
+        assert!(validate("nope:n=4", "cascade").is_err());
+        assert!(validate("worst:n=4", "tt").is_err(), "tt needs a game");
+        assert!(validate("ttt:d=5", "tt").is_ok());
     }
 
     #[test]
-    fn leaf_ceiling_gates_non_cancellable_algorithms_only() {
-        // worst:d=2,n=20 has 2^20 leaves.
-        assert!(validate("worst:d=2,n=20", "seq-solve", 1 << 10).is_err());
-        assert!(validate("worst:d=2,n=20", "parallel-solve:w=4", 1 << 10).is_err());
-        assert!(validate("worst:d=2,n=20", "cascade:w=4", 1 << 10).is_ok());
-        assert!(validate("worst:d=2,n=10", "seq-solve", 1 << 10).is_ok());
+    fn large_workloads_are_admitted_for_every_algorithm() {
+        // worst:d=2,n=20 has 2^20 leaves; with cancellation threaded
+        // through every engine there is no admission ceiling.
+        for algo in ["seq-solve", "parallel-solve:w=4", "cascade:w=4"] {
+            assert!(validate("worst:d=2,n=20", algo).is_ok(), "{algo}");
+        }
     }
 
     #[test]
@@ -410,10 +374,19 @@ mod tests {
 
     #[test]
     fn cancellation_surfaces_as_eval_error() {
-        let spec = GenSpec::parse("worst:d=2,n=12").unwrap();
         let flag = AtomicBool::new(false);
         flag.store(true, Ordering::Relaxed);
-        let got = evaluate(&spec, &AlgoSpec::parse("cascade:w=2").unwrap(), &flag);
-        assert_eq!(got, Err(EvalError::Cancelled));
+        // Every engine family honours the flag, including the
+        // formerly-uncancellable baselines.
+        for (spec, algo) in [
+            ("worst:d=2,n=12", "cascade:w=2"),
+            ("worst:d=2,n=12", "seq-solve"),
+            ("worst:d=2,n=12", "parallel-solve:w=2"),
+            ("minmax:d=2,n=12,seed=1", "alphabeta"),
+        ] {
+            let spec = GenSpec::parse(spec).unwrap();
+            let got = evaluate(&spec, &AlgoSpec::parse(algo).unwrap(), &flag);
+            assert_eq!(got, Err(EvalError::Cancelled), "{algo}");
+        }
     }
 }

@@ -16,7 +16,8 @@
 //! steps — which are free in the model — to a fixpoint.
 
 use crate::metrics::RunStats;
-use gt_tree::{LazyTree, NodeId, NodeKind, TreeSource, Value};
+use gt_tree::{Cancelled, LazyTree, NodeId, NodeKind, TreeSource, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Which cost model a run charges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -347,11 +348,31 @@ impl<S: TreeSource> AlphaBetaSim<S> {
 
     /// Run to completion.
     pub fn run(&mut self, width: u32, record: bool) -> RunStats {
+        let never = AtomicBool::new(false);
+        self.run_cancellable(width, record, &never)
+            .expect("never cancelled")
+    }
+
+    /// [`AlphaBetaSim::run`] with cooperative cancellation, sampled
+    /// before every basic step.
+    pub fn run_cancellable(
+        &mut self,
+        width: u32,
+        record: bool,
+        cancel: &AtomicBool,
+    ) -> Result<RunStats, Cancelled> {
         let mut stats = RunStats::new(record);
-        while self.step(width, &mut stats).is_some() {}
+        loop {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(Cancelled);
+            }
+            if self.step(width, &mut stats).is_none() {
+                break;
+            }
+        }
         stats.value = self.finished[0].expect("finished");
         stats.nodes_materialized = self.tree.len() as u64;
-        stats
+        Ok(stats)
     }
 }
 
@@ -369,6 +390,17 @@ impl<S: TreeSource> AlphaBetaSim<S> {
 /// ```
 pub fn parallel_alphabeta<S: TreeSource>(source: S, width: u32, record: bool) -> RunStats {
     AlphaBetaSim::new(source, Model::LeafEvaluation).run(width, record)
+}
+
+/// [`parallel_alphabeta`] with cooperative cancellation, sampled at
+/// every basic step.
+pub fn parallel_alphabeta_cancellable<S: TreeSource>(
+    source: S,
+    width: u32,
+    record: bool,
+    cancel: &AtomicBool,
+) -> Result<RunStats, Cancelled> {
+    AlphaBetaSim::new(source, Model::LeafEvaluation).run_cancellable(width, record, cancel)
 }
 
 /// Sequential α-β: evaluate the leftmost unfinished leaf of the current
@@ -413,6 +445,21 @@ mod tests {
         let st = parallel_alphabeta(ExplicitTree::leaf(42), 1, false);
         assert_eq!(st.value, 42);
         assert_eq!(st.steps, 1);
+    }
+
+    #[test]
+    fn cancellable_run_matches_plain_and_honours_the_flag() {
+        let s = UniformSource::minmax_iid(2, 8, 0, 100, 5);
+        let never = AtomicBool::new(false);
+        let a = parallel_alphabeta_cancellable(&s, 1, false, &never).unwrap();
+        let b = parallel_alphabeta(&s, 1, false);
+        assert_eq!(a, b);
+
+        let set = AtomicBool::new(true);
+        assert_eq!(
+            parallel_alphabeta_cancellable(&s, 1, false, &set),
+            Err(Cancelled)
+        );
     }
 
     #[test]

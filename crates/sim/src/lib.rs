@@ -38,9 +38,12 @@ pub mod randomized;
 pub mod trace;
 
 pub use alphabeta::{
-    n_parallel_alphabeta, n_sequential_alphabeta, parallel_alphabeta, parallel_alphabeta_capped,
-    sequential_alphabeta, AlphaBetaSim,
+    n_parallel_alphabeta, n_sequential_alphabeta, parallel_alphabeta,
+    parallel_alphabeta_cancellable, parallel_alphabeta_capped, sequential_alphabeta, AlphaBetaSim,
 };
 pub use expansion::{n_parallel_solve, n_sequential_solve, ExpansionSim};
 pub use metrics::RunStats;
-pub use nor::{parallel_solve, parallel_solve_capped, sequential_solve, team_solve, NorSim};
+pub use nor::{
+    parallel_solve, parallel_solve_cancellable, parallel_solve_capped, sequential_solve,
+    team_solve, NorSim,
+};

@@ -15,7 +15,8 @@
 //! `O(width·height)`-sized region the step can touch.
 
 use crate::metrics::RunStats;
-use gt_tree::{LazyTree, NodeId, TreeSource};
+use gt_tree::{Cancelled, LazyTree, NodeId, TreeSource};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A resumable simulation of (Team/Parallel) SOLVE on a NOR tree.
 ///
@@ -278,11 +279,32 @@ impl<S: TreeSource> NorSim<S> {
 
     /// Run to completion under `policy`.
     pub fn run(&mut self, policy: Policy, record: bool) -> RunStats {
+        let never = AtomicBool::new(false);
+        self.run_cancellable(policy, record, &never)
+            .expect("never cancelled")
+    }
+
+    /// [`NorSim::run`] with cooperative cancellation: the flag is
+    /// sampled before every basic step (steps touch at most
+    /// `O(width·height)` nodes, so the reaction latency is one step).
+    pub fn run_cancellable(
+        &mut self,
+        policy: Policy,
+        record: bool,
+        cancel: &AtomicBool,
+    ) -> Result<RunStats, Cancelled> {
         let mut stats = RunStats::new(record);
-        while self.step(policy, &mut stats).is_some() {}
+        loop {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(Cancelled);
+            }
+            if self.step(policy, &mut stats).is_none() {
+                break;
+            }
+        }
         stats.value = i64::from(self.determined[0].expect("run finished"));
         stats.nodes_materialized = self.tree.len() as u64;
-        stats
+        Ok(stats)
     }
 }
 
@@ -302,6 +324,17 @@ impl<S: TreeSource> NorSim<S> {
 /// ```
 pub fn parallel_solve<S: TreeSource>(source: S, width: u32, record: bool) -> RunStats {
     NorSim::new(source).run(Policy::Width(width), record)
+}
+
+/// [`parallel_solve`] with cooperative cancellation, sampled at every
+/// basic step.
+pub fn parallel_solve_cancellable<S: TreeSource>(
+    source: S,
+    width: u32,
+    record: bool,
+    cancel: &AtomicBool,
+) -> Result<RunStats, Cancelled> {
+    NorSim::new(source).run_cancellable(Policy::Width(width), record, cancel)
 }
 
 /// Team SOLVE with `p ≥ 1` processors: evaluate the leftmost `p` live
@@ -518,6 +551,22 @@ mod tests {
             assert!(st.steps <= prev, "p={p} slower");
             prev = st.steps;
         }
+    }
+
+    #[test]
+    fn cancellable_run_matches_plain_and_honours_the_flag() {
+        let s = UniformSource::nor_iid(2, 8, 0.5, 3);
+        let never = AtomicBool::new(false);
+        let a = parallel_solve_cancellable(&s, 2, true, &never).unwrap();
+        let b = parallel_solve(&s, 2, true);
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.trace.unwrap(), b.trace.unwrap());
+
+        let set = AtomicBool::new(true);
+        assert_eq!(
+            parallel_solve_cancellable(&s, 2, false, &set),
+            Err(Cancelled)
+        );
     }
 
     #[test]

@@ -19,7 +19,12 @@
 //! simulators against (width 0 of the parallel algorithms must reproduce
 //! them step for step).
 
-use crate::source::{TreeSource, Value};
+use crate::source::{Cancelled, TreeSource, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// How many leaf evaluations pass between cancellation-flag checks in
+/// the cancellable baselines.  Power of two so the check is a mask.
+const CANCEL_CHECK_MASK: u64 = 1024 - 1;
 
 /// Statistics from a sequential evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,52 +110,81 @@ pub fn and_or_value<S: TreeSource>(source: &S) -> Value {
 /// Set `record_leaves` to also collect `L(T)`, the evaluated leaf set, in
 /// evaluation order — the ingredient of the skeleton `H_T`.
 pub fn seq_solve<S: TreeSource>(source: &S, record_leaves: bool) -> SeqStats {
+    let never = AtomicBool::new(false);
+    seq_solve_cancellable(source, record_leaves, &never).expect("never cancelled")
+}
+
+/// [`seq_solve`] with cooperative cancellation: the flag is sampled every
+/// [`CANCEL_CHECK_MASK`]` + 1` leaf evaluations (cheap enough to be free)
+/// and a set flag abandons the run with [`Cancelled`].
+pub fn seq_solve_cancellable<S: TreeSource>(
+    source: &S,
+    record_leaves: bool,
+    cancel: &AtomicBool,
+) -> Result<SeqStats, Cancelled> {
     struct Ctx<'a, S> {
         s: &'a S,
+        cancel: &'a AtomicBool,
         leaves: u64,
         expanded: u64,
         record: Option<Vec<Vec<u32>>>,
     }
-    fn go<S: TreeSource>(c: &mut Ctx<'_, S>, path: &mut Vec<u32>) -> Value {
+    fn go<S: TreeSource>(c: &mut Ctx<'_, S>, path: &mut Vec<u32>) -> Result<Value, Cancelled> {
         c.expanded += 1;
         let d = c.s.arity(path);
         if d == 0 {
+            if c.leaves & CANCEL_CHECK_MASK == 0 && c.cancel.load(Ordering::Relaxed) {
+                return Err(Cancelled);
+            }
             c.leaves += 1;
             if let Some(r) = &mut c.record {
                 r.push(path.clone());
             }
-            return c.s.leaf_value(path);
+            return Ok(c.s.leaf_value(path));
         }
         for i in 0..d {
             path.push(i);
             let b = go(c, path);
             path.pop();
-            if b != 0 {
-                return 0;
+            if b? != 0 {
+                return Ok(0);
             }
         }
-        1
+        Ok(1)
     }
     let mut c = Ctx {
         s: source,
+        cancel,
         leaves: 0,
         expanded: 0,
         record: record_leaves.then(Vec::new),
     };
-    let value = go(&mut c, &mut Vec::new());
-    SeqStats {
+    let value = go(&mut c, &mut Vec::new())?;
+    Ok(SeqStats {
         value,
         leaves_evaluated: c.leaves,
         nodes_expanded: c.expanded,
         leaf_paths: c.record,
-    }
+    })
 }
 
 /// Sequential α-β: fail-hard depth-first search with the paper's `α ≥ β`
 /// pruning rule (which realizes both shallow and deep cutoffs).
 pub fn seq_alphabeta<S: TreeSource>(source: &S, record_leaves: bool) -> SeqStats {
+    let never = AtomicBool::new(false);
+    seq_alphabeta_cancellable(source, record_leaves, &never).expect("never cancelled")
+}
+
+/// [`seq_alphabeta`] with cooperative cancellation (see
+/// [`seq_solve_cancellable`] for the sampling cadence).
+pub fn seq_alphabeta_cancellable<S: TreeSource>(
+    source: &S,
+    record_leaves: bool,
+    cancel: &AtomicBool,
+) -> Result<SeqStats, Cancelled> {
     struct Ctx<'a, S> {
         s: &'a S,
+        cancel: &'a AtomicBool,
         leaves: u64,
         expanded: u64,
         record: Option<Vec<Vec<u32>>>,
@@ -161,21 +195,25 @@ pub fn seq_alphabeta<S: TreeSource>(source: &S, record_leaves: bool) -> SeqStats
         mut alpha: Value,
         mut beta: Value,
         maximizing: bool,
-    ) -> Value {
+    ) -> Result<Value, Cancelled> {
         c.expanded += 1;
         let d = c.s.arity(path);
         if d == 0 {
+            if c.leaves & CANCEL_CHECK_MASK == 0 && c.cancel.load(Ordering::Relaxed) {
+                return Err(Cancelled);
+            }
             c.leaves += 1;
             if let Some(r) = &mut c.record {
                 r.push(path.clone());
             }
-            return c.s.leaf_value(path);
+            return Ok(c.s.leaf_value(path));
         }
         let mut best = if maximizing { Value::MIN } else { Value::MAX };
         for i in 0..d {
             path.push(i);
             let v = go(c, path, alpha, beta, !maximizing);
             path.pop();
+            let v = v?;
             if maximizing {
                 best = best.max(v);
                 alpha = alpha.max(best);
@@ -187,21 +225,22 @@ pub fn seq_alphabeta<S: TreeSource>(source: &S, record_leaves: bool) -> SeqStats
                 break;
             }
         }
-        best
+        Ok(best)
     }
     let mut c = Ctx {
         s: source,
+        cancel,
         leaves: 0,
         expanded: 0,
         record: record_leaves.then(Vec::new),
     };
-    let value = go(&mut c, &mut Vec::new(), Value::MIN, Value::MAX, true);
-    SeqStats {
+    let value = go(&mut c, &mut Vec::new(), Value::MIN, Value::MAX, true)?;
+    Ok(SeqStats {
         value,
         leaves_evaluated: c.leaves,
         nodes_expanded: c.expanded,
         leaf_paths: c.record,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -321,6 +360,66 @@ mod tests {
             assert_eq!(st.leaves_evaluated, (d as u64).pow(n), "d={d} n={n}");
             assert_eq!(st.value, minimax_value(&s));
         }
+    }
+
+    #[test]
+    fn cancellable_baselines_match_plain_runs_when_never_cancelled() {
+        let never = AtomicBool::new(false);
+        let s = UniformSource::nor_iid(2, 8, 0.5, 7);
+        let plain = seq_solve(&s, true);
+        let c = seq_solve_cancellable(&s, true, &never).unwrap();
+        assert_eq!(plain, c);
+        let m = UniformSource::minmax_iid(3, 4, 0, 50, 7);
+        let plain = seq_alphabeta(&m, true);
+        let c = seq_alphabeta_cancellable(&m, true, &never).unwrap();
+        assert_eq!(plain, c);
+    }
+
+    #[test]
+    fn preset_flag_cancels_before_any_leaf() {
+        let set = AtomicBool::new(true);
+        let s = UniformSource::nor_worst_case(2, 10);
+        assert_eq!(seq_solve_cancellable(&s, false, &set), Err(Cancelled));
+        let m = UniformSource::minmax_worst_ordered(2, 10);
+        assert_eq!(seq_alphabeta_cancellable(&m, false, &set), Err(Cancelled));
+    }
+
+    #[test]
+    fn flag_set_mid_run_stops_within_one_check_window() {
+        // A source that flips the flag after 3000 leaf reads: the run
+        // must abandon at the next 1024-boundary check, well short of
+        // the tree's 2^14 leaves.
+        struct Tripwire<'a, L> {
+            inner: UniformSource<L>,
+            reads: std::sync::atomic::AtomicU64,
+            flag: &'a AtomicBool,
+        }
+        impl<L> TreeSource for Tripwire<'_, L>
+        where
+            UniformSource<L>: TreeSource,
+        {
+            fn arity(&self, path: &[u32]) -> u32 {
+                self.inner.arity(path)
+            }
+            fn leaf_value(&self, path: &[u32]) -> Value {
+                if self.reads.fetch_add(1, Ordering::Relaxed) == 3000 {
+                    self.flag.store(true, Ordering::Relaxed);
+                }
+                self.inner.leaf_value(path)
+            }
+        }
+        let flag = AtomicBool::new(false);
+        let s = Tripwire {
+            inner: UniformSource::nor_worst_case(2, 14),
+            reads: std::sync::atomic::AtomicU64::new(0),
+            flag: &flag,
+        };
+        assert_eq!(seq_solve_cancellable(&s, false, &flag), Err(Cancelled));
+        let reads = s.reads.load(Ordering::Relaxed);
+        assert!(
+            (3000..3000 + 2048).contains(&reads),
+            "stopped after {reads} leaves"
+        );
     }
 
     #[test]

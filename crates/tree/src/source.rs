@@ -11,6 +11,16 @@
 /// monomorphic and fast.
 pub type Value = i64;
 
+/// Marker for a run abandoned through a cooperative cancellation flag.
+///
+/// Every cancellable evaluator in the workspace — the sequential
+/// baselines here, the step simulators in `gt-sim`, and the threaded
+/// engines in `gt-core` — reports abandonment with this one type, so a
+/// serving layer can thread a single `AtomicBool` through any algorithm
+/// and handle the outcome uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
 /// What a node turned out to be when expanded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {

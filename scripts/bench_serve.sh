@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Benchmark the gt-serve request path and write a BENCH_serve.json
+# artifact at the repo root.
+#
+# Four scenarios, each a closed-loop `gtree loadgen` run:
+#
+#   cached_pipeline1  warm key, 4 conns, one request in flight per
+#                     connection — the pre-pipelining baseline
+#   cached_pipeline8  same warm key, 4 conns, window of 8 — shows
+#                     cached-hit throughput scaling from pipelining
+#   coalesced         cache disabled, 32 identical requests in
+#                     flight — misses collapse onto single flights
+#   cold              cache disabled, one request at a time — every
+#                     request runs the engine
+#
+# Environment overrides: GTREE_BIN, BENCH_OUT, BENCH_DURATION (s),
+# BENCH_PORT.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BIN="${GTREE_BIN:-$ROOT/target/release/gtree}"
+OUT="${BENCH_OUT:-$ROOT/BENCH_serve.json}"
+DUR="${BENCH_DURATION:-2}"
+PORT="${BENCH_PORT:-7181}"
+ADDR="127.0.0.1:$PORT"
+
+if [ ! -x "$BIN" ]; then
+  echo "bench_serve: building release binary" >&2
+  (cd "$ROOT" && cargo build --release -q)
+fi
+
+SERVER_PID=""
+start_server() { # extra `gtree serve` flags as args
+  "$BIN" serve --addr "$ADDR" --workers 4 "$@" >/dev/null 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "bench_serve: server did not come up on $ADDR" >&2
+  exit 1
+}
+
+stop_server() {
+  if [ -n "$SERVER_PID" ]; then
+    kill -INT "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+  fi
+}
+trap stop_server EXIT
+
+loadgen() { # extra `gtree loadgen` flags as args; prints one JSON line
+  "$BIN" loadgen --addr "$ADDR" --rps 0 --duration "$DUR" --json "$@"
+}
+
+summary() { # name, loadgen JSON
+  local rps
+  rps=$(printf '%s' "$2" | sed -n 's/.*"achieved_rps":\([0-9.e+-]*\).*/\1/p')
+  printf 'bench_serve: %-18s %s replies/s\n' "$1" "${rps:-?}" >&2
+}
+
+# Cached-hit scenarios: default cache, key warmed before measuring.
+start_server
+"$BIN" loadgen --addr "$ADDR" --rps 0 --duration 0.3 --conns 1 \
+  --spec worst:d=2,n=6 --algo seq-solve >/dev/null
+cached_p1=$(loadgen --conns 4 --pipeline 1 --spec worst:d=2,n=6 --algo seq-solve)
+summary cached_pipeline1 "$cached_p1"
+cached_p8=$(loadgen --conns 4 --pipeline 8 --spec worst:d=2,n=6 --algo seq-solve)
+summary cached_pipeline8 "$cached_p8"
+stop_server
+
+# Miss scenarios: cache disabled so every request is a miss.
+start_server --cache 0
+coalesced=$(loadgen --conns 4 --pipeline 8 --spec worst:d=2,n=16 --algo cascade:w=1)
+summary coalesced "$coalesced"
+cold=$(loadgen --conns 1 --pipeline 1 --spec worst:d=2,n=12 --algo seq-solve)
+summary cold "$cold"
+stop_server
+
+printf '{"duration_s":%s,"cached_pipeline1":%s,"cached_pipeline8":%s,"coalesced":%s,"cold":%s}\n' \
+  "$DUR" "$cached_p1" "$cached_p8" "$coalesced" "$cold" > "$OUT"
+echo "bench_serve: wrote $OUT" >&2

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# CI smoke test for gt-serve: boot `gtree serve` on loopback, drive a
+# short pipelined closed-loop load, and fail on any error reply or
+# transport failure.  Also checks that SIGINT drains the server.
+#
+# Environment overrides: GTREE_BIN, SMOKE_PORT, SMOKE_DURATION (s).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BIN="${GTREE_BIN:-$ROOT/target/release/gtree}"
+PORT="${SMOKE_PORT:-7191}"
+DUR="${SMOKE_DURATION:-2}"
+ADDR="127.0.0.1:$PORT"
+
+if [ ! -x "$BIN" ]; then
+  echo "ci_smoke: building release binary" >&2
+  (cd "$ROOT" && cargo build --release -q)
+fi
+
+"$BIN" serve --addr "$ADDR" --workers 2 >/dev/null 2>&1 &
+SERVER_PID=$!
+trap 'kill -INT "$SERVER_PID" 2>/dev/null || true; wait "$SERVER_PID" 2>/dev/null || true' EXIT
+
+up=""
+for _ in $(seq 1 100); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then
+    up=1
+    break
+  fi
+  sleep 0.05
+done
+if [ -z "$up" ]; then
+  echo "ci_smoke: server did not come up on $ADDR" >&2
+  exit 1
+fi
+
+json=$("$BIN" loadgen --addr "$ADDR" --rps 0 --duration "$DUR" --conns 2 \
+  --pipeline 4 --spec worst:d=2,n=8 --algo cascade:w=1 --json)
+echo "ci_smoke: $json"
+
+field() { printf '%s' "$json" | sed -n "s/.*\"$1\":\([0-9][0-9]*\).*/\1/p"; }
+ok=$(field ok)
+bad=$(field bad)
+other=$(field other_error)
+transport=$(field transport_errors)
+
+fail=""
+[ "${ok:-0}" -gt 0 ] || { echo "ci_smoke: no successful replies" >&2; fail=1; }
+[ "${bad:-0}" -eq 0 ] || { echo "ci_smoke: $bad bad-request replies" >&2; fail=1; }
+[ "${other:-0}" -eq 0 ] || { echo "ci_smoke: $other unexpected error replies" >&2; fail=1; }
+[ "${transport:-0}" -eq 0 ] || { echo "ci_smoke: $transport transport errors" >&2; fail=1; }
+[ -z "$fail" ] || exit 1
+
+# SIGINT must drain the server and let it exit cleanly.
+kill -INT "$SERVER_PID"
+if ! wait "$SERVER_PID"; then
+  echo "ci_smoke: server did not exit cleanly on SIGINT" >&2
+  exit 1
+fi
+SERVER_PID=""
+trap - EXIT
+echo "ci_smoke: ok ($ok successful replies, clean SIGINT drain)" >&2

@@ -1,8 +1,9 @@
 //! End-to-end loopback tests for the gt-serve evaluation service: a
 //! real listener, real sockets, and the full request lifecycle —
-//! happy path, malformed input, deadlines, shedding, caching, drain.
+//! happy path, malformed input, deadlines, shedding, caching,
+//! single-flight coalescing, pipelining, drain.
 
-use gt_serve::{Client, Config, Server};
+use gt_serve::{Client, Config, Request, Server};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -111,16 +112,20 @@ fn full_queue_sheds_with_busy() {
     let server = start(Config {
         workers: 1,
         queue_depth: 1,
-        cache_capacity: 0, // identical requests must not short-circuit
+        cache_capacity: 0,
         ..Config::default()
     });
     let addr = server.local_addr();
 
-    // Two slow evals: one pins the only worker, the other takes the
-    // only queue slot.  Write raw lines without waiting for replies.
-    let slow = r#"{"spec":"worst:d=2,n=32","algo":"cascade:w=1","deadline_ms":4000}"#;
-    let mut busy_conns: Vec<(TcpStream, BufReader<TcpStream>)> = (0..2)
-        .map(|_| {
+    // Two slow evals with *distinct* canonical keys (identical ones
+    // would coalesce instead of occupying capacity): one pins the
+    // only worker, the other takes the only queue slot.  Write raw
+    // lines without waiting for replies.
+    let mut busy_conns: Vec<(TcpStream, BufReader<TcpStream>)> = [31u32, 32]
+        .iter()
+        .map(|n| {
+            let slow =
+                format!(r#"{{"spec":"worst:d=2,n={n}","algo":"cascade:w=1","deadline_ms":4000}}"#);
             let s = TcpStream::connect(addr).unwrap();
             let reader = BufReader::new(s.try_clone().unwrap());
             let mut w = s.try_clone().unwrap();
@@ -130,16 +135,17 @@ fn full_queue_sheds_with_busy() {
         })
         .collect();
 
-    // Offer short-deadline evals until one is shed.  The interleaving
-    // with the raw writes above is scheduler-dependent, but the loop
-    // converges fast: an offer that sneaks into the queue times out,
-    // yet still occupies its slot until the (pinned) worker reaps it,
-    // so the next offer must find the queue full.
+    // Offer short-deadline evals (a third distinct key) until one is
+    // shed.  The interleaving with the raw writes above is
+    // scheduler-dependent, but the loop converges fast: an offer that
+    // sneaks into the queue times out (dooming its flight), yet still
+    // occupies its slot until the (pinned) worker reaps it, so the
+    // next offer leads a fresh flight and must find the queue full.
     let mut client = Client::connect(addr).unwrap();
     let mut shed = None;
     for _ in 0..20 {
         let r = client
-            .eval("worst:d=2,n=32", "cascade:w=1", Some(200))
+            .eval("worst:d=2,n=30", "cascade:w=1", Some(200))
             .unwrap();
         assert!(!r.ok, "request must shed or time out under a pinned worker");
         if r.status == 429 {
@@ -167,6 +173,101 @@ fn full_queue_sheds_with_busy() {
     assert!(stats.shed >= 1, "shed={}", stats.shed);
     assert!(stats.timeout >= 1, "timeout={}", stats.timeout);
     assert_eq!(stats.ok, 0);
+}
+
+#[test]
+fn concurrent_identical_cold_requests_coalesce_into_one_run() {
+    let server = start(Config {
+        workers: 4,
+        ..Config::default()
+    });
+    let addr = server.local_addr();
+
+    // All clients connect first, then fire the same cold request at
+    // once.  The workload runs ~1s, so every request is in flight
+    // long before the single engine run completes: one leader, N-1
+    // coalesced followers, no cache involvement.
+    const N: usize = 8;
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(N));
+    let handles: Vec<_> = (0..N)
+        .map(|_| {
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                barrier.wait();
+                c.eval("worst:d=2,n=24", "cascade:w=1", Some(30_000))
+                    .unwrap()
+            })
+        })
+        .collect();
+    let replies: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let mut coalesced = 0;
+    let mut values = std::collections::HashSet::new();
+    for r in &replies {
+        assert!(r.ok, "{:?}", r.error);
+        assert!(!r.cached(), "burst arrived before anything was cached");
+        values.insert(r.value().unwrap());
+        if r.coalesced() {
+            coalesced += 1;
+        }
+    }
+    assert_eq!(values.len(), 1, "every waiter got the same result");
+    assert_eq!(coalesced, N - 1, "all but the leader coalesced");
+
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown_server().unwrap();
+    let stats = server.join();
+    assert_eq!(stats.evaluated, 1, "exactly one engine run for the burst");
+    assert_eq!(stats.coalesced_hits, (N - 1) as u64);
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.cache_misses, N as u64);
+    assert_eq!(stats.ok, N as u64);
+}
+
+#[test]
+fn pipelined_connection_replies_out_of_order_with_id_echo() {
+    let server = start(Config {
+        workers: 2,
+        ..Config::default()
+    });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Two requests on one connection without reading in between: a
+    // slow one that will time out, then a fast one.  The fast reply
+    // must overtake the slow request's timeout.
+    let slow = Request {
+        id: Some("slow".into()),
+        op: gt_serve::Op::Eval,
+        spec: Some("worst:d=2,n=32".into()),
+        algo: Some("cascade:w=1".into()),
+        deadline_ms: Some(600),
+    };
+    let fast = Request {
+        id: Some("fast".into()),
+        op: gt_serve::Op::Eval,
+        spec: Some("worst:d=2,n=6".into()),
+        algo: Some("seq-solve".into()),
+        deadline_ms: Some(5_000),
+    };
+    client.write_request(&slow).unwrap();
+    client.write_request(&fast).unwrap();
+
+    let first = client.read_response().unwrap();
+    assert_eq!(
+        first.id.as_deref(),
+        Some("fast"),
+        "fast reply must not wait behind the slow request"
+    );
+    assert!(first.ok, "{:?}", first.error);
+    let second = client.read_response().unwrap();
+    assert_eq!(second.id.as_deref(), Some("slow"));
+    assert_eq!(second.status, 408);
+
+    client.shutdown_server().unwrap();
+    let stats = server.join();
+    assert_eq!(stats.ok, 1);
+    assert_eq!(stats.timeout, 1);
 }
 
 #[test]
