@@ -1,0 +1,96 @@
+//! Criterion benches for the serving layer's evaluation executor:
+//! per-job dispatch overhead as a function of micro-batch size.
+//!
+//! Two layers are measured separately:
+//!
+//! * `executor_scheduler` — the pure queue discipline ([`Scheduler`]):
+//!   push/pop cost with no threads involved, isolating the data
+//!   structure from the handoff.
+//! * `executor_dispatch` — the full round trip through a running
+//!   [`Executor`]: submit under the lock, condvar wake, worker pop,
+//!   dispatch closure.  Larger `batch_max` amortizes one wake and one
+//!   lock acquisition across the whole batch, which is the mechanism
+//!   behind the cold-storm throughput numbers in BENCH_serve.json.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gt_serve::{CostClass, Executor, ExecutorConfig, Scheduler};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const JOBS: u64 = 256;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_scheduler");
+    g.throughput(Throughput::Elements(JOBS));
+    for batch in [1usize, 8, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("push_pop_256", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let mut s: Scheduler<u64> = Scheduler::new(JOBS as usize);
+                    for i in 0..JOBS {
+                        s.push("algo", CostClass::Small, i).unwrap();
+                    }
+                    let mut sum = 0u64;
+                    loop {
+                        let popped = s.pop_batch(batch);
+                        if popped.is_empty() {
+                            break;
+                        }
+                        sum += popped.iter().sum::<u64>();
+                    }
+                    black_box(sum)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_dispatch");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(JOBS));
+    for batch_max in [1usize, 8, 64] {
+        let done = Arc::new(AtomicUsize::new(0));
+        let exec: Executor<u64> = Executor::start(
+            ExecutorConfig {
+                workers: 2,
+                queue_depth: JOBS as usize * 2,
+                batch_max,
+            },
+            {
+                let done = Arc::clone(&done);
+                move |batch| {
+                    black_box(batch.iter().sum::<u64>());
+                    done.fetch_add(batch.len(), Ordering::SeqCst);
+                }
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("round_trip_256", batch_max),
+            &batch_max,
+            |b, _| {
+                b.iter(|| {
+                    let start = done.load(Ordering::SeqCst);
+                    for i in 0..JOBS {
+                        // The workers drain concurrently; spin on Full.
+                        while exec.submit("algo", CostClass::Small, i).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                    while done.load(Ordering::SeqCst) < start + JOBS as usize {
+                        std::thread::yield_now();
+                    }
+                })
+            },
+        );
+        exec.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_dispatch);
+criterion_main!(benches);

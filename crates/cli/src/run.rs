@@ -41,11 +41,12 @@ USAGE:
   gtree eval   (--gen <SPEC> | --tree <FILE>) [--algo A] [--width W] [--processors P]
   gtree render (--gen <SPEC> | --tree <FILE>) [--dot]
   gtree msgsim --gen <SPEC> [--processors P]
-  gtree serve  [--addr A] [--workers N] [--queue-depth N] [--cache N]
-               [--shards N] [--conn-window N] [--deadline-ms MS]
+  gtree serve  [--addr A] [--eval-workers N] [--queue-depth N] [--batch-max N]
+               [--small-cost C] [--cache N] [--shards N] [--cache-ttl MS]
+               [--conn-window N] [--deadline-ms MS]
   gtree loadgen [--addr A] [--conns N] [--rps R] [--duration SECS]
                [--pipeline N] [--spec SPEC] [--algo SERVE-ALGO]
-               [--deadline-ms MS] [--json]
+               [--deadline-ms MS] [--distinct] [--server-stats] [--json]
 
 SPEC:     kind:key=val,...   kinds: nor crit worst allones minmax
                                     minmax-best minmax-worst minmax-corr
@@ -54,8 +55,12 @@ ALGO:     solve | team | par-solve | ab | par-ab | scout | sss   (default: picke
 
 `serve` speaks newline-delimited JSON (see docs/SERVING.md); `loadgen`
 drives it: open loop at --rps, closed loop when --rps 0, pipelined
-closed loop with --pipeline > 1.  Serve-side algorithms: seq-solve
-alphabeta parallel-solve round cascade ybw tt.
+closed loop with --pipeline > 1, distinct-key cold storm with
+--distinct.  Serve-side algorithms: seq-solve alphabeta parallel-solve
+round cascade ybw tt.  --eval-workers bounds total engine concurrency
+(--workers is a deprecated alias); jobs cheaper than --small-cost
+leaves are micro-batched up to --batch-max per dispatch; --cache-ttl
+expires cached results.
 ";
 
 /// Parsed common options.
@@ -435,10 +440,21 @@ fn run_serve(args: &[String]) -> Result<String, CliError> {
         };
         match args[i].as_str() {
             "--addr" => config.addr = next(&mut i)?,
+            "--eval-workers" => {
+                config.workers = parse_flag("--eval-workers", &next(&mut i)?)?;
+            }
+            // Deprecated alias from before the shared executor.
             "--workers" => config.workers = parse_flag("--workers", &next(&mut i)?)?,
             "--queue-depth" => config.queue_depth = parse_flag("--queue-depth", &next(&mut i)?)?,
+            "--batch-max" => config.batch_max = parse_flag("--batch-max", &next(&mut i)?)?,
+            "--small-cost" => {
+                config.small_cost_max = parse_flag("--small-cost", &next(&mut i)?)?;
+            }
             "--cache" => config.cache_capacity = parse_flag("--cache", &next(&mut i)?)?,
             "--shards" => config.cache_shards = parse_flag("--shards", &next(&mut i)?)?,
+            "--cache-ttl" => {
+                config.cache_ttl_ms = Some(parse_flag("--cache-ttl", &next(&mut i)?)?);
+            }
             "--conn-window" => config.conn_window = parse_flag("--conn-window", &next(&mut i)?)?,
             "--deadline-ms" => {
                 config.default_deadline_ms = parse_flag("--deadline-ms", &next(&mut i)?)?;
@@ -499,6 +515,8 @@ fn run_loadgen_cmd(args: &[String]) -> Result<String, CliError> {
                 config.deadline_ms = Some(parse_flag("--deadline-ms", &next(&mut i)?)?);
             }
             "--pipeline" => config.pipeline = parse_flag("--pipeline", &next(&mut i)?)?,
+            "--distinct" => config.distinct = true,
+            "--server-stats" => config.include_server_stats = true,
             "--json" => json = true,
             other => return Err(CliError::usage(format!("unknown argument {other:?}"))),
         }
@@ -650,6 +668,18 @@ mod tests {
         let err = run_str(&["loadgen", "--pipeline", "8", "--rps", "10"]).unwrap_err();
         assert_eq!(err.exit_code, 2);
         assert!(err.message.contains("closed loop"));
+        for flag in [
+            "--eval-workers",
+            "--batch-max",
+            "--small-cost",
+            "--cache-ttl",
+        ] {
+            assert_eq!(
+                run_str(&["serve", flag, "many"]).unwrap_err().exit_code,
+                2,
+                "{flag} must parse as a number"
+            );
+        }
     }
 
     #[test]
@@ -668,10 +698,20 @@ mod tests {
             "worst:d=2,n=6",
             "--algo",
             "seq-solve",
+            "--distinct",
+            "--server-stats",
             "--json",
         ])
         .unwrap();
         assert!(out.contains("\"ok\":"), "{out}");
+        assert!(
+            out.contains("\"batch_jobs\":"),
+            "--server-stats embeds the server snapshot: {out}"
+        );
+        assert!(
+            out.contains("\"cached\":0"),
+            "--distinct defeats the cache: {out}"
+        );
         let err = run_str(&["loadgen", "--addr", "127.0.0.1:1", "--duration", "0.2"]).unwrap_err();
         assert_eq!(err.exit_code, 1);
         server.request_shutdown();

@@ -257,9 +257,12 @@ impl CascadeEngine {
             } else {
                 let batch_flag = AtomicBool::new(false);
                 let chain = cancel.child(&batch_flag);
-                let base: Vec<u32> = path.clone();
+                let base: &[u32] = path;
                 let results: Vec<Option<bool>> = broadcast_batch(k, |j| {
-                    let mut p = base.clone();
+                    // One exact-size allocation per task instead of a
+                    // clone that would regrow on push.
+                    let mut p = Vec::with_capacity(base.len() + 1);
+                    p.extend_from_slice(base);
                     p.push(i + j);
                     let r = self.nor(src, &mut p, width - j, chain, leaves);
                     if r == Some(true) {
@@ -332,10 +335,11 @@ impl CascadeEngine {
             } else {
                 let batch_flag = AtomicBool::new(false);
                 let chain = cancel.child(&batch_flag);
-                let base: Vec<u32> = path.clone();
+                let base: &[u32] = path;
                 let (snap_a, snap_b) = (alpha, beta);
                 let results: Vec<Option<Value>> = broadcast_batch(k, |j| {
-                    let mut p = base.clone();
+                    let mut p = Vec::with_capacity(base.len() + 1);
+                    p.extend_from_slice(base);
                     p.push(i + j);
                     let r = self.ab(
                         src,

@@ -93,15 +93,19 @@ impl RoundEngine {
         let start = Instant::now();
         let mut sim = NorSim::new(source);
         let mut stats = RunStats::new(false);
+        // Frontier paths and values live outside the loop so every round
+        // after the first reuses the buffers instead of reallocating.
+        let mut frontier: Vec<(u32, Vec<u32>)> = Vec::new();
+        let mut values: Vec<(u32, Value)> = Vec::new();
         loop {
             if cancel.load(Ordering::Relaxed) {
                 return Err(Cancelled);
             }
-            let frontier = sim.frontier_paths(Policy::Width(self.width));
+            sim.frontier_paths_into(Policy::Width(self.width), &mut frontier);
             if frontier.is_empty() {
                 break;
             }
-            let values = self.evaluate_batch(sim.tree().source(), &frontier);
+            self.evaluate_batch_into(sim.tree().source(), &frontier, &mut values);
             sim.apply_step(&values, &mut stats);
         }
         Ok(EngineResult::from_stats(&stats, start.elapsed()))
@@ -124,15 +128,17 @@ impl RoundEngine {
         let start = Instant::now();
         let mut sim = AlphaBetaSim::new(source, Model::LeafEvaluation);
         let mut stats = RunStats::new(false);
+        let mut frontier: Vec<(u32, Vec<u32>)> = Vec::new();
+        let mut values: Vec<(u32, Value)> = Vec::new();
         loop {
             if cancel.load(Ordering::Relaxed) {
                 return Err(Cancelled);
             }
-            let frontier = sim.frontier_paths(self.width);
+            sim.frontier_paths_into(self.width, &mut frontier);
             if frontier.is_empty() {
                 break;
             }
-            let values = self.evaluate_batch(sim.tree().source(), &frontier);
+            self.evaluate_batch_into(sim.tree().source(), &frontier, &mut values);
             sim.apply_step(&values, &mut stats);
         }
         Ok(EngineResult::from_stats(&stats, start.elapsed()))
@@ -145,43 +151,52 @@ impl RoundEngine {
         let start = Instant::now();
         let mut sim = ExpansionSim::new(source);
         let mut stats = RunStats::new(false);
+        let mut frontier: Vec<(u32, Vec<u32>)> = Vec::new();
+        let mut kinds: Vec<(u32, NodeKind)> = Vec::new();
         loop {
-            let frontier = sim.frontier_paths(self.width);
+            sim.frontier_paths_into(self.width, &mut frontier);
             if frontier.is_empty() {
                 break;
             }
-            let kinds: Vec<(u32, NodeKind)> = if frontier.len() < self.sequential_cutoff {
-                frontier
-                    .iter()
-                    .map(|(id, path)| (*id, sim.tree().source().expand(path)))
-                    .collect()
+            if frontier.len() < self.sequential_cutoff {
+                kinds.clear();
+                kinds.extend(
+                    frontier
+                        .iter()
+                        .map(|(id, path)| (*id, sim.tree().source().expand(path))),
+                );
             } else {
                 let src = sim.tree().source();
-                frontier
+                kinds = frontier
                     .par_iter()
                     .map(|(id, path)| (*id, src.expand(path)))
-                    .collect()
-            };
+                    .collect();
+            }
             sim.apply_expansions(&kinds, &mut stats);
         }
         EngineResult::from_stats(&stats, start.elapsed())
     }
 
-    fn evaluate_batch<S: TreeSource>(
+    fn evaluate_batch_into<S: TreeSource>(
         &self,
         source: &S,
         frontier: &[(u32, Vec<u32>)],
-    ) -> Vec<(u32, Value)> {
+        out: &mut Vec<(u32, Value)>,
+    ) {
         if frontier.len() < self.sequential_cutoff {
-            frontier
-                .iter()
-                .map(|(id, path)| (*id, source.leaf_value(path)))
-                .collect()
+            out.clear();
+            out.extend(
+                frontier
+                    .iter()
+                    .map(|(id, path)| (*id, source.leaf_value(path))),
+            );
         } else {
-            frontier
+            // The parallel collect builds its own vector; hand it to the
+            // caller's slot so at least the sequential rounds reuse it.
+            *out = frontier
                 .par_iter()
                 .map(|(id, path)| (*id, source.leaf_value(path)))
-                .collect()
+                .collect();
         }
     }
 }

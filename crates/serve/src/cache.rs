@@ -10,18 +10,26 @@
 //! string, so concurrent connections contend on `1/N` of the
 //! keyspace instead of one global lock.  Hit/miss/eviction counters
 //! are aggregated across shards and every stored-or-evicted entry is
-//! accounted for: `admitted == len + evictions` at all times.
+//! accounted for: `admitted == len + evictions + ttl_evictions` at
+//! all times.
+//!
+//! An optional **TTL** bounds staleness: entries older than the
+//! configured duration expire lazily on lookup (no sweeper thread) and
+//! are counted separately from capacity evictions, so the telemetry
+//! distinguishes "pushed out by hotter keys" from "aged out".
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 const NIL: usize = usize::MAX;
 
 struct Slot<K, V> {
     key: K,
     value: V,
+    stamp: Instant,
     prev: usize,
     next: usize,
 }
@@ -36,17 +44,33 @@ pub struct LruCache<K, V> {
     /// Least recently used.
     tail: usize,
     capacity: usize,
+    ttl: Option<Duration>,
+    /// Fixed stamp used when no TTL is set, so the no-TTL path never
+    /// pays a clock read.
+    epoch: Instant,
+    evictions: u64,
+    ttl_evictions: u64,
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
-    /// A cache holding at most `capacity` entries.
+    /// A cache holding at most `capacity` entries, no TTL.
     pub fn new(capacity: usize) -> Self {
+        Self::with_ttl(capacity, None)
+    }
+
+    /// A cache holding at most `capacity` entries whose entries also
+    /// expire `ttl` after insertion (checked lazily on lookup).
+    pub fn with_ttl(capacity: usize, ttl: Option<Duration>) -> Self {
         LruCache {
             map: HashMap::with_capacity(capacity.min(1 << 20)),
             slots: Vec::with_capacity(capacity.min(1 << 20)),
             head: NIL,
             tail: NIL,
             capacity,
+            ttl,
+            epoch: Instant::now(),
+            evictions: 0,
+            ttl_evictions: 0,
         }
     }
 
@@ -63,6 +87,29 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The configured TTL, if any.
+    pub fn ttl(&self) -> Option<Duration> {
+        self.ttl
+    }
+
+    /// Entries displaced by capacity pressure so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Entries expired by TTL so far.
+    pub fn ttl_evictions(&self) -> u64 {
+        self.ttl_evictions
+    }
+
+    fn stamp(&self) -> Instant {
+        if self.ttl.is_some() {
+            Instant::now()
+        } else {
+            self.epoch
+        }
     }
 
     fn unlink(&mut self, i: usize) {
@@ -91,9 +138,42 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
     }
 
+    /// Remove slot `i` entirely, keeping the slab dense by swapping
+    /// the last slot into its place and re-pointing that slot's list
+    /// neighbors and map entry.
+    fn remove_index(&mut self, i: usize) {
+        self.unlink(i);
+        self.map.remove(&self.slots[i].key);
+        let last = self.slots.len() - 1;
+        if i != last {
+            let (prev, next) = (self.slots[last].prev, self.slots[last].next);
+            if prev == NIL {
+                self.head = i;
+            } else {
+                self.slots[prev].next = i;
+            }
+            if next == NIL {
+                self.tail = i;
+            } else {
+                self.slots[next].prev = i;
+            }
+            self.slots.swap(i, last);
+            *self.map.get_mut(&self.slots[i].key).unwrap() = i;
+        }
+        self.slots.pop();
+    }
+
     /// Look up `key`, promoting it to most-recently-used on a hit.
+    /// An entry past its TTL is removed and reported as a miss.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         let i = *self.map.get(key)?;
+        if let Some(ttl) = self.ttl {
+            if self.slots[i].stamp.elapsed() >= ttl {
+                self.remove_index(i);
+                self.ttl_evictions += 1;
+                return None;
+            }
+        }
         if i != self.head {
             self.unlink(i);
             self.push_front(i);
@@ -113,8 +193,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         if self.capacity == 0 {
             return InsertOutcome::Dropped;
         }
+        let stamp = self.stamp();
         if let Some(&i) = self.map.get(&key) {
             self.slots[i].value = value;
+            self.slots[i].stamp = stamp;
             if i != self.head {
                 self.unlink(i);
                 self.push_front(i);
@@ -128,11 +210,14 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             let old_key = std::mem::replace(&mut self.slots[i].key, key.clone());
             self.map.remove(&old_key);
             self.slots[i].value = value;
+            self.slots[i].stamp = stamp;
+            self.evictions += 1;
             (i, InsertOutcome::Evicted(old_key))
         } else {
             self.slots.push(Slot {
                 key: key.clone(),
                 value,
+                stamp,
                 prev: NIL,
                 next: NIL,
             });
@@ -168,12 +253,18 @@ pub struct CacheStats {
     pub admitted: u64,
     /// Entries displaced to make room.
     pub evictions: u64,
+    /// Entries that aged out past the TTL.
+    pub ttl_evictions: u64,
     /// Entries currently stored, summed over shards.
     pub len: usize,
     /// Total configured capacity, summed over shards.
     pub capacity: usize,
+    /// The configured TTL in milliseconds, if any.
+    pub ttl_ms: Option<u64>,
     /// Entries per shard, in shard order.
     pub per_shard_len: Vec<usize>,
+    /// Evictions per shard (capacity + TTL combined), in shard order.
+    pub per_shard_evictions: Vec<u64>,
 }
 
 impl CacheStats {
@@ -188,12 +279,29 @@ impl CacheStats {
             ("misses", Json::from(self.misses)),
             ("admitted", Json::from(self.admitted)),
             ("evictions", Json::from(self.evictions)),
+            ("ttl_evictions", Json::from(self.ttl_evictions)),
+            (
+                "ttl_ms",
+                match self.ttl_ms {
+                    Some(ms) => Json::from(ms),
+                    None => Json::Null,
+                },
+            ),
             (
                 "per_shard_len",
                 Json::Array(
                     self.per_shard_len
                         .iter()
                         .map(|&n| Json::from(n as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "per_shard_evictions",
+                Json::Array(
+                    self.per_shard_evictions
+                        .iter()
+                        .map(|&n| Json::from(n))
                         .collect(),
                 ),
             ),
@@ -211,6 +319,7 @@ impl CacheStats {
 pub struct ShardedCache<K, V> {
     shards: Vec<Mutex<LruCache<K, V>>>,
     mask: u64,
+    ttl: Option<Duration>,
     hits: AtomicU64,
     misses: AtomicU64,
     admitted: AtomicU64,
@@ -219,9 +328,15 @@ pub struct ShardedCache<K, V> {
 
 impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
     /// A cache holding at most ~`capacity` entries across `shards`
-    /// shards.  The shard count is rounded up to a power of two and
-    /// clamped to at least 1.
+    /// shards, no TTL.  The shard count is rounded up to a power of
+    /// two and clamped to at least 1.
     pub fn new(capacity: usize, shards: usize) -> Self {
+        Self::with_ttl(capacity, shards, None)
+    }
+
+    /// [`new`](Self::new), with entries also expiring `ttl` after
+    /// insertion (checked lazily on lookup).
+    pub fn with_ttl(capacity: usize, shards: usize, ttl: Option<Duration>) -> Self {
         let shards = shards.max(1).next_power_of_two();
         let per_shard = if capacity == 0 {
             0
@@ -230,9 +345,10 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
         };
         ShardedCache {
             shards: (0..shards)
-                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .map(|_| Mutex::new(LruCache::with_ttl(per_shard, ttl)))
                 .collect(),
             mask: shards as u64 - 1,
+            ttl,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             admitted: AtomicU64::new(0),
@@ -280,29 +396,34 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
         }
     }
 
-    /// Counters plus per-shard occupancy.  Counters are read after
-    /// occupancy under no global lock, so under concurrent traffic the
-    /// conservation law `admitted == len + evictions` holds exactly
+    /// Counters plus per-shard occupancy and evictions.  Counters are
+    /// read after occupancy under no global lock, so under concurrent
+    /// traffic the conservation law
+    /// `admitted == len + evictions + ttl_evictions` holds exactly
     /// only at quiescence.
     pub fn stats(&self) -> CacheStats {
-        let per_shard_len: Vec<usize> = self
-            .shards
-            .iter()
-            .map(|s| s.lock().unwrap().len())
-            .collect();
-        let capacity = self
-            .shards
-            .iter()
-            .map(|s| s.lock().unwrap().capacity())
-            .sum();
+        let mut per_shard_len = Vec::with_capacity(self.shards.len());
+        let mut per_shard_evictions = Vec::with_capacity(self.shards.len());
+        let mut capacity = 0usize;
+        let mut ttl_evictions = 0u64;
+        for s in &self.shards {
+            let s = s.lock().unwrap();
+            per_shard_len.push(s.len());
+            per_shard_evictions.push(s.evictions() + s.ttl_evictions());
+            capacity += s.capacity();
+            ttl_evictions += s.ttl_evictions();
+        }
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             admitted: self.admitted.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            ttl_evictions,
             len: per_shard_len.iter().sum(),
             capacity,
+            ttl_ms: self.ttl.map(|d| d.as_millis().min(u64::MAX as u128) as u64),
             per_shard_len,
+            per_shard_evictions,
         }
     }
 
@@ -411,6 +532,88 @@ mod tests {
             }
             assert_eq!(c.len(), model.len());
         }
+    }
+
+    #[test]
+    fn ttl_expires_entries_on_lookup() {
+        let mut c = LruCache::with_ttl(4, Some(Duration::from_millis(20)));
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1), "fresh entry hits");
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(c.get(&"a"), None, "aged entry expires");
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.ttl_evictions(), 2);
+        assert_eq!(c.evictions(), 0, "aging is not capacity pressure");
+        assert!(c.is_empty());
+        // The slab stays consistent after expiry removals.
+        c.insert("c", 3);
+        assert_eq!(c.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn ttl_expiry_from_the_middle_keeps_the_slab_consistent() {
+        // Expire the first-inserted slot so the last slot is swapped
+        // into its index; every surviving entry must stay reachable
+        // and the recency list intact.
+        let mut c = LruCache::with_ttl(8, Some(Duration::from_millis(25)));
+        c.insert("old", 0);
+        std::thread::sleep(Duration::from_millis(50));
+        for (i, k) in ["w", "x", "y", "z"].iter().enumerate() {
+            c.insert(*k, i as u32);
+        }
+        assert_eq!(c.get(&"old"), None, "slot 0 expires");
+        for (i, k) in ["w", "x", "y", "z"].iter().enumerate() {
+            assert_eq!(c.get(k), Some(&(i as u32)), "{k} survives the swap");
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.ttl_evictions(), 1);
+        // LRU order still works end to end: fill past capacity and
+        // check the oldest-by-recency entries fall out.
+        for i in 0..8u32 {
+            c.insert(Box::leak(format!("k{i}").into_boxed_str()) as &str, i);
+        }
+        assert_eq!(c.len(), 8);
+        assert!(c.evictions() > 0);
+    }
+
+    #[test]
+    fn refresh_renews_the_ttl_clock() {
+        let mut c = LruCache::with_ttl(4, Some(Duration::from_millis(40)));
+        c.insert("a", 1);
+        std::thread::sleep(Duration::from_millis(25));
+        c.insert("a", 2); // refresh restamps
+        std::thread::sleep(Duration::from_millis(25));
+        // 50ms after first insert but only 25ms after the refresh.
+        assert_eq!(c.get(&"a"), Some(&2));
+    }
+
+    #[test]
+    fn sharded_cache_reports_ttl_telemetry() {
+        let c: ShardedCache<u32, u32> =
+            ShardedCache::with_ttl(16, 4, Some(Duration::from_millis(15)));
+        for k in 0..6u32 {
+            c.insert(k, k);
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        for k in 0..6u32 {
+            assert_eq!(c.get(&k), None, "key {k} aged out");
+        }
+        let s = c.stats();
+        assert_eq!(s.ttl_evictions, 6);
+        assert_eq!(s.misses, 6);
+        assert_eq!(s.len, 0);
+        assert_eq!(s.ttl_ms, Some(15));
+        assert_eq!(s.per_shard_evictions.iter().sum::<u64>(), 6);
+        assert_eq!(
+            s.admitted,
+            s.len as u64 + s.evictions + s.ttl_evictions,
+            "conservation law includes TTL expiry"
+        );
+        let j = s.to_json();
+        use gt_analysis::Json;
+        assert_eq!(j.get("ttl_evictions").and_then(Json::as_u64), Some(6));
+        assert_eq!(j.get("ttl_ms").and_then(Json::as_u64), Some(15));
     }
 
     #[test]

@@ -1,0 +1,489 @@
+//! The shared evaluation executor: a fixed pool of workers fed by
+//! per-algorithm queues with a small/large priority split and
+//! cross-key micro-batching of small jobs.
+//!
+//! Before this module, every cache miss spawned a detached request
+//! thread, so total engine concurrency was `connections × window` —
+//! unbounded in the number of clients.  The executor inverts that:
+//! readers *submit* jobs and return to their socket immediately, and a
+//! fixed set of evaluation workers (the only threads that ever run an
+//! engine) pull work off a shared [`Scheduler`].  Engine concurrency
+//! is exactly `workers`, no matter how many connections are open.
+//!
+//! ## Scheduling discipline
+//!
+//! Jobs are keyed by algorithm and classified by estimated cost
+//! ([`CostClass`]):
+//!
+//! * **Small** jobs — cheap, deterministic specs whose per-job
+//!   dispatch overhead (queue handoff, rayon pool entry, allocator
+//!   traffic, cache/single-flight bookkeeping) rivals their actual
+//!   evaluation cost.  A worker drains up to `batch_max` of them from
+//!   one algorithm's queue in a single dispatch and evaluates the
+//!   whole batch back-to-back on its own thread, amortizing that
+//!   overhead across the batch.  The batch crosses cache keys but
+//!   never priority classes.
+//! * **Large** jobs — everything else.  One job per dispatch, so a
+//!   long engine run occupies exactly one worker and its cooperative
+//!   cancellation flag stays per-flight.
+//!
+//! `pop` serves small work first (across all algorithms, round-robin
+//! between their queues so no algorithm starves another) and falls
+//! back to large jobs only when no small work is queued.  This is the
+//! serving-layer analogue of the paper's processor-per-level machine
+//! (Section 7): many cheap units of work share one processor bank,
+//! while expensive subtree evaluations get dedicated processors.
+//!
+//! The queue is bounded *globally* (`queue_depth`); a submit past the
+//! bound fails fast so the server can shed with `busy` instead of
+//! building an invisible backlog.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// Cost class of one job, decided before it enters the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostClass {
+    /// Cheap enough that dispatch overhead matters: batchable.
+    Small,
+    /// Runs long enough to deserve a dedicated worker.
+    Large,
+}
+
+impl CostClass {
+    /// Classify by estimated cost (e.g. leaf count) against the
+    /// configured threshold.
+    pub fn classify(estimated_cost: u64, small_cost_max: u64) -> CostClass {
+        if estimated_cost <= small_cost_max {
+            CostClass::Small
+        } else {
+            CostClass::Large
+        }
+    }
+}
+
+struct AlgoQueue<J> {
+    small: VecDeque<J>,
+    large: VecDeque<J>,
+}
+
+impl<J> AlgoQueue<J> {
+    fn new() -> Self {
+        AlgoQueue {
+            small: VecDeque::new(),
+            large: VecDeque::new(),
+        }
+    }
+}
+
+/// The executor's queue discipline, free of threads and locks so it
+/// can be property-tested and benchmarked directly.
+///
+/// Holds one [`AlgoQueue`] per algorithm name, each split into a
+/// small (batchable) and a large band.  Total occupancy is bounded by
+/// `capacity` across all queues.
+pub struct Scheduler<J> {
+    queues: Vec<AlgoQueue<J>>,
+    index: HashMap<String, usize>,
+    /// Round-robin cursor over `queues`.
+    cursor: usize,
+    len: usize,
+    capacity: usize,
+}
+
+impl<J> Scheduler<J> {
+    /// A scheduler admitting at most `capacity` queued jobs (clamped
+    /// to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Scheduler {
+            queues: Vec::new(),
+            index: HashMap::new(),
+            cursor: 0,
+            len: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Queued jobs across all algorithms and classes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured global bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueue `job` on `algo`'s queue in its class band; returns the
+    /// job when the global bound is reached.
+    pub fn push(&mut self, algo: &str, class: CostClass, job: J) -> Result<(), J> {
+        if self.len >= self.capacity {
+            return Err(job);
+        }
+        let qi = match self.index.get(algo) {
+            Some(&qi) => qi,
+            None => {
+                let qi = self.queues.len();
+                self.queues.push(AlgoQueue::new());
+                self.index.insert(algo.to_string(), qi);
+                qi
+            }
+        };
+        match class {
+            CostClass::Small => self.queues[qi].small.push_back(job),
+            CostClass::Large => self.queues[qi].large.push_back(job),
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Dequeue the next dispatch: up to `batch_max` small jobs from
+    /// one algorithm's queue, or a single large job when no small
+    /// work is queued anywhere.  Within one `(algorithm, class)` band
+    /// jobs leave in arrival order; the round-robin cursor rotates
+    /// between algorithms so none starves.
+    pub fn pop_batch(&mut self, batch_max: usize) -> Vec<J> {
+        let n = self.queues.len();
+        if n == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        let batch_max = batch_max.max(1);
+        // First pass: small work anywhere wins.
+        for step in 0..n {
+            let qi = (self.cursor + step) % n;
+            if !self.queues[qi].small.is_empty() {
+                self.cursor = (qi + 1) % n;
+                let take = self.queues[qi].small.len().min(batch_max);
+                let batch: Vec<J> = self.queues[qi].small.drain(..take).collect();
+                self.len -= batch.len();
+                return batch;
+            }
+        }
+        // No small work: one large job, dedicated dispatch.
+        for step in 0..n {
+            let qi = (self.cursor + step) % n;
+            if let Some(job) = self.queues[qi].large.pop_front() {
+                self.cursor = (qi + 1) % n;
+                self.len -= 1;
+                return vec![job];
+            }
+        }
+        Vec::new()
+    }
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The global queue bound is reached; shed the request.
+    Full,
+    /// The executor is shutting down.
+    Closed,
+}
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Evaluation worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Global queue bound across all algorithm queues.
+    pub queue_depth: usize,
+    /// Most small jobs evaluated per dispatch.
+    pub batch_max: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            workers: 2,
+            queue_depth: 64,
+            batch_max: 16,
+        }
+    }
+}
+
+struct Core<J> {
+    sched: Scheduler<J>,
+    closed: bool,
+}
+
+struct ExecutorShared<J> {
+    core: Mutex<Core<J>>,
+    cv: Condvar,
+    batch_max: usize,
+}
+
+/// A fixed pool of evaluation workers over a shared [`Scheduler`].
+///
+/// Generic over the job type and the dispatch function so the serving
+/// layer, the unit tests, and the criterion bench can all drive it;
+/// `run` receives each popped batch on a worker thread.
+pub struct Executor<J: Send + 'static> {
+    shared: Arc<ExecutorShared<J>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<J: Send + 'static> Executor<J> {
+    /// Start `config.workers` worker threads dispatching batches to
+    /// `run`.
+    pub fn start<F>(config: ExecutorConfig, run: F) -> Executor<J>
+    where
+        F: Fn(Vec<J>) + Send + Sync + 'static,
+    {
+        let shared = Arc::new(ExecutorShared {
+            core: Mutex::new(Core {
+                sched: Scheduler::new(config.queue_depth),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            batch_max: config.batch_max.max(1),
+        });
+        let run = Arc::new(run);
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let run = Arc::clone(&run);
+                thread::spawn(move || worker_loop(&shared, run.as_ref()))
+            })
+            .collect();
+        Executor {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submit one job; fails fast when the queue is at its bound or
+    /// the executor is closed.
+    pub fn submit(&self, algo: &str, class: CostClass, job: J) -> Result<(), SubmitError> {
+        let mut core = self.shared.core.lock().unwrap();
+        if core.closed {
+            return Err(SubmitError::Closed);
+        }
+        core.sched
+            .push(algo, class, job)
+            .map_err(|_| SubmitError::Full)?;
+        drop(core);
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently queued (not yet popped by a worker).
+    pub fn queued(&self) -> usize {
+        self.shared.core.lock().unwrap().sched.len()
+    }
+
+    /// Close the queue and reap every worker.  Jobs still queued are
+    /// dropped, not run: by shutdown time their waiters have already
+    /// been answered (drained windows or expired deadlines), so
+    /// running them would only delay the exit.
+    pub fn shutdown(&self) {
+        {
+            let mut core = self.shared.core.lock().unwrap();
+            core.closed = true;
+        }
+        self.shared.cv.notify_all();
+        let handles: Vec<JoinHandle<()>> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop<J, F>(shared: &ExecutorShared<J>, run: &F)
+where
+    F: Fn(Vec<J>),
+{
+    loop {
+        let batch = {
+            let mut core = shared.core.lock().unwrap();
+            loop {
+                if core.closed {
+                    return;
+                }
+                if !core.sched.is_empty() {
+                    break core.sched.pop_batch(shared.batch_max);
+                }
+                core = shared.cv.wait(core).unwrap();
+            }
+        };
+        if !batch.is_empty() {
+            run(batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn classify_splits_on_the_threshold() {
+        assert_eq!(CostClass::classify(100, 100), CostClass::Small);
+        assert_eq!(CostClass::classify(101, 100), CostClass::Large);
+        assert_eq!(CostClass::classify(0, 0), CostClass::Small);
+    }
+
+    #[test]
+    fn scheduler_is_fifo_within_a_band() {
+        let mut s = Scheduler::new(16);
+        for i in 0..5 {
+            s.push("a", CostClass::Small, i).unwrap();
+        }
+        assert_eq!(s.pop_batch(16), vec![0, 1, 2, 3, 4]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn scheduler_batches_at_most_batch_max() {
+        let mut s = Scheduler::new(64);
+        for i in 0..10 {
+            s.push("a", CostClass::Small, i).unwrap();
+        }
+        assert_eq!(s.pop_batch(4), vec![0, 1, 2, 3]);
+        assert_eq!(s.pop_batch(4), vec![4, 5, 6, 7]);
+        assert_eq!(s.pop_batch(4), vec![8, 9]);
+    }
+
+    #[test]
+    fn small_jobs_preempt_large_ones_across_algorithms() {
+        let mut s = Scheduler::new(16);
+        s.push("big", CostClass::Large, 100).unwrap();
+        s.push("tiny", CostClass::Small, 1).unwrap();
+        s.push("tiny", CostClass::Small, 2).unwrap();
+        // Small band drains first even though the large job arrived
+        // earlier on a different queue.
+        assert_eq!(s.pop_batch(8), vec![1, 2]);
+        assert_eq!(s.pop_batch(8), vec![100]);
+    }
+
+    #[test]
+    fn large_jobs_pop_one_at_a_time() {
+        let mut s = Scheduler::new(16);
+        s.push("a", CostClass::Large, 1).unwrap();
+        s.push("a", CostClass::Large, 2).unwrap();
+        assert_eq!(s.pop_batch(8), vec![1]);
+        assert_eq!(s.pop_batch(8), vec![2]);
+    }
+
+    #[test]
+    fn round_robin_rotates_between_algorithm_queues() {
+        let mut s = Scheduler::new(64);
+        for i in 0..3 {
+            s.push("a", CostClass::Small, 10 + i).unwrap();
+            s.push("b", CostClass::Small, 20 + i).unwrap();
+        }
+        // Alternating dispatches: neither algorithm starves.
+        assert_eq!(s.pop_batch(2), vec![10, 11]);
+        assert_eq!(s.pop_batch(2), vec![20, 21]);
+        assert_eq!(s.pop_batch(2), vec![12]);
+        assert_eq!(s.pop_batch(2), vec![22]);
+    }
+
+    #[test]
+    fn capacity_bounds_the_whole_scheduler() {
+        let mut s = Scheduler::new(2);
+        s.push("a", CostClass::Small, 1).unwrap();
+        s.push("b", CostClass::Large, 2).unwrap();
+        assert_eq!(s.push("c", CostClass::Small, 3), Err(3));
+        let _ = s.pop_batch(8);
+        assert!(s.push("c", CostClass::Small, 3).is_ok());
+    }
+
+    #[test]
+    fn executor_runs_every_submitted_job() {
+        let total = Arc::new(AtomicUsize::new(0));
+        let batches = Arc::new(AtomicUsize::new(0));
+        let exec: Executor<usize> = Executor::start(
+            ExecutorConfig {
+                workers: 3,
+                queue_depth: 256,
+                batch_max: 8,
+            },
+            {
+                let total = Arc::clone(&total);
+                let batches = Arc::clone(&batches);
+                move |batch| {
+                    batches.fetch_add(1, Ordering::SeqCst);
+                    total.fetch_add(batch.iter().sum::<usize>(), Ordering::SeqCst);
+                }
+            },
+        );
+        let mut want = 0usize;
+        for i in 1..=100usize {
+            let class = if i % 10 == 0 {
+                CostClass::Large
+            } else {
+                CostClass::Small
+            };
+            // Submit with retry: workers drain concurrently.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                match exec.submit("algo", class, i) {
+                    Ok(()) => break,
+                    Err(SubmitError::Full) if Instant::now() < deadline => {
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => panic!("submit failed: {e:?}"),
+                }
+            }
+            want += i;
+        }
+        // Wait for the queue to drain, then shut down.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while total.load(Ordering::SeqCst) < want && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(1));
+        }
+        exec.shutdown();
+        assert_eq!(total.load(Ordering::SeqCst), want);
+        assert!(
+            batches.load(Ordering::SeqCst) >= 10,
+            "large jobs alone force ≥10 dispatches"
+        );
+        assert_eq!(
+            exec.submit("algo", CostClass::Small, 1),
+            Err(SubmitError::Closed)
+        );
+    }
+
+    #[test]
+    fn shed_when_full_then_closed_when_shut_down() {
+        // One worker blocked forever on a sentinel lets the queue fill.
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        let exec: Executor<u32> = Executor::start(
+            ExecutorConfig {
+                workers: 1,
+                queue_depth: 1,
+                batch_max: 1,
+            },
+            move |_| {
+                let _ = gate_rx.lock().unwrap().recv();
+            },
+        );
+        // First job occupies the worker; second fills the queue.
+        exec.submit("a", CostClass::Large, 0).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while exec.queued() > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(1));
+        }
+        exec.submit("a", CostClass::Large, 1).unwrap();
+        assert_eq!(
+            exec.submit("a", CostClass::Large, 2),
+            Err(SubmitError::Full)
+        );
+        drop(gate_tx); // unblock the worker
+        exec.shutdown();
+        assert_eq!(
+            exec.submit("a", CostClass::Large, 3),
+            Err(SubmitError::Closed)
+        );
+    }
+}

@@ -13,11 +13,16 @@
 //!   Requests on one connection may be **pipelined**: the server reads
 //!   continuously, evaluates concurrently (bounded per connection),
 //!   and replies out of order, correlated by the echoed `id`.
-//! * **Bounded queue with load shedding** ([`queue`]) — requests past
-//!   the configured depth are rejected immediately with a 429-style
-//!   `busy` error instead of growing an unbounded backlog.
-//! * **Worker pool with deadlines** ([`server`]) — per-request
-//!   deadlines drive the engines' cooperative cancellation
+//! * **Shared evaluation executor** ([`executor`]) — a fixed pool of
+//!   evaluation workers fed by per-algorithm queues, so total engine
+//!   concurrency is `--eval-workers` no matter how many connections
+//!   are open.  Cheap jobs (estimated cost below a threshold) are
+//!   micro-batched across keys into one dispatch; big jobs get a
+//!   dedicated dispatch; submissions past the bounded depth are shed
+//!   with a 429-style `busy` error instead of growing a backlog.
+//! * **Deadlines without parked threads** ([`server`]) — per-request
+//!   deadlines live in a single reaper thread's min-heap and drive the
+//!   engines' cooperative cancellation
 //!   (`gt_core::engine::Cancelled`); an expired request gets a timely
 //!   `timeout` reply even while its abandoned work winds down.
 //! * **Sharded LRU result cache** ([`cache`]) — keyed by the canonical
@@ -60,6 +65,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod executor;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
@@ -70,9 +76,10 @@ pub mod workload;
 
 pub use cache::{CacheStats, LruCache, ShardedCache};
 pub use client::Client;
+pub use executor::{CostClass, Executor, ExecutorConfig, Scheduler, SubmitError};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use protocol::{ErrorCode, Op, Request, Response};
 pub use server::{Config, Server};
 pub use singleflight::{Flight, FlightResult, FlightTable, Joined};
-pub use workload::{AlgoSpec, EvalOutcome};
+pub use workload::{estimated_cost, AlgoSpec, EvalOutcome};

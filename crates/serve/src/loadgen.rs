@@ -48,6 +48,15 @@ pub struct LoadgenConfig {
     /// 0 or 1 is the classic one-at-a-time loop.  Ignored in open
     /// loop (`rps > 0`).
     pub pipeline: usize,
+    /// Cold-storm mode: append a unique `seed=<k>` parameter to every
+    /// request's spec so each request has a distinct canonical key and
+    /// nothing is served from the cache or coalesced — the measurement
+    /// exercises the cold dispatch path exclusively.
+    pub distinct: bool,
+    /// After the run, fetch the server's `stats` snapshot over a fresh
+    /// connection and embed it in the report (batch-size distribution,
+    /// cache telemetry, ...).
+    pub include_server_stats: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -61,7 +70,24 @@ impl Default for LoadgenConfig {
             algo: "cascade:w=1".into(),
             deadline_ms: None,
             pipeline: 1,
+            distinct: false,
+            include_server_stats: false,
         }
+    }
+}
+
+/// The spec text for one request: verbatim, or — in cold-storm mode —
+/// salted with a per-(connection, sequence) seed so every request has
+/// its own canonical key.
+fn spec_for(config: &LoadgenConfig, conn: usize, seq: u64) -> String {
+    if !config.distinct {
+        return config.spec.clone();
+    }
+    let salt = conn as u64 * 1_000_000 + seq;
+    if config.spec.contains(':') {
+        format!("{},seed={salt}", config.spec)
+    } else {
+        format!("{}:seed={salt}", config.spec)
     }
 }
 
@@ -125,6 +151,9 @@ pub struct LoadgenReport {
     pub elapsed: Duration,
     /// Client-observed latencies of successful replies, microseconds.
     pub latencies_us: Vec<f64>,
+    /// The server's post-run `stats` snapshot, when
+    /// [`LoadgenConfig::include_server_stats`] asked for it.
+    pub server_stats: Option<Json>,
 }
 
 impl LoadgenReport {
@@ -165,6 +194,13 @@ impl LoadgenReport {
             ("latency_p50_us", quantile(0.50)),
             ("latency_p90_us", quantile(0.90)),
             ("latency_p99_us", quantile(0.99)),
+            (
+                "server",
+                match &self.server_stats {
+                    Some(s) => s.clone(),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -202,6 +238,17 @@ impl LoadgenReport {
                 self.latency_quantile(0.99).unwrap_or(0.0),
             );
         }
+        if let Some(stats) = &self.server_stats {
+            let batches = stats.get("batches").and_then(Json::as_u64).unwrap_or(0);
+            let jobs = stats.get("batch_jobs").and_then(Json::as_u64).unwrap_or(0);
+            if batches > 0 {
+                let _ = writeln!(
+                    out,
+                    "server batches {batches} ({jobs} jobs, mean size {:.2})",
+                    jobs as f64 / batches as f64
+                );
+            }
+        }
         out
     }
 }
@@ -229,7 +276,11 @@ fn classify(tally: &mut Tally, reply: &crate::protocol::Response, latency_us: Op
     }
 }
 
-fn connection_worker(config: &LoadgenConfig, per_conn_interval: Option<Duration>) -> Tally {
+fn connection_worker(
+    config: &LoadgenConfig,
+    conn: usize,
+    per_conn_interval: Option<Duration>,
+) -> Tally {
     let mut tally = Tally::default();
     let mut client = match Client::connect(&config.addr) {
         Ok(c) => c,
@@ -252,10 +303,11 @@ fn connection_worker(config: &LoadgenConfig, per_conn_interval: Option<Duration>
                 break;
             }
         }
+        let spec = spec_for(config, conn, i as u64);
         i += 1;
         tally.sent += 1;
         let sent_at = Instant::now();
-        match client.eval(&config.spec, &config.algo, config.deadline_ms) {
+        match client.eval(&spec, &config.algo, config.deadline_ms) {
             Ok(reply) => {
                 let latency_us = sent_at.elapsed().as_secs_f64() * 1e6;
                 classify(&mut tally, &reply, Some(latency_us));
@@ -273,7 +325,7 @@ fn connection_worker(config: &LoadgenConfig, per_conn_interval: Option<Duration>
 /// window, then read-one-send-one until the clock runs out and the
 /// window drains.  Latencies are correlated by sequence-number id
 /// because replies arrive in completion order.
-fn pipelined_worker(config: &LoadgenConfig, window: usize) -> Tally {
+fn pipelined_worker(config: &LoadgenConfig, conn: usize, window: usize) -> Tally {
     let mut tally = Tally::default();
     let mut client = match Client::connect(&config.addr) {
         Ok(c) => c,
@@ -288,11 +340,12 @@ fn pipelined_worker(config: &LoadgenConfig, window: usize) -> Tally {
     let mut send_next =
         |client: &mut Client, in_flight: &mut HashMap<String, Instant>, tally: &mut Tally| {
             let id = seq.to_string();
+            let spec = spec_for(config, conn, seq);
             seq += 1;
             let request = Request {
                 id: Some(id.clone()),
                 op: Op::Eval,
-                spec: Some(config.spec.clone()),
+                spec: Some(spec),
                 algo: Some(config.algo.clone()),
                 deadline_ms: config.deadline_ms,
             };
@@ -347,12 +400,12 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
     let started = Instant::now();
     let tallies: Vec<Tally> = thread::scope(|scope| {
         let handles: Vec<_> = (0..conns)
-            .map(|_| {
+            .map(|conn| {
                 scope.spawn(move || {
                     if per_conn_interval.is_none() && window > 1 {
-                        pipelined_worker(config, window)
+                        pipelined_worker(config, conn, window)
                     } else {
-                        connection_worker(config, per_conn_interval)
+                        connection_worker(config, conn, per_conn_interval)
                     }
                 })
             })
@@ -367,6 +420,14 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
     for t in tallies {
         total.absorb(t);
     }
+    let server_stats = if config.include_server_stats {
+        Client::connect(&config.addr)
+            .ok()
+            .and_then(|mut c| c.stats().ok())
+            .and_then(|reply| reply.body.get("stats").cloned())
+    } else {
+        None
+    };
     LoadgenReport {
         sent: total.sent,
         ok: total.ok,
@@ -380,6 +441,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
         transport_errors: total.transport_errors,
         elapsed,
         latencies_us: total.latencies_us,
+        server_stats,
     }
 }
 
@@ -404,6 +466,7 @@ mod tests {
             algo: "seq-solve".into(),
             deadline_ms: Some(5_000),
             pipeline: 1,
+            ..LoadgenConfig::default()
         });
         assert!(report.sent > 0);
         assert_eq!(report.transport_errors, 0);
@@ -430,6 +493,7 @@ mod tests {
             algo: "seq-solve".into(),
             deadline_ms: Some(5_000),
             pipeline: 1,
+            ..LoadgenConfig::default()
         });
         // 50 rps for 0.4s ≈ 20 requests; allow generous slack for
         // scheduling noise but catch runaway closed-loop behaviour.
@@ -455,6 +519,7 @@ mod tests {
             algo: "seq-solve".into(),
             deadline_ms: Some(5_000),
             pipeline: 8,
+            ..LoadgenConfig::default()
         });
         assert_eq!(report.transport_errors, 0, "report: {}", report.render());
         assert!(report.ok > 0);
@@ -471,6 +536,42 @@ mod tests {
         );
         assert!(report.cached > 0, "report: {}", report.render());
         assert_eq!(report.latencies_us.len() as u64, report.ok);
+        server.request_shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn distinct_mode_defeats_cache_and_coalescing() {
+        let server = Server::start(Config {
+            workers: 2,
+            ..Config::default()
+        })
+        .unwrap();
+        let report = run_loadgen(&LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            conns: 2,
+            duration: Duration::from_millis(300),
+            spec: "crit:d=2,n=4".into(),
+            algo: "seq-solve".into(),
+            deadline_ms: Some(5_000),
+            pipeline: 4,
+            distinct: true,
+            include_server_stats: true,
+            ..LoadgenConfig::default()
+        });
+        assert_eq!(report.transport_errors, 0, "report: {}", report.render());
+        assert!(report.ok > 0);
+        assert_eq!(report.cached, 0, "every key is distinct: no cache hits");
+        assert_eq!(report.coalesced, 0, "no two requests share a key");
+        let stats = report.server_stats.as_ref().expect("server stats embedded");
+        assert_eq!(
+            stats.get("cache_hits").and_then(Json::as_u64),
+            Some(0),
+            "server agrees nothing hit the cache"
+        );
+        assert!(stats.get("batches").and_then(Json::as_u64).unwrap_or(0) > 0);
+        let j = report.to_json();
+        assert!(j.get("server").is_some());
         server.request_shutdown();
         server.join();
     }

@@ -53,6 +53,46 @@ impl LatencyHistogram {
     }
 }
 
+const BATCH_BUCKETS: usize = 12;
+
+/// Lock-free histogram of executor dispatch sizes, in power-of-two
+/// buckets — the cross-key micro-batching telemetry.
+pub struct BatchHistogram {
+    buckets: [AtomicU64; BATCH_BUCKETS],
+    batches: AtomicU64,
+    jobs: AtomicU64,
+}
+
+impl Default for BatchHistogram {
+    fn default() -> Self {
+        BatchHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            batches: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+        }
+    }
+}
+
+impl BatchHistogram {
+    fn bucket_index(size: usize) -> usize {
+        (63 - (size.max(1) as u64).leading_zeros() as usize).min(BATCH_BUCKETS - 1)
+    }
+
+    /// Record one dispatch of `size` jobs.
+    pub fn record(&self, size: usize) {
+        self.buckets[Self::bucket_index(size)].fetch_add(1, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.jobs.fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
 /// The registry: one instance per server, shared by every thread.
 #[derive(Default)]
 pub struct Metrics {
@@ -83,6 +123,8 @@ pub struct Metrics {
     pub connections: AtomicU64,
     /// End-to-end server-side latency of eval requests.
     pub latency: LatencyHistogram,
+    /// Executor dispatch sizes (micro-batching telemetry).
+    pub batches: BatchHistogram,
 }
 
 impl Metrics {
@@ -105,6 +147,9 @@ impl Metrics {
             latency_count: self.latency.count.load(Ordering::Relaxed),
             latency_sum_us: self.latency.sum_us.load(Ordering::Relaxed),
             latency_buckets: self.latency.snapshot(),
+            batches: self.batches.batches.load(Ordering::Relaxed),
+            batch_jobs: self.batches.jobs.load(Ordering::Relaxed),
+            batch_size_buckets: self.batches.snapshot(),
         }
     }
 }
@@ -142,6 +187,14 @@ pub struct MetricsSnapshot {
     pub latency_sum_us: u64,
     /// Power-of-two bucket counts (bucket `i` covers `[2^i, 2^{i+1})` µs).
     pub latency_buckets: Vec<u64>,
+    /// Executor dispatches performed.
+    pub batches: u64,
+    /// Jobs carried by those dispatches (`batch_jobs / batches` is the
+    /// mean micro-batch size).
+    pub batch_jobs: u64,
+    /// Power-of-two dispatch-size bucket counts (bucket `i` covers
+    /// batches of `[2^i, 2^{i+1})` jobs).
+    pub batch_size_buckets: Vec<u64>,
 }
 
 impl MetricsSnapshot {
@@ -210,6 +263,25 @@ impl MetricsSnapshot {
                         .collect(),
                 ),
             ),
+            ("batches", Json::from(self.batches)),
+            ("batch_jobs", Json::from(self.batch_jobs)),
+            (
+                "batch_mean_size",
+                if self.batches == 0 {
+                    Json::Null
+                } else {
+                    Json::from(self.batch_jobs as f64 / self.batches as f64)
+                },
+            ),
+            (
+                "batch_size_buckets",
+                Json::Array(
+                    self.batch_size_buckets
+                        .iter()
+                        .map(|&c| Json::from(c))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -229,6 +301,15 @@ impl MetricsSnapshot {
         let _ = writeln!(out, "coalesced   : {}", self.coalesced_hits);
         let _ = writeln!(out, "evaluated   : {}", self.evaluated);
         let _ = writeln!(out, "connections : {}", self.connections);
+        if self.batches > 0 {
+            let _ = writeln!(
+                out,
+                "batches     : {} ({} jobs, mean size {:.2})",
+                self.batches,
+                self.batch_jobs,
+                self.batch_jobs as f64 / self.batches as f64,
+            );
+        }
         if self.latency_count > 0 {
             let _ = writeln!(
                 out,
@@ -294,6 +375,25 @@ mod tests {
         assert_eq!(s.latency_quantile_us(0.5), None);
         assert_eq!(s.latency_mean_us(), None);
         assert_eq!(s.to_json().get("latency_p50_us"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn batch_histogram_tracks_dispatches() {
+        let m = Metrics::default();
+        m.batches.record(1);
+        m.batches.record(8);
+        m.batches.record(8);
+        m.batches.record(64);
+        let s = m.snapshot();
+        assert_eq!(s.batches, 4);
+        assert_eq!(s.batch_jobs, 81);
+        assert_eq!(s.batch_size_buckets[BatchHistogram::bucket_index(1)], 1);
+        assert_eq!(s.batch_size_buckets[BatchHistogram::bucket_index(8)], 2);
+        assert_eq!(s.batch_size_buckets[BatchHistogram::bucket_index(64)], 1);
+        let j = s.to_json();
+        assert_eq!(j.get("batches").and_then(Json::as_u64), Some(4));
+        assert_eq!(j.get("batch_jobs").and_then(Json::as_u64), Some(81));
+        assert!(s.render_ascii().contains("batches     : 4"));
     }
 
     #[test]

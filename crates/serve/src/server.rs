@@ -1,41 +1,48 @@
 //! The evaluation server: accept loop, pipelined connection handlers,
-//! worker pool, sharded result cache, single-flight coalescing, and
-//! graceful shutdown.
+//! the shared evaluation executor, sharded result cache, single-flight
+//! coalescing, and graceful shutdown.
 //!
 //! ## Thread structure
 //!
 //! ```text
 //! accept thread ──spawns──▶ one reader thread per connection
-//! reader threads ──spawn (≤ conn_window each)──▶ request threads
-//! request threads ──bounded queue──▶ worker pool (shared receiver)
-//! workers ──publish into the request's Flight──▶ every parked waiter
+//! reader threads ──submit misses──▶ executor (per-algorithm queues)
+//! eval workers (fixed pool) ──pop batches, evaluate, publish──▶ Flight
+//! publish ──drained waiters──▶ replies written, windows released
+//! deadline reaper ──expired waiters──▶ 408 replies, flight detach
 //! ```
 //!
 //! Each connection is **pipelined**: its reader thread keeps reading
-//! NDJSON lines, answers control ops and cache hits inline, and hands
-//! every miss to a detached request thread (at most `conn_window` of
-//! them in flight per connection).  Replies go out in completion
+//! NDJSON lines, answers control ops and cache hits inline, and
+//! *submits* every miss to the shared executor (at most `conn_window`
+//! of them outstanding per connection) without spawning anything.
+//! Total engine concurrency is the executor's fixed worker count, no
+//! matter how many connections are open.  Replies go out in completion
 //! order through a shared writer, correlated by the echoed `id`; a
 //! client that keeps one request outstanding observes the old strict
 //! request/reply alternation unchanged.
 //!
-//! ## Single flight
+//! ## Single flight, asynchronously
 //!
 //! A miss first joins the [`FlightTable`].  The first request for a
-//! canonical key (the *leader*) pushes the job onto the bounded queue;
-//! every concurrent duplicate parks on the leader's [`Flight`] and is
-//! counted as a `coalesced_hit` — one engine run, N replies.  The
-//! worker inserts the outcome into the cache *before* publishing, so
-//! by the time any waiter (or any later request) looks, the result is
-//! already cached.
+//! canonical key (the *leader*) submits the job; every concurrent
+//! duplicate attaches its [`Pending`] reply record to the leader's
+//! [`Flight`] and is counted as a `coalesced_hit` — one engine run, N
+//! replies.  No thread ever parks on a flight: the worker that
+//! publishes a result receives the drained waiter list and writes
+//! every reply itself.  The worker inserts the outcome into the cache
+//! *before* publishing, so by the time any waiter (or any later
+//! request) looks, the result is already cached.
 //!
 //! ## Deadlines
 //!
-//! Every eval waits on its flight only until its own deadline
-//! (request `deadline_ms` or the server default), then answers
-//! `timeout` right away.  Abandoning a flight only cancels the engine
-//! run when the abandoner was the *last* waiter; otherwise the run
-//! keeps going for the others.
+//! Every dispatched request is registered with the **deadline
+//! reaper**, a single thread holding a min-heap of expiry times.  When
+//! a deadline fires first, the reaper claims the pending reply,
+//! answers `timeout`, and detaches it from its flight; detaching the
+//! last waiter cancels the engine run cooperatively.  Publication and
+//! expiry race on an atomic claim, so every request is answered
+//! exactly once.
 //!
 //! ## Shutdown
 //!
@@ -44,21 +51,24 @@
 //! accepting, readers stop reading, each connection drains its
 //! in-flight window (bounded by the requests' own deadlines), new
 //! evals are refused with `draining`, and [`Server::join`] reaps
-//! every thread before handing back the final metrics snapshot.
+//! every thread — readers, then executor workers, then the reaper —
+//! before handing back the final metrics snapshot.
 
 use crate::cache::ShardedCache;
+use crate::executor::{CostClass, Executor, ExecutorConfig, SubmitError};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::protocol::{error_line, ok_line, ErrorCode, Op, Request, PROTOCOL_VERSION};
-use crate::queue::{bounded, BoundedSender, PushError};
 use crate::singleflight::{Flight, FlightResult, FlightTable, Joined};
-use crate::workload::{evaluate, validate, AlgoSpec, EvalError, EvalOutcome, ValidatedRequest};
+use crate::workload::{
+    estimated_cost, evaluate, validate, AlgoSpec, EvalError, EvalOutcome, ValidatedRequest,
+};
 use gt_analysis::Json;
 use gt_tree::GenSpec;
+use std::collections::BinaryHeap;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::Receiver;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -77,14 +87,24 @@ const DEFAULT_ALGO: &str = "cascade:w=1";
 pub struct Config {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Worker threads evaluating requests.
+    /// Evaluation worker threads — the *total* engine concurrency,
+    /// independent of connection count (`--eval-workers`).
     pub workers: usize,
-    /// Bounded queue depth; pushes beyond it are shed with `busy`.
+    /// Bounded queue depth across all algorithm queues; submits
+    /// beyond it are shed with `busy`.
     pub queue_depth: usize,
+    /// Most small jobs evaluated in one executor dispatch.
+    pub batch_max: usize,
+    /// Estimated-cost threshold (leaves) at or below which a job is
+    /// batchable small work.
+    pub small_cost_max: u64,
     /// Result-cache entries across all shards (0 disables caching).
     pub cache_capacity: usize,
     /// Cache shards (rounded up to a power of two).
     pub cache_shards: usize,
+    /// Cached results older than this many milliseconds expire on
+    /// lookup; `None` keeps entries until LRU eviction.
+    pub cache_ttl_ms: Option<u64>,
     /// Concurrent evals allowed per connection (pipelining window);
     /// requests past it wait in the reader until a slot frees.
     pub conn_window: usize,
@@ -98,8 +118,11 @@ impl Default for Config {
             addr: "127.0.0.1:0".into(),
             workers: 2,
             queue_depth: 64,
+            batch_max: 16,
+            small_cost_max: 4096,
             cache_capacity: 256,
             cache_shards: 8,
+            cache_ttl_ms: None,
             conn_window: 32,
             default_deadline_ms: 10_000,
         }
@@ -112,7 +135,7 @@ struct Job {
     spec: GenSpec,
     algo: AlgoSpec,
     cache_key: String,
-    flight: Arc<Flight>,
+    flight: Arc<Flight<Pending>>,
 }
 
 type ResultCache = Arc<ShardedCache<String, EvalOutcome>>;
@@ -122,11 +145,13 @@ type ResultCache = Arc<ShardedCache<String, EvalOutcome>>;
 struct Shared {
     metrics: Arc<Metrics>,
     cache: ResultCache,
-    flights: Arc<FlightTable>,
-    job_tx: BoundedSender<Job>,
+    flights: Arc<FlightTable<Pending>>,
+    executor: Arc<Executor<Job>>,
+    reaper: Arc<Reaper>,
     shutdown: Arc<AtomicBool>,
     default_deadline_ms: u64,
     conn_window: usize,
+    small_cost_max: u64,
 }
 
 /// Counts a connection's in-flight evals; the reader blocks past the
@@ -166,6 +191,172 @@ impl Window {
     }
 }
 
+/// One dispatched request awaiting its reply: everything needed to
+/// answer the client from whichever thread settles it first (an eval
+/// worker publishing, or the deadline reaper expiring it).  The
+/// `answered` claim guarantees exactly one reply per request.
+struct Pending {
+    answered: AtomicBool,
+    id: Option<String>,
+    coalesced: bool,
+    start: Instant,
+    writer: Arc<Mutex<TcpStream>>,
+    window: Arc<Window>,
+}
+
+impl Pending {
+    /// Claim the right to answer; false means someone else already
+    /// replied.
+    fn try_claim(&self) -> bool {
+        !self.answered.swap(true, Ordering::SeqCst)
+    }
+}
+
+/// Answer a drained waiter with a flight result.  Safe to call from
+/// any thread; the claim makes duplicate calls no-ops.
+fn answer_pending(p: &Pending, m: &Metrics, result: &FlightResult) {
+    if !p.try_claim() {
+        return;
+    }
+    let reply = match result {
+        FlightResult::Done(outcome) => ok_eval_line(&p.id, outcome, false, p.coalesced, p.start, m),
+        FlightResult::Cancelled => {
+            // Only reachable through drain races; waiters normally
+            // expire (and count their own timeout) before a run is
+            // cancelled.
+            m.timeout.fetch_add(1, Ordering::Relaxed);
+            error_line(&p.id, ErrorCode::Timeout, "evaluation cancelled")
+        }
+        FlightResult::Failed(e) => {
+            m.internal.fetch_add(1, Ordering::Relaxed);
+            error_line(&p.id, ErrorCode::Internal, e)
+        }
+        FlightResult::Busy => {
+            m.shed.fetch_add(1, Ordering::Relaxed);
+            error_line(&p.id, ErrorCode::Busy, "queue full")
+        }
+    };
+    let _ = write_reply(&p.writer, &reply);
+    p.window.release();
+}
+
+/// One registered deadline.  Weak handles keep the reaper from
+/// extending any request's lifetime: an entry whose pending reply was
+/// already answered (and dropped) upgrades to nothing and is skipped.
+struct ReaperEntry {
+    deadline: Instant,
+    seq: u64,
+    pending: Weak<Pending>,
+    flight: Weak<Flight<Pending>>,
+}
+
+impl PartialEq for ReaperEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for ReaperEntry {}
+impl PartialOrd for ReaperEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ReaperEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct ReaperState {
+    heap: BinaryHeap<ReaperEntry>,
+    seq: u64,
+    stopped: bool,
+}
+
+/// The deadline reaper: one thread, a min-heap of expiry times.
+/// Replaces the old model where every dispatched request parked its
+/// own thread in a timed wait.
+struct Reaper {
+    state: Mutex<ReaperState>,
+    cv: Condvar,
+}
+
+impl Reaper {
+    fn new() -> Reaper {
+        Reaper {
+            state: Mutex::new(ReaperState {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                stopped: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn register(&self, deadline: Instant, pending: &Arc<Pending>, flight: &Arc<Flight<Pending>>) {
+        {
+            let mut st = self.state.lock().unwrap();
+            st.seq += 1;
+            let seq = st.seq;
+            st.heap.push(ReaperEntry {
+                deadline,
+                seq,
+                pending: Arc::downgrade(pending),
+                flight: Arc::downgrade(flight),
+            });
+        }
+        // The new entry may be the earliest; re-arm the timer.
+        self.cv.notify_one();
+    }
+
+    fn stop(&self) {
+        self.state.lock().unwrap().stopped = true;
+        self.cv.notify_all();
+    }
+
+    fn run(&self, metrics: &Metrics) {
+        loop {
+            let due = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if st.stopped {
+                        return;
+                    }
+                    let now = Instant::now();
+                    match st.heap.peek() {
+                        Some(e) if e.deadline <= now => break st.heap.pop().unwrap(),
+                        Some(e) => {
+                            let wait = e.deadline - now;
+                            (st, _) = self.cv.wait_timeout(st, wait).unwrap();
+                        }
+                        None => st = self.cv.wait(st).unwrap(),
+                    }
+                }
+            };
+            let Some(p) = due.pending.upgrade() else {
+                continue; // already answered and dropped
+            };
+            if !p.try_claim() {
+                continue; // publication won the race
+            }
+            metrics.timeout.fetch_add(1, Ordering::Relaxed);
+            let _ = write_reply(
+                &p.writer,
+                &error_line(&p.id, ErrorCode::Timeout, "deadline exceeded"),
+            );
+            p.window.release();
+            // Leaving the flight cancels the run if nobody else waits.
+            if let Some(f) = due.flight.upgrade() {
+                f.detach(&p);
+            }
+        }
+    }
+}
+
 /// A running evaluation server.
 pub struct Server {
     local_addr: SocketAddr,
@@ -173,9 +364,9 @@ pub struct Server {
     metrics: Arc<Metrics>,
     accept_handle: JoinHandle<()>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    workers: Vec<JoinHandle<()>>,
-    // Dropped in `join` so idle workers see the channel close.
-    job_tx: Option<BoundedSender<Job>>,
+    executor: Arc<Executor<Job>>,
+    reaper: Arc<Reaper>,
+    reaper_handle: JoinHandle<()>,
 }
 
 impl Server {
@@ -187,32 +378,44 @@ impl Server {
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(Metrics::default());
-        let cache: ResultCache = Arc::new(ShardedCache::new(
+        let cache: ResultCache = Arc::new(ShardedCache::with_ttl(
             config.cache_capacity,
             config.cache_shards,
+            config.cache_ttl_ms.map(Duration::from_millis),
         ));
-        let flights = Arc::new(FlightTable::new());
-        let (job_tx, job_rx) = bounded::<Job>(config.queue_depth);
-        let job_rx = Arc::new(Mutex::new(job_rx));
+        let flights: Arc<FlightTable<Pending>> = Arc::new(FlightTable::new());
 
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
-                let rx = Arc::clone(&job_rx);
-                let cache = Arc::clone(&cache);
-                let flights = Arc::clone(&flights);
-                let metrics = Arc::clone(&metrics);
-                thread::spawn(move || worker_loop(&rx, &cache, &flights, &metrics))
-            })
-            .collect();
+        let reaper = Arc::new(Reaper::new());
+        let reaper_handle = {
+            let reaper = Arc::clone(&reaper);
+            let metrics = Arc::clone(&metrics);
+            thread::spawn(move || reaper.run(&metrics))
+        };
+
+        let executor = {
+            let cache = Arc::clone(&cache);
+            let flights = Arc::clone(&flights);
+            let metrics = Arc::clone(&metrics);
+            Arc::new(Executor::start(
+                ExecutorConfig {
+                    workers: config.workers,
+                    queue_depth: config.queue_depth,
+                    batch_max: config.batch_max,
+                },
+                move |batch: Vec<Job>| run_batch(batch, &cache, &flights, &metrics),
+            ))
+        };
 
         let shared = Shared {
             metrics: Arc::clone(&metrics),
             cache,
             flights,
-            job_tx: job_tx.clone(),
+            executor: Arc::clone(&executor),
+            reaper: Arc::clone(&reaper),
             shutdown: Arc::clone(&shutdown),
             default_deadline_ms: config.default_deadline_ms,
             conn_window: config.conn_window,
+            small_cost_max: config.small_cost_max,
         };
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_handle = {
@@ -227,8 +430,9 @@ impl Server {
             metrics,
             accept_handle,
             conns,
-            workers,
-            job_tx: Some(job_tx),
+            executor,
+            reaper,
+            reaper_handle,
         })
     }
 
@@ -255,20 +459,57 @@ impl Server {
     /// Drain and reap every thread; returns the final metrics.  Call
     /// [`Server::request_shutdown`] first (or let a client's `shutdown`
     /// request do it) or this blocks until one arrives.
-    pub fn join(mut self) -> MetricsSnapshot {
+    pub fn join(self) -> MetricsSnapshot {
         let _ = self.accept_handle.join();
         // The accept loop has exited, so the connection list is final.
-        // Each connection drains its window before its thread exits.
+        // Each connection drains its window before its thread exits;
+        // the workers and the reaper are still live here, so every
+        // outstanding reply is settled by result or by deadline.
         let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conns.lock().unwrap());
         for h in handles {
             let _ = h.join();
         }
-        // Close the queue: every connection-side sender is gone now.
-        drop(self.job_tx.take());
-        for h in self.workers.drain(..) {
-            let _ = h.join();
-        }
+        self.executor.shutdown();
+        self.reaper.stop();
+        let _ = self.reaper_handle.join();
         self.metrics.snapshot()
+    }
+}
+
+/// Evaluate one executor batch: per-job cancellation check, engine
+/// run, cache insert, publish, and every drained waiter answered.
+/// Cancelling one job's flight never touches its batchmates — each
+/// job carries its own flight and flag.
+fn run_batch(
+    batch: Vec<Job>,
+    cache: &ResultCache,
+    flights: &FlightTable<Pending>,
+    metrics: &Metrics,
+) {
+    metrics.batches.record(batch.len());
+    for job in batch {
+        // Every waiter already gave up (last one out set the flag):
+        // skip the run, retire the flight.
+        if job.flight.cancel.load(Ordering::Relaxed) {
+            for w in flights.publish(&job.cache_key, &job.flight, FlightResult::Cancelled) {
+                answer_pending(&w, metrics, &FlightResult::Cancelled);
+            }
+            continue;
+        }
+        let result = match evaluate(&job.spec, &job.algo, &job.flight.cancel) {
+            Ok(outcome) => {
+                metrics.evaluated.fetch_add(1, Ordering::Relaxed);
+                // Insert before publishing: once any waiter observes
+                // the result, the cache must already have it.
+                cache.insert(job.cache_key.clone(), outcome);
+                FlightResult::Done(outcome)
+            }
+            Err(EvalError::Cancelled) => FlightResult::Cancelled,
+            Err(EvalError::Bad(e)) => FlightResult::Failed(e),
+        };
+        for w in flights.publish(&job.cache_key, &job.flight, result.clone()) {
+            answer_pending(&w, metrics, &result);
+        }
     }
 }
 
@@ -350,8 +591,9 @@ enum Handled {
     /// Reply computed on the reader thread (control ops, cache hits,
     /// and every error that needs no engine run).
     Inline(String),
-    /// A cache miss that must go through the flight table; runs on a
-    /// request thread so the reader can keep reading.
+    /// A cache miss that must go through the flight table and the
+    /// executor; answered asynchronously when its flight publishes
+    /// or its deadline fires.
     Dispatch {
         id: Option<String>,
         validated: ValidatedRequest,
@@ -391,17 +633,7 @@ fn connection_loop(stream: TcpStream, shared: &Shared) {
                 validated,
                 deadline,
                 start,
-            } => {
-                window.acquire(shared.conn_window);
-                let shared = shared.clone();
-                let writer = Arc::clone(&writer);
-                let window = Arc::clone(&window);
-                thread::spawn(move || {
-                    let reply = eval_via_flight(&shared, &id, validated, deadline, start);
-                    let _ = write_reply(&writer, &reply);
-                    window.release();
-                });
-            }
+            } => dispatch_eval(shared, &writer, &window, id, validated, deadline, start),
         }
     }
     // Every dispatched request has written its reply once the window
@@ -481,72 +713,85 @@ fn process_eval(request: &Request, shared: &Shared) -> Handled {
     }
 }
 
-/// Run one cache miss through the flight table: lead (enqueue the job)
-/// or follow (coalesce), then wait out the result or the deadline.
-fn eval_via_flight(
+/// Run one cache miss through the flight table on the reader thread:
+/// lead (submit the job to the executor) or follow (coalesce), attach
+/// the pending reply, and hand the deadline to the reaper.  Never
+/// blocks beyond the connection window.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_eval(
     shared: &Shared,
-    id: &Option<String>,
+    writer: &Arc<Mutex<TcpStream>>,
+    window: &Arc<Window>,
+    id: Option<String>,
     validated: ValidatedRequest,
     deadline: Instant,
     start: Instant,
-) -> String {
+) {
+    window.acquire(shared.conn_window);
     let m = &shared.metrics;
     let key = validated.cache_key.clone();
-    let mut coalesced = false;
-    let flight = match shared.flights.join(&key) {
+    let (pending, flight) = match shared.flights.join(&key) {
         Joined::Leader(flight) => {
+            let pending = Arc::new(Pending {
+                answered: AtomicBool::new(false),
+                id,
+                coalesced: false,
+                start,
+                writer: Arc::clone(writer),
+                window: Arc::clone(window),
+            });
+            // Fresh flight: nothing published yet, attach always parks.
+            let _ = flight.attach(&pending);
+            let class = CostClass::classify(
+                estimated_cost(&validated.spec, &validated.algo),
+                shared.small_cost_max,
+            );
+            let algo_name = validated.algo.name.clone();
             let job = Job {
                 spec: validated.spec,
                 algo: validated.algo,
                 cache_key: key.clone(),
                 flight: Arc::clone(&flight),
             };
-            match shared.job_tx.try_push(job) {
+            match shared.executor.submit(&algo_name, class, job) {
                 Ok(()) => {}
-                Err(PushError::Full(_)) => {
+                Err(SubmitError::Full) => {
                     // Publish so any follower that raced in is also
                     // answered instead of hanging.
-                    shared.flights.publish(&key, &flight, FlightResult::Busy);
+                    for w in shared.flights.publish(&key, &flight, FlightResult::Busy) {
+                        answer_pending(&w, m, &FlightResult::Busy);
+                    }
                 }
-                Err(PushError::Closed(_)) => {
-                    shared.flights.publish(
-                        &key,
-                        &flight,
-                        FlightResult::Failed("worker pool is gone".into()),
-                    );
+                Err(SubmitError::Closed) => {
+                    let result = FlightResult::Failed("worker pool is gone".into());
+                    for w in shared.flights.publish(&key, &flight, result.clone()) {
+                        answer_pending(&w, m, &result);
+                    }
                 }
             }
-            flight
+            (pending, flight)
         }
         Joined::Follower(flight) => {
             m.coalesced_hits.fetch_add(1, Ordering::Relaxed);
-            coalesced = true;
-            flight
+            let pending = Arc::new(Pending {
+                answered: AtomicBool::new(false),
+                id,
+                coalesced: true,
+                start,
+                writer: Arc::clone(writer),
+                window: Arc::clone(window),
+            });
+            if let Some(result) = flight.attach(&pending) {
+                // The flight completed between join and attach.
+                answer_pending(&pending, m, &result);
+            }
+            (pending, flight)
         }
     };
-    match flight.wait(deadline) {
-        Some(FlightResult::Done(outcome)) => ok_eval_line(id, &outcome, false, coalesced, start, m),
-        Some(FlightResult::Cancelled) => {
-            // Only reachable through drain races; waiters normally
-            // leave (and count their own timeout) before a run is
-            // cancelled.
-            m.timeout.fetch_add(1, Ordering::Relaxed);
-            error_line(id, ErrorCode::Timeout, "evaluation cancelled")
-        }
-        Some(FlightResult::Failed(e)) => {
-            m.internal.fetch_add(1, Ordering::Relaxed);
-            error_line(id, ErrorCode::Internal, &e)
-        }
-        Some(FlightResult::Busy) => {
-            m.shed.fetch_add(1, Ordering::Relaxed);
-            error_line(id, ErrorCode::Busy, "queue full")
-        }
-        None => {
-            // Deadline passed first.  Leaving the flight already
-            // cancelled the run if nobody else is waiting.
-            m.timeout.fetch_add(1, Ordering::Relaxed);
-            error_line(id, ErrorCode::Timeout, "deadline exceeded")
-        }
+    // Cheap pre-check only: an answered pending is dropped soon and
+    // its weak entry self-cleans, so a racing answer is harmless.
+    if !pending.answered.load(Ordering::SeqCst) {
+        shared.reaper.register(deadline, &pending, &flight);
     }
 }
 
@@ -572,39 +817,6 @@ fn ok_eval_line(
             ("latency_us", Json::from(latency_us)),
         ],
     )
-}
-
-fn worker_loop(
-    rx: &Arc<Mutex<Receiver<Job>>>,
-    cache: &ResultCache,
-    flights: &FlightTable,
-    metrics: &Metrics,
-) {
-    loop {
-        // Hold the lock only for the receive itself.
-        let job = match rx.lock().unwrap().recv() {
-            Ok(job) => job,
-            Err(_) => return, // queue closed: all senders gone
-        };
-        // Every waiter already gave up (last one out set the flag):
-        // skip the run, retire the flight.
-        if job.flight.cancel.load(Ordering::Relaxed) {
-            flights.publish(&job.cache_key, &job.flight, FlightResult::Cancelled);
-            continue;
-        }
-        let result = match evaluate(&job.spec, &job.algo, &job.flight.cancel) {
-            Ok(outcome) => {
-                metrics.evaluated.fetch_add(1, Ordering::Relaxed);
-                // Insert before publishing: once any waiter observes
-                // the result, the cache must already have it.
-                cache.insert(job.cache_key.clone(), outcome);
-                FlightResult::Done(outcome)
-            }
-            Err(EvalError::Cancelled) => FlightResult::Cancelled,
-            Err(EvalError::Bad(e)) => FlightResult::Failed(e),
-        };
-        flights.publish(&job.cache_key, &job.flight, result);
-    }
 }
 
 #[cfg(test)]
@@ -669,10 +881,13 @@ mod tests {
         let stats = r.body.get("stats").unwrap();
         assert_eq!(stats.get("cache_hits").and_then(Json::as_u64), Some(1));
         assert_eq!(stats.get("bad_request").and_then(Json::as_u64), Some(1));
-        // The stats snapshot also reports the sharded cache.
+        // The stats snapshot also reports the sharded cache and the
+        // executor's batching.
         let cache = stats.get("cache").unwrap();
         assert_eq!(cache.get("len").and_then(Json::as_u64), Some(1));
         assert_eq!(cache.get("shards").and_then(Json::as_u64), Some(8));
+        assert_eq!(stats.get("batches").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("batch_jobs").and_then(Json::as_u64), Some(1));
 
         let r = send(&stream, &mut reader, r#"{"op":"shutdown"}"#);
         assert!(r.ok);
@@ -683,15 +898,23 @@ mod tests {
     }
 
     fn test_shared(draining: bool) -> Shared {
-        let (job_tx, _job_rx) = bounded::<Job>(1);
         Shared {
             metrics: Arc::new(Metrics::default()),
             cache: Arc::new(ShardedCache::new(4, 2)),
             flights: Arc::new(FlightTable::new()),
-            job_tx,
+            executor: Arc::new(Executor::start(
+                ExecutorConfig {
+                    workers: 1,
+                    queue_depth: 1,
+                    batch_max: 1,
+                },
+                |_batch: Vec<Job>| {},
+            )),
+            reaper: Arc::new(Reaper::new()),
             shutdown: Arc::new(AtomicBool::new(draining)),
             default_deadline_ms: 1000,
             conn_window: 4,
+            small_cost_max: 4096,
         }
     }
 
@@ -762,5 +985,41 @@ mod tests {
         let snapshot = server.join();
         assert_eq!(snapshot.ok, 1);
         assert_eq!(snapshot.connections, 1);
+    }
+
+    #[test]
+    fn small_and_large_jobs_share_the_executor_but_not_a_batch() {
+        // Two distinct small specs submitted back-to-back on a
+        // pipelined connection can land in one batch; a large spec
+        // never joins it.  Either way every reply arrives.
+        let server = Server::start(Config {
+            workers: 1,
+            ..Config::default()
+        })
+        .unwrap();
+        let (stream, mut reader) = connect(server.local_addr());
+        let mut w = stream.try_clone().unwrap();
+        for (i, spec) in ["worst:d=2,n=4", "worst:d=2,n=5", "worst:d=2,n=16"]
+            .iter()
+            .enumerate()
+        {
+            let line = format!(r#"{{"id":"{i}","spec":"{spec}","algo":"seq-solve"}}"#);
+            w.write_all(line.as_bytes()).unwrap();
+            w.write_all(b"\n").unwrap();
+        }
+        w.flush().unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3 {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            let r = Response::parse(reply.trim()).unwrap();
+            assert!(r.ok, "{:?}", r.error);
+            seen.insert(r.id.unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+        server.request_shutdown();
+        let snapshot = server.join();
+        assert_eq!(snapshot.evaluated, 3);
+        assert!(snapshot.batches >= 2, "large job gets its own dispatch");
     }
 }

@@ -2,15 +2,26 @@
 //!
 //! When several requests for the same canonical spec+algorithm arrive
 //! while none has a cached result yet, only the first (the *leader*)
-//! may run the engine; the rest (*followers*) park on the leader's
-//! [`Flight`] and receive whatever it publishes — result, error, or
-//! cancellation — without costing a queue slot or an engine run.
+//! may submit an engine run; the rest (*followers*) attach to the
+//! leader's [`Flight`] and receive whatever it publishes — result,
+//! error, or cancellation — without costing a queue slot or an engine
+//! run.
+//!
+//! Waiters are *asynchronous*: a flight holds `Arc<W>` handles (the
+//! server's pending-reply records) instead of parked threads.
+//! [`Flight::attach`] registers a waiter — or returns the result
+//! immediately if publication already happened — and
+//! [`FlightTable::publish`] hands the drained waiter list back to the
+//! caller, which answers each one outside the flight's lock.  Nothing
+//! ever blocks on a flight, so a fixed number of threads can carry any
+//! number of outstanding requests.
 //!
 //! Cancellation composes with coalescing: the flight's flag is the
 //! engine's cancellation flag, and it is only set by the *last* waiter
-//! to give up.  A follower whose deadline passes simply stops waiting;
-//! the run keeps going for everyone else.  Waiter counts are kept
-//! under the flight's own lock, so last-out detection is race-free.
+//! to [`detach`](Flight::detach).  A waiter whose deadline passes
+//! simply detaches; the run keeps going for everyone else.  The waiter
+//! list lives under the flight's own lock, so last-out detection is
+//! race-free.
 //!
 //! A flight whose waiters have all left is *doomed*: its engine run is
 //! winding down and its result must not be reused (it may be a
@@ -23,8 +34,7 @@
 use crate::workload::EvalOutcome;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
 
 /// What a flight's engine run produced, delivered to every waiter.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,95 +51,104 @@ pub enum FlightResult {
     Busy,
 }
 
-struct FlightInner {
+struct FlightInner<W> {
     done: Option<FlightResult>,
-    /// Requests currently parked on (or about to park on) this
-    /// flight, the leader included.
-    waiters: usize,
+    /// Pending replies attached to this run, the leader's included.
+    waiters: Vec<Arc<W>>,
 }
 
-/// One in-flight engine run and the requests waiting on it.
-pub struct Flight {
-    inner: Mutex<FlightInner>,
-    cv: Condvar,
-    /// The engine's cooperative-cancellation flag.  Set by the last
-    /// waiter to abandon the flight, or by server drain.
+/// One in-flight engine run and the waiters attached to it.
+pub struct Flight<W> {
+    inner: Mutex<FlightInner<W>>,
+    /// The engine's cooperative-cancellation flag.  Set when the last
+    /// waiter detaches, or by server drain.
     pub cancel: AtomicBool,
 }
 
-impl Flight {
-    fn new() -> Flight {
+impl<W> Flight<W> {
+    fn new() -> Flight<W> {
         Flight {
             inner: Mutex::new(FlightInner {
                 done: None,
-                waiters: 1,
+                waiters: Vec::new(),
             }),
-            cv: Condvar::new(),
             cancel: AtomicBool::new(false),
         }
     }
 
-    /// Park until a result is published or `deadline` passes.
-    ///
-    /// `None` means the deadline passed first; the caller is no longer
-    /// a waiter, and if it was the last one the run is cancelled.
-    pub fn wait(&self, deadline: Instant) -> Option<FlightResult> {
+    /// Attach a waiter.  Returns the published result if the flight
+    /// already completed — the caller answers immediately instead of
+    /// waiting for a publication that will never come again.
+    pub fn attach(&self, waiter: &Arc<W>) -> Option<FlightResult> {
         let mut inner = self.inner.lock().unwrap();
-        loop {
-            if let Some(r) = &inner.done {
-                return Some(r.clone());
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                inner.waiters -= 1;
-                if inner.waiters == 0 {
-                    self.cancel.store(true, Ordering::Relaxed);
-                }
-                return None;
-            }
-            (inner, _) = self.cv.wait_timeout(inner, deadline - now).unwrap();
+        if let Some(r) = &inner.done {
+            return Some(r.clone());
         }
+        inner.waiters.push(Arc::clone(waiter));
+        None
     }
 
-    #[cfg(test)]
-    fn waiters(&self) -> usize {
-        self.inner.lock().unwrap().waiters
+    /// Remove a waiter that gave up (deadline, broken connection).
+    /// The last waiter out cancels the run.  Returns whether the
+    /// waiter was still attached (false once a publication drained
+    /// it).
+    pub fn detach(&self, waiter: &Arc<W>) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(pos) = inner.waiters.iter().position(|w| Arc::ptr_eq(w, waiter)) else {
+            return false;
+        };
+        inner.waiters.swap_remove(pos);
+        if inner.waiters.is_empty() && inner.done.is_none() {
+            self.cancel.store(true, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Waiters currently attached (for tests and introspection).
+    pub fn waiter_count(&self) -> usize {
+        self.inner.lock().unwrap().waiters.len()
     }
 }
 
 /// The caller's role in a flight, decided by [`FlightTable::join`].
-pub enum Joined {
+pub enum Joined<W> {
     /// First arrival for the key: the caller must arrange for exactly
     /// one engine run and [`publish`](FlightTable::publish) its result.
-    Leader(Arc<Flight>),
+    Leader(Arc<Flight<W>>),
     /// A run for the key is already in flight: the caller just
-    /// [`wait`](Flight::wait)s.
-    Follower(Arc<Flight>),
+    /// [`attach`](Flight::attach)es.
+    Follower(Arc<Flight<W>>),
 }
 
 /// Registry of in-flight engine runs, keyed by canonical request key.
-#[derive(Default)]
-pub struct FlightTable {
-    flights: Mutex<HashMap<String, Arc<Flight>>>,
+pub struct FlightTable<W> {
+    flights: Mutex<HashMap<String, Arc<Flight<W>>>>,
 }
 
-impl FlightTable {
+impl<W> Default for FlightTable<W> {
+    fn default() -> Self {
+        FlightTable {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<W> FlightTable<W> {
     /// An empty table.
-    pub fn new() -> FlightTable {
+    pub fn new() -> FlightTable<W> {
         FlightTable::default()
     }
 
     /// Join the flight for `key`, creating it (and leading) if absent
     /// or doomed.
-    pub fn join(&self, key: &str) -> Joined {
+    pub fn join(&self, key: &str) -> Joined<W> {
         let mut map = self.flights.lock().unwrap();
         if let Some(f) = map.get(key) {
             // The cancel flag is only ever set under the flight's
             // inner lock, so checking it under that same lock makes
             // doomed-flight detection race-free.
-            let mut inner = f.inner.lock().unwrap();
+            let inner = f.inner.lock().unwrap();
             if !f.cancel.load(Ordering::Relaxed) {
-                inner.waiters += 1;
                 drop(inner);
                 return Joined::Follower(Arc::clone(f));
             }
@@ -139,14 +158,16 @@ impl FlightTable {
         Joined::Leader(f)
     }
 
-    /// Deliver `result` to every waiter on `flight` and retire its
-    /// registry entry (only if the entry still points at `flight`).
+    /// Record `result` on `flight`, retire its registry entry (only if
+    /// the entry still points at `flight`), and hand back the drained
+    /// waiters for the caller to answer outside the lock.
     ///
-    /// Retirement happens *before* waiters wake: once any waiter has
-    /// observed the result (and possibly replied to its client), a
-    /// follow-up request for the same key is guaranteed to lead a
-    /// fresh flight rather than re-join this completed one.
-    pub fn publish(&self, key: &str, flight: &Arc<Flight>, result: FlightResult) {
+    /// Retirement happens *before* the result is recorded: once any
+    /// waiter has been answered, a follow-up request for the same key
+    /// is guaranteed to lead a fresh flight rather than re-join this
+    /// completed one.
+    #[must_use = "every drained waiter must be answered"]
+    pub fn publish(&self, key: &str, flight: &Arc<Flight<W>>, result: FlightResult) -> Vec<Arc<W>> {
         {
             let mut map = self.flights.lock().unwrap();
             if map.get(key).is_some_and(|cur| Arc::ptr_eq(cur, flight)) {
@@ -155,8 +176,7 @@ impl FlightTable {
         }
         let mut inner = flight.inner.lock().unwrap();
         inner.done = Some(result);
-        drop(inner);
-        flight.cv.notify_all();
+        std::mem::take(&mut inner.waiters)
     }
 
     /// Flights currently registered (doomed ones included until their
@@ -174,8 +194,9 @@ impl FlightTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::thread;
-    use std::time::Duration;
+
+    /// A stand-in for the server's pending-reply record.
+    struct W(#[allow(dead_code)] u32);
 
     fn outcome(value: i64) -> EvalOutcome {
         EvalOutcome {
@@ -185,13 +206,9 @@ mod tests {
         }
     }
 
-    fn far() -> Instant {
-        Instant::now() + Duration::from_secs(30)
-    }
-
     #[test]
     fn first_join_leads_subsequent_joins_follow() {
-        let t = FlightTable::new();
+        let t: FlightTable<W> = FlightTable::new();
         let leader = match t.join("k") {
             Joined::Leader(f) => f,
             Joined::Follower(_) => panic!("first join must lead"),
@@ -201,92 +218,103 @@ mod tests {
             Joined::Leader(_) => panic!("second join must follow"),
         };
         assert!(Arc::ptr_eq(&leader, &follower));
-        assert_eq!(leader.waiters(), 2);
         assert!(matches!(t.join("other"), Joined::Leader(_)));
     }
 
     #[test]
-    fn publish_wakes_all_waiters_with_the_same_result() {
-        let t = Arc::new(FlightTable::new());
-        let leader = match t.join("k") {
+    fn publish_drains_every_attached_waiter() {
+        let t: FlightTable<W> = FlightTable::new();
+        let flight = match t.join("k") {
             Joined::Leader(f) => f,
             _ => unreachable!(),
         };
-        let handles: Vec<_> = (0..4)
-            .map(|_| {
-                let t = Arc::clone(&t);
-                thread::spawn(move || match t.join("k") {
-                    Joined::Follower(f) => f.wait(far()),
-                    Joined::Leader(_) => panic!("flight already exists"),
-                })
-            })
-            .collect();
-        // Give followers a moment to park before publishing.
-        thread::sleep(Duration::from_millis(20));
-        t.publish("k", &leader, FlightResult::Done(outcome(7)));
-        for h in handles {
-            assert_eq!(h.join().unwrap(), Some(FlightResult::Done(outcome(7))));
+        let waiters: Vec<Arc<W>> = (0..4).map(|i| Arc::new(W(i))).collect();
+        for w in &waiters {
+            assert!(flight.attach(w).is_none());
         }
-        assert_eq!(leader.wait(far()), Some(FlightResult::Done(outcome(7))));
+        assert_eq!(flight.waiter_count(), 4);
+        let drained = t.publish("k", &flight, FlightResult::Done(outcome(7)));
+        assert_eq!(drained.len(), 4);
+        for (d, w) in drained.iter().zip(&waiters) {
+            assert!(Arc::ptr_eq(d, w));
+        }
+        assert_eq!(flight.waiter_count(), 0);
         assert!(t.is_empty(), "published flight is retired");
     }
 
     #[test]
-    fn one_waiter_leaving_does_not_cancel_the_run() {
-        let t = FlightTable::new();
-        let leader = match t.join("k") {
+    fn attach_after_publish_returns_the_result_immediately() {
+        let t: FlightTable<W> = FlightTable::new();
+        let flight = match t.join("k") {
             Joined::Leader(f) => f,
             _ => unreachable!(),
         };
-        let follower = match t.join("k") {
-            Joined::Follower(f) => f,
-            _ => unreachable!(),
-        };
-        // Follower's deadline passes immediately.
-        assert_eq!(follower.wait(Instant::now()), None);
-        assert!(
-            !leader.cancel.load(Ordering::Relaxed),
-            "leader still waiting; the run must keep going"
-        );
+        let drained = t.publish("k", &flight, FlightResult::Busy);
+        assert!(drained.is_empty());
+        let late = Arc::new(W(9));
+        assert_eq!(flight.attach(&late), Some(FlightResult::Busy));
+        assert_eq!(flight.waiter_count(), 0, "late waiter is not parked");
     }
 
     #[test]
-    fn last_waiter_leaving_cancels_and_dooms_the_flight() {
-        let t = FlightTable::new();
-        let leader = match t.join("k") {
+    fn one_waiter_detaching_does_not_cancel_the_run() {
+        let t: FlightTable<W> = FlightTable::new();
+        let flight = match t.join("k") {
             Joined::Leader(f) => f,
             _ => unreachable!(),
         };
-        assert_eq!(leader.wait(Instant::now()), None);
-        assert!(leader.cancel.load(Ordering::Relaxed));
+        let a = Arc::new(W(1));
+        let b = Arc::new(W(2));
+        flight.attach(&a);
+        flight.attach(&b);
+        assert!(flight.detach(&a));
+        assert!(
+            !flight.cancel.load(Ordering::Relaxed),
+            "another waiter remains; the run must keep going"
+        );
+        assert!(!flight.detach(&a), "already detached");
+    }
+
+    #[test]
+    fn last_waiter_detaching_cancels_and_dooms_the_flight() {
+        let t: FlightTable<W> = FlightTable::new();
+        let flight = match t.join("k") {
+            Joined::Leader(f) => f,
+            _ => unreachable!(),
+        };
+        let a = Arc::new(W(1));
+        flight.attach(&a);
+        assert!(flight.detach(&a));
+        assert!(flight.cancel.load(Ordering::Relaxed));
         // A new arrival must not adopt the doomed flight.
         let fresh = match t.join("k") {
             Joined::Leader(f) => f,
             Joined::Follower(_) => panic!("doomed flight must be replaced"),
         };
-        assert!(!Arc::ptr_eq(&leader, &fresh));
+        assert!(!Arc::ptr_eq(&flight, &fresh));
         // The doomed run's late publication must not clobber the
         // fresh flight's registry entry.
-        t.publish("k", &leader, FlightResult::Cancelled);
+        let drained = t.publish("k", &flight, FlightResult::Cancelled);
+        assert!(drained.is_empty());
         assert_eq!(t.len(), 1);
-        t.publish("k", &fresh, FlightResult::Done(outcome(1)));
+        let _ = t.publish("k", &fresh, FlightResult::Done(outcome(1)));
         assert!(t.is_empty());
     }
 
     #[test]
-    fn result_published_before_wait_is_returned_immediately() {
-        let t = FlightTable::new();
-        let leader = match t.join("k") {
+    fn detach_after_publish_is_a_no_op() {
+        let t: FlightTable<W> = FlightTable::new();
+        let flight = match t.join("k") {
             Joined::Leader(f) => f,
             _ => unreachable!(),
         };
-        let follower = match t.join("k") {
-            Joined::Follower(f) => f,
-            _ => unreachable!(),
-        };
-        t.publish("k", &leader, FlightResult::Busy);
-        // Even with an already-expired deadline, a published result
-        // wins over the timeout.
-        assert_eq!(follower.wait(Instant::now()), Some(FlightResult::Busy));
+        let a = Arc::new(W(1));
+        flight.attach(&a);
+        let drained = t.publish("k", &flight, FlightResult::Done(outcome(3)));
+        assert_eq!(drained.len(), 1);
+        // A deadline that loses the race to publication must not doom
+        // anything.
+        assert!(!flight.detach(&a));
+        assert!(!flight.cancel.load(Ordering::Relaxed));
     }
 }

@@ -13,7 +13,7 @@ use gt_core::engine::{Cancelled, CascadeEngine, RoundEngine, TtSearch, YbwEngine
 use gt_games::{Connect4, Game, Nim, TicTacToe};
 use gt_sim::{parallel_alphabeta_cancellable, parallel_solve_cancellable};
 use gt_tree::minimax::{seq_alphabeta_cancellable, seq_solve_cancellable};
-use gt_tree::{GenSpec, Value};
+use gt_tree::{GenSpec, SourceVisitor, TreeSource, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::AtomicBool;
 
@@ -184,6 +184,36 @@ pub fn validate(spec_text: &str, algo_text: &str) -> Result<ValidatedRequest, St
     })
 }
 
+/// Rough size of the workload in positions/leaves, saturating.  The
+/// executor classifies jobs with this: cheap deterministic specs are
+/// batchable, anything big gets a dedicated dispatch.  Precision does
+/// not matter — only which side of the small/large threshold a job
+/// lands on, and a uniform-tree leaf count (`d^n`, or `b^d` for game
+/// search) tracks real cost well enough for that.
+pub fn estimated_cost(spec: &GenSpec, algo: &AlgoSpec) -> u64 {
+    if algo.name == "tt" {
+        let depth = tt_depth(spec).unwrap_or(8);
+        let branching: u64 = match spec.kind.as_str() {
+            "nim" => 3,
+            "connect4" => 7,
+            // ttt, tictactoe, and anything new default high.
+            _ => 8,
+        };
+        return branching.saturating_pow(depth.min(64));
+    }
+    let d: u64 = spec
+        .params
+        .get("d")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let n: u32 = spec
+        .params
+        .get("n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    d.max(1).saturating_pow(n)
+}
+
 fn tt_depth(spec: &GenSpec) -> Result<u32, String> {
     match spec.params.get("d") {
         Some(v) => v.parse().map_err(|e| format!("bad d={v}: {e}")),
@@ -221,81 +251,108 @@ pub fn evaluate(
             other => Err(EvalError::Bad(format!("unknown game {other:?}"))),
         };
     }
-    let src = spec.build().map_err(EvalError::Bad)?;
     let width = algo.width().map_err(EvalError::Bad)?;
-    let outcome = match algo.name.as_str() {
-        "seq-solve" => {
-            let st = seq_solve_cancellable(&src, false, cancel)?;
-            EvalOutcome {
-                value: st.value,
-                work: st.leaves_evaluated,
-                steps: 0,
-            }
-        }
-        "alphabeta" => {
-            let st = seq_alphabeta_cancellable(&src, false, cancel)?;
-            EvalOutcome {
-                value: st.value,
-                work: st.leaves_evaluated,
-                steps: 0,
-            }
-        }
-        "parallel-solve" => {
-            let st = if spec.is_minmax() {
-                parallel_alphabeta_cancellable(&src, width, false, cancel)?
-            } else {
-                parallel_solve_cancellable(&src, width, false, cancel)?
+    // Run the engines through the monomorphizing visitor: each engine's
+    // `arity`/`leaf_value` loop compiles against the concrete source
+    // type, so the hot path pays no virtual call per node.  (On small
+    // specs the dyn-dispatch tax rivals the protocol overhead.)
+    struct EngineRun<'a> {
+        spec: &'a GenSpec,
+        algo: &'a AlgoSpec,
+        width: u32,
+        cancel: &'a AtomicBool,
+    }
+    impl SourceVisitor for EngineRun<'_> {
+        type Out = Result<EvalOutcome, EvalError>;
+        fn visit<S: TreeSource + Send + 'static>(self, src: S) -> Self::Out {
+            let EngineRun {
+                spec,
+                algo,
+                width,
+                cancel,
+            } = self;
+            let outcome = match algo.name.as_str() {
+                "seq-solve" => {
+                    let st = seq_solve_cancellable(&src, false, cancel)?;
+                    EvalOutcome {
+                        value: st.value,
+                        work: st.leaves_evaluated,
+                        steps: 0,
+                    }
+                }
+                "alphabeta" => {
+                    let st = seq_alphabeta_cancellable(&src, false, cancel)?;
+                    EvalOutcome {
+                        value: st.value,
+                        work: st.leaves_evaluated,
+                        steps: 0,
+                    }
+                }
+                "parallel-solve" => {
+                    let st = if spec.is_minmax() {
+                        parallel_alphabeta_cancellable(&src, width, false, cancel)?
+                    } else {
+                        parallel_solve_cancellable(&src, width, false, cancel)?
+                    };
+                    EvalOutcome {
+                        value: st.value,
+                        work: st.total_work,
+                        steps: st.steps,
+                    }
+                }
+                "round" => {
+                    let engine = RoundEngine::with_width(width);
+                    let r = if spec.is_minmax() {
+                        engine.solve_minmax_cancellable(&src, cancel)?
+                    } else {
+                        engine.solve_nor_cancellable(&src, cancel)?
+                    };
+                    EvalOutcome {
+                        value: r.value,
+                        work: r.leaves_evaluated,
+                        steps: r.rounds,
+                    }
+                }
+                "cascade" => {
+                    let engine = CascadeEngine::with_width(width);
+                    let r = if spec.is_minmax() {
+                        engine.solve_minmax_cancellable(&src, cancel)?
+                    } else {
+                        engine.solve_nor_cancellable(&src, cancel)?
+                    };
+                    EvalOutcome {
+                        value: r.value,
+                        work: r.leaves_evaluated,
+                        steps: r.rounds,
+                    }
+                }
+                "ybw" => {
+                    let engine = match algo.params.get("cutoff") {
+                        Some(v) => YbwEngine::with_cutoff(
+                            v.parse()
+                                .map_err(|e| EvalError::Bad(format!("bad cutoff={v}: {e}")))?,
+                        ),
+                        None => YbwEngine::default(),
+                    };
+                    let r = engine.solve_minmax_cancellable(&src, cancel)?;
+                    EvalOutcome {
+                        value: r.value,
+                        work: r.leaves_evaluated,
+                        steps: r.rounds,
+                    }
+                }
+                other => return Err(EvalError::Bad(format!("unknown algorithm {other:?}"))),
             };
-            EvalOutcome {
-                value: st.value,
-                work: st.total_work,
-                steps: st.steps,
-            }
+            Ok(outcome)
         }
-        "round" => {
-            let engine = RoundEngine::with_width(width);
-            let r = if spec.is_minmax() {
-                engine.solve_minmax_cancellable(&src, cancel)?
-            } else {
-                engine.solve_nor_cancellable(&src, cancel)?
-            };
-            EvalOutcome {
-                value: r.value,
-                work: r.leaves_evaluated,
-                steps: r.rounds,
-            }
-        }
-        "cascade" => {
-            let engine = CascadeEngine::with_width(width);
-            let r = if spec.is_minmax() {
-                engine.solve_minmax_cancellable(&src, cancel)?
-            } else {
-                engine.solve_nor_cancellable(&src, cancel)?
-            };
-            EvalOutcome {
-                value: r.value,
-                work: r.leaves_evaluated,
-                steps: r.rounds,
-            }
-        }
-        "ybw" => {
-            let engine = match algo.params.get("cutoff") {
-                Some(v) => YbwEngine::with_cutoff(
-                    v.parse()
-                        .map_err(|e| EvalError::Bad(format!("bad cutoff={v}: {e}")))?,
-                ),
-                None => YbwEngine::default(),
-            };
-            let r = engine.solve_minmax_cancellable(&src, cancel)?;
-            EvalOutcome {
-                value: r.value,
-                work: r.leaves_evaluated,
-                steps: r.rounds,
-            }
-        }
-        other => return Err(EvalError::Bad(format!("unknown algorithm {other:?}"))),
-    };
-    Ok(outcome)
+    }
+    spec.build_visit(EngineRun {
+        spec,
+        algo,
+        width,
+        cancel,
+    })
+    .map_err(EvalError::Bad)?
 }
 
 #[cfg(test)]
@@ -370,6 +427,21 @@ mod tests {
         let got = evaluate(&spec, &AlgoSpec::parse("tt").unwrap(), &never()).unwrap();
         assert_eq!(got.value, 0, "perfect tic-tac-toe is a draw");
         assert!(got.work > 0);
+    }
+
+    #[test]
+    fn estimated_cost_tracks_leaf_counts() {
+        let cost = |s: &str, a: &str| {
+            estimated_cost(&GenSpec::parse(s).unwrap(), &AlgoSpec::parse(a).unwrap())
+        };
+        assert_eq!(cost("worst:d=2,n=6", "seq-solve"), 64);
+        assert_eq!(cost("worst:d=2,n=12", "seq-solve"), 4096);
+        assert_eq!(cost("crit:d=3,n=4,seed=1", "cascade:w=2"), 81);
+        // Saturates instead of overflowing.
+        assert_eq!(cost("worst:d=2,n=4000", "seq-solve"), u64::MAX);
+        // Game search scales with depth.
+        assert!(cost("ttt:d=9", "tt") > cost("ttt:d=3", "tt"));
+        assert!(cost("nim:d=6", "tt") < cost("connect4:d=6", "tt"));
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Property tests for the executor's queue discipline ([`Scheduler`]):
+//! random push/pop interleavings must preserve FIFO order within every
+//! `(algorithm, class)` band, the small-before-large priority, the
+//! batching invariants (one algorithm, one class, at most `batch_max`
+//! jobs per dispatch), the exact global capacity bound, and cancel
+//! isolation between batchmates.
+//!
+//! The scheduler is pure (no threads, no locks), so these properties
+//! check the discipline itself rather than racing worker timing.
+
+use gt_serve::{CostClass, Scheduler};
+use proptest::prelude::*;
+
+/// One scripted operation against the scheduler.
+#[derive(Debug, Clone)]
+enum Op {
+    Push { algo: usize, small: bool },
+    Pop,
+}
+
+fn op_strategy(algos: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..algos, any::<bool>()).prop_map(|(algo, small)| Op::Push { algo, small }),
+        2 => Just(Op::Pop),
+    ]
+}
+
+const ALGO_NAMES: [&str; 4] = ["seq-solve", "parallel-solve", "round", "cascade"];
+
+/// A job as the properties see it: which queue it went to, its class,
+/// and its arrival number within that `(algo, class)` band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Job {
+    algo: usize,
+    small: bool,
+    seq: usize,
+}
+
+proptest! {
+    /// The full discipline under random interleavings:
+    ///  * a dispatch never mixes algorithms or classes and never
+    ///    exceeds `batch_max` jobs;
+    ///  * a large job dispatches alone;
+    ///  * a large job is dispatched only when no small job is queued;
+    ///  * within one `(algo, class)` band, jobs leave in arrival order;
+    ///  * nothing is lost or duplicated;
+    ///  * the queue never exceeds its capacity, and a push fails
+    ///    exactly when the queue is at capacity.
+    #[test]
+    fn discipline_holds_under_random_interleavings(
+        ops in proptest::collection::vec(op_strategy(ALGO_NAMES.len()), 1..200),
+        capacity in 1usize..32,
+        batch_max in 1usize..8,
+    ) {
+        let mut sched: Scheduler<Job> = Scheduler::new(capacity);
+        let mut next_seq = vec![[0usize; 2]; ALGO_NAMES.len()];
+        let mut popped_seq = vec![[0usize; 2]; ALGO_NAMES.len()];
+        let mut pushed = 0usize;
+        let mut popped = 0usize;
+        let mut queued_small = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Push { algo, small } => {
+                    let band = usize::from(small);
+                    let job = Job { algo, small, seq: next_seq[algo][band] };
+                    let class = if small { CostClass::Small } else { CostClass::Large };
+                    let was_full = sched.len() >= capacity;
+                    match sched.push(ALGO_NAMES[algo], class, job) {
+                        Ok(()) => {
+                            prop_assert!(!was_full, "push admitted past capacity");
+                            next_seq[algo][band] += 1;
+                            pushed += 1;
+                            if small { queued_small += 1; }
+                        }
+                        Err(returned) => {
+                            prop_assert!(was_full, "push refused below capacity");
+                            prop_assert_eq!(returned, job, "refused push must hand the job back");
+                        }
+                    }
+                }
+                Op::Pop => {
+                    let before = sched.len();
+                    let batch = sched.pop_batch(batch_max);
+                    prop_assert_eq!(sched.len(), before - batch.len());
+                    if batch.is_empty() {
+                        prop_assert_eq!(before, 0, "pop returned nothing while jobs were queued");
+                        continue;
+                    }
+                    prop_assert!(batch.len() <= batch_max);
+                    let algo = batch[0].algo;
+                    let small = batch[0].small;
+                    if !small {
+                        prop_assert_eq!(batch.len(), 1, "large jobs dispatch alone");
+                        prop_assert_eq!(queued_small, 0,
+                            "a large job dispatched while small work was queued");
+                    }
+                    let band = usize::from(small);
+                    for job in &batch {
+                        prop_assert_eq!(job.algo, algo, "batch mixed algorithms");
+                        prop_assert_eq!(job.small, small, "batch mixed priority classes");
+                        prop_assert_eq!(job.seq, popped_seq[algo][band],
+                            "band served out of arrival order");
+                        popped_seq[algo][band] += 1;
+                    }
+                    popped += batch.len();
+                    if small { queued_small -= batch.len(); }
+                }
+            }
+            prop_assert!(sched.len() <= capacity);
+            prop_assert_eq!(sched.len(), pushed - popped, "len out of sync with traffic");
+        }
+
+        // Drain: everything pushed eventually comes back out, in order.
+        loop {
+            let batch = sched.pop_batch(batch_max);
+            if batch.is_empty() { break; }
+            let band = usize::from(batch[0].small);
+            for job in &batch {
+                prop_assert_eq!(job.seq, popped_seq[job.algo][band]);
+                popped_seq[job.algo][band] += 1;
+            }
+            popped += batch.len();
+        }
+        prop_assert_eq!(popped, pushed, "jobs lost or duplicated");
+        prop_assert!(sched.is_empty());
+    }
+
+    /// Cancel isolation: batchmates are independent.  Marking an
+    /// arbitrary subset of jobs cancelled and skipping them at dispatch
+    /// (exactly what the server's `run_batch` does with each job's
+    /// flight flag) still runs every non-cancelled job exactly once —
+    /// a cancelled job never takes its batchmates down with it.
+    #[test]
+    fn cancelled_jobs_do_not_affect_their_batchmates(
+        cancelled in proptest::collection::vec(any::<bool>(), 1..64),
+        batch_max in 1usize..8,
+    ) {
+        let mut sched: Scheduler<(usize, bool)> = Scheduler::new(cancelled.len());
+        for (i, &c) in cancelled.iter().enumerate() {
+            sched.push("algo", CostClass::Small, (i, c)).unwrap();
+        }
+        let mut ran = vec![0usize; cancelled.len()];
+        loop {
+            let batch = sched.pop_batch(batch_max);
+            if batch.is_empty() { break; }
+            for (i, c) in batch {
+                if !c {
+                    ran[i] += 1;
+                }
+            }
+        }
+        for (i, &c) in cancelled.iter().enumerate() {
+            prop_assert_eq!(ran[i], usize::from(!c),
+                "job {} ran {} times (cancelled: {})", i, ran[i], c);
+        }
+    }
+}

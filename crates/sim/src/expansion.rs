@@ -129,15 +129,34 @@ impl<S: TreeSource> ExpansionSim<S> {
     /// which queries the source for the returned paths in parallel and
     /// then calls [`ExpansionSim::apply_expansions`].
     pub fn frontier_paths(&mut self, width: u32) -> Vec<(NodeId, Vec<u32>)> {
+        let mut out = Vec::new();
+        self.frontier_paths_into(width, &mut out);
+        out
+    }
+
+    /// [`ExpansionSim::frontier_paths`] writing into a caller-owned
+    /// buffer so round-driven engines can reuse the outer vector and the
+    /// per-entry path buffers across rounds.
+    pub fn frontier_paths_into(&mut self, width: u32, out: &mut Vec<(NodeId, Vec<u32>)>) {
         if self.determined[0].is_some() {
-            return Vec::new();
+            out.clear();
+            return;
         }
         self.frontier.clear();
         self.collect(0, i64::from(width));
         let ids = std::mem::take(&mut self.frontier);
-        let out = ids.iter().map(|&id| (id, self.tree.path_of(id))).collect();
+        out.truncate(ids.len());
+        let reused = out.len();
+        for (slot, &id) in out.iter_mut().zip(&ids) {
+            slot.0 = id;
+            self.tree.path_of_into(id, &mut slot.1);
+        }
+        for &id in &ids[reused..] {
+            let mut p = Vec::new();
+            self.tree.path_of_into(id, &mut p);
+            out.push((id, p));
+        }
         self.frontier = ids;
-        out
     }
 
     /// Complete a step whose expansion results were computed externally

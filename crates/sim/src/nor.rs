@@ -250,14 +250,34 @@ impl<S: TreeSource> NorSim<S> {
     /// engines, which evaluate the returned paths in parallel against the
     /// source and then call [`NorSim::apply_step`].
     pub fn frontier_paths(&mut self, policy: Policy) -> Vec<(NodeId, Vec<u32>)> {
+        let mut out = Vec::new();
+        self.frontier_paths_into(policy, &mut out);
+        out
+    }
+
+    /// [`NorSim::frontier_paths`] writing into a caller-owned buffer so
+    /// round-driven engines can reuse the outer vector *and* the
+    /// per-entry path buffers across rounds instead of reallocating
+    /// every step.
+    pub fn frontier_paths_into(&mut self, policy: Policy, out: &mut Vec<(NodeId, Vec<u32>)>) {
         if self.determined[0].is_some() {
-            return Vec::new();
+            out.clear();
+            return;
         }
         self.collect_frontier(policy);
         let ids = std::mem::take(&mut self.frontier);
-        let out = ids.iter().map(|&id| (id, self.tree.path_of(id))).collect();
+        out.truncate(ids.len());
+        let reused = out.len();
+        for (slot, &id) in out.iter_mut().zip(&ids) {
+            slot.0 = id;
+            self.tree.path_of_into(id, &mut slot.1);
+        }
+        for &id in &ids[reused..] {
+            let mut p = Vec::new();
+            self.tree.path_of_into(id, &mut p);
+            out.push((id, p));
+        }
         self.frontier = ids;
-        out
     }
 
     /// Complete a step whose leaf values were computed externally.

@@ -45,6 +45,10 @@ pub struct LazyTree<S> {
     source: S,
     slots: Vec<Slot>,
     expansions: u64,
+    /// Reusable root-to-node path buffer for the internal
+    /// expand/evaluate hot path, so a warmed tree queries its source
+    /// without a per-call allocation.
+    path_scratch: Vec<u32>,
 }
 
 impl<S: TreeSource> LazyTree<S> {
@@ -54,6 +58,7 @@ impl<S: TreeSource> LazyTree<S> {
             source,
             slots: Vec::with_capacity(1024),
             expansions: 0,
+            path_scratch: Vec::new(),
         };
         t.slots.push(Slot {
             parent: NONE,
@@ -168,13 +173,20 @@ impl<S: TreeSource> LazyTree<S> {
     /// Root-to-node path of `id` (child indices, root excluded).
     pub fn path_of(&self, id: NodeId) -> Vec<u32> {
         let mut p = Vec::with_capacity(self.depth(id) as usize);
+        self.path_of_into(id, &mut p);
+        p
+    }
+
+    /// [`LazyTree::path_of`] into a caller-owned buffer (cleared
+    /// first), so tight loops can reuse one allocation across nodes.
+    pub fn path_of_into(&self, id: NodeId, out: &mut Vec<u32>) {
+        out.clear();
         let mut cur = id;
         while let Some(par) = self.parent(cur) {
-            p.push(self.child_index(cur));
+            out.push(self.child_index(cur));
             cur = par;
         }
-        p.reverse();
-        p
+        out.reverse();
     }
 
     /// Expand `id` *structurally*: query the source's arity, create
@@ -189,8 +201,10 @@ impl<S: TreeSource> LazyTree<S> {
             SlotState::Unexpanded => {}
         }
         self.expansions += 1;
-        let path = self.path_of(id);
+        let mut path = std::mem::take(&mut self.path_scratch);
+        self.path_of_into(id, &mut path);
         let d = self.source.arity(&path);
+        self.path_scratch = path;
         if d == 0 {
             self.slots[id as usize].state = SlotState::Leaf;
             true
@@ -285,8 +299,10 @@ impl<S: TreeSource> LazyTree<S> {
         if let Some(v) = self.slots[id as usize].value {
             return v;
         }
-        let path = self.path_of(id);
+        let mut path = std::mem::take(&mut self.path_scratch);
+        self.path_of_into(id, &mut path);
         let v = self.source.leaf_value(&path);
+        self.path_scratch = path;
         self.slots[id as usize].value = Some(v);
         v
     }

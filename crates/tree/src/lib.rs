@@ -46,7 +46,7 @@ pub mod text;
 pub use arena::{LazyTree, NodeId, NONE};
 pub use explicit::ExplicitTree;
 pub use source::{Cancelled, NodeKind, TreeSource, Value};
-pub use spec::GenSpec;
+pub use spec::{GenSpec, SourceVisitor};
 
 /// `B(d, n)`: the class of uniform `d`-ary NOR (AND/OR) trees of height `n`.
 ///

@@ -68,7 +68,26 @@ impl GenSpec {
     }
 
     /// Materialize the spec as a tree source.
+    ///
+    /// Type-erased convenience over [`GenSpec::build_visit`]; hot paths
+    /// that evaluate millions of nodes should prefer the visitor, which
+    /// hands them the concrete source type and so monomorphizes their
+    /// `arity`/`leaf_value` loops instead of paying a virtual call per
+    /// node.
     pub fn build(&self) -> Result<Box<dyn TreeSource + Send>, String> {
+        struct Boxer;
+        impl SourceVisitor for Boxer {
+            type Out = Box<dyn TreeSource + Send>;
+            fn visit<S: TreeSource + Send + 'static>(self, source: S) -> Self::Out {
+                Box::new(source)
+            }
+        }
+        self.build_visit(Boxer)
+    }
+
+    /// Materialize the spec and hand the **concrete** source type to
+    /// `visitor` — the monomorphizing counterpart of [`GenSpec::build`].
+    pub fn build_visit<V: SourceVisitor>(&self, visitor: V) -> Result<V::Out, String> {
         let d = self.u32_param("d", Some(2))?;
         let n = self.u32_param("n", None)?;
         if d == 0 {
@@ -81,27 +100,27 @@ impl GenSpec {
                 if !(0.0..=1.0).contains(&p) {
                     return Err(format!("p={p} is not a probability"));
                 }
-                Box::new(UniformSource::nor_iid(d, n, p, seed))
+                visitor.visit(UniformSource::nor_iid(d, n, p, seed))
             }
-            "crit" => Box::new(UniformSource::nor_iid(d, n, critical_bias(d), seed)),
-            "worst" => Box::new(UniformSource::nor_worst_case(d, n)),
-            "allones" => Box::new(UniformSource::new(d, n, crate::gen::ConstLeaf(1))),
+            "crit" => visitor.visit(UniformSource::nor_iid(d, n, critical_bias(d), seed)),
+            "worst" => visitor.visit(UniformSource::nor_worst_case(d, n)),
+            "allones" => visitor.visit(UniformSource::new(d, n, crate::gen::ConstLeaf(1))),
             "minmax" => {
                 let lo = self.i64_param("lo", 0)?;
                 let hi = self.i64_param("hi", 1 << 20)?;
                 if lo > hi {
                     return Err(format!("lo={lo} exceeds hi={hi}"));
                 }
-                Box::new(UniformSource::minmax_iid(d, n, lo, hi, seed))
+                visitor.visit(UniformSource::minmax_iid(d, n, lo, hi, seed))
             }
             "minmax-best" => {
                 let v = self.i64_param("value", 0)?;
-                Box::new(UniformSource::minmax_best_ordered(d, n, v))
+                visitor.visit(UniformSource::minmax_best_ordered(d, n, v))
             }
-            "minmax-worst" => Box::new(UniformSource::minmax_worst_ordered(d, n)),
+            "minmax-worst" => visitor.visit(UniformSource::minmax_worst_ordered(d, n)),
             "minmax-corr" => {
                 let spread = self.i64_param("spread", 8)?;
-                Box::new(UniformSource::minmax_correlated(d, n, spread, seed))
+                visitor.visit(UniformSource::minmax_correlated(d, n, spread, seed))
             }
             other => return Err(format!("unknown generator kind {other:?}")),
         })
@@ -111,6 +130,17 @@ impl GenSpec {
     pub fn is_minmax(&self) -> bool {
         self.kind.starts_with("minmax")
     }
+}
+
+/// Receives the concrete source type a [`GenSpec`] names, via
+/// [`GenSpec::build_visit`].  Implementors get one generic call per
+/// materialization, so everything they do with the source compiles to
+/// direct (inlinable) `arity`/`leaf_value` calls.
+pub trait SourceVisitor {
+    /// The visit result.
+    type Out;
+    /// Called exactly once with the materialized source.
+    fn visit<S: TreeSource + Send + 'static>(self, source: S) -> Self::Out;
 }
 
 #[cfg(test)]

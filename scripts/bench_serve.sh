@@ -2,7 +2,7 @@
 # Benchmark the gt-serve request path and write a BENCH_serve.json
 # artifact at the repo root.
 #
-# Four scenarios, each a closed-loop `gtree loadgen` run:
+# Five scenarios, each a closed-loop `gtree loadgen` run:
 #
 #   cached_pipeline1  warm key, 4 conns, one request in flight per
 #                     connection — the pre-pipelining baseline
@@ -12,6 +12,12 @@
 #                     flight — misses collapse onto single flights
 #   cold              cache disabled, one request at a time — every
 #                     request runs the engine
+#   cold_storm        cache disabled, 64 conns × window 4 of
+#                     *distinct* keys (--distinct salts every spec):
+#                     nothing caches, nothing coalesces, every
+#                     request crosses the executor.  --server-stats
+#                     captures the batch-size distribution, the
+#                     micro-batching evidence for the cold path.
 #
 # Environment overrides: GTREE_BIN, BENCH_OUT, BENCH_DURATION (s),
 # BENCH_PORT.
@@ -31,7 +37,7 @@ fi
 
 SERVER_PID=""
 start_server() { # extra `gtree serve` flags as args
-  "$BIN" serve --addr "$ADDR" --workers 4 "$@" >/dev/null 2>&1 &
+  "$BIN" serve --addr "$ADDR" --eval-workers 4 "$@" >/dev/null 2>&1 &
   SERVER_PID=$!
   for _ in $(seq 1 100); do
     if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then
@@ -80,6 +86,15 @@ cold=$(loadgen --conns 1 --pipeline 1 --spec worst:d=2,n=12 --algo seq-solve)
 summary cold "$cold"
 stop_server
 
-printf '{"duration_s":%s,"cached_pipeline1":%s,"cached_pipeline8":%s,"coalesced":%s,"cold":%s}\n' \
-  "$DUR" "$cached_p1" "$cached_p8" "$coalesced" "$cold" > "$OUT"
+# Cold storm: distinct keys defeat both the cache and single-flight
+# coalescing, so throughput here is pure executor dispatch + engine.
+# A deep queue absorbs the 256-request standing burst without shedding.
+start_server --cache 0 --queue-depth 1024
+cold_storm=$(loadgen --conns 64 --pipeline 4 --spec worst:d=2,n=12 --algo seq-solve \
+  --distinct --server-stats)
+summary cold_storm "$cold_storm"
+stop_server
+
+printf '{"duration_s":%s,"cached_pipeline1":%s,"cached_pipeline8":%s,"coalesced":%s,"cold":%s,"cold_storm":%s}\n' \
+  "$DUR" "$cached_p1" "$cached_p8" "$coalesced" "$cold" "$cold_storm" > "$OUT"
 echo "bench_serve: wrote $OUT" >&2

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # CI smoke test for gt-serve: boot `gtree serve` on loopback, drive a
 # short pipelined closed-loop load, and fail on any error reply or
-# transport failure.  Also checks that SIGINT drains the server.
+# transport failure.  Then a distinct-key cold-storm burst: every
+# request is a cold miss crossing the shared executor, and any shed
+# (429) or timeout (408) fails the run — a regression guard for the
+# executor's queue sizing and dispatch throughput.  Also checks that
+# SIGINT drains the server.
 #
 # Environment overrides: GTREE_BIN, SMOKE_PORT, SMOKE_DURATION (s).
 set -euo pipefail
@@ -17,7 +21,7 @@ if [ ! -x "$BIN" ]; then
   (cd "$ROOT" && cargo build --release -q)
 fi
 
-"$BIN" serve --addr "$ADDR" --workers 2 >/dev/null 2>&1 &
+"$BIN" serve --addr "$ADDR" --eval-workers 2 --queue-depth 512 >/dev/null 2>&1 &
 SERVER_PID=$!
 trap 'kill -INT "$SERVER_PID" 2>/dev/null || true; wait "$SERVER_PID" 2>/dev/null || true' EXIT
 
@@ -49,6 +53,26 @@ fail=""
 [ "${bad:-0}" -eq 0 ] || { echo "ci_smoke: $bad bad-request replies" >&2; fail=1; }
 [ "${other:-0}" -eq 0 ] || { echo "ci_smoke: $other unexpected error replies" >&2; fail=1; }
 [ "${transport:-0}" -eq 0 ] || { echo "ci_smoke: $transport transport errors" >&2; fail=1; }
+[ -z "$fail" ] || exit 1
+
+# Cold-storm burst: 16 conns × window 4 of distinct small keys.  The
+# executor must batch through all of them within their (default 10s)
+# deadlines and without shedding — sheds or timeouts mean the cold
+# path regressed.
+json=$("$BIN" loadgen --addr "$ADDR" --rps 0 --duration "$DUR" --conns 16 \
+  --pipeline 4 --spec worst:d=2,n=10 --algo seq-solve --distinct --json)
+echo "ci_smoke: cold storm $json"
+
+ok=$(field ok)
+shed=$(field shed)
+timeout=$(field timeout)
+transport=$(field transport_errors)
+
+fail=""
+[ "${ok:-0}" -gt 0 ] || { echo "ci_smoke: cold storm got no successful replies" >&2; fail=1; }
+[ "${shed:-0}" -eq 0 ] || { echo "ci_smoke: cold storm shed $shed requests" >&2; fail=1; }
+[ "${timeout:-0}" -eq 0 ] || { echo "ci_smoke: cold storm timed out $timeout requests" >&2; fail=1; }
+[ "${transport:-0}" -eq 0 ] || { echo "ci_smoke: cold storm hit $transport transport errors" >&2; fail=1; }
 [ -z "$fail" ] || exit 1
 
 # SIGINT must drain the server and let it exit cleanly.

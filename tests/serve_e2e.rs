@@ -326,6 +326,87 @@ fn stats_request_reflects_traffic() {
     server.join();
 }
 
+/// Threads in this process, from the kernel's point of view.  Linux
+/// only — exactly where the regression matters for the benchmarks.
+#[cfg(target_os = "linux")]
+fn process_thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").unwrap().count()
+}
+
+/// Regression test for the unbounded-thread model this service started
+/// with: every cache miss used to get a detached `thread::spawn`, so a
+/// cold storm of distinct keys meant one OS thread per in-flight
+/// request.  With the shared executor the census is fixed — one
+/// acceptor, one reader per connection, `workers` eval threads, and one
+/// reaper — no matter how many misses are queued.
+#[cfg(target_os = "linux")]
+#[test]
+fn cold_storm_keeps_a_fixed_thread_census() {
+    const CONNS: usize = 32;
+    const PER_CONN: usize = 4;
+
+    let before = process_thread_count();
+    let server = start(Config {
+        workers: 2,
+        queue_depth: 256,
+        cache_capacity: 0,
+        ..Config::default()
+    });
+    let addr = server.local_addr();
+
+    // Pipeline distinct-key slow evals on every connection without
+    // reading replies: 128 cold misses in flight at once.  Each spec
+    // carries a unique (ignored-by-worst) seed so canonicalization
+    // cannot fold them together.
+    let conns: Vec<TcpStream> = (0..CONNS)
+        .map(|c| {
+            let s = TcpStream::connect(addr).unwrap();
+            let mut w = s.try_clone().unwrap();
+            for i in 0..PER_CONN {
+                let salt = c * PER_CONN + i;
+                writeln!(
+                    w,
+                    r#"{{"spec":"worst:d=2,n=26,seed={salt}","algo":"cascade:w=1","deadline_ms":2000}}"#
+                )
+                .unwrap();
+            }
+            w.flush().unwrap();
+            s
+        })
+        .collect();
+
+    // Give the readers time to dispatch everything into the executor.
+    std::thread::sleep(Duration::from_millis(300));
+    let during = process_thread_count();
+    let spawned = during.saturating_sub(before);
+
+    // Budget: acceptor + one reader per connection + 2 eval workers +
+    // reaper, plus generous slack for the *other* e2e tests sharing
+    // this process under the parallel test harness.  The old per-miss
+    // model would spawn 128 eval threads on top of the readers and sit
+    // well past 160.
+    let budget = CONNS + 2 + 2 + 64;
+    assert!(
+        spawned <= budget,
+        "thread census grew by {spawned} (budget {budget}): \
+         eval concurrency is no longer bounded by the worker pool"
+    );
+
+    // Closing the sockets lets the readers drain; queued jobs resolve
+    // via the reaper at their 2s deadlines.
+    drop(conns);
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown_server().unwrap();
+    let stats = server.join();
+    assert_eq!(stats.ok, 0);
+    assert!(
+        stats.timeout + stats.shed >= (CONNS * PER_CONN) as u64,
+        "every in-flight miss must resolve: timeout={} shed={}",
+        stats.timeout,
+        stats.shed
+    );
+}
+
 #[test]
 fn graceful_shutdown_drains_in_flight_work() {
     let server = start(Config {
