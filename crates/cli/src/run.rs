@@ -43,7 +43,8 @@ USAGE:
   gtree msgsim --gen <SPEC> [--processors P]
   gtree serve  [--addr A] [--eval-workers N] [--queue-depth N] [--batch-max N]
                [--small-cost C] [--cache N] [--shards N] [--cache-ttl MS]
-               [--conn-window N] [--deadline-ms MS]
+               [--conn-window N] [--deadline-ms MS] [--trace-ring N]
+               [--slow-us US] [--metrics-addr A]
   gtree loadgen [--addr A] [--conns N] [--rps R] [--duration SECS]
                [--pipeline N] [--spec SPEC] [--algo SERVE-ALGO]
                [--deadline-ms MS] [--distinct] [--server-stats] [--json]
@@ -60,7 +61,10 @@ closed loop with --pipeline > 1, distinct-key cold storm with
 round cascade ybw tt.  --eval-workers bounds total engine concurrency
 (--workers is a deprecated alias); jobs cheaper than --small-cost
 leaves are micro-batched up to --batch-max per dispatch; --cache-ttl
-expires cached results.
+expires cached results.  Observability (docs/OBSERVABILITY.md): the
+flight recorder keeps the last --trace-ring request traces plus every
+slow (>= --slow-us) or failed one, read back with {\"op\":\"trace\"};
+--metrics-addr serves Prometheus text exposition over HTTP.
 ";
 
 /// Parsed common options.
@@ -459,6 +463,9 @@ fn run_serve(args: &[String]) -> Result<String, CliError> {
             "--deadline-ms" => {
                 config.default_deadline_ms = parse_flag("--deadline-ms", &next(&mut i)?)?;
             }
+            "--trace-ring" => config.trace_ring = parse_flag("--trace-ring", &next(&mut i)?)?,
+            "--slow-us" => config.slow_us = parse_flag("--slow-us", &next(&mut i)?)?,
+            "--metrics-addr" => config.metrics_addr = Some(next(&mut i)?),
             other => return Err(CliError::usage(format!("unknown argument {other:?}"))),
         }
         i += 1;
@@ -673,6 +680,8 @@ mod tests {
             "--batch-max",
             "--small-cost",
             "--cache-ttl",
+            "--trace-ring",
+            "--slow-us",
         ] {
             assert_eq!(
                 run_str(&["serve", flag, "many"]).unwrap_err().exit_code,
@@ -680,6 +689,12 @@ mod tests {
                 "{flag} must parse as a number"
             );
         }
+        assert_eq!(
+            run_str(&["serve", "--metrics-addr"]).unwrap_err().exit_code,
+            2,
+            "--metrics-addr needs a value"
+        );
+        assert!(run_str(&["help"]).unwrap().contains("--trace-ring"));
     }
 
     #[test]

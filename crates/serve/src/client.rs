@@ -89,6 +89,7 @@ impl Client {
             spec: None,
             algo: None,
             deadline_ms: None,
+            n: None,
         })
     }
 

@@ -34,8 +34,15 @@
 //!   duplicates wait on the leader's flight instead of occupying
 //!   queue slots.
 //! * **Metrics registry** ([`metrics`]) — request/reject/timeout/cache
-//!   counters and a log-bucketed latency histogram, exposed via a
-//!   `stats` request and dumped as JSON on shutdown.
+//!   counters, a log-bucketed latency histogram, and per-algorithm
+//!   stage histograms with aggregated engine work counters, exposed
+//!   via a `stats` request and dumped as JSON on shutdown.
+//! * **Tracing and exposition** ([`trace`]) — every request is stamped
+//!   through recv → parse → probe → enqueue → dispatch → engine →
+//!   write; a bounded flight recorder retains recent and notable
+//!   (slow/shed/timed-out) traces for the `trace` request, and a
+//!   minimal HTTP listener serves the whole registry as Prometheus
+//!   text exposition on `--metrics-addr` (see `docs/OBSERVABILITY.md`).
 //! * **Load generator** ([`loadgen`]) — open- and closed-loop client
 //!   fleets, optionally pipelined, so throughput and tail latency are
 //!   measurable in-repo.
@@ -72,6 +79,7 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod singleflight;
+pub mod trace;
 pub mod workload;
 
 pub use cache::{CacheStats, LruCache, ShardedCache};
@@ -82,4 +90,5 @@ pub use metrics::{Metrics, MetricsSnapshot};
 pub use protocol::{ErrorCode, Op, Request, Response};
 pub use server::{Config, Server};
 pub use singleflight::{Flight, FlightResult, FlightTable, Joined};
+pub use trace::{FlightRecorder, MetricsListener, StageStamps, TraceRecord};
 pub use workload::{estimated_cost, AlgoSpec, EvalOutcome};

@@ -348,6 +348,7 @@ fn pipelined_worker(config: &LoadgenConfig, conn: usize, window: usize) -> Tally
                 spec: Some(spec),
                 algo: Some(config.algo.clone()),
                 deadline_ms: config.deadline_ms,
+                n: None,
             };
             tally.sent += 1;
             match client.write_request(&request) {

@@ -1,19 +1,56 @@
-//! The serving metrics registry: lock-free counters plus a log-bucketed
-//! latency histogram.
+//! The serving metrics registry: lock-free counters plus log-bucketed
+//! latency histograms, including a per-algorithm stage breakdown.
 //!
 //! Counters are plain relaxed atomics — every code path that touches
 //! them is already synchronized by the channels it communicates over,
 //! so the registry never becomes a contention point.  Latencies land in
-//! power-of-two microsecond buckets; quantiles are read back as the
-//! upper bound of the bucket containing the target rank, which is exact
-//! enough for serving dashboards (within 2× at every scale) and costs
-//! one atomic increment per request.  Rendering rides on
+//! power-of-two microsecond buckets; quantiles are read back by linear
+//! interpolation within the bucket containing the target rank, so
+//! unimodal load no longer collapses p50/p90/p99 onto one bucket bound.
+//! Each algorithm additionally gets four stage histograms (`queue_wait`,
+//! `batch_wait`, `engine`, `write`) and the paper's work counters
+//! (leaves, steps, max frontier width, pruning events), registered
+//! lazily on first dispatch.  Rendering rides on
 //! [`gt_analysis::histogram`] and [`gt_analysis::Json`].
 
+use crate::workload::EvalOutcome;
 use gt_analysis::{histogram, Json};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 const BUCKETS: usize = 40;
+
+/// Inclusive-exclusive value range of bucket `i`: `[0,2)` for bucket 0,
+/// `[2^i, 2^{i+1})` above it.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    let lo = if i == 0 { 0 } else { 1u64 << i };
+    (lo, 1u64 << (i + 1))
+}
+
+/// `q`-quantile over power-of-two bucket counts, linearly interpolated
+/// within the target bucket (rank semantics: the value at the ceiling
+/// rank, with uniform mass assumed across each bucket's range).
+fn quantile_from_buckets(buckets: &[u64], count: u64, q: f64) -> Option<u64> {
+    if count == 0 {
+        return None;
+    }
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if seen + c >= target {
+            let (lo, hi) = bucket_bounds(i);
+            let frac = (target - seen) as f64 / c as f64;
+            return Some(lo + (frac * (hi - lo) as f64) as u64);
+        }
+        seen += c;
+    }
+    None
+}
 
 /// Lock-free latency histogram over power-of-two microsecond buckets.
 pub struct LatencyHistogram {
@@ -50,6 +87,63 @@ impl LatencyHistogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
+    }
+
+    fn snapshot_full(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            buckets: self.snapshot(),
+        }
+    }
+}
+
+/// A frozen latency histogram: counts plus derived statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations, microseconds.
+    pub sum_us: u64,
+    /// Power-of-two bucket counts.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Interpolated `q`-quantile in microseconds.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        quantile_from_buckets(&self.buckets, self.count, q)
+    }
+
+    /// Mean in microseconds.
+    pub fn mean_us(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum_us as f64 / self.count as f64)
+        }
+    }
+
+    /// Compact JSON summary (`count`, `sum_us`, mean and quantiles).
+    pub fn to_json(&self) -> Json {
+        let q = |q: f64| match self.quantile_us(q) {
+            Some(us) => Json::from(us),
+            None => Json::Null,
+        };
+        Json::obj([
+            ("count", Json::from(self.count)),
+            ("sum_us", Json::from(self.sum_us)),
+            (
+                "mean_us",
+                match self.mean_us() {
+                    Some(m) => Json::from(m),
+                    None => Json::Null,
+                },
+            ),
+            ("p50_us", q(0.50)),
+            ("p90_us", q(0.90)),
+            ("p99_us", q(0.99)),
+        ])
     }
 }
 
@@ -93,6 +187,117 @@ impl BatchHistogram {
     }
 }
 
+/// Per-algorithm stage histograms plus the paper's engine work
+/// aggregates, registered lazily the first time an algorithm is
+/// dispatched.
+#[derive(Default)]
+pub struct AlgoStages {
+    /// Enqueue → a worker popped the job's batch.
+    pub queue_wait: LatencyHistogram,
+    /// Batch popped → this job's engine started (time behind
+    /// batchmates).
+    pub batch_wait: LatencyHistogram,
+    /// Engine run time.
+    pub engine: LatencyHistogram,
+    /// Result published → reply bytes written.
+    pub write: LatencyHistogram,
+    /// Engine runs completed for this algorithm.
+    pub evals: AtomicU64,
+    /// Total leaves/positions evaluated — the paper's work `W(T)`,
+    /// summed over runs.
+    pub leaves: AtomicU64,
+    /// Total parallel steps/rounds — the paper's `P(T)`, summed.
+    pub steps: AtomicU64,
+    /// Total pruning events (α≥β cutoffs, NOR short-circuits, tt hits).
+    pub pruned: AtomicU64,
+    /// Largest frontier width any run reached — "processors used".
+    pub max_width: AtomicU64,
+}
+
+impl AlgoStages {
+    /// Fold one completed engine run into the work aggregates.
+    pub fn record_work(&self, outcome: &EvalOutcome) {
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        self.leaves.fetch_add(outcome.work, Ordering::Relaxed);
+        self.steps.fetch_add(outcome.steps, Ordering::Relaxed);
+        self.pruned.fetch_add(outcome.pruned, Ordering::Relaxed);
+        self.max_width
+            .fetch_max(u64::from(outcome.max_width), Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, algo: &str) -> AlgoStagesSnapshot {
+        AlgoStagesSnapshot {
+            algo: algo.to_string(),
+            queue_wait: self.queue_wait.snapshot_full(),
+            batch_wait: self.batch_wait.snapshot_full(),
+            engine: self.engine.snapshot_full(),
+            write: self.write.snapshot_full(),
+            evals: self.evals.load(Ordering::Relaxed),
+            leaves: self.leaves.load(Ordering::Relaxed),
+            steps: self.steps.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+            max_width: self.max_width.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen copy of one algorithm's [`AlgoStages`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgoStagesSnapshot {
+    /// Algorithm name (the request's `algo` selector name).
+    pub algo: String,
+    /// See [`AlgoStages::queue_wait`].
+    pub queue_wait: HistogramSnapshot,
+    /// See [`AlgoStages::batch_wait`].
+    pub batch_wait: HistogramSnapshot,
+    /// See [`AlgoStages::engine`].
+    pub engine: HistogramSnapshot,
+    /// See [`AlgoStages::write`].
+    pub write: HistogramSnapshot,
+    /// See [`AlgoStages::evals`].
+    pub evals: u64,
+    /// See [`AlgoStages::leaves`].
+    pub leaves: u64,
+    /// See [`AlgoStages::steps`].
+    pub steps: u64,
+    /// See [`AlgoStages::pruned`].
+    pub pruned: u64,
+    /// See [`AlgoStages::max_width`].
+    pub max_width: u64,
+}
+
+impl AlgoStagesSnapshot {
+    /// Serialize for the `stats` reply.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("queue_wait", self.queue_wait.to_json()),
+            ("batch_wait", self.batch_wait.to_json()),
+            ("engine", self.engine.to_json()),
+            ("write", self.write.to_json()),
+            (
+                "work",
+                Json::obj([
+                    ("evals", Json::from(self.evals)),
+                    ("leaves", Json::from(self.leaves)),
+                    ("steps", Json::from(self.steps)),
+                    ("pruned", Json::from(self.pruned)),
+                    ("max_width", Json::from(self.max_width)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Server start time with a `Default` impl so [`Metrics`] can keep
+/// deriving `Default`.
+struct StartTime(Instant);
+
+impl Default for StartTime {
+    fn default() -> Self {
+        StartTime(Instant::now())
+    }
+}
+
 /// The registry: one instance per server, shared by every thread.
 #[derive(Default)]
 pub struct Metrics {
@@ -125,9 +330,27 @@ pub struct Metrics {
     pub latency: LatencyHistogram,
     /// Executor dispatch sizes (micro-batching telemetry).
     pub batches: BatchHistogram,
+    /// Per-algorithm stage histograms and work aggregates.
+    stages: RwLock<BTreeMap<String, Arc<AlgoStages>>>,
+    /// When this registry (≈ the server) came up.
+    started: StartTime,
 }
 
 impl Metrics {
+    /// The stage/work accumulator for `algo`, created on first use.
+    pub fn algo_stages(&self, algo: &str) -> Arc<AlgoStages> {
+        if let Some(s) = self.stages.read().unwrap().get(algo) {
+            return Arc::clone(s);
+        }
+        let mut w = self.stages.write().unwrap();
+        Arc::clone(w.entry(algo.to_string()).or_default())
+    }
+
+    /// Microseconds since the registry was created.
+    pub fn uptime_us(&self) -> u64 {
+        self.started.0.elapsed().as_micros() as u64
+    }
+
     /// Freeze the registry into a plain-data snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let r = |c: &AtomicU64| c.load(Ordering::Relaxed);
@@ -150,6 +373,14 @@ impl Metrics {
             batches: self.batches.batches.load(Ordering::Relaxed),
             batch_jobs: self.batches.jobs.load(Ordering::Relaxed),
             batch_size_buckets: self.batches.snapshot(),
+            stages: self
+                .stages
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(name, s)| s.snapshot(name))
+                .collect(),
+            uptime_us: self.uptime_us(),
         }
     }
 }
@@ -195,24 +426,20 @@ pub struct MetricsSnapshot {
     /// Power-of-two dispatch-size bucket counts (bucket `i` covers
     /// batches of `[2^i, 2^{i+1})` jobs).
     pub batch_size_buckets: Vec<u64>,
+    /// Per-algorithm stage histograms and work aggregates, sorted by
+    /// algorithm name.
+    pub stages: Vec<AlgoStagesSnapshot>,
+    /// Server uptime at snapshot time, microseconds.
+    pub uptime_us: u64,
 }
 
 impl MetricsSnapshot {
-    /// Upper bound (µs) of the bucket holding the `q`-quantile
-    /// observation, `0.0 < q <= 1.0`; `None` when nothing was recorded.
+    /// The `q`-quantile latency in µs, `0.0 < q <= 1.0`, linearly
+    /// interpolated within the bucket holding the target rank (so
+    /// distinct quantiles stay distinct even when one bucket holds all
+    /// the mass); `None` when nothing was recorded.
     pub fn latency_quantile_us(&self, q: f64) -> Option<u64> {
-        if self.latency_count == 0 {
-            return None;
-        }
-        let target = ((q * self.latency_count as f64).ceil() as u64).clamp(1, self.latency_count);
-        let mut seen = 0u64;
-        for (i, &c) in self.latency_buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Some(1u64 << (i + 1).min(63));
-            }
-        }
-        None
+        quantile_from_buckets(&self.latency_buckets, self.latency_count, q)
     }
 
     /// Mean latency in microseconds.
@@ -282,6 +509,17 @@ impl MetricsSnapshot {
                         .collect(),
                 ),
             ),
+            (
+                "stages",
+                Json::Object(
+                    self.stages
+                        .iter()
+                        .map(|s| (s.algo.clone(), s.to_json()))
+                        .collect(),
+                ),
+            ),
+            ("uptime_s", Json::from(self.uptime_us as f64 / 1e6)),
+            ("version", Json::from(env!("CARGO_PKG_VERSION"))),
         ])
     }
 
@@ -313,7 +551,7 @@ impl MetricsSnapshot {
         if self.latency_count > 0 {
             let _ = writeln!(
                 out,
-                "latency     : n={} mean={:.0}us p50<={}us p99<={}us",
+                "latency     : n={} mean={:.0}us p50~{}us p99~{}us",
                 self.latency_count,
                 self.latency_mean_us().unwrap_or(0.0),
                 self.latency_quantile_us(0.5).unwrap_or(0),
@@ -362,11 +600,86 @@ mod tests {
         }
         let s = m.snapshot();
         assert_eq!(s.latency_count, 10);
-        // p50 falls in the [8,16) bucket → upper bound 16.
-        assert_eq!(s.latency_quantile_us(0.5), Some(16));
-        // p99 rank is the 5000µs outlier → bucket [4096,8192).
+        // p50 is rank 5 of 9 in the [8,16) bucket → 8 + 5/9·8 = 12.
+        assert_eq!(s.latency_quantile_us(0.5), Some(12));
+        // p99 rank is the 5000µs outlier — last rank of the [4096,8192)
+        // bucket, so interpolation lands on the upper bound.
         assert_eq!(s.latency_quantile_us(0.99), Some(8192));
         assert!(s.latency_mean_us().unwrap() > 10.0);
+    }
+
+    #[test]
+    fn quantiles_do_not_saturate_within_one_bucket() {
+        // The cold_storm failure mode: every observation in one bucket
+        // used to collapse p50 = p90 = p99 onto the bucket bound.
+        let m = Metrics::default();
+        for _ in 0..100 {
+            m.latency.record(70_000); // bucket [65536, 131072)
+        }
+        let s = m.snapshot();
+        let p50 = s.latency_quantile_us(0.50).unwrap();
+        let p90 = s.latency_quantile_us(0.90).unwrap();
+        let p99 = s.latency_quantile_us(0.99).unwrap();
+        assert!(p50 < p90 && p90 < p99, "{p50} {p90} {p99}");
+        assert!((65_536..131_072).contains(&p50));
+        assert!((65_536..=131_072).contains(&p99));
+    }
+
+    #[test]
+    fn stage_registry_accumulates_per_algorithm() {
+        let m = Metrics::default();
+        let st = m.algo_stages("cascade");
+        st.queue_wait.record(100);
+        st.engine.record(2_000);
+        st.record_work(&EvalOutcome {
+            value: 1,
+            work: 64,
+            steps: 8,
+            max_width: 4,
+            pruned: 3,
+        });
+        st.record_work(&EvalOutcome {
+            value: 0,
+            work: 36,
+            steps: 6,
+            max_width: 9,
+            pruned: 1,
+        });
+        // Same name returns the same accumulator.
+        assert_eq!(m.algo_stages("cascade").evals.load(Ordering::Relaxed), 2);
+        let s = m.snapshot();
+        assert_eq!(s.stages.len(), 1);
+        let cs = &s.stages[0];
+        assert_eq!(cs.algo, "cascade");
+        assert_eq!(cs.leaves, 100);
+        assert_eq!(cs.steps, 14);
+        assert_eq!(cs.pruned, 4);
+        assert_eq!(cs.max_width, 9);
+        assert_eq!(cs.queue_wait.count, 1);
+        assert_eq!(cs.engine.count, 1);
+        assert_eq!(cs.batch_wait.count, 0);
+        let j = s.to_json();
+        let work = j.get("stages").and_then(|s| s.get("cascade")).unwrap();
+        assert_eq!(
+            work.get("work")
+                .and_then(|w| w.get("leaves"))
+                .and_then(Json::as_u64),
+            Some(100)
+        );
+    }
+
+    #[test]
+    fn snapshot_reports_uptime_and_version() {
+        let m = Metrics::default();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let s = m.snapshot();
+        assert!(s.uptime_us >= 1_000);
+        let j = s.to_json();
+        assert!(j.get("uptime_s").is_some());
+        assert_eq!(
+            j.get("version").and_then(Json::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
     }
 
     #[test]

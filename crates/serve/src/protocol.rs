@@ -30,6 +30,8 @@ pub enum Op {
     /// Begin a graceful drain: in-flight work completes, new evals are
     /// rejected, the server exits once idle.
     Shutdown,
+    /// Return recent request traces from the flight recorder.
+    Trace,
 }
 
 /// A parsed request line.
@@ -45,6 +47,8 @@ pub struct Request {
     pub algo: Option<String>,
     /// Per-request deadline; overrides the server default.
     pub deadline_ms: Option<u64>,
+    /// For `trace`: cap on the number of returned traces.
+    pub n: Option<u64>,
 }
 
 impl Request {
@@ -59,6 +63,7 @@ impl Request {
             "stats" => Op::Stats,
             "ping" => Op::Ping,
             "shutdown" => Op::Shutdown,
+            "trace" => Op::Trace,
             other => return Err(format!("unknown op {other:?}")),
         };
         let id = j.get("id").and_then(|v| match v {
@@ -75,6 +80,13 @@ impl Request {
                     .ok_or_else(|| "deadline_ms must be a non-negative integer".to_string())?,
             ),
         };
+        let n = match j.get("n") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| "n must be a non-negative integer".to_string())?,
+            ),
+        };
         if op == Op::Eval && spec.is_none() {
             return Err("eval request needs a \"spec\" field".into());
         }
@@ -84,6 +96,7 @@ impl Request {
             spec,
             algo,
             deadline_ms,
+            n,
         })
     }
 
@@ -95,6 +108,7 @@ impl Request {
             spec: Some(spec.to_string()),
             algo: Some(algo.to_string()),
             deadline_ms,
+            n: None,
         }
     }
 
@@ -106,6 +120,7 @@ impl Request {
             Op::Stats => "stats",
             Op::Ping => "ping",
             Op::Shutdown => "shutdown",
+            Op::Trace => "trace",
         };
         fields.push(("op".into(), Json::from(op)));
         if let Some(id) = &self.id {
@@ -119,6 +134,9 @@ impl Request {
         }
         if let Some(ms) = self.deadline_ms {
             fields.push(("deadline_ms".into(), Json::from(ms)));
+        }
+        if let Some(n) = self.n {
+            fields.push(("n".into(), Json::from(n)));
         }
         Json::Object(fields).render()
     }
@@ -288,6 +306,22 @@ mod tests {
         ] {
             assert_eq!(Request::parse(text).unwrap().op, op);
         }
+    }
+
+    #[test]
+    fn trace_op_parses_with_optional_limit() {
+        let r = Request::parse(r#"{"op":"trace"}"#).unwrap();
+        assert_eq!(r.op, Op::Trace);
+        assert_eq!(r.n, None);
+        let r = Request::parse(r#"{"op":"trace","n":5}"#).unwrap();
+        assert_eq!(r.n, Some(5));
+        assert!(Request::parse(r#"{"op":"trace","n":"lots"}"#).is_err());
+        // Render/parse round-trip keeps the limit.
+        let mut req = Request::parse(r#"{"op":"trace"}"#).unwrap();
+        req.n = Some(3);
+        let back = Request::parse(&req.render()).unwrap();
+        assert_eq!(back.op, Op::Trace);
+        assert_eq!(back.n, Some(3));
     }
 
     #[test]

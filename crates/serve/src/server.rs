@@ -59,6 +59,10 @@ use crate::executor::{CostClass, Executor, ExecutorConfig, SubmitError};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::protocol::{error_line, ok_line, ErrorCode, Op, Request, PROTOCOL_VERSION};
 use crate::singleflight::{Flight, FlightResult, FlightTable, Joined};
+use crate::trace::{
+    render_prometheus, spawn_metrics_listener, FlightRecorder, MetricsListener, StageStamps,
+    TraceRecord,
+};
 use crate::workload::{
     estimated_cost, evaluate, validate, AlgoSpec, EvalError, EvalOutcome, ValidatedRequest,
 };
@@ -110,6 +114,16 @@ pub struct Config {
     pub conn_window: usize,
     /// Deadline applied to evals that do not carry `deadline_ms`.
     pub default_deadline_ms: u64,
+    /// Flight-recorder capacity: the last N request traces are kept,
+    /// plus up to N notable (slow/shed/timeout/failed) ones
+    /// (`--trace-ring`; 0 disables tracing).
+    pub trace_ring: usize,
+    /// End-to-end latency at or above which a request trace counts as
+    /// slow and is pinned in the notable ring (`--slow-us`).
+    pub slow_us: u64,
+    /// Bind address for the Prometheus `/metrics` HTTP listener
+    /// (`--metrics-addr`); `None` disables it.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for Config {
@@ -125,6 +139,9 @@ impl Default for Config {
             cache_ttl_ms: None,
             conn_window: 32,
             default_deadline_ms: 10_000,
+            trace_ring: 256,
+            slow_us: 100_000,
+            metrics_addr: None,
         }
     }
 }
@@ -148,6 +165,7 @@ struct Shared {
     flights: Arc<FlightTable<Pending>>,
     executor: Arc<Executor<Job>>,
     reaper: Arc<Reaper>,
+    recorder: Arc<FlightRecorder>,
     shutdown: Arc<AtomicBool>,
     default_deadline_ms: u64,
     conn_window: usize,
@@ -199,7 +217,17 @@ struct Pending {
     answered: AtomicBool,
     id: Option<String>,
     coalesced: bool,
+    /// When the request line came off the socket — the origin every
+    /// stage offset and the end-to-end latency are measured from.
     start: Instant,
+    /// Canonical cache key (for the trace record).
+    key: String,
+    /// Algorithm selector name (stage-histogram dimension).
+    algo: String,
+    /// recv → request line parsed, microseconds.
+    parse_us: u64,
+    /// recv → cache probed, microseconds.
+    probe_us: u64,
     writer: Arc<Mutex<TcpStream>>,
     window: Arc<Window>,
 }
@@ -212,31 +240,108 @@ impl Pending {
     }
 }
 
+/// Flatten one settled request into a [`TraceRecord`].  Flight stamps
+/// are offsets from the flight's enqueue instant; the record wants
+/// offsets from recv, so they are rebased through the enqueue offset.
+fn trace_from(
+    p: &Pending,
+    status: &str,
+    stamps: Option<&StageStamps>,
+    work: Option<EvalOutcome>,
+    latency_us: u64,
+) -> TraceRecord {
+    let enqueue_us = stamps.map(|s| s.base().saturating_duration_since(p.start).as_micros() as u64);
+    let rebase = |offset: Option<u64>| match (enqueue_us, offset) {
+        (Some(e), Some(us)) => Some(e + us),
+        _ => None,
+    };
+    TraceRecord {
+        seq: 0, // assigned by the recorder
+        id: p.id.clone(),
+        key: p.key.clone(),
+        algo: p.algo.clone(),
+        status: status.to_string(),
+        cached: false,
+        coalesced: p.coalesced,
+        latency_us,
+        parse_us: p.parse_us,
+        probe_us: p.probe_us,
+        enqueue_us,
+        dispatch_us: rebase(stamps.and_then(StageStamps::dispatch_us)),
+        engine_start_us: rebase(stamps.and_then(StageStamps::engine_start_us)),
+        engine_end_us: rebase(stamps.and_then(StageStamps::engine_end_us)),
+        work,
+    }
+}
+
 /// Answer a drained waiter with a flight result.  Safe to call from
-/// any thread; the claim makes duplicate calls no-ops.
-fn answer_pending(p: &Pending, m: &Metrics, result: &FlightResult) {
+/// any thread; the claim makes duplicate calls no-ops.  Also the
+/// choke point where the `write` stage histogram and the request's
+/// flight-recorder trace are emitted.
+fn answer_pending(
+    p: &Pending,
+    m: &Metrics,
+    result: &FlightResult,
+    recorder: &FlightRecorder,
+    stamps: Option<&StageStamps>,
+) {
     if !p.try_claim() {
         return;
     }
-    let reply = match result {
-        FlightResult::Done(outcome) => ok_eval_line(&p.id, outcome, false, p.coalesced, p.start, m),
+    let (reply, status, work) = match result {
+        FlightResult::Done(outcome) => {
+            // Render with the pre-write latency (a reply cannot embed
+            // the cost of its own write); the e2e histogram entry is
+            // recorded after the write below, so the stage ledger
+            // (… + write) and the histogram bracket the same interval.
+            let render_us = p.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            m.ok.fetch_add(1, Ordering::Relaxed);
+            (
+                render_ok_eval(&p.id, outcome, false, p.coalesced, render_us),
+                "ok",
+                Some(*outcome),
+            )
+        }
         FlightResult::Cancelled => {
             // Only reachable through drain races; waiters normally
             // expire (and count their own timeout) before a run is
             // cancelled.
             m.timeout.fetch_add(1, Ordering::Relaxed);
-            error_line(&p.id, ErrorCode::Timeout, "evaluation cancelled")
+            (
+                error_line(&p.id, ErrorCode::Timeout, "evaluation cancelled"),
+                "cancelled",
+                None,
+            )
         }
         FlightResult::Failed(e) => {
             m.internal.fetch_add(1, Ordering::Relaxed);
-            error_line(&p.id, ErrorCode::Internal, e)
+            (error_line(&p.id, ErrorCode::Internal, e), "internal", None)
         }
         FlightResult::Busy => {
             m.shed.fetch_add(1, Ordering::Relaxed);
-            error_line(&p.id, ErrorCode::Busy, "queue full")
+            (
+                error_line(&p.id, ErrorCode::Busy, "queue full"),
+                "busy",
+                None,
+            )
         }
     };
     let _ = write_reply(&p.writer, &reply);
+    let latency_us = p.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    if matches!(result, FlightResult::Done(_)) {
+        m.latency.record(latency_us);
+    }
+    // The write stage: result published (≈ engine end) → reply bytes
+    // on the wire, including any wait for the connection's writer lock.
+    if let Some(s) = stamps {
+        if let Some(ee) = s.engine_end_us() {
+            let total = s.base().elapsed().as_micros() as u64;
+            m.algo_stages(&p.algo)
+                .write
+                .record(total.saturating_sub(ee));
+        }
+    }
+    recorder.record(trace_from(p, status, stamps, work, latency_us));
     p.window.release();
 }
 
@@ -318,7 +423,7 @@ impl Reaper {
         self.cv.notify_all();
     }
 
-    fn run(&self, metrics: &Metrics) {
+    fn run(&self, metrics: &Metrics, recorder: &FlightRecorder) {
         loop {
             let due = {
                 let mut st = self.state.lock().unwrap();
@@ -348,9 +453,18 @@ impl Reaper {
                 &p.writer,
                 &error_line(&p.id, ErrorCode::Timeout, "deadline exceeded"),
             );
+            let latency_us = p.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            let flight = due.flight.upgrade();
+            recorder.record(trace_from(
+                &p,
+                "timeout",
+                flight.as_deref().map(|f| &f.stamps),
+                None,
+                latency_us,
+            ));
             p.window.release();
             // Leaving the flight cancels the run if nobody else waits.
-            if let Some(f) = due.flight.upgrade() {
+            if let Some(f) = flight {
                 f.detach(&p);
             }
         }
@@ -367,6 +481,8 @@ pub struct Server {
     executor: Arc<Executor<Job>>,
     reaper: Arc<Reaper>,
     reaper_handle: JoinHandle<()>,
+    recorder: Arc<FlightRecorder>,
+    metrics_listener: Option<MetricsListener>,
 }
 
 impl Server {
@@ -384,26 +500,50 @@ impl Server {
             config.cache_ttl_ms.map(Duration::from_millis),
         ));
         let flights: Arc<FlightTable<Pending>> = Arc::new(FlightTable::new());
+        let recorder = Arc::new(FlightRecorder::new(config.trace_ring, config.slow_us));
 
         let reaper = Arc::new(Reaper::new());
         let reaper_handle = {
             let reaper = Arc::clone(&reaper);
             let metrics = Arc::clone(&metrics);
-            thread::spawn(move || reaper.run(&metrics))
+            let recorder = Arc::clone(&recorder);
+            thread::spawn(move || reaper.run(&metrics, &recorder))
         };
 
         let executor = {
             let cache = Arc::clone(&cache);
             let flights = Arc::clone(&flights);
             let metrics = Arc::clone(&metrics);
+            let recorder = Arc::clone(&recorder);
             Arc::new(Executor::start(
                 ExecutorConfig {
                     workers: config.workers,
                     queue_depth: config.queue_depth,
                     batch_max: config.batch_max,
                 },
-                move |batch: Vec<Job>| run_batch(batch, &cache, &flights, &metrics),
+                move |batch: Vec<Job>| run_batch(batch, &cache, &flights, &metrics, &recorder),
             ))
+        };
+
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => {
+                let render: Arc<dyn Fn() -> String + Send + Sync> = {
+                    let metrics = Arc::clone(&metrics);
+                    let cache = Arc::clone(&cache);
+                    let executor = Arc::clone(&executor);
+                    let flights = Arc::clone(&flights);
+                    Arc::new(move || {
+                        render_prometheus(
+                            &metrics.snapshot(),
+                            &cache.stats(),
+                            executor.queued(),
+                            flights.len(),
+                        )
+                    })
+                };
+                Some(spawn_metrics_listener(addr.as_str(), render)?)
+            }
+            None => None,
         };
 
         let shared = Shared {
@@ -412,6 +552,7 @@ impl Server {
             flights,
             executor: Arc::clone(&executor),
             reaper: Arc::clone(&reaper),
+            recorder: Arc::clone(&recorder),
             shutdown: Arc::clone(&shutdown),
             default_deadline_ms: config.default_deadline_ms,
             conn_window: config.conn_window,
@@ -433,6 +574,8 @@ impl Server {
             executor,
             reaper,
             reaper_handle,
+            recorder,
+            metrics_listener,
         })
     }
 
@@ -449,6 +592,17 @@ impl Server {
     /// The live metrics registry.
     pub fn metrics(&self) -> Arc<Metrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The flight recorder (shared with every connection thread).
+    pub fn recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.recorder)
+    }
+
+    /// Where the `/metrics` endpoint is listening, if enabled (useful
+    /// with port 0 in `--metrics-addr`).
+    pub fn metrics_listener_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener.as_ref().map(|l| l.local_addr())
     }
 
     /// Begin a graceful drain (idempotent, returns immediately).
@@ -472,6 +626,9 @@ impl Server {
         self.executor.shutdown();
         self.reaper.stop();
         let _ = self.reaper_handle.join();
+        if let Some(listener) = self.metrics_listener {
+            listener.shutdown();
+        }
         self.metrics.snapshot()
     }
 }
@@ -485,20 +642,46 @@ fn run_batch(
     cache: &ResultCache,
     flights: &FlightTable<Pending>,
     metrics: &Metrics,
+    recorder: &FlightRecorder,
 ) {
     metrics.batches.record(batch.len());
+    // One dispatch stamp for the whole batch: every job left the queue
+    // when the worker popped it; time behind batchmates is batch_wait.
+    for job in &batch {
+        job.flight.stamps.stamp_dispatch();
+    }
     for job in batch {
         // Every waiter already gave up (last one out set the flag):
         // skip the run, retire the flight.
         if job.flight.cancel.load(Ordering::Relaxed) {
             for w in flights.publish(&job.cache_key, &job.flight, FlightResult::Cancelled) {
-                answer_pending(&w, metrics, &FlightResult::Cancelled);
+                answer_pending(&w, metrics, &FlightResult::Cancelled, recorder, None);
             }
             continue;
         }
-        let result = match evaluate(&job.spec, &job.algo, &job.flight.cancel) {
+        let stamps = &job.flight.stamps;
+        stamps.stamp_engine_start();
+        let evaluated = evaluate(&job.spec, &job.algo, &job.flight.cancel);
+        stamps.stamp_engine_end();
+
+        // Fold this run into the per-algorithm stage histograms and
+        // work aggregates (dispatch is always stamped here, so the
+        // unwraps below cannot misfire — but stay defensive).
+        let stages = metrics.algo_stages(&job.algo.name);
+        if let Some(d) = stamps.dispatch_us() {
+            stages.queue_wait.record(d);
+            if let Some(es) = stamps.engine_start_us() {
+                stages.batch_wait.record(es.saturating_sub(d));
+                if let Some(ee) = stamps.engine_end_us() {
+                    stages.engine.record(ee.saturating_sub(es));
+                }
+            }
+        }
+
+        let result = match evaluated {
             Ok(outcome) => {
                 metrics.evaluated.fetch_add(1, Ordering::Relaxed);
+                stages.record_work(&outcome);
                 // Insert before publishing: once any waiter observes
                 // the result, the cache must already have it.
                 cache.insert(job.cache_key.clone(), outcome);
@@ -508,7 +691,7 @@ fn run_batch(
             Err(EvalError::Bad(e)) => FlightResult::Failed(e),
         };
         for w in flights.publish(&job.cache_key, &job.flight, result.clone()) {
-            answer_pending(&w, metrics, &result);
+            answer_pending(&w, metrics, &result, recorder, Some(stamps));
         }
     }
 }
@@ -599,6 +782,8 @@ enum Handled {
         validated: ValidatedRequest,
         deadline: Instant,
         start: Instant,
+        parse_us: u64,
+        probe_us: u64,
     },
 }
 
@@ -617,12 +802,13 @@ fn connection_loop(stream: TcpStream, shared: &Shared) {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     while let Ok(true) = read_request_line(&mut reader, &mut line, &shared.shutdown) {
+        let recv = Instant::now();
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
         shared.metrics.received.fetch_add(1, Ordering::Relaxed);
-        match process_line(trimmed, shared) {
+        match process_line(trimmed, shared, recv) {
             Handled::Inline(reply) => {
                 if write_reply(&writer, &reply).is_err() {
                     break;
@@ -633,7 +819,11 @@ fn connection_loop(stream: TcpStream, shared: &Shared) {
                 validated,
                 deadline,
                 start,
-            } => dispatch_eval(shared, &writer, &window, id, validated, deadline, start),
+                parse_us,
+                probe_us,
+            } => dispatch_eval(
+                shared, &writer, &window, id, validated, deadline, start, parse_us, probe_us,
+            ),
         }
     }
     // Every dispatched request has written its reply once the window
@@ -641,8 +831,9 @@ fn connection_loop(stream: TcpStream, shared: &Shared) {
     window.drain();
 }
 
-/// Handle one request line on the reader thread.
-fn process_line(line: &str, shared: &Shared) -> Handled {
+/// Handle one request line on the reader thread.  `recv` is when the
+/// line came off the socket — the origin of every stage offset.
+fn process_line(line: &str, shared: &Shared, recv: Instant) -> Handled {
     let m = &shared.metrics;
     let request = match Request::parse(line) {
         Ok(r) => r,
@@ -651,6 +842,7 @@ fn process_line(line: &str, shared: &Shared) -> Handled {
             return Handled::Inline(error_line(&None, ErrorCode::BadRequest, &e));
         }
     };
+    let parse_us = recv.elapsed().as_micros() as u64;
     let id = request.id.clone();
     match request.op {
         Op::Ping => Handled::Inline(ok_line(
@@ -667,18 +859,33 @@ fn process_line(line: &str, shared: &Shared) -> Handled {
             let mut stats = m.snapshot().to_json();
             if let Json::Object(fields) = &mut stats {
                 fields.push(("cache".into(), shared.cache.stats().to_json()));
+                fields.push((
+                    "executor_queued".into(),
+                    Json::from(shared.executor.queued()),
+                ));
+                fields.push(("flights_inflight".into(), Json::from(shared.flights.len())));
             }
             Handled::Inline(ok_line(&id, vec![("stats", stats)]))
+        }
+        Op::Trace => {
+            let limit = request.n.unwrap_or(64).min(usize::MAX as u64) as usize;
+            Handled::Inline(ok_line(
+                &id,
+                vec![
+                    ("traces", shared.recorder.snapshot_json(limit)),
+                    ("slow_us", Json::from(shared.recorder.slow_us())),
+                ],
+            ))
         }
         Op::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             Handled::Inline(ok_line(&id, vec![("draining", Json::Bool(true))]))
         }
-        Op::Eval => process_eval(&request, shared),
+        Op::Eval => process_eval(&request, shared, recv, parse_us),
     }
 }
 
-fn process_eval(request: &Request, shared: &Shared) -> Handled {
+fn process_eval(request: &Request, shared: &Shared, recv: Instant, parse_us: u64) -> Handled {
     let m = &shared.metrics;
     let id = &request.id;
     if shared.shutdown.load(Ordering::SeqCst) {
@@ -694,13 +901,33 @@ fn process_eval(request: &Request, shared: &Shared) -> Handled {
             return Handled::Inline(error_line(id, ErrorCode::BadRequest, &e));
         }
     };
-    let start = Instant::now();
+    let start = recv;
 
     if let Some(hit) = shared.cache.get(&validated.cache_key) {
         m.cache_hits.fetch_add(1, Ordering::Relaxed);
-        return Handled::Inline(ok_eval_line(id, &hit, true, false, start, m));
+        let probe_us = recv.elapsed().as_micros() as u64;
+        let reply = ok_eval_line(id, &hit, true, false, start, m);
+        shared.recorder.record(TraceRecord {
+            seq: 0,
+            id: id.clone(),
+            key: validated.cache_key,
+            algo: validated.algo.name,
+            status: "ok".to_string(),
+            cached: true,
+            coalesced: false,
+            latency_us: recv.elapsed().as_micros() as u64,
+            parse_us,
+            probe_us,
+            enqueue_us: None,
+            dispatch_us: None,
+            engine_start_us: None,
+            engine_end_us: None,
+            work: Some(hit),
+        });
+        return Handled::Inline(reply);
     }
     m.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let probe_us = recv.elapsed().as_micros() as u64;
 
     let deadline_ms = request.deadline_ms.unwrap_or(shared.default_deadline_ms);
     // Clamp to a day so absurd values cannot overflow Instant math.
@@ -710,6 +937,8 @@ fn process_eval(request: &Request, shared: &Shared) -> Handled {
         validated,
         deadline,
         start,
+        parse_us,
+        probe_us,
     }
 }
 
@@ -726,10 +955,14 @@ fn dispatch_eval(
     validated: ValidatedRequest,
     deadline: Instant,
     start: Instant,
+    parse_us: u64,
+    probe_us: u64,
 ) {
     window.acquire(shared.conn_window);
     let m = &shared.metrics;
+    let recorder = &shared.recorder;
     let key = validated.cache_key.clone();
+    let algo_name = validated.algo.name.clone();
     let (pending, flight) = match shared.flights.join(&key) {
         Joined::Leader(flight) => {
             let pending = Arc::new(Pending {
@@ -737,6 +970,10 @@ fn dispatch_eval(
                 id,
                 coalesced: false,
                 start,
+                key: key.clone(),
+                algo: algo_name.clone(),
+                parse_us,
+                probe_us,
                 writer: Arc::clone(writer),
                 window: Arc::clone(window),
             });
@@ -746,7 +983,6 @@ fn dispatch_eval(
                 estimated_cost(&validated.spec, &validated.algo),
                 shared.small_cost_max,
             );
-            let algo_name = validated.algo.name.clone();
             let job = Job {
                 spec: validated.spec,
                 algo: validated.algo,
@@ -759,13 +995,13 @@ fn dispatch_eval(
                     // Publish so any follower that raced in is also
                     // answered instead of hanging.
                     for w in shared.flights.publish(&key, &flight, FlightResult::Busy) {
-                        answer_pending(&w, m, &FlightResult::Busy);
+                        answer_pending(&w, m, &FlightResult::Busy, recorder, None);
                     }
                 }
                 Err(SubmitError::Closed) => {
                     let result = FlightResult::Failed("worker pool is gone".into());
                     for w in shared.flights.publish(&key, &flight, result.clone()) {
-                        answer_pending(&w, m, &result);
+                        answer_pending(&w, m, &result, recorder, None);
                     }
                 }
             }
@@ -778,12 +1014,16 @@ fn dispatch_eval(
                 id,
                 coalesced: true,
                 start,
+                key: key.clone(),
+                algo: algo_name,
+                parse_us,
+                probe_us,
                 writer: Arc::clone(writer),
                 window: Arc::clone(window),
             });
             if let Some(result) = flight.attach(&pending) {
                 // The flight completed between join and attach.
-                answer_pending(&pending, m, &result);
+                answer_pending(&pending, m, &result, recorder, Some(&flight.stamps));
             }
             (pending, flight)
         }
@@ -806,11 +1046,21 @@ fn ok_eval_line(
     let latency_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
     m.ok.fetch_add(1, Ordering::Relaxed);
     m.latency.record(latency_us);
+    render_ok_eval(id, outcome, cached, coalesced, latency_us)
+}
+
+fn render_ok_eval(
+    id: &Option<String>,
+    outcome: &EvalOutcome,
+    cached: bool,
+    coalesced: bool,
+    latency_us: u64,
+) -> String {
     ok_line(
         id,
         vec![
             ("value", Json::from(outcome.value)),
-            ("work", Json::from(outcome.work)),
+            ("work", outcome.work_json()),
             ("steps", Json::from(outcome.steps)),
             ("cached", Json::Bool(cached)),
             ("coalesced", Json::Bool(coalesced)),
@@ -861,7 +1111,11 @@ mod tests {
         );
         assert!(r.ok, "eval failed: {:?}", r.error);
         assert_eq!(r.id.as_deref(), Some("a"));
-        assert_eq!(r.body.get("work").and_then(Json::as_u64), Some(64));
+        // `work` is an object carrying the paper's counters.
+        let work = r.body.get("work").unwrap();
+        assert_eq!(work.get("leaves").and_then(Json::as_u64), Some(64));
+        assert_eq!(work.get("max_width").and_then(Json::as_u64), Some(1));
+        assert!(work.get("pruned").and_then(Json::as_u64).is_some());
         assert!(!r.cached());
 
         // Same canonical request again: cache hit.
@@ -911,6 +1165,7 @@ mod tests {
                 |_batch: Vec<Job>| {},
             )),
             reaper: Arc::new(Reaper::new()),
+            recorder: Arc::new(FlightRecorder::new(16, 100_000)),
             shutdown: Arc::new(AtomicBool::new(draining)),
             default_deadline_ms: 1000,
             conn_window: 4,
@@ -923,7 +1178,7 @@ mod tests {
         // Unit-level: a request processed after the flag flips gets a
         // 503 (over the wire this is a race window, so test it here).
         let shared = test_shared(true);
-        let reply = match process_line(r#"{"spec":"worst:d=2,n=4"}"#, &shared) {
+        let reply = match process_line(r#"{"spec":"worst:d=2,n=4"}"#, &shared, Instant::now()) {
             Handled::Inline(reply) => reply,
             Handled::Dispatch { .. } => panic!("draining evals must not dispatch"),
         };
@@ -933,7 +1188,7 @@ mod tests {
         assert_eq!(r.code.as_deref(), Some("draining"));
         assert_eq!(shared.metrics.snapshot().draining, 1);
         // Control ops still answer while draining.
-        let reply = match process_line(r#"{"op":"ping"}"#, &shared) {
+        let reply = match process_line(r#"{"op":"ping"}"#, &shared, Instant::now()) {
             Handled::Inline(reply) => reply,
             Handled::Dispatch { .. } => panic!("ping is inline"),
         };
@@ -946,7 +1201,7 @@ mod tests {
     fn cache_misses_dispatch_and_hits_stay_inline() {
         let shared = test_shared(false);
         let line = r#"{"spec":"worst:d=2,n=4","algo":"seq-solve"}"#;
-        match process_line(line, &shared) {
+        match process_line(line, &shared, Instant::now()) {
             Handled::Dispatch { validated, .. } => {
                 assert_eq!(validated.cache_key, "worst:d=2,n=4|seq-solve");
             }
@@ -956,9 +1211,11 @@ mod tests {
             value: 1,
             work: 16,
             steps: 0,
+            max_width: 1,
+            pruned: 0,
         };
         shared.cache.insert("worst:d=2,n=4|seq-solve".into(), hit);
-        match process_line(line, &shared) {
+        match process_line(line, &shared, Instant::now()) {
             Handled::Inline(reply) => {
                 let r = Response::parse(&reply).unwrap();
                 assert!(r.ok);

@@ -31,6 +31,7 @@
 //! (`Arc::ptr_eq`), so a doomed flight's late publication cannot
 //! clobber its replacement.
 
+use crate::trace::StageStamps;
 use crate::workload::EvalOutcome;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -63,6 +64,10 @@ pub struct Flight<W> {
     /// The engine's cooperative-cancellation flag.  Set when the last
     /// waiter detaches, or by server drain.
     pub cancel: AtomicBool,
+    /// Stage timestamps for this run: the base instant is flight
+    /// creation (≈ executor enqueue); workers stamp dispatch and
+    /// engine start/end as the job progresses.
+    pub stamps: StageStamps,
 }
 
 impl<W> Flight<W> {
@@ -73,6 +78,7 @@ impl<W> Flight<W> {
                 waiters: Vec::new(),
             }),
             cancel: AtomicBool::new(false),
+            stamps: StageStamps::default(),
         }
     }
 
@@ -203,6 +209,8 @@ mod tests {
             value,
             work: 1,
             steps: 0,
+            max_width: 1,
+            pruned: 0,
         }
     }
 

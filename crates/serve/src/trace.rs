@@ -1,0 +1,961 @@
+//! gt-trace: per-request stage tracing, a flight recorder, and
+//! Prometheus text exposition for gt-serve.
+//!
+//! Three pieces, all std-only:
+//!
+//! * [`StageStamps`] — a per-flight timestamp card.  The base instant
+//!   is taken when the flight is enqueued; workers stamp microsecond
+//!   offsets (dispatch, engine start, engine end) into relaxed atomics
+//!   as the job moves through the executor.  The server folds the
+//!   deltas into the per-algorithm stage histograms
+//!   ([`crate::metrics::AlgoStages`]) and into a [`TraceRecord`].
+//! * [`FlightRecorder`] — two fixed-size rings of completed request
+//!   traces.  The *recent* ring holds the last N requests regardless
+//!   of outcome; the *notable* ring holds slow (≥ `--slow-us`), shed,
+//!   timed-out and failed requests so a burst of healthy traffic
+//!   cannot wash away the evidence of a bad one.  Memory is bounded by
+//!   construction: two `Vec`s of `Option<Arc<TraceRecord>>` slots that
+//!   are overwritten in place, never grown.  The `op:"trace"` protocol
+//!   verb snapshots both rings, newest first.
+//! * [`render_prometheus`] + [`spawn_metrics_listener`] — the metrics
+//!   registry, cache shards, executor queue depth and engine work
+//!   counters rendered in the Prometheus text exposition format
+//!   (version 0.0.4), served by a minimal single-threaded HTTP
+//!   listener on `--metrics-addr`.  Power-of-two microsecond buckets
+//!   become cumulative `le`-labelled buckets in seconds.
+
+use crate::cache::CacheStats;
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::workload::EvalOutcome;
+use gt_analysis::Json;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sentinel for "stage not reached".
+const UNSET: u64 = u64::MAX;
+
+/// Microsecond stage offsets for one engine flight, stamped lock-free
+/// as the job crosses thread boundaries.  The base instant is the
+/// moment the flight was created — i.e. right before the executor
+/// enqueue — so `dispatch` is the queue wait and `engine_start -
+/// dispatch` is the time spent waiting behind batchmates.
+pub struct StageStamps {
+    base: Instant,
+    dispatch: AtomicU64,
+    engine_start: AtomicU64,
+    engine_end: AtomicU64,
+}
+
+impl Default for StageStamps {
+    fn default() -> Self {
+        StageStamps {
+            base: Instant::now(),
+            dispatch: AtomicU64::new(UNSET),
+            engine_start: AtomicU64::new(UNSET),
+            engine_end: AtomicU64::new(UNSET),
+        }
+    }
+}
+
+impl StageStamps {
+    fn now_us(&self) -> u64 {
+        // Saturate the sentinel away: a real offset of u64::MAX µs
+        // would need half a million years of queueing.
+        (self.base.elapsed().as_micros() as u64).min(UNSET - 1)
+    }
+
+    /// The enqueue instant the offsets are relative to.
+    pub fn base(&self) -> Instant {
+        self.base
+    }
+
+    /// Stamp "a worker popped this job's batch".
+    pub fn stamp_dispatch(&self) {
+        self.dispatch.store(self.now_us(), Ordering::Relaxed);
+    }
+
+    /// Stamp "the engine for this job started".
+    pub fn stamp_engine_start(&self) {
+        self.engine_start.store(self.now_us(), Ordering::Relaxed);
+    }
+
+    /// Stamp "the engine for this job returned".
+    pub fn stamp_engine_end(&self) {
+        self.engine_end.store(self.now_us(), Ordering::Relaxed);
+    }
+
+    fn get(cell: &AtomicU64) -> Option<u64> {
+        match cell.load(Ordering::Relaxed) {
+            UNSET => None,
+            us => Some(us),
+        }
+    }
+
+    /// Offset of the dispatch stamp, if the job left the queue.
+    pub fn dispatch_us(&self) -> Option<u64> {
+        Self::get(&self.dispatch)
+    }
+
+    /// Offset of the engine-start stamp.
+    pub fn engine_start_us(&self) -> Option<u64> {
+        Self::get(&self.engine_start)
+    }
+
+    /// Offset of the engine-end stamp.
+    pub fn engine_end_us(&self) -> Option<u64> {
+        Self::get(&self.engine_end)
+    }
+}
+
+/// One finished request, flattened into plain data for the flight
+/// recorder and the `op:"trace"` reply.  All `_us` fields are offsets
+/// from the moment the request line was read off the socket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Recorder-assigned sequence number (monotone, newest = highest).
+    pub seq: u64,
+    /// The request's echoed `id`, if it sent one.
+    pub id: Option<String>,
+    /// Canonical cache key (`spec|algo`).
+    pub key: String,
+    /// Algorithm selector name (`cascade`, `seq-solve`, …).
+    pub algo: String,
+    /// Final disposition: `ok`, `timeout`, `busy`, `internal`,
+    /// `cancelled`.
+    pub status: String,
+    /// Answered from the result cache without touching the executor.
+    pub cached: bool,
+    /// Joined another request's in-flight engine run.
+    pub coalesced: bool,
+    /// recv → reply bytes written.
+    pub latency_us: u64,
+    /// recv → request line parsed.
+    pub parse_us: u64,
+    /// recv → cache probed (hit answered / miss validated).
+    pub probe_us: u64,
+    /// recv → flight enqueued on the executor (`None` for cache hits).
+    pub enqueue_us: Option<u64>,
+    /// recv → a worker popped the batch.
+    pub dispatch_us: Option<u64>,
+    /// recv → engine started.
+    pub engine_start_us: Option<u64>,
+    /// recv → engine returned.
+    pub engine_end_us: Option<u64>,
+    /// The engine's answer and work counters, when it produced one.
+    pub work: Option<EvalOutcome>,
+}
+
+fn opt_u64(v: Option<u64>) -> Json {
+    match v {
+        Some(us) => Json::from(us),
+        None => Json::Null,
+    }
+}
+
+impl TraceRecord {
+    /// Should this trace be pinned in the notable ring?
+    pub fn is_notable(&self, slow_us: u64) -> bool {
+        self.status != "ok" || self.latency_us >= slow_us
+    }
+
+    /// Serialize for the `op:"trace"` reply.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seq", Json::from(self.seq)),
+            (
+                "id",
+                match &self.id {
+                    Some(id) => Json::from(id.as_str()),
+                    None => Json::Null,
+                },
+            ),
+            ("key", Json::from(self.key.as_str())),
+            ("algo", Json::from(self.algo.as_str())),
+            ("status", Json::from(self.status.as_str())),
+            ("cached", Json::from(self.cached)),
+            ("coalesced", Json::from(self.coalesced)),
+            ("latency_us", Json::from(self.latency_us)),
+            ("parse_us", Json::from(self.parse_us)),
+            ("probe_us", Json::from(self.probe_us)),
+            ("enqueue_us", opt_u64(self.enqueue_us)),
+            ("dispatch_us", opt_u64(self.dispatch_us)),
+            ("engine_start_us", opt_u64(self.engine_start_us)),
+            ("engine_end_us", opt_u64(self.engine_end_us)),
+            (
+                "work",
+                match &self.work {
+                    Some(w) => w.work_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Parse a record rendered by [`TraceRecord::to_json`] — used by
+    /// clients of `op:"trace"` and the round-trip tests.
+    pub fn from_json(j: &Json) -> Result<TraceRecord, String> {
+        let need_u64 = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("trace record missing {k}"))
+        };
+        let need_str = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("trace record missing {k}"))
+        };
+        let opt = |k: &str| j.get(k).and_then(Json::as_u64);
+        let work = match j.get("work") {
+            None | Some(Json::Null) => None,
+            Some(w) => Some(EvalOutcome {
+                value: w
+                    .get("value")
+                    .and_then(Json::as_int)
+                    .ok_or("work missing value")? as i64,
+                work: w
+                    .get("leaves")
+                    .and_then(Json::as_u64)
+                    .ok_or("work missing leaves")?,
+                steps: w
+                    .get("steps")
+                    .and_then(Json::as_u64)
+                    .ok_or("work missing steps")?,
+                max_width: w
+                    .get("max_width")
+                    .and_then(Json::as_u64)
+                    .ok_or("work missing max_width")? as u32,
+                pruned: w
+                    .get("pruned")
+                    .and_then(Json::as_u64)
+                    .ok_or("work missing pruned")?,
+            }),
+        };
+        Ok(TraceRecord {
+            seq: need_u64("seq")?,
+            id: j.get("id").and_then(Json::as_str).map(str::to_string),
+            key: need_str("key")?,
+            algo: need_str("algo")?,
+            status: need_str("status")?,
+            cached: j.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            coalesced: j.get("coalesced").and_then(Json::as_bool).unwrap_or(false),
+            latency_us: need_u64("latency_us")?,
+            parse_us: need_u64("parse_us")?,
+            probe_us: need_u64("probe_us")?,
+            enqueue_us: opt("enqueue_us"),
+            dispatch_us: opt("dispatch_us"),
+            engine_start_us: opt("engine_start_us"),
+            engine_end_us: opt("engine_end_us"),
+            work,
+        })
+    }
+}
+
+/// A fixed-capacity overwrite-in-place ring of trace records.  Slots
+/// are individually locked so writers on different slots never
+/// contend; the cursor is a relaxed fetch-add, making `push` wait-free
+/// against other pushers apart from the (uncontended) slot lock.
+struct Ring {
+    slots: Vec<Mutex<Option<Arc<TraceRecord>>>>,
+    cursor: AtomicUsize,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, rec: Arc<TraceRecord>) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let at = self.cursor.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        *self.slots[at].lock().unwrap() = Some(rec);
+    }
+
+    fn collect_into(&self, out: &mut Vec<Arc<TraceRecord>>) {
+        for slot in &self.slots {
+            if let Some(rec) = slot.lock().unwrap().as_ref() {
+                out.push(Arc::clone(rec));
+            }
+        }
+    }
+}
+
+/// The flight recorder: last-N ring plus a pinned ring of notable
+/// (slow / shed / timed-out / failed) requests.  Total memory is
+/// `2 × capacity` records no matter how much traffic flows through.
+pub struct FlightRecorder {
+    recent: Ring,
+    notable: Ring,
+    slow_us: u64,
+    next_seq: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining `capacity` recent and `capacity` notable
+    /// traces; requests at or above `slow_us` microseconds end-to-end
+    /// count as notable.  `capacity = 0` disables recording.
+    pub fn new(capacity: usize, slow_us: u64) -> FlightRecorder {
+        FlightRecorder {
+            recent: Ring::new(capacity),
+            notable: Ring::new(capacity),
+            slow_us,
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The slow-trace threshold, microseconds.
+    pub fn slow_us(&self) -> u64 {
+        self.slow_us
+    }
+
+    /// Record one finished request.  Assigns the record's `seq`.
+    pub fn record(&self, mut rec: TraceRecord) {
+        rec.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let rec = Arc::new(rec);
+        if rec.is_notable(self.slow_us) {
+            self.notable.push(Arc::clone(&rec));
+        }
+        self.recent.push(rec);
+    }
+
+    /// Up to `limit` retained traces, newest first, notable and recent
+    /// merged without duplicates.
+    pub fn snapshot(&self, limit: usize) -> Vec<Arc<TraceRecord>> {
+        let mut all = Vec::new();
+        self.recent.collect_into(&mut all);
+        self.notable.collect_into(&mut all);
+        all.sort_by_key(|r| std::cmp::Reverse(r.seq));
+        all.dedup_by(|a, b| a.seq == b.seq);
+        all.truncate(limit);
+        all
+    }
+
+    /// Serialize a snapshot for the `op:"trace"` reply.
+    pub fn snapshot_json(&self, limit: usize) -> Json {
+        Json::Array(self.snapshot(limit).iter().map(|r| r.to_json()).collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition (format version 0.0.4).
+// ---------------------------------------------------------------------------
+
+/// `le` bound of power-of-two µs bucket `i`, in seconds.
+fn le_seconds(i: usize) -> f64 {
+    (1u64 << (i + 1)) as f64 / 1e6
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Render one histogram's sample lines (cumulative `le` buckets in
+/// seconds, then `_sum` and `_count`).  `labels` is either empty or
+/// `key="value",…` without braces.
+fn histogram_samples(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    buckets: &[u64],
+    count: u64,
+    sum_us: u64,
+) {
+    use std::fmt::Write as _;
+    let with = |extra: &str| {
+        if labels.is_empty() {
+            format!("{{{extra}}}")
+        } else {
+            format!("{{{labels},{extra}}}")
+        }
+    };
+    let plain = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let mut cumulative = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cumulative += c;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            with(&format!("le=\"{}\"", le_seconds(i)))
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{} {count}", with("le=\"+Inf\""));
+    let _ = writeln!(out, "{name}_sum{plain} {}", sum_us as f64 / 1e6);
+    let _ = writeln!(out, "{name}_count{plain} {count}");
+}
+
+fn histogram_header(out: &mut String, name: &str, help: &str) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+}
+
+fn stage_histogram(out: &mut String, algo: &str, stage: &str, h: &HistogramSnapshot) {
+    let labels = format!("algo=\"{algo}\",stage=\"{stage}\"");
+    histogram_samples(
+        out,
+        "gtserve_stage_latency_seconds",
+        &labels,
+        &h.buckets,
+        h.count,
+        h.sum_us,
+    );
+}
+
+/// Render the whole registry — request counters, the end-to-end and
+/// per-stage latency histograms, engine work counters, cache shards
+/// and executor queue depth — as Prometheus text exposition.
+pub fn render_prometheus(
+    m: &MetricsSnapshot,
+    cache: &CacheStats,
+    executor_queued: usize,
+    flights_inflight: usize,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    counter(
+        &mut out,
+        "gtserve_requests_total",
+        "Request lines received.",
+        m.received,
+    );
+    counter(
+        &mut out,
+        "gtserve_ok_total",
+        "Successful eval replies.",
+        m.ok,
+    );
+    counter(
+        &mut out,
+        "gtserve_bad_request_total",
+        "Malformed or invalid requests.",
+        m.bad_request,
+    );
+    counter(
+        &mut out,
+        "gtserve_shed_total",
+        "Requests shed by backpressure.",
+        m.shed,
+    );
+    counter(
+        &mut out,
+        "gtserve_timeout_total",
+        "Requests that missed their deadline.",
+        m.timeout,
+    );
+    counter(
+        &mut out,
+        "gtserve_draining_total",
+        "Requests rejected during drain.",
+        m.draining,
+    );
+    counter(
+        &mut out,
+        "gtserve_internal_total",
+        "Internal failures.",
+        m.internal,
+    );
+    counter(
+        &mut out,
+        "gtserve_cache_hits_total",
+        "Evals answered from the result cache.",
+        m.cache_hits,
+    );
+    counter(
+        &mut out,
+        "gtserve_cache_misses_total",
+        "Evals that had to run an engine.",
+        m.cache_misses,
+    );
+    counter(
+        &mut out,
+        "gtserve_coalesced_total",
+        "Evals that joined an in-flight run.",
+        m.coalesced_hits,
+    );
+    counter(
+        &mut out,
+        "gtserve_evaluated_total",
+        "Engine runs completed.",
+        m.evaluated,
+    );
+    counter(
+        &mut out,
+        "gtserve_connections_total",
+        "Connections accepted.",
+        m.connections,
+    );
+    counter(
+        &mut out,
+        "gtserve_batches_total",
+        "Executor dispatches performed.",
+        m.batches,
+    );
+    counter(
+        &mut out,
+        "gtserve_batch_jobs_total",
+        "Jobs carried by executor dispatches.",
+        m.batch_jobs,
+    );
+
+    histogram_header(
+        &mut out,
+        "gtserve_latency_seconds",
+        "End-to-end server-side latency of eval requests.",
+    );
+    histogram_samples(
+        &mut out,
+        "gtserve_latency_seconds",
+        "",
+        &m.latency_buckets,
+        m.latency_count,
+        m.latency_sum_us,
+    );
+
+    if !m.stages.is_empty() {
+        histogram_header(
+            &mut out,
+            "gtserve_stage_latency_seconds",
+            "Per-stage latency by algorithm (queue_wait, batch_wait, engine, write).",
+        );
+        for s in &m.stages {
+            stage_histogram(&mut out, &s.algo, "queue_wait", &s.queue_wait);
+            stage_histogram(&mut out, &s.algo, "batch_wait", &s.batch_wait);
+            stage_histogram(&mut out, &s.algo, "engine", &s.engine);
+            stage_histogram(&mut out, &s.algo, "write", &s.write);
+        }
+        let _ = writeln!(
+            out,
+            "# HELP gtserve_engine_work_total Engine work counters by algorithm (paper: leaves = W(T), steps = rounds)."
+        );
+        let _ = writeln!(out, "# TYPE gtserve_engine_work_total counter");
+        for s in &m.stages {
+            for (kind, v) in [
+                ("evals", s.evals),
+                ("leaves", s.leaves),
+                ("steps", s.steps),
+                ("pruned", s.pruned),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "gtserve_engine_work_total{{algo=\"{}\",counter=\"{kind}\"}} {v}",
+                    s.algo
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP gtserve_engine_max_width Largest evaluation frontier any run reached (processors used)."
+        );
+        let _ = writeln!(out, "# TYPE gtserve_engine_max_width gauge");
+        for s in &m.stages {
+            let _ = writeln!(
+                out,
+                "gtserve_engine_max_width{{algo=\"{}\"}} {}",
+                s.algo, s.max_width
+            );
+        }
+    }
+
+    counter(
+        &mut out,
+        "gtserve_cache_admitted_total",
+        "Cache inserts that created an entry.",
+        cache.admitted,
+    );
+    counter(
+        &mut out,
+        "gtserve_cache_ttl_evictions_total",
+        "Cache entries aged out by TTL.",
+        cache.ttl_evictions,
+    );
+    gauge(
+        &mut out,
+        "gtserve_cache_entries",
+        "Entries currently cached.",
+        cache.len as f64,
+    );
+    gauge(
+        &mut out,
+        "gtserve_cache_capacity",
+        "Configured cache capacity.",
+        cache.capacity as f64,
+    );
+    let _ = writeln!(
+        out,
+        "# HELP gtserve_cache_shard_entries Entries per cache shard."
+    );
+    let _ = writeln!(out, "# TYPE gtserve_cache_shard_entries gauge");
+    for (i, &n) in cache.per_shard_len.iter().enumerate() {
+        let _ = writeln!(out, "gtserve_cache_shard_entries{{shard=\"{i}\"}} {n}");
+    }
+    let _ = writeln!(
+        out,
+        "# HELP gtserve_cache_shard_evictions_total Evictions per cache shard."
+    );
+    let _ = writeln!(out, "# TYPE gtserve_cache_shard_evictions_total counter");
+    for (i, &n) in cache.per_shard_evictions.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "gtserve_cache_shard_evictions_total{{shard=\"{i}\"}} {n}"
+        );
+    }
+
+    gauge(
+        &mut out,
+        "gtserve_executor_queued",
+        "Jobs waiting in the executor's queues.",
+        executor_queued as f64,
+    );
+    gauge(
+        &mut out,
+        "gtserve_flights_inflight",
+        "Engine runs currently in flight (single-flight table size).",
+        flights_inflight as f64,
+    );
+    gauge(
+        &mut out,
+        "gtserve_uptime_seconds",
+        "Seconds since the server started.",
+        m.uptime_us as f64 / 1e6,
+    );
+    let _ = writeln!(
+        out,
+        "# HELP gtserve_build_info Build metadata.\n# TYPE gtserve_build_info gauge"
+    );
+    let _ = writeln!(
+        out,
+        "gtserve_build_info{{version=\"{}\"}} 1",
+        env!("CARGO_PKG_VERSION")
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The /metrics HTTP listener.
+// ---------------------------------------------------------------------------
+
+/// How often the listener polls for shutdown while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// A running `/metrics` endpoint; drop-in observable from any
+/// Prometheus scraper or plain `curl`.
+pub struct MetricsListener {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsListener {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener and join its thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsListener {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Serve `render()` over HTTP on `addr`.  The listener is a single
+/// thread handling one connection at a time — scrapes are rare and the
+/// body is rendered fresh per request, so there is nothing to pipeline.
+/// Every request path gets the exposition (a scraper only ever asks
+/// for `/metrics`; being liberal costs nothing).
+pub fn spawn_metrics_listener<A: ToSocketAddrs>(
+    addr: A,
+    render: Arc<dyn Fn() -> String + Send + Sync>,
+) -> std::io::Result<MetricsListener> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stop = Arc::clone(&shutdown);
+    let handle = std::thread::Builder::new()
+        .name("gt-serve-metrics".into())
+        .spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => serve_one(stream, &*render),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+            }
+        })?;
+    Ok(MetricsListener {
+        addr: bound,
+        shutdown,
+        handle: Some(handle),
+    })
+}
+
+/// Read (and discard) the request head, then write one exposition
+/// response and close.  Any I/O error just drops the connection.
+fn serve_one(mut stream: std::net::TcpStream, render: &dyn Fn() -> String) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nodelay(true);
+    // Read until the blank line ending the request head (or give up at
+    // 8 KiB / timeout — the body is served regardless).
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    while head.len() < 8192 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n")
+                    || head.windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = render();
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn record(seq_hint: u64, status: &str, latency_us: u64) -> TraceRecord {
+        TraceRecord {
+            seq: 0,
+            id: Some(format!("r{seq_hint}")),
+            key: "worst:d=2,n=8|cascade:w=1".into(),
+            algo: "cascade".into(),
+            status: status.into(),
+            cached: false,
+            coalesced: false,
+            latency_us,
+            parse_us: 3,
+            probe_us: 7,
+            enqueue_us: Some(11),
+            dispatch_us: Some(40),
+            engine_start_us: Some(45),
+            engine_end_us: Some(latency_us.saturating_sub(5)),
+            work: Some(EvalOutcome {
+                value: 1,
+                work: 64,
+                steps: 9,
+                max_width: 4,
+                pruned: 2,
+            }),
+        }
+    }
+
+    #[test]
+    fn stamps_record_monotonic_offsets() {
+        let s = StageStamps::default();
+        assert_eq!(s.dispatch_us(), None);
+        assert_eq!(s.engine_end_us(), None);
+        s.stamp_dispatch();
+        std::thread::sleep(Duration::from_millis(1));
+        s.stamp_engine_start();
+        std::thread::sleep(Duration::from_millis(1));
+        s.stamp_engine_end();
+        let d = s.dispatch_us().unwrap();
+        let es = s.engine_start_us().unwrap();
+        let ee = s.engine_end_us().unwrap();
+        assert!(d <= es && es <= ee, "{d} {es} {ee}");
+        assert!(es >= d + 500, "sleep should be visible: {d} {es}");
+    }
+
+    #[test]
+    fn ring_is_bounded_under_churn() {
+        let rec = FlightRecorder::new(8, 1_000_000);
+        for i in 0..1_000 {
+            rec.record(record(i, "ok", 50));
+        }
+        let snap = rec.snapshot(usize::MAX);
+        // Nothing was notable, so only the recent ring holds entries.
+        assert_eq!(snap.len(), 8);
+        // Newest first, and they are the newest.
+        assert_eq!(snap[0].seq, 999);
+        assert_eq!(snap[7].seq, 992);
+        assert!(snap.windows(2).all(|w| w[0].seq > w[1].seq));
+    }
+
+    #[test]
+    fn slow_and_error_traces_survive_churn() {
+        let rec = FlightRecorder::new(8, 10_000);
+        rec.record(record(0, "ok", 50_000)); // slow
+        rec.record(record(1, "timeout", 200));
+        rec.record(record(2, "busy", 10));
+        for i in 3..200 {
+            rec.record(record(i, "ok", 50)); // healthy churn
+        }
+        let snap = rec.snapshot(usize::MAX);
+        let statuses: Vec<&str> = snap.iter().map(|r| r.status.as_str()).collect();
+        assert!(statuses.contains(&"timeout"), "{statuses:?}");
+        assert!(statuses.contains(&"busy"), "{statuses:?}");
+        assert!(
+            snap.iter().any(|r| r.latency_us == 50_000),
+            "slow trace evicted"
+        );
+        // Still bounded: 8 recent + up to 8 notable.
+        assert!(snap.len() <= 16);
+        // And the limit parameter caps the reply.
+        assert_eq!(rec.snapshot(3).len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let rec = FlightRecorder::new(0, 0);
+        rec.record(record(0, "timeout", 1_000_000));
+        assert!(rec.snapshot(usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn trace_json_round_trips() {
+        let rec = {
+            let mut r = record(7, "ok", 1234);
+            r.seq = 42;
+            r.coalesced = true;
+            r
+        };
+        let text = rec.to_json().render();
+        let back = TraceRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, rec);
+
+        // Optional fields may be null (a cache hit never dispatched).
+        let hit = TraceRecord {
+            enqueue_us: None,
+            dispatch_us: None,
+            engine_start_us: None,
+            engine_end_us: None,
+            work: None,
+            cached: true,
+            ..rec
+        };
+        let text = hit.to_json().render();
+        let back = TraceRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, hit);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let m = Metrics::default();
+        m.received.fetch_add(5, Ordering::Relaxed);
+        m.ok.fetch_add(4, Ordering::Relaxed);
+        m.latency.record(100);
+        m.latency.record(3_000);
+        let st = m.algo_stages("cascade");
+        st.queue_wait.record(10);
+        st.engine.record(1_000);
+        st.record_work(&EvalOutcome {
+            value: 1,
+            work: 64,
+            steps: 9,
+            max_width: 4,
+            pruned: 2,
+        });
+        let cache = CacheStats {
+            hits: 1,
+            misses: 2,
+            admitted: 2,
+            evictions: 0,
+            ttl_evictions: 0,
+            len: 2,
+            capacity: 256,
+            ttl_ms: None,
+            per_shard_len: vec![1, 1],
+            per_shard_evictions: vec![0, 0],
+        };
+        let text = render_prometheus(&m.snapshot(), &cache, 3, 1);
+        assert!(text.contains("# TYPE gtserve_requests_total counter"));
+        assert!(text.contains("gtserve_requests_total 5"));
+        assert!(text.contains("# TYPE gtserve_latency_seconds histogram"));
+        assert!(text.contains("gtserve_latency_seconds_count 2"));
+        assert!(text.contains("gtserve_latency_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text
+            .contains("gtserve_stage_latency_seconds_count{algo=\"cascade\",stage=\"engine\"} 1"));
+        assert!(text.contains("gtserve_engine_work_total{algo=\"cascade\",counter=\"leaves\"} 64"));
+        assert!(text.contains("gtserve_engine_max_width{algo=\"cascade\"} 4"));
+        assert!(text.contains("gtserve_cache_shard_entries{shard=\"1\"} 1"));
+        assert!(text.contains("gtserve_executor_queued 3"));
+        assert!(text.contains("gtserve_flights_inflight 1"));
+        assert!(text.contains("gtserve_build_info{version=\""));
+        // Buckets are cumulative: each bucket line's value never
+        // decreases as le grows.
+        let mut last = 0u64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("gtserve_latency_seconds_bucket{le=\"") {
+                let v: u64 = rest.split("} ").nth(1).unwrap().parse().unwrap();
+                assert!(v >= last, "non-cumulative: {line}");
+                last = v;
+            }
+        }
+        assert_eq!(last, 2);
+    }
+
+    #[test]
+    fn metrics_listener_serves_the_exposition() {
+        let render: Arc<dyn Fn() -> String + Send + Sync> =
+            Arc::new(|| "gtserve_up 1\n".to_string());
+        let listener = spawn_metrics_listener("127.0.0.1:0", render).unwrap();
+        let addr = listener.local_addr();
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n")
+            .unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("text/plain; version=0.0.4"));
+        assert!(reply.ends_with("gtserve_up 1\n"), "{reply}");
+        listener.shutdown();
+    }
+}

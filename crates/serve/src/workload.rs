@@ -92,6 +92,29 @@ pub struct EvalOutcome {
     /// Parallel steps/rounds, where the algorithm counts them; 0 for
     /// purely sequential algorithms.
     pub steps: u64,
+    /// Largest parallel degree of any step — the paper's "processors
+    /// used" (1 for sequential algorithms; for the fork-join engines,
+    /// the configured concurrency bound).
+    pub max_width: u32,
+    /// Pruning events: α≥β cutoffs, NOR short-circuits, or (for `tt`)
+    /// transposition-table hits — searches avoided rather than done.
+    pub pruned: u64,
+}
+
+impl EvalOutcome {
+    /// The reply's `work` object: the root value plus the paper's work
+    /// counters (leaves ≈ W(T), steps ≈ rounds, max_width ≈ processors
+    /// used).
+    pub fn work_json(&self) -> gt_analysis::Json {
+        use gt_analysis::Json;
+        Json::obj([
+            ("value", Json::from(self.value)),
+            ("leaves", Json::from(self.work)),
+            ("steps", Json::from(self.steps)),
+            ("max_width", Json::from(self.max_width)),
+            ("pruned", Json::from(self.pruned)),
+        ])
+    }
 }
 
 /// Why an evaluation did not produce an outcome.
@@ -232,6 +255,8 @@ where
         value,
         work: tt.stats.evals,
         steps: 0,
+        max_width: 1,
+        pruned: tt.stats.hits,
     })
 }
 
@@ -278,6 +303,8 @@ pub fn evaluate(
                         value: st.value,
                         work: st.leaves_evaluated,
                         steps: 0,
+                        max_width: 1,
+                        pruned: st.cutoffs,
                     }
                 }
                 "alphabeta" => {
@@ -286,6 +313,8 @@ pub fn evaluate(
                         value: st.value,
                         work: st.leaves_evaluated,
                         steps: 0,
+                        max_width: 1,
+                        pruned: st.cutoffs,
                     }
                 }
                 "parallel-solve" => {
@@ -298,6 +327,8 @@ pub fn evaluate(
                         value: st.value,
                         work: st.total_work,
                         steps: st.steps,
+                        max_width: st.processors_used,
+                        pruned: st.cutoffs,
                     }
                 }
                 "round" => {
@@ -311,6 +342,8 @@ pub fn evaluate(
                         value: r.value,
                         work: r.leaves_evaluated,
                         steps: r.rounds,
+                        max_width: r.max_round_size,
+                        pruned: 0,
                     }
                 }
                 "cascade" => {
@@ -324,6 +357,8 @@ pub fn evaluate(
                         value: r.value,
                         work: r.leaves_evaluated,
                         steps: r.rounds,
+                        max_width: r.max_round_size,
+                        pruned: 0,
                     }
                 }
                 "ybw" => {
@@ -339,6 +374,9 @@ pub fn evaluate(
                         value: r.value,
                         work: r.leaves_evaluated,
                         steps: r.rounds,
+                        // YBW does not track its own frontier width.
+                        max_width: r.max_round_size.max(1),
+                        pruned: 0,
                     }
                 }
                 other => return Err(EvalError::Bad(format!("unknown algorithm {other:?}"))),

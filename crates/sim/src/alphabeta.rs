@@ -39,6 +39,8 @@ pub struct AlphaBetaSim<S: TreeSource> {
     /// When set, each step evaluates at most this many frontier entries
     /// (those with the smallest pruning numbers, leftmost on ties).
     processor_cap: Option<u32>,
+    /// Pruning events so far: nodes deleted by the `α ≥ β` rule.
+    cutoffs: u64,
 }
 
 impl<S: TreeSource> AlphaBetaSim<S> {
@@ -51,6 +53,7 @@ impl<S: TreeSource> AlphaBetaSim<S> {
             frontier: Vec::new(),
             model,
             processor_cap: None,
+            cutoffs: 0,
         }
     }
 
@@ -182,6 +185,7 @@ impl<S: TreeSource> AlphaBetaSim<S> {
             if ca >= cb {
                 // Pruning rule: α(u) ≥ β(u).
                 self.deleted[u as usize] = true;
+                self.cutoffs += 1;
                 changed = true;
                 continue;
             }
@@ -254,6 +258,7 @@ impl<S: TreeSource> AlphaBetaSim<S> {
         self.frontier = nodes;
         stats.record_step(degree);
         self.fixpoint();
+        stats.cutoffs = self.cutoffs;
         Some(degree)
     }
 
@@ -305,6 +310,7 @@ impl<S: TreeSource> AlphaBetaSim<S> {
         }
         stats.record_step(values.len() as u32);
         self.fixpoint();
+        stats.cutoffs = self.cutoffs;
         if let Some(v) = self.finished[0] {
             stats.value = v;
             stats.nodes_materialized = self.tree.len() as u64;

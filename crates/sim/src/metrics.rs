@@ -27,6 +27,10 @@ pub struct RunStats {
     /// Number of tree nodes materialized by the end of the run (a memory
     /// proxy; not a paper metric).
     pub nodes_materialized: u64,
+    /// Pruning events: determinations that killed still-live sibling
+    /// subtrees (a NOR child determined `1` short-circuiting its parent;
+    /// an α-β sweep deleting a node's remaining brothers).
+    pub cutoffs: u64,
 }
 
 impl RunStats {
@@ -40,6 +44,7 @@ impl RunStats {
             degree_counts: Vec::new(),
             trace: record.then(Vec::new),
             nodes_materialized: 0,
+            cutoffs: 0,
         }
     }
 

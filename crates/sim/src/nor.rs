@@ -32,6 +32,9 @@ pub struct NorSim<S: TreeSource> {
     undet_children: Vec<u32>,
     /// Scratch buffer reused across steps.
     frontier: Vec<NodeId>,
+    /// Pruning events so far: `1`-children that short-circuited a parent
+    /// while live siblings remained (their subtrees are abandoned).
+    cutoffs: u64,
 }
 
 /// How a step selects its frontier.
@@ -61,6 +64,7 @@ impl<S: TreeSource> NorSim<S> {
             determined: vec![None],
             undet_children: vec![0],
             frontier: Vec::new(),
+            cutoffs: 0,
         }
     }
 
@@ -125,6 +129,9 @@ impl<S: TreeSource> NorSim<S> {
                 return;
             }
             if val {
+                if self.undet_children[p as usize] > 1 {
+                    self.cutoffs += 1;
+                }
                 self.determine(p, false);
             } else {
                 self.undet_children[p as usize] -= 1;
@@ -241,6 +248,7 @@ impl<S: TreeSource> NorSim<S> {
         }
         self.frontier = leaves; // give the buffer back
         stats.record_step(degree);
+        stats.cutoffs = self.cutoffs;
         Some(degree)
     }
 
@@ -291,6 +299,7 @@ impl<S: TreeSource> NorSim<S> {
             self.determine(id, v != 0);
         }
         stats.record_step(values.len() as u32);
+        stats.cutoffs = self.cutoffs;
         if self.determined[0].is_some() {
             stats.value = i64::from(self.determined[0].unwrap());
             stats.nodes_materialized = self.tree.len() as u64;

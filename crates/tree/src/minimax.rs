@@ -35,6 +35,9 @@ pub struct SeqStats {
     pub leaves_evaluated: u64,
     /// Nodes expanded (visited), the node-expansion model's `S*(T)`.
     pub nodes_expanded: u64,
+    /// Pruning events: internal nodes whose remaining children were
+    /// skipped (NOR short-circuit on a nonzero child; `α ≥ β` cutoffs).
+    pub cutoffs: u64,
     /// The evaluated leaf paths in evaluation order, when requested.
     pub leaf_paths: Option<Vec<Vec<u32>>>,
 }
@@ -127,6 +130,7 @@ pub fn seq_solve_cancellable<S: TreeSource>(
         cancel: &'a AtomicBool,
         leaves: u64,
         expanded: u64,
+        cutoffs: u64,
         record: Option<Vec<Vec<u32>>>,
     }
     fn go<S: TreeSource>(c: &mut Ctx<'_, S>, path: &mut Vec<u32>) -> Result<Value, Cancelled> {
@@ -147,6 +151,9 @@ pub fn seq_solve_cancellable<S: TreeSource>(
             let b = go(c, path);
             path.pop();
             if b? != 0 {
+                if i + 1 < d {
+                    c.cutoffs += 1;
+                }
                 return Ok(0);
             }
         }
@@ -157,6 +164,7 @@ pub fn seq_solve_cancellable<S: TreeSource>(
         cancel,
         leaves: 0,
         expanded: 0,
+        cutoffs: 0,
         record: record_leaves.then(Vec::new),
     };
     let value = go(&mut c, &mut Vec::new())?;
@@ -164,6 +172,7 @@ pub fn seq_solve_cancellable<S: TreeSource>(
         value,
         leaves_evaluated: c.leaves,
         nodes_expanded: c.expanded,
+        cutoffs: c.cutoffs,
         leaf_paths: c.record,
     })
 }
@@ -187,6 +196,7 @@ pub fn seq_alphabeta_cancellable<S: TreeSource>(
         cancel: &'a AtomicBool,
         leaves: u64,
         expanded: u64,
+        cutoffs: u64,
         record: Option<Vec<Vec<u32>>>,
     }
     fn go<S: TreeSource>(
@@ -222,6 +232,9 @@ pub fn seq_alphabeta_cancellable<S: TreeSource>(
                 beta = beta.min(best);
             }
             if alpha >= beta {
+                if i + 1 < d {
+                    c.cutoffs += 1;
+                }
                 break;
             }
         }
@@ -232,6 +245,7 @@ pub fn seq_alphabeta_cancellable<S: TreeSource>(
         cancel,
         leaves: 0,
         expanded: 0,
+        cutoffs: 0,
         record: record_leaves.then(Vec::new),
     };
     let value = go(&mut c, &mut Vec::new(), Value::MIN, Value::MAX, true)?;
@@ -239,6 +253,7 @@ pub fn seq_alphabeta_cancellable<S: TreeSource>(
         value,
         leaves_evaluated: c.leaves,
         nodes_expanded: c.expanded,
+        cutoffs: c.cutoffs,
         leaf_paths: c.record,
     })
 }

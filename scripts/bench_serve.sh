@@ -15,9 +15,13 @@
 #   cold_storm        cache disabled, 64 conns × window 4 of
 #                     *distinct* keys (--distinct salts every spec):
 #                     nothing caches, nothing coalesces, every
-#                     request crosses the executor.  --server-stats
-#                     captures the batch-size distribution, the
-#                     micro-batching evidence for the cold path.
+#                     request crosses the executor — the batch-size
+#                     distribution here is the micro-batching evidence
+#                     for the cold path.
+#
+# Every scenario passes --server-stats, so each report embeds the
+# server's own snapshot (stage histograms, engine work counters,
+# batching) alongside the client-side latency figures.
 #
 # Environment overrides: GTREE_BIN, BENCH_OUT, BENCH_DURATION (s),
 # BENCH_PORT.
@@ -59,7 +63,9 @@ stop_server() {
 trap stop_server EXIT
 
 loadgen() { # extra `gtree loadgen` flags as args; prints one JSON line
-  "$BIN" loadgen --addr "$ADDR" --rps 0 --duration "$DUR" --json "$@"
+  # --server-stats on every scenario: each report embeds the server's
+  # snapshot (stage histograms, work counters, batching) at that point.
+  "$BIN" loadgen --addr "$ADDR" --rps 0 --duration "$DUR" --json --server-stats "$@"
 }
 
 summary() { # name, loadgen JSON
@@ -91,7 +97,7 @@ stop_server
 # A deep queue absorbs the 256-request standing burst without shedding.
 start_server --cache 0 --queue-depth 1024
 cold_storm=$(loadgen --conns 64 --pipeline 4 --spec worst:d=2,n=12 --algo seq-solve \
-  --distinct --server-stats)
+  --distinct)
 summary cold_storm "$cold_storm"
 stop_server
 

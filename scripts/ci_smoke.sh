@@ -7,21 +7,30 @@
 # executor's queue sizing and dispatch throughput.  Also checks that
 # SIGINT drains the server.
 #
-# Environment overrides: GTREE_BIN, SMOKE_PORT, SMOKE_DURATION (s).
+# Observability checks ride along: the server boots with
+# --metrics-addr, /metrics is scraped twice (well-formed # TYPE lines,
+# and gtserve_requests_total must increase between scrapes), and one
+# {"op":"trace"} round-trip must return recorded flight traces.
+#
+# Environment overrides: GTREE_BIN, SMOKE_PORT, SMOKE_METRICS_PORT,
+# SMOKE_DURATION (s).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BIN="${GTREE_BIN:-$ROOT/target/release/gtree}"
 PORT="${SMOKE_PORT:-7191}"
+METRICS_PORT="${SMOKE_METRICS_PORT:-$((PORT + 1))}"
 DUR="${SMOKE_DURATION:-2}"
 ADDR="127.0.0.1:$PORT"
+METRICS_ADDR="127.0.0.1:$METRICS_PORT"
 
 if [ ! -x "$BIN" ]; then
   echo "ci_smoke: building release binary" >&2
   (cd "$ROOT" && cargo build --release -q)
 fi
 
-"$BIN" serve --addr "$ADDR" --eval-workers 2 --queue-depth 512 >/dev/null 2>&1 &
+"$BIN" serve --addr "$ADDR" --eval-workers 2 --queue-depth 512 \
+  --metrics-addr "$METRICS_ADDR" --trace-ring 64 >/dev/null 2>&1 &
 SERVER_PID=$!
 trap 'kill -INT "$SERVER_PID" 2>/dev/null || true; wait "$SERVER_PID" 2>/dev/null || true' EXIT
 
@@ -55,6 +64,46 @@ fail=""
 [ "${transport:-0}" -eq 0 ] || { echo "ci_smoke: $transport transport errors" >&2; fail=1; }
 [ -z "$fail" ] || exit 1
 
+# Scrape the Prometheus exposition.  curl when available, raw
+# /dev/tcp otherwise — the endpoint closes the connection after one
+# response, so a plain read-to-EOF works.
+scrape() {
+  if command -v curl >/dev/null 2>&1; then
+    curl -sf "http://$METRICS_ADDR/metrics"
+  else
+    exec 9<>"/dev/tcp/127.0.0.1/$METRICS_PORT"
+    printf 'GET /metrics HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n' "$METRICS_ADDR" >&9
+    cat <&9
+    exec 9<&- 9>&-
+  fi
+}
+requests_total() { printf '%s\n' "$1" | sed -n 's/^gtserve_requests_total \([0-9][0-9]*\).*/\1/p'; }
+
+scrape1=$(scrape)
+fail=""
+for series in gtserve_requests_total gtserve_latency_seconds gtserve_cache_hits_total; do
+  printf '%s\n' "$scrape1" | grep -q "^# TYPE $series " \
+    || { echo "ci_smoke: /metrics is missing '# TYPE $series'" >&2; fail=1; }
+done
+req1=$(requests_total "$scrape1")
+[ -n "${req1:-}" ] || { echo "ci_smoke: /metrics has no gtserve_requests_total sample" >&2; fail=1; }
+[ "${req1:-0}" -gt 0 ] || { echo "ci_smoke: gtserve_requests_total is zero after load" >&2; fail=1; }
+[ -z "$fail" ] || exit 1
+
+# One {"op":"trace"} round-trip against the NDJSON port: the flight
+# recorder must hand back traces from the load we just ran.
+exec 8<>"/dev/tcp/127.0.0.1/$PORT"
+printf '{"op":"trace","n":4}\n' >&8
+IFS= read -r trace_reply <&8
+exec 8<&- 8>&-
+case "$trace_reply" in
+  *'"ok":true'*'"traces":['*) : ;;
+  *) echo "ci_smoke: bad trace reply: $trace_reply" >&2; exit 1 ;;
+esac
+case "$trace_reply" in
+  *'"traces":[]'*) echo "ci_smoke: trace ring is empty after load" >&2; exit 1 ;;
+esac
+
 # Cold-storm burst: 16 conns × window 4 of distinct small keys.  The
 # executor must batch through all of them within their (default 10s)
 # deadlines and without shedding — sheds or timeouts mean the cold
@@ -74,6 +123,17 @@ fail=""
 [ "${timeout:-0}" -eq 0 ] || { echo "ci_smoke: cold storm timed out $timeout requests" >&2; fail=1; }
 [ "${transport:-0}" -eq 0 ] || { echo "ci_smoke: cold storm hit $transport transport errors" >&2; fail=1; }
 [ -z "$fail" ] || exit 1
+
+# Second scrape: counters must be monotone, and the storm guarantees
+# strictly more requests than the first scrape saw.
+scrape2=$(scrape)
+req2=$(requests_total "$scrape2")
+[ -n "${req2:-}" ] || { echo "ci_smoke: second /metrics scrape lost gtserve_requests_total" >&2; exit 1; }
+if [ "$req2" -le "$req1" ]; then
+  echo "ci_smoke: gtserve_requests_total did not increase ($req1 -> $req2)" >&2
+  exit 1
+fi
+echo "ci_smoke: /metrics ok (requests_total $req1 -> $req2)" >&2
 
 # SIGINT must drain the server and let it exit cleanly.
 kill -INT "$SERVER_PID"

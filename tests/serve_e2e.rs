@@ -23,9 +23,15 @@ fn happy_path_returns_value_and_metrics() {
     // worst:d=2,n=6 forces all 64 leaves under sequential NOR solve.
     let r = client.eval("worst:d=2,n=6", "seq-solve", None).unwrap();
     assert!(r.ok, "error: {:?}", r.error);
+    let work = r.body.get("work").expect("work object");
     assert_eq!(
-        r.body.get("work").and_then(gt_analysis::Json::as_u64),
+        work.get("leaves").and_then(gt_analysis::Json::as_u64),
         Some(64)
+    );
+    assert_eq!(
+        work.get("max_width").and_then(gt_analysis::Json::as_u64),
+        Some(1),
+        "sequential solve uses one processor"
     );
     assert!(!r.cached());
     let seq_value = r.value().unwrap();
@@ -242,6 +248,7 @@ fn pipelined_connection_replies_out_of_order_with_id_echo() {
         spec: Some("worst:d=2,n=32".into()),
         algo: Some("cascade:w=1".into()),
         deadline_ms: Some(600),
+        n: None,
     };
     let fast = Request {
         id: Some("fast".into()),
@@ -249,6 +256,7 @@ fn pipelined_connection_replies_out_of_order_with_id_echo() {
         spec: Some("worst:d=2,n=6".into()),
         algo: Some("seq-solve".into()),
         deadline_ms: Some(5_000),
+        n: None,
     };
     client.write_request(&slow).unwrap();
     client.write_request(&fast).unwrap();
@@ -324,6 +332,204 @@ fn stats_request_reflects_traffic() {
 
     client.shutdown_server().unwrap();
     server.join();
+}
+
+#[test]
+fn stage_accounting_sums_to_end_to_end_latency() {
+    // The tracing acceptance bar: on loopback, for cold evals, the
+    // stage means must account for the e2e mean —
+    // queue_wait + batch_wait + engine + write ≈ latency, within 15%.
+    let server = start(Config {
+        workers: 2,
+        cache_capacity: 0, // all cold: the e2e histogram sees only dispatched evals
+        ..Config::default()
+    });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Distinct seeds keep every request cold; n=16 makes the engine
+    // stage dominate scheduling noise (65k leaves each).
+    for seed in 0..8 {
+        let spec = format!("worst:d=2,n=16,seed={seed}");
+        let r = client.eval(&spec, "seq-solve", None).unwrap();
+        assert!(r.ok, "{:?}", r.error);
+    }
+
+    let r = client.stats().unwrap();
+    let stats = r.body.get("stats").expect("stats object");
+    let e2e_mean = stats
+        .get("latency_mean_us")
+        .and_then(gt_analysis::Json::as_f64)
+        .expect("e2e latency mean");
+    let stages = stats
+        .get("stages")
+        .and_then(|s| s.get("seq-solve"))
+        .expect("seq-solve stage snapshot");
+    let stage_mean = |name: &str| {
+        stages
+            .get(name)
+            .and_then(|h| h.get("mean_us"))
+            .and_then(gt_analysis::Json::as_f64)
+            .unwrap_or_else(|| panic!("stage {name} has no mean"))
+    };
+    let sum = stage_mean("queue_wait")
+        + stage_mean("batch_wait")
+        + stage_mean("engine")
+        + stage_mean("write");
+    let ratio = sum / e2e_mean;
+    assert!(
+        (0.85..=1.15).contains(&ratio),
+        "stage sum {sum:.0}us vs e2e mean {e2e_mean:.0}us (ratio {ratio:.3})"
+    );
+
+    // The engine work counters made it out of the engines and into the
+    // per-algorithm aggregates: 8 runs × 65536 leaves.
+    let work = stages.get("work").expect("work aggregates");
+    let counter = |k: &str| work.get(k).and_then(gt_analysis::Json::as_u64).unwrap();
+    assert_eq!(counter("evals"), 8);
+    assert_eq!(counter("leaves"), 8 * 65_536);
+    assert_eq!(counter("max_width"), 1);
+
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+#[test]
+fn trace_op_returns_stamped_traces_and_retains_failures() {
+    let server = start(Config {
+        workers: 1,
+        trace_ring: 32,
+        slow_us: 1_000_000,
+        ..Config::default()
+    });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // A cold eval, a cache hit, and a timeout.
+    let r = client.eval("worst:d=2,n=6", "seq-solve", None).unwrap();
+    assert!(r.ok);
+    let r = client.eval("worst:d=2,n=6", "seq-solve", None).unwrap();
+    assert!(r.ok && r.cached());
+    let r = client
+        .eval("worst:d=2,n=32", "cascade:w=1", Some(100))
+        .unwrap();
+    assert_eq!(r.status, 408);
+
+    let r = client
+        .send(&Request {
+            id: Some("t".into()),
+            op: gt_serve::Op::Trace,
+            spec: None,
+            algo: None,
+            deadline_ms: None,
+            n: Some(16),
+        })
+        .unwrap();
+    assert!(r.ok, "{:?}", r.error);
+    let traces = r
+        .body
+        .get("traces")
+        .and_then(gt_analysis::Json::as_array)
+        .expect("traces array");
+    assert!(traces.len() >= 3, "got {} traces", traces.len());
+
+    // Every entry round-trips through the published record shape.
+    let parsed: Vec<gt_serve::TraceRecord> = traces
+        .iter()
+        .map(|t| gt_serve::TraceRecord::from_json(t).expect("parse trace"))
+        .collect();
+
+    let cold = parsed
+        .iter()
+        .find(|t| t.status == "ok" && !t.cached)
+        .expect("cold ok trace");
+    assert_eq!(cold.algo, "seq-solve");
+    // The full timeline was stamped, in order.
+    let enq = cold.enqueue_us.expect("enqueue stamp");
+    let dis = cold.dispatch_us.expect("dispatch stamp");
+    let es = cold.engine_start_us.expect("engine start stamp");
+    let ee = cold.engine_end_us.expect("engine end stamp");
+    assert!(cold.parse_us <= cold.probe_us && cold.probe_us <= enq);
+    assert!(enq <= dis && dis <= es && es <= ee && ee <= cold.latency_us);
+    assert_eq!(cold.work.as_ref().map(|w| w.work), Some(64));
+
+    let hit = parsed.iter().find(|t| t.cached).expect("cache-hit trace");
+    assert_eq!(hit.status, "ok");
+    assert_eq!(hit.dispatch_us, None, "hits never reach the executor");
+
+    let timed_out = parsed
+        .iter()
+        .find(|t| t.status == "timeout")
+        .expect("timeout trace retained");
+    assert_eq!(timed_out.algo, "cascade");
+
+    client.shutdown_server().unwrap();
+    server.join();
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_exposition() {
+    let server = start(Config {
+        metrics_addr: Some("127.0.0.1:0".into()),
+        ..Config::default()
+    });
+    let metrics_addr = server
+        .metrics_listener_addr()
+        .expect("metrics listener bound");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.eval("worst:d=2,n=6", "cascade:w=2", None).unwrap();
+
+    let scrape = |path: &str| {
+        let mut s = TcpStream::connect(metrics_addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut body = String::new();
+        use std::io::Read as _;
+        s.read_to_string(&mut body).unwrap();
+        body
+    };
+    let first = scrape("/metrics");
+    assert!(first.starts_with("HTTP/1.1 200 OK\r\n"));
+    assert!(first.contains("text/plain; version=0.0.4"));
+    assert!(first.contains("# TYPE gtserve_requests_total counter"));
+    assert!(first.contains("# TYPE gtserve_latency_seconds histogram"));
+    assert!(
+        first.contains("gtserve_stage_latency_seconds_bucket{algo=\"cascade\",stage=\"engine\"")
+    );
+    assert!(first.contains("gtserve_engine_work_total{algo=\"cascade\",counter=\"leaves\"} "));
+    assert!(first.contains("gtserve_cache_shard_entries{shard=\"0\"}"));
+    assert!(first.contains("gtserve_executor_queued"));
+    assert!(first.contains("gtserve_build_info{version="));
+
+    let requests_total = |body: &str| -> u64 {
+        body.lines()
+            .find(|l| l.starts_with("gtserve_requests_total "))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .expect("gtserve_requests_total sample")
+    };
+    let before = requests_total(&first);
+    client.eval("worst:d=2,n=6", "cascade:w=2", None).unwrap();
+    let second = scrape("/metrics");
+    assert!(
+        requests_total(&second) > before,
+        "counters must be monotone across scrapes"
+    );
+
+    client.shutdown_server().unwrap();
+    server.join();
+    // join() tears the listener down with the rest of the server.
+    assert!(TcpStream::connect(metrics_addr).is_err() || scrape_is_dead(metrics_addr));
+}
+
+/// After shutdown the metrics port may still accept briefly on some
+/// platforms; a dead listener never answers.
+fn scrape_is_dead(addr: std::net::SocketAddr) -> bool {
+    let Ok(mut s) = TcpStream::connect(addr) else {
+        return true;
+    };
+    let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = write!(s, "GET /metrics HTTP/1.1\r\n\r\n");
+    let mut buf = [0u8; 1];
+    use std::io::Read as _;
+    !matches!(s.read(&mut buf), Ok(n) if n > 0)
 }
 
 /// Threads in this process, from the kernel's point of view.  Linux
