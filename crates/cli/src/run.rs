@@ -45,6 +45,11 @@ USAGE:
                [--small-cost C] [--cache N] [--shards N] [--cache-ttl MS]
                [--conn-window N] [--deadline-ms MS] [--trace-ring N]
                [--slow-us US] [--metrics-addr A]
+  gtree route  [--addr A] [--replica ADDR]... [--spawn N] [--spawn-workers N]
+               [--pool N] [--conn-window N] [--client-window N] [--retries N]
+               [--hedge-ms MS] [--backoff-ms MS] [--probe-interval MS]
+               [--probe-timeout MS] [--eject-after N] [--readmit-ms MS]
+               [--deadline-ms MS] [--metrics-addr A]
   gtree loadgen [--addr A] [--conns N] [--rps R] [--duration SECS]
                [--pipeline N] [--spec SPEC] [--algo SERVE-ALGO]
                [--deadline-ms MS] [--distinct] [--server-stats] [--json]
@@ -65,6 +70,16 @@ expires cached results.  Observability (docs/OBSERVABILITY.md): the
 flight recorder keeps the last --trace-ring request traces plus every
 slow (>= --slow-us) or failed one, read back with {\"op\":\"trace\"};
 --metrics-addr serves Prometheus text exposition over HTTP.
+
+`route` fronts a fleet of serve replicas (docs/ROUTING.md): requests
+are routed by rendezvous hashing on the canonical cache key so each
+replica's cache owns a shard of the keyspace; a health prober ejects
+dead replicas (--eject-after probe failures, half-open readmission
+after --readmit-ms); busy/unreachable replicas fail over to the next
+in hash order up to --retries times; --hedge-ms races slow requests
+against a second replica.  --replica is repeatable (or
+comma-separated); --spawn N starts N in-process replicas with
+--spawn-workers engine workers each.
 ";
 
 /// Parsed common options.
@@ -307,6 +322,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         "serve" => run_serve(rest),
+        "route" => run_route(rest),
         "loadgen" => run_loadgen_cmd(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
@@ -491,6 +507,85 @@ fn run_serve(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn run_route(args: &[String]) -> Result<String, CliError> {
+    let mut config = gt_router::RouterConfig {
+        addr: "127.0.0.1:7170".into(),
+        ..gt_router::RouterConfig::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let next = |i: &mut usize| -> Result<String, CliError> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| CliError::usage(format!("flag {} needs a value", args[*i - 1])))
+        };
+        match args[i].as_str() {
+            "--addr" => config.addr = next(&mut i)?,
+            "--replica" | "--replicas" => {
+                for addr in next(&mut i)?.split(',') {
+                    let addr = addr.trim();
+                    if !addr.is_empty() {
+                        config.replicas.push(addr.to_string());
+                    }
+                }
+            }
+            "--spawn" => config.spawn = parse_flag("--spawn", &next(&mut i)?)?,
+            "--spawn-workers" => {
+                config.spawn_config.workers = parse_flag("--spawn-workers", &next(&mut i)?)?;
+            }
+            "--pool" => config.pool = parse_flag("--pool", &next(&mut i)?)?,
+            "--conn-window" => config.conn_window = parse_flag("--conn-window", &next(&mut i)?)?,
+            "--client-window" => {
+                config.client_window = parse_flag("--client-window", &next(&mut i)?)?;
+            }
+            "--retries" => config.retries = parse_flag("--retries", &next(&mut i)?)?,
+            "--hedge-ms" => config.hedge_ms = Some(parse_flag("--hedge-ms", &next(&mut i)?)?),
+            "--backoff-ms" => config.backoff_ms = parse_flag("--backoff-ms", &next(&mut i)?)?,
+            "--probe-interval" => {
+                config.probe_interval_ms = parse_flag("--probe-interval", &next(&mut i)?)?;
+            }
+            "--probe-timeout" => {
+                config.probe_timeout_ms = parse_flag("--probe-timeout", &next(&mut i)?)?;
+            }
+            "--eject-after" => {
+                config.health.eject_after = parse_flag("--eject-after", &next(&mut i)?)?;
+            }
+            "--readmit-ms" => {
+                let ms: u64 = parse_flag("--readmit-ms", &next(&mut i)?)?;
+                config.health.readmit_after = std::time::Duration::from_millis(ms);
+            }
+            "--deadline-ms" => {
+                config.default_deadline_ms = parse_flag("--deadline-ms", &next(&mut i)?)?;
+            }
+            "--metrics-addr" => config.metrics_addr = Some(next(&mut i)?),
+            other => return Err(CliError::usage(format!("unknown argument {other:?}"))),
+        }
+        i += 1;
+    }
+    if config.replicas.is_empty() && config.spawn == 0 {
+        return Err(CliError::usage(
+            "route needs at least one --replica ADDR (repeatable) or --spawn N",
+        ));
+    }
+    let router = gt_router::Router::start(config)
+        .map_err(|e| CliError::runtime(format!("cannot start router: {e}")))?;
+    let pipe_fd = sigint::install();
+    eprintln!(
+        "gt-router listening on {} -> fleet [{}] — Ctrl-C or a {{\"op\":\"shutdown\"}} request drains and exits",
+        router.local_addr(),
+        router.replica_addrs().join(", ")
+    );
+    while !router.draining() {
+        if sigint::wait(pipe_fd, 100) {
+            router.request_shutdown();
+            break;
+        }
+    }
+    let snapshot = router.join();
+    Ok(format!("{}\n", snapshot.to_json().render()))
+}
+
 fn run_loadgen_cmd(args: &[String]) -> Result<String, CliError> {
     let mut config = gt_serve::LoadgenConfig {
         conns: 4,
@@ -628,6 +723,38 @@ mod tests {
         std::fs::write(&path, "((3 9) (7 1))").unwrap();
         let out = run_str(&["eval", "--tree", path.to_str().unwrap(), "--algo", "ab"]).unwrap();
         assert!(out.contains("value    : 3"));
+    }
+
+    #[test]
+    fn route_flags_are_validated() {
+        assert_eq!(run_str(&["route", "--bogus"]).unwrap_err().exit_code, 2);
+        let err = run_str(&["route"]).unwrap_err();
+        assert_eq!(
+            err.exit_code, 2,
+            "no replicas and no --spawn is a usage error"
+        );
+        assert!(err.message.contains("--replica"));
+        for flag in [
+            "--spawn",
+            "--pool",
+            "--retries",
+            "--hedge-ms",
+            "--backoff-ms",
+            "--probe-interval",
+            "--eject-after",
+            "--readmit-ms",
+        ] {
+            assert_eq!(
+                run_str(&["route", flag, "many"]).unwrap_err().exit_code,
+                2,
+                "{flag} must parse as a number"
+            );
+        }
+        assert_eq!(
+            run_str(&["route", "--replica"]).unwrap_err().exit_code,
+            2,
+            "missing value"
+        );
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Rendezvous (highest-random-weight) hashing over replica addresses.
+//!
+//! Every canonical cache key is scored against every replica address;
+//! the highest score owns the key and the descending order is the
+//! failover sequence.  Because each (key, member) score is independent
+//! of the member set, adding or removing a replica only moves the keys
+//! that scored highest on it — every other key keeps its owner and its
+//! failover order, so replica-local LRU caches stay warm through
+//! membership churn.  That minimal-disruption property is why this
+//! beats `hash(key) % n` for cache affinity.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Rendezvous score of `member` for `key`; higher wins.  Key and
+/// member are chained through one FNV-1a stream with a `0xff`
+/// separator (a byte that cannot occur in UTF-8), so `("ab", "c")`
+/// and `("a", "bc")` cannot collide structurally.
+pub fn score(key: &str, member: &str) -> u64 {
+    let h = fnv1a(FNV_OFFSET, key.as_bytes());
+    let h = fnv1a(h, &[0xff]);
+    fnv1a(h, member.as_bytes())
+}
+
+/// Member indices ordered by descending score for `key`: the routing
+/// preference order (owner first, then failover candidates).  Ties
+/// break on the lower index so the order is total and deterministic.
+pub fn rank(key: &str, members: &[String]) -> Vec<usize> {
+    let scores: Vec<u64> = members.iter().map(|m| score(key, m)).collect();
+    let mut order: Vec<usize> = (0..members.len()).collect();
+    order.sort_by(|&a, &b| scores[b].cmp(&scores[a]).then(a.cmp(&b)));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7171")).collect()
+    }
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| format!("worst:d=3,n=8,seed={i}|cascade:w=1"))
+            .collect()
+    }
+
+    #[test]
+    fn rank_is_deterministic_and_a_permutation() {
+        let ms = members(5);
+        for key in keys(50) {
+            let a = rank(&key, &ms);
+            let b = rank(&key, &ms);
+            assert_eq!(a, b);
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..5).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_members() {
+        // 1000 keys over 3 members: rendezvous is not uniform-perfect,
+        // but no member may be starved or dominant.
+        let ms = members(3);
+        let mut owners = [0usize; 3];
+        for key in keys(1000) {
+            owners[rank(&key, &ms)[0]] += 1;
+        }
+        for (i, &n) in owners.iter().enumerate() {
+            assert!(
+                (150..=550).contains(&n),
+                "member {i} owns {n} of 1000 keys: {owners:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_member_only_moves_its_own_keys() {
+        // The minimal-disruption property: drop member 2 and every
+        // key's preference order over the survivors is unchanged.
+        let full = members(4);
+        let reduced: Vec<String> = full
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 2)
+            .map(|(_, m)| m.clone())
+            .collect();
+        for key in keys(200) {
+            let with: Vec<usize> = rank(&key, &full)
+                .into_iter()
+                .filter(|&i| i != 2)
+                .map(|i| if i > 2 { i - 1 } else { i })
+                .collect();
+            let without = rank(&key, &reduced);
+            assert_eq!(with, without, "survivor order changed for {key}");
+        }
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_scores_in_practice() {
+        // Smoke against degenerate hashing: many keys, one member,
+        // scores should essentially never collide.
+        let mut seen = std::collections::HashSet::new();
+        for key in keys(1000) {
+            seen.insert(score(&key, "10.0.0.1:7171"));
+        }
+        assert!(seen.len() >= 999, "only {} distinct scores", seen.len());
+    }
+}

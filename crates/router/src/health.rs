@@ -1,0 +1,292 @@
+//! Per-replica health state machine, driven by the probe loop.
+//!
+//! Health is fed **only** by the background prober — never by
+//! data-path replies.  A replica that is draining still answers eval
+//! requests correctly for a while; judging it by data-path errors
+//! would flap it in and out of the ring while the prober (which asks
+//! `op:"health"` and checks the `draining` flag) has the authoritative
+//! answer.  The data path records transport errors in counters and
+//! fails over per-request; the prober decides membership.
+//!
+//! States and transitions:
+//!
+//! ```text
+//!             probe ok ×promote_after
+//!   Healthy <------------------------- Degraded
+//!      |                                 ^   |
+//!      | probe fail ×degrade_after       |   | probe fail ×eject_after
+//!      +---------------------------------+   v
+//!             probe ok                    Ejected
+//!                     ^                    |
+//!                     | probe fail         | readmit_after elapsed
+//!                  HalfOpen <--------------+
+//!                     | probe ok
+//!                     v
+//!                  Degraded
+//! ```
+//!
+//! Routing maps states to preference tiers ([`HealthState::tier`]):
+//! the rendezvous order is stable-sorted by tier, so a degraded owner
+//! still receives its keys before a healthy non-owner steals them
+//! (cache affinity survives a blip), but an ejected owner is skipped
+//! until it re-admits.
+
+use std::time::{Duration, Instant};
+
+/// Replica availability as judged by the prober.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Probes succeeding; full routing preference.
+    Healthy,
+    /// Recent probe failures (or recovering); still routable.
+    Degraded,
+    /// Consecutive failures crossed the eject threshold; skipped by
+    /// routing unless no better candidate exists.
+    Ejected,
+    /// Eject timer elapsed; next probe decides readmission.
+    HalfOpen,
+}
+
+impl HealthState {
+    /// Routing preference tier: lower routes first.  The rendezvous
+    /// order is stable-sorted by this value.
+    pub fn tier(self) -> u8 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::HalfOpen => 2,
+            HealthState::Ejected => 3,
+        }
+    }
+
+    /// Stable lowercase name for metrics and stats output.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Ejected => "ejected",
+            HealthState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Thresholds for the health state machine.
+#[derive(Debug, Clone)]
+pub struct HealthPolicy {
+    /// Consecutive probe failures before Healthy demotes to Degraded.
+    pub degrade_after: u32,
+    /// Consecutive probe failures before ejection.
+    pub eject_after: u32,
+    /// How long an ejected replica sits out before going half-open.
+    pub readmit_after: Duration,
+    /// Consecutive probe successes before Degraded promotes back to
+    /// Healthy.
+    pub promote_after: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            degrade_after: 1,
+            eject_after: 3,
+            readmit_after: Duration::from_millis(500),
+            promote_after: 2,
+        }
+    }
+}
+
+/// One replica's health trajectory.  Time is injected (`tick(now)`)
+/// so transitions are unit-testable with synthetic instants.
+#[derive(Debug)]
+pub struct HealthMachine {
+    policy: HealthPolicy,
+    state: HealthState,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+    ejected_at: Option<Instant>,
+    /// Total times this replica has been ejected (monotone counter).
+    pub ejects: u64,
+}
+
+impl HealthMachine {
+    pub fn new(policy: HealthPolicy) -> Self {
+        HealthMachine {
+            policy,
+            state: HealthState::Healthy,
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+            ejected_at: None,
+            ejects: 0,
+        }
+    }
+
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Advance time-based transitions: an ejected replica whose
+    /// sit-out has elapsed goes half-open, letting the next probe
+    /// decide readmission.
+    pub fn tick(&mut self, now: Instant) {
+        if self.state == HealthState::Ejected {
+            if let Some(at) = self.ejected_at {
+                if now.duration_since(at) >= self.policy.readmit_after {
+                    self.state = HealthState::HalfOpen;
+                }
+            }
+        }
+    }
+
+    /// Record a successful probe.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.consecutive_successes = self.consecutive_successes.saturating_add(1);
+        match self.state {
+            HealthState::HalfOpen => {
+                // One good probe readmits, but only to Degraded: the
+                // replica must string together promote_after successes
+                // before it is trusted as Healthy again.
+                self.state = HealthState::Degraded;
+                self.consecutive_successes = 1;
+            }
+            HealthState::Degraded => {
+                if self.consecutive_successes >= self.policy.promote_after {
+                    self.state = HealthState::Healthy;
+                }
+            }
+            HealthState::Healthy => {}
+            HealthState::Ejected => {}
+        }
+    }
+
+    /// Record a failed probe at `now` (used to stamp eject time).
+    pub fn on_failure(&mut self, now: Instant) {
+        self.consecutive_successes = 0;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            HealthState::HalfOpen => {
+                // Failed its readmission audition: back to the bench,
+                // with the sit-out clock restarted.
+                self.state = HealthState::Ejected;
+                self.ejected_at = Some(now);
+                self.ejects += 1;
+            }
+            HealthState::Ejected => {}
+            _ => {
+                if self.consecutive_failures >= self.policy.eject_after {
+                    self.state = HealthState::Ejected;
+                    self.ejected_at = Some(now);
+                    self.ejects += 1;
+                } else if self.consecutive_failures >= self.policy.degrade_after {
+                    self.state = HealthState::Degraded;
+                }
+            }
+        }
+    }
+}
+
+/// Re-order a rendezvous ranking by health tier, keeping hash order
+/// within each tier.  Pure so the routing policy is testable without
+/// sockets: `tier_of[i]` is replica `i`'s current tier.
+pub fn tier_route(order: &[usize], tier_of: &[u8]) -> Vec<usize> {
+    let mut out = order.to_vec();
+    out.sort_by_key(|&i| tier_of[i]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> HealthMachine {
+        HealthMachine::new(HealthPolicy::default())
+    }
+
+    #[test]
+    fn one_failure_degrades_three_eject() {
+        let t0 = Instant::now();
+        let mut h = machine();
+        assert_eq!(h.state(), HealthState::Healthy);
+        h.on_failure(t0);
+        assert_eq!(h.state(), HealthState::Degraded);
+        h.on_failure(t0);
+        assert_eq!(h.state(), HealthState::Degraded);
+        h.on_failure(t0);
+        assert_eq!(h.state(), HealthState::Ejected);
+        assert_eq!(h.ejects, 1);
+    }
+
+    #[test]
+    fn readmission_goes_through_half_open_and_degraded() {
+        let t0 = Instant::now();
+        let mut h = machine();
+        for _ in 0..3 {
+            h.on_failure(t0);
+        }
+        assert_eq!(h.state(), HealthState::Ejected);
+
+        // Before the sit-out elapses, still ejected.
+        h.tick(t0 + Duration::from_millis(100));
+        assert_eq!(h.state(), HealthState::Ejected);
+
+        h.tick(t0 + Duration::from_millis(600));
+        assert_eq!(h.state(), HealthState::HalfOpen);
+
+        // One good probe readmits to Degraded, not straight to
+        // Healthy; promote_after=2 successes finish the climb.
+        h.on_success();
+        assert_eq!(h.state(), HealthState::Degraded);
+        h.on_success();
+        assert_eq!(h.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn half_open_failure_re_ejects_with_fresh_timer() {
+        let t0 = Instant::now();
+        let mut h = machine();
+        for _ in 0..3 {
+            h.on_failure(t0);
+        }
+        h.tick(t0 + Duration::from_millis(600));
+        assert_eq!(h.state(), HealthState::HalfOpen);
+
+        let t1 = t0 + Duration::from_millis(700);
+        h.on_failure(t1);
+        assert_eq!(h.state(), HealthState::Ejected);
+        assert_eq!(h.ejects, 2);
+
+        // Timer restarted at t1: 400ms later still ejected, 600ms
+        // later half-open again.
+        h.tick(t1 + Duration::from_millis(400));
+        assert_eq!(h.state(), HealthState::Ejected);
+        h.tick(t1 + Duration::from_millis(600));
+        assert_eq!(h.state(), HealthState::HalfOpen);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let t0 = Instant::now();
+        let mut h = machine();
+        h.on_failure(t0);
+        h.on_failure(t0);
+        h.on_success();
+        // Streak broken: two more failures only re-degrade, the third
+        // ejects.
+        h.on_failure(t0);
+        h.on_failure(t0);
+        assert_eq!(h.state(), HealthState::Degraded);
+        h.on_failure(t0);
+        assert_eq!(h.state(), HealthState::Ejected);
+    }
+
+    #[test]
+    fn tier_route_prefers_healthier_but_keeps_hash_order_within_tier() {
+        // Hash order 2,0,3,1; replica 2 ejected, 3 degraded.
+        let order = [2, 0, 3, 1];
+        let tier_of = [0u8, 0, 3, 1];
+        assert_eq!(tier_route(&order, &tier_of), vec![0, 1, 3, 2]);
+
+        // All healthy: pure hash order survives.
+        assert_eq!(tier_route(&order, &[0, 0, 0, 0]), vec![2, 0, 3, 1]);
+    }
+}

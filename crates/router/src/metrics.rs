@@ -1,0 +1,427 @@
+//! Router metrics registry: fleet-level counters, per-replica
+//! counters, and a route-latency histogram.
+//!
+//! The registry is all atomics (plus gt-serve's lock-free
+//! [`LatencyHistogram`]) so the data path never takes a lock to count.
+//! [`RouterMetrics::snapshot`] freezes the fleet-level half; the
+//! router adds per-replica rows (whose counters live next to the
+//! connection state) to form a [`RouterSnapshot`], which renders both
+//! as `op:"stats"` JSON and Prometheus text exposition for the
+//! `/metrics` listener.
+
+use gt_analysis::json::Json;
+use gt_serve::metrics::{HistogramSnapshot, LatencyHistogram};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Per-replica data-path counters.  These live on the replica (next
+/// to its connections), not in [`RouterMetrics`], but snapshot into
+/// the same [`RouterSnapshot`].
+#[derive(Default)]
+pub struct ReplicaCounters {
+    /// Eval attempts written to this replica.
+    pub sent: AtomicU64,
+    /// Ok replies received.
+    pub ok: AtomicU64,
+    /// 429/503 replies received (each triggers a failover retry).
+    pub busy: AtomicU64,
+    /// Other error replies (forwarded to the client as-is).
+    pub errors: AtomicU64,
+    /// Transport failures: write errors, resets, orphaned in-flight
+    /// requests on connection death.
+    pub transport: AtomicU64,
+    /// Failed health probes.
+    pub probe_failures: AtomicU64,
+}
+
+impl ReplicaCounters {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Fleet-level router counters and the end-to-end route-latency
+/// histogram (client line in → client line out, for ok replies).
+pub struct RouterMetrics {
+    start: Instant,
+    /// Eval requests accepted from clients.
+    pub requests: AtomicU64,
+    /// Ok replies relayed to clients.
+    pub ok: AtomicU64,
+    /// Upstream error replies relayed verbatim (not busy/draining).
+    pub forwarded_errors: AtomicU64,
+    /// Failover re-dispatches (busy reply, transport loss, dead
+    /// candidate skipped).
+    pub retries: AtomicU64,
+    /// Hedge attempts launched.
+    pub hedges: AtomicU64,
+    /// Requests won by the hedge copy.
+    pub hedge_wins: AtomicU64,
+    /// Duplicate replies discarded because the other copy won.
+    pub hedge_losers: AtomicU64,
+    /// Requests shed by the router itself (window full or no
+    /// routable replica).
+    pub shed: AtomicU64,
+    /// Requests that exhausted their deadline inside the router.
+    pub expired: AtomicU64,
+    /// Requests rejected because the router is draining.
+    pub draining: AtomicU64,
+    /// Malformed or invalid client requests.
+    pub bad_request: AtomicU64,
+    /// Upstream replies that matched no pending request.
+    pub stale_replies: AtomicU64,
+    /// Requests that ran out of routable candidates.
+    pub unrouted: AtomicU64,
+    /// Client connections accepted.
+    pub connections: AtomicU64,
+    /// End-to-end latency of ok replies, microseconds.
+    pub route_latency: LatencyHistogram,
+}
+
+impl Default for RouterMetrics {
+    fn default() -> Self {
+        RouterMetrics {
+            start: Instant::now(),
+            requests: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            forwarded_errors: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            hedge_losers: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            draining: AtomicU64::new(0),
+            bad_request: AtomicU64::new(0),
+            stale_replies: AtomicU64::new(0),
+            unrouted: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            route_latency: LatencyHistogram::default(),
+        }
+    }
+}
+
+impl RouterMetrics {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Microseconds since the registry (≈ the router) started.
+    pub fn uptime_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Freeze the fleet-level counters.  The router supplies the
+    /// per-replica rows it assembles from live replica state.
+    pub fn snapshot(&self, replicas: Vec<ReplicaSnapshot>) -> RouterSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        RouterSnapshot {
+            uptime_us: self.start.elapsed().as_micros() as u64,
+            requests: load(&self.requests),
+            ok: load(&self.ok),
+            forwarded_errors: load(&self.forwarded_errors),
+            retries: load(&self.retries),
+            hedges: load(&self.hedges),
+            hedge_wins: load(&self.hedge_wins),
+            hedge_losers: load(&self.hedge_losers),
+            shed: load(&self.shed),
+            expired: load(&self.expired),
+            draining: load(&self.draining),
+            bad_request: load(&self.bad_request),
+            stale_replies: load(&self.stale_replies),
+            unrouted: load(&self.unrouted),
+            connections: load(&self.connections),
+            route_latency: self.route_latency.snapshot_full(),
+            replicas,
+        }
+    }
+}
+
+/// One replica's row in the stats snapshot.
+#[derive(Debug, Clone)]
+pub struct ReplicaSnapshot {
+    pub addr: String,
+    /// Health state name (`healthy`/`degraded`/`ejected`/`half-open`).
+    pub state: &'static str,
+    /// Routing preference tier (0 best, 3 worst).
+    pub tier: u8,
+    /// Times this replica has been ejected.
+    pub ejects: u64,
+    pub sent: u64,
+    pub ok: u64,
+    pub busy: u64,
+    pub errors: u64,
+    pub transport: u64,
+    pub probe_failures: u64,
+    /// Requests currently awaiting a reply from this replica.
+    pub inflight: u64,
+}
+
+impl ReplicaSnapshot {
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("addr", Json::from(self.addr.as_str())),
+            ("state", Json::from(self.state)),
+            ("tier", Json::from(u64::from(self.tier))),
+            ("ejects", Json::from(self.ejects)),
+            ("sent", Json::from(self.sent)),
+            ("ok", Json::from(self.ok)),
+            ("busy", Json::from(self.busy)),
+            ("errors", Json::from(self.errors)),
+            ("transport", Json::from(self.transport)),
+            ("probe_failures", Json::from(self.probe_failures)),
+            ("inflight", Json::from(self.inflight)),
+        ])
+    }
+}
+
+/// A frozen view of the whole router: fleet counters, route latency,
+/// and one row per replica.
+#[derive(Debug, Clone)]
+pub struct RouterSnapshot {
+    pub uptime_us: u64,
+    pub requests: u64,
+    pub ok: u64,
+    pub forwarded_errors: u64,
+    pub retries: u64,
+    pub hedges: u64,
+    pub hedge_wins: u64,
+    pub hedge_losers: u64,
+    pub shed: u64,
+    pub expired: u64,
+    pub draining: u64,
+    pub bad_request: u64,
+    pub stale_replies: u64,
+    pub unrouted: u64,
+    pub connections: u64,
+    pub route_latency: HistogramSnapshot,
+    pub replicas: Vec<ReplicaSnapshot>,
+}
+
+impl RouterSnapshot {
+    /// The `stats` object returned by `op:"stats"`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("uptime_us", Json::from(self.uptime_us)),
+            ("requests", Json::from(self.requests)),
+            ("ok", Json::from(self.ok)),
+            ("forwarded_errors", Json::from(self.forwarded_errors)),
+            ("retries", Json::from(self.retries)),
+            ("hedges", Json::from(self.hedges)),
+            ("hedge_wins", Json::from(self.hedge_wins)),
+            ("hedge_losers", Json::from(self.hedge_losers)),
+            ("shed", Json::from(self.shed)),
+            ("expired", Json::from(self.expired)),
+            ("draining", Json::from(self.draining)),
+            ("bad_request", Json::from(self.bad_request)),
+            ("stale_replies", Json::from(self.stale_replies)),
+            ("unrouted", Json::from(self.unrouted)),
+            ("connections", Json::from(self.connections)),
+            ("route_latency", self.route_latency.to_json()),
+            (
+                "replicas",
+                Json::Array(self.replicas.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    }
+
+    /// Prometheus text exposition (format 0.0.4) for the `/metrics`
+    /// listener.  Route latency renders as a summary.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        fn counter(out: &mut String, name: &str, help: &str, v: u64) {
+            use std::fmt::Write as _;
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        let mut out = String::new();
+        counter(
+            &mut out,
+            "router_requests_total",
+            "Eval requests accepted from clients.",
+            self.requests,
+        );
+        counter(
+            &mut out,
+            "router_ok_total",
+            "Ok replies relayed to clients.",
+            self.ok,
+        );
+        counter(
+            &mut out,
+            "router_retries_total",
+            "Failover re-dispatches to another replica.",
+            self.retries,
+        );
+        counter(
+            &mut out,
+            "router_hedges_total",
+            "Hedge attempts launched.",
+            self.hedges,
+        );
+        counter(
+            &mut out,
+            "router_hedge_wins_total",
+            "Requests won by the hedge copy.",
+            self.hedge_wins,
+        );
+        counter(
+            &mut out,
+            "router_ejects_total",
+            "Replica ejections by the health prober.",
+            self.replicas.iter().map(|r| r.ejects).sum(),
+        );
+        counter(
+            &mut out,
+            "router_shed_total",
+            "Requests shed by the router (window full or unroutable).",
+            self.shed,
+        );
+        counter(
+            &mut out,
+            "router_expired_total",
+            "Requests that exhausted their deadline in the router.",
+            self.expired,
+        );
+        counter(
+            &mut out,
+            "router_forwarded_errors_total",
+            "Upstream error replies relayed verbatim.",
+            self.forwarded_errors,
+        );
+        counter(
+            &mut out,
+            "router_connections_total",
+            "Client connections accepted.",
+            self.connections,
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP router_route_latency_us End-to-end ok-reply latency."
+        );
+        let _ = writeln!(out, "# TYPE router_route_latency_us summary");
+        for (label, q) in [("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)] {
+            let v = self.route_latency.quantile_us(q).unwrap_or(0);
+            let _ = writeln!(out, "router_route_latency_us{{quantile=\"{label}\"}} {v}");
+        }
+        let _ = writeln!(
+            out,
+            "router_route_latency_us_sum {}",
+            self.route_latency.sum_us
+        );
+        let _ = writeln!(
+            out,
+            "router_route_latency_us_count {}",
+            self.route_latency.count
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP router_replica_requests_total Eval attempts sent per replica."
+        );
+        let _ = writeln!(out, "# TYPE router_replica_requests_total counter");
+        for r in &self.replicas {
+            let _ = writeln!(
+                out,
+                "router_replica_requests_total{{replica=\"{}\"}} {}",
+                r.addr, r.sent
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP router_replica_tier Routing tier (0 healthy .. 3 ejected)."
+        );
+        let _ = writeln!(out, "# TYPE router_replica_tier gauge");
+        for r in &self.replicas {
+            let _ = writeln!(
+                out,
+                "router_replica_tier{{replica=\"{}\"}} {}",
+                r.addr, r.tier
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP router_replica_inflight Requests awaiting a reply per replica."
+        );
+        let _ = writeln!(out, "# TYPE router_replica_inflight gauge");
+        for r in &self.replicas {
+            let _ = writeln!(
+                out,
+                "router_replica_inflight{{replica=\"{}\"}} {}",
+                r.addr, r.inflight
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replica_row(addr: &str) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            addr: addr.to_string(),
+            state: "healthy",
+            tier: 0,
+            ejects: 2,
+            sent: 10,
+            ok: 8,
+            busy: 1,
+            errors: 0,
+            transport: 1,
+            probe_failures: 3,
+            inflight: 1,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_counters_into_json() {
+        let m = RouterMetrics::default();
+        m.requests.fetch_add(7, Ordering::Relaxed);
+        m.retries.fetch_add(3, Ordering::Relaxed);
+        m.route_latency.record(500);
+        let snap = m.snapshot(vec![replica_row("127.0.0.1:7171")]);
+        let j = snap.to_json();
+        assert_eq!(j.get("requests").and_then(Json::as_u64), Some(7));
+        assert_eq!(j.get("retries").and_then(Json::as_u64), Some(3));
+        let replicas = match j.get("replicas") {
+            Some(Json::Array(rs)) => rs,
+            other => panic!("replicas not an array: {other:?}"),
+        };
+        assert_eq!(replicas.len(), 1);
+        assert_eq!(
+            replicas[0].get("addr").and_then(Json::as_str),
+            Some("127.0.0.1:7171")
+        );
+        assert_eq!(replicas[0].get("ejects").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn prometheus_exposition_names_the_required_series() {
+        let m = RouterMetrics::default();
+        m.retries.fetch_add(4, Ordering::Relaxed);
+        m.route_latency.record(1_000);
+        let text = m
+            .snapshot(vec![
+                replica_row("127.0.0.1:7171"),
+                replica_row("127.0.0.1:7172"),
+            ])
+            .render_prometheus();
+        assert!(text.contains("router_retries_total 4"), "{text}");
+        assert!(text.contains("router_requests_total"), "{text}");
+        assert!(
+            text.contains("router_replica_requests_total{replica=\"127.0.0.1:7172\"} 10"),
+            "{text}"
+        );
+        assert!(
+            text.contains("router_route_latency_us{quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(text.contains("router_route_latency_us_count 1"), "{text}");
+        // ejects sums across replicas
+        assert!(text.contains("router_ejects_total 4"), "{text}");
+    }
+}

@@ -1,0 +1,1444 @@
+//! The routing tier itself: client accept loop, rendezvous routing,
+//! per-replica pipelined connection pools, retry/hedge pacing, and
+//! lifecycle (spawned replicas, probes, graceful drain).
+//!
+//! ## Data path
+//!
+//! A client connection speaks the same NDJSON protocol as `gt-serve`.
+//! Each `eval` is validated at the edge (bad requests never cost an
+//! upstream round trip), keyed by its canonical cache key, and routed
+//! along the key's rendezvous order re-sorted by health tier.  The
+//! request is relayed upstream with a globally unique numeric id;
+//! replies are matched back to their [`Relay`], rewritten to carry the
+//! client's original id (plus `replica`, `retries`, `hedged`
+//! annotations), and written to the client.  One request may have
+//! several upstream copies in flight (a hedge, or a retry racing a
+//! slow first attempt); the first reply wins via an atomic claim and
+//! the rest are discarded.
+//!
+//! ## Control path
+//!
+//! A background prober drives each replica's health machine (see
+//! [`crate::health`] — data-path errors never touch health), a pacer
+//! thread fires deferred retries, hedges, and a last-resort expiry for
+//! every relay, and upstream reader threads reconnect with backoff
+//! when replicas die, re-dispatching any requests orphaned in flight.
+
+use crate::hash;
+use crate::health::{tier_route, HealthMachine, HealthPolicy};
+use crate::metrics::{ReplicaCounters, ReplicaSnapshot, RouterMetrics, RouterSnapshot};
+use gt_analysis::Json;
+use gt_serve::protocol::{
+    error_line_with, ok_line, ErrorCode, Op, Request, Response, PROTOCOL_VERSION,
+};
+use gt_serve::trace::{spawn_metrics_listener, MetricsListener};
+use gt_serve::workload;
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocking reads wake to poll stop flags.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Delay before reconnecting a dead upstream connection.
+const RECONNECT_DELAY: Duration = Duration::from_millis(50);
+
+/// Slack past a relay's deadline before the router answers `timeout`
+/// locally.  Within the slack the upstream — which was handed the same
+/// deadline — gets to deliver its own, more informative, timeout.
+const EXPIRE_GRACE: Duration = Duration::from_millis(100);
+
+/// Largest accepted client request line.
+const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Algorithm used when an eval names none (mirrors gt-serve).
+const DEFAULT_ALGO: &str = "cascade:w=1";
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address for the client listener; port 0 for ephemeral.
+    pub addr: String,
+    /// Upstream replica addresses (`host:port`).
+    pub replicas: Vec<String>,
+    /// Number of in-process `gt-serve` replicas to spawn on ephemeral
+    /// ports, in addition to `replicas`.
+    pub spawn: usize,
+    /// Configuration template for spawned replicas (its `addr` is
+    /// ignored; each replica binds `127.0.0.1:0`).
+    pub spawn_config: gt_serve::Config,
+    /// Pipelined connections per replica.
+    pub pool: usize,
+    /// Requests in flight per upstream connection; the router's side
+    /// of gt-serve's `--conn-window` contract.
+    pub conn_window: usize,
+    /// Requests in flight per client connection.
+    pub client_window: usize,
+    /// Scheduled failover retries per request (inline skips over dead
+    /// replicas are not budgeted — they are how a live one is found).
+    pub retries: u32,
+    /// Hedge a request still unanswered after this many milliseconds
+    /// against the next replica in route order; `None` disables.
+    pub hedge_ms: Option<u64>,
+    /// Base backoff before a busy-retry, doubled per retry, capped at
+    /// 250ms; the upstream's `retry_after_ms` hint overrides it.
+    pub backoff_ms: u64,
+    /// Health probe period.
+    pub probe_interval_ms: u64,
+    /// Health probe connect/read timeout.
+    pub probe_timeout_ms: u64,
+    /// Deadline applied to evals that do not carry `deadline_ms`.
+    pub default_deadline_ms: u64,
+    /// Bind address for the Prometheus `/metrics` listener; `None`
+    /// disables it.
+    pub metrics_addr: Option<String>,
+    /// Health state-machine thresholds.
+    pub health: HealthPolicy,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            replicas: Vec::new(),
+            spawn: 0,
+            spawn_config: gt_serve::Config::default(),
+            pool: 1,
+            conn_window: 32,
+            client_window: 32,
+            retries: 3,
+            hedge_ms: None,
+            backoff_ms: 2,
+            probe_interval_ms: 100,
+            probe_timeout_ms: 250,
+            default_deadline_ms: 10_000,
+            metrics_addr: None,
+            health: HealthPolicy::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client-side pipelining window (same discipline as gt-serve's).
+// ---------------------------------------------------------------------------
+
+struct ClientWindow {
+    slots: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl ClientWindow {
+    fn new() -> ClientWindow {
+        ClientWindow {
+            slots: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self, limit: usize) {
+        let mut n = self.slots.lock().unwrap();
+        while *n >= limit.max(1) {
+            n = self.cv.wait(n).unwrap();
+        }
+        *n += 1;
+    }
+
+    fn release(&self) {
+        *self.slots.lock().unwrap() -= 1;
+        self.cv.notify_all();
+    }
+
+    fn drain(&self) {
+        let mut n = self.slots.lock().unwrap();
+        while *n > 0 {
+            n = self.cv.wait(n).unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Upstream state.
+// ---------------------------------------------------------------------------
+
+/// One pipelined connection to a replica.  `writer` is `None` while
+/// disconnected; `pending` maps upstream sequence ids to the relays
+/// awaiting them.
+struct UpstreamConn {
+    writer: Mutex<Option<TcpStream>>,
+    pending: Mutex<HashMap<u64, Arc<Relay>>>,
+}
+
+/// One replica: its address, connection pool, health trajectory, and
+/// data-path counters.
+struct Replica {
+    idx: usize,
+    addr: String,
+    conns: Vec<Arc<UpstreamConn>>,
+    rr: AtomicUsize,
+    health: Mutex<HealthMachine>,
+    counters: ReplicaCounters,
+}
+
+impl Replica {
+    fn tier(&self) -> u8 {
+        self.health.lock().unwrap().state().tier()
+    }
+
+    fn inflight(&self) -> u64 {
+        self.conns
+            .iter()
+            .map(|c| c.pending.lock().unwrap().len() as u64)
+            .sum()
+    }
+}
+
+/// Where an upstream copy of a relay currently lives.
+struct OutstandingEntry {
+    replica: usize,
+    conn: usize,
+    seq: u64,
+    is_hedge: bool,
+}
+
+/// One client request in flight through the router.  Shared by the
+/// client reader (creation), upstream readers (replies), and the
+/// pacer (retries/hedges/expiry); `answered` is the single claim that
+/// guarantees exactly one reply line reaches the client.
+struct Relay {
+    client_id: Option<String>,
+    /// Canonical spec/algo strings sent upstream — the same strings
+    /// that formed the routing key, so every replica computes the
+    /// identical cache key.
+    spec: String,
+    algo: String,
+    start: Instant,
+    deadline: Instant,
+    /// Replica indices in routing preference order.
+    route: Vec<usize>,
+    /// Next position in `route` to try (monotone; wraps via modulo).
+    cursor: AtomicUsize,
+    retries: AtomicU32,
+    hedged: AtomicBool,
+    answered: AtomicBool,
+    outstanding: Mutex<Vec<OutstandingEntry>>,
+    writer: Arc<Mutex<TcpStream>>,
+    window: Arc<ClientWindow>,
+}
+
+impl Relay {
+    /// Claim the right to answer; at most one caller ever wins.
+    fn try_claim(&self) -> bool {
+        !self.answered.swap(true, Ordering::SeqCst)
+    }
+
+    fn remove_outstanding(&self, seq: u64) -> Option<OutstandingEntry> {
+        let mut out = self.outstanding.lock().unwrap();
+        out.iter()
+            .position(|e| e.seq == seq)
+            .map(|i| out.swap_remove(i))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pacer: one thread, one min-heap of deferred actions.
+// ---------------------------------------------------------------------------
+
+enum Action {
+    /// Re-dispatch after a busy backoff.
+    Retry,
+    /// Launch the hedge copy if still unanswered.
+    Hedge,
+    /// Last resort: answer `timeout` locally so the client window is
+    /// always released, even with a wedged upstream.
+    Expire,
+}
+
+struct PacerEntry {
+    due: Instant,
+    tiebreak: u64,
+    relay: Weak<Relay>,
+    action: Action,
+}
+
+impl PartialEq for PacerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.tiebreak == other.tiebreak
+    }
+}
+impl Eq for PacerEntry {}
+impl PartialOrd for PacerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PacerEntry {
+    // Reversed so BinaryHeap pops the earliest deadline first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .due
+            .cmp(&self.due)
+            .then(other.tiebreak.cmp(&self.tiebreak))
+    }
+}
+
+struct Pacer {
+    heap: Mutex<BinaryHeap<PacerEntry>>,
+    cv: Condvar,
+    stop: AtomicBool,
+    counter: AtomicU64,
+}
+
+impl Pacer {
+    fn new() -> Pacer {
+        Pacer {
+            heap: Mutex::new(BinaryHeap::new()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    fn schedule(&self, due: Instant, relay: &Arc<Relay>, action: Action) {
+        let tiebreak = self.counter.fetch_add(1, Ordering::Relaxed);
+        self.heap.lock().unwrap().push(PacerEntry {
+            due,
+            tiebreak,
+            relay: Arc::downgrade(relay),
+            action,
+        });
+        self.cv.notify_all();
+    }
+
+    fn halt(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared router state.
+// ---------------------------------------------------------------------------
+
+struct Inner {
+    config: RouterConfig,
+    addrs: Vec<String>,
+    replicas: Vec<Arc<Replica>>,
+    metrics: RouterMetrics,
+    pacer: Pacer,
+    seq: AtomicU64,
+    /// Client-facing drain flag: stop accepting, reject new evals.
+    draining: AtomicBool,
+    /// Second shutdown phase: stop upstream/probe threads.
+    stop_upstream: AtomicBool,
+}
+
+/// Compute a key's routing order: rendezvous rank over the replica
+/// addresses, stable-sorted by health tier so healthier replicas come
+/// first but hash affinity survives within a tier.
+fn route_for(key: &str, addrs: &[String], tiers: &[u8]) -> Vec<usize> {
+    tier_route(&hash::rank(key, addrs), tiers)
+}
+
+fn write_client(relay: &Relay, line: &str) {
+    let mut w = relay.writer.lock().unwrap();
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.write_all(b"\n");
+}
+
+fn write_line(writer: &Mutex<TcpStream>, line: &str) {
+    let mut w = writer.lock().unwrap();
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.write_all(b"\n");
+}
+
+/// Rebuild an upstream reply line for the client: drop the upstream
+/// sequence id, restore the client's id (right after `ok`, where
+/// gt-serve puts it), and annotate with the answering replica plus
+/// retry/hedge provenance.  Pure for testability.
+fn rewrite_reply(
+    body: &Json,
+    client_id: &Option<String>,
+    replica_addr: &str,
+    retries: u32,
+    hedged: bool,
+) -> String {
+    let mut pairs: Vec<(String, Json)> = Vec::new();
+    if let Json::Object(fields) = body {
+        for (k, v) in fields {
+            if k == "id" {
+                continue;
+            }
+            pairs.push((k.clone(), v.clone()));
+            if k == "ok" {
+                if let Some(id) = client_id {
+                    pairs.push(("id".into(), Json::from(id.clone())));
+                }
+            }
+        }
+    }
+    pairs.push(("replica".into(), Json::from(replica_addr)));
+    if retries > 0 {
+        pairs.push(("retries".into(), Json::from(u64::from(retries))));
+    }
+    if hedged {
+        pairs.push(("hedged".into(), Json::Bool(true)));
+    }
+    Json::Object(pairs).render()
+}
+
+// ---------------------------------------------------------------------------
+// Settling: exactly one reply per relay.
+// ---------------------------------------------------------------------------
+
+/// Remove every upstream copy of `relay` from the pending maps so a
+/// late duplicate reply is counted stale instead of re-settling.
+fn cleanup_outstanding(inner: &Inner, relay: &Relay) {
+    let entries: Vec<OutstandingEntry> = std::mem::take(&mut *relay.outstanding.lock().unwrap());
+    for e in entries {
+        inner.replicas[e.replica].conns[e.conn]
+            .pending
+            .lock()
+            .unwrap()
+            .remove(&e.seq);
+    }
+}
+
+/// Forward an upstream reply (ok or non-retryable error) to the
+/// client, if this copy wins the claim.
+fn settle_forward(
+    inner: &Inner,
+    relay: &Relay,
+    replica: &Replica,
+    resp: &Response,
+    is_hedge: bool,
+) {
+    if !relay.try_claim() {
+        if relay.hedged.load(Ordering::SeqCst) {
+            RouterMetrics::bump(&inner.metrics.hedge_losers);
+        }
+        return;
+    }
+    if is_hedge {
+        RouterMetrics::bump(&inner.metrics.hedge_wins);
+    }
+    cleanup_outstanding(inner, relay);
+    let line = rewrite_reply(
+        &resp.body,
+        &relay.client_id,
+        &replica.addr,
+        relay.retries.load(Ordering::SeqCst),
+        relay.hedged.load(Ordering::SeqCst),
+    );
+    write_client(relay, &line);
+    if resp.ok {
+        RouterMetrics::bump(&inner.metrics.ok);
+        inner
+            .metrics
+            .route_latency
+            .record(relay.start.elapsed().as_micros() as u64);
+    } else {
+        RouterMetrics::bump(&inner.metrics.forwarded_errors);
+    }
+    relay.window.release();
+}
+
+/// Answer the client from the router itself (shed/timeout/draining).
+fn settle_local(
+    inner: &Inner,
+    relay: &Relay,
+    code: ErrorCode,
+    message: &str,
+    extra: Vec<(&'static str, Json)>,
+) {
+    if !relay.try_claim() {
+        return;
+    }
+    cleanup_outstanding(inner, relay);
+    write_client(
+        relay,
+        &error_line_with(&relay.client_id, code, message, extra),
+    );
+    match code {
+        ErrorCode::Busy => RouterMetrics::bump(&inner.metrics.shed),
+        ErrorCode::Timeout => RouterMetrics::bump(&inner.metrics.expired),
+        ErrorCode::Draining => RouterMetrics::bump(&inner.metrics.draining),
+        _ => {}
+    }
+    relay.window.release();
+}
+
+/// Out of candidates: shed, unless another copy is still racing.
+fn fail_unrouted(inner: &Inner, relay: &Relay) {
+    if !relay.outstanding.lock().unwrap().is_empty() {
+        return;
+    }
+    RouterMetrics::bump(&inner.metrics.unrouted);
+    settle_local(
+        inner,
+        relay,
+        ErrorCode::Busy,
+        "no routable replica",
+        vec![("retry_after_ms", Json::from(inner.config.backoff_ms.max(1)))],
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+enum AttemptKind {
+    Initial,
+    Retry,
+    Hedge,
+}
+
+/// Try to place one upstream copy of `relay`, walking its route from
+/// the cursor.  The first candidate of an Initial or Hedge attempt is
+/// free; every further candidate — tried because the previous one was
+/// unreachable — counts as a retry, as does the whole of a scheduled
+/// Retry attempt.  So `retries` reflects every time the request moved
+/// because the fleet made it move.
+fn dispatch_attempt(inner: &Inner, relay: &Arc<Relay>, kind: AttemptKind) {
+    if relay.answered.load(Ordering::SeqCst) {
+        return;
+    }
+    if Instant::now() >= relay.deadline {
+        settle_local(
+            inner,
+            relay,
+            ErrorCode::Timeout,
+            "deadline expired in router",
+            Vec::new(),
+        );
+        return;
+    }
+    let len = relay.route.len();
+    for iter in 0..len {
+        let pos = relay.cursor.fetch_add(1, Ordering::SeqCst) % len;
+        let replica = &inner.replicas[relay.route[pos]];
+        let free = iter == 0 && matches!(kind, AttemptKind::Initial | AttemptKind::Hedge);
+        if !free {
+            relay.retries.fetch_add(1, Ordering::SeqCst);
+            RouterMetrics::bump(&inner.metrics.retries);
+        }
+        if try_send(inner, relay, replica, matches!(kind, AttemptKind::Hedge)).is_ok() {
+            return;
+        }
+    }
+    fail_unrouted(inner, relay);
+}
+
+/// Place the copy on one of `replica`'s connections (round-robin,
+/// first with window room and a live writer).
+fn try_send(
+    inner: &Inner,
+    relay: &Arc<Relay>,
+    replica: &Replica,
+    is_hedge: bool,
+) -> Result<(), ()> {
+    let start = replica.rr.fetch_add(1, Ordering::Relaxed);
+    for k in 0..replica.conns.len() {
+        let ci = (start + k) % replica.conns.len();
+        if conn_try_send(inner, relay, replica, ci, is_hedge).is_ok() {
+            return Ok(());
+        }
+    }
+    Err(())
+}
+
+fn conn_try_send(
+    inner: &Inner,
+    relay: &Arc<Relay>,
+    replica: &Replica,
+    ci: usize,
+    is_hedge: bool,
+) -> Result<(), ()> {
+    let conn = &replica.conns[ci];
+    let seq = inner.seq.fetch_add(1, Ordering::SeqCst) + 1;
+    {
+        let mut pending = conn.pending.lock().unwrap();
+        if pending.len() >= inner.config.conn_window.max(1) {
+            return Err(());
+        }
+        // Registered before the write: if the write half dies mid-way,
+        // ownership of the failure is decided by who removes this
+        // entry first (see below).
+        pending.insert(seq, Arc::clone(relay));
+    }
+    relay.outstanding.lock().unwrap().push(OutstandingEntry {
+        replica: replica.idx,
+        conn: ci,
+        seq,
+        is_hedge,
+    });
+    let remaining = relay
+        .deadline
+        .saturating_duration_since(Instant::now())
+        .as_millis() as u64;
+    let line = Request {
+        id: Some(seq.to_string()),
+        op: Op::Eval,
+        spec: Some(relay.spec.clone()),
+        algo: Some(relay.algo.clone()),
+        deadline_ms: Some(remaining.max(1)),
+        n: None,
+    }
+    .render();
+    let wrote = {
+        let mut w = conn.writer.lock().unwrap();
+        let ok = match w.as_mut() {
+            None => false,
+            Some(stream) => stream
+                .write_all(line.as_bytes())
+                .and_then(|_| stream.write_all(b"\n"))
+                .is_ok(),
+        };
+        if !ok {
+            *w = None;
+        }
+        ok
+    };
+    if wrote {
+        ReplicaCounters::bump(&replica.counters.sent);
+        return Ok(());
+    }
+    // The write failed.  If our pending entry is still there, we own
+    // the failure: undo and let the caller try the next candidate.  If
+    // it is gone, the reader noticed the dead connection first, drained
+    // pending, and owns the re-dispatch — report success so the copy
+    // is not dispatched twice.
+    if conn.pending.lock().unwrap().remove(&seq).is_some() {
+        relay.remove_outstanding(seq);
+        ReplicaCounters::bump(&replica.counters.transport);
+        Err(())
+    } else {
+        Ok(())
+    }
+}
+
+/// Schedule a deferred re-dispatch after a busy reply, biased by the
+/// upstream's own estimate of when its backlog will have drained.
+fn schedule_retry(inner: &Inner, relay: &Arc<Relay>, hint_ms: Option<u64>) {
+    if relay.answered.load(Ordering::SeqCst) {
+        return;
+    }
+    let n = relay.retries.load(Ordering::SeqCst);
+    if n >= inner.config.retries {
+        fail_unrouted(inner, relay);
+        return;
+    }
+    let backoff = hint_ms
+        .unwrap_or(inner.config.backoff_ms << n.min(4))
+        .clamp(1, 250);
+    let due = Instant::now() + Duration::from_millis(backoff);
+    if due >= relay.deadline {
+        settle_local(
+            inner,
+            relay,
+            ErrorCode::Timeout,
+            "deadline expired in router",
+            Vec::new(),
+        );
+        return;
+    }
+    inner.pacer.schedule(due, relay, Action::Retry);
+}
+
+// ---------------------------------------------------------------------------
+// Upstream connections.
+// ---------------------------------------------------------------------------
+
+fn connect_to(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    let mut last = None;
+    for sa in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&sa, timeout) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::AddrNotAvailable,
+            "address resolved to nothing",
+        )
+    }))
+}
+
+/// A connection died: orphan every pending request and re-dispatch the
+/// ones with no other copy still racing.
+fn conn_died(inner: &Inner, replica: &Replica, ci: usize) {
+    let conn = &replica.conns[ci];
+    *conn.writer.lock().unwrap() = None;
+    let orphans: Vec<(u64, Arc<Relay>)> = conn.pending.lock().unwrap().drain().collect();
+    for (seq, relay) in orphans {
+        ReplicaCounters::bump(&replica.counters.transport);
+        relay.remove_outstanding(seq);
+        if relay.answered.load(Ordering::SeqCst) {
+            continue;
+        }
+        if relay.outstanding.lock().unwrap().is_empty() {
+            dispatch_attempt(inner, &relay, AttemptKind::Retry);
+        }
+    }
+}
+
+fn handle_reply(inner: &Inner, replica: &Replica, ci: usize, line: &str) {
+    if line.is_empty() {
+        return;
+    }
+    let Ok(resp) = Response::parse(line) else {
+        RouterMetrics::bump(&inner.metrics.stale_replies);
+        return;
+    };
+    let Some(seq) = resp.id.as_deref().and_then(|s| s.parse::<u64>().ok()) else {
+        RouterMetrics::bump(&inner.metrics.stale_replies);
+        return;
+    };
+    let Some(relay) = replica.conns[ci].pending.lock().unwrap().remove(&seq) else {
+        RouterMetrics::bump(&inner.metrics.stale_replies);
+        return;
+    };
+    let is_hedge = relay
+        .remove_outstanding(seq)
+        .map(|e| e.is_hedge)
+        .unwrap_or(false);
+    if resp.ok {
+        ReplicaCounters::bump(&replica.counters.ok);
+        settle_forward(inner, &relay, replica, &resp, is_hedge);
+    } else if resp.status == 429 || resp.status == 503 {
+        // Retryable: the next replica in hash order gets its chance.
+        ReplicaCounters::bump(&replica.counters.busy);
+        schedule_retry(inner, &relay, resp.retry_after_ms());
+    } else {
+        // Deterministic failures (bad request, internal, timeout)
+        // would fail identically elsewhere: forward verbatim.
+        ReplicaCounters::bump(&replica.counters.errors);
+        settle_forward(inner, &relay, replica, &resp, is_hedge);
+    }
+}
+
+fn upstream_loop(inner: Arc<Inner>, replica: Arc<Replica>, ci: usize) {
+    let timeout = Duration::from_millis(inner.config.probe_timeout_ms.max(10));
+    while !inner.stop_upstream.load(Ordering::SeqCst) {
+        let stream = match connect_to(&replica.addr, timeout) {
+            Ok(s) => s,
+            Err(_) => {
+                sleep_checking(RECONNECT_DELAY, &inner.stop_upstream);
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        *replica.conns[ci].writer.lock().unwrap() = Some(stream);
+        let mut reader = BufReader::new(read_half);
+        let mut line = String::new();
+        loop {
+            if inner.stop_upstream.load(Ordering::SeqCst) {
+                break;
+            }
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    handle_reply(&inner, &replica, ci, line.trim());
+                    line.clear();
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Poll tick; a partial line stays buffered in
+                    // `line` and completes on the next read.
+                    continue;
+                }
+                Err(_) => break,
+            }
+        }
+        conn_died(&inner, &replica, ci);
+        if !inner.stop_upstream.load(Ordering::SeqCst) {
+            sleep_checking(RECONNECT_DELAY, &inner.stop_upstream);
+        }
+    }
+    // Final sweep: by the time stop_upstream is set every relay has
+    // settled, so this only clears the writer.
+    conn_died(&inner, &replica, ci);
+}
+
+fn sleep_checking(total: Duration, stop: &AtomicBool) {
+    let mut slept = Duration::ZERO;
+    while slept < total && !stop.load(Ordering::SeqCst) {
+        let step = POLL_INTERVAL.min(total - slept);
+        std::thread::sleep(step);
+        slept += step;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Health probing.
+// ---------------------------------------------------------------------------
+
+/// One probe round trip on a fresh connection: `{"op":"health"}`,
+/// with connect and read bounded by the probe timeout.  A replica is
+/// up iff it answers ok and is not draining — a draining replica still
+/// evaluates, but routing new work at it only buys 503s later.
+fn probe_once(addr: &str, timeout: Duration) -> bool {
+    let Ok(mut stream) = connect_to(addr, timeout) else {
+        return false;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(timeout));
+    if stream.write_all(b"{\"op\":\"health\"}\n").is_err() {
+        return false;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(n) if n > 0 => match Response::parse(line.trim()) {
+            Ok(resp) => {
+                let draining = resp
+                    .body
+                    .get("draining")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false);
+                resp.ok && !draining
+            }
+            Err(_) => false,
+        },
+        _ => false,
+    }
+}
+
+fn probe_loop(inner: Arc<Inner>) {
+    let interval = Duration::from_millis(inner.config.probe_interval_ms.max(10));
+    let timeout = Duration::from_millis(inner.config.probe_timeout_ms.max(10));
+    while !inner.stop_upstream.load(Ordering::SeqCst) {
+        for replica in &inner.replicas {
+            if inner.stop_upstream.load(Ordering::SeqCst) {
+                break;
+            }
+            let up = probe_once(&replica.addr, timeout);
+            let now = Instant::now();
+            let mut h = replica.health.lock().unwrap();
+            h.tick(now);
+            if up {
+                h.on_success();
+            } else {
+                h.on_failure(now);
+                ReplicaCounters::bump(&replica.counters.probe_failures);
+            }
+        }
+        sleep_checking(interval, &inner.stop_upstream);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pacer thread.
+// ---------------------------------------------------------------------------
+
+fn pacer_loop(inner: Arc<Inner>) {
+    loop {
+        let entry = {
+            let mut heap = inner.pacer.heap.lock().unwrap();
+            loop {
+                if inner.pacer.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let now = Instant::now();
+                let wait = match heap.peek() {
+                    None => POLL_INTERVAL,
+                    Some(top) if top.due > now => (top.due - now).min(POLL_INTERVAL),
+                    Some(_) => break heap.pop().unwrap(),
+                };
+                let (h, _) = inner.pacer.cv.wait_timeout(heap, wait).unwrap();
+                heap = h;
+            }
+        };
+        let Some(relay) = entry.relay.upgrade() else {
+            continue;
+        };
+        if relay.answered.load(Ordering::SeqCst) {
+            continue;
+        }
+        match entry.action {
+            Action::Retry => dispatch_attempt(&inner, &relay, AttemptKind::Retry),
+            Action::Hedge => {
+                if !relay.hedged.swap(true, Ordering::SeqCst) {
+                    RouterMetrics::bump(&inner.metrics.hedges);
+                    dispatch_attempt(&inner, &relay, AttemptKind::Hedge);
+                }
+            }
+            Action::Expire => settle_local(
+                &inner,
+                &relay,
+                ErrorCode::Timeout,
+                "deadline expired in router",
+                Vec::new(),
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client connections.
+// ---------------------------------------------------------------------------
+
+fn route_eval(
+    inner: &Arc<Inner>,
+    writer: &Arc<Mutex<TcpStream>>,
+    window: &Arc<ClientWindow>,
+    req: Request,
+) {
+    RouterMetrics::bump(&inner.metrics.requests);
+    if inner.draining.load(Ordering::SeqCst) {
+        RouterMetrics::bump(&inner.metrics.draining);
+        write_line(
+            writer,
+            &error_line_with(
+                &req.id,
+                ErrorCode::Draining,
+                "router is draining",
+                Vec::new(),
+            ),
+        );
+        return;
+    }
+    let spec_text = req.spec.as_deref().unwrap_or("");
+    let algo_text = req.algo.as_deref().unwrap_or(DEFAULT_ALGO);
+    let validated = match workload::validate(spec_text, algo_text) {
+        Ok(v) => v,
+        Err(e) => {
+            RouterMetrics::bump(&inner.metrics.bad_request);
+            write_line(
+                writer,
+                &error_line_with(&req.id, ErrorCode::BadRequest, &e, Vec::new()),
+            );
+            return;
+        }
+    };
+    let key = validated.cache_key;
+    // The canonical key is "spec|algo"; send those exact strings
+    // upstream so the replica's cache key matches the routing key.
+    let (spec_c, algo_c) = key.split_once('|').unwrap_or((spec_text, algo_text));
+    let tiers: Vec<u8> = inner.replicas.iter().map(|r| r.tier()).collect();
+    let route = route_for(&key, &inner.addrs, &tiers);
+    window.acquire(inner.config.client_window);
+    let deadline_ms = req
+        .deadline_ms
+        .unwrap_or(inner.config.default_deadline_ms)
+        .max(1);
+    let now = Instant::now();
+    let relay = Arc::new(Relay {
+        client_id: req.id,
+        spec: spec_c.to_string(),
+        algo: algo_c.to_string(),
+        start: now,
+        deadline: now + Duration::from_millis(deadline_ms),
+        route,
+        cursor: AtomicUsize::new(0),
+        retries: AtomicU32::new(0),
+        hedged: AtomicBool::new(false),
+        answered: AtomicBool::new(false),
+        outstanding: Mutex::new(Vec::new()),
+        writer: Arc::clone(writer),
+        window: Arc::clone(window),
+    });
+    inner
+        .pacer
+        .schedule(relay.deadline + EXPIRE_GRACE, &relay, Action::Expire);
+    if let Some(hedge_ms) = inner.config.hedge_ms {
+        if relay.route.len() > 1 {
+            inner
+                .pacer
+                .schedule(now + Duration::from_millis(hedge_ms), &relay, Action::Hedge);
+        }
+    }
+    dispatch_attempt(inner, &relay, AttemptKind::Initial);
+}
+
+fn handle_client_line(
+    inner: &Arc<Inner>,
+    writer: &Arc<Mutex<TcpStream>>,
+    window: &Arc<ClientWindow>,
+    line: &str,
+) {
+    if line.is_empty() {
+        return;
+    }
+    if line.len() > MAX_LINE_BYTES {
+        RouterMetrics::bump(&inner.metrics.bad_request);
+        write_line(
+            writer,
+            &error_line_with(
+                &None,
+                ErrorCode::BadRequest,
+                "request line too long",
+                Vec::new(),
+            ),
+        );
+        return;
+    }
+    let req = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => {
+            RouterMetrics::bump(&inner.metrics.bad_request);
+            write_line(
+                writer,
+                &error_line_with(&None, ErrorCode::BadRequest, &e, Vec::new()),
+            );
+            return;
+        }
+    };
+    match req.op {
+        Op::Eval => route_eval(inner, writer, window, req),
+        Op::Ping => write_line(
+            writer,
+            &ok_line(
+                &req.id,
+                vec![
+                    ("version", Json::from(PROTOCOL_VERSION)),
+                    ("role", Json::from("router")),
+                    ("replicas", Json::from(inner.replicas.len())),
+                ],
+            ),
+        ),
+        Op::Health => {
+            let routable = inner.replicas.iter().filter(|r| r.tier() < 3).count();
+            write_line(
+                writer,
+                &ok_line(
+                    &req.id,
+                    vec![
+                        (
+                            "uptime_s",
+                            Json::from(inner.metrics.uptime_us() as f64 / 1e6),
+                        ),
+                        ("replicas", Json::from(inner.replicas.len())),
+                        ("routable", Json::from(routable)),
+                        (
+                            "draining",
+                            Json::Bool(inner.draining.load(Ordering::SeqCst)),
+                        ),
+                    ],
+                ),
+            );
+        }
+        Op::Stats => write_line(
+            writer,
+            &ok_line(&req.id, vec![("stats", snapshot_of(inner).to_json())]),
+        ),
+        Op::Trace => {
+            RouterMetrics::bump(&inner.metrics.bad_request);
+            write_line(
+                writer,
+                &error_line_with(
+                    &req.id,
+                    ErrorCode::BadRequest,
+                    "the router keeps no traces; ask a replica",
+                    Vec::new(),
+                ),
+            );
+        }
+        Op::Shutdown => {
+            inner.draining.store(true, Ordering::SeqCst);
+            write_line(
+                writer,
+                &ok_line(&req.id, vec![("draining", Json::Bool(true))]),
+            );
+        }
+    }
+}
+
+fn client_loop(inner: Arc<Inner>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    let window = Arc::new(ClientWindow::new());
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                handle_client_line(&inner, &writer, &window, line.trim());
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Poll tick; partial input stays in `line`.  Draining
+                // only stops the listener — established clients get
+                // their in-flight replies and per-request `draining`
+                // errors, never a slammed door.
+                if inner.draining.load(Ordering::SeqCst) && line.is_empty() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    // Every accepted eval holds a window slot until its reply line is
+    // written; drain so the write half outlives the last reply.
+    window.drain();
+}
+
+fn accept_loop(inner: Arc<Inner>, listener: TcpListener, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    loop {
+        if inner.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                RouterMetrics::bump(&inner.metrics.connections);
+                let inner2 = Arc::clone(&inner);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("gt-router-conn".into())
+                    .spawn(move || client_loop(inner2, stream))
+                {
+                    conns.lock().unwrap().push(handle);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn snapshot_of(inner: &Inner) -> RouterSnapshot {
+    let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+    let rows = inner
+        .replicas
+        .iter()
+        .map(|r| {
+            let (state, ejects) = {
+                let h = r.health.lock().unwrap();
+                (h.state(), h.ejects)
+            };
+            ReplicaSnapshot {
+                addr: r.addr.clone(),
+                state: state.name(),
+                tier: state.tier(),
+                ejects,
+                sent: load(&r.counters.sent),
+                ok: load(&r.counters.ok),
+                busy: load(&r.counters.busy),
+                errors: load(&r.counters.errors),
+                transport: load(&r.counters.transport),
+                probe_failures: load(&r.counters.probe_failures),
+                inflight: r.inflight(),
+            }
+        })
+        .collect();
+    inner.metrics.snapshot(rows)
+}
+
+// ---------------------------------------------------------------------------
+// The Router handle.
+// ---------------------------------------------------------------------------
+
+/// A running router: client listener, upstream pools, prober, pacer,
+/// and any replicas it spawned itself.
+pub struct Router {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pacer_thread: Option<JoinHandle<()>>,
+    upstream_threads: Vec<JoinHandle<()>>,
+    probe_thread: Option<JoinHandle<()>>,
+    metrics_listener: Option<MetricsListener>,
+    spawned: Vec<gt_serve::Server>,
+}
+
+impl Router {
+    /// Spawn any owned replicas, connect the pools, and start
+    /// accepting clients.
+    pub fn start(config: RouterConfig) -> std::io::Result<Router> {
+        let mut spawned = Vec::new();
+        let mut addrs = config.replicas.clone();
+        for _ in 0..config.spawn {
+            let server = gt_serve::Server::start(gt_serve::Config {
+                addr: "127.0.0.1:0".into(),
+                ..config.spawn_config.clone()
+            })?;
+            addrs.push(server.local_addr().to_string());
+            spawned.push(server);
+        }
+        if addrs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "router needs at least one replica (--replica or --spawn)",
+            ));
+        }
+        let pool = config.pool.max(1);
+        let replicas: Vec<Arc<Replica>> = addrs
+            .iter()
+            .enumerate()
+            .map(|(idx, addr)| {
+                Arc::new(Replica {
+                    idx,
+                    addr: addr.clone(),
+                    conns: (0..pool)
+                        .map(|_| {
+                            Arc::new(UpstreamConn {
+                                writer: Mutex::new(None),
+                                pending: Mutex::new(HashMap::new()),
+                            })
+                        })
+                        .collect(),
+                    rr: AtomicUsize::new(0),
+                    health: Mutex::new(HealthMachine::new(config.health.clone())),
+                    counters: ReplicaCounters::default(),
+                })
+            })
+            .collect();
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(Inner {
+            config,
+            addrs,
+            replicas,
+            metrics: RouterMetrics::default(),
+            pacer: Pacer::new(),
+            seq: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            stop_upstream: AtomicBool::new(false),
+        });
+
+        let pacer_thread = {
+            let inner2 = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("gt-router-pacer".into())
+                .spawn(move || pacer_loop(inner2))?
+        };
+        let mut upstream_threads = Vec::new();
+        for replica in &inner.replicas {
+            for ci in 0..replica.conns.len() {
+                let inner2 = Arc::clone(&inner);
+                let replica2 = Arc::clone(replica);
+                upstream_threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("gt-router-up-{}-{}", replica.idx, ci))
+                        .spawn(move || upstream_loop(inner2, replica2, ci))?,
+                );
+            }
+        }
+        let probe_thread = {
+            let inner2 = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("gt-router-probe".into())
+                .spawn(move || probe_loop(inner2))?
+        };
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let inner2 = Arc::clone(&inner);
+            let conns2 = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("gt-router-accept".into())
+                .spawn(move || accept_loop(inner2, listener, conns2))?
+        };
+        let metrics_listener = match inner.config.metrics_addr.clone() {
+            Some(addr) => {
+                let inner2 = Arc::clone(&inner);
+                Some(spawn_metrics_listener(
+                    addr.as_str(),
+                    Arc::new(move || snapshot_of(&inner2).render_prometheus()),
+                )?)
+            }
+            None => None,
+        };
+        Ok(Router {
+            inner,
+            local_addr,
+            accept: Some(accept),
+            conns,
+            pacer_thread: Some(pacer_thread),
+            upstream_threads,
+            probe_thread: Some(probe_thread),
+            metrics_listener,
+            spawned,
+        })
+    }
+
+    /// The client-facing bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The upstream replica addresses, spawned ones included.
+    pub fn replica_addrs(&self) -> &[String] {
+        &self.inner.addrs
+    }
+
+    /// The bound `/metrics` address, when the listener is enabled.
+    pub fn metrics_listener_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener.as_ref().map(|l| l.local_addr())
+    }
+
+    /// Begin a graceful drain: stop accepting, reject new evals,
+    /// finish in-flight ones.  `join` completes the shutdown.
+    pub fn request_shutdown(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested (by signal or by a client's
+    /// `shutdown` op).
+    pub fn draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Live stats snapshot.
+    pub fn snapshot(&self) -> RouterSnapshot {
+        snapshot_of(&self.inner)
+    }
+
+    /// Drain and stop everything, in dependency order: the listener
+    /// and client connections first (their windows guarantee every
+    /// accepted eval has been answered — the pacer and upstream pools
+    /// must still be alive for that), then the pacer, then upstream
+    /// and probe threads, then owned replicas.  Returns the final
+    /// stats snapshot.
+    pub fn join(mut self) -> RouterSnapshot {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        for h in conns {
+            let _ = h.join();
+        }
+        self.inner.pacer.halt();
+        if let Some(h) = self.pacer_thread.take() {
+            let _ = h.join();
+        }
+        self.inner.stop_upstream.store(true, Ordering::SeqCst);
+        for h in self.upstream_threads.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.probe_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(l) = self.metrics_listener.take() {
+            l.shutdown();
+        }
+        let snap = snapshot_of(&self.inner);
+        for server in self.spawned.drain(..) {
+            server.request_shutdown();
+            let _ = server.join();
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_serve::Client;
+
+    #[test]
+    fn rewrite_restores_the_client_id_and_annotates_provenance() {
+        let body = Json::parse(
+            r#"{"ok":true,"id":"41","value":1,"work":64,"cached":false,"latency_us":812}"#,
+        )
+        .unwrap();
+        let line = rewrite_reply(&body, &Some("r7".into()), "127.0.0.1:7171", 2, true);
+        let back = Json::parse(&line).unwrap();
+        assert_eq!(back.get("id").and_then(Json::as_str), Some("r7"));
+        assert_eq!(back.get("value").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            back.get("replica").and_then(Json::as_str),
+            Some("127.0.0.1:7171")
+        );
+        assert_eq!(back.get("retries").and_then(Json::as_u64), Some(2));
+        assert_eq!(back.get("hedged").and_then(Json::as_bool), Some(true));
+        // The upstream sequence id must not leak to the client.
+        assert!(!line.contains("\"41\""), "{line}");
+    }
+
+    #[test]
+    fn rewrite_omits_noise_on_the_clean_path() {
+        let body = Json::parse(r#"{"ok":true,"id":"9","value":0}"#).unwrap();
+        let line = rewrite_reply(&body, &None, "a:1", 0, false);
+        assert!(!line.contains("retries"), "{line}");
+        assert!(!line.contains("hedged"), "{line}");
+        assert!(!line.contains("\"id\""), "{line}");
+    }
+
+    #[test]
+    fn route_prefers_health_but_keeps_affinity_within_a_tier() {
+        let addrs: Vec<String> = (0..3).map(|i| format!("10.0.0.{i}:7171")).collect();
+        let key = "worst:d=3,n=8|cascade:w=1";
+        let all_up = route_for(key, &addrs, &[0, 0, 0]);
+        // Same key, same fleet: same route, every time.
+        assert_eq!(all_up, route_for(key, &addrs, &[0, 0, 0]));
+        // Eject the owner: it drops to the back, the rest keep order.
+        let mut tiers = [0u8; 3];
+        tiers[all_up[0]] = 3;
+        let rerouted = route_for(key, &addrs, &tiers);
+        assert_eq!(rerouted[2], all_up[0]);
+        assert_eq!(rerouted[..2], all_up[1..]);
+    }
+
+    #[test]
+    fn pacer_heap_pops_earliest_due_first() {
+        let now = Instant::now();
+        let mut heap = BinaryHeap::new();
+        for (i, ms) in [30u64, 10, 20].iter().enumerate() {
+            heap.push(PacerEntry {
+                due: now + Duration::from_millis(*ms),
+                tiebreak: i as u64,
+                relay: Weak::new(),
+                action: Action::Retry,
+            });
+        }
+        let order: Vec<Instant> = std::iter::from_fn(|| heap.pop().map(|e| e.due)).collect();
+        assert_eq!(order.len(), 3);
+        assert!(order[0] < order[1] && order[1] < order[2]);
+    }
+
+    #[test]
+    fn router_round_trips_an_eval_through_a_spawned_replica() {
+        let router = Router::start(RouterConfig {
+            spawn: 1,
+            ..RouterConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(router.local_addr()).unwrap();
+
+        let ping = client.ping().unwrap();
+        assert!(ping.ok);
+        assert_eq!(ping.body.get("role").and_then(Json::as_str), Some("router"));
+
+        let reply = client.eval("worst:d=2,n=8", "cascade:w=1", None).unwrap();
+        assert!(reply.ok, "{reply:?}");
+        assert!(reply.body.get("replica").and_then(Json::as_str).is_some());
+
+        // Same key again: replica-local cache serves it.
+        let again = client.eval("worst:d=2,n=8", "cascade:w=1", None).unwrap();
+        assert!(again.ok && again.cached(), "{again:?}");
+
+        let stats = client.stats().unwrap();
+        assert!(stats.ok);
+        let snap = router.join();
+        assert_eq!(snap.ok, 2);
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.forwarded_errors, 0);
+    }
+}

@@ -104,6 +104,12 @@ impl Client {
         self.control(Op::Ping)
     }
 
+    /// Cheap liveness probe: uptime, queue depth, and in-flight count
+    /// without the cost of a full `stats` snapshot.
+    pub fn health(&mut self) -> std::io::Result<Response> {
+        self.control(Op::Health)
+    }
+
     /// Ask the server to drain and exit.
     pub fn shutdown_server(&mut self) -> std::io::Result<Response> {
         self.control(Op::Shutdown)

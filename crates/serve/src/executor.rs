@@ -178,6 +178,20 @@ impl<J> Scheduler<J> {
     }
 }
 
+/// Effective small-batch cap for the current backlog: spread the
+/// queued jobs evenly across the worker pool instead of always filling
+/// a dispatch to `batch_max`.
+///
+/// An idle server (one queued job, several free workers) dispatches a
+/// batch of 1, so a lone request never waits behind batch assembly;
+/// only when the backlog exceeds `workers × batch_max` does every
+/// dispatch fill to the configured cap.  Monotone in `queued`, clamped
+/// to `1..=batch_max`.
+pub fn adaptive_batch_cap(queued: usize, workers: usize, batch_max: usize) -> usize {
+    let per_worker = queued.div_ceil(workers.max(1));
+    per_worker.clamp(1, batch_max.max(1))
+}
+
 /// Why a submit was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
@@ -217,6 +231,7 @@ struct ExecutorShared<J> {
     core: Mutex<Core<J>>,
     cv: Condvar,
     batch_max: usize,
+    workers: usize,
 }
 
 /// A fixed pool of evaluation workers over a shared [`Scheduler`].
@@ -243,6 +258,7 @@ impl<J: Send + 'static> Executor<J> {
             }),
             cv: Condvar::new(),
             batch_max: config.batch_max.max(1),
+            workers: config.workers.max(1),
         });
         let run = Arc::new(run);
         let workers = (0..config.workers.max(1))
@@ -307,7 +323,9 @@ where
                     return;
                 }
                 if !core.sched.is_empty() {
-                    break core.sched.pop_batch(shared.batch_max);
+                    let cap =
+                        adaptive_batch_cap(core.sched.len(), shared.workers, shared.batch_max);
+                    break core.sched.pop_batch(cap);
                 }
                 core = shared.cv.wait(core).unwrap();
             }
@@ -395,6 +413,24 @@ mod tests {
         assert_eq!(s.push("c", CostClass::Small, 3), Err(3));
         let _ = s.pop_batch(8);
         assert!(s.push("c", CostClass::Small, 3).is_ok());
+    }
+
+    #[test]
+    fn adaptive_cap_scales_with_backlog() {
+        // Idle: a lone job dispatches alone, no batch-wait added.
+        assert_eq!(adaptive_batch_cap(1, 2, 16), 1);
+        assert_eq!(adaptive_batch_cap(0, 2, 16), 1);
+        // Light backlog: batches stay proportional to depth.
+        assert_eq!(adaptive_batch_cap(4, 2, 16), 2);
+        assert_eq!(adaptive_batch_cap(5, 2, 16), 3);
+        // Saturated: the configured cap is the ceiling.
+        assert_eq!(adaptive_batch_cap(64, 2, 16), 16);
+        assert_eq!(adaptive_batch_cap(1_000_000, 2, 16), 16);
+        // Degenerate knobs are clamped, never zero or a panic.
+        assert_eq!(adaptive_batch_cap(10, 0, 0), 1);
+        // Monotone in queue depth.
+        let caps: Vec<usize> = (0..200).map(|q| adaptive_batch_cap(q, 3, 8)).collect();
+        assert!(caps.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

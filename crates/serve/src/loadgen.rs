@@ -104,6 +104,7 @@ struct Tally {
     draining: u64,
     other_error: u64,
     transport_errors: u64,
+    retry_hints: u64,
     latencies_us: Vec<f64>,
 }
 
@@ -119,6 +120,7 @@ impl Tally {
         self.draining += other.draining;
         self.other_error += other.other_error;
         self.transport_errors += other.transport_errors;
+        self.retry_hints += other.retry_hints;
         self.latencies_us.extend(other.latencies_us);
     }
 }
@@ -147,6 +149,9 @@ pub struct LoadgenReport {
     /// Connections that failed at the transport level (connect, I/O,
     /// or unparseable replies).
     pub transport_errors: u64,
+    /// Shed replies whose `retry_after_ms` hint the generator honored
+    /// by backing off before its next send.
+    pub retry_hints: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Client-observed latencies of successful replies, microseconds.
@@ -189,6 +194,7 @@ impl LoadgenReport {
             ("draining", Json::from(self.draining)),
             ("other_error", Json::from(self.other_error)),
             ("transport_errors", Json::from(self.transport_errors)),
+            ("retry_hints_honored", Json::from(self.retry_hints)),
             ("elapsed_ms", Json::from(self.elapsed.as_millis() as u64)),
             ("achieved_rps", Json::from(self.achieved_rps())),
             ("latency_p50_us", quantile(0.50)),
@@ -229,6 +235,9 @@ impl LoadgenReport {
             self.other_error,
             self.transport_errors
         );
+        if self.retry_hints > 0 {
+            let _ = writeln!(out, "honored {} retry_after_ms hints", self.retry_hints);
+        }
         if !self.latencies_us.is_empty() {
             let _ = writeln!(
                 out,
@@ -250,6 +259,23 @@ impl LoadgenReport {
             }
         }
         out
+    }
+}
+
+/// Longest per-reply backoff the generator will sit out; a hint above
+/// this is truncated so one overloaded server cannot park a worker for
+/// the rest of the run.
+const MAX_SHED_BACKOFF_MS: u64 = 250;
+
+/// Honor the `retry_after_ms` hint on a shed reply: back off for the
+/// server's suggested drain time before this worker's next send.
+fn honor_shed_hint(tally: &mut Tally, reply: &crate::protocol::Response) {
+    if reply.status != 429 {
+        return;
+    }
+    if let Some(ms) = reply.retry_after_ms() {
+        tally.retry_hints += 1;
+        thread::sleep(Duration::from_millis(ms.min(MAX_SHED_BACKOFF_MS)));
     }
 }
 
@@ -311,6 +337,7 @@ fn connection_worker(
             Ok(reply) => {
                 let latency_us = sent_at.elapsed().as_secs_f64() * 1e6;
                 classify(&mut tally, &reply, Some(latency_us));
+                honor_shed_hint(&mut tally, &reply);
             }
             Err(_) => {
                 tally.transport_errors += 1;
@@ -380,6 +407,7 @@ fn pipelined_worker(config: &LoadgenConfig, conn: usize, window: usize) -> Tally
         let sent_at = reply.id.as_ref().and_then(|id| in_flight.remove(id));
         let latency_us = sent_at.map(|at| at.elapsed().as_secs_f64() * 1e6);
         classify(&mut tally, &reply, latency_us);
+        honor_shed_hint(&mut tally, &reply);
         if start.elapsed() < config.duration && !send_next(&mut client, &mut in_flight, &mut tally)
         {
             return tally;
@@ -440,6 +468,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
         draining: total.draining,
         other_error: total.other_error,
         transport_errors: total.transport_errors,
+        retry_hints: total.retry_hints,
         elapsed,
         latencies_us: total.latencies_us,
         server_stats,
@@ -539,6 +568,29 @@ mod tests {
         assert_eq!(report.latencies_us.len() as u64, report.ok);
         server.request_shutdown();
         server.join();
+    }
+
+    #[test]
+    fn shed_hints_back_off_and_are_counted() {
+        use crate::protocol::{error_line, error_line_with, ErrorCode, Response};
+        let line = error_line_with(
+            &None,
+            ErrorCode::Busy,
+            "queue full",
+            vec![("retry_after_ms", Json::from(20u64))],
+        );
+        let reply = Response::parse(&line).unwrap();
+        let mut tally = Tally::default();
+        let start = Instant::now();
+        honor_shed_hint(&mut tally, &reply);
+        assert_eq!(tally.retry_hints, 1);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        // No hint, or a non-shed reply: no sleep, no count.
+        let bare = Response::parse(&error_line(&None, ErrorCode::Busy, "queue full")).unwrap();
+        honor_shed_hint(&mut tally, &bare);
+        let to = Response::parse(&error_line(&None, ErrorCode::Timeout, "late")).unwrap();
+        honor_shed_hint(&mut tally, &to);
+        assert_eq!(tally.retry_hints, 1);
     }
 
     #[test]

@@ -89,7 +89,8 @@ impl LatencyHistogram {
             .collect()
     }
 
-    fn snapshot_full(&self) -> HistogramSnapshot {
+    /// Freeze the histogram into a plain-data [`HistogramSnapshot`].
+    pub fn snapshot_full(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.count.load(Ordering::Relaxed),
             sum_us: self.sum_us.load(Ordering::Relaxed),
@@ -349,6 +350,24 @@ impl Metrics {
     /// Microseconds since the registry was created.
     pub fn uptime_us(&self) -> u64 {
         self.started.0.elapsed().as_micros() as u64
+    }
+
+    /// Mean engine-stage time across every algorithm, in microseconds;
+    /// `None` until the first engine run completes.  Feeds the
+    /// `retry_after_ms` hint on shed replies.
+    pub fn mean_engine_us(&self) -> Option<f64> {
+        let stages = self.stages.read().unwrap();
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for s in stages.values() {
+            sum += s.engine.sum_us.load(Ordering::Relaxed);
+            count += s.engine.count.load(Ordering::Relaxed);
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum as f64 / count as f64)
+        }
     }
 
     /// Freeze the registry into a plain-data snapshot.
@@ -666,6 +685,15 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(100)
         );
+    }
+
+    #[test]
+    fn mean_engine_time_spans_algorithms() {
+        let m = Metrics::default();
+        assert_eq!(m.mean_engine_us(), None, "no engine runs yet");
+        m.algo_stages("a").engine.record(100);
+        m.algo_stages("b").engine.record(300);
+        assert_eq!(m.mean_engine_us(), Some(200.0));
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub enum Op {
     Shutdown,
     /// Return recent request traces from the flight recorder.
     Trace,
+    /// Cheap liveness probe: uptime, queue depth, and in-flight count
+    /// without the allocation cost of a full `stats` snapshot.  Built
+    /// for high-frequency pollers (the gt-router health prober).
+    Health,
 }
 
 /// A parsed request line.
@@ -64,6 +68,7 @@ impl Request {
             "ping" => Op::Ping,
             "shutdown" => Op::Shutdown,
             "trace" => Op::Trace,
+            "health" => Op::Health,
             other => return Err(format!("unknown op {other:?}")),
         };
         let id = j.get("id").and_then(|v| match v {
@@ -121,6 +126,7 @@ impl Request {
             Op::Ping => "ping",
             Op::Shutdown => "shutdown",
             Op::Trace => "trace",
+            Op::Health => "health",
         };
         fields.push(("op".into(), Json::from(op)));
         if let Some(id) = &self.id {
@@ -196,6 +202,18 @@ pub fn ok_line(id: &Option<String>, fields: Vec<(&'static str, Json)>) -> String
 
 /// Render an error reply line (no trailing newline).
 pub fn error_line(id: &Option<String>, code: ErrorCode, message: &str) -> String {
+    error_line_with(id, code, message, Vec::new())
+}
+
+/// Render an error reply line with extra op-specific fields — the
+/// `busy` shed path uses this to attach its `retry_after_ms` backoff
+/// hint.
+pub fn error_line_with(
+    id: &Option<String>,
+    code: ErrorCode,
+    message: &str,
+    extra: Vec<(&'static str, Json)>,
+) -> String {
     let mut pairs: Vec<(String, Json)> = vec![("ok".into(), Json::Bool(false))];
     if let Some(id) = id {
         pairs.push(("id".into(), Json::from(id.clone())));
@@ -203,6 +221,9 @@ pub fn error_line(id: &Option<String>, code: ErrorCode, message: &str) -> String
     pairs.push(("status".into(), Json::from(code.status())));
     pairs.push(("code".into(), Json::from(code.name())));
     pairs.push(("error".into(), Json::from(message)));
+    for (k, v) in extra {
+        pairs.push((k.to_string(), v));
+    }
     Json::Object(pairs).render()
 }
 
@@ -270,6 +291,13 @@ impl Response {
             .and_then(Json::as_bool)
             .unwrap_or(false)
     }
+
+    /// The backoff hint carried by `busy` (429) shed replies, in
+    /// milliseconds: roughly how long the server expects its backlog
+    /// to take to drain.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        self.body.get("retry_after_ms").and_then(Json::as_u64)
+    }
 }
 
 #[cfg(test)]
@@ -303,9 +331,19 @@ mod tests {
             (r#"{"op":"stats"}"#, Op::Stats),
             (r#"{"op":"ping"}"#, Op::Ping),
             (r#"{"op":"shutdown"}"#, Op::Shutdown),
+            (r#"{"op":"health"}"#, Op::Health),
         ] {
             assert_eq!(Request::parse(text).unwrap().op, op);
         }
+    }
+
+    #[test]
+    fn health_op_render_parse_round_trips() {
+        let mut r = Request::parse(r#"{"op":"health"}"#).unwrap();
+        r.id = Some("h1".into());
+        let back = Request::parse(&r.render()).unwrap();
+        assert_eq!(back.op, Op::Health);
+        assert_eq!(back.id.as_deref(), Some("h1"));
     }
 
     #[test]
@@ -365,6 +403,20 @@ mod tests {
         assert_eq!(resp.status, 429);
         assert_eq!(resp.code.as_deref(), Some("busy"));
         assert_eq!(resp.error.as_deref(), Some("queue full"));
+        assert_eq!(resp.retry_after_ms(), None);
+    }
+
+    #[test]
+    fn busy_line_carries_a_retry_after_hint() {
+        let line = error_line_with(
+            &None,
+            ErrorCode::Busy,
+            "queue full",
+            vec![("retry_after_ms", Json::from(40u64))],
+        );
+        let resp = Response::parse(&line).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.retry_after_ms(), Some(40));
     }
 
     #[test]

@@ -57,7 +57,9 @@
 use crate::cache::ShardedCache;
 use crate::executor::{CostClass, Executor, ExecutorConfig, SubmitError};
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::protocol::{error_line, ok_line, ErrorCode, Op, Request, PROTOCOL_VERSION};
+use crate::protocol::{
+    error_line, error_line_with, ok_line, ErrorCode, Op, Request, PROTOCOL_VERSION,
+};
 use crate::singleflight::{Flight, FlightResult, FlightTable, Joined};
 use crate::trace::{
     render_prometheus, spawn_metrics_listener, FlightRecorder, MetricsListener, StageStamps,
@@ -170,6 +172,7 @@ struct Shared {
     default_deadline_ms: u64,
     conn_window: usize,
     small_cost_max: u64,
+    workers: usize,
 }
 
 /// Counts a connection's in-flight evals; the reader blocks past the
@@ -317,10 +320,15 @@ fn answer_pending(
             m.internal.fetch_add(1, Ordering::Relaxed);
             (error_line(&p.id, ErrorCode::Internal, e), "internal", None)
         }
-        FlightResult::Busy => {
+        FlightResult::Busy(retry_after_ms) => {
             m.shed.fetch_add(1, Ordering::Relaxed);
             (
-                error_line(&p.id, ErrorCode::Busy, "queue full"),
+                error_line_with(
+                    &p.id,
+                    ErrorCode::Busy,
+                    "queue full",
+                    vec![("retry_after_ms", Json::from(*retry_after_ms))],
+                ),
                 "busy",
                 None,
             )
@@ -343,6 +351,19 @@ fn answer_pending(
     }
     recorder.record(trace_from(p, status, stamps, work, latency_us));
     p.window.release();
+}
+
+/// Backoff hint attached to shed (`busy`) replies: roughly how long
+/// the current backlog needs to drain — queue depth × mean engine
+/// time ÷ workers — clamped to `[1, 5000]` ms.  Before any engine has
+/// run there is no mean to derive, so the hint falls back to 1 ms
+/// (retry almost immediately; an empty-history shed is transient).
+fn retry_after_hint_ms(queued: usize, workers: usize, mean_engine_us: Option<f64>) -> u64 {
+    let Some(mean_us) = mean_engine_us else {
+        return 1;
+    };
+    let drain_ms = (queued.max(1) as f64 * mean_us) / (workers.max(1) as f64 * 1_000.0);
+    (drain_ms.ceil() as u64).clamp(1, 5_000)
 }
 
 /// One registered deadline.  Weak handles keep the reaper from
@@ -557,6 +578,7 @@ impl Server {
             default_deadline_ms: config.default_deadline_ms,
             conn_window: config.conn_window,
             small_cost_max: config.small_cost_max,
+            workers: config.workers.max(1),
         };
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_handle = {
@@ -881,6 +903,21 @@ fn process_line(line: &str, shared: &Shared, recv: Instant) -> Handled {
             shared.shutdown.store(true, Ordering::SeqCst);
             Handled::Inline(ok_line(&id, vec![("draining", Json::Bool(true))]))
         }
+        // The cheap probe verb: three atomic loads and two lock-free
+        // length reads — no stats snapshot allocation, so a router
+        // polling every replica at high frequency costs nothing.
+        Op::Health => Handled::Inline(ok_line(
+            &id,
+            vec![
+                ("uptime_s", Json::from(m.uptime_us() as f64 / 1e6)),
+                ("queued", Json::from(shared.executor.queued() as u64)),
+                ("inflight", Json::from(shared.flights.len() as u64)),
+                (
+                    "draining",
+                    Json::Bool(shared.shutdown.load(Ordering::SeqCst)),
+                ),
+            ],
+        )),
         Op::Eval => process_eval(&request, shared, recv, parse_us),
     }
 }
@@ -994,8 +1031,14 @@ fn dispatch_eval(
                 Err(SubmitError::Full) => {
                     // Publish so any follower that raced in is also
                     // answered instead of hanging.
-                    for w in shared.flights.publish(&key, &flight, FlightResult::Busy) {
-                        answer_pending(&w, m, &FlightResult::Busy, recorder, None);
+                    let hint = retry_after_hint_ms(
+                        shared.executor.queued(),
+                        shared.workers,
+                        m.mean_engine_us(),
+                    );
+                    let busy = FlightResult::Busy(hint);
+                    for w in shared.flights.publish(&key, &flight, busy.clone()) {
+                        answer_pending(&w, m, &busy, recorder, None);
                     }
                 }
                 Err(SubmitError::Closed) => {
@@ -1170,7 +1213,45 @@ mod tests {
             default_deadline_ms: 1000,
             conn_window: 4,
             small_cost_max: 4096,
+            workers: 1,
         }
+    }
+
+    #[test]
+    fn retry_after_hint_tracks_backlog() {
+        // No engine history: near-immediate retry.
+        assert_eq!(retry_after_hint_ms(64, 2, None), 1);
+        // 64 queued × 1ms mean ÷ 2 workers = 32ms of backlog.
+        assert_eq!(retry_after_hint_ms(64, 2, Some(1_000.0)), 32);
+        // Heavier engines push the hint up, the clamp caps it.
+        assert_eq!(retry_after_hint_ms(64, 2, Some(1_000_000.0)), 5_000);
+        // Degenerate inputs never panic or return zero.
+        assert_eq!(retry_after_hint_ms(0, 0, Some(0.0)), 1);
+    }
+
+    #[test]
+    fn health_op_answers_inline_without_stats() {
+        let shared = test_shared(false);
+        let reply = match process_line(r#"{"op":"health","id":"h"}"#, &shared, Instant::now()) {
+            Handled::Inline(reply) => reply,
+            Handled::Dispatch { .. } => panic!("health is inline"),
+        };
+        let r = Response::parse(&reply).unwrap();
+        assert!(r.ok);
+        assert_eq!(r.id.as_deref(), Some("h"));
+        assert!(r.body.get("uptime_s").is_some());
+        assert_eq!(r.body.get("queued").and_then(Json::as_u64), Some(0));
+        assert_eq!(r.body.get("inflight").and_then(Json::as_u64), Some(0));
+        assert_eq!(r.body.get("draining").and_then(Json::as_bool), Some(false));
+        // A draining server still answers health, flagged as draining.
+        let shared = test_shared(true);
+        let reply = match process_line(r#"{"op":"health"}"#, &shared, Instant::now()) {
+            Handled::Inline(reply) => reply,
+            Handled::Dispatch { .. } => panic!("health is inline"),
+        };
+        let r = Response::parse(&reply).unwrap();
+        assert!(r.ok);
+        assert_eq!(r.body.get("draining").and_then(Json::as_bool), Some(true));
     }
 
     #[test]

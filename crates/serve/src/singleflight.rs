@@ -48,8 +48,11 @@ pub enum FlightResult {
     Cancelled,
     /// The engine reported an error.
     Failed(String),
-    /// The leader could not enqueue the job: the queue was full.
-    Busy,
+    /// The leader could not enqueue the job: the queue was full.  The
+    /// payload is the `retry_after_ms` backoff hint attached to the
+    /// shed reply — queue depth × mean engine time, computed at shed
+    /// time.
+    Busy(u64),
 }
 
 struct FlightInner<W> {
@@ -257,10 +260,10 @@ mod tests {
             Joined::Leader(f) => f,
             _ => unreachable!(),
         };
-        let drained = t.publish("k", &flight, FlightResult::Busy);
+        let drained = t.publish("k", &flight, FlightResult::Busy(5));
         assert!(drained.is_empty());
         let late = Arc::new(W(9));
-        assert_eq!(flight.attach(&late), Some(FlightResult::Busy));
+        assert_eq!(flight.attach(&late), Some(FlightResult::Busy(5)));
         assert_eq!(flight.waiter_count(), 0, "late waiter is not parked");
     }
 

@@ -23,6 +23,20 @@
 # server's own snapshot (stage histograms, engine work counters,
 # batching) alongside the client-side latency figures.
 #
+# Three fleet scenarios ride along (gt-router, docs/ROUTING.md):
+#
+#   fleet_direct      distinct-key engine-bound load straight at one
+#                     replica — the no-router baseline
+#   fleet_router      the identical load through a gt-router fronting
+#                     that one replica: the p50 gap between the two is
+#                     the router's added hop cost
+#                     (router_overhead_p50_pct in the artifact)
+#   fleet_failover    3 replicas behind a router; one replica is
+#                     killed -9 mid-run.  The run must finish with
+#                     zero client-visible errors and the router's
+#                     stats must show retries > 0 — recorded alongside
+#                     the router's own snapshot.
+#
 # Environment overrides: GTREE_BIN, BENCH_OUT, BENCH_DURATION (s),
 # BENCH_PORT.
 set -euo pipefail
@@ -60,7 +74,29 @@ stop_server() {
     SERVER_PID=""
   fi
 }
-trap stop_server EXIT
+
+FLEET_PIDS=""
+stop_fleet() {
+  for pid in $FLEET_PIDS; do
+    kill -INT "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  FLEET_PIDS=""
+}
+trap 'stop_server; stop_fleet' EXIT
+
+wait_up() { # port
+  for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "bench_serve: nothing came up on port $1" >&2
+  exit 1
+}
+
+p50_of() { printf '%s' "$1" | sed -n 's/.*"latency_p50_us":\([0-9.e+-]*\).*/\1/p'; }
 
 loadgen() { # extra `gtree loadgen` flags as args; prints one JSON line
   # --server-stats on every scenario: each report embeds the server's
@@ -101,6 +137,87 @@ cold_storm=$(loadgen --conns 64 --pipeline 4 --spec worst:d=2,n=12 --algo seq-so
 summary cold_storm "$cold_storm"
 stop_server
 
-printf '{"duration_s":%s,"cached_pipeline1":%s,"cached_pipeline8":%s,"coalesced":%s,"cold":%s,"cold_storm":%s}\n' \
-  "$DUR" "$cached_p1" "$cached_p8" "$coalesced" "$cold" "$cold_storm" > "$OUT"
+# --- Fleet scenarios -------------------------------------------------
+# Engine-bound distinct keys (no caching, no coalescing) so the
+# router's per-request hop cost is measured against real evaluation
+# work, not against a sub-100µs cache hit.
+FLEET_SPEC="worst:d=2,n=14"
+FLEET_ALGO="seq-solve"
+ROUTE_PORT=$((PORT + 2))
+ROUTE_ADDR="127.0.0.1:$ROUTE_PORT"
+
+start_server --cache 0 --queue-depth 1024
+fleet_direct=$("$BIN" loadgen --addr "$ADDR" --rps 0 --duration "$DUR" --json \
+  --conns 2 --pipeline 2 --spec "$FLEET_SPEC" --algo "$FLEET_ALGO" --distinct)
+summary fleet_direct "$fleet_direct"
+
+"$BIN" route --addr "$ROUTE_ADDR" --replicas "$ADDR" >/dev/null 2>&1 &
+ROUTER_PID=$!
+FLEET_PIDS="$ROUTER_PID"
+wait_up "$ROUTE_PORT"
+fleet_router=$("$BIN" loadgen --addr "$ROUTE_ADDR" --rps 0 --duration "$DUR" --json \
+  --conns 2 --pipeline 2 --spec "$FLEET_SPEC" --algo "$FLEET_ALGO" --distinct)
+summary fleet_router "$fleet_router"
+stop_fleet
+stop_server
+
+p50_direct=$(p50_of "$fleet_direct")
+p50_router=$(p50_of "$fleet_router")
+overhead=$(awk -v d="${p50_direct:-0}" -v r="${p50_router:-0}" \
+  'BEGIN { if (d > 0) printf "%.1f", (r - d) / d * 100; else printf "null" }')
+echo "bench_serve: router overhead at p50: ${overhead}% (direct ${p50_direct}us -> routed ${p50_router}us)" >&2
+
+# Failover: 3 replicas, kill one -9 mid-run.  Zero client-visible
+# errors and retries > 0 are asserted, not just recorded.
+REPLICA_PIDS=""
+REPLICA_ADDRS=""
+for i in 3 4 5; do
+  rport=$((PORT + i))
+  "$BIN" serve --addr "127.0.0.1:$rport" --eval-workers 2 --queue-depth 1024 \
+    --cache 0 >/dev/null 2>&1 &
+  REPLICA_PIDS="$REPLICA_PIDS $!"
+  REPLICA_ADDRS="$REPLICA_ADDRS,127.0.0.1:$rport"
+done
+REPLICA_ADDRS="${REPLICA_ADDRS#,}"
+"$BIN" route --addr "$ROUTE_ADDR" --replicas "$REPLICA_ADDRS" \
+  --retries 5 --probe-interval 25 --probe-timeout 100 >/dev/null 2>&1 &
+ROUTER_PID=$!
+FLEET_PIDS="$ROUTER_PID $REPLICA_PIDS"
+wait_up "$ROUTE_PORT"
+
+failover_json="$(mktemp)"
+"$BIN" loadgen --addr "$ROUTE_ADDR" --rps 0 --duration 4 --json \
+  --conns 4 --pipeline 2 --spec "$FLEET_SPEC" --algo "$FLEET_ALGO" --distinct \
+  > "$failover_json" &
+LOADGEN_PID=$!
+sleep 1.5
+victim=$(printf '%s' "$REPLICA_PIDS" | awk '{print $2}')
+kill -9 "$victim" 2>/dev/null || true
+wait "$LOADGEN_PID"
+fleet_failover=$(cat "$failover_json")
+rm -f "$failover_json"
+summary fleet_failover "$fleet_failover"
+
+exec 9<>"/dev/tcp/127.0.0.1/$ROUTE_PORT"
+printf '{"op":"stats"}\n' >&9
+IFS= read -r stats_reply <&9
+exec 9<&- 9>&-
+failover_stats=$(printf '%s' "$stats_reply" | sed -n 's/.*"stats":\({.*}\)}[[:space:]]*$/\1/p')
+[ -n "$failover_stats" ] || failover_stats="null"
+retries=$(printf '%s' "$stats_reply" | sed -n 's/.*"retries":\([0-9][0-9]*\).*/\1/p')
+stop_fleet
+
+errfield() { printf '%s' "$fleet_failover" | sed -n "s/.*\"$1\":\([0-9][0-9]*\).*/\1/p"; }
+fail=""
+for f in shed timeout bad other_error transport_errors; do
+  v=$(errfield "$f")
+  [ "${v:-0}" -eq 0 ] || { echo "bench_serve: failover run saw $v $f" >&2; fail=1; }
+done
+[ "${retries:-0}" -gt 0 ] || { echo "bench_serve: failover run shows no router retries" >&2; fail=1; }
+[ -z "$fail" ] || exit 1
+echo "bench_serve: failover clean ($retries router retries, zero client errors)" >&2
+
+printf '{"duration_s":%s,"cached_pipeline1":%s,"cached_pipeline8":%s,"coalesced":%s,"cold":%s,"cold_storm":%s,"fleet_direct":%s,"fleet_router":%s,"router_overhead_p50_pct":%s,"fleet_failover":%s,"fleet_failover_router_stats":%s}\n' \
+  "$DUR" "$cached_p1" "$cached_p8" "$coalesced" "$cold" "$cold_storm" \
+  "$fleet_direct" "$fleet_router" "${overhead:-null}" "$fleet_failover" "$failover_stats" > "$OUT"
 echo "bench_serve: wrote $OUT" >&2

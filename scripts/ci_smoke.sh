@@ -12,6 +12,11 @@
 # and gtserve_requests_total must increase between scrapes), and one
 # {"op":"trace"} round-trip must return recorded flight traces.
 #
+# A router smoke rides along: a 1-router/2-replica fleet takes a
+# pipelined burst, loses a replica to kill -9 mid-life, takes a second
+# distinct-key burst with zero client-visible errors, and its stats
+# must show retries > 0 — the failover actually fired.
+#
 # Environment overrides: GTREE_BIN, SMOKE_PORT, SMOKE_METRICS_PORT,
 # SMOKE_DURATION (s).
 set -euo pipefail
@@ -144,3 +149,112 @@ fi
 SERVER_PID=""
 trap - EXIT
 echo "ci_smoke: ok ($ok successful replies, clean SIGINT drain)" >&2
+
+# ---------------------------------------------------------------------
+# Router smoke: 1 router fronting 2 replicas.  Burst through the
+# router, kill -9 one replica mid-life, burst again — the failover
+# must be invisible to clients (no sheds, timeouts, error replies, or
+# transport errors) and the router's stats must show retries > 0.
+
+R1_PORT=$((PORT + 10))
+R2_PORT=$((PORT + 11))
+ROUTE_PORT=$((PORT + 12))
+ROUTE_ADDR="127.0.0.1:$ROUTE_PORT"
+
+"$BIN" serve --addr "127.0.0.1:$R1_PORT" --eval-workers 2 --queue-depth 512 \
+  >/dev/null 2>&1 &
+R1_PID=$!
+"$BIN" serve --addr "127.0.0.1:$R2_PORT" --eval-workers 2 --queue-depth 512 \
+  >/dev/null 2>&1 &
+R2_PID=$!
+"$BIN" route --addr "$ROUTE_ADDR" \
+  --replicas "127.0.0.1:$R1_PORT,127.0.0.1:$R2_PORT" \
+  --retries 5 --probe-interval 25 --probe-timeout 100 >/dev/null 2>&1 &
+ROUTER_PID=$!
+trap 'for p in "$ROUTER_PID" "$R1_PID" "$R2_PID"; do kill "$p" 2>/dev/null || true; done; wait 2>/dev/null || true' EXIT
+
+up=""
+for _ in $(seq 1 100); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/$ROUTE_PORT") 2>/dev/null; then
+    up=1
+    break
+  fi
+  sleep 0.05
+done
+if [ -z "$up" ]; then
+  echo "ci_smoke: router did not come up on $ROUTE_ADDR" >&2
+  exit 1
+fi
+
+json=$("$BIN" loadgen --addr "$ROUTE_ADDR" --rps 0 --duration "$DUR" --conns 2 \
+  --pipeline 4 --spec worst:d=2,n=8 --algo cascade:w=1 --json)
+echo "ci_smoke: router burst $json"
+
+ok=$(field ok)
+bad=$(field bad)
+other=$(field other_error)
+transport=$(field transport_errors)
+
+fail=""
+[ "${ok:-0}" -gt 0 ] || { echo "ci_smoke: router burst got no successful replies" >&2; fail=1; }
+[ "${bad:-0}" -eq 0 ] || { echo "ci_smoke: router burst got $bad bad-request replies" >&2; fail=1; }
+[ "${other:-0}" -eq 0 ] || { echo "ci_smoke: router burst got $other unexpected error replies" >&2; fail=1; }
+[ "${transport:-0}" -eq 0 ] || { echo "ci_smoke: router burst hit $transport transport errors" >&2; fail=1; }
+[ -z "$fail" ] || exit 1
+
+# Yank a replica the hard way — mid-burst, so requests are in flight
+# toward it and others are still being routed at it.  Distinct keys
+# mean roughly half the burst rendezvous-routes toward the corpse;
+# the router must absorb every dead connection and re-dispatch.
+failover_out="$(mktemp)"
+"$BIN" loadgen --addr "$ROUTE_ADDR" --rps 0 --duration 3 --conns 2 \
+  --pipeline 4 --spec worst:d=2,n=10 --algo seq-solve --distinct --json \
+  > "$failover_out" &
+LOADGEN_PID=$!
+sleep 1
+kill -9 "$R2_PID"
+wait "$R2_PID" 2>/dev/null || true
+wait "$LOADGEN_PID"
+json=$(cat "$failover_out")
+rm -f "$failover_out"
+echo "ci_smoke: router failover burst $json"
+
+ok=$(field ok)
+bad=$(field bad)
+shed=$(field shed)
+timeout=$(field timeout)
+other=$(field other_error)
+transport=$(field transport_errors)
+
+fail=""
+[ "${ok:-0}" -gt 0 ] || { echo "ci_smoke: failover burst got no successful replies" >&2; fail=1; }
+[ "${bad:-0}" -eq 0 ] || { echo "ci_smoke: failover burst got $bad bad-request replies" >&2; fail=1; }
+[ "${shed:-0}" -eq 0 ] || { echo "ci_smoke: failover burst shed $shed requests" >&2; fail=1; }
+[ "${timeout:-0}" -eq 0 ] || { echo "ci_smoke: failover burst timed out $timeout requests" >&2; fail=1; }
+[ "${other:-0}" -eq 0 ] || { echo "ci_smoke: failover burst got $other unexpected error replies" >&2; fail=1; }
+[ "${transport:-0}" -eq 0 ] || { echo "ci_smoke: failover burst hit $transport transport errors" >&2; fail=1; }
+[ -z "$fail" ] || exit 1
+
+# The router's own ledger must show the failover happened.
+exec 8<>"/dev/tcp/127.0.0.1/$ROUTE_PORT"
+printf '{"op":"stats"}\n' >&8
+IFS= read -r stats_reply <&8
+exec 8<&- 8>&-
+retries=$(printf '%s' "$stats_reply" | sed -n 's/.*"retries":\([0-9][0-9]*\).*/\1/p')
+if [ -z "${retries:-}" ] || [ "$retries" -eq 0 ]; then
+  echo "ci_smoke: router stats show no retries after a replica kill: $stats_reply" >&2
+  exit 1
+fi
+
+# SIGINT must drain the router cleanly; then stop the survivor.
+kill -INT "$ROUTER_PID"
+if ! wait "$ROUTER_PID"; then
+  echo "ci_smoke: router did not exit cleanly on SIGINT" >&2
+  exit 1
+fi
+ROUTER_PID=""
+kill -INT "$R1_PID" 2>/dev/null || true
+wait "$R1_PID" 2>/dev/null || true
+R1_PID=""
+trap - EXIT
+echo "ci_smoke: router ok ($ok replies through a replica kill, $retries retries)" >&2

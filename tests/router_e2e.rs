@@ -1,0 +1,366 @@
+//! End-to-end tests for gt-router: a real router in front of real
+//! (and deliberately broken) replicas, over loopback TCP.
+
+use gt_analysis::Json;
+use gt_router::{Router, RouterConfig};
+use gt_serve::{Client, Config, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn start_replica() -> Server {
+    Server::start(Config {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..Config::default()
+    })
+    .expect("replica start")
+}
+
+/// A replica impostor: answers health probes so the router keeps
+/// routing at it, but swallows every eval without replying.  The
+/// harness for hedge and local-timeout behaviour.
+fn start_stub() -> (SocketAddr, Arc<AtomicBool>, JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    listener.set_nonblocking(true).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        while !stop2.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let stop3 = Arc::clone(&stop2);
+                    conns.push(std::thread::spawn(move || stub_conn(stream, stop3)));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        for c in conns {
+            let _ = c.join();
+        }
+    });
+    (addr, stop, handle)
+}
+
+fn stub_conn(stream: TcpStream, stop: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while !stop.load(Ordering::SeqCst) {
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                if line.contains("\"health\"") {
+                    let _ = writer.write_all(
+                        b"{\"ok\":true,\"uptime_s\":1,\"queued\":0,\"inflight\":0,\"draining\":false}\n",
+                    );
+                }
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// A small cheap spec whose canonical key rendezvous-ranks `owner`
+/// first among `addrs`.
+fn spec_owned_by(addrs: &[String], owner: usize) -> String {
+    for d in 2..4u32 {
+        for n in 4..14u32 {
+            let spec = format!("worst:d={d},n={n}");
+            let key = format!("{spec}|cascade:w=1");
+            if gt_router::hash::rank(&key, addrs)[0] == owner {
+                return spec;
+            }
+        }
+    }
+    panic!("no cheap spec hashes to replica {owner}");
+}
+
+fn stats_of(addr: SocketAddr) -> Json {
+    let mut client = Client::connect(addr).unwrap();
+    let reply = client.stats().unwrap();
+    assert!(reply.ok);
+    reply.body.get("stats").cloned().expect("stats body")
+}
+
+#[test]
+fn control_verbs_answer_inline() {
+    let router = Router::start(RouterConfig {
+        spawn: 1,
+        ..RouterConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(router.local_addr()).unwrap();
+
+    let ping = client.ping().unwrap();
+    assert!(ping.ok);
+    assert_eq!(ping.body.get("role").and_then(Json::as_str), Some("router"));
+    assert_eq!(ping.body.get("replicas").and_then(Json::as_u64), Some(1));
+
+    let health = client.health().unwrap();
+    assert!(health.ok);
+    assert_eq!(health.body.get("routable").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        health.body.get("draining").and_then(Json::as_bool),
+        Some(false)
+    );
+
+    let trace = client.send_line(r#"{"op":"trace","id":"t"}"#).unwrap();
+    assert!(!trace.ok);
+    assert_eq!(trace.status, 400);
+
+    let stats = client.stats().unwrap();
+    assert!(stats.ok);
+    let body = stats.body.get("stats").expect("stats field");
+    assert!(body.get("replicas").is_some());
+    assert!(body.get("retries").is_some());
+
+    router.join();
+}
+
+#[test]
+fn same_key_sticks_to_one_replica_and_composes_a_fleet_cache() {
+    let router = Router::start(RouterConfig {
+        spawn: 3,
+        ..RouterConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(router.local_addr()).unwrap();
+
+    for (d, n) in [(2u32, 6u32), (2, 8), (2, 10), (3, 5), (3, 7)] {
+        let spec = format!("worst:d={d},n={n}");
+        let first = client.eval(&spec, "cascade:w=1", None).unwrap();
+        assert!(first.ok, "{first:?}");
+        let owner = first
+            .body
+            .get("replica")
+            .and_then(Json::as_str)
+            .expect("replica annotation")
+            .to_string();
+        for _ in 0..2 {
+            let again = client.eval(&spec, "cascade:w=1", None).unwrap();
+            assert!(again.ok, "{again:?}");
+            // Affinity: the same key lands on the same replica, so the
+            // repeat is a replica-local cache hit — the three private
+            // LRUs behave as one sharded fleet cache.
+            assert_eq!(
+                again.body.get("replica").and_then(Json::as_str),
+                Some(owner.as_str())
+            );
+            assert!(again.cached(), "{again:?}");
+        }
+    }
+
+    let snap = router.join();
+    assert_eq!(snap.forwarded_errors, 0);
+    assert_eq!(snap.ok, 15);
+}
+
+#[test]
+fn hedged_request_returns_exactly_one_reply_from_the_live_replica() {
+    let (stub_addr, stub_stop, stub_handle) = start_stub();
+    let replica = start_replica();
+    let addrs = vec![stub_addr.to_string(), replica.local_addr().to_string()];
+    // A key owned by the stub: the first copy is swallowed, the hedge
+    // must win on the live replica.
+    let spec = spec_owned_by(&addrs, 0);
+
+    let router = Router::start(RouterConfig {
+        replicas: addrs,
+        hedge_ms: Some(50),
+        probe_interval_ms: 25,
+        ..RouterConfig::default()
+    })
+    .unwrap();
+
+    let stream = TcpStream::connect(router.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let start = Instant::now();
+    writeln!(
+        writer,
+        r#"{{"op":"eval","id":"h1","spec":"{spec}","algo":"cascade:w=1","deadline_ms":5000}}"#
+    )
+    .unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let reply = Json::parse(line.trim()).unwrap();
+    assert_eq!(
+        reply.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{line}"
+    );
+    assert_eq!(reply.get("id").and_then(Json::as_str), Some("h1"));
+    assert_eq!(
+        reply.get("replica").and_then(Json::as_str),
+        Some(replica.local_addr().to_string().as_str()),
+        "the live replica must answer, not the stub"
+    );
+    assert_eq!(reply.get("hedged").and_then(Json::as_bool), Some(true));
+    assert!(
+        start.elapsed() < Duration::from_secs(4),
+        "hedge should beat the deadline by a wide margin"
+    );
+
+    // Exactly one reply: nothing else arrives for this request.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(300)))
+        .unwrap();
+    let mut extra = String::new();
+    match reader.read_line(&mut extra) {
+        Ok(0) => {}
+        Ok(_) => panic!("unexpected second reply: {extra}"),
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "{e}"
+        ),
+    }
+
+    let stats = stats_of(router.local_addr());
+    assert!(stats.get("hedges").and_then(Json::as_u64).unwrap_or(0) >= 1);
+    assert!(stats.get("hedge_wins").and_then(Json::as_u64).unwrap_or(0) >= 1);
+
+    router.join();
+    stub_stop.store(true, Ordering::SeqCst);
+    let _ = stub_handle.join();
+    replica.request_shutdown();
+    replica.join();
+}
+
+#[test]
+fn unresponsive_fleet_yields_a_local_timeout_not_a_hang() {
+    let (stub_addr, stub_stop, stub_handle) = start_stub();
+    let router = Router::start(RouterConfig {
+        replicas: vec![stub_addr.to_string()],
+        ..RouterConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let start = Instant::now();
+    let reply = client
+        .eval("worst:d=2,n=6", "cascade:w=1", Some(100))
+        .unwrap();
+    assert!(!reply.ok);
+    assert_eq!(reply.status, 408, "{reply:?}");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "local expiry must fire shortly after the deadline"
+    );
+    router.join();
+    stub_stop.store(true, Ordering::SeqCst);
+    let _ = stub_handle.join();
+}
+
+#[test]
+fn killing_one_of_three_replicas_mid_burst_is_invisible_to_clients() {
+    let replicas: Vec<Server> = (0..3).map(|_| start_replica()).collect();
+    let addrs: Vec<String> = replicas
+        .iter()
+        .map(|s| s.local_addr().to_string())
+        .collect();
+    let router = Router::start(RouterConfig {
+        replicas: addrs.clone(),
+        retries: 5,
+        probe_interval_ms: 25,
+        probe_timeout_ms: 100,
+        ..RouterConfig::default()
+    })
+    .unwrap();
+
+    let stream = TcpStream::connect(router.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    let mut specs: Vec<String> = Vec::new();
+    for n in 4..14u32 {
+        specs.push(format!("worst:d=2,n={n}"));
+    }
+    for n in 4..10u32 {
+        specs.push(format!("worst:d=3,n={n}"));
+    }
+
+    // First half of the burst, then kill a replica, then the rest —
+    // without waiting for the victim's drain to finish, so the tail
+    // of the burst races the death: requests dispatched at the dying
+    // replica are answered 503 (absorbed and rerouted) or lose their
+    // connection (orphaned and re-dispatched).  One extra spec is
+    // chosen to provably rendezvous-rank the victim first, so at
+    // least one request *must* take that path — the burst cannot get
+    // lucky and route around the corpse entirely.
+    let half = specs.len() / 2;
+    for (i, spec) in specs[..half].iter().enumerate() {
+        writeln!(
+            writer,
+            r#"{{"op":"eval","id":"r{i}","spec":"{spec}","algo":"cascade:w=1"}}"#
+        )
+        .unwrap();
+    }
+    let mut victims = replicas;
+    let victim = victims.remove(1);
+    victim.request_shutdown();
+    specs.push(spec_owned_by(&addrs, 1));
+    for (i, spec) in specs[half..].iter().enumerate() {
+        let i = i + half;
+        writeln!(
+            writer,
+            r#"{{"op":"eval","id":"r{i}","spec":"{spec}","algo":"cascade:w=1"}}"#
+        )
+        .unwrap();
+    }
+
+    let mut seen = std::collections::HashSet::new();
+    let mut line = String::new();
+    for _ in 0..specs.len() {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let reply = Json::parse(line.trim()).unwrap();
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "client saw an error through the failover: {line}"
+        );
+        let id = reply.get("id").and_then(Json::as_str).unwrap().to_string();
+        assert!(seen.insert(id), "duplicate reply: {line}");
+    }
+    assert_eq!(seen.len(), specs.len());
+
+    let stats = stats_of(router.local_addr());
+    assert!(
+        stats.get("retries").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "failover must have rerouted something: {}",
+        stats.render()
+    );
+
+    let snap = router.join();
+    assert_eq!(snap.forwarded_errors, 0);
+    assert_eq!(snap.shed, 0);
+    assert_eq!(snap.expired, 0);
+    victim.join();
+    for server in victims {
+        server.request_shutdown();
+        server.join();
+    }
+}
