@@ -106,7 +106,8 @@ const MAX_DEPTH: usize = 128;
 impl Json {
     /// Parse a complete JSON document (one value, optionally surrounded
     /// by whitespace).  Integers without a fraction or exponent parse as
-    /// [`Json::Int`]; everything else numeric parses as [`Json::Float`].
+    /// [`Json::Int`] (falling back to [`Json::Float`] when they exceed
+    /// i128); everything else numeric parses as [`Json::Float`].
     pub fn parse(text: &str) -> Result<Json, String> {
         let mut p = Parser {
             text,
@@ -412,10 +413,15 @@ impl<'a> Parser<'a> {
                 .map(Json::Float)
                 .map_err(|e| format!("bad number {token:?}: {e}"))
         } else {
-            token
-                .parse::<i128>()
-                .map(Json::Int)
-                .map_err(|e| format!("bad integer {token:?}: {e}"))
+            // Digit runs wider than i128 (e.g. the decimal expansion of
+            // a large float) degrade to Float instead of failing.
+            match token.parse::<i128>() {
+                Ok(i) => Ok(Json::Int(i)),
+                Err(_) => token
+                    .parse::<f64>()
+                    .map(Json::Float)
+                    .map_err(|e| format!("bad number {token:?}: {e}")),
+            }
         }
     }
 }
@@ -585,9 +591,15 @@ mod tests {
     }
 
     #[test]
-    fn integer_overflow_is_an_error_not_a_panic() {
+    fn oversized_integers_degrade_to_float() {
         let big = "9".repeat(60);
-        assert!(Json::parse(&big).is_err());
+        match Json::parse(&big).unwrap() {
+            Json::Float(f) => assert!(f > 9e58 && f < 2e60),
+            other => panic!("expected Float, got {other:?}"),
+        }
+        // Large floats render as bare digit runs; they must round-trip.
+        let rendered = Json::Float(-3.2e180).render();
+        assert_eq!(Json::parse(&rendered).unwrap(), Json::Float(-3.2e180));
     }
 
     #[test]

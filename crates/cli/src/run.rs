@@ -49,10 +49,12 @@ USAGE:
                [--pool N] [--conn-window N] [--client-window N] [--retries N]
                [--hedge-ms MS] [--backoff-ms MS] [--probe-interval MS]
                [--probe-timeout MS] [--eject-after N] [--readmit-ms MS]
-               [--deadline-ms MS] [--metrics-addr A]
+               [--deadline-ms MS] [--metrics-addr A] [--split-cost C]
+               [--split-depth N] [--split-naive] [--split-speculative]
   gtree loadgen [--addr A] [--conns N] [--rps R] [--duration SECS]
                [--pipeline N] [--spec SPEC] [--algo SERVE-ALGO]
-               [--deadline-ms MS] [--distinct] [--server-stats] [--json]
+               [--deadline-ms MS] [--distinct] [--split-heavy]
+               [--server-stats] [--json]
 
 SPEC:     kind:key=val,...   kinds: nor crit worst allones minmax
                                     minmax-best minmax-worst minmax-corr
@@ -79,7 +81,15 @@ after --readmit-ms); busy/unreachable replicas fail over to the next
 in hash order up to --retries times; --hedge-ms races slow requests
 against a second replica.  --replica is repeatable (or
 comma-separated); --spawn N starts N in-process replicas with
---spawn-workers engine workers each.
+--spawn-workers engine workers each.  --split-cost C turns on
+scatter-gather splitting: evals whose estimated leaf count clears C
+are decomposed along the eldest chain (at most --split-depth levels)
+and their subtrees fanned out across the fleet as subevals under
+narrowing alpha/beta windows; --split-naive dispatches everything at
+once under the root window (benchmark baseline) and
+--split-speculative races each level's second child alongside the
+eldest.  `loadgen --split-heavy` replaces --spec with a rotating pool
+of large trees sized to exercise a router's split planner.
 ";
 
 /// Parsed common options.
@@ -559,6 +569,14 @@ fn run_route(args: &[String]) -> Result<String, CliError> {
                 config.default_deadline_ms = parse_flag("--deadline-ms", &next(&mut i)?)?;
             }
             "--metrics-addr" => config.metrics_addr = Some(next(&mut i)?),
+            "--split-cost" => {
+                config.split.cost_threshold = Some(parse_flag("--split-cost", &next(&mut i)?)?);
+            }
+            "--split-depth" => {
+                config.split.max_depth = parse_flag("--split-depth", &next(&mut i)?)?;
+            }
+            "--split-naive" => config.split.naive = true,
+            "--split-speculative" => config.split.speculative = true,
             other => return Err(CliError::usage(format!("unknown argument {other:?}"))),
         }
         i += 1;
@@ -618,6 +636,7 @@ fn run_loadgen_cmd(args: &[String]) -> Result<String, CliError> {
             }
             "--pipeline" => config.pipeline = parse_flag("--pipeline", &next(&mut i)?)?,
             "--distinct" => config.distinct = true,
+            "--split-heavy" => config.split_heavy = true,
             "--server-stats" => config.include_server_stats = true,
             "--json" => json = true,
             other => return Err(CliError::usage(format!("unknown argument {other:?}"))),
@@ -743,6 +762,8 @@ mod tests {
             "--probe-interval",
             "--eject-after",
             "--readmit-ms",
+            "--split-cost",
+            "--split-depth",
         ] {
             assert_eq!(
                 run_str(&["route", flag, "many"]).unwrap_err().exit_code,

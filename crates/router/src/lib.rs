@@ -32,7 +32,9 @@ pub mod hash;
 pub mod health;
 pub mod metrics;
 pub mod router;
+pub mod split;
 
 pub use health::{HealthPolicy, HealthState};
 pub use metrics::{ReplicaSnapshot, RouterMetrics, RouterSnapshot};
 pub use router::{Router, RouterConfig};
+pub use split::SplitConfig;

@@ -74,6 +74,20 @@ pub struct RouterMetrics {
     pub unrouted: AtomicU64,
     /// Client connections accepted.
     pub connections: AtomicU64,
+    /// Evals decomposed into scatter-gather split plans.
+    pub splits_total: AtomicU64,
+    /// Subevals placed on replicas (initial sends and re-dispatches).
+    pub subevals_dispatched: AtomicU64,
+    /// Subevals re-dispatched down the hash order (busy reply or
+    /// transport loss).
+    pub subevals_retried: AtomicU64,
+    /// In-flight subeval results discarded on arrival because a
+    /// cutoff had already settled their level (the no-abort rule).
+    pub subevals_discarded_on_cutoff: AtomicU64,
+    /// Subevals a cutoff skipped before they were ever dispatched.
+    pub subevals_skipped_on_cutoff: AtomicU64,
+    /// Deepest eldest chain any plan has used (monotone high-water).
+    pub split_depth: AtomicU64,
     /// End-to-end latency of ok replies, microseconds.
     pub route_latency: LatencyHistogram,
 }
@@ -96,6 +110,12 @@ impl Default for RouterMetrics {
             stale_replies: AtomicU64::new(0),
             unrouted: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            splits_total: AtomicU64::new(0),
+            subevals_dispatched: AtomicU64::new(0),
+            subevals_retried: AtomicU64::new(0),
+            subevals_discarded_on_cutoff: AtomicU64::new(0),
+            subevals_skipped_on_cutoff: AtomicU64::new(0),
+            split_depth: AtomicU64::new(0),
             route_latency: LatencyHistogram::default(),
         }
     }
@@ -131,9 +151,20 @@ impl RouterMetrics {
             stale_replies: load(&self.stale_replies),
             unrouted: load(&self.unrouted),
             connections: load(&self.connections),
+            splits_total: load(&self.splits_total),
+            subevals_dispatched: load(&self.subevals_dispatched),
+            subevals_retried: load(&self.subevals_retried),
+            subevals_discarded_on_cutoff: load(&self.subevals_discarded_on_cutoff),
+            subevals_skipped_on_cutoff: load(&self.subevals_skipped_on_cutoff),
+            split_depth: load(&self.split_depth),
             route_latency: self.route_latency.snapshot_full(),
             replicas,
         }
+    }
+
+    /// Raise the split-depth high-water mark.
+    pub fn record_split_depth(&self, depth: u64) {
+        self.split_depth.fetch_max(depth, Ordering::Relaxed);
     }
 }
 
@@ -194,6 +225,12 @@ pub struct RouterSnapshot {
     pub stale_replies: u64,
     pub unrouted: u64,
     pub connections: u64,
+    pub splits_total: u64,
+    pub subevals_dispatched: u64,
+    pub subevals_retried: u64,
+    pub subevals_discarded_on_cutoff: u64,
+    pub subevals_skipped_on_cutoff: u64,
+    pub split_depth: u64,
     pub route_latency: HistogramSnapshot,
     pub replicas: Vec<ReplicaSnapshot>,
 }
@@ -217,6 +254,18 @@ impl RouterSnapshot {
             ("stale_replies", Json::from(self.stale_replies)),
             ("unrouted", Json::from(self.unrouted)),
             ("connections", Json::from(self.connections)),
+            ("splits_total", Json::from(self.splits_total)),
+            ("subevals_dispatched", Json::from(self.subevals_dispatched)),
+            ("subevals_retried", Json::from(self.subevals_retried)),
+            (
+                "subevals_discarded_on_cutoff",
+                Json::from(self.subevals_discarded_on_cutoff),
+            ),
+            (
+                "subevals_skipped_on_cutoff",
+                Json::from(self.subevals_skipped_on_cutoff),
+            ),
+            ("split_depth", Json::from(self.split_depth)),
             ("route_latency", self.route_latency.to_json()),
             (
                 "replicas",
@@ -296,6 +345,42 @@ impl RouterSnapshot {
             "Client connections accepted.",
             self.connections,
         );
+        counter(
+            &mut out,
+            "router_splits_total",
+            "Evals decomposed into scatter-gather split plans.",
+            self.splits_total,
+        );
+        counter(
+            &mut out,
+            "router_subevals_dispatched_total",
+            "Subevals placed on replicas.",
+            self.subevals_dispatched,
+        );
+        counter(
+            &mut out,
+            "router_subevals_retried_total",
+            "Subevals re-dispatched down the hash order.",
+            self.subevals_retried,
+        );
+        counter(
+            &mut out,
+            "router_subevals_discarded_on_cutoff_total",
+            "In-flight subeval results discarded after a cutoff.",
+            self.subevals_discarded_on_cutoff,
+        );
+        counter(
+            &mut out,
+            "router_subevals_skipped_on_cutoff_total",
+            "Subevals skipped before dispatch by a cutoff.",
+            self.subevals_skipped_on_cutoff,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP router_split_depth Deepest eldest chain any split plan has used."
+        );
+        let _ = writeln!(out, "# TYPE router_split_depth gauge");
+        let _ = writeln!(out, "router_split_depth {}", self.split_depth);
 
         let _ = writeln!(
             out,
@@ -382,11 +467,28 @@ mod tests {
         let m = RouterMetrics::default();
         m.requests.fetch_add(7, Ordering::Relaxed);
         m.retries.fetch_add(3, Ordering::Relaxed);
+        m.splits_total.fetch_add(2, Ordering::Relaxed);
+        m.subevals_dispatched.fetch_add(9, Ordering::Relaxed);
+        m.subevals_discarded_on_cutoff
+            .fetch_add(1, Ordering::Relaxed);
+        m.record_split_depth(3);
+        m.record_split_depth(2);
         m.route_latency.record(500);
         let snap = m.snapshot(vec![replica_row("127.0.0.1:7171")]);
         let j = snap.to_json();
         assert_eq!(j.get("requests").and_then(Json::as_u64), Some(7));
         assert_eq!(j.get("retries").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("splits_total").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("subevals_dispatched").and_then(Json::as_u64), Some(9));
+        assert_eq!(
+            j.get("subevals_discarded_on_cutoff").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            j.get("split_depth").and_then(Json::as_u64),
+            Some(3),
+            "split_depth is a high-water mark, not a sum"
+        );
         let replicas = match j.get("replicas") {
             Some(Json::Array(rs)) => rs,
             other => panic!("replicas not an array: {other:?}"),
@@ -403,6 +505,8 @@ mod tests {
     fn prometheus_exposition_names_the_required_series() {
         let m = RouterMetrics::default();
         m.retries.fetch_add(4, Ordering::Relaxed);
+        m.splits_total.fetch_add(1, Ordering::Relaxed);
+        m.subevals_skipped_on_cutoff.fetch_add(5, Ordering::Relaxed);
         m.route_latency.record(1_000);
         let text = m
             .snapshot(vec![
@@ -423,5 +527,15 @@ mod tests {
         assert!(text.contains("router_route_latency_us_count 1"), "{text}");
         // ejects sums across replicas
         assert!(text.contains("router_ejects_total 4"), "{text}");
+        assert!(text.contains("router_splits_total 1"), "{text}");
+        assert!(
+            text.contains("router_subevals_dispatched_total 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("router_subevals_skipped_on_cutoff_total 5"),
+            "{text}"
+        );
+        assert!(text.contains("router_split_depth 0"), "{text}");
     }
 }

@@ -27,12 +27,15 @@
 use crate::hash;
 use crate::health::{tier_route, HealthMachine, HealthPolicy};
 use crate::metrics::{ReplicaCounters, ReplicaSnapshot, RouterMetrics, RouterSnapshot};
+use crate::split::{plan_levels, Dispatch, Effects, FailKind, Outcome, SplitConfig, SplitMachine};
 use gt_analysis::Json;
 use gt_serve::protocol::{
     error_line_with, ok_line, ErrorCode, Op, Request, Response, PROTOCOL_VERSION,
 };
 use gt_serve::trace::{spawn_metrics_listener, MetricsListener};
 use gt_serve::workload;
+use gt_tree::split::{path_text, SubtreeSpec};
+use gt_tree::Value;
 use std::collections::{BinaryHeap, HashMap};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -98,6 +101,8 @@ pub struct RouterConfig {
     pub metrics_addr: Option<String>,
     /// Health state-machine thresholds.
     pub health: HealthPolicy,
+    /// Scatter-gather split planning (see [`crate::split`]).
+    pub split: SplitConfig,
 }
 
 impl Default for RouterConfig {
@@ -118,6 +123,7 @@ impl Default for RouterConfig {
             default_deadline_ms: 10_000,
             metrics_addr: None,
             health: HealthPolicy::default(),
+            split: SplitConfig::default(),
         }
     }
 }
@@ -165,11 +171,18 @@ impl ClientWindow {
 // ---------------------------------------------------------------------------
 
 /// One pipelined connection to a replica.  `writer` is `None` while
-/// disconnected; `pending` maps upstream sequence ids to the relays
-/// awaiting them.
+/// disconnected; `pending` maps upstream sequence ids to whatever
+/// awaits the reply.
 struct UpstreamConn {
     writer: Mutex<Option<TcpStream>>,
-    pending: Mutex<HashMap<u64, Arc<Relay>>>,
+    pending: Mutex<HashMap<u64, PendingReply>>,
+}
+
+/// What an upstream sequence id resolves to: a whole client request
+/// being relayed, or one subeval of a split plan.
+enum PendingReply {
+    Whole(Arc<Relay>),
+    Sub(Arc<SubFlight>),
 }
 
 /// One replica: its address, connection pool, health trajectory, and
@@ -210,11 +223,18 @@ struct OutstandingEntry {
 /// guarantees exactly one reply line reaches the client.
 struct Relay {
     client_id: Option<String>,
+    /// What to send upstream: `Op::Eval` or `Op::Subeval`.
+    op: Op,
     /// Canonical spec/algo strings sent upstream — the same strings
     /// that formed the routing key, so every replica computes the
     /// identical cache key.
     spec: String,
     algo: String,
+    /// Subeval-only: canonical dot-joined path and the window bounds
+    /// (absent bounds mean the full window).
+    path: Option<String>,
+    alpha: Option<i64>,
+    beta: Option<i64>,
     start: Instant,
     deadline: Instant,
     /// Replica indices in routing preference order.
@@ -568,7 +588,7 @@ fn conn_try_send(
         // Registered before the write: if the write half dies mid-way,
         // ownership of the failure is decided by who removes this
         // entry first (see below).
-        pending.insert(seq, Arc::clone(relay));
+        pending.insert(seq, PendingReply::Whole(Arc::clone(relay)));
     }
     relay.outstanding.lock().unwrap().push(OutstandingEntry {
         replica: replica.idx,
@@ -582,11 +602,17 @@ fn conn_try_send(
         .as_millis() as u64;
     let line = Request {
         id: Some(seq.to_string()),
-        op: Op::Eval,
+        op: relay.op,
         spec: Some(relay.spec.clone()),
-        algo: Some(relay.algo.clone()),
+        algo: match relay.op {
+            Op::Eval => Some(relay.algo.clone()),
+            _ => None,
+        },
         deadline_ms: Some(remaining.max(1)),
         n: None,
+        path: relay.path.clone(),
+        alpha: relay.alpha,
+        beta: relay.beta,
     }
     .render();
     let wrote = {
@@ -650,6 +676,428 @@ fn schedule_retry(inner: &Inner, relay: &Arc<Relay>, hint_ms: Option<u64>) {
 }
 
 // ---------------------------------------------------------------------------
+// Split plans: scatter-gather evaluation across the fleet.
+// ---------------------------------------------------------------------------
+
+/// One split plan in flight: the pure [`SplitMachine`] plus everything
+/// the router needs to answer the client exactly once.  The machine
+/// holds all evaluation state; this wrapper only does I/O bookkeeping.
+struct ActivePlan {
+    client_id: Option<String>,
+    /// Canonical spec text (no path, no window) — the stable part of
+    /// every subeval routing key and upstream request.
+    spec_text: String,
+    machine: Mutex<SplitMachine>,
+    answered: AtomicBool,
+    start: Instant,
+    deadline: Instant,
+    depth: usize,
+    naive: bool,
+    writer: Arc<Mutex<TcpStream>>,
+    window: Arc<ClientWindow>,
+}
+
+impl ActivePlan {
+    /// Claim the right to answer; at most one caller ever wins.
+    fn try_claim(&self) -> bool {
+        !self.answered.swap(true, Ordering::SeqCst)
+    }
+}
+
+/// One subeval of a split plan on the wire.  Routing state mirrors a
+/// [`Relay`]'s, but under the paper's no-abort rule there is never
+/// more than one live copy: the router never hedges a subeval and
+/// never sends abort traffic — a loser is simply skipped before
+/// dispatch or discarded on arrival.
+struct SubFlight {
+    plan: Arc<ActivePlan>,
+    level: usize,
+    child: usize,
+    /// Replica indices in routing preference order for this subtree.
+    route: Vec<usize>,
+    /// Next position in `route` (monotone; wraps via modulo), so a
+    /// re-dispatch walks on down the hash order.
+    cursor: AtomicUsize,
+    /// Busy-retry budget consumed (transport skips are unbudgeted).
+    busy_retries: AtomicU32,
+}
+
+/// Answer the plan's client exactly once and release the window slot.
+fn answer_plan(inner: &Inner, plan: &ActivePlan, outcome: &Outcome) {
+    if !plan.try_claim() {
+        return;
+    }
+    match outcome {
+        Outcome::Value {
+            value,
+            work,
+            subevals,
+        } => {
+            let line = ok_line(
+                &plan.client_id,
+                vec![
+                    ("value", Json::from(*value)),
+                    (
+                        "work",
+                        Json::Object(vec![("leaves".into(), Json::from(*work))]),
+                    ),
+                    ("cached", Json::Bool(false)),
+                    (
+                        "split",
+                        Json::Object(vec![
+                            ("depth".into(), Json::from(plan.depth)),
+                            ("subevals".into(), Json::from(*subevals)),
+                            ("naive".into(), Json::Bool(plan.naive)),
+                        ]),
+                    ),
+                    (
+                        "latency_us",
+                        Json::from(plan.start.elapsed().as_micros() as u64),
+                    ),
+                ],
+            );
+            write_line(&plan.writer, &line);
+            RouterMetrics::bump(&inner.metrics.ok);
+            inner
+                .metrics
+                .route_latency
+                .record(plan.start.elapsed().as_micros() as u64);
+        }
+        Outcome::Fail { kind, message } => {
+            let code = match kind {
+                FailKind::Busy => ErrorCode::Busy,
+                FailKind::Timeout => ErrorCode::Timeout,
+                FailKind::Internal => ErrorCode::Internal,
+            };
+            write_line(
+                &plan.writer,
+                &error_line_with(&plan.client_id, code, message, Vec::new()),
+            );
+            match code {
+                ErrorCode::Busy => RouterMetrics::bump(&inner.metrics.shed),
+                ErrorCode::Timeout => RouterMetrics::bump(&inner.metrics.expired),
+                _ => RouterMetrics::bump(&inner.metrics.forwarded_errors),
+            }
+        }
+    }
+    plan.window.release();
+}
+
+/// Fail the plan: feed the machine (so late arrivals count as
+/// discards) and answer the client.
+fn fail_plan(inner: &Inner, plan: &Arc<ActivePlan>, kind: FailKind, message: &str) {
+    let fx = plan.machine.lock().unwrap().on_fail(kind, message);
+    apply_effects(inner, plan, fx);
+}
+
+/// Carry out what a machine event asked for: cutoff counters, new
+/// subeval dispatches, or the terminal answer.  Always called with the
+/// machine lock released — dispatch does socket writes.
+fn apply_effects(inner: &Inner, plan: &Arc<ActivePlan>, fx: Effects) {
+    if fx.skipped > 0 {
+        inner
+            .metrics
+            .subevals_skipped_on_cutoff
+            .fetch_add(fx.skipped, Ordering::Relaxed);
+    }
+    if fx.discarded > 0 {
+        inner
+            .metrics
+            .subevals_discarded_on_cutoff
+            .fetch_add(fx.discarded, Ordering::Relaxed);
+    }
+    if let Some(outcome) = fx.done {
+        // Dispatches staged by the same event are moot: the plan has
+        // its answer, and the no-abort rule means nothing to cancel.
+        answer_plan(inner, plan, &outcome);
+        return;
+    }
+    for d in fx.dispatch {
+        dispatch_new_sub(inner, plan, d);
+    }
+}
+
+/// Route one fresh subeval by rendezvous hash on its subtree key and
+/// put it on the wire.
+fn dispatch_new_sub(inner: &Inner, plan: &Arc<ActivePlan>, d: Dispatch) {
+    // The routing key deliberately omits the window: re-dispatches
+    // re-stamp the window from the live aggregator, and the subtree
+    // keeps its replica (cache) affinity across that.
+    let key = format!("sub:{}#{}", plan.spec_text, path_text(&d.sub.path));
+    let tiers: Vec<u8> = inner.replicas.iter().map(|r| r.tier()).collect();
+    let route = route_for(&key, &inner.addrs, &tiers);
+    let sf = Arc::new(SubFlight {
+        plan: Arc::clone(plan),
+        level: d.level,
+        child: d.child,
+        route,
+        cursor: AtomicUsize::new(0),
+        busy_retries: AtomicU32::new(0),
+    });
+    send_sub(inner, &sf, &d.sub);
+}
+
+/// Walk the subflight's route from its cursor until a replica takes
+/// the subeval.  Exhausting the route fails the whole plan — a missing
+/// child value cannot be folded around.
+fn send_sub(inner: &Inner, sf: &Arc<SubFlight>, sub: &SubtreeSpec) {
+    if sf.plan.answered.load(Ordering::SeqCst) {
+        return;
+    }
+    let len = sf.route.len();
+    for _ in 0..len {
+        let pos = sf.cursor.fetch_add(1, Ordering::SeqCst) % len;
+        let replica = &inner.replicas[sf.route[pos]];
+        if sub_try_send(inner, sf, replica, sub).is_ok() {
+            RouterMetrics::bump(&inner.metrics.subevals_dispatched);
+            return;
+        }
+    }
+    fail_plan(
+        inner,
+        &sf.plan,
+        FailKind::Busy,
+        "no routable replica for subeval",
+    );
+}
+
+/// Place the subeval on one of `replica`'s connections (round-robin,
+/// first with window room and a live writer).  Same pending-before-
+/// write ownership rule as [`conn_try_send`].
+fn sub_try_send(
+    inner: &Inner,
+    sf: &Arc<SubFlight>,
+    replica: &Replica,
+    sub: &SubtreeSpec,
+) -> Result<(), ()> {
+    let start = replica.rr.fetch_add(1, Ordering::Relaxed);
+    for k in 0..replica.conns.len() {
+        let ci = (start + k) % replica.conns.len();
+        let conn = &replica.conns[ci];
+        let seq = inner.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        {
+            let mut pending = conn.pending.lock().unwrap();
+            if pending.len() >= inner.config.conn_window.max(1) {
+                continue;
+            }
+            pending.insert(seq, PendingReply::Sub(Arc::clone(sf)));
+        }
+        let remaining = sf
+            .plan
+            .deadline
+            .saturating_duration_since(Instant::now())
+            .as_millis() as u64;
+        let mut req = Request::subeval(
+            &sf.plan.spec_text,
+            &path_text(&sub.path),
+            sub.alpha,
+            sub.beta,
+            Some(remaining.max(1)),
+        );
+        req.id = Some(seq.to_string());
+        let line = req.render();
+        let wrote = {
+            let mut w = conn.writer.lock().unwrap();
+            let ok = match w.as_mut() {
+                None => false,
+                Some(stream) => stream
+                    .write_all(line.as_bytes())
+                    .and_then(|_| stream.write_all(b"\n"))
+                    .is_ok(),
+            };
+            if !ok {
+                *w = None;
+            }
+            ok
+        };
+        if wrote {
+            ReplicaCounters::bump(&replica.counters.sent);
+            return Ok(());
+        }
+        // If our pending entry is gone, the reader noticed the dead
+        // connection first and owns the re-dispatch: report success so
+        // the subeval is not placed twice.
+        if conn.pending.lock().unwrap().remove(&seq).is_some() {
+            ReplicaCounters::bump(&replica.counters.transport);
+            continue;
+        }
+        return Ok(());
+    }
+    Err(())
+}
+
+/// A subeval bounced off a busy replica: re-stamp the window from the
+/// live aggregator and walk on down the hash order, bounded by the
+/// retry budget.
+fn retry_sub(inner: &Inner, sf: &Arc<SubFlight>) {
+    let n = sf.busy_retries.fetch_add(1, Ordering::SeqCst) + 1;
+    if n > inner.config.retries {
+        fail_plan(inner, &sf.plan, FailKind::Busy, "subeval retries exhausted");
+        return;
+    }
+    let Some(sub) = sf
+        .plan
+        .machine
+        .lock()
+        .unwrap()
+        .redispatch(sf.level, sf.child)
+    else {
+        // The level settled while this copy bounced: its value no
+        // longer matters.  Dropping it here IS the pre-emption — no
+        // abort message, nothing to clean up.
+        return;
+    };
+    RouterMetrics::bump(&inner.metrics.subevals_retried);
+    send_sub(inner, sf, &sub);
+}
+
+/// A subeval's connection died with it in flight: re-dispatch,
+/// unbudgeted — the route walk is how a live replica is found.
+fn redispatch_sub(inner: &Inner, sf: &Arc<SubFlight>) {
+    if sf.plan.answered.load(Ordering::SeqCst) {
+        return;
+    }
+    let Some(sub) = sf
+        .plan
+        .machine
+        .lock()
+        .unwrap()
+        .redispatch(sf.level, sf.child)
+    else {
+        return;
+    };
+    RouterMetrics::bump(&inner.metrics.subevals_retried);
+    send_sub(inner, sf, &sub);
+}
+
+/// An upstream reply matched a subeval: feed the machine and carry out
+/// what it wants.
+fn handle_sub_reply(inner: &Inner, replica: &Replica, sf: &Arc<SubFlight>, resp: &Response) {
+    if resp.ok {
+        ReplicaCounters::bump(&replica.counters.ok);
+        let Some(value) = resp.value() else {
+            fail_plan(
+                inner,
+                &sf.plan,
+                FailKind::Internal,
+                "subeval reply carried no value",
+            );
+            return;
+        };
+        let leaves = resp.leaves().unwrap_or(0);
+        let fx = sf
+            .plan
+            .machine
+            .lock()
+            .unwrap()
+            .on_value(sf.level, sf.child, value, leaves);
+        apply_effects(inner, &sf.plan, fx);
+    } else if resp.status == 429 || resp.status == 503 {
+        ReplicaCounters::bump(&replica.counters.busy);
+        retry_sub(inner, sf);
+    } else {
+        // A deterministic upstream failure fails the plan: its child
+        // value is a hole the aggregation cannot fold around.
+        ReplicaCounters::bump(&replica.counters.errors);
+        let kind = if resp.status == 408 {
+            FailKind::Timeout
+        } else {
+            FailKind::Internal
+        };
+        let msg = resp.error.as_deref().unwrap_or("upstream error");
+        fail_plan(inner, &sf.plan, kind, msg);
+    }
+}
+
+/// Per-plan watchdog: split plans are not paced by the relay pacer, so
+/// a thread polls until the plan answers, or fails it with `timeout`
+/// at the deadline (plus the same grace the pacer gives relays).
+fn spawn_plan_watchdog(inner: &Arc<Inner>, plan: &Arc<ActivePlan>) {
+    let inner = Arc::clone(inner);
+    let plan = Arc::clone(plan);
+    let _ = std::thread::Builder::new()
+        .name("gt-router-split".into())
+        .spawn(move || {
+            let expiry = plan.deadline + EXPIRE_GRACE;
+            while !plan.answered.load(Ordering::SeqCst) {
+                if Instant::now() >= expiry {
+                    fail_plan(
+                        &inner,
+                        &plan,
+                        FailKind::Timeout,
+                        "deadline expired in router",
+                    );
+                    return;
+                }
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        });
+}
+
+/// Decide whether this eval splits across the fleet.  Returns `true`
+/// if the request was consumed (plan launched, or rejected with an
+/// error); `false` to fall through to whole-eval relaying.
+fn start_split_plan(
+    inner: &Arc<Inner>,
+    writer: &Arc<Mutex<TcpStream>>,
+    window: &Arc<ClientWindow>,
+    req: &Request,
+    spec_c: &str,
+) -> bool {
+    let Some(threshold) = inner.config.split.cost_threshold else {
+        return false;
+    };
+    // Explicit alpha/beta on an eval seed the plan's root window
+    // (full when absent).
+    let root = match workload::validate_subeval(spec_c, "", req.alpha, req.beta) {
+        Ok(v) => v.sub,
+        Err(e) => {
+            if req.alpha.is_some() || req.beta.is_some() {
+                RouterMetrics::bump(&inner.metrics.bad_request);
+                write_line(
+                    writer,
+                    &error_line_with(&req.id, ErrorCode::BadRequest, &e, Vec::new()),
+                );
+                return true;
+            }
+            // Games and other non-decomposable workloads relay whole.
+            return false;
+        }
+    };
+    let shape = match plan_levels(&root, threshold, inner.config.split.max_depth) {
+        Ok(Some(shape)) => shape,
+        // Too cheap, too narrow, or (unreachably, post-validate) a
+        // build error: relay whole.
+        _ => return false,
+    };
+    window.acquire(inner.config.client_window);
+    let deadline_ms = req
+        .deadline_ms
+        .unwrap_or(inner.config.default_deadline_ms)
+        .max(1);
+    let now = Instant::now();
+    let (machine, fx) = SplitMachine::new(shape, &inner.config.split);
+    let depth = machine.depth();
+    let plan = Arc::new(ActivePlan {
+        client_id: req.id.clone(),
+        spec_text: spec_c.to_string(),
+        machine: Mutex::new(machine),
+        answered: AtomicBool::new(false),
+        start: now,
+        deadline: now + Duration::from_millis(deadline_ms),
+        depth,
+        naive: inner.config.split.naive,
+        writer: Arc::clone(writer),
+        window: Arc::clone(window),
+    });
+    RouterMetrics::bump(&inner.metrics.splits_total);
+    inner.metrics.record_split_depth(depth as u64);
+    spawn_plan_watchdog(inner, &plan);
+    apply_effects(inner, &plan, fx);
+    true
+}
+
+// ---------------------------------------------------------------------------
 // Upstream connections.
 // ---------------------------------------------------------------------------
 
@@ -674,15 +1122,20 @@ fn connect_to(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
 fn conn_died(inner: &Inner, replica: &Replica, ci: usize) {
     let conn = &replica.conns[ci];
     *conn.writer.lock().unwrap() = None;
-    let orphans: Vec<(u64, Arc<Relay>)> = conn.pending.lock().unwrap().drain().collect();
-    for (seq, relay) in orphans {
+    let orphans: Vec<(u64, PendingReply)> = conn.pending.lock().unwrap().drain().collect();
+    for (seq, entry) in orphans {
         ReplicaCounters::bump(&replica.counters.transport);
-        relay.remove_outstanding(seq);
-        if relay.answered.load(Ordering::SeqCst) {
-            continue;
-        }
-        if relay.outstanding.lock().unwrap().is_empty() {
-            dispatch_attempt(inner, &relay, AttemptKind::Retry);
+        match entry {
+            PendingReply::Whole(relay) => {
+                relay.remove_outstanding(seq);
+                if relay.answered.load(Ordering::SeqCst) {
+                    continue;
+                }
+                if relay.outstanding.lock().unwrap().is_empty() {
+                    dispatch_attempt(inner, &relay, AttemptKind::Retry);
+                }
+            }
+            PendingReply::Sub(sf) => redispatch_sub(inner, &sf),
         }
     }
 }
@@ -699,9 +1152,16 @@ fn handle_reply(inner: &Inner, replica: &Replica, ci: usize, line: &str) {
         RouterMetrics::bump(&inner.metrics.stale_replies);
         return;
     };
-    let Some(relay) = replica.conns[ci].pending.lock().unwrap().remove(&seq) else {
+    let Some(entry) = replica.conns[ci].pending.lock().unwrap().remove(&seq) else {
         RouterMetrics::bump(&inner.metrics.stale_replies);
         return;
+    };
+    let relay = match entry {
+        PendingReply::Whole(relay) => relay,
+        PendingReply::Sub(sf) => {
+            handle_sub_reply(inner, replica, &sf, &resp);
+            return;
+        }
     };
     let is_hedge = relay
         .remove_outstanding(seq)
@@ -928,6 +1388,12 @@ fn route_eval(
     // The canonical key is "spec|algo"; send those exact strings
     // upstream so the replica's cache key matches the routing key.
     let (spec_c, algo_c) = key.split_once('|').unwrap_or((spec_text, algo_text));
+    // Above the configured cost threshold the eval is not relayed at
+    // all: the split planner scatters subevals across the fleet and
+    // the router itself aggregates the answer.
+    if start_split_plan(inner, writer, window, &req, spec_c) {
+        return;
+    }
     let tiers: Vec<u8> = inner.replicas.iter().map(|r| r.tier()).collect();
     let route = route_for(&key, &inner.addrs, &tiers);
     window.acquire(inner.config.client_window);
@@ -938,8 +1404,94 @@ fn route_eval(
     let now = Instant::now();
     let relay = Arc::new(Relay {
         client_id: req.id,
+        op: Op::Eval,
         spec: spec_c.to_string(),
         algo: algo_c.to_string(),
+        path: None,
+        alpha: None,
+        beta: None,
+        start: now,
+        deadline: now + Duration::from_millis(deadline_ms),
+        route,
+        cursor: AtomicUsize::new(0),
+        retries: AtomicU32::new(0),
+        hedged: AtomicBool::new(false),
+        answered: AtomicBool::new(false),
+        outstanding: Mutex::new(Vec::new()),
+        writer: Arc::clone(writer),
+        window: Arc::clone(window),
+    });
+    inner
+        .pacer
+        .schedule(relay.deadline + EXPIRE_GRACE, &relay, Action::Expire);
+    if let Some(hedge_ms) = inner.config.hedge_ms {
+        if relay.route.len() > 1 {
+            inner
+                .pacer
+                .schedule(now + Duration::from_millis(hedge_ms), &relay, Action::Hedge);
+        }
+    }
+    dispatch_attempt(inner, &relay, AttemptKind::Initial);
+}
+
+/// Relay a client-issued `subeval` to the fleet, with the same
+/// failover/hedge/expiry machinery as a whole eval.  Routed by the
+/// window-free subtree key so a client probing a subtree lands on the
+/// same replica the split planner would use.
+fn route_subeval(
+    inner: &Arc<Inner>,
+    writer: &Arc<Mutex<TcpStream>>,
+    window: &Arc<ClientWindow>,
+    req: Request,
+) {
+    RouterMetrics::bump(&inner.metrics.requests);
+    if inner.draining.load(Ordering::SeqCst) {
+        RouterMetrics::bump(&inner.metrics.draining);
+        write_line(
+            writer,
+            &error_line_with(
+                &req.id,
+                ErrorCode::Draining,
+                "router is draining",
+                Vec::new(),
+            ),
+        );
+        return;
+    }
+    let spec_text = req.spec.as_deref().unwrap_or("");
+    let path_str = req.path.as_deref().unwrap_or("");
+    let sub = match workload::validate_subeval(spec_text, path_str, req.alpha, req.beta) {
+        Ok(v) => v.sub,
+        Err(e) => {
+            RouterMetrics::bump(&inner.metrics.bad_request);
+            write_line(
+                writer,
+                &error_line_with(&req.id, ErrorCode::BadRequest, &e, Vec::new()),
+            );
+            return;
+        }
+    };
+    // `render()` is "spec#path#window"; the leading segment is the
+    // canonical spec text.
+    let rendered = sub.render();
+    let spec_c = rendered.split('#').next().unwrap_or(spec_text).to_string();
+    let key = format!("sub:{}#{}", spec_c, path_text(&sub.path));
+    let tiers: Vec<u8> = inner.replicas.iter().map(|r| r.tier()).collect();
+    let route = route_for(&key, &inner.addrs, &tiers);
+    window.acquire(inner.config.client_window);
+    let deadline_ms = req
+        .deadline_ms
+        .unwrap_or(inner.config.default_deadline_ms)
+        .max(1);
+    let now = Instant::now();
+    let relay = Arc::new(Relay {
+        client_id: req.id,
+        op: Op::Subeval,
+        spec: spec_c,
+        algo: String::new(),
+        path: Some(path_text(&sub.path)).filter(|p| !p.is_empty()),
+        alpha: (sub.alpha != Value::MIN).then_some(sub.alpha),
+        beta: (sub.beta != Value::MAX).then_some(sub.beta),
         start: now,
         deadline: now + Duration::from_millis(deadline_ms),
         route,
@@ -999,6 +1551,7 @@ fn handle_client_line(
     };
     match req.op {
         Op::Eval => route_eval(inner, writer, window, req),
+        Op::Subeval => route_subeval(inner, writer, window, req),
         Op::Ping => write_line(
             writer,
             &ok_line(
@@ -1440,5 +1993,88 @@ mod tests {
         assert_eq!(snap.ok, 2);
         assert_eq!(snap.requests, 2);
         assert_eq!(snap.forwarded_errors, 0);
+    }
+
+    #[test]
+    fn split_eval_matches_sequential_and_reports_provenance() {
+        let router = Router::start(RouterConfig {
+            spawn: 3,
+            split: SplitConfig {
+                cost_threshold: Some(16),
+                ..SplitConfig::default()
+            },
+            ..RouterConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(router.local_addr()).unwrap();
+        let spec = "minmax:d=3,n=7,seed=11";
+        let expected = gt_tree::split::sub_evaluate(&SubtreeSpec::whole(
+            gt_tree::GenSpec::parse(spec).unwrap(),
+        ))
+        .unwrap()
+        .value;
+
+        let reply = client.eval(spec, "cascade:w=1", None).unwrap();
+        assert!(reply.ok, "{reply:?}");
+        assert_eq!(reply.value(), Some(expected));
+        // The answer is router-aggregated, with split provenance
+        // instead of a single answering replica.
+        let split = reply.body.get("split").expect("split provenance");
+        assert!(split.get("depth").and_then(Json::as_u64).unwrap_or(0) >= 1);
+        assert!(reply.leaves().unwrap_or(0) > 0, "{reply:?}");
+
+        let snap = router.join();
+        assert_eq!(snap.splits_total, 1, "{snap:?}");
+        assert!(snap.subevals_dispatched >= 2, "{snap:?}");
+        assert_eq!(snap.ok, 1);
+    }
+
+    #[test]
+    fn split_cutoffs_skip_undispatched_siblings_across_the_fleet() {
+        let router = Router::start(RouterConfig {
+            spawn: 3,
+            split: SplitConfig {
+                cost_threshold: Some(8),
+                max_depth: 3,
+                ..SplitConfig::default()
+            },
+            ..RouterConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(router.local_addr()).unwrap();
+        // allones NOR values alternate with height parity, so the
+        // deepest eldest level settles to 1 and cuts its parent: the
+        // parent's three siblings are never dispatched.
+        let reply = client.eval("allones:d=4,n=6", "cascade:w=1", None).unwrap();
+        assert!(reply.ok, "{reply:?}");
+        assert_eq!(reply.value(), Some(1));
+        let snap = router.join();
+        assert_eq!(snap.splits_total, 1, "{snap:?}");
+        assert_eq!(snap.subevals_skipped_on_cutoff, 3, "{snap:?}");
+        assert_eq!(snap.subevals_dispatched, 7, "{snap:?}");
+    }
+
+    #[test]
+    fn router_relays_a_client_subeval() {
+        let router = Router::start(RouterConfig {
+            spawn: 2,
+            ..RouterConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(router.local_addr()).unwrap();
+        let sub = SubtreeSpec {
+            spec: gt_tree::GenSpec::parse("minmax:d=2,n=5,seed=3").unwrap(),
+            path: vec![1],
+            alpha: Value::MIN,
+            beta: Value::MAX,
+        };
+        let expected = gt_tree::split::sub_evaluate(&sub).unwrap().value;
+        let reply = client
+            .subeval("minmax:d=2,n=5,seed=3", "1", Value::MIN, Value::MAX, None)
+            .unwrap();
+        assert!(reply.ok, "{reply:?}");
+        assert_eq!(reply.value(), Some(expected));
+        assert!(reply.body.get("replica").and_then(Json::as_str).is_some());
+        router.join();
     }
 }

@@ -82,6 +82,20 @@ impl Client {
         self.send(&Request::eval(spec, algo, deadline_ms))
     }
 
+    /// Evaluate one subtree of `spec` under an α/β window (the
+    /// scatter half of a split plan).  `path` is dot-joined child
+    /// indices; pass `i64::MIN`/`i64::MAX` for an unbounded side.
+    pub fn subeval(
+        &mut self,
+        spec: &str,
+        path: &str,
+        alpha: i64,
+        beta: i64,
+        deadline_ms: Option<u64>,
+    ) -> std::io::Result<Response> {
+        self.send(&Request::subeval(spec, path, alpha, beta, deadline_ms))
+    }
+
     fn control(&mut self, op: Op) -> std::io::Result<Response> {
         self.send(&Request {
             id: None,
@@ -90,6 +104,9 @@ impl Client {
             algo: None,
             deadline_ms: None,
             n: None,
+            path: None,
+            alpha: None,
+            beta: None,
         })
     }
 

@@ -53,6 +53,11 @@ pub struct LoadgenConfig {
     /// nothing is served from the cache or coalesced — the measurement
     /// exercises the cold dispatch path exclusively.
     pub distinct: bool,
+    /// Split-heavy mode: ignore `spec` and send a rotating pool of
+    /// large-tree specs sized to clear a router's split threshold, so
+    /// every request exercises the scatter-gather planner (and repeat
+    /// seeds still exercise the fleet's subeval caches).
+    pub split_heavy: bool,
     /// After the run, fetch the server's `stats` snapshot over a fresh
     /// connection and embed it in the report (batch-size distribution,
     /// cache telemetry, ...).
@@ -71,6 +76,7 @@ impl Default for LoadgenConfig {
             deadline_ms: None,
             pipeline: 1,
             distinct: false,
+            split_heavy: false,
             include_server_stats: false,
         }
     }
@@ -80,6 +86,12 @@ impl Default for LoadgenConfig {
 /// salted with a per-(connection, sequence) seed so every request has
 /// its own canonical key.
 fn spec_for(config: &LoadgenConfig, conn: usize, seq: u64) -> String {
+    if config.split_heavy {
+        // Eight seeds: large enough a fleet sees variety, small
+        // enough that subeval results get cache hits on repeats.
+        let seed = (conn as u64 * 7 + seq) % 8;
+        return format!("minmax:d=3,n=8,seed={seed}");
+    }
     if !config.distinct {
         return config.spec.clone();
     }
@@ -376,6 +388,9 @@ fn pipelined_worker(config: &LoadgenConfig, conn: usize, window: usize) -> Tally
                 algo: Some(config.algo.clone()),
                 deadline_ms: config.deadline_ms,
                 n: None,
+                path: None,
+                alpha: None,
+                beta: None,
             };
             tally.sent += 1;
             match client.write_request(&request) {

@@ -325,6 +325,11 @@ pub struct Metrics {
     pub coalesced_hits: AtomicU64,
     /// Jobs a worker actually evaluated to completion.
     pub evaluated: AtomicU64,
+    /// `subeval` request lines received (hits, misses, and rejects).
+    pub subeval_requests: AtomicU64,
+    /// Subtree evaluations a worker ran to completion (the scatter
+    /// half of split plans landing on this replica).
+    pub subevals: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
     /// End-to-end server-side latency of eval requests.
@@ -385,6 +390,8 @@ impl Metrics {
             cache_misses: r(&self.cache_misses),
             coalesced_hits: r(&self.coalesced_hits),
             evaluated: r(&self.evaluated),
+            subeval_requests: r(&self.subeval_requests),
+            subevals: r(&self.subevals),
             connections: r(&self.connections),
             latency_count: self.latency.count.load(Ordering::Relaxed),
             latency_sum_us: self.latency.sum_us.load(Ordering::Relaxed),
@@ -429,6 +436,10 @@ pub struct MetricsSnapshot {
     pub coalesced_hits: u64,
     /// See [`Metrics::evaluated`].
     pub evaluated: u64,
+    /// See [`Metrics::subeval_requests`].
+    pub subeval_requests: u64,
+    /// See [`Metrics::subevals`].
+    pub subevals: u64,
     /// See [`Metrics::connections`].
     pub connections: u64,
     /// Observations recorded in the latency histogram.
@@ -488,6 +499,8 @@ impl MetricsSnapshot {
             ("cache_misses", Json::from(self.cache_misses)),
             ("coalesced_hits", Json::from(self.coalesced_hits)),
             ("evaluated", Json::from(self.evaluated)),
+            ("subeval_requests", Json::from(self.subeval_requests)),
+            ("subevals", Json::from(self.subevals)),
             ("connections", Json::from(self.connections)),
             ("latency_count", Json::from(self.latency_count)),
             (
@@ -557,6 +570,13 @@ impl MetricsSnapshot {
         let _ = writeln!(out, "cache_misses: {}", self.cache_misses);
         let _ = writeln!(out, "coalesced   : {}", self.coalesced_hits);
         let _ = writeln!(out, "evaluated   : {}", self.evaluated);
+        if self.subeval_requests > 0 {
+            let _ = writeln!(
+                out,
+                "subevals    : {} ({} requests)",
+                self.subevals, self.subeval_requests
+            );
+        }
         let _ = writeln!(out, "connections : {}", self.connections);
         if self.batches > 0 {
             let _ = writeln!(

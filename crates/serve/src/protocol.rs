@@ -23,6 +23,11 @@ pub const PROTOCOL_VERSION: u64 = 1;
 pub enum Op {
     /// Evaluate a workload (`spec` + `algo`).
     Eval,
+    /// Evaluate one subtree of a workload under an α/β window
+    /// (`spec` + `path` + `alpha`/`beta`) — the scatter half of the
+    /// router's split plans.  The replica regenerates the subtree
+    /// locally from the spec; no tree data crosses the wire.
+    Subeval,
     /// Return the metrics snapshot.
     Stats,
     /// Liveness/version probe.
@@ -45,7 +50,8 @@ pub struct Request {
     pub id: Option<String>,
     /// Operation; defaults to `eval` when the field is absent.
     pub op: Op,
-    /// Workload spec (`kind:key=val,...`), required for `eval`.
+    /// Workload spec (`kind:key=val,...`), required for `eval` and
+    /// `subeval`.
     pub spec: Option<String>,
     /// Algorithm selector (`name` or `name:key=val,...`).
     pub algo: Option<String>,
@@ -53,6 +59,13 @@ pub struct Request {
     pub deadline_ms: Option<u64>,
     /// For `trace`: cap on the number of returned traces.
     pub n: Option<u64>,
+    /// For `subeval`: dot-joined path from the whole-tree root to the
+    /// subtree root (`"0.2.1"`; empty or absent means the whole tree).
+    pub path: Option<String>,
+    /// For `subeval`: lower search bound; absent means unbounded.
+    pub alpha: Option<i64>,
+    /// For `subeval`: upper search bound; absent means unbounded.
+    pub beta: Option<i64>,
 }
 
 impl Request {
@@ -64,6 +77,7 @@ impl Request {
         }
         let op = match j.get("op").and_then(Json::as_str).unwrap_or("eval") {
             "eval" => Op::Eval,
+            "subeval" => Op::Subeval,
             "stats" => Op::Stats,
             "ping" => Op::Ping,
             "shutdown" => Op::Shutdown,
@@ -92,8 +106,21 @@ impl Request {
                     .ok_or_else(|| "n must be a non-negative integer".to_string())?,
             ),
         };
-        if op == Op::Eval && spec.is_none() {
-            return Err("eval request needs a \"spec\" field".into());
+        let path = j.get("path").and_then(Json::as_str).map(str::to_string);
+        let bound = |key: &str| -> Result<Option<i64>, String> {
+            match j.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => v
+                    .as_int()
+                    .and_then(|i| i64::try_from(i).ok())
+                    .map(Some)
+                    .ok_or_else(|| format!("{key} must be an integer")),
+            }
+        };
+        let alpha = bound("alpha")?;
+        let beta = bound("beta")?;
+        if matches!(op, Op::Eval | Op::Subeval) && spec.is_none() {
+            return Err(format!("{op:?} request needs a \"spec\" field").to_lowercase());
         }
         Ok(Request {
             id,
@@ -102,6 +129,9 @@ impl Request {
             algo,
             deadline_ms,
             n,
+            path,
+            alpha,
+            beta,
         })
     }
 
@@ -114,6 +144,36 @@ impl Request {
             algo: Some(algo.to_string()),
             deadline_ms,
             n: None,
+            path: None,
+            alpha: None,
+            beta: None,
+        }
+    }
+
+    /// Build a `subeval` request (client side).  `path` is dot-joined
+    /// child indices from the whole-tree root; `i64::MIN`/`i64::MAX`
+    /// bounds are elided from the wire.
+    pub fn subeval(
+        spec: &str,
+        path: &str,
+        alpha: i64,
+        beta: i64,
+        deadline_ms: Option<u64>,
+    ) -> Request {
+        Request {
+            id: None,
+            op: Op::Subeval,
+            spec: Some(spec.to_string()),
+            algo: None,
+            deadline_ms,
+            n: None,
+            path: if path.is_empty() {
+                None
+            } else {
+                Some(path.to_string())
+            },
+            alpha: (alpha != i64::MIN).then_some(alpha),
+            beta: (beta != i64::MAX).then_some(beta),
         }
     }
 
@@ -122,6 +182,7 @@ impl Request {
         let mut fields: Vec<(String, Json)> = Vec::new();
         let op = match self.op {
             Op::Eval => "eval",
+            Op::Subeval => "subeval",
             Op::Stats => "stats",
             Op::Ping => "ping",
             Op::Shutdown => "shutdown",
@@ -143,6 +204,15 @@ impl Request {
         }
         if let Some(n) = self.n {
             fields.push(("n".into(), Json::from(n)));
+        }
+        if let Some(path) = &self.path {
+            fields.push(("path".into(), Json::from(path.clone())));
+        }
+        if let Some(alpha) = self.alpha {
+            fields.push(("alpha".into(), Json::from(alpha)));
+        }
+        if let Some(beta) = self.beta {
+            fields.push(("beta".into(), Json::from(beta)));
         }
         Json::Object(fields).render()
     }
@@ -275,6 +345,15 @@ impl Response {
             .and_then(|v| i64::try_from(v).ok())
     }
 
+    /// Leaves evaluated by the run, from the reply's `work` object —
+    /// the per-sub-eval work figure split plans sum.
+    pub fn leaves(&self) -> Option<u64> {
+        self.body
+            .get("work")
+            .and_then(|w| w.get("leaves"))
+            .and_then(Json::as_u64)
+    }
+
     /// Whether the reply was served from the result cache.
     pub fn cached(&self) -> bool {
         self.body
@@ -370,6 +449,36 @@ mod tests {
         assert!(Request::parse(r#"{"op":"eval"}"#).is_err(), "spec required");
         assert!(Request::parse(r#"{"spec":"x","deadline_ms":-5}"#).is_err());
         assert!(Request::parse(r#"{"spec":"x","deadline_ms":"soon"}"#).is_err());
+        assert!(
+            Request::parse(r#"{"op":"subeval"}"#).is_err(),
+            "spec required"
+        );
+        assert!(Request::parse(r#"{"op":"subeval","spec":"x","alpha":"low"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"subeval","spec":"x","beta":1.5}"#).is_err());
+    }
+
+    #[test]
+    fn subeval_request_round_trips() {
+        let r = Request::parse(
+            r#"{"op":"subeval","id":"s1","spec":"minmax:d=3,n=6","path":"2.0","alpha":-5,"beta":40,"deadline_ms":80}"#,
+        )
+        .unwrap();
+        assert_eq!(r.op, Op::Subeval);
+        assert_eq!(r.path.as_deref(), Some("2.0"));
+        assert_eq!((r.alpha, r.beta), (Some(-5), Some(40)));
+        let back = Request::parse(&r.render()).unwrap();
+        assert_eq!(back.path, r.path);
+        assert_eq!((back.alpha, back.beta), (r.alpha, r.beta));
+        assert_eq!(back.deadline_ms, Some(80));
+
+        // The constructor elides unbounded window halves and the empty
+        // (whole-tree) path from the wire.
+        let r = Request::subeval("worst:d=2,n=8", "", i64::MIN, i64::MAX, None);
+        let text = r.render();
+        assert!(!text.contains("alpha") && !text.contains("beta") && !text.contains("path"));
+        let back = Request::parse(&text).unwrap();
+        assert_eq!(back.op, Op::Subeval);
+        assert_eq!((back.path, back.alpha, back.beta), (None, None, None));
     }
 
     #[test]

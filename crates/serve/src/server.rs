@@ -66,10 +66,11 @@ use crate::trace::{
     TraceRecord,
 };
 use crate::workload::{
-    estimated_cost, evaluate, validate, AlgoSpec, EvalError, EvalOutcome, ValidatedRequest,
+    estimated_cost, estimated_subtree_cost, evaluate, evaluate_subtree, validate, validate_subeval,
+    AlgoSpec, EvalError, EvalOutcome,
 };
 use gt_analysis::Json;
-use gt_tree::GenSpec;
+use gt_tree::{GenSpec, SubtreeSpec};
 use std::collections::BinaryHeap;
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -148,11 +149,33 @@ impl Default for Config {
     }
 }
 
+/// What an executor worker runs for one queued job.
+enum JobWork {
+    /// A whole-tree (or game) evaluation.
+    Eval { spec: GenSpec, algo: AlgoSpec },
+    /// One subtree under an α/β window.
+    Subeval { sub: SubtreeSpec },
+}
+
+impl JobWork {
+    /// The per-algorithm metrics dimension; sub-evaluations share one
+    /// `subeval` bucket.
+    fn algo_label(&self) -> &str {
+        match self {
+            JobWork::Eval { algo, .. } => &algo.name,
+            JobWork::Subeval { .. } => SUBEVAL_ALGO,
+        }
+    }
+}
+
+/// The stage-metrics label (and executor queue name) for `subeval`
+/// jobs.
+const SUBEVAL_ALGO: &str = "subeval";
+
 /// One queued evaluation.  The flight carries the cancellation flag
 /// and every waiter; the worker publishes its result there.
 struct Job {
-    spec: GenSpec,
-    algo: AlgoSpec,
+    work: JobWork,
     cache_key: String,
     flight: Arc<Flight<Pending>>,
 }
@@ -683,13 +706,16 @@ fn run_batch(
         }
         let stamps = &job.flight.stamps;
         stamps.stamp_engine_start();
-        let evaluated = evaluate(&job.spec, &job.algo, &job.flight.cancel);
+        let evaluated = match &job.work {
+            JobWork::Eval { spec, algo } => evaluate(spec, algo, &job.flight.cancel),
+            JobWork::Subeval { sub } => evaluate_subtree(sub, &job.flight.cancel),
+        };
         stamps.stamp_engine_end();
 
         // Fold this run into the per-algorithm stage histograms and
         // work aggregates (dispatch is always stamped here, so the
         // unwraps below cannot misfire — but stay defensive).
-        let stages = metrics.algo_stages(&job.algo.name);
+        let stages = metrics.algo_stages(job.work.algo_label());
         if let Some(d) = stamps.dispatch_us() {
             stages.queue_wait.record(d);
             if let Some(es) = stamps.engine_start_us() {
@@ -703,6 +729,9 @@ fn run_batch(
         let result = match evaluated {
             Ok(outcome) => {
                 metrics.evaluated.fetch_add(1, Ordering::Relaxed);
+                if matches!(job.work, JobWork::Subeval { .. }) {
+                    metrics.subevals.fetch_add(1, Ordering::Relaxed);
+                }
                 stages.record_work(&outcome);
                 // Insert before publishing: once any waiter observes
                 // the result, the cache must already have it.
@@ -801,7 +830,10 @@ enum Handled {
     /// or its deadline fires.
     Dispatch {
         id: Option<String>,
-        validated: ValidatedRequest,
+        work: JobWork,
+        cache_key: String,
+        /// Estimated leaves, for the executor's small/large split.
+        cost: u64,
         deadline: Instant,
         start: Instant,
         parse_us: u64,
@@ -838,13 +870,16 @@ fn connection_loop(stream: TcpStream, shared: &Shared) {
             }
             Handled::Dispatch {
                 id,
-                validated,
+                work,
+                cache_key,
+                cost,
                 deadline,
                 start,
                 parse_us,
                 probe_us,
             } => dispatch_eval(
-                shared, &writer, &window, id, validated, deadline, start, parse_us, probe_us,
+                shared, &writer, &window, id, work, cache_key, cost, deadline, start, parse_us,
+                probe_us,
             ),
         }
     }
@@ -919,6 +954,7 @@ fn process_line(line: &str, shared: &Shared, recv: Instant) -> Handled {
             ],
         )),
         Op::Eval => process_eval(&request, shared, recv, parse_us),
+        Op::Subeval => process_subeval(&request, shared, recv, parse_us),
     }
 }
 
@@ -969,9 +1005,78 @@ fn process_eval(request: &Request, shared: &Shared, recv: Instant, parse_us: u64
     let deadline_ms = request.deadline_ms.unwrap_or(shared.default_deadline_ms);
     // Clamp to a day so absurd values cannot overflow Instant math.
     let deadline = start + Duration::from_millis(deadline_ms.min(86_400_000));
+    let cost = estimated_cost(&validated.spec, &validated.algo);
     Handled::Dispatch {
         id: id.clone(),
-        validated,
+        work: JobWork::Eval {
+            spec: validated.spec,
+            algo: validated.algo,
+        },
+        cache_key: validated.cache_key,
+        cost,
+        deadline,
+        start,
+        parse_us,
+        probe_us,
+    }
+}
+
+/// Handle one `subeval` line: validate the subtree triple, probe the
+/// window-scoped cache, dispatch a miss through the same flight
+/// table/executor path as whole evals.
+fn process_subeval(request: &Request, shared: &Shared, recv: Instant, parse_us: u64) -> Handled {
+    let m = &shared.metrics;
+    let id = &request.id;
+    m.subeval_requests.fetch_add(1, Ordering::Relaxed);
+    if shared.shutdown.load(Ordering::SeqCst) {
+        m.draining.fetch_add(1, Ordering::Relaxed);
+        return Handled::Inline(error_line(id, ErrorCode::Draining, "server is draining"));
+    }
+    let spec_text = request.spec.as_deref().unwrap_or_default();
+    let path_text = request.path.as_deref().unwrap_or_default();
+    let validated = match validate_subeval(spec_text, path_text, request.alpha, request.beta) {
+        Ok(v) => v,
+        Err(e) => {
+            m.bad_request.fetch_add(1, Ordering::Relaxed);
+            return Handled::Inline(error_line(id, ErrorCode::BadRequest, &e));
+        }
+    };
+    let start = recv;
+
+    if let Some(hit) = shared.cache.get(&validated.cache_key) {
+        m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let probe_us = recv.elapsed().as_micros() as u64;
+        let reply = ok_eval_line(id, &hit, true, false, start, m);
+        shared.recorder.record(TraceRecord {
+            seq: 0,
+            id: id.clone(),
+            key: validated.cache_key,
+            algo: SUBEVAL_ALGO.to_string(),
+            status: "ok".to_string(),
+            cached: true,
+            coalesced: false,
+            latency_us: recv.elapsed().as_micros() as u64,
+            parse_us,
+            probe_us,
+            enqueue_us: None,
+            dispatch_us: None,
+            engine_start_us: None,
+            engine_end_us: None,
+            work: Some(hit),
+        });
+        return Handled::Inline(reply);
+    }
+    m.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let probe_us = recv.elapsed().as_micros() as u64;
+
+    let deadline_ms = request.deadline_ms.unwrap_or(shared.default_deadline_ms);
+    let deadline = start + Duration::from_millis(deadline_ms.min(86_400_000));
+    let cost = estimated_subtree_cost(&validated.sub);
+    Handled::Dispatch {
+        id: id.clone(),
+        work: JobWork::Subeval { sub: validated.sub },
+        cache_key: validated.cache_key,
+        cost,
         deadline,
         start,
         parse_us,
@@ -989,7 +1094,9 @@ fn dispatch_eval(
     writer: &Arc<Mutex<TcpStream>>,
     window: &Arc<Window>,
     id: Option<String>,
-    validated: ValidatedRequest,
+    work: JobWork,
+    cache_key: String,
+    cost: u64,
     deadline: Instant,
     start: Instant,
     parse_us: u64,
@@ -998,8 +1105,8 @@ fn dispatch_eval(
     window.acquire(shared.conn_window);
     let m = &shared.metrics;
     let recorder = &shared.recorder;
-    let key = validated.cache_key.clone();
-    let algo_name = validated.algo.name.clone();
+    let key = cache_key;
+    let algo_name = work.algo_label().to_string();
     let (pending, flight) = match shared.flights.join(&key) {
         Joined::Leader(flight) => {
             let pending = Arc::new(Pending {
@@ -1016,13 +1123,9 @@ fn dispatch_eval(
             });
             // Fresh flight: nothing published yet, attach always parks.
             let _ = flight.attach(&pending);
-            let class = CostClass::classify(
-                estimated_cost(&validated.spec, &validated.algo),
-                shared.small_cost_max,
-            );
+            let class = CostClass::classify(cost, shared.small_cost_max);
             let job = Job {
-                spec: validated.spec,
-                algo: validated.algo,
+                work,
                 cache_key: key.clone(),
                 flight: Arc::clone(&flight),
             };
@@ -1283,8 +1386,8 @@ mod tests {
         let shared = test_shared(false);
         let line = r#"{"spec":"worst:d=2,n=4","algo":"seq-solve"}"#;
         match process_line(line, &shared, Instant::now()) {
-            Handled::Dispatch { validated, .. } => {
-                assert_eq!(validated.cache_key, "worst:d=2,n=4|seq-solve");
+            Handled::Dispatch { cache_key, .. } => {
+                assert_eq!(cache_key, "worst:d=2,n=4|seq-solve");
             }
             Handled::Inline(r) => panic!("miss must dispatch, got {r}"),
         }
@@ -1306,6 +1409,83 @@ mod tests {
         }
         assert_eq!(shared.metrics.snapshot().cache_hits, 1);
         assert_eq!(shared.metrics.snapshot().cache_misses, 1);
+    }
+
+    #[test]
+    fn subeval_round_trips_and_cache_is_window_scoped() {
+        use gt_tree::split::sub_evaluate;
+        use gt_tree::Value;
+        let server = Server::start(Config {
+            workers: 2,
+            ..Config::default()
+        })
+        .unwrap();
+        let (stream, mut reader) = connect(server.local_addr());
+
+        // A windowed sub-eval matches the tree-layer reference.
+        let spec = "minmax:d=3,n=5,seed=13";
+        let want = sub_evaluate(&gt_tree::SubtreeSpec {
+            spec: GenSpec::parse(spec).unwrap(),
+            path: vec![1],
+            alpha: -3,
+            beta: 7,
+        })
+        .unwrap();
+        let line = format!(
+            r#"{{"op":"subeval","id":"w","spec":"{spec}","path":"1","alpha":-3,"beta":7}}"#
+        );
+        let r = send(&stream, &mut reader, &line);
+        assert!(r.ok, "subeval failed: {:?}", r.error);
+        assert_eq!(r.value(), Some(want.value));
+        assert_eq!(r.leaves(), Some(want.leaves_evaluated));
+        assert!(!r.cached());
+
+        // The same triple again is a cache hit...
+        let r = send(&stream, &mut reader, &line);
+        assert!(r.ok && r.cached());
+
+        // ...but the full-window probe of the same subtree is NOT
+        // served by the narrow-window entry: it runs fresh and may
+        // return a different (exact, not fail-soft) value.
+        let full = format!(r#"{{"op":"subeval","id":"f","spec":"{spec}","path":"1"}}"#);
+        let r = send(&stream, &mut reader, &full);
+        assert!(r.ok, "{:?}", r.error);
+        assert!(
+            !r.cached(),
+            "narrow-window result must not serve a wider probe"
+        );
+        let exact = sub_evaluate(&gt_tree::SubtreeSpec {
+            spec: GenSpec::parse(spec).unwrap(),
+            path: vec![1],
+            alpha: Value::MIN,
+            beta: Value::MAX,
+        })
+        .unwrap();
+        assert_eq!(r.value(), Some(exact.value));
+
+        // Bad path: 400, connection survives.
+        let r = send(
+            &stream,
+            &mut reader,
+            r#"{"op":"subeval","spec":"minmax:d=3,n=5","path":"9"}"#,
+        );
+        assert!(!r.ok);
+        assert_eq!(r.status, 400);
+
+        let r = send(&stream, &mut reader, r#"{"op":"stats"}"#);
+        let stats = r.body.get("stats").unwrap();
+        assert_eq!(
+            stats.get("subeval_requests").and_then(Json::as_u64),
+            Some(4)
+        );
+        assert_eq!(stats.get("subevals").and_then(Json::as_u64), Some(2));
+        // Sub-evals land in their own stage bucket.
+        assert!(stats.get("stages").and_then(|s| s.get("subeval")).is_some());
+
+        server.request_shutdown();
+        let snapshot = server.join();
+        assert_eq!(snapshot.subevals, 2);
+        assert_eq!(snapshot.subeval_requests, 4);
     }
 
     #[test]

@@ -503,6 +503,18 @@ pub fn render_prometheus(
     );
     counter(
         &mut out,
+        "gtserve_subeval_requests_total",
+        "subeval request lines received.",
+        m.subeval_requests,
+    );
+    counter(
+        &mut out,
+        "gtserve_subevals_total",
+        "Subtree evaluations completed.",
+        m.subevals,
+    );
+    counter(
+        &mut out,
         "gtserve_connections_total",
         "Connections accepted.",
         m.connections,

@@ -12,8 +12,11 @@
 use gt_core::engine::{Cancelled, CascadeEngine, RoundEngine, TtSearch, YbwEngine};
 use gt_games::{Connect4, Game, Nim, TicTacToe};
 use gt_sim::{parallel_alphabeta_cancellable, parallel_solve_cancellable};
-use gt_tree::minimax::{seq_alphabeta_cancellable, seq_solve_cancellable};
-use gt_tree::{GenSpec, SourceVisitor, TreeSource, Value};
+use gt_tree::minimax::{
+    seq_alphabeta_cancellable, seq_alphabeta_windowed_cancellable, seq_solve_cancellable,
+};
+use gt_tree::split::parse_path;
+use gt_tree::{GenSpec, SourceVisitor, SubtreeSpec, SubtreeView, TreeSource, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::AtomicBool;
 
@@ -205,6 +208,136 @@ pub fn validate(spec_text: &str, algo_text: &str) -> Result<ValidatedRequest, St
         algo,
         cache_key,
     })
+}
+
+/// A `subeval` request that passed validation.
+#[derive(Debug, Clone)]
+pub struct ValidatedSubeval {
+    /// The subtree and its window.
+    pub sub: SubtreeSpec,
+    /// Result-cache key.  Embeds the path *and* the window, so a
+    /// result computed under a narrow window can never satisfy a
+    /// wider-window probe — fail-soft values are only bounds outside
+    /// their own window.
+    pub cache_key: String,
+}
+
+/// Check a `subeval` request: the spec parses and builds, the path
+/// stays inside the generated tree, and the window is non-empty.
+/// Absent bounds default to the full window.
+pub fn validate_subeval(
+    spec_text: &str,
+    path_text: &str,
+    alpha: Option<Value>,
+    beta: Option<Value>,
+) -> Result<ValidatedSubeval, String> {
+    let spec = GenSpec::parse(spec_text)?;
+    if GAMES.contains(&spec.kind.as_str()) {
+        return Err(format!(
+            "subeval decomposes generated trees, not games (got {:?})",
+            spec.kind
+        ));
+    }
+    spec.build()?;
+    let path = parse_path(path_text)?;
+    let alpha = alpha.unwrap_or(Value::MIN);
+    let beta = beta.unwrap_or(Value::MAX);
+    if alpha >= beta {
+        return Err(format!("empty window {alpha}..{beta}"));
+    }
+    // Walk the path against the real generator so an out-of-range
+    // segment is a 400, not a silently mis-seeded subtree.
+    struct PathCheck<'a> {
+        path: &'a [u32],
+    }
+    impl SourceVisitor for PathCheck<'_> {
+        type Out = Result<(), String>;
+        fn visit<S: TreeSource + Send + 'static>(self, src: S) -> Self::Out {
+            for depth in 0..self.path.len() {
+                let arity = src.arity(&self.path[..depth]);
+                if arity == 0 {
+                    return Err(format!(
+                        "path {} descends through a leaf at depth {depth}",
+                        gt_tree::split::path_text(self.path)
+                    ));
+                }
+                if self.path[depth] >= arity {
+                    return Err(format!(
+                        "path segment {} at depth {depth} exceeds arity {arity}",
+                        self.path[depth]
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+    spec.build_visit(PathCheck { path: &path })??;
+    let sub = SubtreeSpec {
+        spec,
+        path,
+        alpha,
+        beta,
+    };
+    let cache_key = format!("sub:{}", sub.render());
+    Ok(ValidatedSubeval { sub, cache_key })
+}
+
+/// Run one validated subtree evaluation on the calling thread: NOR
+/// families run the short-circuit solver on the subtree view, minmax
+/// families run windowed fail-soft α-β with the player chosen by the
+/// path's depth parity.
+pub fn evaluate_subtree(sub: &SubtreeSpec, cancel: &AtomicBool) -> Result<EvalOutcome, EvalError> {
+    struct SubRun<'a> {
+        sub: &'a SubtreeSpec,
+        cancel: &'a AtomicBool,
+    }
+    impl SourceVisitor for SubRun<'_> {
+        type Out = Result<EvalOutcome, EvalError>;
+        fn visit<S: TreeSource + Send + 'static>(self, src: S) -> Self::Out {
+            let view = SubtreeView::new(src, self.sub.path.clone());
+            let st = if self.sub.spec.is_minmax() {
+                seq_alphabeta_windowed_cancellable(
+                    &view,
+                    false,
+                    self.sub.alpha,
+                    self.sub.beta,
+                    self.sub.maximizing(),
+                    self.cancel,
+                )?
+            } else {
+                seq_solve_cancellable(&view, false, self.cancel)?
+            };
+            Ok(EvalOutcome {
+                value: st.value,
+                work: st.leaves_evaluated,
+                steps: 0,
+                max_width: 1,
+                pruned: st.cutoffs,
+            })
+        }
+    }
+    sub.spec
+        .build_visit(SubRun { sub, cancel })
+        .map_err(EvalError::Bad)?
+}
+
+/// [`estimated_cost`] for a subtree: the whole tree's uniform leaf
+/// count shrunk by the levels the path has already descended.
+pub fn estimated_subtree_cost(sub: &SubtreeSpec) -> u64 {
+    let d: u64 = sub
+        .spec
+        .params
+        .get("d")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let n: u32 = sub
+        .spec
+        .params
+        .get("n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    d.max(1)
+        .saturating_pow(n.saturating_sub(sub.path.len() as u32))
 }
 
 /// Rough size of the workload in positions/leaves, saturating.  The
@@ -480,6 +613,78 @@ mod tests {
         // Game search scales with depth.
         assert!(cost("ttt:d=9", "tt") > cost("ttt:d=3", "tt"));
         assert!(cost("nim:d=6", "tt") < cost("connect4:d=6", "tt"));
+    }
+
+    #[test]
+    fn subeval_validation_checks_path_and_window() {
+        assert!(validate_subeval("minmax:d=3,n=4,seed=2", "2.0", None, None).is_ok());
+        assert!(validate_subeval("crit:d=2,n=6,seed=1", "", None, None).is_ok());
+        // Segment 3 exceeds arity 3 (indices are 0..3).
+        assert!(validate_subeval("minmax:d=3,n=4", "3", None, None).is_err());
+        // A path longer than the tree descends through a leaf.
+        assert!(validate_subeval("worst:d=2,n=2", "0.1.0", None, None).is_err());
+        assert!(validate_subeval("minmax:d=3,n=4", "1", Some(5), Some(5)).is_err());
+        assert!(
+            validate_subeval("ttt:d=9", "", None, None).is_err(),
+            "games don't split"
+        );
+        assert!(validate_subeval("minmax:d=3,n=4", "x.y", None, None).is_err());
+    }
+
+    #[test]
+    fn subeval_cache_keys_are_window_and_path_scoped() {
+        let key = |path: &str, a: Option<i64>, b: Option<i64>| {
+            validate_subeval("minmax:d=3,n=4,seed=2", path, a, b)
+                .unwrap()
+                .cache_key
+        };
+        // A result computed under a narrow window must never satisfy a
+        // wider-window probe: every distinct (path, α, β) triple gets
+        // its own exact-match key.
+        assert_ne!(key("1", Some(0), Some(5)), key("1", None, None));
+        assert_ne!(key("1", Some(0), Some(5)), key("1", Some(0), Some(6)));
+        assert_ne!(key("1", None, None), key("2", None, None));
+        // Same triple, same key (and the full window is canonical
+        // whether spelled out or defaulted).
+        assert_eq!(
+            key("1", Some(i64::MIN), Some(i64::MAX)),
+            key("1", None, None)
+        );
+    }
+
+    #[test]
+    fn subeval_matches_the_tree_layer_reference() {
+        use gt_tree::split::sub_evaluate;
+        for (spec, path, a, b) in [
+            ("minmax:d=3,n=4,seed=7", "2", Some(-4), Some(9)),
+            ("minmax-best:d=2,n=6,value=3", "0.1", None, None),
+            ("crit:d=2,n=7,seed=5", "1", None, None),
+            ("nor:d=3,n=4,seed=9", "", None, None),
+        ] {
+            let v = validate_subeval(spec, path, a, b).unwrap();
+            let got = evaluate_subtree(&v.sub, &never()).unwrap();
+            let want = sub_evaluate(&v.sub).unwrap();
+            assert_eq!(got.value, want.value, "{spec}#{path}");
+            assert_eq!(got.work, want.leaves_evaluated, "{spec}#{path}");
+        }
+    }
+
+    #[test]
+    fn subeval_cost_shrinks_with_depth() {
+        let cost = |spec: &str, path: &str| {
+            estimated_subtree_cost(&validate_subeval(spec, path, None, None).unwrap().sub)
+        };
+        assert_eq!(cost("worst:d=2,n=6", ""), 64);
+        assert_eq!(cost("worst:d=2,n=6", "0"), 32);
+        assert_eq!(cost("worst:d=2,n=6", "0.1.0"), 8);
+        assert_eq!(cost("minmax:d=3,n=4", "2.1"), 9);
+    }
+
+    #[test]
+    fn subeval_cancellation_surfaces() {
+        let flag = AtomicBool::new(true);
+        let v = validate_subeval("minmax:d=2,n=14,seed=1", "0", None, None).unwrap();
+        assert_eq!(evaluate_subtree(&v.sub, &flag), Err(EvalError::Cancelled));
     }
 
     #[test]

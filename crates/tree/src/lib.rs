@@ -39,6 +39,7 @@ pub mod scout;
 pub mod skeleton;
 pub mod source;
 pub mod spec;
+pub mod split;
 pub mod sss;
 pub mod stats;
 pub mod text;
@@ -47,6 +48,7 @@ pub use arena::{LazyTree, NodeId, NONE};
 pub use explicit::ExplicitTree;
 pub use source::{Cancelled, NodeKind, TreeSource, Value};
 pub use spec::{GenSpec, SourceVisitor};
+pub use split::{Aggregator, NodeMode, SubtreeSpec, SubtreeView};
 
 /// `B(d, n)`: the class of uniform `d`-ary NOR (AND/OR) trees of height `n`.
 ///

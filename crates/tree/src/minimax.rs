@@ -191,6 +191,40 @@ pub fn seq_alphabeta_cancellable<S: TreeSource>(
     record_leaves: bool,
     cancel: &AtomicBool,
 ) -> Result<SeqStats, Cancelled> {
+    seq_alphabeta_windowed_cancellable(source, record_leaves, Value::MIN, Value::MAX, true, cancel)
+}
+
+/// α-β from an arbitrary starting window and player: the entry point
+/// for *partial* (subtree) evaluation, where the caller has already
+/// established bounds at an ancestor and knows which player moves at
+/// the subtree root (`maximizing`).  With `(Value::MIN, Value::MAX,
+/// true)` this is exactly [`seq_alphabeta`].
+///
+/// The search is fail-soft: the returned value may fall outside
+/// `(alpha, beta)`, in which case it is a bound on the true value (an
+/// upper bound when `value <= alpha`, a lower bound when
+/// `value >= beta`) rather than the value itself.
+pub fn seq_alphabeta_windowed<S: TreeSource>(
+    source: &S,
+    record_leaves: bool,
+    alpha: Value,
+    beta: Value,
+    maximizing: bool,
+) -> SeqStats {
+    let never = AtomicBool::new(false);
+    seq_alphabeta_windowed_cancellable(source, record_leaves, alpha, beta, maximizing, &never)
+        .expect("never cancelled")
+}
+
+/// [`seq_alphabeta_windowed`] with cooperative cancellation.
+pub fn seq_alphabeta_windowed_cancellable<S: TreeSource>(
+    source: &S,
+    record_leaves: bool,
+    alpha: Value,
+    beta: Value,
+    maximizing: bool,
+    cancel: &AtomicBool,
+) -> Result<SeqStats, Cancelled> {
     struct Ctx<'a, S> {
         s: &'a S,
         cancel: &'a AtomicBool,
@@ -248,7 +282,7 @@ pub fn seq_alphabeta_cancellable<S: TreeSource>(
         cutoffs: 0,
         record: record_leaves.then(Vec::new),
     };
-    let value = go(&mut c, &mut Vec::new(), Value::MIN, Value::MAX, true)?;
+    let value = go(&mut c, &mut Vec::new(), alpha, beta, maximizing)?;
     Ok(SeqStats {
         value,
         leaves_evaluated: c.leaves,
@@ -374,6 +408,37 @@ mod tests {
             let st = seq_alphabeta(&s, false);
             assert_eq!(st.leaves_evaluated, (d as u64).pow(n), "d={d} n={n}");
             assert_eq!(st.value, minimax_value(&s));
+        }
+    }
+
+    #[test]
+    fn windowed_alphabeta_full_window_is_plain_alphabeta() {
+        let s = UniformSource::minmax_iid(3, 4, 0, 100, 13);
+        let plain = seq_alphabeta(&s, true);
+        let windowed = seq_alphabeta_windowed(&s, true, Value::MIN, Value::MAX, true);
+        assert_eq!(plain, windowed);
+    }
+
+    #[test]
+    fn windowed_alphabeta_narrow_window_prunes_more_but_bounds_truth() {
+        for seed in 0..20 {
+            let s = UniformSource::minmax_iid(3, 4, 0, 100, seed);
+            let truth = minimax_value(&s);
+            let full = seq_alphabeta(&s, false);
+            let (alpha, beta) = (truth - 5, truth + 5);
+            let narrow = seq_alphabeta_windowed(&s, false, alpha, beta, true);
+            // The truth lies strictly inside the window, so the windowed
+            // search returns it exactly — with no more work than the
+            // full-window search.
+            assert_eq!(narrow.value, truth, "seed {seed}");
+            assert!(narrow.leaves_evaluated <= full.leaves_evaluated);
+            // A window strictly above the truth fails low: the result is
+            // an upper bound on the truth, at or below α.
+            let lo = seq_alphabeta_windowed(&s, false, truth + 1, truth + 10, true);
+            assert!(lo.value >= truth && lo.value <= truth + 1, "seed {seed}");
+            // A window strictly below fails high: a lower bound, ≥ β.
+            let hi = seq_alphabeta_windowed(&s, false, truth - 10, truth - 1, true);
+            assert!(hi.value <= truth && hi.value >= truth - 1, "seed {seed}");
         }
     }
 

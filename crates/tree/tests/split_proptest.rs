@@ -1,0 +1,124 @@
+//! Property tests for subtree decomposition ([`gt_tree::split`]):
+//! splitting a random generated tree at a random depth, sub-evaluating
+//! each piece independently, and folding the pieces back through the
+//! [`Aggregator`] must reproduce the whole-tree sequential value — for
+//! every generator family, and under arbitrary non-trivial initial
+//! windows (where equality is against the whole tree evaluated with
+//! the *same* fail-soft window).
+//!
+//! This is the correctness core the distributed split planner leans
+//! on: children are handed the aggregator's *current* window at their
+//! turn, so narrowing and cutoffs happen here exactly as they do when
+//! the pieces are scattered across a fleet.
+
+use gt_tree::minimax::{seq_alphabeta, seq_solve};
+use gt_tree::split::{node_mode, split_children, sub_evaluate, Aggregator, SubtreeSpec};
+use gt_tree::{GenSpec, TreeSource, Value};
+use proptest::prelude::*;
+
+const KINDS: [&str; 8] = [
+    "nor",
+    "crit",
+    "worst",
+    "allones",
+    "minmax",
+    "minmax-best",
+    "minmax-worst",
+    "minmax-corr",
+];
+
+/// The spec text for one generated case.  Minmax leaf values are kept
+/// in a narrow band so random windows actually bite (cut and fail
+/// soft) instead of always containing every value.
+fn spec_text(kind: &str, d: u32, n: u32, seed: u64) -> String {
+    if kind == "minmax" {
+        format!("{kind}:d={d},n={n},seed={seed},lo=-16,hi=16")
+    } else {
+        format!("{kind}:d={d},n={n},seed={seed}")
+    }
+}
+
+/// Evaluate `sub` by splitting it `levels` more times, folding child
+/// values through the aggregator.  Each child inherits the window the
+/// aggregator holds *at the child's turn*; once the aggregator settles
+/// (a cutoff), the remaining children are never evaluated at all —
+/// the sequential shadow of the planner's skip rule.
+fn split_eval<S: TreeSource>(source: &S, sub: &SubtreeSpec, levels: usize) -> Value {
+    let children = split_children(source, sub);
+    if levels == 0 || children.len() < 2 {
+        return sub_evaluate(sub).unwrap().value;
+    }
+    let mode = node_mode(&sub.spec, sub.path.len());
+    let mut agg = Aggregator::new(mode, children.len() as u32, sub.alpha, sub.beta);
+    for child in children {
+        if agg.settled() {
+            break;
+        }
+        let (alpha, beta) = agg.window();
+        let narrowed = SubtreeSpec {
+            alpha,
+            beta,
+            ..child
+        };
+        agg.absorb(split_eval(source, &narrowed, levels - 1));
+    }
+    agg.value()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full-window decomposition: for every family, splitting at any
+    /// depth and aggregating equals the whole-tree sequential solve
+    /// (`seq_solve` for NOR families, `seq_alphabeta` for minmax).
+    #[test]
+    fn split_and_aggregate_matches_whole_tree_for_every_family(
+        kind_ix in 0usize..8,
+        d in 2u32..4,
+        n in 2u32..6,
+        seed in 0u64..1000,
+        levels in 1usize..4,
+    ) {
+        let kind = KINDS[kind_ix];
+        let spec = GenSpec::parse(&spec_text(kind, d, n, seed)).unwrap();
+        let source = spec.build().unwrap();
+        let expected = if spec.is_minmax() {
+            seq_alphabeta(&source, false).value
+        } else {
+            seq_solve(&source, false).value
+        };
+        let got = split_eval(&source, &SubtreeSpec::whole(spec), levels);
+        prop_assert_eq!(got, expected, "kind={} d={} n={} seed={}", kind, d, n, seed);
+    }
+
+    /// Windowed decomposition: with a non-trivial initial (α, β), the
+    /// aggregated value equals the whole tree evaluated under the same
+    /// fail-soft window — sub-results computed under handed-down
+    /// windows compose exactly, they do not merely bound.
+    #[test]
+    fn split_respects_a_non_trivial_initial_window(
+        kind_ix in 0usize..8,
+        d in 2u32..4,
+        n in 2u32..6,
+        seed in 0u64..1000,
+        levels in 1usize..4,
+        lo in -24i64..24,
+        width in 1i64..48,
+    ) {
+        let kind = KINDS[kind_ix];
+        let spec = GenSpec::parse(&spec_text(kind, d, n, seed)).unwrap();
+        let source = spec.build().unwrap();
+        let root = SubtreeSpec {
+            alpha: lo,
+            beta: lo + width,
+            ..SubtreeSpec::whole(spec)
+        };
+        let expected = sub_evaluate(&root).unwrap().value;
+        let got = split_eval(&source, &root, levels);
+        prop_assert_eq!(
+            got, expected,
+            "kind={} d={} n={} seed={} window={}..{}",
+            kind, d, n, seed, lo, lo + width
+        );
+    }
+}

@@ -37,6 +37,20 @@
 #                     stats must show retries > 0 — recorded alongside
 #                     the router's own snapshot.
 #
+# Two split scenarios follow (scatter-gather, docs/ROUTING.md):
+#
+#   fleet_split       3 replicas behind a router with --split-cost:
+#                     every loadgen --split-heavy eval is decomposed
+#                     along its eldest chain and scattered as subevals.
+#                     The router's split counters (splits_total,
+#                     subevals_dispatched, ...) are recorded, and
+#                     splits_total > 0 is asserted.
+#   split_window_gain one pruning-friendly (best-ordered) eval through
+#                     a windowed split fleet vs a fresh --split-naive
+#                     fleet: the windowed plan's narrowed α/β windows
+#                     must do strictly fewer fleet leaves than the
+#                     naive full-window fan-out.
+#
 # Environment overrides: GTREE_BIN, BENCH_OUT, BENCH_DURATION (s),
 # BENCH_PORT.
 set -euo pipefail
@@ -217,7 +231,89 @@ done
 [ -z "$fail" ] || exit 1
 echo "bench_serve: failover clean ($retries router retries, zero client errors)" >&2
 
-printf '{"duration_s":%s,"cached_pipeline1":%s,"cached_pipeline8":%s,"coalesced":%s,"cold":%s,"cold_storm":%s,"fleet_direct":%s,"fleet_router":%s,"router_overhead_p50_pct":%s,"fleet_failover":%s,"fleet_failover_router_stats":%s}\n' \
+# --- Split scenarios -------------------------------------------------
+# A router with --split-cost decomposes each large eval along its
+# eldest chain and scatters the sibling subtrees across the fleet as
+# subevals under narrowing α/β windows (docs/ROUTING.md).
+
+start_split_fleet() { # extra `gtree route` flags as args
+  REPLICA_PIDS=""
+  REPLICA_ADDRS=""
+  for i in 6 7 8; do
+    rport=$((PORT + i))
+    "$BIN" serve --addr "127.0.0.1:$rport" --eval-workers 2 --queue-depth 1024 \
+      >/dev/null 2>&1 &
+    REPLICA_PIDS="$REPLICA_PIDS $!"
+    REPLICA_ADDRS="$REPLICA_ADDRS,127.0.0.1:$rport"
+  done
+  REPLICA_ADDRS="${REPLICA_ADDRS#,}"
+  "$BIN" route --addr "$ROUTE_ADDR" --replicas "$REPLICA_ADDRS" \
+    --split-cost 1000 "$@" >/dev/null 2>&1 &
+  ROUTER_PID=$!
+  FLEET_PIDS="$ROUTER_PID $REPLICA_PIDS"
+  wait_up "$ROUTE_PORT"
+}
+
+router_stats() { # prints the router's raw stats reply
+  exec 9<>"/dev/tcp/127.0.0.1/$ROUTE_PORT"
+  printf '{"op":"stats"}\n' >&9
+  IFS= read -r stats_reply <&9
+  exec 9<&- 9>&-
+  printf '%s' "$stats_reply"
+}
+
+eval_leaves() { # spec -> the reply's work.leaves for one routed eval
+  exec 9<>"/dev/tcp/127.0.0.1/$ROUTE_PORT"
+  printf '{"op":"eval","spec":"%s","algo":"cascade:w=1","deadline_ms":30000}\n' "$1" >&9
+  IFS= read -r eval_reply <&9
+  exec 9<&- 9>&-
+  case "$eval_reply" in
+    *'"ok":true'*) : ;;
+    *) echo "bench_serve: split eval failed: $eval_reply" >&2; exit 1 ;;
+  esac
+  printf '%s' "$eval_reply" | sed -n 's/.*"leaves":\([0-9][0-9]*\).*/\1/p'
+}
+
+start_split_fleet
+fleet_split=$("$BIN" loadgen --addr "$ROUTE_ADDR" --rps 0 --duration "$DUR" --json \
+  --conns 4 --pipeline 2 --split-heavy)
+summary fleet_split "$fleet_split"
+
+stats_reply=$(router_stats)
+split_stats=$(printf '%s' "$stats_reply" | sed -n 's/.*"stats":\({.*}\)}[[:space:]]*$/\1/p')
+[ -n "$split_stats" ] || split_stats="null"
+splits=$(printf '%s' "$stats_reply" | sed -n 's/.*"splits_total":\([0-9][0-9]*\).*/\1/p')
+[ "${splits:-0}" -gt 0 ] || {
+  echo "bench_serve: split-heavy run planned no splits: $stats_reply" >&2
+  exit 1
+}
+
+# Windowed vs naive fleet work on a best-ordered tree (maximally α-β
+# friendly).  Same fleet for the windowed probe — the split-heavy load
+# above touched disjoint specs, so its subeval caches cannot feed it.
+WINDOW_SPEC="minmax-best:d=3,n=9,value=9"
+windowed_leaves=$(eval_leaves "$WINDOW_SPEC")
+stop_fleet
+
+# A fresh fleet for the naive baseline so no cache crosses modes.
+start_split_fleet --split-naive
+naive_leaves=$(eval_leaves "$WINDOW_SPEC")
+stop_fleet
+
+[ -n "${windowed_leaves:-}" ] && [ -n "${naive_leaves:-}" ] || {
+  echo "bench_serve: split evals reported no work.leaves" >&2
+  exit 1
+}
+if [ "$windowed_leaves" -ge "$naive_leaves" ]; then
+  echo "bench_serve: windowed split did not beat naive ($windowed_leaves >= $naive_leaves leaves)" >&2
+  exit 1
+fi
+split_window_gain=$(printf '{"spec":"%s","windowed_leaves":%s,"naive_leaves":%s}' \
+  "$WINDOW_SPEC" "$windowed_leaves" "$naive_leaves")
+echo "bench_serve: split ok ($splits splits; windowed $windowed_leaves vs naive $naive_leaves leaves)" >&2
+
+printf '{"duration_s":%s,"cached_pipeline1":%s,"cached_pipeline8":%s,"coalesced":%s,"cold":%s,"cold_storm":%s,"fleet_direct":%s,"fleet_router":%s,"router_overhead_p50_pct":%s,"fleet_failover":%s,"fleet_failover_router_stats":%s,"fleet_split":%s,"fleet_split_router_stats":%s,"split_window_gain":%s}\n' \
   "$DUR" "$cached_p1" "$cached_p8" "$coalesced" "$cold" "$cold_storm" \
-  "$fleet_direct" "$fleet_router" "${overhead:-null}" "$fleet_failover" "$failover_stats" > "$OUT"
+  "$fleet_direct" "$fleet_router" "${overhead:-null}" "$fleet_failover" "$failover_stats" \
+  "$fleet_split" "$split_stats" "$split_window_gain" > "$OUT"
 echo "bench_serve: wrote $OUT" >&2

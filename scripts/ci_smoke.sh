@@ -17,6 +17,15 @@
 # distinct-key burst with zero client-visible errors, and its stats
 # must show retries > 0 — the failover actually fired.
 #
+# A split smoke closes out: a 1-router/3-replica fleet with
+# scatter-gather enabled (--split-cost).  A large eval must fan its
+# subevals across >= 2 replicas (split counters + per-replica sent),
+# a kill -9 mid split-heavy load must stay invisible to clients with
+# subevals_retried > 0, values must keep matching the local engine
+# after the kill, and a naive-mode NOR eval must discard in-flight
+# losers after its cutoff (subevals_discarded_on_cutoff > 0) without
+# ever aborting them.
+#
 # Environment overrides: GTREE_BIN, SMOKE_PORT, SMOKE_METRICS_PORT,
 # SMOKE_DURATION (s).
 set -euo pipefail
@@ -258,3 +267,156 @@ wait "$R1_PID" 2>/dev/null || true
 R1_PID=""
 trap - EXIT
 echo "ci_smoke: router ok ($ok replies through a replica kill, $retries retries)" >&2
+
+# ---------------------------------------------------------------------
+# Split smoke: 1 router fronting 3 replicas with scatter-gather
+# enabled.  Every eval here is large enough to clear --split-cost, so
+# the router decomposes it along the eldest chain and scatters the
+# sibling subtrees as subevals (docs/ROUTING.md).
+
+SPLIT_ROUTE_PORT=$((PORT + 23))
+SPLIT_ROUTE_ADDR="127.0.0.1:$SPLIT_ROUTE_PORT"
+SPLIT_PIDS=""
+ROUTER_PID=""
+
+start_split_fleet() { # extra `gtree route` flags as args
+  SPLIT_PIDS=""
+  local addrs=""
+  for i in 20 21 22; do
+    local rport=$((PORT + i))
+    "$BIN" serve --addr "127.0.0.1:$rport" --eval-workers 2 --queue-depth 1024 \
+      >/dev/null 2>&1 &
+    SPLIT_PIDS="$SPLIT_PIDS $!"
+    addrs="$addrs,127.0.0.1:$rport"
+  done
+  "$BIN" route --addr "$SPLIT_ROUTE_ADDR" --replicas "${addrs#,}" \
+    "$@" >/dev/null 2>&1 &
+  ROUTER_PID=$!
+  SPLIT_PIDS="$SPLIT_PIDS $ROUTER_PID"
+  up=""
+  for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$SPLIT_ROUTE_PORT") 2>/dev/null; then
+      up=1
+      break
+    fi
+    sleep 0.05
+  done
+  [ -n "$up" ] || { echo "ci_smoke: split router did not come up" >&2; exit 1; }
+}
+
+stop_split_fleet() {
+  for p in $SPLIT_PIDS; do
+    kill "$p" 2>/dev/null || true
+    wait "$p" 2>/dev/null || true
+  done
+  SPLIT_PIDS=""
+}
+trap 'stop_split_fleet' EXIT
+
+split_stats() { # prints the router's raw stats reply
+  exec 8<>"/dev/tcp/127.0.0.1/$SPLIT_ROUTE_PORT"
+  printf '{"op":"stats"}\n' >&8
+  IFS= read -r stats_reply <&8
+  exec 8<&- 8>&-
+  printf '%s' "$stats_reply"
+}
+
+split_eval() { # spec -> value from one routed eval (must be a split)
+  exec 8<>"/dev/tcp/127.0.0.1/$SPLIT_ROUTE_PORT"
+  printf '{"op":"eval","spec":"%s","algo":"cascade:w=1","deadline_ms":30000}\n' "$1" >&8
+  IFS= read -r eval_reply <&8
+  exec 8<&- 8>&-
+  case "$eval_reply" in
+    *'"ok":true'*'"split":'*) : ;;
+    *) echo "ci_smoke: split eval of $1 went wrong: $eval_reply" >&2; exit 1 ;;
+  esac
+  printf '%s' "$eval_reply" | sed -n 's/.*"value":\(-\{0,1\}[0-9][0-9]*\).*/\1/p'
+}
+
+engine_value() { # spec -> the local engine's ground-truth root value
+  "$BIN" eval --gen "$1" --algo ab \
+    | sed -n 's/^value[[:space:]]*:[[:space:]]*\(-\{0,1\}[0-9][0-9]*\).*/\1/p'
+}
+
+start_split_fleet --split-cost 64
+
+# One large eval: correct value, and its subevals must have reached
+# more than one replica.
+spec="minmax:d=3,n=8,seed=1"
+want=$(engine_value "$spec")
+got=$(split_eval "$spec")
+[ "$got" = "$want" ] || { echo "ci_smoke: split eval value $got != engine $want" >&2; exit 1; }
+stats=$(split_stats)
+splits=$(printf '%s' "$stats" | sed -n 's/.*"splits_total":\([0-9][0-9]*\).*/\1/p')
+[ "${splits:-0}" -gt 0 ] || { echo "ci_smoke: no split was planned: $stats" >&2; exit 1; }
+used=$(printf '%s' "$stats" | grep -o '"sent":[0-9][0-9]*' | grep -cv ':0$' || true)
+[ "${used:-0}" -ge 2 ] || { echo "ci_smoke: split stayed on $used replica(s): $stats" >&2; exit 1; }
+
+# Kill -9 a replica under split-heavy load: the router must absorb
+# the dead connections with zero client-visible errors and keep
+# returning correct values.  Any subeval in flight on the victim at
+# kill time is re-dispatched (subevals_retried), but subevals are
+# fast enough that the kill can land between dispatch waves — so the
+# smoke accepts either retried > 0 or transport errors on an ejected
+# victim as proof the kill was absorbed (the deterministic
+# kill-mid-plan re-dispatch check lives in tests/split_e2e.rs).
+split_out="$(mktemp)"
+"$BIN" loadgen --addr "$SPLIT_ROUTE_ADDR" --rps 0 --duration 3 --conns 4 \
+  --pipeline 2 --split-heavy --json > "$split_out" &
+LOADGEN_PID=$!
+sleep 1
+victim=$(printf '%s' "$SPLIT_PIDS" | awk '{print $2}')
+kill -9 "$victim" 2>/dev/null || true
+wait "$LOADGEN_PID"
+json=$(cat "$split_out")
+rm -f "$split_out"
+echo "ci_smoke: split-heavy kill burst $json"
+
+ok=$(field ok)
+fail=""
+[ "${ok:-0}" -gt 0 ] || { echo "ci_smoke: split burst got no successful replies" >&2; fail=1; }
+for f in bad shed timeout other_error transport_errors; do
+  v=$(field "$f")
+  [ "${v:-0}" -eq 0 ] || { echo "ci_smoke: split burst saw $v $f" >&2; fail=1; }
+done
+[ -z "$fail" ] || exit 1
+
+stats=$(split_stats)
+retried=$(printf '%s' "$stats" | sed -n 's/.*"subevals_retried":\([0-9][0-9]*\).*/\1/p')
+if [ "${retried:-0}" -eq 0 ]; then
+  transport=$(printf '%s' "$stats" | grep -o '"transport":[0-9][0-9]*' \
+    | grep -cv ':0$' || true)
+  ejected=$(printf '%s' "$stats" | grep -c '"state":"ejected"' || true)
+  if [ "${transport:-0}" -eq 0 ] || [ "${ejected:-0}" -eq 0 ]; then
+    echo "ci_smoke: replica kill left no trace (retried=0, transport=$transport, ejected=$ejected): $stats" >&2
+    exit 1
+  fi
+fi
+spec="minmax:d=3,n=8,seed=2"
+want=$(engine_value "$spec")
+got=$(split_eval "$spec")
+[ "$got" = "$want" ] || { echo "ci_smoke: post-kill split value $got != engine $want" >&2; exit 1; }
+stop_split_fleet
+echo "ci_smoke: split fan-out ok ($used replicas used, $retried subevals re-dispatched)" >&2
+
+# Naive-mode cutoff: allones is all-1 leaves under NOR, so the first
+# subeval value to land cuts its level — the already-dispatched
+# siblings keep running (the router never sends an abort) and their
+# late replies are discarded on arrival.
+start_split_fleet --split-cost 8 --split-depth 3 --split-naive
+got=$(split_eval "allones:d=4,n=6")
+[ "$got" = "1" ] || { echo "ci_smoke: naive allones value $got != 1" >&2; exit 1; }
+discarded=0
+for _ in $(seq 1 100); do
+  stats=$(split_stats)
+  discarded=$(printf '%s' "$stats" | sed -n 's/.*"subevals_discarded_on_cutoff":\([0-9][0-9]*\).*/\1/p')
+  [ "${discarded:-0}" -gt 0 ] && break
+  sleep 0.05
+done
+[ "${discarded:-0}" -gt 0 ] || {
+  echo "ci_smoke: no in-flight loser was ever discarded: $stats" >&2
+  exit 1
+}
+stop_split_fleet
+trap - EXIT
+echo "ci_smoke: split ok ($discarded in-flight losers discarded on cutoff, no aborts)" >&2

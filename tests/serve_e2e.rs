@@ -249,6 +249,9 @@ fn pipelined_connection_replies_out_of_order_with_id_echo() {
         algo: Some("cascade:w=1".into()),
         deadline_ms: Some(600),
         n: None,
+        path: None,
+        alpha: None,
+        beta: None,
     };
     let fast = Request {
         id: Some("fast".into()),
@@ -257,6 +260,9 @@ fn pipelined_connection_replies_out_of_order_with_id_echo() {
         algo: Some("seq-solve".into()),
         deadline_ms: Some(5_000),
         n: None,
+        path: None,
+        alpha: None,
+        beta: None,
     };
     client.write_request(&slow).unwrap();
     client.write_request(&fast).unwrap();
@@ -421,6 +427,9 @@ fn trace_op_returns_stamped_traces_and_retains_failures() {
             algo: None,
             deadline_ms: None,
             n: Some(16),
+            path: None,
+            alpha: None,
+            beta: None,
         })
         .unwrap();
     assert!(r.ok, "{:?}", r.error);

@@ -1,0 +1,292 @@
+//! End-to-end tests for scatter-gather split evaluation: a real
+//! router splitting real evals across real (and deliberately dying)
+//! replicas over loopback TCP, checked against the sequential
+//! evaluator.
+
+use gt_analysis::Json;
+use gt_router::{Router, RouterConfig, SplitConfig};
+use gt_serve::{Client, Config, Server};
+use gt_tree::split::{sub_evaluate, SubtreeSpec};
+use gt_tree::GenSpec;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn start_replica() -> Server {
+    Server::start(Config {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..Config::default()
+    })
+    .expect("replica start")
+}
+
+fn sequential_value(spec: &str) -> i64 {
+    sub_evaluate(&SubtreeSpec::whole(GenSpec::parse(spec).unwrap()))
+        .unwrap()
+        .value
+}
+
+/// A replica that dies mid-eval: it answers health probes (so the
+/// router keeps routing at it) but slams the connection shut the
+/// moment a subeval arrives — the transport-death flavour of a replica
+/// crash, as seen by the router's upstream reader.
+fn start_dying_replica() -> (SocketAddr, Arc<AtomicBool>, JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    listener.set_nonblocking(true).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        while !stop2.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let stop3 = Arc::clone(&stop2);
+                    conns.push(std::thread::spawn(move || dying_conn(stream, stop3)));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        for c in conns {
+            let _ = c.join();
+        }
+    });
+    (addr, stop, handle)
+}
+
+fn dying_conn(stream: TcpStream, stop: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while !stop.load(Ordering::SeqCst) {
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                if line.contains("\"health\"") {
+                    let _ = writer.write_all(
+                        b"{\"ok\":true,\"uptime_s\":1,\"queued\":0,\"inflight\":0,\"draining\":false}\n",
+                    );
+                    line.clear();
+                } else {
+                    // An eval or subeval: die with it in flight.
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[test]
+fn distributed_split_matches_sequential_across_three_replicas() {
+    let replicas: Vec<Server> = (0..3).map(|_| start_replica()).collect();
+    let router = Router::start(RouterConfig {
+        replicas: replicas
+            .iter()
+            .map(|r| r.local_addr().to_string())
+            .collect(),
+        split: SplitConfig {
+            cost_threshold: Some(16),
+            ..SplitConfig::default()
+        },
+        ..RouterConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(router.local_addr()).unwrap();
+
+    // Both fold disciplines: NOR short-circuit solve and windowed α-β.
+    let specs = [
+        "worst:d=2,n=10",
+        "crit:d=3,n=6,seed=2",
+        "allones:d=3,n=6",
+        "minmax:d=3,n=7,seed=4",
+        "minmax-best:d=3,n=7,value=5",
+        "minmax-worst:d=2,n=8",
+    ];
+    for spec in specs {
+        let expected = sequential_value(spec);
+        let reply = client.eval(spec, "cascade:w=1", None).unwrap();
+        assert!(reply.ok, "{spec}: {reply:?}");
+        assert_eq!(reply.value(), Some(expected), "{spec}");
+        assert!(
+            reply.body.get("split").is_some(),
+            "{spec} should have split across the fleet: {reply:?}"
+        );
+    }
+
+    let snap = router.join();
+    assert_eq!(snap.splits_total, specs.len() as u64, "{snap:?}");
+    assert!(
+        snap.subevals_dispatched >= 2 * specs.len() as u64,
+        "{snap:?}"
+    );
+    // Fan-out reached more than one replica.
+    let used = snap.replicas.iter().filter(|r| r.sent > 0).count();
+    assert!(used >= 2, "split work stayed on {used} replica(s)");
+    for server in replicas {
+        server.request_shutdown();
+        server.join();
+    }
+}
+
+#[test]
+fn split_survives_a_replica_dying_mid_eval() {
+    let live: Vec<Server> = (0..2).map(|_| start_replica()).collect();
+    let (dying_addr, dying_stop, dying_handle) = start_dying_replica();
+    let mut addrs: Vec<String> = live.iter().map(|r| r.local_addr().to_string()).collect();
+    addrs.push(dying_addr.to_string());
+    let router = Router::start(RouterConfig {
+        replicas: addrs,
+        split: SplitConfig {
+            cost_threshold: Some(16),
+            ..SplitConfig::default()
+        },
+        ..RouterConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(router.local_addr()).unwrap();
+
+    // Across this many plans, rendezvous hashing is all but certain to
+    // route some subevals at the dying replica; every one of them must
+    // be transparently re-dispatched to a live replica.
+    for seed in 0..12 {
+        let spec = format!("minmax:d=3,n=7,seed={seed}");
+        let expected = sequential_value(&spec);
+        let reply = client.eval(&spec, "cascade:w=1", None).unwrap();
+        assert!(reply.ok, "{spec}: {reply:?}");
+        assert_eq!(reply.value(), Some(expected), "{spec}");
+    }
+
+    let snap = router.join();
+    assert!(
+        snap.subevals_retried > 0,
+        "no subeval ever hit the dying replica: {snap:?}"
+    );
+    dying_stop.store(true, Ordering::SeqCst);
+    let _ = dying_handle.join();
+    for server in live {
+        server.request_shutdown();
+        server.join();
+    }
+}
+
+#[test]
+fn naive_split_discards_in_flight_losers_without_aborting() {
+    let router = Router::start(RouterConfig {
+        spawn: 3,
+        split: SplitConfig {
+            cost_threshold: Some(8),
+            naive: true,
+            max_depth: 3,
+            ..SplitConfig::default()
+        },
+        ..RouterConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(router.local_addr()).unwrap();
+
+    // allones under naive dispatch: every child of every level goes
+    // out at once, and NOR cuts on the first nonzero arrival — the
+    // dispatched siblings it obsoletes keep running (no abort is ever
+    // sent) and their late replies are discarded on arrival.
+    let reply = client.eval("allones:d=4,n=6", "cascade:w=1", None).unwrap();
+    assert!(reply.ok, "{reply:?}");
+    assert_eq!(reply.value(), Some(1));
+
+    // The losers land after the answer; wait for them.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let snap = router.snapshot();
+        if snap.subevals_discarded_on_cutoff > 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no in-flight loser was ever discarded: {snap:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let snap = router.join();
+    assert!(snap.subevals_discarded_on_cutoff > 0, "{snap:?}");
+    assert_eq!(snap.subevals_skipped_on_cutoff, 0, "naive never skips");
+}
+
+#[test]
+fn windowed_split_does_less_fleet_work_than_naive() {
+    // A best-ordered minmax tree is maximally α-β friendly: the
+    // eldest-first plan's narrowed windows prune inside every sibling
+    // subeval, while the naive plan evaluates each subtree under the
+    // full window.  Fresh fleets per mode so caches cannot cross-feed.
+    let spec = "minmax-best:d=3,n=7,value=9";
+    let mut work = Vec::new();
+    for naive in [false, true] {
+        let router = Router::start(RouterConfig {
+            spawn: 3,
+            split: SplitConfig {
+                cost_threshold: Some(27),
+                naive,
+                max_depth: 4,
+                ..SplitConfig::default()
+            },
+            ..RouterConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(router.local_addr()).unwrap();
+        let reply = client.eval(spec, "cascade:w=1", None).unwrap();
+        assert!(reply.ok, "{reply:?}");
+        assert_eq!(reply.value(), Some(9));
+        work.push(reply.leaves().expect("work.leaves"));
+        router.join();
+    }
+    assert!(
+        work[0] < work[1],
+        "windowed dispatch should beat naive: windowed={} naive={}",
+        work[0],
+        work[1]
+    );
+}
+
+#[test]
+fn subeval_replies_annotate_the_owning_replica() {
+    let router = Router::start(RouterConfig {
+        spawn: 3,
+        ..RouterConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(router.local_addr()).unwrap();
+
+    // A client-issued subeval routes by the window-free subtree key:
+    // the same subtree lands on the same replica, window or no window.
+    let spec = "minmax:d=3,n=6,seed=8";
+    let wide = client.subeval(spec, "1", i64::MIN, i64::MAX, None).unwrap();
+    assert!(wide.ok, "{wide:?}");
+    let owner = wide
+        .body
+        .get("replica")
+        .and_then(Json::as_str)
+        .expect("replica annotation")
+        .to_string();
+    let narrow = client.subeval(spec, "1", 0, 8, None).unwrap();
+    assert!(narrow.ok, "{narrow:?}");
+    assert_eq!(
+        narrow.body.get("replica").and_then(Json::as_str),
+        Some(owner.as_str()),
+        "window must not move a subtree off its replica"
+    );
+    router.join();
+}

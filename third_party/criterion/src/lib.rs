@@ -1,0 +1,235 @@
+//! A hermetic, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment for this workspace has no crates.io access,
+//! so the benchmark surface the `gt-bench` targets use is
+//! reimplemented here: `criterion_group!` / `criterion_main!`,
+//! benchmark groups with `bench_function` / `bench_with_input` /
+//! `sample_size` / `throughput`, `BenchmarkId`, and `Bencher::iter`.
+//!
+//! Statistics are deliberately simple: each benchmark runs a short
+//! warm-up, then `sample_size` timed batches, and prints the mean
+//! nanoseconds per iteration.  Under `cargo test` (which builds bench
+//! targets and runs them with `--test`) every benchmark executes its
+//! closure once, so benches stay compile- and run-checked without
+//! costing test time.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Register a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = id.to_string();
+        run_one(self.test_mode, self.sample_size, &label, &mut f);
+        self
+    }
+}
+
+/// Throughput annotation (accepted, echoed in the report line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Record the per-iteration throughput (display only here).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_one(self.parent.test_mode, samples, &label, &mut f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        run_one(self.parent.test_mode, samples, &label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (report flushing is per-benchmark here).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark's identity: function name plus optional parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+/// Hands the benchmark body its timing loop.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, called repeatedly.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.iters += 1;
+            return;
+        }
+        // Warm-up, then size batches so one batch is measurable.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            self.total += start.elapsed();
+            self.iters += per_batch as u64;
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, samples: usize, label: &str, f: &mut F) {
+    let mut b = Bencher {
+        test_mode,
+        samples,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test-mode {label}: ok ({} iter)", b.iters);
+    } else if b.iters > 0 {
+        let per_iter = b.total.as_nanos() as f64 / b.iters as f64;
+        println!("bench {label}: {per_iter:.0} ns/iter ({} iters)", b.iters);
+    } else {
+        println!("bench {label}: no iterations recorded");
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 3,
+        };
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10).throughput(Throughput::Elements(4));
+            g.bench_function("plain", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, i| {
+                b.iter(|| ran += *i)
+            });
+            g.bench_with_input(BenchmarkId::from_parameter(9), &9u32, |b, i| {
+                b.iter(|| ran += *i)
+            });
+            g.finish();
+        }
+        c.bench_function("top", |b| b.iter(|| ran += 1));
+        assert!(ran >= 18);
+    }
+}

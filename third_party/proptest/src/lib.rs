@@ -1,0 +1,634 @@
+//! A hermetic, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment for this workspace has no crates.io access,
+//! so the property-test surface the repo actually uses is reimplemented
+//! here: the [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, range and tuple and `Just` and `any::<T>()` strategies,
+//! `prop::collection::vec`, `prop::num::f64::NORMAL`, a small
+//! character-class regex generator for `&str` strategies, the
+//! [`prop_oneof!`] union macro (weighted and unweighted), and the
+//! [`proptest!`] test macro with `#![proptest_config(...)]`.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.**  A failing case panics with the raw generated
+//!   values (tests print them via their own assert messages); minimal
+//!   counterexamples must be found by hand.
+//! * **Deterministic seeding.**  Cases are seeded from
+//!   `(file, line, case-index)`, so a given test binary explores the
+//!   same inputs on every run — failures are always reproducible.
+//! * **Regex strategies** support exactly the shapes this repo uses:
+//!   `[class]{lo,hi}` with escapes and ranges, and `\PC{lo,hi}`.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Deterministic generator
+
+/// Splitmix64: tiny, fast, and plenty for test-input generation.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seed directly.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// Seed from a test site and case index (what [`proptest!`] uses).
+    pub fn from_case(file: &str, line: u32, case: u32) -> Rng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in file.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Rng(h ^ (u64::from(line) << 32) ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Strategy trait and combinators
+
+/// Generates values of one type; the analogue of proptest's `Strategy`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: up to `depth` levels of `recurse`
+    /// wrapped around `self` as the leaf.  The `desired_size` /
+    /// `expected_branch_size` hints are accepted for signature
+    /// compatibility; depth alone bounds the output here.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut level = base.clone();
+        for _ in 0..depth {
+            let deeper = recurse(level).boxed();
+            // Recurse twice as often as bottoming out: rich structures,
+            // still hard-capped at `depth` levels.
+            level = Union {
+                arms: vec![(1, base.clone()), (2, deeper)],
+            }
+            .boxed();
+        }
+        level
+    }
+
+    /// Type-erase (cheap to clone; used by [`prop_oneof!`] and
+    /// recursion).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+trait DynStrategy {
+    type Value;
+    fn dyn_generate(&self, rng: &mut Rng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_generate(&self, rng: &mut Rng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut Rng) -> V {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut Rng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A weighted union of same-typed strategies ([`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V: 'static> Union<V> {
+    /// Build from `(weight, strategy)` arms; weights must not all be 0.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut Rng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total.max(1));
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        self.arms[0].1.generate(rng)
+    }
+}
+
+// Integer ranges.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                (self.start as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+// Tuples of strategies.
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) }
+
+/// `any::<T>()` — the full value space of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Types `any::<T>()` can generate.
+pub trait Arbitrary {
+    /// Produce an arbitrary value.
+    fn arbitrary(rng: &mut Rng) -> Self;
+}
+
+/// See [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+// ---------------------------------------------------------------------------
+// Regex string strategies (character-class subset)
+
+/// `&str` strategies: `[class]{lo,hi}` or `\PC{lo,hi}`, matching the
+/// patterns this workspace's tests use.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut Rng) -> String {
+        let (pool, lo, hi) = parse_simple_regex(self)
+            .unwrap_or_else(|e| panic!("unsupported regex strategy {self:?}: {e}"));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| pool[rng.below(pool.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Printable pool for `\PC` (any non-control char): ASCII printables
+/// plus a couple of non-ASCII code points to keep UTF-8 handling
+/// honest.
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+    pool.extend(['é', 'λ', '→', '€']);
+    pool
+}
+
+fn parse_simple_regex(pattern: &str) -> Result<(Vec<char>, usize, usize), String> {
+    let (pool, rest) = if let Some(rest) = pattern.strip_prefix("\\PC") {
+        (printable_pool(), rest)
+    } else if let Some(body) = pattern.strip_prefix('[') {
+        let close = body
+            .find(']')
+            .ok_or_else(|| "unterminated character class".to_string())?;
+        (parse_class(&body[..close])?, &body[close + 1..])
+    } else {
+        return Err("want [class]{lo,hi} or \\PC{lo,hi}".into());
+    };
+    if pool.is_empty() {
+        return Err("empty character class".into());
+    }
+    let counts = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or_else(|| format!("bad repetition {rest:?}"))?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((l, h)) => (
+            l.parse::<usize>().map_err(|e| e.to_string())?,
+            h.parse::<usize>().map_err(|e| e.to_string())?,
+        ),
+        None => {
+            let n = counts.parse::<usize>().map_err(|e| e.to_string())?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return Err(format!("bad repetition bounds {lo}..{hi}"));
+    }
+    Ok((pool, lo, hi))
+}
+
+fn parse_class(body: &str) -> Result<Vec<char>, String> {
+    let mut pool = Vec::new();
+    let mut chars = body.chars().peekable();
+    while let Some(c) = chars.next() {
+        let literal = if c == '\\' {
+            match chars.next().ok_or("dangling escape")? {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other, // \\ \" \- \] and friends: the char itself
+            }
+        } else {
+            c
+        };
+        // A `-` between two literals is a range.
+        if chars.peek() == Some(&'-') {
+            let mut look = chars.clone();
+            look.next(); // the '-'
+            match look.next() {
+                Some(end) if end != '\\' => {
+                    chars = look;
+                    if (literal as u32) > (end as u32) {
+                        return Err(format!("bad range {literal}-{end}"));
+                    }
+                    for cp in (literal as u32)..=(end as u32) {
+                        if let Some(ch) = char::from_u32(cp) {
+                            pool.push(ch);
+                        }
+                    }
+                    continue;
+                }
+                _ => {} // trailing '-' or '-\x': treat '-' literally later
+            }
+        }
+        pool.push(literal);
+    }
+    Ok(pool)
+}
+
+// ---------------------------------------------------------------------------
+// Collections and numeric pools
+
+/// `prop::collection` — vectors of generated elements.
+pub mod collection {
+    use super::{Rng, Strategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive element-count bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::num` — numeric value-class pools.
+pub mod num {
+    /// `f64` classes.
+    pub mod f64 {
+        use crate::{Rng, Strategy};
+
+        /// Normal (finite, non-zero, non-subnormal) doubles of either
+        /// sign.
+        pub struct NormalF64;
+
+        /// The normal-float pool.
+        pub const NORMAL: NormalF64 = NormalF64;
+
+        impl Strategy for NormalF64 {
+            type Value = f64;
+            fn generate(&self, rng: &mut Rng) -> f64 {
+                loop {
+                    let f = f64::from_bits(rng.next_u64());
+                    if f.is_normal() {
+                        return f;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config and macros
+
+/// Per-block test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// The test macro: each `fn name(pat in strategy, ...) { body }` becomes
+/// a `#[test]` running `cases` deterministic generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $config:expr;
+     $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::Rng::from_case(file!(), line!(), __case);
+                    $( let $pat = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property (panics; no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Weighted (`w => strategy`) or uniform union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Everything a test module needs; also re-exports the crate as `prop`
+/// so `prop::collection::vec` / `prop::num::f64::NORMAL` resolve.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::Rng::new(7);
+        for _ in 0..1000 {
+            let v = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (-8i64..=8).generate(&mut rng);
+            assert!((-8..=8).contains(&w));
+        }
+    }
+
+    #[test]
+    fn class_regexes_generate_members_only() {
+        let mut rng = crate::Rng::new(1);
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[ ()0-9,\\-xyz]{0,64}".generate(&mut rng);
+            assert!(t.chars().all(|c| " ()0123456789,-xyz".contains(c)));
+            let p = "\\PC{0,64}".generate(&mut rng);
+            assert!(p.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_bottom_out() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf => 0,
+                T::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(T::Leaf).prop_recursive(4, 32, 3, |inner| {
+            prop::collection::vec(inner, 1..=3).prop_map(T::Node)
+        });
+        let mut rng = crate::Rng::new(42);
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 4);
+            saw_node |= matches!(t, T::Node(_));
+        }
+        assert!(saw_node, "recursion never fired");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_macro_binds_patterns(x in 0u32..10, (a, b) in (0i64..5, any::<bool>())) {
+            prop_assert!(x < 10);
+            prop_assert!(a < 5);
+            let _ = b;
+            prop_assert_eq!(x + 1, 1 + x);
+        }
+
+        #[test]
+        fn weighted_oneof_hits_every_arm(v in prop_oneof![3 => Just(1u8), 2 => Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! A hermetic, dependency-free stand-in for the `rayon` crate.
+//!
+//! The build environment for this workspace has no crates.io access,
+//! so the fork-join surface the engines actually use is reimplemented
+//! on scoped OS threads: [`join`], and `par_iter` / `into_par_iter`
+//! followed by `.map(...).collect()`.
+//!
+//! Differences from the real crate, deliberately accepted: there is no
+//! global work-stealing pool — `join` runs one side on a scoped thread,
+//! and a parallel map splits its input into one chunk per available
+//! core.  Results are returned in input order, as rayon's `collect`
+//! guarantees.  On a single-core host everything degrades to the
+//! sequential path with no thread spawns.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Run both closures, potentially concurrently, and return both
+/// results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if cores() <= 1 {
+        return (a(), b());
+    }
+    thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim join arm panicked"))
+    })
+}
+
+fn cores() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The parallel-iterator subset: `par_iter()` / `into_par_iter()`,
+/// `.map(...)`, `.collect()`.
+pub mod prelude {
+    use super::cores;
+    use std::thread;
+
+    /// A to-be-parallelized sequence (already drained into memory).
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    /// A mapped parallel sequence, ready to collect.
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Apply `f` to every element, in parallel at collect time.
+        pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+        where
+            F: Fn(T) -> U + Sync,
+            U: Send,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParMap<T, F> {
+        /// Evaluate the map across the available cores, preserving
+        /// input order.
+        pub fn collect<C: FromIterator<U>>(self) -> C {
+            let n = self.items.len();
+            let workers = cores().min(n);
+            if workers <= 1 {
+                return self.items.into_iter().map(self.f).collect();
+            }
+            let chunk = n.div_ceil(workers);
+            let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+            let mut it = self.items.into_iter();
+            loop {
+                let c: Vec<T> = it.by_ref().take(chunk).collect();
+                if c.is_empty() {
+                    break;
+                }
+                chunks.push(c);
+            }
+            let f = &self.f;
+            let mapped: Vec<Vec<U>> = thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rayon-shim map worker panicked"))
+                    .collect()
+            });
+            mapped.into_iter().flatten().collect()
+        }
+    }
+
+    /// `.into_par_iter()` on owned sequences.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Start a parallel pipeline.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    macro_rules! range_par_iter {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                fn into_par_iter(self) -> ParIter<$t> {
+                    ParIter { items: self.collect() }
+                }
+            }
+        )*};
+    }
+    range_par_iter!(u8, u16, u32, u64, usize, i32, i64);
+
+    /// `.par_iter()` on borrowed slices/vectors.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Borrowed element type.
+        type Item: Send;
+        /// Start a parallel pipeline over references.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both_sides() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn mapped_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, x)| *x == i as u64 * 2));
+        let src = vec![3, 1, 4, 1, 5];
+        let doubled: Vec<i32> = src.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+    }
+}
