@@ -39,12 +39,15 @@ gtree — game-tree toolkit (Karp & Zhang, SPAA 1989)
 USAGE:
   gtree gen    <SPEC> [--max-nodes N]          emit a generated tree (text format)
   gtree eval   (--gen <SPEC> | --tree <FILE>) [--algo A] [--width W] [--processors P]
+  gtree run    (--gen <SPEC> | --tree <FILE>) [--algo par-solve|par-alphabeta]
+               [--par-workers K]
   gtree render (--gen <SPEC> | --tree <FILE>) [--dot]
   gtree msgsim --gen <SPEC> [--processors P]
   gtree serve  [--addr A] [--eval-workers N] [--queue-depth N] [--batch-max N]
                [--small-cost C] [--cache N] [--shards N] [--cache-ttl MS]
                [--conn-window N] [--deadline-ms MS] [--trace-ring N]
-               [--slow-us US] [--metrics-addr A]
+               [--slow-us US] [--metrics-addr A] [--par-threshold C]
+               [--par-max-workers K]
   gtree route  [--addr A] [--replica ADDR]... [--spawn N] [--spawn-workers N]
                [--pool N] [--conn-window N] [--client-window N] [--retries N]
                [--hedge-ms MS] [--backoff-ms MS] [--probe-interval MS]
@@ -61,14 +64,22 @@ SPEC:     kind:key=val,...   kinds: nor crit worst allones minmax
           e.g.  worst:d=2,n=10   minmax:d=3,n=6,lo=0,hi=99,seed=7
 ALGO:     solve | team | par-solve | ab | par-ab | scout | sss   (default: picked by family)
 
+`eval` models parallelism (round-synchronous width-w frontiers, the
+paper's P(T) accounting); `run` executes it: a work-stealing pool of
+--par-workers real threads splits one evaluation PV-split/YBW style
+and reports steal/retire/window-narrowing counters next to the
+sequential baseline.
+
 `serve` speaks newline-delimited JSON (see docs/SERVING.md); `loadgen`
 drives it: open loop at --rps, closed loop when --rps 0, pipelined
 closed loop with --pipeline > 1, distinct-key cold storm with
 --distinct.  Serve-side algorithms: seq-solve alphabeta parallel-solve
-round cascade ybw tt.  --eval-workers bounds total engine concurrency
+round cascade ybw tt par-alphabeta par-solve.  --eval-workers bounds total engine concurrency
 (--workers is a deprecated alias); jobs cheaper than --small-cost
 leaves are micro-batched up to --batch-max per dispatch; --cache-ttl
-expires cached results.  Observability (docs/OBSERVABILITY.md): the
+expires cached results; par-* evals costlier than --par-threshold
+leaves fan out across up to --par-max-workers idle engine threads.
+Observability (docs/OBSERVABILITY.md): the
 flight recorder keeps the last --trace-ring request traces plus every
 slow (>= --slow-us) or failed one, read back with {\"op\":\"trace\"};
 --metrics-addr serves Prometheus text exposition over HTTP.
@@ -101,6 +112,7 @@ struct Opts {
     processors: Option<u32>,
     dot: bool,
     max_nodes: u64,
+    par_workers: u32,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
@@ -112,6 +124,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
         processors: None,
         dot: false,
         max_nodes: 1 << 20,
+        par_workers: 4,
     };
     let mut i = 0;
     while i < args.len() {
@@ -146,6 +159,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                 o.max_nodes = v
                     .parse()
                     .map_err(|e| CliError::usage(format!("bad --max-nodes {v}: {e}")))?;
+            }
+            "--par-workers" => {
+                let v = next(&mut i)?;
+                o.par_workers = v
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("bad --par-workers {v}: {e}")))?;
             }
             "--dot" => o.dot = true,
             other if !other.starts_with("--") && o.gen.is_none() && o.tree_file.is_none() => {
@@ -292,6 +311,65 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     let _ = writeln!(out, "peak OPEN: {}", st.peak_open);
                 }
                 other => return Err(CliError::usage(format!("unknown --algo {other:?}"))),
+            }
+            Ok(out)
+        }
+        "run" => {
+            let o = parse_opts(rest)?;
+            let input = load_input(&o)?;
+            let src = input.source()?;
+            let algo = o.algo.clone().unwrap_or_else(|| {
+                if input.is_minmax() {
+                    "par-alphabeta".to_string()
+                } else {
+                    "par-solve".to_string()
+                }
+            });
+            let workers = o.par_workers.max(1);
+            let cancel = std::sync::atomic::AtomicBool::new(false);
+            let mut out = String::new();
+            match algo.as_str() {
+                "par-solve" => {
+                    if input.is_minmax() {
+                        return Err(CliError::usage("par-solve needs a NOR (AND/OR) tree"));
+                    }
+                    let st = gt_tree::par_solve(&src, workers, &cancel)
+                        .map_err(|_| CliError::runtime("cancelled"))?;
+                    let seq = seq_solve(&src, false);
+                    assert_eq!(st.value, seq.value, "parallel/sequential value mismatch");
+                    let _ = writeln!(out, "value    : {}", st.value);
+                    let _ = writeln!(
+                        out,
+                        "leaves   : {} (seq {})",
+                        st.leaves_evaluated, seq.leaves_evaluated
+                    );
+                    let _ = writeln!(out, "workers  : {}", st.workers);
+                    let _ = writeln!(out, "steals   : {}", st.steals);
+                    let _ = writeln!(out, "retired  : {}", st.retired);
+                    let _ = writeln!(out, "narrowed : {}", st.window_narrowings);
+                }
+                "par-alphabeta" | "par-ab" => {
+                    let st = gt_tree::par_alphabeta(&src, workers, &cancel)
+                        .map_err(|_| CliError::runtime("cancelled"))?;
+                    let seq = seq_alphabeta(&src, false);
+                    assert_eq!(st.value, seq.value, "parallel/sequential value mismatch");
+                    let _ = writeln!(out, "value    : {}", st.value);
+                    let _ = writeln!(
+                        out,
+                        "leaves   : {} (seq {})",
+                        st.leaves_evaluated, seq.leaves_evaluated
+                    );
+                    let _ = writeln!(out, "workers  : {}", st.workers);
+                    let _ = writeln!(out, "steals   : {}", st.steals);
+                    let _ = writeln!(out, "retired  : {}", st.retired);
+                    let _ = writeln!(out, "narrowed : {}", st.window_narrowings);
+                    let _ = writeln!(out, "cutoffs  : {}", st.cutoffs);
+                }
+                other => {
+                    return Err(CliError::usage(format!(
+                        "run supports par-solve | par-alphabeta, not {other:?}"
+                    )))
+                }
             }
             Ok(out)
         }
@@ -492,6 +570,12 @@ fn run_serve(args: &[String]) -> Result<String, CliError> {
             "--trace-ring" => config.trace_ring = parse_flag("--trace-ring", &next(&mut i)?)?,
             "--slow-us" => config.slow_us = parse_flag("--slow-us", &next(&mut i)?)?,
             "--metrics-addr" => config.metrics_addr = Some(next(&mut i)?),
+            "--par-threshold" => {
+                config.par_threshold = parse_flag("--par-threshold", &next(&mut i)?)?;
+            }
+            "--par-max-workers" => {
+                config.par_max_workers = parse_flag("--par-max-workers", &next(&mut i)?)?;
+            }
             other => return Err(CliError::usage(format!("unknown argument {other:?}"))),
         }
         i += 1;
@@ -720,6 +804,43 @@ mod tests {
     }
 
     #[test]
+    fn run_command_executes_the_work_stealing_pool() {
+        let out = run_str(&[
+            "run",
+            "--gen",
+            "minmax:d=4,n=3,lo=-9,hi=9,seed=5",
+            "--par-workers",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("value"), "{out}");
+        assert!(out.contains("workers  : 4"), "{out}");
+        assert!(out.contains("steals"), "{out}");
+        // NOR family defaults to par-solve.
+        let nor = run_str(&["run", "--gen", "crit:n=6"]).unwrap();
+        assert!(nor.contains("value"), "{nor}");
+        // par-solve refuses MIN/MAX trees; flags must parse.
+        assert_eq!(
+            run_str(&[
+                "run",
+                "--gen",
+                "minmax:d=2,n=2,seed=1",
+                "--algo",
+                "par-solve"
+            ])
+            .unwrap_err()
+            .exit_code,
+            2
+        );
+        assert_eq!(
+            run_str(&["run", "--gen", "crit:n=4", "--par-workers", "zap"])
+                .unwrap_err()
+                .exit_code,
+            2
+        );
+    }
+
+    #[test]
     fn render_ascii_and_dot() {
         let out = run_str(&["render", "--gen", "minmax:d=2,n=2,seed=1"]).unwrap();
         assert!(out.contains("MAX"));
@@ -830,6 +951,8 @@ mod tests {
             "--cache-ttl",
             "--trace-ring",
             "--slow-us",
+            "--par-threshold",
+            "--par-max-workers",
         ] {
             assert_eq!(
                 run_str(&["serve", flag, "many"]).unwrap_err().exit_code,

@@ -534,6 +534,10 @@ mod tests {
         let s = UniformSource::nor_worst_case(2, 10);
         let r = CascadeEngine::with_width(2).solve_nor(&s);
         assert_eq!(r.value, 1);
-        assert_eq!(r.leaves_evaluated, 1 << 10);
+        // The worst-case ordering forces the *sequential* algorithm to
+        // visit every leaf; speculative siblings racing each other can
+        // cancel in-flight work, so the parallel engine may do less.
+        // The leaf count is nondeterministic but never exceeds the tree.
+        assert!(r.leaves_evaluated > 0 && r.leaves_evaluated <= 1 << 10);
     }
 }

@@ -332,6 +332,20 @@ pub struct Metrics {
     pub subevals: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Work-stealing engine: tasks taken from another worker's deque,
+    /// summed over all parallel evaluations.
+    pub par_steals: AtomicU64,
+    /// Work-stealing engine: tasks retired unrun (or discarded late)
+    /// by a cutoff — the pre-emption rule firing.
+    pub par_retires: AtomicU64,
+    /// Work-stealing engine: shared α/β window bound movements.
+    pub par_narrowings: AtomicU64,
+    /// Multi-thread worker grants issued to parallel (`par-*`)
+    /// evaluations (a grant of one thread is not counted).
+    pub par_grants: AtomicU64,
+    /// Threads covered by those grants (`par_grant_threads /
+    /// par_grants` is the mean grant size).
+    pub par_grant_threads: AtomicU64,
     /// End-to-end server-side latency of eval requests.
     pub latency: LatencyHistogram,
     /// Executor dispatch sizes (micro-batching telemetry).
@@ -343,6 +357,22 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// Fold one engine outcome's work-stealing counters into the
+    /// global `par_*` aggregates (no-ops for sequential algorithms,
+    /// whose counters are all zero).
+    pub fn record_par_work(&self, steals: u64, retired: u64, narrowings: u64) {
+        self.par_steals.fetch_add(steals, Ordering::Relaxed);
+        self.par_retires.fetch_add(retired, Ordering::Relaxed);
+        self.par_narrowings.fetch_add(narrowings, Ordering::Relaxed);
+    }
+
+    /// Record one worker grant handed to a parallel evaluation.
+    pub fn record_par_grant(&self, threads: u32) {
+        self.par_grants.fetch_add(1, Ordering::Relaxed);
+        self.par_grant_threads
+            .fetch_add(u64::from(threads), Ordering::Relaxed);
+    }
+
     /// The stage/work accumulator for `algo`, created on first use.
     pub fn algo_stages(&self, algo: &str) -> Arc<AlgoStages> {
         if let Some(s) = self.stages.read().unwrap().get(algo) {
@@ -393,6 +423,11 @@ impl Metrics {
             subeval_requests: r(&self.subeval_requests),
             subevals: r(&self.subevals),
             connections: r(&self.connections),
+            par_steals: r(&self.par_steals),
+            par_retires: r(&self.par_retires),
+            par_narrowings: r(&self.par_narrowings),
+            par_grants: r(&self.par_grants),
+            par_grant_threads: r(&self.par_grant_threads),
             latency_count: self.latency.count.load(Ordering::Relaxed),
             latency_sum_us: self.latency.sum_us.load(Ordering::Relaxed),
             latency_buckets: self.latency.snapshot(),
@@ -442,6 +477,16 @@ pub struct MetricsSnapshot {
     pub subevals: u64,
     /// See [`Metrics::connections`].
     pub connections: u64,
+    /// See [`Metrics::par_steals`].
+    pub par_steals: u64,
+    /// See [`Metrics::par_retires`].
+    pub par_retires: u64,
+    /// See [`Metrics::par_narrowings`].
+    pub par_narrowings: u64,
+    /// See [`Metrics::par_grants`].
+    pub par_grants: u64,
+    /// See [`Metrics::par_grant_threads`].
+    pub par_grant_threads: u64,
     /// Observations recorded in the latency histogram.
     pub latency_count: u64,
     /// Sum of all recorded latencies, microseconds.
@@ -502,6 +547,11 @@ impl MetricsSnapshot {
             ("subeval_requests", Json::from(self.subeval_requests)),
             ("subevals", Json::from(self.subevals)),
             ("connections", Json::from(self.connections)),
+            ("par_steals", Json::from(self.par_steals)),
+            ("par_retires", Json::from(self.par_retires)),
+            ("par_narrowings", Json::from(self.par_narrowings)),
+            ("par_grants", Json::from(self.par_grants)),
+            ("par_grant_threads", Json::from(self.par_grant_threads)),
             ("latency_count", Json::from(self.latency_count)),
             (
                 "latency_mean_us",
@@ -578,6 +628,17 @@ impl MetricsSnapshot {
             );
         }
         let _ = writeln!(out, "connections : {}", self.connections);
+        if self.par_grants > 0 {
+            let _ = writeln!(
+                out,
+                "par grants  : {} (mean {:.2} threads; {} steals, {} retires, {} narrowings)",
+                self.par_grants,
+                self.par_grant_threads as f64 / self.par_grants as f64,
+                self.par_steals,
+                self.par_retires,
+                self.par_narrowings,
+            );
+        }
         if self.batches > 0 {
             let _ = writeln!(
                 out,
@@ -676,6 +737,7 @@ mod tests {
             steps: 8,
             max_width: 4,
             pruned: 3,
+            ..Default::default()
         });
         st.record_work(&EvalOutcome {
             value: 0,
@@ -683,6 +745,7 @@ mod tests {
             steps: 6,
             max_width: 9,
             pruned: 1,
+            ..Default::default()
         });
         // Same name returns the same accumulator.
         assert_eq!(m.algo_stages("cascade").evals.load(Ordering::Relaxed), 2);

@@ -211,9 +211,7 @@ mod tests {
         EvalOutcome {
             value,
             work: 1,
-            steps: 0,
-            max_width: 1,
-            pruned: 0,
+            ..Default::default()
         }
     }
 

@@ -233,6 +233,11 @@ impl TraceRecord {
                     .get("pruned")
                     .and_then(Json::as_u64)
                     .ok_or("work missing pruned")?,
+                // Work-stealing counters: absent in records written
+                // before the par engines existed, so default to 0.
+                steals: w.get("steals").and_then(Json::as_u64).unwrap_or(0),
+                retired: w.get("retired").and_then(Json::as_u64).unwrap_or(0),
+                narrowings: w.get("narrowed").and_then(Json::as_u64).unwrap_or(0),
             }),
         };
         Ok(TraceRecord {
@@ -531,6 +536,36 @@ pub fn render_prometheus(
         "Jobs carried by executor dispatches.",
         m.batch_jobs,
     );
+    counter(
+        &mut out,
+        "gtserve_engine_par_steals_total",
+        "Work-stealing engine: tasks stolen across worker deques.",
+        m.par_steals,
+    );
+    counter(
+        &mut out,
+        "gtserve_engine_par_retires_total",
+        "Work-stealing engine: tasks retired unrun by cutoffs (the pre-emption rule).",
+        m.par_retires,
+    );
+    counter(
+        &mut out,
+        "gtserve_engine_par_window_narrowings_total",
+        "Work-stealing engine: shared alpha/beta window bound movements.",
+        m.par_narrowings,
+    );
+    counter(
+        &mut out,
+        "gtserve_engine_par_grants_total",
+        "Multi-thread worker grants issued to par-* evaluations.",
+        m.par_grants,
+    );
+    counter(
+        &mut out,
+        "gtserve_engine_par_grant_threads_total",
+        "Threads covered by those grants (divide by grants for the mean width).",
+        m.par_grant_threads,
+    );
 
     histogram_header(
         &mut out,
@@ -804,6 +839,9 @@ mod tests {
                 steps: 9,
                 max_width: 4,
                 pruned: 2,
+                steals: 5,
+                retired: 3,
+                narrowings: 7,
             }),
         }
     }
@@ -913,7 +951,10 @@ mod tests {
             steps: 9,
             max_width: 4,
             pruned: 2,
+            ..Default::default()
         });
+        m.record_par_work(11, 3, 7);
+        m.record_par_grant(4);
         let cache = CacheStats {
             hits: 1,
             misses: 2,
@@ -939,6 +980,11 @@ mod tests {
         assert!(text.contains("gtserve_cache_shard_entries{shard=\"1\"} 1"));
         assert!(text.contains("gtserve_executor_queued 3"));
         assert!(text.contains("gtserve_flights_inflight 1"));
+        assert!(text.contains("gtserve_engine_par_steals_total 11"));
+        assert!(text.contains("gtserve_engine_par_retires_total 3"));
+        assert!(text.contains("gtserve_engine_par_window_narrowings_total 7"));
+        assert!(text.contains("gtserve_engine_par_grants_total 1"));
+        assert!(text.contains("gtserve_engine_par_grant_threads_total 4"));
         assert!(text.contains("gtserve_build_info{version=\""));
         // Buckets are cumulative: each bucket line's value never
         // decreases as le grows.

@@ -15,6 +15,7 @@ use gt_sim::{parallel_alphabeta_cancellable, parallel_solve_cancellable};
 use gt_tree::minimax::{
     seq_alphabeta_cancellable, seq_alphabeta_windowed_cancellable, seq_solve_cancellable,
 };
+use gt_tree::par::{par_alphabeta, par_solve};
 use gt_tree::split::parse_path;
 use gt_tree::{GenSpec, SourceVisitor, SubtreeSpec, SubtreeView, TreeSource, Value};
 use std::collections::BTreeMap;
@@ -24,7 +25,7 @@ use std::sync::atomic::AtomicBool;
 #[derive(Debug, Clone, PartialEq)]
 pub struct AlgoSpec {
     /// Algorithm name (`seq-solve`, `alphabeta`, `parallel-solve`,
-    /// `round`, `cascade`, `ybw`, `tt`).
+    /// `round`, `cascade`, `ybw`, `tt`, `par-alphabeta`, `par-solve`).
     pub name: String,
     /// Key/value parameters (`w`, `cutoff`, ...).
     pub params: BTreeMap<String, String>,
@@ -85,7 +86,7 @@ pub fn canonical_key(spec: &GenSpec, algo: &AlgoSpec) -> String {
 }
 
 /// What an engine produced for one request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalOutcome {
     /// Root value.
     pub value: Value,
@@ -97,17 +98,26 @@ pub struct EvalOutcome {
     pub steps: u64,
     /// Largest parallel degree of any step — the paper's "processors
     /// used" (1 for sequential algorithms; for the fork-join engines,
-    /// the configured concurrency bound).
+    /// the configured concurrency bound; for `par-*`, the worker
+    /// threads granted).
     pub max_width: u32,
     /// Pruning events: α≥β cutoffs, NOR short-circuits, or (for `tt`)
     /// transposition-table hits — searches avoided rather than done.
     pub pruned: u64,
+    /// Work-stealing engines only: tasks taken from another worker's
+    /// deque.  0 for every other algorithm.
+    pub steals: u64,
+    /// Work-stealing engines only: tasks retired unrun (or discarded
+    /// on late arrival) by a cutoff — the pre-emption rule firing.
+    pub retired: u64,
+    /// Work-stealing engines only: shared-window bound movements.
+    pub narrowings: u64,
 }
 
 impl EvalOutcome {
     /// The reply's `work` object: the root value plus the paper's work
     /// counters (leaves ≈ W(T), steps ≈ rounds, max_width ≈ processors
-    /// used).
+    /// used, and the work-stealing pre-emption counters).
     pub fn work_json(&self) -> gt_analysis::Json {
         use gt_analysis::Json;
         Json::obj([
@@ -116,6 +126,9 @@ impl EvalOutcome {
             ("steps", Json::from(self.steps)),
             ("max_width", Json::from(self.max_width)),
             ("pruned", Json::from(self.pruned)),
+            ("steals", Json::from(self.steals)),
+            ("retired", Json::from(self.retired)),
+            ("narrowed", Json::from(self.narrowings)),
         ])
     }
 }
@@ -154,6 +167,8 @@ const ALGOS: &[&str] = &[
     "cascade",
     "ybw",
     "tt",
+    "par-alphabeta",
+    "par-solve",
 ];
 
 /// Names of games the `tt` algorithm accepts as `spec` kinds.
@@ -193,9 +208,15 @@ pub fn validate(spec_text: &str, algo_text: &str) -> Result<ValidatedRequest, St
             "seq-solve" if spec.is_minmax() => {
                 return Err("seq-solve evaluates NOR trees; use alphabeta for minmax specs".into());
             }
-            "alphabeta" | "ybw" if !spec.is_minmax() => {
+            "par-solve" if spec.is_minmax() => {
+                return Err(
+                    "par-solve evaluates NOR trees; use par-alphabeta for minmax specs".into(),
+                );
+            }
+            "alphabeta" | "ybw" | "par-alphabeta" if !spec.is_minmax() => {
                 return Err(format!(
-                    "{} evaluates minmax trees; use seq-solve/round/cascade for NOR specs",
+                    "{} evaluates minmax trees; use seq-solve/round/cascade/par-solve \
+                     for NOR specs",
                     algo.name
                 ));
             }
@@ -313,6 +334,7 @@ pub fn evaluate_subtree(sub: &SubtreeSpec, cancel: &AtomicBool) -> Result<EvalOu
                 steps: 0,
                 max_width: 1,
                 pruned: st.cutoffs,
+                ..Default::default()
             })
         }
     }
@@ -390,15 +412,32 @@ where
         steps: 0,
         max_width: 1,
         pruned: tt.stats.hits,
+        ..Default::default()
     })
 }
 
 /// Run one validated request to completion (or cancellation) on the
-/// calling thread.
+/// calling thread, with one worker.
 pub fn evaluate(
     spec: &GenSpec,
     algo: &AlgoSpec,
     cancel: &AtomicBool,
+) -> Result<EvalOutcome, EvalError> {
+    evaluate_with_grant(spec, algo, cancel, 1)
+}
+
+/// Run one validated request with a worker grant: the `par-*`
+/// work-stealing algorithms spread the single evaluation across
+/// `grant` threads (the calling thread plus `grant - 1` scoped
+/// spawns, all joined before returning); every other algorithm
+/// ignores the grant and runs exactly as [`evaluate`].  The one
+/// cancellation flag is polled by every thread of the grant, so a
+/// deadline reaper flipping it stops the whole evaluation.
+pub fn evaluate_with_grant(
+    spec: &GenSpec,
+    algo: &AlgoSpec,
+    cancel: &AtomicBool,
+    grant: u32,
 ) -> Result<EvalOutcome, EvalError> {
     if algo.name == "tt" {
         let depth = tt_depth(spec).map_err(EvalError::Bad)?;
@@ -419,6 +458,7 @@ pub fn evaluate(
         algo: &'a AlgoSpec,
         width: u32,
         cancel: &'a AtomicBool,
+        grant: u32,
     }
     impl SourceVisitor for EngineRun<'_> {
         type Out = Result<EvalOutcome, EvalError>;
@@ -428,6 +468,7 @@ pub fn evaluate(
                 algo,
                 width,
                 cancel,
+                grant,
             } = self;
             let outcome = match algo.name.as_str() {
                 "seq-solve" => {
@@ -438,6 +479,7 @@ pub fn evaluate(
                         steps: 0,
                         max_width: 1,
                         pruned: st.cutoffs,
+                        ..Default::default()
                     }
                 }
                 "alphabeta" => {
@@ -448,6 +490,7 @@ pub fn evaluate(
                         steps: 0,
                         max_width: 1,
                         pruned: st.cutoffs,
+                        ..Default::default()
                     }
                 }
                 "parallel-solve" => {
@@ -462,6 +505,7 @@ pub fn evaluate(
                         steps: st.steps,
                         max_width: st.processors_used,
                         pruned: st.cutoffs,
+                        ..Default::default()
                     }
                 }
                 "round" => {
@@ -477,6 +521,7 @@ pub fn evaluate(
                         steps: r.rounds,
                         max_width: r.max_round_size,
                         pruned: 0,
+                        ..Default::default()
                     }
                 }
                 "cascade" => {
@@ -492,6 +537,7 @@ pub fn evaluate(
                         steps: r.rounds,
                         max_width: r.max_round_size,
                         pruned: 0,
+                        ..Default::default()
                     }
                 }
                 "ybw" => {
@@ -510,6 +556,33 @@ pub fn evaluate(
                         // YBW does not track its own frontier width.
                         max_width: r.max_round_size.max(1),
                         pruned: 0,
+                        ..Default::default()
+                    }
+                }
+                "par-alphabeta" => {
+                    let st = par_alphabeta(&src, grant.max(1), cancel)?;
+                    EvalOutcome {
+                        value: st.value,
+                        work: st.leaves_evaluated,
+                        steps: 0,
+                        max_width: st.workers,
+                        pruned: st.cutoffs,
+                        steals: st.steals,
+                        retired: st.retired,
+                        narrowings: st.window_narrowings,
+                    }
+                }
+                "par-solve" => {
+                    let st = par_solve(&src, grant.max(1), cancel)?;
+                    EvalOutcome {
+                        value: st.value,
+                        work: st.leaves_evaluated,
+                        steps: 0,
+                        max_width: st.workers,
+                        pruned: st.cutoffs,
+                        steals: st.steals,
+                        retired: st.retired,
+                        narrowings: st.window_narrowings,
                     }
                 }
                 other => return Err(EvalError::Bad(format!("unknown algorithm {other:?}"))),
@@ -522,6 +595,7 @@ pub fn evaluate(
         algo,
         width,
         cancel,
+        grant,
     })
     .map_err(EvalError::Bad)?
 }
@@ -590,6 +664,73 @@ mod tests {
             let got = evaluate(&spec, &AlgoSpec::parse(algo).unwrap(), &flag).unwrap();
             assert_eq!(got.value, baseline, "{algo}");
         }
+    }
+
+    #[test]
+    fn par_algos_validate_family_rules() {
+        assert!(validate("minmax:n=4,seed=1", "par-solve").is_err());
+        assert!(validate("worst:n=4", "par-alphabeta").is_err());
+        assert!(validate("worst:n=4", "par-solve").is_ok());
+        assert!(validate("minmax:n=4,seed=1", "par-alphabeta").is_ok());
+    }
+
+    #[test]
+    fn par_engines_agree_with_sequential_baselines_at_any_grant() {
+        let flag = never();
+        let nor = GenSpec::parse("crit:d=2,n=8,seed=11").unwrap();
+        let want = evaluate(&nor, &AlgoSpec::parse("seq-solve").unwrap(), &flag)
+            .unwrap()
+            .value;
+        for grant in [1u32, 2, 4] {
+            let got =
+                evaluate_with_grant(&nor, &AlgoSpec::parse("par-solve").unwrap(), &flag, grant)
+                    .unwrap();
+            assert_eq!(got.value, want, "par-solve grant={grant}");
+            assert!(got.max_width >= 1 && got.max_width <= grant.max(1));
+        }
+        let mm = GenSpec::parse("minmax:d=3,n=4,lo=-9,hi=9,seed=3").unwrap();
+        let want = evaluate(&mm, &AlgoSpec::parse("alphabeta").unwrap(), &flag)
+            .unwrap()
+            .value;
+        for grant in [1u32, 2, 4] {
+            let got = evaluate_with_grant(
+                &mm,
+                &AlgoSpec::parse("par-alphabeta").unwrap(),
+                &flag,
+                grant,
+            )
+            .unwrap();
+            assert_eq!(got.value, want, "par-alphabeta grant={grant}");
+        }
+    }
+
+    #[test]
+    fn par_cancellation_stops_every_thread_of_the_grant() {
+        let flag = AtomicBool::new(true);
+        for (spec, algo) in [
+            ("worst:d=2,n=14", "par-solve"),
+            ("minmax-worst:d=2,n=14", "par-alphabeta"),
+        ] {
+            let spec = GenSpec::parse(spec).unwrap();
+            let got = evaluate_with_grant(&spec, &AlgoSpec::parse(algo).unwrap(), &flag, 4);
+            assert_eq!(got, Err(EvalError::Cancelled), "{algo}");
+        }
+    }
+
+    #[test]
+    fn work_json_carries_the_par_counters() {
+        let o = EvalOutcome {
+            value: 3,
+            work: 10,
+            steals: 2,
+            retired: 1,
+            narrowings: 4,
+            ..Default::default()
+        };
+        let text = o.work_json().render();
+        assert!(text.contains("\"steals\":2"), "{text}");
+        assert!(text.contains("\"retired\":1"), "{text}");
+        assert!(text.contains("\"narrowed\":4"), "{text}");
     }
 
     #[test]

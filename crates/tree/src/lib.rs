@@ -32,6 +32,7 @@ pub mod gen;
 #[macro_use]
 pub mod macros;
 pub mod minimax;
+pub mod par;
 pub mod path;
 pub mod proof;
 pub mod render;
@@ -46,6 +47,7 @@ pub mod text;
 
 pub use arena::{LazyTree, NodeId, NONE};
 pub use explicit::ExplicitTree;
+pub use par::{par_alphabeta, par_alphabeta_windowed, par_solve, AtomicWindow, ParStats};
 pub use source::{Cancelled, NodeKind, TreeSource, Value};
 pub use spec::{GenSpec, SourceVisitor};
 pub use split::{Aggregator, NodeMode, SubtreeSpec, SubtreeView};

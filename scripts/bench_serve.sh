@@ -19,6 +19,16 @@
 #                     distribution here is the micro-batching evidence
 #                     for the cold path.
 #
+#   par_scaling       one evaluation, many cores: the same large
+#                     worst-ordered tree (no pruning, so the work is
+#                     width-independent) evaluated with par-alphabeta
+#                     while --par-max-workers sweeps 1/2/4.  p50@w1 /
+#                     p50@wW is the intra-eval speedup, recorded next
+#                     to the paper's Theorem 3 prediction
+#                     (S(T)/P(T) >= c(n+1)).  Asserted: >= 1.5x at 4
+#                     workers on a multi-core host, parity within 10%
+#                     on a single core, and steals > 0 either way.
+#
 # Every scenario passes --server-stats, so each report embeds the
 # server's own snapshot (stage histograms, engine work counters,
 # batching) alongside the client-side latency figures.
@@ -151,6 +161,52 @@ cold_storm=$(loadgen --conns 64 --pipeline 4 --spec worst:d=2,n=12 --algo seq-so
 summary cold_storm "$cold_storm"
 stop_server
 
+# --- Par-scaling scenario --------------------------------------------
+# Branching 8, height 6: worst ordering defeats pruning, so every
+# width evaluates the same 8^6 leaves and latency differences are pure
+# thread-level parallelism.  One connection, one request in flight:
+# each p50 is the latency of a single evaluation at that grant width.
+PAR_SPEC="minmax-worst:d=8,n=6,seed=1"
+PAR_HEIGHT=6
+par_steals=""
+for W in 1 2 4; do
+  start_server --cache 0 --par-threshold 1 --par-max-workers "$W"
+  run=$(loadgen --conns 1 --pipeline 1 --spec "$PAR_SPEC" --algo par-alphabeta)
+  summary "par_scaling_w$W" "$run"
+  eval "par_run_$W=\$run"
+  eval "par_p50_$W=\$(p50_of \"\$run\")"
+  if [ "$W" -eq 4 ]; then
+    par_steals=$(printf '%s' "$run" | sed -n 's/.*"par_steals":\([0-9][0-9]*\).*/\1/p')
+  fi
+  stop_server
+done
+
+cores=$(nproc 2>/dev/null || echo 1)
+sp2=$(awk -v a="${par_p50_1:-0}" -v b="${par_p50_2:-0}" \
+  'BEGIN { if (a > 0 && b > 0) printf "%.3f", a / b; else printf "null" }')
+sp4=$(awk -v a="${par_p50_1:-0}" -v b="${par_p50_4:-0}" \
+  'BEGIN { if (a > 0 && b > 0) printf "%.3f", a / b; else printf "null" }')
+echo "bench_serve: par scaling on $cores core(s): speedup w2=$sp2 w4=$sp4, steals=$par_steals" >&2
+[ "${par_steals:-0}" -gt 0 ] || {
+  echo "bench_serve: parallel eval recorded no steals" >&2
+  exit 1
+}
+if [ "$cores" -ge 2 ]; then
+  awk -v s="${sp4:-0}" 'BEGIN { exit !(s >= 1.5) }' || {
+    echo "bench_serve: multi-core speedup at 4 workers is $sp4 (< 1.5x)" >&2
+    exit 1
+  }
+else
+  awk -v s="${sp4:-0}" 'BEGIN { exit !(s >= 0.9) }' || {
+    echo "bench_serve: single-core parity at 4 workers is $sp4 (> 10% overhead)" >&2
+    exit 1
+  }
+fi
+par_scaling=$(printf '{"spec":"%s","cores":%s,"paper":{"bound":"S(T)/P(T) >= c(n+1)","n_plus_1":%s},"p50_us":{"w1":%s,"w2":%s,"w4":%s},"speedup":{"w2":%s,"w4":%s},"par_steals_w4":%s}' \
+  "$PAR_SPEC" "$cores" "$((PAR_HEIGHT + 1))" \
+  "${par_p50_1:-null}" "${par_p50_2:-null}" "${par_p50_4:-null}" \
+  "${sp2:-null}" "${sp4:-null}" "${par_steals:-0}")
+
 # --- Fleet scenarios -------------------------------------------------
 # Engine-bound distinct keys (no caching, no coalescing) so the
 # router's per-request hop cost is measured against real evaluation
@@ -199,9 +255,14 @@ ROUTER_PID=$!
 FLEET_PIDS="$ROUTER_PID $REPLICA_PIDS"
 wait_up "$ROUTE_PORT"
 
+# Heavier per-eval spec than the throughput runs: multi-millisecond
+# evals keep every replica's pooled connection busy, so the kill below
+# always catches in-flight requests and the retries>0 assertion cannot
+# race against an idle victim.
+FAILOVER_SPEC="worst:d=2,n=18"
 failover_json="$(mktemp)"
 "$BIN" loadgen --addr "$ROUTE_ADDR" --rps 0 --duration 4 --json \
-  --conns 4 --pipeline 2 --spec "$FLEET_SPEC" --algo "$FLEET_ALGO" --distinct \
+  --conns 4 --pipeline 2 --spec "$FAILOVER_SPEC" --algo "$FLEET_ALGO" --distinct \
   > "$failover_json" &
 LOADGEN_PID=$!
 sleep 1.5
@@ -312,8 +373,8 @@ split_window_gain=$(printf '{"spec":"%s","windowed_leaves":%s,"naive_leaves":%s}
   "$WINDOW_SPEC" "$windowed_leaves" "$naive_leaves")
 echo "bench_serve: split ok ($splits splits; windowed $windowed_leaves vs naive $naive_leaves leaves)" >&2
 
-printf '{"duration_s":%s,"cached_pipeline1":%s,"cached_pipeline8":%s,"coalesced":%s,"cold":%s,"cold_storm":%s,"fleet_direct":%s,"fleet_router":%s,"router_overhead_p50_pct":%s,"fleet_failover":%s,"fleet_failover_router_stats":%s,"fleet_split":%s,"fleet_split_router_stats":%s,"split_window_gain":%s}\n' \
-  "$DUR" "$cached_p1" "$cached_p8" "$coalesced" "$cold" "$cold_storm" \
+printf '{"duration_s":%s,"cached_pipeline1":%s,"cached_pipeline8":%s,"coalesced":%s,"cold":%s,"cold_storm":%s,"par_scaling":%s,"fleet_direct":%s,"fleet_router":%s,"router_overhead_p50_pct":%s,"fleet_failover":%s,"fleet_failover_router_stats":%s,"fleet_split":%s,"fleet_split_router_stats":%s,"split_window_gain":%s}\n' \
+  "$DUR" "$cached_p1" "$cached_p8" "$coalesced" "$cold" "$cold_storm" "$par_scaling" \
   "$fleet_direct" "$fleet_router" "${overhead:-null}" "$fleet_failover" "$failover_stats" \
   "$fleet_split" "$split_stats" "$split_window_gain" > "$OUT"
 echo "bench_serve: wrote $OUT" >&2

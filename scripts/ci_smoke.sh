@@ -4,8 +4,12 @@
 # transport failure.  Then a distinct-key cold-storm burst: every
 # request is a cold miss crossing the shared executor, and any shed
 # (429) or timeout (408) fails the run — a regression guard for the
-# executor's queue sizing and dispatch throughput.  Also checks that
-# SIGINT drains the server.
+# executor's queue sizing and dispatch throughput.  A par cold storm
+# follows: the server boots with a low --par-threshold so par-* evals
+# draw multi-thread grants from the work-stealing pool, and the run
+# asserts value parity with the sequential engine plus par_steals > 0
+# and par_grants > 0 in stats.  Also checks that SIGINT drains the
+# server.
 #
 # Observability checks ride along: the server boots with
 # --metrics-addr, /metrics is scraped twice (well-formed # TYPE lines,
@@ -44,7 +48,8 @@ if [ ! -x "$BIN" ]; then
 fi
 
 "$BIN" serve --addr "$ADDR" --eval-workers 2 --queue-depth 512 \
-  --metrics-addr "$METRICS_ADDR" --trace-ring 64 >/dev/null 2>&1 &
+  --metrics-addr "$METRICS_ADDR" --trace-ring 64 \
+  --par-threshold 64 --par-max-workers 4 >/dev/null 2>&1 &
 SERVER_PID=$!
 trap 'kill -INT "$SERVER_PID" 2>/dev/null || true; wait "$SERVER_PID" 2>/dev/null || true' EXIT
 
@@ -137,6 +142,51 @@ fail=""
 [ "${timeout:-0}" -eq 0 ] || { echo "ci_smoke: cold storm timed out $timeout requests" >&2; fail=1; }
 [ "${transport:-0}" -eq 0 ] || { echo "ci_smoke: cold storm hit $transport transport errors" >&2; fail=1; }
 [ -z "$fail" ] || exit 1
+
+# Par cold storm: distinct minmax keys whose estimated cost clears
+# the low --par-threshold, so every miss draws a multi-thread grant
+# from the work-stealing engine pool (gt_tree::par).
+json=$("$BIN" loadgen --addr "$ADDR" --rps 0 --duration "$DUR" --conns 8 \
+  --pipeline 2 --spec minmax-worst:d=4,n=4,seed=3 --algo par-alphabeta \
+  --distinct --json)
+echo "ci_smoke: par storm $json"
+
+ok=$(field ok)
+bad=$(field bad)
+shed=$(field shed)
+timeout=$(field timeout)
+transport=$(field transport_errors)
+
+fail=""
+[ "${ok:-0}" -gt 0 ] || { echo "ci_smoke: par storm got no successful replies" >&2; fail=1; }
+[ "${bad:-0}" -eq 0 ] || { echo "ci_smoke: par storm got $bad bad-request replies" >&2; fail=1; }
+[ "${shed:-0}" -eq 0 ] || { echo "ci_smoke: par storm shed $shed requests" >&2; fail=1; }
+[ "${timeout:-0}" -eq 0 ] || { echo "ci_smoke: par storm timed out $timeout requests" >&2; fail=1; }
+[ "${transport:-0}" -eq 0 ] || { echo "ci_smoke: par storm hit $transport transport errors" >&2; fail=1; }
+[ -z "$fail" ] || exit 1
+
+# Value parity: the threaded engine must agree with the sequential
+# alpha-beta baseline on the same tree, and the pool must actually
+# have stolen work somewhere along the way.
+spec="minmax:d=4,n=4,lo=-9,hi=9,seed=11"
+want=$("$BIN" eval --gen "$spec" --algo ab \
+  | sed -n 's/^value[[:space:]]*:[[:space:]]*\(-\{0,1\}[0-9][0-9]*\).*/\1/p')
+exec 8<>"/dev/tcp/127.0.0.1/$PORT"
+printf '{"op":"eval","spec":"%s","algo":"par-alphabeta","deadline_ms":10000}\n' "$spec" >&8
+IFS= read -r par_reply <&8
+printf '{"op":"stats"}\n' >&8
+IFS= read -r par_stats <&8
+exec 8<&- 8>&-
+got=$(printf '%s' "$par_reply" | sed -n 's/.*"value":\(-\{0,1\}[0-9][0-9]*\).*/\1/p')
+if [ -z "${want:-}" ] || [ "$got" != "$want" ]; then
+  echo "ci_smoke: par-alphabeta value ${got:-none} != sequential ${want:-none}: $par_reply" >&2
+  exit 1
+fi
+steals=$(printf '%s' "$par_stats" | sed -n 's/.*"par_steals":\([0-9][0-9]*\).*/\1/p')
+grants=$(printf '%s' "$par_stats" | sed -n 's/.*"par_grants":\([0-9][0-9]*\).*/\1/p')
+[ "${grants:-0}" -gt 0 ] || { echo "ci_smoke: no parallel grants were issued: $par_stats" >&2; exit 1; }
+[ "${steals:-0}" -gt 0 ] || { echo "ci_smoke: steals_total is zero after the par storm: $par_stats" >&2; exit 1; }
+echo "ci_smoke: par ok ($grants grants, $steals steals, value $got = $want)" >&2
 
 # Second scrape: counters must be monotone, and the storm guarantees
 # strictly more requests than the first scrape saw.

@@ -664,3 +664,50 @@ fn graceful_shutdown_drains_in_flight_work() {
         }
     }
 }
+
+#[test]
+fn deadline_kills_every_thread_of_a_parallel_grant() {
+    let server = start(Config {
+        workers: 4,
+        // Every par-* eval fans out across the pool.
+        par_threshold: 1,
+        par_max_workers: 4,
+        ..Config::default()
+    });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // 2^30 leaves in worst ordering: alpha-beta prunes nothing, so no
+    // grant width finishes inside 100ms.  The reaper flips the
+    // flight's one cancel flag; every pool worker running the grant
+    // polls it and aborts.
+    let started = Instant::now();
+    let r = client
+        .eval("minmax-worst:d=2,n=30,seed=1", "par-alphabeta", Some(100))
+        .unwrap();
+    let elapsed = started.elapsed();
+    assert!(!r.ok);
+    assert_eq!(r.status, 408);
+    assert_eq!(r.code.as_deref(), Some("timeout"));
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "timeout reply took {elapsed:?}"
+    );
+
+    // All granted threads returned to the pool: a fresh parallel eval
+    // completes and agrees with the sequential engine.
+    let spec = "minmax:d=6,n=2,lo=-9,hi=9,seed=3";
+    let par = client.eval(spec, "par-alphabeta", Some(5_000)).unwrap();
+    assert!(par.ok, "pool wedged after cancel: {:?}", par.error);
+    let seq = client.eval(spec, "alphabeta", Some(5_000)).unwrap();
+    assert!(seq.ok);
+    assert_eq!(par.value(), seq.value());
+
+    client.shutdown_server().unwrap();
+    let stats = server.join();
+    assert_eq!(stats.timeout, 1);
+    assert_eq!(stats.ok, 2);
+    assert!(
+        stats.par_grants >= 1,
+        "the big eval must have drawn a multi-thread grant"
+    );
+}

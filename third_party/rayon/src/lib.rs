@@ -8,12 +8,53 @@
 //! Differences from the real crate, deliberately accepted: there is no
 //! global work-stealing pool — `join` runs one side on a scoped thread,
 //! and a parallel map splits its input into one chunk per available
-//! core.  Results are returned in input order, as rayon's `collect`
-//! guarantees.  On a single-core host everything degrades to the
-//! sequential path with no thread spawns.
+//! core (never fewer than two chunks, so concurrency is exercised even
+//! on a single-core host).  Results are returned in input order, as
+//! rayon's `collect` guarantees.
+//!
+//! Spawning is budgeted, not unconditional.  Recursive fork-join
+//! callers (the cascade engine joins at every node of its left spine)
+//! would otherwise pile up one live OS thread per recursion level —
+//! tens of thousands on a deep tree — and starve every other thread in
+//! the process.  A global live-spawn counter admits real threads up to
+//! `max(4, 4 × cores)`; past the cap, `join` and chunked maps run
+//! inline on the caller.  The first joins of any computation therefore
+//! always get a genuinely concurrent split, on every machine,
+//! single-core included, while total shim threads stay bounded no
+//! matter how deep the recursion goes.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+
+/// Live threads spawned by the shim, across `join` and `collect`.
+static LIVE_SPAWNS: AtomicUsize = AtomicUsize::new(0);
+
+fn spawn_cap() -> usize {
+    cores().saturating_mul(4).max(4)
+}
+
+/// A reservation against the live-spawn budget; dropping it (in the
+/// spawned thread, as it finishes) releases the slot.
+struct SpawnToken;
+
+impl SpawnToken {
+    fn try_reserve() -> Option<SpawnToken> {
+        let cap = spawn_cap();
+        LIVE_SPAWNS
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < cap).then_some(n + 1)
+            })
+            .ok()
+            .map(|_| SpawnToken)
+    }
+}
+
+impl Drop for SpawnToken {
+    fn drop(&mut self) {
+        LIVE_SPAWNS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
 
 /// Run both closures, potentially concurrently, and return both
 /// results.
@@ -24,14 +65,23 @@ where
     RA: Send,
     RB: Send,
 {
-    if cores() <= 1 {
-        return (a(), b());
+    match SpawnToken::try_reserve() {
+        Some(token) => thread::scope(|s| {
+            let hb = s.spawn(move || {
+                let _slot = token;
+                b()
+            });
+            let ra = a();
+            (ra, hb.join().expect("rayon-shim join arm panicked"))
+        }),
+        // Budget exhausted: the process is already saturated with shim
+        // threads, so run both arms inline on the caller.
+        None => {
+            let ra = a();
+            let rb = b();
+            (ra, rb)
+        }
     }
-    thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("rayon-shim join arm panicked"))
-    })
 }
 
 fn cores() -> usize {
@@ -43,7 +93,7 @@ fn cores() -> usize {
 /// The parallel-iterator subset: `par_iter()` / `into_par_iter()`,
 /// `.map(...)`, `.collect()`.
 pub mod prelude {
-    use super::cores;
+    use super::{cores, SpawnToken};
     use std::thread;
 
     /// A to-be-parallelized sequence (already drained into memory).
@@ -76,7 +126,9 @@ pub mod prelude {
         /// input order.
         pub fn collect<C: FromIterator<U>>(self) -> C {
             let n = self.items.len();
-            let workers = cores().min(n);
+            // At least two chunks whenever there are two items: even a
+            // single-core host runs the concurrent path.
+            let workers = cores().max(2).min(n);
             if workers <= 1 {
                 return self.items.into_iter().map(self.f).collect();
             }
@@ -91,14 +143,29 @@ pub mod prelude {
                 chunks.push(c);
             }
             let f = &self.f;
+            // Chunks run on a spawned thread while the live-spawn
+            // budget lasts, inline on the caller once it is exhausted.
+            enum Chunk<'scope, U> {
+                Spawned(thread::ScopedJoinHandle<'scope, Vec<U>>),
+                Inline(Vec<U>),
+            }
             let mapped: Vec<Vec<U>> = thread::scope(|s| {
-                let handles: Vec<_> = chunks
+                let handles: Vec<Chunk<'_, U>> = chunks
                     .into_iter()
-                    .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+                    .map(|c| match SpawnToken::try_reserve() {
+                        Some(token) => Chunk::Spawned(s.spawn(move || {
+                            let _slot = token;
+                            c.into_iter().map(f).collect::<Vec<U>>()
+                        })),
+                        None => Chunk::Inline(c.into_iter().map(f).collect()),
+                    })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("rayon-shim map worker panicked"))
+                    .map(|h| match h {
+                        Chunk::Spawned(h) => h.join().expect("rayon-shim map worker panicked"),
+                        Chunk::Inline(v) => v,
+                    })
                     .collect()
             });
             mapped.into_iter().flatten().collect()
@@ -168,6 +235,49 @@ mod tests {
     fn join_returns_both_sides() {
         let (a, b) = join(|| 2 + 2, || "ok");
         assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn first_join_runs_arms_on_distinct_threads() {
+        let caller = std::thread::current().id();
+        let (_, spawned) = join(|| (), || std::thread::current().id());
+        assert_ne!(caller, spawned, "fresh join must get a real thread");
+    }
+
+    #[test]
+    fn recursive_joins_stay_within_the_spawn_budget() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::thread::ThreadId;
+        // A depth-200 spine of nested joins, recursing down the spawned
+        // arm: unbounded spawning would hold ~200 live OS threads at
+        // once (each level's join blocks until the whole sub-spine
+        // finishes).  Count only frames running on a thread their
+        // parent frame was not on — live spawned threads.
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        fn spine(depth: usize, parent: ThreadId) {
+            let tid = std::thread::current().id();
+            let fresh = tid != parent;
+            if fresh {
+                let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                PEAK.fetch_max(live, Ordering::SeqCst);
+            }
+            if depth > 0 {
+                join(|| (), || spine(depth - 1, tid));
+            }
+            if fresh {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        spine(200, std::thread::current().id());
+        let peak = PEAK.load(Ordering::SeqCst);
+        assert!(peak >= 1, "no join ever spawned a real thread");
+        assert!(
+            peak <= spawn_cap(),
+            "peak {} live spawned threads exceeds budget {}",
+            peak,
+            spawn_cap()
+        );
     }
 
     #[test]
