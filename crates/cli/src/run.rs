@@ -47,17 +47,18 @@ USAGE:
                [--small-cost C] [--cache N] [--shards N] [--cache-ttl MS]
                [--conn-window N] [--deadline-ms MS] [--trace-ring N]
                [--slow-us US] [--metrics-addr A] [--par-threshold C]
-               [--par-max-workers K]
+               [--par-max-workers K] [--io-threads N]
+               [--conn-idle-timeout MS]
   gtree route  [--addr A] [--replica ADDR]... [--spawn N] [--spawn-workers N]
                [--pool N] [--conn-window N] [--client-window N] [--retries N]
                [--hedge-ms MS] [--backoff-ms MS] [--probe-interval MS]
                [--probe-timeout MS] [--eject-after N] [--readmit-ms MS]
                [--deadline-ms MS] [--metrics-addr A] [--split-cost C]
                [--split-depth N] [--split-naive] [--split-speculative]
-  gtree loadgen [--addr A] [--conns N] [--rps R] [--duration SECS]
-               [--pipeline N] [--spec SPEC] [--algo SERVE-ALGO]
-               [--deadline-ms MS] [--distinct] [--split-heavy]
-               [--server-stats] [--json]
+  gtree loadgen [--addr A] [--conns N] [--connections N] [--rps R]
+               [--duration SECS] [--pipeline N] [--spec SPEC]
+               [--algo SERVE-ALGO] [--deadline-ms MS] [--distinct]
+               [--split-heavy] [--server-stats] [--json]
 
 SPEC:     kind:key=val,...   kinds: nor crit worst allones minmax
                                     minmax-best minmax-worst minmax-corr
@@ -79,6 +80,11 @@ round cascade ybw tt par-alphabeta par-solve.  --eval-workers bounds total engin
 leaves are micro-batched up to --batch-max per dispatch; --cache-ttl
 expires cached results; par-* evals costlier than --par-threshold
 leaves fan out across up to --par-max-workers idle engine threads.
+--io-threads sizes the fixed readiness-driven I/O pool that
+multiplexes all connections (no thread per connection);
+--conn-idle-timeout closes connections with no complete request for
+MS milliseconds.  loadgen --connections N holds N extra mostly-idle
+fan-in connections under the active --conns workers (c10k probing).
 Observability (docs/OBSERVABILITY.md): the
 flight recorder keeps the last --trace-ring request traces plus every
 slow (>= --slow-us) or failed one, read back with {\"op\":\"trace\"};
@@ -576,6 +582,11 @@ fn run_serve(args: &[String]) -> Result<String, CliError> {
             "--par-max-workers" => {
                 config.par_max_workers = parse_flag("--par-max-workers", &next(&mut i)?)?;
             }
+            "--io-threads" => config.io_threads = parse_flag("--io-threads", &next(&mut i)?)?,
+            "--conn-idle-timeout" => {
+                config.conn_idle_timeout_ms =
+                    Some(parse_flag("--conn-idle-timeout", &next(&mut i)?)?);
+            }
             other => return Err(CliError::usage(format!("unknown argument {other:?}"))),
         }
         i += 1;
@@ -705,6 +716,9 @@ fn run_loadgen_cmd(args: &[String]) -> Result<String, CliError> {
         match args[i].as_str() {
             "--addr" => config.addr = next(&mut i)?,
             "--conns" => config.conns = parse_flag("--conns", &next(&mut i)?)?,
+            "--connections" => {
+                config.connections = parse_flag("--connections", &next(&mut i)?)?;
+            }
             "--rps" => config.rps = parse_flag("--rps", &next(&mut i)?)?,
             "--duration" => {
                 let secs: f64 = parse_flag("--duration", &next(&mut i)?)?;
@@ -940,6 +954,25 @@ mod tests {
                 .exit_code,
             2,
             "the leaf ceiling is gone: every algorithm is cancellable"
+        );
+        assert_eq!(
+            run_str(&["serve", "--io-threads", "none"])
+                .unwrap_err()
+                .exit_code,
+            2
+        );
+        assert_eq!(
+            run_str(&["serve", "--conn-idle-timeout"])
+                .unwrap_err()
+                .exit_code,
+            2,
+            "missing value"
+        );
+        assert_eq!(
+            run_str(&["loadgen", "--connections", "-3"])
+                .unwrap_err()
+                .exit_code,
+            2
         );
         let err = run_str(&["loadgen", "--pipeline", "8", "--rps", "10"]).unwrap_err();
         assert_eq!(err.exit_code, 2);

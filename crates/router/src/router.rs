@@ -29,6 +29,7 @@ use crate::health::{tier_route, HealthMachine, HealthPolicy};
 use crate::metrics::{ReplicaCounters, ReplicaSnapshot, RouterMetrics, RouterSnapshot};
 use crate::split::{plan_levels, Dispatch, Effects, FailKind, Outcome, SplitConfig, SplitMachine};
 use gt_analysis::Json;
+use gt_serve::io::{BufferPool, LineAction, LineReader, Poller, Waker};
 use gt_serve::protocol::{
     error_line_with, ok_line, ErrorCode, Op, Request, Response, PROTOCOL_VERSION,
 };
@@ -37,7 +38,7 @@ use gt_serve::workload;
 use gt_tree::split::{path_text, SubtreeSpec};
 use gt_tree::Value;
 use std::collections::{BinaryHeap, HashMap};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
@@ -145,6 +146,11 @@ impl ClientWindow {
         }
     }
 
+    /// Claim a slot.  The client-io loop checks [`in_flight`] against
+    /// the limit *before* consuming a request line (deferring the line
+    /// otherwise), and only this connection's io thread ever acquires,
+    /// so in practice the wait never blocks — it is kept as a guard
+    /// against future callers with weaker discipline.
     fn acquire(&self, limit: usize) {
         let mut n = self.slots.lock().unwrap();
         while *n >= limit.max(1) {
@@ -158,11 +164,10 @@ impl ClientWindow {
         self.cv.notify_all();
     }
 
-    fn drain(&self) {
-        let mut n = self.slots.lock().unwrap();
-        while *n > 0 {
-            n = self.cv.wait(n).unwrap();
-        }
+    /// Requests currently holding a slot — the io loop's non-blocking
+    /// probe for flow control and drain completion.
+    fn in_flight(&self) -> usize {
+        *self.slots.lock().unwrap()
     }
 }
 
@@ -1610,46 +1615,217 @@ fn handle_client_line(
     }
 }
 
-fn client_loop(inner: Arc<Inner>, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let writer = Arc::new(Mutex::new(write_half));
-    let window = Arc::new(ClientWindow::new());
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {
-                handle_client_line(&inner, &writer, &window, line.trim());
-                line.clear();
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                // Poll tick; partial input stays in `line`.  Draining
-                // only stops the listener — established clients get
-                // their in-flight replies and per-request `draining`
-                // errors, never a slammed door.
-                if inner.draining.load(Ordering::SeqCst) && line.is_empty() {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    // Every accepted eval holds a window slot until its reply line is
-    // written; drain so the write half outlives the last reply.
-    window.drain();
+// ---------------------------------------------------------------------------
+// Client-side I/O: a fixed pool of readiness-driven threads.
+//
+// The router used to spawn one `gt-router-conn` thread per client; a
+// fleet of mostly-idle connections (the c10k shape gt-serve now
+// handles with its own event loop) would have meant a thread census
+// proportional to the connection count.  Instead the accept thread
+// hands each accepted socket to one of CLIENT_IO_THREADS event-loop
+// threads round-robin; each thread multiplexes its connections with
+// the same `gt_serve::io` poller/line-reader machinery the replicas
+// use.  Client sockets stay *blocking*: a read is only issued after
+// the poller reports readiness (a ready TCP socket returns what it
+// has without blocking, and a short read timeout backstops spurious
+// wakeups), so `write_line` — called from upstream reader threads as
+// replies land — keeps its simple blocking discipline.
+//
+// Flow control is the same window as before, made non-blocking: the
+// feed closure defers a request line (leaves it buffered, unconsumed)
+// while the connection's window is full, and retries on the next poll
+// tick.  Only the connection's own io thread acquires slots, so the
+// pre-check guarantees `ClientWindow::acquire` never waits.
+// ---------------------------------------------------------------------------
+
+/// Client-io pool size.  Two threads soak thousands of mostly-idle
+/// connections; the heavy lifting stays in the upstream pools.
+const CLIENT_IO_THREADS: usize = 2;
+
+/// Token for a client-io thread's waker; connections start above it.
+const CLIENT_TOKEN_BASE: u64 = 1;
+
+/// Accepted sockets in flight from the accept thread to an io thread.
+struct ClientIoHandle {
+    injector: Mutex<Vec<TcpStream>>,
+    waker: Waker,
 }
 
-fn accept_loop(inner: Arc<Inner>, listener: TcpListener, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+/// One multiplexed client connection.
+struct ClientConn {
+    stream: TcpStream,
+    writer: Arc<Mutex<TcpStream>>,
+    window: Arc<ClientWindow>,
+    reader: LineReader,
+    peer_closed: bool,
+}
+
+fn client_io_loop(inner: Arc<Inner>, handle: Arc<ClientIoHandle>) {
+    let Ok(poller) = Poller::new() else { return };
+    if poller.add(handle.waker.read_fd(), 0, true, false).is_err() {
+        return;
+    }
+    let mut conns: Vec<Option<ClientConn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut pool = BufferPool::new(64, MAX_LINE_BYTES);
+    let mut scratch = vec![0u8; 16 * 1024];
+    let mut events = Vec::new();
+    loop {
+        let _ = poller.wait(&mut events, POLL_INTERVAL.as_millis() as i32);
+        let draining = inner.draining.load(Ordering::SeqCst);
+        handle.waker.drain();
+        let fresh = std::mem::take(&mut *handle.injector.lock().unwrap());
+        for stream in fresh {
+            if draining {
+                continue; // raced the drain; never registered
+            }
+            let _ = stream.set_nodelay(true);
+            // Reads are readiness-gated; the timeout only bounds the
+            // rare spurious wakeup so one socket cannot park the loop.
+            let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+            let Ok(write_half) = stream.try_clone() else {
+                continue;
+            };
+            let conn = ClientConn {
+                stream,
+                writer: Arc::new(Mutex::new(write_half)),
+                window: Arc::new(ClientWindow::new()),
+                reader: LineReader::new(MAX_LINE_BYTES),
+                peer_closed: false,
+            };
+            let idx = free.pop().unwrap_or_else(|| {
+                conns.push(None);
+                conns.len() - 1
+            });
+            use std::os::unix::io::AsRawFd;
+            if poller
+                .add(
+                    conn.stream.as_raw_fd(),
+                    CLIENT_TOKEN_BASE + idx as u64,
+                    true,
+                    false,
+                )
+                .is_err()
+            {
+                free.push(idx);
+                continue;
+            }
+            conns[idx] = Some(conn);
+        }
+        for ev in events.drain(..) {
+            if ev.token < CLIENT_TOKEN_BASE {
+                continue; // waker, already drained
+            }
+            let idx = (ev.token - CLIENT_TOKEN_BASE) as usize;
+            let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                continue; // stale event for a retired slot
+            };
+            if ev.readable && !draining {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => conn.peer_closed = true,
+                    Ok(n) => {
+                        if !feed_client(&inner, conn, &scratch[..n], &mut pool) {
+                            conn.peer_closed = true;
+                        }
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) => {}
+                    Err(_) => conn.peer_closed = true,
+                }
+            } else if ev.hangup {
+                conn.peer_closed = true;
+            }
+        }
+        // Tick: resume lines deferred on a full window, then retire
+        // connections that are finished.  A closed or draining
+        // connection lingers until its window drains so every
+        // accepted eval is answered before the socket goes away.
+        for idx in 0..conns.len() {
+            let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                continue;
+            };
+            if !conn.peer_closed
+                && !draining
+                && conn.reader.has_carry()
+                && !feed_client(&inner, conn, &[], &mut pool)
+            {
+                conn.peer_closed = true;
+            }
+            if (conn.peer_closed || draining) && conn.window.in_flight() == 0 {
+                let conn = conns[idx].take().unwrap();
+                use std::os::unix::io::AsRawFd;
+                let _ = poller.delete(conn.stream.as_raw_fd());
+                free.push(idx);
+            }
+        }
+        if draining && conns.iter().all(Option::is_none) {
+            return;
+        }
+    }
+}
+
+/// Feed bytes from (or buffered for) a client connection through its
+/// line reader.  Returns `false` when the connection should close
+/// (over-long or undecodable request line).
+fn feed_client(
+    inner: &Arc<Inner>,
+    conn: &mut ClientConn,
+    data: &[u8],
+    pool: &mut BufferPool,
+) -> bool {
+    let ClientConn {
+        writer,
+        window,
+        reader,
+        ..
+    } = conn;
+    let limit = inner.config.client_window;
+    let mut bad = false;
+    let fed = reader.feed(data, pool, |line| {
+        if window.in_flight() >= limit.max(1) {
+            return LineAction::Defer;
+        }
+        let Ok(text) = std::str::from_utf8(line) else {
+            RouterMetrics::bump(&inner.metrics.bad_request);
+            write_line(
+                writer,
+                &error_line_with(
+                    &None,
+                    ErrorCode::BadRequest,
+                    "request line is not UTF-8",
+                    Vec::new(),
+                ),
+            );
+            bad = true;
+            return LineAction::Stop;
+        };
+        handle_client_line(inner, writer, window, text.trim());
+        LineAction::Continue
+    });
+    reader.release(pool);
+    match fed {
+        Ok(_) => !bad,
+        Err(_) => {
+            RouterMetrics::bump(&inner.metrics.bad_request);
+            write_line(
+                writer,
+                &error_line_with(
+                    &None,
+                    ErrorCode::BadRequest,
+                    "request line too long",
+                    Vec::new(),
+                ),
+            );
+            false
+        }
+    }
+}
+
+fn accept_loop(inner: Arc<Inner>, listener: TcpListener, io: Vec<Arc<ClientIoHandle>>) {
+    let mut next = 0usize;
     loop {
         if inner.draining.load(Ordering::SeqCst) {
             return;
@@ -1657,13 +1833,10 @@ fn accept_loop(inner: Arc<Inner>, listener: TcpListener, conns: Arc<Mutex<Vec<Jo
         match listener.accept() {
             Ok((stream, _)) => {
                 RouterMetrics::bump(&inner.metrics.connections);
-                let inner2 = Arc::clone(&inner);
-                if let Ok(handle) = std::thread::Builder::new()
-                    .name("gt-router-conn".into())
-                    .spawn(move || client_loop(inner2, stream))
-                {
-                    conns.lock().unwrap().push(handle);
-                }
+                let target = &io[next % io.len()];
+                next = next.wrapping_add(1);
+                target.injector.lock().unwrap().push(stream);
+                target.waker.wake();
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -1711,7 +1884,8 @@ pub struct Router {
     inner: Arc<Inner>,
     local_addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    client_io: Vec<Arc<ClientIoHandle>>,
+    client_io_threads: Vec<JoinHandle<()>>,
     pacer_thread: Option<JoinHandle<()>>,
     upstream_threads: Vec<JoinHandle<()>>,
     probe_thread: Option<JoinHandle<()>>,
@@ -1799,13 +1973,27 @@ impl Router {
                 .name("gt-router-probe".into())
                 .spawn(move || probe_loop(inner2))?
         };
-        let conns = Arc::new(Mutex::new(Vec::new()));
+        let mut client_io = Vec::new();
+        let mut client_io_threads = Vec::new();
+        for i in 0..CLIENT_IO_THREADS {
+            let handle = Arc::new(ClientIoHandle {
+                injector: Mutex::new(Vec::new()),
+                waker: Waker::new()?,
+            });
+            client_io.push(Arc::clone(&handle));
+            let inner2 = Arc::clone(&inner);
+            client_io_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("gt-router-io-{i}"))
+                    .spawn(move || client_io_loop(inner2, handle))?,
+            );
+        }
         let accept = {
             let inner2 = Arc::clone(&inner);
-            let conns2 = Arc::clone(&conns);
+            let io = client_io.clone();
             std::thread::Builder::new()
                 .name("gt-router-accept".into())
-                .spawn(move || accept_loop(inner2, listener, conns2))?
+                .spawn(move || accept_loop(inner2, listener, io))?
         };
         let metrics_listener = match inner.config.metrics_addr.clone() {
             Some(addr) => {
@@ -1821,7 +2009,8 @@ impl Router {
             inner,
             local_addr,
             accept: Some(accept),
-            conns,
+            client_io,
+            client_io_threads,
             pacer_thread: Some(pacer_thread),
             upstream_threads,
             probe_thread: Some(probe_thread),
@@ -1873,8 +2062,13 @@ impl Router {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
-        for h in conns {
+        // The io threads notice the drain flag, hold each connection
+        // until its window empties (every accepted eval answered),
+        // then exit once their slabs are empty.
+        for handle in &self.client_io {
+            handle.waker.wake();
+        }
+        for h in self.client_io_threads.drain(..) {
             let _ = h.join();
         }
         self.inner.pacer.halt();

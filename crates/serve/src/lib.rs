@@ -13,6 +13,14 @@
 //!   Requests on one connection may be **pipelined**: the server reads
 //!   continuously, evaluates concurrently (bounded per connection),
 //!   and replies out of order, correlated by the echoed `id`.
+//! * **Readiness-driven connection handling** ([`io`], [`server`]) —
+//!   a fixed pool of `--io-threads` event-loop threads (epoll on
+//!   Linux, poll elsewhere) multiplexes every connection: incremental
+//!   line parsing with pooled carry buffers, bounded per-connection
+//!   outbound queues drained by vectored writes, an idle sweep that
+//!   closes dribbling connections, and a self-pipe waker for replies
+//!   settled on other threads.  No thread per connection: the thread
+//!   census at 10 000 open connections equals the census at ten.
 //! * **Shared evaluation executor** ([`executor`]) — a fixed pool of
 //!   evaluation workers fed by per-algorithm queues, so total engine
 //!   concurrency is `--eval-workers` no matter how many connections
@@ -73,6 +81,7 @@
 pub mod cache;
 pub mod client;
 pub mod executor;
+pub mod io;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
@@ -85,6 +94,7 @@ pub mod workload;
 pub use cache::{CacheStats, LruCache, ShardedCache};
 pub use client::Client;
 pub use executor::{CostClass, Executor, ExecutorConfig, Scheduler, SubmitError};
+pub use io::{BufferPool, LineAction, LineReader, Poller, Waker};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use protocol::{ErrorCode, Op, Request, Response};

@@ -18,6 +18,15 @@
 //! the next.  Requests carry sequence-number ids and latencies are
 //! correlated through them, since a pipelined server replies in
 //! completion order.
+//!
+//! **Fan-in mode** ([`LoadgenConfig::connections`] `= n > 0`) layers
+//! `n` additional mostly-idle connections under whatever active load
+//! the run generates, from this one process: a small pool of
+//! connector threads opens the connections up front (one retry each),
+//! parks them for the run, and reports how many actually came up
+//! ([`LoadgenReport::fan_in_open`] / [`LoadgenReport::fan_in_failed`]).
+//! This is how the c10k benchmarks and smoke tests drive thousands of
+//! concurrent sockets against a replica without a client fleet.
 
 use crate::client::Client;
 use crate::protocol::{Op, Request};
@@ -33,6 +42,11 @@ pub struct LoadgenConfig {
     pub addr: String,
     /// Concurrent connections.
     pub conns: usize,
+    /// Extra mostly-idle connections held open for the whole run
+    /// (fan-in mode); 0 disables.  These carry no requests — they
+    /// exist to push the server's concurrent-connection count to
+    /// c10k-scale while the `conns` workers generate the actual load.
+    pub connections: usize,
     /// Total target request rate across all connections; 0 runs closed
     /// loop.
     pub rps: f64,
@@ -69,6 +83,7 @@ impl Default for LoadgenConfig {
         LoadgenConfig {
             addr: "127.0.0.1:7171".into(),
             conns: 1,
+            connections: 0,
             rps: 0.0,
             duration: Duration::from_secs(5),
             spec: "worst:d=2,n=8".into(),
@@ -164,6 +179,12 @@ pub struct LoadgenReport {
     /// Shed replies whose `retry_after_ms` hint the generator honored
     /// by backing off before its next send.
     pub retry_hints: u64,
+    /// Idle fan-in connections successfully opened and held for the
+    /// run ([`LoadgenConfig::connections`] mode).
+    pub fan_in_open: u64,
+    /// Idle fan-in connections that failed to open even after one
+    /// retry.
+    pub fan_in_failed: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Client-observed latencies of successful replies, microseconds.
@@ -207,6 +228,8 @@ impl LoadgenReport {
             ("other_error", Json::from(self.other_error)),
             ("transport_errors", Json::from(self.transport_errors)),
             ("retry_hints_honored", Json::from(self.retry_hints)),
+            ("fan_in_open", Json::from(self.fan_in_open)),
+            ("fan_in_failed", Json::from(self.fan_in_failed)),
             ("elapsed_ms", Json::from(self.elapsed.as_millis() as u64)),
             ("achieved_rps", Json::from(self.achieved_rps())),
             ("latency_p50_us", quantile(0.50)),
@@ -249,6 +272,13 @@ impl LoadgenReport {
         );
         if self.retry_hints > 0 {
             let _ = writeln!(out, "honored {} retry_after_ms hints", self.retry_hints);
+        }
+        if self.fan_in_open > 0 || self.fan_in_failed > 0 {
+            let _ = writeln!(
+                out,
+                "fan-in {} idle connections held ({} failed to open)",
+                self.fan_in_open, self.fan_in_failed
+            );
         }
         if !self.latencies_us.is_empty() {
             let _ = writeln!(
@@ -431,9 +461,40 @@ fn pipelined_worker(config: &LoadgenConfig, conn: usize, window: usize) -> Tally
     tally
 }
 
+/// Threads used to open fan-in connections; each opens its share of
+/// [`LoadgenConfig::connections`] and then parks holding them.
+const FAN_IN_CONNECTORS: usize = 16;
+
+/// Open `count` idle connections (one retry each), hold them until
+/// `done` flips, and report `(opened, failed)`.  The streams carry no
+/// traffic — their job is to occupy server-side connection slots.
+fn fan_in_worker(addr: &str, count: usize, done: &std::sync::atomic::AtomicBool) -> (u64, u64) {
+    use std::net::TcpStream;
+    use std::sync::atomic::Ordering;
+    let mut held: Vec<TcpStream> = Vec::with_capacity(count);
+    let mut failed = 0u64;
+    for _ in 0..count {
+        match TcpStream::connect(addr).or_else(|_| {
+            // One retry: listen backlogs overflow transiently when
+            // thousands of SYNs land at once.
+            thread::sleep(Duration::from_millis(10));
+            TcpStream::connect(addr)
+        }) {
+            Ok(s) => held.push(s),
+            Err(_) => failed += 1,
+        }
+    }
+    let opened = held.len() as u64;
+    while !done.load(Ordering::Acquire) {
+        thread::sleep(Duration::from_millis(20));
+    }
+    (opened, failed)
+}
+
 /// Run a load-generation session against `config.addr` and aggregate
 /// the results.
 pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
+    use std::sync::atomic::{AtomicBool, Ordering};
     let conns = config.conns.max(1);
     let per_conn_interval = if config.rps > 0.0 {
         Some(Duration::from_secs_f64(conns as f64 / config.rps))
@@ -441,8 +502,23 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
         None
     };
     let window = config.pipeline.max(1);
+    let fan_in_done = AtomicBool::new(false);
     let started = Instant::now();
-    let tallies: Vec<Tally> = thread::scope(|scope| {
+    let (tallies, fan_in): (Vec<Tally>, Vec<(u64, u64)>) = thread::scope(|scope| {
+        let fan_in_handles: Vec<_> = if config.connections > 0 {
+            let connectors = FAN_IN_CONNECTORS.min(config.connections);
+            let per = config.connections / connectors;
+            let extra = config.connections % connectors;
+            let done = &fan_in_done;
+            (0..connectors)
+                .map(|i| {
+                    let count = per + usize::from(i < extra);
+                    scope.spawn(move || fan_in_worker(&config.addr, count, done))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let handles: Vec<_> = (0..conns)
             .map(|conn| {
                 scope.spawn(move || {
@@ -454,16 +530,25 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
                 })
             })
             .collect();
-        handles
+        let tallies = handles
             .into_iter()
             .map(|h| h.join().unwrap_or_default())
-            .collect()
+            .collect();
+        fan_in_done.store(true, Ordering::Release);
+        let fan_in = fan_in_handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or((0, 0)))
+            .collect();
+        (tallies, fan_in)
     });
     let elapsed = started.elapsed();
     let mut total = Tally::default();
     for t in tallies {
         total.absorb(t);
     }
+    let (fan_in_open, fan_in_failed) = fan_in
+        .into_iter()
+        .fold((0, 0), |(o, f), (po, pf)| (o + po, f + pf));
     let server_stats = if config.include_server_stats {
         Client::connect(&config.addr)
             .ok()
@@ -484,6 +569,8 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
         other_error: total.other_error,
         transport_errors: total.transport_errors,
         retry_hints: total.retry_hints,
+        fan_in_open,
+        fan_in_failed,
         elapsed,
         latencies_us: total.latencies_us,
         server_stats,
@@ -606,6 +693,40 @@ mod tests {
         let to = Response::parse(&error_line(&None, ErrorCode::Timeout, "late")).unwrap();
         honor_shed_hint(&mut tally, &to);
         assert_eq!(tally.retry_hints, 1);
+    }
+
+    #[test]
+    fn fan_in_holds_idle_connections_alongside_active_load() {
+        let server = Server::start(Config {
+            workers: 2,
+            ..Config::default()
+        })
+        .unwrap();
+        let report = run_loadgen(&LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            conns: 1,
+            connections: 50,
+            rps: 0.0,
+            duration: Duration::from_millis(300),
+            spec: "worst:d=2,n=6".into(),
+            algo: "seq-solve".into(),
+            deadline_ms: Some(5_000),
+            pipeline: 1,
+            ..LoadgenConfig::default()
+        });
+        assert_eq!(report.fan_in_open, 50, "report: {}", report.render());
+        assert_eq!(report.fan_in_failed, 0);
+        assert!(report.ok > 0, "active load ran under the idle fan-in");
+        let j = report.to_json();
+        assert_eq!(j.get("fan_in_open").and_then(Json::as_u64), Some(50));
+        assert_eq!(j.get("fan_in_failed").and_then(Json::as_u64), Some(0));
+        assert!(report.render().contains("fan-in 50 idle connections"));
+        server.request_shutdown();
+        let stats = server.join();
+        // The server accounted every socket: 50 idle + 1 worker (plus
+        // none left open at join time).
+        assert!(stats.connections >= 51, "connections {}", stats.connections);
+        assert_eq!(stats.open_conns, 0);
     }
 
     #[test]

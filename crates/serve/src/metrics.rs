@@ -332,6 +332,17 @@ pub struct Metrics {
     pub subevals: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Connections currently registered with an I/O thread (gauge:
+    /// incremented on registration, decremented on close).
+    pub open_conns: AtomicU64,
+    /// Connections closed by the idle timeout (no completed request
+    /// line for `--conn-idle-timeout`).
+    pub idle_closed: AtomicU64,
+    /// Connections closed because their bounded outbound queue
+    /// overflowed (a never-draining slow reader).
+    pub overflow_closed: AtomicU64,
+    /// Connections closed for sending an over-long request line.
+    pub overlong_closed: AtomicU64,
     /// Work-stealing engine: tasks taken from another worker's deque,
     /// summed over all parallel evaluations.
     pub par_steals: AtomicU64,
@@ -423,6 +434,10 @@ impl Metrics {
             subeval_requests: r(&self.subeval_requests),
             subevals: r(&self.subevals),
             connections: r(&self.connections),
+            open_conns: r(&self.open_conns),
+            idle_closed: r(&self.idle_closed),
+            overflow_closed: r(&self.overflow_closed),
+            overlong_closed: r(&self.overlong_closed),
             par_steals: r(&self.par_steals),
             par_retires: r(&self.par_retires),
             par_narrowings: r(&self.par_narrowings),
@@ -477,6 +492,14 @@ pub struct MetricsSnapshot {
     pub subevals: u64,
     /// See [`Metrics::connections`].
     pub connections: u64,
+    /// See [`Metrics::open_conns`].
+    pub open_conns: u64,
+    /// See [`Metrics::idle_closed`].
+    pub idle_closed: u64,
+    /// See [`Metrics::overflow_closed`].
+    pub overflow_closed: u64,
+    /// See [`Metrics::overlong_closed`].
+    pub overlong_closed: u64,
     /// See [`Metrics::par_steals`].
     pub par_steals: u64,
     /// See [`Metrics::par_retires`].
@@ -547,6 +570,10 @@ impl MetricsSnapshot {
             ("subeval_requests", Json::from(self.subeval_requests)),
             ("subevals", Json::from(self.subevals)),
             ("connections", Json::from(self.connections)),
+            ("open_conns", Json::from(self.open_conns)),
+            ("idle_closed", Json::from(self.idle_closed)),
+            ("overflow_closed", Json::from(self.overflow_closed)),
+            ("overlong_closed", Json::from(self.overlong_closed)),
             ("par_steals", Json::from(self.par_steals)),
             ("par_retires", Json::from(self.par_retires)),
             ("par_narrowings", Json::from(self.par_narrowings)),
@@ -627,7 +654,18 @@ impl MetricsSnapshot {
                 self.subevals, self.subeval_requests
             );
         }
-        let _ = writeln!(out, "connections : {}", self.connections);
+        let _ = writeln!(
+            out,
+            "connections : {} ({} open)",
+            self.connections, self.open_conns
+        );
+        if self.idle_closed + self.overflow_closed + self.overlong_closed > 0 {
+            let _ = writeln!(
+                out,
+                "conn closes : {} idle, {} outbox overflow, {} over-long",
+                self.idle_closed, self.overflow_closed, self.overlong_closed
+            );
+        }
         if self.par_grants > 0 {
             let _ = writeln!(
                 out,

@@ -1,26 +1,47 @@
-//! The evaluation server: accept loop, pipelined connection handlers,
-//! the shared evaluation executor, sharded result cache, single-flight
-//! coalescing, and graceful shutdown.
+//! The evaluation server: a fixed pool of readiness-driven I/O
+//! threads, the shared evaluation executor, sharded result cache,
+//! single-flight coalescing, and graceful shutdown.
 //!
 //! ## Thread structure
 //!
 //! ```text
-//! accept thread ──spawns──▶ one reader thread per connection
-//! reader threads ──submit misses──▶ executor (per-algorithm queues)
+//! I/O threads (fixed pool, epoll loops; thread 0 owns the listener)
+//!   ├─ accept──▶ conns distributed round-robin across the pool
+//!   ├─ readable──▶ per-conn line state machine ──▶ inline replies,
+//!   │                                             misses submitted
+//!   └─ wakeups──▶ flush outbound queues, resume parsing
 //! eval workers (fixed pool) ──pop batches, evaluate, publish──▶ Flight
-//! publish ──drained waiters──▶ replies written, windows released
+//! publish ──drained waiters──▶ replies enqueued, I/O thread woken
 //! deadline reaper ──expired waiters──▶ 408 replies, flight detach
 //! ```
 //!
-//! Each connection is **pipelined**: its reader thread keeps reading
-//! NDJSON lines, answers control ops and cache hits inline, and
-//! *submits* every miss to the shared executor (at most `conn_window`
-//! of them outstanding per connection) without spawning anything.
-//! Total engine concurrency is the executor's fixed worker count, no
-//! matter how many connections are open.  Replies go out in completion
-//! order through a shared writer, correlated by the echoed `id`; a
-//! client that keeps one request outstanding observes the old strict
-//! request/reply alternation unchanged.
+//! A connection never owns a thread.  Each one is a small state
+//! machine pinned to one I/O thread: nonblocking socket, an
+//! incremental [`LineReader`] with a pooled carry buffer for partial
+//! lines, and a bounded outbound reply queue flushed with vectored
+//! writes.  Thousands of idle connections cost their sockets and a
+//! few hundred bytes of state each — no stacks, no parked readers.
+//!
+//! Each connection is **pipelined**: its I/O thread parses NDJSON
+//! lines as they arrive, answers control ops and cache hits inline,
+//! and *submits* every miss to the shared executor, at most
+//! `conn_window` of them outstanding per connection — past the window
+//! the state machine defers parsing (bytes queue in the carry buffer
+//! and the kernel) until a slot frees.  Total engine concurrency is
+//! the executor's fixed worker count, no matter how many connections
+//! are open.  Replies complete by enqueueing onto the connection's
+//! outbound queue and waking its I/O thread; they go out in
+//! completion order, correlated by the echoed `id`.
+//!
+//! ## Backpressure and slow readers
+//!
+//! A client that stops draining replies fills its bounded outbound
+//! queue: past the high-water mark its requests stop being parsed,
+//! and past the hard cap the connection is closed
+//! (`overflow_closed`).  A client that dribbles bytes without ever
+//! completing a request line holds only its pooled carry buffer and
+//! falls to `--conn-idle-timeout` (`idle_closed`) — no thread is ever
+//! pinned by either shape of slowloris.
 //!
 //! ## Single flight, asynchronously
 //!
@@ -47,15 +68,20 @@
 //! ## Shutdown
 //!
 //! `request_shutdown` (or a `shutdown` request, or the CLI's SIGINT
-//! handler) sets a flag that every loop polls: the accept loop stops
-//! accepting, readers stop reading, each connection drains its
-//! in-flight window (bounded by the requests' own deadlines), new
-//! evals are refused with `draining`, and [`Server::join`] reaps
-//! every thread — readers, then executor workers, then the reaper —
-//! before handing back the final metrics snapshot.
+//! handler) sets a flag that every loop polls: the I/O threads drop
+//! the listener, stop parsing input, and hold each connection open
+//! just long enough to flush its in-flight replies (bounded by the
+//! requests' own deadlines), new evals are refused with `draining`,
+//! and [`Server::join`] reaps every thread — I/O pool, then executor
+//! workers, then the reaper — before handing back the final metrics
+//! snapshot.
 
 use crate::cache::ShardedCache;
 use crate::executor::{ActiveGauge, CostClass, Executor, ExecutorConfig, SubmitError};
+use crate::io::{
+    drain_outbox, raise_nofile_limit, BufferPool, LineAction, LineReader, LineTooLong, Poller,
+    Waker,
+};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::protocol::{
     error_line, error_line_with, ok_line, ErrorCode, Op, Request, PROTOCOL_VERSION,
@@ -71,10 +97,11 @@ use crate::workload::{
 };
 use gt_analysis::Json;
 use gt_tree::{GenSpec, SubtreeSpec};
-use std::collections::BinaryHeap;
-use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::collections::{BinaryHeap, VecDeque};
+use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -82,8 +109,26 @@ use std::time::{Duration, Instant};
 /// Longest accepted request line; longer input closes the connection.
 const MAX_LINE_BYTES: usize = 64 * 1024;
 
-/// How often blocked loops poll the shutdown flag.
+/// How often blocked loops poll the shutdown flag (also the I/O
+/// threads' poll-wait timeout, so drains and idle sweeps tick at
+/// least this often).
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Outbound-queue level above which a connection's requests stop
+/// being parsed: a slow reader backpressures itself instead of
+/// growing an unbounded reply buffer.
+const OUTBOX_HIGH_WATER: usize = 128 * 1024;
+
+/// Hard cap on one connection's queued reply bytes; past it the
+/// connection is closed (`overflow_closed`).  Only reachable by a
+/// client that keeps pipelining while never draining replies.
+const OUTBOX_MAX_BYTES: usize = 1024 * 1024;
+
+/// Per-I/O-thread read scratch size (shared by all its connections).
+const READ_CHUNK: usize = 16 * 1024;
+
+/// How many open fds the server asks the kernel for at startup.
+const NOFILE_TARGET: u64 = 1 << 16;
 
 /// Algorithm used when an eval names none: cancellable and valid for
 /// both NOR and minmax workloads.
@@ -134,6 +179,15 @@ pub struct Config {
     /// (`--par-max-workers`); the actual grant is capped by how many
     /// executor workers are idle right now.
     pub par_max_workers: u32,
+    /// Readiness-driven I/O threads (`--io-threads`).  Thread 0 owns
+    /// the listener; connections are distributed round-robin.  This is
+    /// the whole front-door thread budget no matter how many
+    /// connections are open.
+    pub io_threads: usize,
+    /// Close a connection after this many milliseconds without a
+    /// completed request line, once nothing is in flight on it
+    /// (`--conn-idle-timeout`); `None` keeps idle connections forever.
+    pub conn_idle_timeout_ms: Option<u64>,
 }
 
 impl Default for Config {
@@ -154,6 +208,8 @@ impl Default for Config {
             metrics_addr: None,
             par_threshold: 1 << 16,
             par_max_workers: 4,
+            io_threads: 2,
+            conn_idle_timeout_ms: None,
         }
     }
 }
@@ -191,7 +247,7 @@ struct Job {
 
 type ResultCache = Arc<ShardedCache<String, EvalOutcome>>;
 
-/// Everything a connection thread needs, cheap to clone.
+/// Everything request handling needs, cheap to clone.
 #[derive(Clone)]
 struct Shared {
     metrics: Arc<Metrics>,
@@ -205,42 +261,120 @@ struct Shared {
     conn_window: usize,
     small_cost_max: u64,
     workers: usize,
+    io_threads: usize,
 }
 
-/// Counts a connection's in-flight evals; the reader blocks past the
-/// window and drains to zero before closing, so every reply is
-/// written before the connection thread exits.
-struct Window {
-    slots: Mutex<usize>,
-    cv: Condvar,
+/// Commands injected into an I/O thread from outside its loop.
+enum IoCmd {
+    /// A freshly accepted connection to adopt.
+    Conn(TcpStream),
+    /// Service the connection registered under this token: flush its
+    /// outbox, resume parsing if its window freed, retire it if done.
+    Wake(u64),
 }
 
-impl Window {
-    fn new() -> Window {
-        Window {
-            slots: Mutex::new(0),
-            cv: Condvar::new(),
+/// The cross-thread face of one I/O thread: an injector the accept
+/// path and reply completions push commands onto, plus the waker that
+/// pulls the thread out of its poll sleep.
+struct IoHandle {
+    injector: Mutex<Vec<IoCmd>>,
+    waker: Waker,
+}
+
+impl IoHandle {
+    fn new() -> std::io::Result<IoHandle> {
+        Ok(IoHandle {
+            injector: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
+        })
+    }
+
+    fn push(&self, cmd: IoCmd) {
+        self.injector.lock().unwrap().push(cmd);
+        self.waker.wake();
+    }
+}
+
+/// One connection's bounded reply queue.
+struct Outbox {
+    queue: VecDeque<Vec<u8>>,
+    /// Queued-but-unwritten bytes (kept in sync with `queue`).
+    bytes: usize,
+    /// The I/O thread retired the connection; late replies are
+    /// dropped, exactly like the old path's ignored write errors.
+    closed: bool,
+    /// The bounded queue overflowed; the I/O thread must close.
+    overflowed: bool,
+}
+
+/// The write half of a connection as seen from any thread.  Replies
+/// are never written directly: they are enqueued here and the owning
+/// I/O thread is woken to flush them.  Also carries the pipelining
+/// window as a plain atomic — nothing ever blocks on a slot.
+struct ConnReply {
+    outbox: Mutex<Outbox>,
+    /// Dispatched-and-unanswered evals on this connection.
+    inflight: AtomicUsize,
+    /// Collapses redundant `Wake` commands between services.
+    wake_queued: AtomicBool,
+    token: u64,
+    io: Arc<IoHandle>,
+}
+
+impl ConnReply {
+    fn new(token: u64, io: Arc<IoHandle>) -> ConnReply {
+        ConnReply {
+            outbox: Mutex::new(Outbox {
+                queue: VecDeque::new(),
+                bytes: 0,
+                closed: false,
+                overflowed: false,
+            }),
+            inflight: AtomicUsize::new(0),
+            wake_queued: AtomicBool::new(false),
+            token,
+            io,
         }
     }
 
-    fn acquire(&self, limit: usize) {
-        let mut n = self.slots.lock().unwrap();
-        while *n >= limit.max(1) {
-            n = self.cv.wait(n).unwrap();
+    /// Queue one reply line (newline appended) and wake the I/O
+    /// thread.  Returns false when the connection is gone or its
+    /// queue overflowed — the reply is dropped either way.
+    fn enqueue(&self, line: &str) -> bool {
+        {
+            let mut ob = self.outbox.lock().unwrap();
+            if ob.closed || ob.overflowed {
+                return false;
+            }
+            if ob.bytes + line.len() + 1 > OUTBOX_MAX_BYTES {
+                ob.overflowed = true;
+                drop(ob);
+                self.notify();
+                return false;
+            }
+            let mut buf = Vec::with_capacity(line.len() + 1);
+            buf.extend_from_slice(line.as_bytes());
+            buf.push(b'\n');
+            ob.bytes += buf.len();
+            ob.queue.push_back(buf);
         }
-        *n += 1;
+        self.notify();
+        true
     }
 
-    fn release(&self) {
-        *self.slots.lock().unwrap() -= 1;
-        self.cv.notify_all();
+    /// Release one pipelining-window slot (the request is settled —
+    /// always called *after* its reply was enqueued, so the I/O
+    /// thread never sees an idle connection with a reply still owed).
+    fn release_slot(&self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+        self.notify();
     }
 
-    fn drain(&self) {
-        let mut n = self.slots.lock().unwrap();
-        while *n > 0 {
-            n = self.cv.wait(n).unwrap();
+    fn notify(&self) {
+        if self.wake_queued.swap(true, Ordering::AcqRel) {
+            return;
         }
+        self.io.push(IoCmd::Wake(self.token));
     }
 }
 
@@ -263,8 +397,8 @@ struct Pending {
     parse_us: u64,
     /// recv → cache probed, microseconds.
     probe_us: u64,
-    writer: Arc<Mutex<TcpStream>>,
-    window: Arc<Window>,
+    /// The connection's reply queue and pipelining window.
+    conn: Arc<ConnReply>,
 }
 
 impl Pending {
@@ -366,13 +500,14 @@ fn answer_pending(
             )
         }
     };
-    let _ = write_reply(&p.writer, &reply);
+    let _ = p.conn.enqueue(&reply);
     let latency_us = p.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
     if matches!(result, FlightResult::Done(_)) {
         m.latency.record(latency_us);
     }
-    // The write stage: result published (≈ engine end) → reply bytes
-    // on the wire, including any wait for the connection's writer lock.
+    // The write stage: result published (≈ engine end) → reply handed
+    // to the connection's outbound queue (the latency above brackets
+    // the same instant, so the stage ledger still sums to it).
     if let Some(s) = stamps {
         if let Some(ee) = s.engine_end_us() {
             let total = s.base().elapsed().as_micros() as u64;
@@ -382,7 +517,7 @@ fn answer_pending(
         }
     }
     recorder.record(trace_from(p, status, stamps, work, latency_us));
-    p.window.release();
+    p.conn.release_slot();
 }
 
 /// Backoff hint attached to shed (`busy`) replies: roughly how long
@@ -502,10 +637,9 @@ impl Reaper {
                 continue; // publication won the race
             }
             metrics.timeout.fetch_add(1, Ordering::Relaxed);
-            let _ = write_reply(
-                &p.writer,
-                &error_line(&p.id, ErrorCode::Timeout, "deadline exceeded"),
-            );
+            let _ = p
+                .conn
+                .enqueue(&error_line(&p.id, ErrorCode::Timeout, "deadline exceeded"));
             let latency_us = p.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
             let flight = due.flight.upgrade();
             recorder.record(trace_from(
@@ -515,7 +649,7 @@ impl Reaper {
                 None,
                 latency_us,
             ));
-            p.window.release();
+            p.conn.release_slot();
             // Leaving the flight cancels the run if nobody else waits.
             if let Some(f) = flight {
                 f.detach(&p);
@@ -529,8 +663,8 @@ pub struct Server {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     metrics: Arc<Metrics>,
-    accept_handle: JoinHandle<()>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    io_handles: Vec<Arc<IoHandle>>,
+    io_joins: Vec<JoinHandle<()>>,
     executor: Arc<Executor<Job>>,
     reaper: Arc<Reaper>,
     reaper_handle: JoinHandle<()>,
@@ -541,6 +675,8 @@ pub struct Server {
 impl Server {
     /// Bind and start accepting; returns once the listener is live.
     pub fn start(config: Config) -> std::io::Result<Server> {
+        // C10K needs the fds to hold the Ks of connections.
+        let _ = raise_nofile_limit(NOFILE_TARGET);
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -610,6 +746,7 @@ impl Server {
             None => None,
         };
 
+        let io_threads = config.io_threads.max(1);
         let shared = Shared {
             metrics: Arc::clone(&metrics),
             cache,
@@ -622,20 +759,44 @@ impl Server {
             conn_window: config.conn_window,
             small_cost_max: config.small_cost_max,
             workers: config.workers.max(1),
+            io_threads,
         };
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept_handle = {
-            let conns = Arc::clone(&conns);
-            let shutdown = Arc::clone(&shutdown);
-            thread::spawn(move || accept_loop(&listener, &shared, &conns, &shutdown))
-        };
+        let mut io_handles = Vec::with_capacity(io_threads);
+        for _ in 0..io_threads {
+            io_handles.push(Arc::new(IoHandle::new()?));
+        }
+        let idle_timeout = config.conn_idle_timeout_ms.map(Duration::from_millis);
+        let mut listener = Some(listener);
+        let mut io_joins = Vec::with_capacity(io_threads);
+        for (me, handle) in io_handles.iter().enumerate() {
+            let io = IoThread {
+                shared: shared.clone(),
+                poller: Poller::new()?,
+                handle: Arc::clone(handle),
+                peers: io_handles.clone(),
+                me,
+                next_peer: 0,
+                listener: if me == 0 { listener.take() } else { None },
+                conns: Vec::new(),
+                free: Vec::new(),
+                pool: BufferPool::new(64, MAX_LINE_BYTES),
+                scratch: vec![0u8; READ_CHUNK],
+                idle_timeout,
+                draining: false,
+            };
+            io_joins.push(
+                thread::Builder::new()
+                    .name(format!("gt-serve-io-{me}"))
+                    .spawn(move || io.run())?,
+            );
+        }
 
         Ok(Server {
             local_addr,
             shutdown,
             metrics,
-            accept_handle,
-            conns,
+            io_handles,
+            io_joins,
             executor,
             reaper,
             reaper_handle,
@@ -673,19 +834,25 @@ impl Server {
     /// Begin a graceful drain (idempotent, returns immediately).
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // Pull every I/O thread out of its poll sleep so the drain
+        // starts now, not at the next 50ms tick.
+        for h in &self.io_handles {
+            h.waker.wake();
+        }
     }
 
     /// Drain and reap every thread; returns the final metrics.  Call
     /// [`Server::request_shutdown`] first (or let a client's `shutdown`
     /// request do it) or this blocks until one arrives.
     pub fn join(self) -> MetricsSnapshot {
-        let _ = self.accept_handle.join();
-        // The accept loop has exited, so the connection list is final.
-        // Each connection drains its window before its thread exits;
-        // the workers and the reaper are still live here, so every
-        // outstanding reply is settled by result or by deadline.
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conns.lock().unwrap());
-        for h in handles {
+        // Each I/O thread drops the listener, flushes every
+        // connection's in-flight replies, and exits; the workers and
+        // the reaper are still live here, so every outstanding reply
+        // is settled by result or by deadline.
+        for h in &self.io_handles {
+            h.waker.wake();
+        }
+        for h in self.io_joins {
             let _ = h.join();
         }
         self.executor.shutdown();
@@ -801,77 +968,489 @@ fn run_batch(
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Shared,
-    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-    shutdown: &AtomicBool,
-) {
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
-                let shared = shared.clone();
-                let handle = thread::spawn(move || connection_loop(stream, &shared));
-                conns.lock().unwrap().push(handle);
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => thread::sleep(POLL_INTERVAL),
-        }
-    }
+/// Poller token of the thread's waker pipe.
+const TOKEN_WAKER: u64 = 0;
+/// Poller token of the listener (thread 0 only).
+const TOKEN_LISTENER: u64 = 1;
+/// Connection slab index `i` registers under token `i + TOKEN_BASE`.
+const TOKEN_BASE: u64 = 2;
+
+/// Why a connection is being retired (feeds the close counters).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CloseReason {
+    /// EOF/drain completed, write error, or malformed input.
+    Done,
+    /// No completed request line for `--conn-idle-timeout`.
+    Idle,
+    /// The bounded outbound queue overflowed.
+    Overflow,
+    /// A request line exceeded `MAX_LINE_BYTES`.
+    Overlong,
 }
 
-/// Read one newline-terminated line, polling the shutdown flag while
-/// idle.  `Ok(true)` means a complete line is in `line`; `Ok(false)`
-/// means the connection should close (EOF, shutdown, or an over-long
-/// line).
-fn read_request_line(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-    shutdown: &AtomicBool,
-) -> std::io::Result<bool> {
-    line.clear();
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return Ok(false);
+/// Per-connection state owned by exactly one I/O thread.
+struct ConnState {
+    stream: TcpStream,
+    reply: Arc<ConnReply>,
+    reader: LineReader,
+    /// Partial-write offset into the outbox's front buffer.
+    write_offset: usize,
+    /// Currently registered (read, write) interest.
+    interest: (bool, bool),
+    peer_closed: bool,
+    /// When the last complete request line arrived (idle clock).
+    last_line: Instant,
+}
+
+/// One readiness-driven I/O thread: a poller, a slab of connection
+/// state machines, and (on thread 0) the listener.  Fresh connections
+/// arrive via accept or the injector; replies arrive as `Wake`
+/// commands from whichever thread settled them.
+struct IoThread {
+    shared: Shared,
+    poller: Poller,
+    handle: Arc<IoHandle>,
+    /// Every I/O thread's handle, for round-robin conn distribution.
+    peers: Vec<Arc<IoHandle>>,
+    me: usize,
+    next_peer: usize,
+    listener: Option<TcpListener>,
+    conns: Vec<Option<ConnState>>,
+    free: Vec<usize>,
+    pool: BufferPool,
+    scratch: Vec<u8>,
+    idle_timeout: Option<Duration>,
+    draining: bool,
+}
+
+impl IoThread {
+    fn run(mut self) {
+        if self
+            .poller
+            .add(self.handle.waker.read_fd(), TOKEN_WAKER, true, false)
+            .is_err()
+        {
+            return;
         }
-        // Cap the line length; `take` makes `read_line` stop early and
-        // report a clean pseudo-EOF instead of buffering unboundedly.
-        let budget = (MAX_LINE_BYTES + 1).saturating_sub(line.len()) as u64;
-        let mut limited = reader.take(budget);
-        match limited.read_line(line) {
-            Ok(0) => return Ok(false), // EOF
-            Ok(_) => {
-                if line.ends_with('\n') {
-                    return Ok(true);
-                }
-                if line.len() > MAX_LINE_BYTES {
-                    return Ok(false); // over-long line: cut the connection
-                }
-                // Partial line followed by EOF.
-                return Ok(false);
-            }
-            Err(e)
-                if e.kind() == ErrorKind::WouldBlock
-                    || e.kind() == ErrorKind::TimedOut
-                    || e.kind() == ErrorKind::Interrupted =>
+        if let Some(l) = &self.listener {
+            if self
+                .poller
+                .add(l.as_raw_fd(), TOKEN_LISTENER, true, false)
+                .is_err()
             {
-                // Read timeout with a possibly partial line buffered in
-                // `line`; keep it and retry — `read_line` appends.
-                continue;
+                return;
             }
-            Err(e) => return Err(e),
         }
+        let mut events = Vec::with_capacity(256);
+        loop {
+            events.clear();
+            let _ = self
+                .poller
+                .wait(&mut events, POLL_INTERVAL.as_millis() as i32);
+            if !self.draining && self.shared.shutdown.load(Ordering::SeqCst) {
+                self.begin_drain();
+            }
+            for ev in &events {
+                match ev.token {
+                    TOKEN_WAKER => self.drain_injector(),
+                    TOKEN_LISTENER => self.accept_ready(),
+                    token => {
+                        let idx = (token - TOKEN_BASE) as usize;
+                        if ev.readable {
+                            self.handle_readable(idx);
+                        } else if ev.hangup {
+                            if let Some(c) = self.conns.get_mut(idx).and_then(Option::as_mut) {
+                                c.peer_closed = true;
+                            }
+                        }
+                        self.service(idx);
+                    }
+                }
+            }
+            self.sweep_idle();
+            if self.draining && self.conns.iter().all(Option::is_none) {
+                break;
+            }
+        }
+    }
+
+    /// Shutdown observed: drop the listener, stop parsing input, and
+    /// keep each connection only until its in-flight replies flush.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        if let Some(l) = self.listener.take() {
+            let _ = self.poller.delete(l.as_raw_fd());
+        }
+        for idx in 0..self.conns.len() {
+            if let Some(conn) = self.conns[idx].as_mut() {
+                // Unparsed carried bytes are requests we will never
+                // run — drop them, like the old readers' buffers.
+                conn.reader = LineReader::new(MAX_LINE_BYTES);
+            }
+            self.service(idx);
+        }
+    }
+
+    fn drain_injector(&mut self) {
+        self.handle.waker.drain();
+        let cmds: Vec<IoCmd> = std::mem::take(&mut *self.handle.injector.lock().unwrap());
+        for cmd in cmds {
+            match cmd {
+                // A conn raced in after the drain began: drop it, the
+                // old accept loop would never have adopted it either.
+                IoCmd::Conn(_) if self.draining => {}
+                IoCmd::Conn(stream) => self.register(stream),
+                IoCmd::Wake(token) => {
+                    if token >= TOKEN_BASE {
+                        self.service((token - TOKEN_BASE) as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accept until the listener would block, distributing conns
+    /// round-robin across the pool (thread 0 adopts its own share).
+    fn accept_ready(&mut self) {
+        let mut accepted = Vec::new();
+        if let Some(listener) = &self.listener {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => accepted.push(stream),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+        }
+        for stream in accepted {
+            self.shared
+                .metrics
+                .connections
+                .fetch_add(1, Ordering::Relaxed);
+            let target = self.next_peer % self.peers.len().max(1);
+            self.next_peer = self.next_peer.wrapping_add(1);
+            if target == self.me {
+                self.register(stream);
+            } else {
+                self.peers[target].push(IoCmd::Conn(stream));
+            }
+        }
+    }
+
+    /// Adopt one connection into the slab and the poller.
+    fn register(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        // Replies are small writes the client may block on; Nagle
+        // would hold them for the peer's delayed ACK.
+        let _ = stream.set_nodelay(true);
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let token = idx as u64 + TOKEN_BASE;
+        if self
+            .poller
+            .add(stream.as_raw_fd(), token, true, false)
+            .is_err()
+        {
+            self.free.push(idx);
+            return;
+        }
+        let reply = Arc::new(ConnReply::new(token, Arc::clone(&self.handle)));
+        self.shared
+            .metrics
+            .open_conns
+            .fetch_add(1, Ordering::Relaxed);
+        self.conns[idx] = Some(ConnState {
+            stream,
+            reply,
+            reader: LineReader::new(MAX_LINE_BYTES),
+            write_offset: 0,
+            interest: (true, false),
+            peer_closed: false,
+            last_line: Instant::now(),
+        });
+    }
+
+    /// Pull bytes off a readable connection and run them through its
+    /// line state machine, respecting the window and outbox levels.
+    fn handle_readable(&mut self, idx: usize) {
+        let mut close = None;
+        {
+            let Self {
+                conns,
+                scratch,
+                pool,
+                shared,
+                draining,
+                ..
+            } = self;
+            let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            if *draining {
+                return;
+            }
+            loop {
+                // Flow control *before* pulling more bytes: a full
+                // window or a backed-up outbox leaves them in the
+                // kernel buffer, which is TCP backpressure.
+                if conn.reply.inflight.load(Ordering::Acquire) >= shared.conn_window.max(1) {
+                    break;
+                }
+                if conn.reply.outbox.lock().unwrap().bytes >= OUTBOX_HIGH_WATER {
+                    break;
+                }
+                let n = match conn.stream.read(scratch) {
+                    Ok(0) => {
+                        conn.peer_closed = true;
+                        break;
+                    }
+                    Ok(n) => n,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.peer_closed = true;
+                        break;
+                    }
+                };
+                if let Some(reason) = feed_conn(shared, conn, &scratch[..n], pool) {
+                    close = Some(reason);
+                    break;
+                }
+            }
+        }
+        if let Some(reason) = close {
+            self.close(idx, reason);
+        }
+    }
+
+    /// Flush the connection's outbox, resume deferred parsing when its
+    /// window or outbox freed up, recompute poller interest, and
+    /// retire the connection once it is settled.
+    fn service(&mut self, idx: usize) {
+        let mut close = None;
+        let mut settled = (false, false); // (outbox empty, interest write)
+        {
+            let Self {
+                conns,
+                pool,
+                shared,
+                draining,
+                ..
+            } = self;
+            let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            // Reset the wake collapse *before* looking at state, so a
+            // completion landing mid-service queues a fresh wake.
+            conn.reply.wake_queued.store(false, Ordering::Release);
+            if flush_outbox(conn).is_err() {
+                close = Some(CloseReason::Done);
+            }
+            // Parsing may have been deferred on a full window or a
+            // high outbox; both may have cleared now.
+            if close.is_none() && !*draining && conn.reader.has_carry() {
+                if let Some(reason) = feed_conn(shared, conn, &[], pool) {
+                    close = Some(reason);
+                }
+            }
+            if close.is_none() && flush_outbox(conn).is_err() {
+                close = Some(CloseReason::Done);
+            }
+            if close.is_none() {
+                let ob = conn.reply.outbox.lock().unwrap();
+                if ob.overflowed {
+                    close = Some(CloseReason::Overflow);
+                } else {
+                    let inflight = conn.reply.inflight.load(Ordering::Acquire);
+                    let outbox_empty = ob.queue.is_empty();
+                    if (conn.peer_closed || *draining) && inflight == 0 && outbox_empty {
+                        close = Some(CloseReason::Done);
+                    } else {
+                        let read_i = !*draining
+                            && !conn.peer_closed
+                            && inflight < shared.conn_window.max(1)
+                            && ob.bytes < OUTBOX_HIGH_WATER;
+                        settled = (read_i, !outbox_empty);
+                    }
+                }
+            }
+            if close.is_none() && conn.interest != settled {
+                let token = conn.reply.token;
+                // A modify failure strands the conn silently; close it.
+                match self
+                    .poller
+                    .modify(conn.stream.as_raw_fd(), token, settled.0, settled.1)
+                {
+                    Ok(()) => conn.interest = settled,
+                    Err(_) => close = Some(CloseReason::Done),
+                }
+            }
+        }
+        if let Some(reason) = close {
+            self.close(idx, reason);
+        }
+    }
+
+    /// Close connections that idled past `--conn-idle-timeout` with
+    /// nothing in flight (both slowloris shapes land here or in the
+    /// outbox cap).
+    fn sweep_idle(&mut self) {
+        let Some(timeout) = self.idle_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        for idx in 0..self.conns.len() {
+            let expired = match &self.conns[idx] {
+                Some(c) => {
+                    c.reply.inflight.load(Ordering::Acquire) == 0
+                        && now.duration_since(c.last_line) >= timeout
+                }
+                None => false,
+            };
+            if expired {
+                self.close(idx, CloseReason::Idle);
+            }
+        }
+    }
+
+    /// Retire one connection: deregister, drop, recycle the slot.
+    fn close(&mut self, idx: usize, reason: CloseReason) {
+        let Some(mut conn) = self.conns.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        let _ = self.poller.delete(conn.stream.as_raw_fd());
+        // One best-effort flush so a final error reply (over-long
+        // line, ...) reaches a live peer; whatever the socket refuses
+        // is dropped with the connection.
+        let _ = flush_outbox(&mut conn);
+        {
+            // Late replies from still-running evals become no-ops.
+            let mut ob = conn.reply.outbox.lock().unwrap();
+            ob.closed = true;
+            ob.queue.clear();
+            ob.bytes = 0;
+        }
+        let m = &self.shared.metrics;
+        m.open_conns.fetch_sub(1, Ordering::Relaxed);
+        match reason {
+            CloseReason::Idle => m.idle_closed.fetch_add(1, Ordering::Relaxed),
+            CloseReason::Overflow => m.overflow_closed.fetch_add(1, Ordering::Relaxed),
+            CloseReason::Overlong => m.overlong_closed.fetch_add(1, Ordering::Relaxed),
+            CloseReason::Done => 0,
+        };
+        self.free.push(idx);
     }
 }
 
-/// Write one reply line through the connection's shared writer.
-fn write_reply(writer: &Mutex<TcpStream>, reply: &str) -> std::io::Result<()> {
-    let mut w = writer.lock().unwrap();
-    w.write_all(reply.as_bytes())?;
-    w.write_all(b"\n")?;
-    w.flush()
+/// Write as much of the outbox as the socket accepts (vectored); an
+/// `Err` means the peer is unreachable and the connection must close.
+fn flush_outbox(conn: &mut ConnState) -> std::io::Result<()> {
+    let mut ob = conn.reply.outbox.lock().unwrap();
+    if ob.queue.is_empty() {
+        return Ok(());
+    }
+    match drain_outbox(&conn.stream, &mut ob.queue, &mut conn.write_offset) {
+        Ok(true) => {
+            ob.bytes = 0;
+            Ok(())
+        }
+        Ok(false) => {
+            // Partial: recompute the level from what survived.
+            ob.bytes = ob.queue.iter().map(Vec::len).sum::<usize>() - conn.write_offset;
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Feed bytes (or `&[]` to resume the carry) through the connection's
+/// line state machine: control ops and cache hits answer straight
+/// into the outbox, misses dispatch to the executor.  Returns a close
+/// reason when the connection must die.
+fn feed_conn(
+    shared: &Shared,
+    conn: &mut ConnState,
+    data: &[u8],
+    pool: &mut BufferPool,
+) -> Option<CloseReason> {
+    let window = shared.conn_window.max(1);
+    let ConnState {
+        reader,
+        reply,
+        last_line,
+        ..
+    } = conn;
+    let mut bad = false;
+    let fed = reader.feed(data, pool, |raw| {
+        // Flow control: a line past the pipelining window or over a
+        // backed-up outbox is deferred verbatim, not consumed.
+        if reply.inflight.load(Ordering::Acquire) >= window {
+            return LineAction::Defer;
+        }
+        {
+            let ob = reply.outbox.lock().unwrap();
+            if ob.overflowed || ob.closed {
+                return LineAction::Stop;
+            }
+            if ob.bytes >= OUTBOX_HIGH_WATER {
+                return LineAction::Defer;
+            }
+        }
+        let Ok(text) = std::str::from_utf8(raw) else {
+            bad = true;
+            return LineAction::Stop;
+        };
+        let recv = Instant::now();
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return LineAction::Continue;
+        }
+        *last_line = recv;
+        shared.metrics.received.fetch_add(1, Ordering::Relaxed);
+        match process_line(trimmed, shared, recv) {
+            Handled::Inline(out) => {
+                reply.enqueue(&out);
+            }
+            Handled::Dispatch {
+                id,
+                work,
+                cache_key,
+                cost,
+                deadline,
+                start,
+                parse_us,
+                probe_us,
+            } => {
+                // Claim the window slot here (the callback above
+                // guarantees one is free); settling releases it.
+                reply.inflight.fetch_add(1, Ordering::AcqRel);
+                dispatch_eval(
+                    shared, reply, id, work, cache_key, cost, deadline, start, parse_us, probe_us,
+                );
+            }
+        }
+        LineAction::Continue
+    });
+    reader.release(pool);
+    match fed {
+        Ok(_) if bad => Some(CloseReason::Done),
+        Ok(_) => None,
+        Err(LineTooLong) => {
+            // Best effort, as before the event loop: tell the client
+            // why before the close flushes and drops the connection.
+            reply.enqueue(&error_line(
+                &None,
+                ErrorCode::BadRequest,
+                "request line too long",
+            ));
+            Some(CloseReason::Overlong)
+        }
+    }
 }
 
 /// How one request line is to be answered.
@@ -895,54 +1474,7 @@ enum Handled {
     },
 }
 
-fn connection_loop(stream: TcpStream, shared: &Shared) {
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
-        return;
-    }
-    // Replies are small writes the client may block on; Nagle would
-    // hold them for the peer's delayed ACK (~40ms per request).
-    let _ = stream.set_nodelay(true);
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
-        Err(_) => return,
-    };
-    let window = Arc::new(Window::new());
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    while let Ok(true) = read_request_line(&mut reader, &mut line, &shared.shutdown) {
-        let recv = Instant::now();
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        shared.metrics.received.fetch_add(1, Ordering::Relaxed);
-        match process_line(trimmed, shared, recv) {
-            Handled::Inline(reply) => {
-                if write_reply(&writer, &reply).is_err() {
-                    break;
-                }
-            }
-            Handled::Dispatch {
-                id,
-                work,
-                cache_key,
-                cost,
-                deadline,
-                start,
-                parse_us,
-                probe_us,
-            } => dispatch_eval(
-                shared, &writer, &window, id, work, cache_key, cost, deadline, start, parse_us,
-                probe_us,
-            ),
-        }
-    }
-    // Every dispatched request has written its reply once the window
-    // is empty; only then may the connection thread retire.
-    window.drain();
-}
-
-/// Handle one request line on the reader thread.  `recv` is when the
+/// Handle one request line on its I/O thread.  `recv` is when the
 /// line came off the socket — the origin of every stage offset.
 fn process_line(line: &str, shared: &Shared, recv: Instant) -> Handled {
     let m = &shared.metrics;
@@ -975,6 +1507,7 @@ fn process_line(line: &str, shared: &Shared, recv: Instant) -> Handled {
                     Json::from(shared.executor.queued()),
                 ));
                 fields.push(("flights_inflight".into(), Json::from(shared.flights.len())));
+                fields.push(("io_threads".into(), Json::from(shared.io_threads)));
             }
             Handled::Inline(ok_line(&id, vec![("stats", stats)]))
         }
@@ -1138,15 +1671,14 @@ fn process_subeval(request: &Request, shared: &Shared, recv: Instant, parse_us: 
     }
 }
 
-/// Run one cache miss through the flight table on the reader thread:
+/// Run one cache miss through the flight table on the I/O thread:
 /// lead (submit the job to the executor) or follow (coalesce), attach
 /// the pending reply, and hand the deadline to the reaper.  Never
-/// blocks beyond the connection window.
+/// blocks — the caller already claimed a window slot.
 #[allow(clippy::too_many_arguments)]
 fn dispatch_eval(
     shared: &Shared,
-    writer: &Arc<Mutex<TcpStream>>,
-    window: &Arc<Window>,
+    conn: &Arc<ConnReply>,
     id: Option<String>,
     work: JobWork,
     cache_key: String,
@@ -1156,7 +1688,6 @@ fn dispatch_eval(
     parse_us: u64,
     probe_us: u64,
 ) {
-    window.acquire(shared.conn_window);
     let m = &shared.metrics;
     let recorder = &shared.recorder;
     let key = cache_key;
@@ -1172,8 +1703,7 @@ fn dispatch_eval(
                 algo: algo_name.clone(),
                 parse_us,
                 probe_us,
-                writer: Arc::clone(writer),
-                window: Arc::clone(window),
+                conn: Arc::clone(conn),
             });
             // Fresh flight: nothing published yet, attach always parks.
             let _ = flight.attach(&pending);
@@ -1218,8 +1748,7 @@ fn dispatch_eval(
                 algo: algo_name,
                 parse_us,
                 probe_us,
-                writer: Arc::clone(writer),
-                window: Arc::clone(window),
+                conn: Arc::clone(conn),
             });
             if let Some(result) = flight.attach(&pending) {
                 // The flight completed between join and attach.
@@ -1273,7 +1802,7 @@ fn render_ok_eval(
 mod tests {
     use super::*;
     use crate::protocol::Response;
-    use std::io::BufRead;
+    use std::io::{BufRead, BufReader, Write};
 
     fn send(stream: &TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Response {
         let mut w = stream.try_clone().unwrap();
@@ -1289,6 +1818,25 @@ mod tests {
         let stream = TcpStream::connect(addr).unwrap();
         let reader = BufReader::new(stream.try_clone().unwrap());
         (stream, reader)
+    }
+
+    #[test]
+    fn outbox_enqueue_caps_total_bytes_and_latches_overflow() {
+        let io = Arc::new(IoHandle::new().unwrap());
+        let reply = Arc::new(ConnReply::new(TOKEN_BASE, io));
+        let line = "x".repeat(64 * 1024 - 1);
+        let mut accepted = 0usize;
+        while reply.enqueue(&line) {
+            accepted += 1;
+            assert!(accepted <= 16, "outbox grew past its byte cap");
+        }
+        assert_eq!(accepted, 16, "1MiB cap / 64KiB lines");
+        assert!(reply.outbox.lock().unwrap().overflowed);
+        // Latched: nothing else is accepted, even a tiny line.
+        assert!(!reply.enqueue("y"));
+        let ob = reply.outbox.lock().unwrap();
+        assert!(ob.bytes <= OUTBOX_MAX_BYTES);
+        assert_eq!(ob.queue.len(), 16);
     }
 
     #[test]
@@ -1420,6 +1968,7 @@ mod tests {
             conn_window: 4,
             small_cost_max: 4096,
             workers: 1,
+            io_threads: 1,
         }
     }
 

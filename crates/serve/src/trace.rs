@@ -524,6 +524,30 @@ pub fn render_prometheus(
         "Connections accepted.",
         m.connections,
     );
+    gauge(
+        &mut out,
+        "gtserve_open_connections",
+        "Connections currently registered with an I/O thread.",
+        m.open_conns as f64,
+    );
+    counter(
+        &mut out,
+        "gtserve_conn_idle_closed_total",
+        "Connections closed by the idle timeout.",
+        m.idle_closed,
+    );
+    counter(
+        &mut out,
+        "gtserve_conn_overflow_closed_total",
+        "Connections closed for overflowing their outbound queue.",
+        m.overflow_closed,
+    );
+    counter(
+        &mut out,
+        "gtserve_conn_overlong_closed_total",
+        "Connections closed for an over-long request line.",
+        m.overlong_closed,
+    );
     counter(
         &mut out,
         "gtserve_batches_total",

@@ -30,8 +30,15 @@
 # losers after its cutoff (subevals_discarded_on_cutoff > 0) without
 # ever aborting them.
 #
+# A fan-in smoke rides between the single-server and router sections:
+# a fresh server with a fixed 2-thread I/O pool takes >= 1k concurrent
+# mostly-idle connections (loadgen --connections) alongside an active
+# pipelined load, and the run asserts zero failed fan-in opens, zero
+# sheds, a thread census that does not grow with connection count,
+# and RSS under 128MB.
+#
 # Environment overrides: GTREE_BIN, SMOKE_PORT, SMOKE_METRICS_PORT,
-# SMOKE_DURATION (s).
+# SMOKE_DURATION (s), SMOKE_FAN_CONNS.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -208,6 +215,86 @@ fi
 SERVER_PID=""
 trap - EXIT
 echo "ci_smoke: ok ($ok successful replies, clean SIGINT drain)" >&2
+
+# ---------------------------------------------------------------------
+# Fan-in smoke: a fixed pool of I/O threads must hold >= 1k concurrent
+# connections without growing the thread census or shedding work.  The
+# loadgen opens FAN_CONNS mostly-idle connections alongside a small
+# active pipelined load; the server's /proc thread count is sampled
+# before and during the run (it may only grow by a rounding margin),
+# fan_in_failed must be zero, no request may shed, and RSS stays under
+# a generous ceiling — with per-connection reader threads this check
+# is unpassable, which is the point.
+FAN_CONNS="${SMOKE_FAN_CONNS:-1000}"
+ulimit -n 16384 2>/dev/null || echo "ci_smoke: warn: could not raise fd limit" >&2
+
+"$BIN" serve --addr "$ADDR" --eval-workers 2 --queue-depth 512 \
+  --io-threads 2 >/dev/null 2>&1 &
+SERVER_PID=$!
+trap 'kill -INT "$SERVER_PID" 2>/dev/null || true; wait "$SERVER_PID" 2>/dev/null || true' EXIT
+
+up=""
+for _ in $(seq 1 100); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then
+    up=1
+    break
+  fi
+  sleep 0.05
+done
+[ -n "$up" ] || { echo "ci_smoke: fan-in server did not come up on $ADDR" >&2; exit 1; }
+
+# One round-trip before the idle census: the listener binds before the
+# eval/io thread set finishes spawning, and sampling too early would
+# make normal startup look like census growth.
+exec 8<>"/dev/tcp/127.0.0.1/$PORT"
+printf '{"op":"stats"}\n' >&8
+IFS= read -r _ <&8
+exec 8<&- 8>&-
+threads_idle=$(sed -n 's/^Threads:[[:space:]]*//p' "/proc/$SERVER_PID/status" 2>/dev/null || echo 0)
+
+json=$("$BIN" loadgen --addr "$ADDR" --rps 0 --duration "$DUR" --conns 2 \
+  --pipeline 4 --connections "$FAN_CONNS" --spec worst:d=2,n=8 \
+  --algo cascade:w=1 --json &
+  LG=$!
+  sleep 1
+  sed -n 's/^Threads:[[:space:]]*//p' "/proc/$SERVER_PID/status" > /tmp/ci_smoke_threads.$$ 2>/dev/null || true
+  awk '/^VmRSS:/ {print $2}' "/proc/$SERVER_PID/status" > /tmp/ci_smoke_rss.$$ 2>/dev/null || true
+  wait "$LG")
+echo "ci_smoke: fan-in $json"
+threads_loaded=$(cat /tmp/ci_smoke_threads.$$ 2>/dev/null || echo 0)
+rss_kb=$(cat /tmp/ci_smoke_rss.$$ 2>/dev/null || echo 0)
+rm -f /tmp/ci_smoke_threads.$$ /tmp/ci_smoke_rss.$$
+
+ok=$(field ok)
+shed=$(field shed)
+transport=$(field transport_errors)
+fan_open=$(field fan_in_open)
+fan_failed=$(field fan_in_failed)
+
+fail=""
+[ "${ok:-0}" -gt 0 ] || { echo "ci_smoke: fan-in run got no successful replies" >&2; fail=1; }
+[ "${shed:-0}" -eq 0 ] || { echo "ci_smoke: fan-in run shed $shed requests" >&2; fail=1; }
+[ "${transport:-0}" -eq 0 ] || { echo "ci_smoke: fan-in run hit $transport transport errors" >&2; fail=1; }
+[ "${fan_failed:-1}" -eq 0 ] || { echo "ci_smoke: $fan_failed fan-in connections failed to open" >&2; fail=1; }
+[ "${fan_open:-0}" -eq "$FAN_CONNS" ] || { echo "ci_smoke: fan-in held ${fan_open:-0}/$FAN_CONNS connections" >&2; fail=1; }
+if [ "${threads_loaded:-0}" -gt $((threads_idle + 2)) ]; then
+  echo "ci_smoke: thread census grew under fan-in load ($threads_idle idle -> $threads_loaded loaded)" >&2
+  fail=1
+fi
+if [ "${rss_kb:-0}" -gt 131072 ]; then
+  echo "ci_smoke: server RSS ${rss_kb}kB exceeded 128MB under $FAN_CONNS connections" >&2
+  fail=1
+fi
+[ -z "$fail" ] || exit 1
+
+kill -INT "$SERVER_PID"
+if ! wait "$SERVER_PID"; then
+  echo "ci_smoke: fan-in server did not exit cleanly on SIGINT" >&2
+  exit 1
+fi
+SERVER_PID=""
+trap - EXIT
+echo "ci_smoke: fan-in ok ($fan_open idle conns held, threads $threads_idle -> $threads_loaded, rss ${rss_kb}kB)" >&2
 
 # ---------------------------------------------------------------------
 # Router smoke: 1 router fronting 2 replicas.  Burst through the
@@ -452,19 +539,27 @@ echo "ci_smoke: split fan-out ok ($used replicas used, $retried subevals re-disp
 # Naive-mode cutoff: allones is all-1 leaves under NOR, so the first
 # subeval value to land cuts its level — the already-dispatched
 # siblings keep running (the router never sends an abort) and their
-# late replies are discarded on arrival.
+# late replies are discarded on arrival.  Whether any sibling is
+# still in flight when the cutoff value arrives is a genuine race
+# (subevals are fast), so one eval observes a discard only most of
+# the time; run fresh specs (distinct n, so nothing is cached) until
+# one does.  n stays even: an odd NOR depth turns all-1 leaves into a
+# root value of 0.
 start_split_fleet --split-cost 8 --split-depth 3 --split-naive
-got=$(split_eval "allones:d=4,n=6")
-[ "$got" = "1" ] || { echo "ci_smoke: naive allones value $got != 1" >&2; exit 1; }
 discarded=0
-for _ in $(seq 1 100); do
-  stats=$(split_stats)
-  discarded=$(printf '%s' "$stats" | sed -n 's/.*"subevals_discarded_on_cutoff":\([0-9][0-9]*\).*/\1/p')
+for n in 6 8 10 12 14 16; do
+  got=$(split_eval "allones:d=4,n=$n")
+  [ "$got" = "1" ] || { echo "ci_smoke: naive allones:d=4,n=$n value $got != 1" >&2; exit 1; }
+  for _ in $(seq 1 20); do
+    stats=$(split_stats)
+    discarded=$(printf '%s' "$stats" | sed -n 's/.*"subevals_discarded_on_cutoff":\([0-9][0-9]*\).*/\1/p')
+    [ "${discarded:-0}" -gt 0 ] && break
+    sleep 0.05
+  done
   [ "${discarded:-0}" -gt 0 ] && break
-  sleep 0.05
 done
 [ "${discarded:-0}" -gt 0 ] || {
-  echo "ci_smoke: no in-flight loser was ever discarded: $stats" >&2
+  echo "ci_smoke: no in-flight loser was ever discarded across 6 naive evals: $stats" >&2
   exit 1
 }
 stop_split_fleet

@@ -711,3 +711,258 @@ fn deadline_kills_every_thread_of_a_parallel_grant() {
         "the big eval must have drawn a multi-thread grant"
     );
 }
+
+/// Wait (bounded) until reads on `s` report EOF or a hard error,
+/// discarding any buffered replies along the way.
+fn wait_for_close(s: &TcpStream, bound: Duration) -> bool {
+    use std::io::Read;
+    s.set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let started = Instant::now();
+    let mut buf = [0u8; 4096];
+    while started.elapsed() < bound {
+        match (&mut (&*s)).read(&mut buf) {
+            Ok(0) => return true,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => return true,
+        }
+    }
+    false
+}
+
+/// Slowloris, read side: a client that dribbles bytes of a request
+/// line it never finishes must not hold a connection (or its pooled
+/// buffers) forever — `--conn-idle-timeout` closes it, because only a
+/// *completed* request line refreshes the idle clock.
+#[test]
+fn dribbling_slowloris_is_closed_at_the_idle_timeout() {
+    let server = start(Config {
+        conn_idle_timeout_ms: Some(250),
+        ..Config::default()
+    });
+    let addr = server.local_addr();
+
+    let s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+    let mut w = s.try_clone().unwrap();
+    let started = Instant::now();
+    let mut closed = false;
+    // One byte of an unfinished line every 50ms, forever (bounded).
+    while started.elapsed() < Duration::from_secs(5) {
+        use std::io::Read;
+        if w.write_all(b"{").is_err() || w.flush().is_err() {
+            closed = true;
+            break;
+        }
+        let mut buf = [0u8; 64];
+        match (&mut (&s)).read(&mut buf) {
+            Ok(0) => {
+                closed = true;
+                break;
+            }
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => {
+                closed = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(closed, "dribbler outlived the idle timeout");
+
+    // A well-behaved client on the same server is untouched.
+    let mut client = Client::connect(addr).unwrap();
+    let r = client.eval("worst:d=2,n=4", "seq-solve", None).unwrap();
+    assert!(r.ok);
+    client.shutdown_server().unwrap();
+    let stats = server.join();
+    assert!(
+        stats.idle_closed >= 1,
+        "idle_closed = {}",
+        stats.idle_closed
+    );
+    assert_eq!(stats.open_conns, 0);
+}
+
+/// Slowloris, write side: a client that floods requests but never
+/// drains its replies stalls against the outbound-queue bound (the
+/// server defers its reads at the high-water mark rather than
+/// buffering without limit) and is eventually reaped by the idle
+/// timeout since no further request line completes.
+#[test]
+fn never_draining_reader_is_bounded_and_reaped() {
+    let server = start(Config {
+        workers: 2,
+        conn_idle_timeout_ms: Some(300),
+        ..Config::default()
+    });
+    let addr = server.local_addr();
+
+    // Prime the cache so every flooded request gets an inline reply.
+    let mut client = Client::connect(addr).unwrap();
+    let r = client.eval("worst:d=2,n=6", "seq-solve", None).unwrap();
+    assert!(r.ok);
+
+    // Flood ~20k cached requests and never read a single reply.  The
+    // write side is bounded: once the server parks the connection the
+    // flood must block (write timeout) or fail, not grow server
+    // memory.
+    let s = TcpStream::connect(addr).unwrap();
+    s.set_write_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let mut w = s.try_clone().unwrap();
+    let line = br#"{"spec":"worst:d=2,n=6","algo":"seq-solve"}"#;
+    let mut frame = line.to_vec();
+    frame.push(b'\n');
+    let mut sent = 0usize;
+    for _ in 0..20_000 {
+        match w.write_all(&frame) {
+            Ok(()) => sent += 1,
+            Err(_) => break,
+        }
+    }
+    assert!(sent > 0);
+
+    // The connection dies: outbox overflow or (once reads are
+    // deferred and no line completes) the idle sweep.
+    assert!(
+        wait_for_close(&s, Duration::from_secs(10)),
+        "never-draining reader survived ({sent} requests sent)"
+    );
+
+    // The server is fine: same cached key answers on a fresh conn
+    // (the priming client may itself have been idle-reaped while the
+    // flood sat out its timeout).
+    let mut fresh = Client::connect(addr).unwrap();
+    let r = fresh.eval("worst:d=2,n=6", "seq-solve", None).unwrap();
+    assert!(r.ok && r.cached());
+    fresh.shutdown_server().unwrap();
+    let stats = server.join();
+    assert!(
+        stats.idle_closed + stats.overflow_closed >= 1,
+        "idle_closed={} overflow_closed={}",
+        stats.idle_closed,
+        stats.overflow_closed
+    );
+    assert_eq!(stats.open_conns, 0);
+}
+
+/// The connection state machine over real sockets: a request split
+/// across many TCP segments and a batch of pipelined requests landing
+/// in one segment parse identically, and an over-long line gets a 400
+/// and the connection is closed.
+#[test]
+fn split_and_batched_request_framing_parse_identically() {
+    let server = start(Config::default());
+    let addr = server.local_addr();
+
+    // One request dribbled in three segments.
+    let s = TcpStream::connect(addr).unwrap();
+    let mut w = s.try_clone().unwrap();
+    let mut reader = BufReader::new(s.try_clone().unwrap());
+    for chunk in [
+        r#"{"id":"split","spec":"wor"#.as_bytes(),
+        r#"st:d=2,n=4","algo":"#.as_bytes(),
+        "\"seq-solve\"}\n".as_bytes(),
+    ] {
+        w.write_all(chunk).unwrap();
+        w.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let r = gt_serve::Response::parse(line.trim()).unwrap();
+    assert!(r.ok, "split request failed: {:?}", r.error);
+    assert_eq!(r.id.as_deref(), Some("split"));
+
+    // Three requests in one write (and likely one segment).
+    let mut batch = String::new();
+    for i in 0..3 {
+        batch.push_str(&format!(
+            r#"{{"id":"b{i}","spec":"worst:d=2,n=4","algo":"seq-solve"}}"#
+        ));
+        batch.push('\n');
+    }
+    w.write_all(batch.as_bytes()).unwrap();
+    w.flush().unwrap();
+    let mut got: Vec<String> = Vec::new();
+    for _ in 0..3 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let r = gt_serve::Response::parse(line.trim()).unwrap();
+        assert!(r.ok);
+        got.push(r.id.unwrap());
+    }
+    got.sort();
+    assert_eq!(got, vec!["b0", "b1", "b2"]);
+
+    // An over-long line: 400 reply, then the connection is closed.
+    let huge = format!(r#"{{"id":"big","spec":"{}"}}"#, "x".repeat(70 * 1024));
+    w.write_all(huge.as_bytes()).unwrap();
+    w.write_all(b"\n").unwrap();
+    w.flush().unwrap();
+    let mut line = String::new();
+    if reader.read_line(&mut line).unwrap() > 0 {
+        let r = gt_serve::Response::parse(line.trim()).unwrap();
+        assert!(!r.ok);
+        assert_eq!(r.status, 400);
+    }
+    assert!(wait_for_close(&s, Duration::from_secs(5)));
+
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown_server().unwrap();
+    let stats = server.join();
+    assert_eq!(stats.ok, 4);
+    assert!(stats.overlong_closed >= 1);
+}
+
+/// Graceful drain with a request line half-written: the drain must
+/// not wait for the missing half — in-flight (complete) requests are
+/// answered, the partial line is abandoned, and join() returns.
+#[test]
+fn graceful_drain_abandons_a_partial_request_line() {
+    let server = start(Config {
+        workers: 2,
+        ..Config::default()
+    });
+    let addr = server.local_addr();
+
+    let s = TcpStream::connect(addr).unwrap();
+    let mut w = s.try_clone().unwrap();
+    let mut reader = BufReader::new(s.try_clone().unwrap());
+
+    // One complete request (answered), then half of a second one.
+    w.write_all(b"{\"id\":\"done\",\"spec\":\"worst:d=2,n=4\",\"algo\":\"seq-solve\"}\n")
+        .unwrap();
+    w.write_all(b"{\"id\":\"half\",\"spec\":\"worst").unwrap();
+    w.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let r = gt_serve::Response::parse(line.trim()).unwrap();
+    assert!(r.ok);
+    assert_eq!(r.id.as_deref(), Some("done"));
+
+    let mut client = Client::connect(addr).unwrap();
+    let r = client.shutdown_server().unwrap();
+    assert!(r.ok);
+
+    // The half-written request is dropped with the connection; the
+    // server does not hang waiting for its newline.
+    assert!(
+        wait_for_close(&s, Duration::from_secs(5)),
+        "drain stalled on a partial request line"
+    );
+    let stats = server.join();
+    assert_eq!(stats.ok, 1);
+    assert_eq!(stats.open_conns, 0);
+}
