@@ -55,10 +55,12 @@ USAGE:
                [--probe-timeout MS] [--eject-after N] [--readmit-ms MS]
                [--deadline-ms MS] [--metrics-addr A] [--split-cost C]
                [--split-depth N] [--split-naive] [--split-speculative]
+               [--trace-sample F] [--trace-ring N]
   gtree loadgen [--addr A] [--conns N] [--connections N] [--rps R]
                [--duration SECS] [--pipeline N] [--spec SPEC]
                [--algo SERVE-ALGO] [--deadline-ms MS] [--distinct]
-               [--split-heavy] [--server-stats] [--json]
+               [--split-heavy] [--server-stats] [--sample-traces N]
+               [--json]
 
 SPEC:     kind:key=val,...   kinds: nor crit worst allones minmax
                                     minmax-best minmax-worst minmax-corr
@@ -107,6 +109,13 @@ once under the root window (benchmark baseline) and
 --split-speculative races each level's second child alongside the
 eldest.  `loadgen --split-heavy` replaces --spec with a rotating pool
 of large trees sized to exercise a router's split planner.
+
+The router assembles one distributed span tree per request
+(--trace-sample F traces one in 1/F requests, default 0.05; a
+client-supplied trace context is always honored; 0 disables) and
+keeps the last --trace-ring finished trees, read back with
+{\"op\":\"trace\"}.  `loadgen --sample-traces N` fetches the trees of
+the N slowest requests after the run and prints them flame-style.
 ";
 
 /// Parsed common options.
@@ -672,6 +681,10 @@ fn run_route(args: &[String]) -> Result<String, CliError> {
             }
             "--split-naive" => config.split.naive = true,
             "--split-speculative" => config.split.speculative = true,
+            "--trace-sample" => {
+                config.trace_sample = parse_flag("--trace-sample", &next(&mut i)?)?;
+            }
+            "--trace-ring" => config.trace_ring = parse_flag("--trace-ring", &next(&mut i)?)?,
             other => return Err(CliError::usage(format!("unknown argument {other:?}"))),
         }
         i += 1;
@@ -736,6 +749,9 @@ fn run_loadgen_cmd(args: &[String]) -> Result<String, CliError> {
             "--distinct" => config.distinct = true,
             "--split-heavy" => config.split_heavy = true,
             "--server-stats" => config.include_server_stats = true,
+            "--sample-traces" => {
+                config.sample_traces = parse_flag("--sample-traces", &next(&mut i)?)?;
+            }
             "--json" => json = true,
             other => return Err(CliError::usage(format!("unknown argument {other:?}"))),
         }
@@ -998,7 +1014,21 @@ mod tests {
             2,
             "--metrics-addr needs a value"
         );
+        assert_eq!(
+            run_str(&["loadgen", "--sample-traces", "lots"])
+                .unwrap_err()
+                .exit_code,
+            2
+        );
+        assert_eq!(
+            run_str(&["route", "--trace-sample", "often"])
+                .unwrap_err()
+                .exit_code,
+            2
+        );
         assert!(run_str(&["help"]).unwrap().contains("--trace-ring"));
+        assert!(run_str(&["help"]).unwrap().contains("--sample-traces"));
+        assert!(run_str(&["help"]).unwrap().contains("--trace-sample"));
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //! * **Observability** ([`metrics`]) — per-replica request / retry /
 //!   hedge / eject counters and a route-latency histogram, surfaced
 //!   through `op:"stats"` and the Prometheus `/metrics` listener.
+//! * **Distributed tracing** ([`trace`]) — a sampled span recorder
+//!   assembles one span tree per request (routing decision, every
+//!   dispatch/retry/hedge attempt, split-plan structure, replica-side
+//!   stage offsets), queryable via `op:"trace"`.
 //!
 //! This is the serving-fleet analogue of the paper's Section 7
 //! machine: a fixed processor set, work assigned by a fixed rule, and
@@ -33,8 +37,10 @@ pub mod health;
 pub mod metrics;
 pub mod router;
 pub mod split;
+pub mod trace;
 
 pub use health::{HealthPolicy, HealthState};
 pub use metrics::{ReplicaSnapshot, RouterMetrics, RouterSnapshot};
 pub use router::{Router, RouterConfig};
 pub use split::SplitConfig;
+pub use trace::{SpanRecorder, TraceHandle, TraceStats};

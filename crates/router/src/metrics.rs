@@ -9,8 +9,10 @@
 //! as `op:"stats"` JSON and Prometheus text exposition for the
 //! `/metrics` listener.
 
+use crate::trace::TraceStats;
 use gt_analysis::json::Json;
 use gt_serve::metrics::{HistogramSnapshot, LatencyHistogram};
+use gt_serve::protocol::PROTOCOL_VERSION;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -133,10 +135,11 @@ impl RouterMetrics {
 
     /// Freeze the fleet-level counters.  The router supplies the
     /// per-replica rows it assembles from live replica state.
-    pub fn snapshot(&self, replicas: Vec<ReplicaSnapshot>) -> RouterSnapshot {
+    pub fn snapshot(&self, replicas: Vec<ReplicaSnapshot>, trace: TraceStats) -> RouterSnapshot {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         RouterSnapshot {
             uptime_us: self.start.elapsed().as_micros() as u64,
+            trace,
             requests: load(&self.requests),
             ok: load(&self.ok),
             forwarded_errors: load(&self.forwarded_errors),
@@ -186,6 +189,9 @@ pub struct ReplicaSnapshot {
     pub probe_failures: u64,
     /// Requests currently awaiting a reply from this replica.
     pub inflight: u64,
+    /// Seconds since the prober last finished a probe of this
+    /// replica; `None` until the first probe completes.
+    pub last_probe_age_s: Option<f64>,
 }
 
 impl ReplicaSnapshot {
@@ -202,6 +208,13 @@ impl ReplicaSnapshot {
             ("transport", Json::from(self.transport)),
             ("probe_failures", Json::from(self.probe_failures)),
             ("inflight", Json::from(self.inflight)),
+            (
+                "last_probe_age_s",
+                match self.last_probe_age_s {
+                    Some(age) => Json::from(age),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 }
@@ -233,13 +246,18 @@ pub struct RouterSnapshot {
     pub split_depth: u64,
     pub route_latency: HistogramSnapshot,
     pub replicas: Vec<ReplicaSnapshot>,
+    /// Span-recorder counters (traces started/finished, spans opened,
+    /// live and ring-buffered trees).
+    pub trace: TraceStats,
 }
 
 impl RouterSnapshot {
     /// The `stats` object returned by `op:"stats"`.
     pub fn to_json(&self) -> Json {
         Json::obj([
+            ("version", Json::from(PROTOCOL_VERSION)),
             ("uptime_us", Json::from(self.uptime_us)),
+            ("uptime_s", Json::from(self.uptime_us as f64 / 1e6)),
             ("requests", Json::from(self.requests)),
             ("ok", Json::from(self.ok)),
             ("forwarded_errors", Json::from(self.forwarded_errors)),
@@ -266,6 +284,16 @@ impl RouterSnapshot {
                 Json::from(self.subevals_skipped_on_cutoff),
             ),
             ("split_depth", Json::from(self.split_depth)),
+            (
+                "traces",
+                Json::obj([
+                    ("started", Json::from(self.trace.started)),
+                    ("finished", Json::from(self.trace.finished)),
+                    ("spans", Json::from(self.trace.spans)),
+                    ("active", Json::from(self.trace.active)),
+                    ("ringed", Json::from(self.trace.ringed)),
+                ]),
+            ),
             ("route_latency", self.route_latency.to_json()),
             (
                 "replicas",
@@ -382,6 +410,37 @@ impl RouterSnapshot {
         let _ = writeln!(out, "# TYPE router_split_depth gauge");
         let _ = writeln!(out, "router_split_depth {}", self.split_depth);
 
+        counter(
+            &mut out,
+            "router_span_traces_started_total",
+            "Traces the span recorder opened (sampled or client-pinned).",
+            self.trace.started,
+        );
+        counter(
+            &mut out,
+            "router_span_traces_finished_total",
+            "Traces whose root span has closed.",
+            self.trace.finished,
+        );
+        counter(
+            &mut out,
+            "router_span_spans_total",
+            "Spans opened across all traces.",
+            self.trace.spans,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP router_span_active_traces Traces still being assembled."
+        );
+        let _ = writeln!(out, "# TYPE router_span_active_traces gauge");
+        let _ = writeln!(out, "router_span_active_traces {}", self.trace.active);
+        let _ = writeln!(
+            out,
+            "# HELP router_span_ring_traces Finished traces held in the query ring."
+        );
+        let _ = writeln!(out, "# TYPE router_span_ring_traces gauge");
+        let _ = writeln!(out, "router_span_ring_traces {}", self.trace.ringed);
+
         let _ = writeln!(
             out,
             "# HELP router_route_latency_us End-to-end ok-reply latency."
@@ -438,6 +497,20 @@ impl RouterSnapshot {
                 r.addr, r.inflight
             );
         }
+        let _ = writeln!(
+            out,
+            "# HELP router_replica_last_probe_age_s Seconds since the last health probe finished."
+        );
+        let _ = writeln!(out, "# TYPE router_replica_last_probe_age_s gauge");
+        for r in &self.replicas {
+            if let Some(age) = r.last_probe_age_s {
+                let _ = writeln!(
+                    out,
+                    "router_replica_last_probe_age_s{{replica=\"{}\"}} {age:.3}",
+                    r.addr
+                );
+            }
+        }
         out
     }
 }
@@ -459,6 +532,7 @@ mod tests {
             transport: 1,
             probe_failures: 3,
             inflight: 1,
+            last_probe_age_s: Some(0.25),
         }
     }
 
@@ -474,9 +548,26 @@ mod tests {
         m.record_split_depth(3);
         m.record_split_depth(2);
         m.route_latency.record(500);
-        let snap = m.snapshot(vec![replica_row("127.0.0.1:7171")]);
+        let snap = m.snapshot(
+            vec![replica_row("127.0.0.1:7171")],
+            TraceStats {
+                started: 5,
+                finished: 4,
+                spans: 21,
+                active: 1,
+                ringed: 4,
+            },
+        );
         let j = snap.to_json();
+        assert_eq!(j.get("version").and_then(Json::as_u64), Some(1));
+        assert!(
+            j.get("uptime_s").and_then(Json::as_f64).is_some(),
+            "stats must expose uptime_s for parity with the replica tier"
+        );
         assert_eq!(j.get("requests").and_then(Json::as_u64), Some(7));
+        let traces = j.get("traces").expect("traces block");
+        assert_eq!(traces.get("started").and_then(Json::as_u64), Some(5));
+        assert_eq!(traces.get("ringed").and_then(Json::as_u64), Some(4));
         assert_eq!(j.get("retries").and_then(Json::as_u64), Some(3));
         assert_eq!(j.get("splits_total").and_then(Json::as_u64), Some(2));
         assert_eq!(j.get("subevals_dispatched").and_then(Json::as_u64), Some(9));
@@ -509,10 +600,16 @@ mod tests {
         m.subevals_skipped_on_cutoff.fetch_add(5, Ordering::Relaxed);
         m.route_latency.record(1_000);
         let text = m
-            .snapshot(vec![
-                replica_row("127.0.0.1:7171"),
-                replica_row("127.0.0.1:7172"),
-            ])
+            .snapshot(
+                vec![replica_row("127.0.0.1:7171"), replica_row("127.0.0.1:7172")],
+                TraceStats {
+                    started: 6,
+                    finished: 6,
+                    spans: 30,
+                    active: 0,
+                    ringed: 6,
+                },
+            )
             .render_prometheus();
         assert!(text.contains("router_retries_total 4"), "{text}");
         assert!(text.contains("router_requests_total"), "{text}");
@@ -537,5 +634,15 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("router_split_depth 0"), "{text}");
+        assert!(
+            text.contains("router_span_traces_started_total 6"),
+            "{text}"
+        );
+        assert!(text.contains("router_span_spans_total 30"), "{text}");
+        assert!(text.contains("router_span_ring_traces 6"), "{text}");
+        assert!(
+            text.contains("router_replica_last_probe_age_s{replica=\"127.0.0.1:7171\"} 0.250"),
+            "{text}"
+        );
     }
 }

@@ -28,10 +28,11 @@ use crate::hash;
 use crate::health::{tier_route, HealthMachine, HealthPolicy};
 use crate::metrics::{ReplicaCounters, ReplicaSnapshot, RouterMetrics, RouterSnapshot};
 use crate::split::{plan_levels, Dispatch, Effects, FailKind, Outcome, SplitConfig, SplitMachine};
+use crate::trace::{SpanRecorder, TraceHandle, ROOT_SPAN};
 use gt_analysis::Json;
 use gt_serve::io::{BufferPool, LineAction, LineReader, Poller, Waker};
 use gt_serve::protocol::{
-    error_line_with, ok_line, ErrorCode, Op, Request, Response, PROTOCOL_VERSION,
+    error_line_with, ok_line, ErrorCode, Op, Request, Response, TraceContext, PROTOCOL_VERSION,
 };
 use gt_serve::trace::{spawn_metrics_listener, MetricsListener};
 use gt_serve::workload;
@@ -104,6 +105,17 @@ pub struct RouterConfig {
     pub health: HealthPolicy,
     /// Scatter-gather split planning (see [`crate::split`]).
     pub split: SplitConfig,
+    /// Fraction of requests traced when the client supplies no trace
+    /// context (`0` disables tracing, `1` traces everything).  A
+    /// client-supplied `trace` object is always honoured whenever this
+    /// is above zero.  Defaults to 1-in-20: span trees cost a few
+    /// microseconds of router CPU per request, which saturated
+    /// cached-hit traffic would otherwise pay on every single reply
+    /// (the `trace_overhead` scenario in scripts/bench_serve.sh holds
+    /// the default under a 3% p50 budget).
+    pub trace_sample: f64,
+    /// Finished span trees kept for `op:"trace"`.
+    pub trace_ring: usize,
 }
 
 impl Default for RouterConfig {
@@ -125,6 +137,8 @@ impl Default for RouterConfig {
             metrics_addr: None,
             health: HealthPolicy::default(),
             split: SplitConfig::default(),
+            trace_sample: 0.05,
+            trace_ring: 256,
         }
     }
 }
@@ -199,6 +213,10 @@ struct Replica {
     rr: AtomicUsize,
     health: Mutex<HealthMachine>,
     counters: ReplicaCounters,
+    /// When the prober last finished a round trip against this
+    /// replica, in `RouterMetrics::uptime_us` units; `u64::MAX`
+    /// until the first probe completes.
+    last_probe_us: AtomicU64,
 }
 
 impl Replica {
@@ -220,6 +238,8 @@ struct OutstandingEntry {
     conn: usize,
     seq: u64,
     is_hedge: bool,
+    /// The dispatch span covering this copy; `0` when untraced.
+    span: u64,
 }
 
 /// One client request in flight through the router.  Shared by the
@@ -252,6 +272,8 @@ struct Relay {
     outstanding: Mutex<Vec<OutstandingEntry>>,
     writer: Arc<Mutex<TcpStream>>,
     window: Arc<ClientWindow>,
+    /// The request's span tree, when it is being traced.
+    trace: Option<Arc<TraceHandle>>,
 }
 
 impl Relay {
@@ -353,6 +375,7 @@ struct Inner {
     addrs: Vec<String>,
     replicas: Vec<Arc<Replica>>,
     metrics: RouterMetrics,
+    recorder: SpanRecorder,
     pacer: Pacer,
     seq: AtomicU64,
     /// Client-facing drain flag: stop accepting, reject new evals.
@@ -366,6 +389,17 @@ struct Inner {
 /// first but hash affinity survives within a tier.
 fn route_for(key: &str, addrs: &[String], tiers: &[u8]) -> Vec<usize> {
     tier_route(&hash::rank(key, addrs), tiers)
+}
+
+/// Record the routing decision as an instantaneous span: the chosen
+/// candidate order, each annotated with its health tier.
+fn record_route_span(h: &TraceHandle, route: &[usize], addrs: &[String], tiers: &[u8]) {
+    let label = route
+        .iter()
+        .map(|&i| format!("{}(t{})", addrs[i], tiers[i]))
+        .collect::<Vec<_>>()
+        .join(" > ");
+    h.event(ROOT_SPAN, "route", label, "ok");
 }
 
 fn write_client(relay: &Relay, line: &str) {
@@ -390,6 +424,7 @@ fn rewrite_reply(
     replica_addr: &str,
     retries: u32,
     hedged: bool,
+    trace_id: Option<&str>,
 ) -> String {
     let mut pairs: Vec<(String, Json)> = Vec::new();
     if let Json::Object(fields) = body {
@@ -412,7 +447,24 @@ fn rewrite_reply(
     if hedged {
         pairs.push(("hedged".into(), Json::Bool(true)));
     }
+    if let Some(id) = trace_id {
+        pairs.push(("trace_id".into(), Json::from(id)));
+    }
     Json::Object(pairs).render()
+}
+
+/// Detail copied from an upstream reply onto its dispatch span: the
+/// answering replica, the replica's stage-offset echo, and its work
+/// counters (leaves, par grants/steals) when present.
+fn span_detail_from(resp: &Response, replica_addr: &str) -> Vec<(String, Json)> {
+    let mut extra = vec![("replica".into(), Json::from(replica_addr))];
+    if let Some(stages) = resp.body.get("trace").and_then(|t| t.get("stages")) {
+        extra.push(("stages".into(), stages.clone()));
+    }
+    if let Some(work) = resp.body.get("work") {
+        extra.push(("work".into(), work.clone()));
+    }
+    extra
 }
 
 // ---------------------------------------------------------------------------
@@ -440,8 +492,16 @@ fn settle_forward(
     replica: &Replica,
     resp: &Response,
     is_hedge: bool,
+    span: u64,
 ) {
+    let status = if resp.ok { "ok" } else { "error" };
     if !relay.try_claim() {
+        // This copy lost the race: its span records the wasted work.
+        if let Some(h) = &relay.trace {
+            if span != 0 {
+                h.end_with(span, "discarded", span_detail_from(resp, &replica.addr));
+            }
+        }
         if relay.hedged.load(Ordering::SeqCst) {
             RouterMetrics::bump(&inner.metrics.hedge_losers);
         }
@@ -451,12 +511,20 @@ fn settle_forward(
         RouterMetrics::bump(&inner.metrics.hedge_wins);
     }
     cleanup_outstanding(inner, relay);
+    if let Some(h) = &relay.trace {
+        if span != 0 {
+            h.end_with(span, status, span_detail_from(resp, &replica.addr));
+        }
+        h.end(ROOT_SPAN, status);
+        inner.recorder.finish(h);
+    }
     let line = rewrite_reply(
         &resp.body,
         &relay.client_id,
         &replica.addr,
         relay.retries.load(Ordering::SeqCst),
         relay.hedged.load(Ordering::SeqCst),
+        relay.trace.as_ref().map(|h| h.trace_id.as_str()),
     );
     write_client(relay, &line);
     if resp.ok {
@@ -477,12 +545,27 @@ fn settle_local(
     relay: &Relay,
     code: ErrorCode,
     message: &str,
-    extra: Vec<(&'static str, Json)>,
+    mut extra: Vec<(&'static str, Json)>,
 ) {
     if !relay.try_claim() {
         return;
     }
     cleanup_outstanding(inner, relay);
+    let status = match code {
+        ErrorCode::Busy => "busy",
+        ErrorCode::Timeout => "timeout",
+        ErrorCode::Draining => "draining",
+        _ => "error",
+    };
+    if let Some(h) = &relay.trace {
+        if matches!(code, ErrorCode::Timeout) {
+            // The local 408 backstop: upstream never answered in time.
+            h.event(ROOT_SPAN, "expire", message.to_string(), status);
+        }
+        h.end(ROOT_SPAN, status);
+        inner.recorder.finish(h);
+        extra.push(("trace_id", Json::from(h.trace_id.clone())));
+    }
     write_client(
         relay,
         &error_line_with(&relay.client_id, code, message, extra),
@@ -522,6 +605,20 @@ enum AttemptKind {
     Hedge,
 }
 
+impl AttemptKind {
+    fn span_kind(self) -> &'static str {
+        match self {
+            AttemptKind::Initial => "dispatch",
+            AttemptKind::Retry => "retry",
+            AttemptKind::Hedge => "hedge",
+        }
+    }
+
+    fn is_hedge(self) -> bool {
+        matches!(self, AttemptKind::Hedge)
+    }
+}
+
 /// Try to place one upstream copy of `relay`, walking its route from
 /// the cursor.  The first candidate of an Initial or Hedge attempt is
 /// free; every further candidate — tried because the previous one was
@@ -551,7 +648,7 @@ fn dispatch_attempt(inner: &Inner, relay: &Arc<Relay>, kind: AttemptKind) {
             relay.retries.fetch_add(1, Ordering::SeqCst);
             RouterMetrics::bump(&inner.metrics.retries);
         }
-        if try_send(inner, relay, replica, matches!(kind, AttemptKind::Hedge)).is_ok() {
+        if try_send(inner, relay, replica, kind).is_ok() {
             return;
         }
     }
@@ -564,12 +661,12 @@ fn try_send(
     inner: &Inner,
     relay: &Arc<Relay>,
     replica: &Replica,
-    is_hedge: bool,
+    kind: AttemptKind,
 ) -> Result<(), ()> {
     let start = replica.rr.fetch_add(1, Ordering::Relaxed);
     for k in 0..replica.conns.len() {
         let ci = (start + k) % replica.conns.len();
-        if conn_try_send(inner, relay, replica, ci, is_hedge).is_ok() {
+        if conn_try_send(inner, relay, replica, ci, kind).is_ok() {
             return Ok(());
         }
     }
@@ -581,7 +678,7 @@ fn conn_try_send(
     relay: &Arc<Relay>,
     replica: &Replica,
     ci: usize,
-    is_hedge: bool,
+    kind: AttemptKind,
 ) -> Result<(), ()> {
     let conn = &replica.conns[ci];
     let seq = inner.seq.fetch_add(1, Ordering::SeqCst) + 1;
@@ -595,11 +692,18 @@ fn conn_try_send(
         // entry first (see below).
         pending.insert(seq, PendingReply::Whole(Arc::clone(relay)));
     }
+    // One span per wire attempt, opened before the write so a failed
+    // write still leaves its mark on the tree.
+    let span = match &relay.trace {
+        Some(h) => h.span(ROOT_SPAN, kind.span_kind(), replica.addr.clone()),
+        None => 0,
+    };
     relay.outstanding.lock().unwrap().push(OutstandingEntry {
         replica: replica.idx,
         conn: ci,
         seq,
-        is_hedge,
+        is_hedge: kind.is_hedge(),
+        span,
     });
     let remaining = relay
         .deadline
@@ -618,6 +722,10 @@ fn conn_try_send(
         path: relay.path.clone(),
         alpha: relay.alpha,
         beta: relay.beta,
+        trace: relay.trace.as_ref().map(|h| TraceContext {
+            trace_id: h.trace_id.clone(),
+            parent_span: Some(span),
+        }),
     }
     .render();
     let wrote = {
@@ -645,6 +753,11 @@ fn conn_try_send(
     // is not dispatched twice.
     if conn.pending.lock().unwrap().remove(&seq).is_some() {
         relay.remove_outstanding(seq);
+        if let Some(h) = &relay.trace {
+            if span != 0 {
+                h.end(span, "transport");
+            }
+        }
         ReplicaCounters::bump(&replica.counters.transport);
         Err(())
     } else {
@@ -700,6 +813,10 @@ struct ActivePlan {
     naive: bool,
     writer: Arc<Mutex<TcpStream>>,
     window: Arc<ClientWindow>,
+    /// The request's span tree, when it is being traced.
+    trace: Option<Arc<TraceHandle>>,
+    /// The `split` span every subeval span parents to; `0` untraced.
+    split_span: u64,
 }
 
 impl ActivePlan {
@@ -725,6 +842,9 @@ struct SubFlight {
     cursor: AtomicUsize,
     /// Busy-retry budget consumed (transport skips are unbudgeted).
     busy_retries: AtomicU32,
+    /// The span covering the current wire copy (`0` when none); a
+    /// re-dispatch replaces it — subevals never have two live copies.
+    span: AtomicU64,
 }
 
 /// Answer the plan's client exactly once and release the window slot.
@@ -738,29 +858,35 @@ fn answer_plan(inner: &Inner, plan: &ActivePlan, outcome: &Outcome) {
             work,
             subevals,
         } => {
-            let line = ok_line(
-                &plan.client_id,
-                vec![
-                    ("value", Json::from(*value)),
-                    (
-                        "work",
-                        Json::Object(vec![("leaves".into(), Json::from(*work))]),
-                    ),
-                    ("cached", Json::Bool(false)),
-                    (
-                        "split",
-                        Json::Object(vec![
-                            ("depth".into(), Json::from(plan.depth)),
-                            ("subevals".into(), Json::from(*subevals)),
-                            ("naive".into(), Json::Bool(plan.naive)),
-                        ]),
-                    ),
-                    (
-                        "latency_us",
-                        Json::from(plan.start.elapsed().as_micros() as u64),
-                    ),
-                ],
-            );
+            if let Some(h) = &plan.trace {
+                h.end(plan.split_span, "ok");
+                h.end(ROOT_SPAN, "ok");
+                inner.recorder.finish(h);
+            }
+            let mut fields = vec![
+                ("value", Json::from(*value)),
+                (
+                    "work",
+                    Json::Object(vec![("leaves".into(), Json::from(*work))]),
+                ),
+                ("cached", Json::Bool(false)),
+                (
+                    "split",
+                    Json::Object(vec![
+                        ("depth".into(), Json::from(plan.depth)),
+                        ("subevals".into(), Json::from(*subevals)),
+                        ("naive".into(), Json::Bool(plan.naive)),
+                    ]),
+                ),
+                (
+                    "latency_us",
+                    Json::from(plan.start.elapsed().as_micros() as u64),
+                ),
+            ];
+            if let Some(h) = &plan.trace {
+                fields.push(("trace_id", Json::from(h.trace_id.clone())));
+            }
+            let line = ok_line(&plan.client_id, fields);
             write_line(&plan.writer, &line);
             RouterMetrics::bump(&inner.metrics.ok);
             inner
@@ -774,9 +900,24 @@ fn answer_plan(inner: &Inner, plan: &ActivePlan, outcome: &Outcome) {
                 FailKind::Timeout => ErrorCode::Timeout,
                 FailKind::Internal => ErrorCode::Internal,
             };
+            let status = match kind {
+                FailKind::Busy => "busy",
+                FailKind::Timeout => "timeout",
+                FailKind::Internal => "error",
+            };
+            let mut extra: Vec<(&'static str, Json)> = Vec::new();
+            if let Some(h) = &plan.trace {
+                if matches!(kind, FailKind::Timeout) {
+                    h.event(ROOT_SPAN, "expire", message.to_string(), status);
+                }
+                h.end(plan.split_span, status);
+                h.end(ROOT_SPAN, status);
+                inner.recorder.finish(h);
+                extra.push(("trace_id", Json::from(h.trace_id.clone())));
+            }
             write_line(
                 &plan.writer,
-                &error_line_with(&plan.client_id, code, message, Vec::new()),
+                &error_line_with(&plan.client_id, code, message, extra),
             );
             match code {
                 ErrorCode::Busy => RouterMetrics::bump(&inner.metrics.shed),
@@ -804,12 +945,28 @@ fn apply_effects(inner: &Inner, plan: &Arc<ActivePlan>, fx: Effects) {
             .metrics
             .subevals_skipped_on_cutoff
             .fetch_add(fx.skipped, Ordering::Relaxed);
+        if let Some(h) = &plan.trace {
+            h.event(
+                plan.split_span,
+                "skip",
+                format!("cutoff skipped {} undispatched sibling(s)", fx.skipped),
+                "skipped",
+            );
+        }
     }
     if fx.discarded > 0 {
         inner
             .metrics
             .subevals_discarded_on_cutoff
             .fetch_add(fx.discarded, Ordering::Relaxed);
+        if let Some(h) = &plan.trace {
+            h.event(
+                plan.split_span,
+                "discard",
+                format!("cutoff discarded {} in-flight result(s)", fx.discarded),
+                "discarded",
+            );
+        }
     }
     if let Some(outcome) = fx.done {
         // Dispatches staged by the same event are moot: the plan has
@@ -838,14 +995,15 @@ fn dispatch_new_sub(inner: &Inner, plan: &Arc<ActivePlan>, d: Dispatch) {
         route,
         cursor: AtomicUsize::new(0),
         busy_retries: AtomicU32::new(0),
+        span: AtomicU64::new(0),
     });
-    send_sub(inner, &sf, &d.sub);
+    send_sub(inner, &sf, &d.sub, "subeval");
 }
 
 /// Walk the subflight's route from its cursor until a replica takes
 /// the subeval.  Exhausting the route fails the whole plan — a missing
 /// child value cannot be folded around.
-fn send_sub(inner: &Inner, sf: &Arc<SubFlight>, sub: &SubtreeSpec) {
+fn send_sub(inner: &Inner, sf: &Arc<SubFlight>, sub: &SubtreeSpec, kind: &'static str) {
     if sf.plan.answered.load(Ordering::SeqCst) {
         return;
     }
@@ -853,7 +1011,7 @@ fn send_sub(inner: &Inner, sf: &Arc<SubFlight>, sub: &SubtreeSpec) {
     for _ in 0..len {
         let pos = sf.cursor.fetch_add(1, Ordering::SeqCst) % len;
         let replica = &inner.replicas[sf.route[pos]];
-        if sub_try_send(inner, sf, replica, sub).is_ok() {
+        if sub_try_send(inner, sf, replica, sub, kind).is_ok() {
             RouterMetrics::bump(&inner.metrics.subevals_dispatched);
             return;
         }
@@ -874,6 +1032,7 @@ fn sub_try_send(
     sf: &Arc<SubFlight>,
     replica: &Replica,
     sub: &SubtreeSpec,
+    kind: &'static str,
 ) -> Result<(), ()> {
     let start = replica.rr.fetch_add(1, Ordering::Relaxed);
     for k in 0..replica.conns.len() {
@@ -887,6 +1046,26 @@ fn sub_try_send(
             }
             pending.insert(seq, PendingReply::Sub(Arc::clone(sf)));
         }
+        // The subeval's span: labelled with path, replica, and the
+        // (possibly narrowed) alpha/beta window of this copy.
+        let span = match &sf.plan.trace {
+            Some(h) => {
+                let s = h.span(
+                    sf.plan.split_span,
+                    kind,
+                    format!(
+                        "{}@{} window=[{},{}]",
+                        path_text(&sub.path),
+                        replica.addr,
+                        sub.alpha,
+                        sub.beta
+                    ),
+                );
+                sf.span.store(s, Ordering::SeqCst);
+                s
+            }
+            None => 0,
+        };
         let remaining = sf
             .plan
             .deadline
@@ -900,6 +1079,10 @@ fn sub_try_send(
             Some(remaining.max(1)),
         );
         req.id = Some(seq.to_string());
+        req.trace = sf.plan.trace.as_ref().map(|h| TraceContext {
+            trace_id: h.trace_id.clone(),
+            parent_span: Some(span),
+        });
         let line = req.render();
         let wrote = {
             let mut w = conn.writer.lock().unwrap();
@@ -923,6 +1106,11 @@ fn sub_try_send(
         // connection first and owns the re-dispatch: report success so
         // the subeval is not placed twice.
         if conn.pending.lock().unwrap().remove(&seq).is_some() {
+            if let Some(h) = &sf.plan.trace {
+                if span != 0 {
+                    h.end(span, "transport");
+                }
+            }
             ReplicaCounters::bump(&replica.counters.transport);
             continue;
         }
@@ -953,7 +1141,7 @@ fn retry_sub(inner: &Inner, sf: &Arc<SubFlight>) {
         return;
     };
     RouterMetrics::bump(&inner.metrics.subevals_retried);
-    send_sub(inner, sf, &sub);
+    send_sub(inner, sf, &sub, "redispatch");
 }
 
 /// A subeval's connection died with it in flight: re-dispatch,
@@ -972,12 +1160,25 @@ fn redispatch_sub(inner: &Inner, sf: &Arc<SubFlight>) {
         return;
     };
     RouterMetrics::bump(&inner.metrics.subevals_retried);
-    send_sub(inner, sf, &sub);
+    send_sub(inner, sf, &sub, "redispatch");
 }
 
 /// An upstream reply matched a subeval: feed the machine and carry out
 /// what it wants.
 fn handle_sub_reply(inner: &Inner, replica: &Replica, sf: &Arc<SubFlight>, resp: &Response) {
+    if let Some(h) = &sf.plan.trace {
+        let span = sf.span.load(Ordering::SeqCst);
+        if span != 0 {
+            let status = if resp.ok {
+                "ok"
+            } else if resp.status == 429 || resp.status == 503 {
+                "busy"
+            } else {
+                "error"
+            };
+            h.end_with(span, status, span_detail_from(resp, &replica.addr));
+        }
+    }
     if resp.ok {
         ReplicaCounters::bump(&replica.counters.ok);
         let Some(value) = resp.value() else {
@@ -1083,6 +1284,18 @@ fn start_split_plan(
     let now = Instant::now();
     let (machine, fx) = SplitMachine::new(shape, &inner.config.split);
     let depth = machine.depth();
+    let trace = inner.recorder.begin(req.trace.as_ref(), spec_c);
+    let split_span = match &trace {
+        Some(h) => h.span(
+            ROOT_SPAN,
+            "split",
+            format!(
+                "depth={} naive={} threshold={}",
+                depth, inner.config.split.naive, threshold
+            ),
+        ),
+        None => 0,
+    };
     let plan = Arc::new(ActivePlan {
         client_id: req.id.clone(),
         spec_text: spec_c.to_string(),
@@ -1094,6 +1307,8 @@ fn start_split_plan(
         naive: inner.config.split.naive,
         writer: Arc::clone(writer),
         window: Arc::clone(window),
+        trace,
+        split_span,
     });
     RouterMetrics::bump(&inner.metrics.splits_total);
     inner.metrics.record_split_depth(depth as u64);
@@ -1132,7 +1347,13 @@ fn conn_died(inner: &Inner, replica: &Replica, ci: usize) {
         ReplicaCounters::bump(&replica.counters.transport);
         match entry {
             PendingReply::Whole(relay) => {
-                relay.remove_outstanding(seq);
+                if let Some(e) = relay.remove_outstanding(seq) {
+                    if let Some(h) = &relay.trace {
+                        if e.span != 0 {
+                            h.end(e.span, "lost");
+                        }
+                    }
+                }
                 if relay.answered.load(Ordering::SeqCst) {
                     continue;
                 }
@@ -1140,7 +1361,15 @@ fn conn_died(inner: &Inner, replica: &Replica, ci: usize) {
                     dispatch_attempt(inner, &relay, AttemptKind::Retry);
                 }
             }
-            PendingReply::Sub(sf) => redispatch_sub(inner, &sf),
+            PendingReply::Sub(sf) => {
+                if let Some(h) = &sf.plan.trace {
+                    let span = sf.span.load(Ordering::SeqCst);
+                    if span != 0 {
+                        h.end(span, "lost");
+                    }
+                }
+                redispatch_sub(inner, &sf);
+            }
         }
     }
 }
@@ -1168,22 +1397,27 @@ fn handle_reply(inner: &Inner, replica: &Replica, ci: usize, line: &str) {
             return;
         }
     };
-    let is_hedge = relay
+    let (is_hedge, span) = relay
         .remove_outstanding(seq)
-        .map(|e| e.is_hedge)
-        .unwrap_or(false);
+        .map(|e| (e.is_hedge, e.span))
+        .unwrap_or((false, 0));
     if resp.ok {
         ReplicaCounters::bump(&replica.counters.ok);
-        settle_forward(inner, &relay, replica, &resp, is_hedge);
+        settle_forward(inner, &relay, replica, &resp, is_hedge, span);
     } else if resp.status == 429 || resp.status == 503 {
         // Retryable: the next replica in hash order gets its chance.
         ReplicaCounters::bump(&replica.counters.busy);
+        if let Some(h) = &relay.trace {
+            if span != 0 {
+                h.end_with(span, "busy", span_detail_from(&resp, &replica.addr));
+            }
+        }
         schedule_retry(inner, &relay, resp.retry_after_ms());
     } else {
         // Deterministic failures (bad request, internal, timeout)
         // would fail identically elsewhere: forward verbatim.
         ReplicaCounters::bump(&replica.counters.errors);
-        settle_forward(inner, &relay, replica, &resp, is_hedge);
+        settle_forward(inner, &relay, replica, &resp, is_hedge, span);
     }
 }
 
@@ -1291,6 +1525,9 @@ fn probe_loop(inner: Arc<Inner>) {
                 break;
             }
             let up = probe_once(&replica.addr, timeout);
+            replica
+                .last_probe_us
+                .store(inner.metrics.uptime_us(), Ordering::Relaxed);
             let now = Instant::now();
             let mut h = replica.health.lock().unwrap();
             h.tick(now);
@@ -1401,6 +1638,10 @@ fn route_eval(
     }
     let tiers: Vec<u8> = inner.replicas.iter().map(|r| r.tier()).collect();
     let route = route_for(&key, &inner.addrs, &tiers);
+    let trace = inner.recorder.begin(req.trace.as_ref(), &key);
+    if let Some(h) = &trace {
+        record_route_span(h, &route, &inner.addrs, &tiers);
+    }
     window.acquire(inner.config.client_window);
     let deadline_ms = req
         .deadline_ms
@@ -1425,6 +1666,7 @@ fn route_eval(
         outstanding: Mutex::new(Vec::new()),
         writer: Arc::clone(writer),
         window: Arc::clone(window),
+        trace,
     });
     inner
         .pacer
@@ -1483,6 +1725,10 @@ fn route_subeval(
     let key = format!("sub:{}#{}", spec_c, path_text(&sub.path));
     let tiers: Vec<u8> = inner.replicas.iter().map(|r| r.tier()).collect();
     let route = route_for(&key, &inner.addrs, &tiers);
+    let trace = inner.recorder.begin(req.trace.as_ref(), &key);
+    if let Some(h) = &trace {
+        record_route_span(h, &route, &inner.addrs, &tiers);
+    }
     window.acquire(inner.config.client_window);
     let deadline_ms = req
         .deadline_ms
@@ -1507,6 +1753,7 @@ fn route_subeval(
         outstanding: Mutex::new(Vec::new()),
         writer: Arc::clone(writer),
         window: Arc::clone(window),
+        trace,
     });
     inner
         .pacer
@@ -1594,16 +1841,47 @@ fn handle_client_line(
             &ok_line(&req.id, vec![("stats", snapshot_of(inner).to_json())]),
         ),
         Op::Trace => {
-            RouterMetrics::bump(&inner.metrics.bad_request);
-            write_line(
-                writer,
-                &error_line_with(
-                    &req.id,
-                    ErrorCode::BadRequest,
-                    "the router keeps no traces; ask a replica",
-                    Vec::new(),
-                ),
-            );
+            if !inner.recorder.enabled() {
+                RouterMetrics::bump(&inner.metrics.bad_request);
+                write_line(
+                    writer,
+                    &error_line_with(
+                        &req.id,
+                        ErrorCode::BadRequest,
+                        "tracing is disabled (--trace-sample 0)",
+                        Vec::new(),
+                    ),
+                );
+            } else if let Some(ctx) = &req.trace {
+                // Query one assembled tree by id (active or finished).
+                match inner.recorder.lookup(&ctx.trace_id) {
+                    Some(h) => write_line(writer, &ok_line(&req.id, vec![("trace", h.to_json())])),
+                    None => {
+                        RouterMetrics::bump(&inner.metrics.bad_request);
+                        write_line(
+                            writer,
+                            &error_line_with(
+                                &req.id,
+                                ErrorCode::BadRequest,
+                                "unknown trace_id (expired from the ring?)",
+                                Vec::new(),
+                            ),
+                        );
+                    }
+                }
+            } else {
+                let n = req.n.unwrap_or(16).min(1024) as usize;
+                let traces: Vec<Json> = inner
+                    .recorder
+                    .latest(n)
+                    .iter()
+                    .map(|h| h.to_json())
+                    .collect();
+                write_line(
+                    writer,
+                    &ok_line(&req.id, vec![("traces", Json::Array(traces))]),
+                );
+            }
         }
         Op::Shutdown => {
             inner.draining.store(true, Ordering::SeqCst);
@@ -1848,6 +2126,7 @@ fn accept_loop(inner: Arc<Inner>, listener: TcpListener, io: Vec<Arc<ClientIoHan
 
 fn snapshot_of(inner: &Inner) -> RouterSnapshot {
     let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+    let now_us = inner.metrics.uptime_us();
     let rows = inner
         .replicas
         .iter()
@@ -1855,6 +2134,12 @@ fn snapshot_of(inner: &Inner) -> RouterSnapshot {
             let (state, ejects) = {
                 let h = r.health.lock().unwrap();
                 (h.state(), h.ejects)
+            };
+            let probed_at = r.last_probe_us.load(Ordering::Relaxed);
+            let last_probe_age_s = if probed_at == u64::MAX {
+                None
+            } else {
+                Some(now_us.saturating_sub(probed_at) as f64 / 1e6)
             };
             ReplicaSnapshot {
                 addr: r.addr.clone(),
@@ -1868,10 +2153,11 @@ fn snapshot_of(inner: &Inner) -> RouterSnapshot {
                 transport: load(&r.counters.transport),
                 probe_failures: load(&r.counters.probe_failures),
                 inflight: r.inflight(),
+                last_probe_age_s,
             }
         })
         .collect();
-    inner.metrics.snapshot(rows)
+    inner.metrics.snapshot(rows, inner.recorder.stats())
 }
 
 // ---------------------------------------------------------------------------
@@ -1932,12 +2218,14 @@ impl Router {
                     rr: AtomicUsize::new(0),
                     health: Mutex::new(HealthMachine::new(config.health.clone())),
                     counters: ReplicaCounters::default(),
+                    last_probe_us: AtomicU64::new(u64::MAX),
                 })
             })
             .collect();
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let recorder = SpanRecorder::new(config.trace_sample, config.trace_ring);
         let inner = Arc::new(Inner {
             config,
             addrs,
@@ -1947,6 +2235,7 @@ impl Router {
             seq: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             stop_upstream: AtomicBool::new(false),
+            recorder,
         });
 
         let pacer_thread = {
@@ -2105,7 +2394,7 @@ mod tests {
             r#"{"ok":true,"id":"41","value":1,"work":64,"cached":false,"latency_us":812}"#,
         )
         .unwrap();
-        let line = rewrite_reply(&body, &Some("r7".into()), "127.0.0.1:7171", 2, true);
+        let line = rewrite_reply(&body, &Some("r7".into()), "127.0.0.1:7171", 2, true, None);
         let back = Json::parse(&line).unwrap();
         assert_eq!(back.get("id").and_then(Json::as_str), Some("r7"));
         assert_eq!(back.get("value").and_then(Json::as_u64), Some(1));
@@ -2122,7 +2411,7 @@ mod tests {
     #[test]
     fn rewrite_omits_noise_on_the_clean_path() {
         let body = Json::parse(r#"{"ok":true,"id":"9","value":0}"#).unwrap();
-        let line = rewrite_reply(&body, &None, "a:1", 0, false);
+        let line = rewrite_reply(&body, &None, "a:1", 0, false, None);
         assert!(!line.contains("retries"), "{line}");
         assert!(!line.contains("hedged"), "{line}");
         assert!(!line.contains("\"id\""), "{line}");

@@ -107,6 +107,7 @@ impl Client {
             path: None,
             alpha: None,
             beta: None,
+            trace: None,
         })
     }
 

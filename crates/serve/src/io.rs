@@ -30,10 +30,11 @@
 //! * [`raise_nofile_limit`] — best-effort `RLIMIT_NOFILE` soft→hard
 //!   bump so one process can actually hold 10k+ sockets.
 
+use crate::metrics::{HistogramSnapshot, LatencyHistogram};
 use std::collections::VecDeque;
 use std::io::{self, ErrorKind, IoSlice, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Raw file descriptor (we avoid `std::os::fd` traits on the FFI
 /// boundary to keep the cfg surface small).
@@ -99,6 +100,79 @@ fn set_nonblocking_fd(fd: RawFd) -> io::Result<()> {
         return Err(io::Error::last_os_error());
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Per-io-thread event-loop health.
+// ---------------------------------------------------------------------------
+
+/// Health counters for one I/O event loop, updated lock-free by the
+/// owning thread each iteration and read by the metrics renderers.
+/// `wait_us` is time spent asleep in `epoll_wait`/`poll` (idle);
+/// `work_us` is everything else in the iteration — socket reads,
+/// request parsing, outbox drains — i.e. how long freshly-ready
+/// connections wait for the loop to come around, so its distribution
+/// (the `lag` histogram) is the loop's responsiveness.
+#[derive(Default)]
+pub struct IoLoopStats {
+    /// Loop iterations completed (one `wait` + work cycle each).
+    pub iterations: AtomicU64,
+    /// Cumulative µs blocked waiting for readiness events.
+    pub wait_us: AtomicU64,
+    /// Cumulative µs doing work between waits.
+    pub work_us: AtomicU64,
+    /// Connections currently owned by this loop (gauge).
+    pub connections: AtomicU64,
+    /// Bytes queued in this loop's connection outboxes (gauge,
+    /// refreshed on the owner's gauge cadence, not per write).
+    pub outbox_bytes: AtomicU64,
+    /// Distribution of per-iteration work time — loop-iteration lag.
+    pub lag: LatencyHistogram,
+}
+
+impl IoLoopStats {
+    /// Fold one completed loop iteration in.
+    pub fn record_iteration(&self, wait_us: u64, work_us: u64) {
+        self.iterations.fetch_add(1, Ordering::Relaxed);
+        self.wait_us.fetch_add(wait_us, Ordering::Relaxed);
+        self.work_us.fetch_add(work_us, Ordering::Relaxed);
+        self.lag.record(work_us);
+    }
+
+    /// Refresh the point-in-time gauges.
+    pub fn set_gauges(&self, connections: u64, outbox_bytes: u64) {
+        self.connections.store(connections, Ordering::Relaxed);
+        self.outbox_bytes.store(outbox_bytes, Ordering::Relaxed);
+    }
+
+    /// Freeze into plain data for rendering.
+    pub fn snapshot(&self) -> IoLoopSnapshot {
+        IoLoopSnapshot {
+            iterations: self.iterations.load(Ordering::Relaxed),
+            wait_us: self.wait_us.load(Ordering::Relaxed),
+            work_us: self.work_us.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            outbox_bytes: self.outbox_bytes.load(Ordering::Relaxed),
+            lag: self.lag.snapshot_full(),
+        }
+    }
+}
+
+/// A frozen [`IoLoopStats`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IoLoopSnapshot {
+    /// See [`IoLoopStats::iterations`].
+    pub iterations: u64,
+    /// See [`IoLoopStats::wait_us`].
+    pub wait_us: u64,
+    /// See [`IoLoopStats::work_us`].
+    pub work_us: u64,
+    /// See [`IoLoopStats::connections`].
+    pub connections: u64,
+    /// See [`IoLoopStats::outbox_bytes`].
+    pub outbox_bytes: u64,
+    /// See [`IoLoopStats::lag`].
+    pub lag: HistogramSnapshot,
 }
 
 // ---------------------------------------------------------------------------
@@ -942,6 +1016,22 @@ mod tests {
         }
         assert_eq!(received, queued_total);
         assert_eq!(offset, 0);
+    }
+
+    #[test]
+    fn io_loop_stats_accumulate_and_snapshot() {
+        let s = IoLoopStats::default();
+        s.record_iteration(100, 20);
+        s.record_iteration(50, 5);
+        s.set_gauges(3, 4096);
+        let snap = s.snapshot();
+        assert_eq!(snap.iterations, 2);
+        assert_eq!(snap.wait_us, 150);
+        assert_eq!(snap.work_us, 25);
+        assert_eq!(snap.connections, 3);
+        assert_eq!(snap.outbox_bytes, 4096);
+        assert_eq!(snap.lag.count, 2);
+        assert_eq!(snap.lag.sum_us, 25);
     }
 
     #[test]

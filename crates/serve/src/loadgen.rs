@@ -76,6 +76,12 @@ pub struct LoadgenConfig {
     /// connection and embed it in the report (batch-size distribution,
     /// cache telemetry, ...).
     pub include_server_stats: bool,
+    /// After the run, fetch the span trees of the N slowest traced
+    /// requests via the router's `op:"trace"` verb and embed them in
+    /// the report (flame-style in `render`, raw trees in `to_json`).
+    /// Requires the target to be a router with tracing enabled; 0
+    /// disables.
+    pub sample_traces: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -93,6 +99,7 @@ impl Default for LoadgenConfig {
             distinct: false,
             split_heavy: false,
             include_server_stats: false,
+            sample_traces: 0,
         }
     }
 }
@@ -133,6 +140,8 @@ struct Tally {
     transport_errors: u64,
     retry_hints: u64,
     latencies_us: Vec<f64>,
+    /// `(latency_us, trace_id)` of each ok reply that carried one.
+    traced: Vec<(f64, String)>,
 }
 
 impl Tally {
@@ -149,6 +158,7 @@ impl Tally {
         self.transport_errors += other.transport_errors;
         self.retry_hints += other.retry_hints;
         self.latencies_us.extend(other.latencies_us);
+        self.traced.extend(other.traced);
     }
 }
 
@@ -189,9 +199,19 @@ pub struct LoadgenReport {
     pub elapsed: Duration,
     /// Client-observed latencies of successful replies, microseconds.
     pub latencies_us: Vec<f64>,
+    /// Latencies of the replies that carried a `trace_id` — the
+    /// requests the router actually traced.  Comparing their p50
+    /// against the run-wide p50 isolates the cost of span recording
+    /// inside one run, immune to run-to-run machine drift (the
+    /// `trace_overhead` scenario in scripts/bench_serve.sh).
+    pub traced_latencies_us: Vec<f64>,
     /// The server's post-run `stats` snapshot, when
     /// [`LoadgenConfig::include_server_stats`] asked for it.
     pub server_stats: Option<Json>,
+    /// Span trees of the slowest traced requests, fetched post-run
+    /// when [`LoadgenConfig::sample_traces`] `> 0`.  Each entry is
+    /// `{"latency_us":..., "trace":{"trace_id":...,"spans":[...]}}`.
+    pub sampled_traces: Vec<Json>,
 }
 
 impl LoadgenReport {
@@ -235,6 +255,15 @@ impl LoadgenReport {
             ("latency_p50_us", quantile(0.50)),
             ("latency_p90_us", quantile(0.90)),
             ("latency_p99_us", quantile(0.99)),
+            ("traced", Json::from(self.traced_latencies_us.len() as u64)),
+            (
+                "latency_p50_traced_us",
+                if self.traced_latencies_us.is_empty() {
+                    Json::Null
+                } else {
+                    Json::from(percentile(&self.traced_latencies_us, 0.50))
+                },
+            ),
             (
                 "server",
                 match &self.server_stats {
@@ -242,6 +271,7 @@ impl LoadgenReport {
                     None => Json::Null,
                 },
             ),
+            ("sampled_traces", Json::Array(self.sampled_traces.clone())),
         ])
     }
 
@@ -289,6 +319,14 @@ impl LoadgenReport {
                 self.latency_quantile(0.99).unwrap_or(0.0),
             );
         }
+        if !self.traced_latencies_us.is_empty() {
+            let _ = writeln!(
+                out,
+                "traced {} requests  p50 {:.0}us",
+                self.traced_latencies_us.len(),
+                percentile(&self.traced_latencies_us, 0.50),
+            );
+        }
         if let Some(stats) = &self.server_stats {
             let batches = stats.get("batches").and_then(Json::as_u64).unwrap_or(0);
             let jobs = stats.get("batch_jobs").and_then(Json::as_u64).unwrap_or(0);
@@ -300,7 +338,83 @@ impl LoadgenReport {
                 );
             }
         }
+        if !self.sampled_traces.is_empty() {
+            let _ = writeln!(
+                out,
+                "--- span trees of the {} slowest traced requests ---",
+                self.sampled_traces.len()
+            );
+            for entry in &self.sampled_traces {
+                let us = entry
+                    .get("latency_us")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                let tid = entry
+                    .get("trace")
+                    .and_then(|t| t.get("trace_id"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("?");
+                let _ = writeln!(out, "{tid} ({us:.0}us client latency)");
+                if let Some(trace) = entry.get("trace") {
+                    render_trace_tree(trace, &mut out);
+                }
+            }
+        }
         out
+    }
+}
+
+/// Flame-style indented rendering of one span tree fetched via
+/// `op:"trace"`: each line is a span at its tree depth, with its
+/// start offset, duration, and terminal status.  Children print in
+/// open order (span ids are issued in open order), which is also
+/// start order on the router's single clock.
+fn render_trace_tree(trace: &Json, out: &mut String) {
+    let spans = match trace.get("spans") {
+        Some(Json::Array(spans)) => spans,
+        _ => return,
+    };
+    let ids: std::collections::HashSet<u64> = spans
+        .iter()
+        .filter_map(|s| s.get("id").and_then(Json::as_u64))
+        .collect();
+    let mut children: HashMap<u64, Vec<&Json>> = HashMap::new();
+    let mut roots: Vec<&Json> = Vec::new();
+    for span in spans {
+        // A span whose parent is absent from this tree is a root —
+        // either the true root (parent null) or one grafted into a
+        // larger client-side trace via `parent_span`.
+        match span.get("parent").and_then(Json::as_u64) {
+            Some(p) if ids.contains(&p) => children.entry(p).or_default().push(span),
+            _ => roots.push(span),
+        }
+    }
+    fn line(span: &Json, depth: usize, children: &HashMap<u64, Vec<&Json>>, out: &mut String) {
+        use std::fmt::Write as _;
+        let start = span.get("start_us").and_then(Json::as_u64).unwrap_or(0);
+        let dur = match span.get("end_us").and_then(Json::as_u64) {
+            Some(end) => format!("+{}us", end.saturating_sub(start)),
+            None => "open".into(),
+        };
+        let _ = writeln!(
+            out,
+            "  {:indent$}{} {} [{start}us {dur}] {}",
+            "",
+            span.get("kind").and_then(Json::as_str).unwrap_or("?"),
+            span.get("label").and_then(Json::as_str).unwrap_or(""),
+            span.get("status").and_then(Json::as_str).unwrap_or("open"),
+            indent = depth * 2
+        );
+        if let Some(id) = span.get("id").and_then(Json::as_u64) {
+            if let Some(kids) = children.get(&id) {
+                for kid in kids {
+                    line(kid, depth + 1, children, out);
+                }
+            }
+        }
+    }
+    for root in roots {
+        line(root, 0, &children, out);
     }
 }
 
@@ -332,6 +446,9 @@ fn classify(tally: &mut Tally, reply: &crate::protocol::Response, latency_us: Op
         }
         if let Some(us) = latency_us {
             tally.latencies_us.push(us);
+            if let Some(tid) = reply.trace_id() {
+                tally.traced.push((us, tid.to_string()));
+            }
         }
         return;
     }
@@ -421,6 +538,7 @@ fn pipelined_worker(config: &LoadgenConfig, conn: usize, window: usize) -> Tally
                 path: None,
                 alpha: None,
                 beta: None,
+                trace: None,
             };
             tally.sent += 1;
             match client.write_request(&request) {
@@ -557,6 +675,12 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
     } else {
         None
     };
+    let sampled_traces = if config.sample_traces > 0 {
+        fetch_slowest_traces(&config.addr, &total.traced, config.sample_traces)
+    } else {
+        Vec::new()
+    };
+    let traced_latencies_us: Vec<f64> = total.traced.iter().map(|(us, _)| *us).collect();
     LoadgenReport {
         sent: total.sent,
         ok: total.ok,
@@ -573,8 +697,43 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
         fan_in_failed,
         elapsed,
         latencies_us: total.latencies_us,
+        traced_latencies_us,
         server_stats,
+        sampled_traces,
     }
+}
+
+/// Fetch the span trees of the `n` slowest traced requests from the
+/// router's trace ring.  Best-effort: traces evicted from the ring
+/// (or a target that is not a tracing router) just drop out.
+fn fetch_slowest_traces(addr: &str, traced: &[(f64, String)], n: usize) -> Vec<Json> {
+    let mut slowest: Vec<&(f64, String)> = traced.iter().collect();
+    slowest.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut seen = std::collections::HashSet::new();
+    let picked: Vec<&(f64, String)> = slowest
+        .into_iter()
+        .filter(|(_, tid)| seen.insert(tid.clone()))
+        .take(n)
+        .collect();
+    if picked.is_empty() {
+        return Vec::new();
+    }
+    let Ok(mut client) = Client::connect(addr) else {
+        return Vec::new();
+    };
+    picked
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (latency_us, tid))| {
+            let line = format!(r#"{{"op":"trace","id":"lg-{i}","trace":{{"trace_id":"{tid}"}}}}"#);
+            client
+                .send_line(&line)
+                .ok()
+                .filter(|reply| reply.ok)
+                .and_then(|reply| reply.body.get("trace").cloned())
+                .map(|trace| Json::obj([("latency_us", Json::from(*latency_us)), ("trace", trace)]))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -727,6 +886,35 @@ mod tests {
         // none left open at join time).
         assert!(stats.connections >= 51, "connections {}", stats.connections);
         assert_eq!(stats.open_conns, 0);
+    }
+
+    #[test]
+    fn flame_rendering_indents_children_under_parents() {
+        let trace = Json::parse(
+            r#"{"trace_id":"rt-1","spans":[
+                {"id":1,"parent":null,"kind":"request","label":"worst:d=2,n=6","start_us":0,"end_us":900,"status":"ok"},
+                {"id":2,"parent":1,"kind":"route","label":"a(t0) > b(t1)","start_us":5,"end_us":5,"status":"ok"},
+                {"id":3,"parent":1,"kind":"dispatch","label":"a:7171","start_us":10,"end_us":880,"status":"ok"},
+                {"id":4,"parent":9,"kind":"orphan","label":"grafted","start_us":1,"end_us":2,"status":"ok"}
+            ]}"#,
+        )
+        .unwrap();
+        let mut out = String::new();
+        render_trace_tree(&trace, &mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(
+            lines[0].contains("request worst:d=2,n=6 [0us +900us] ok"),
+            "{out}"
+        );
+        // Children are indented one level deeper than the root.
+        assert!(lines[1].starts_with("    route"), "{out}");
+        assert!(
+            lines[2].contains("dispatch a:7171 [10us +870us] ok"),
+            "{out}"
+        );
+        // A span whose parent is missing from the tree prints as a root.
+        assert!(lines[3].starts_with("  orphan"), "{out}");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! lazily on first dispatch.  Rendering rides on
 //! [`gt_analysis::histogram`] and [`gt_analysis::Json`].
 
+use crate::io::{IoLoopSnapshot, IoLoopStats};
 use crate::workload::EvalOutcome;
 use gt_analysis::{histogram, Json};
 use std::collections::BTreeMap;
@@ -363,6 +364,12 @@ pub struct Metrics {
     pub batches: BatchHistogram,
     /// Per-algorithm stage histograms and work aggregates.
     stages: RwLock<BTreeMap<String, Arc<AlgoStages>>>,
+    /// Per-io-thread event-loop health, registered at loop spawn in
+    /// loop order (index = loop number).
+    io_loops: RwLock<Vec<Arc<IoLoopStats>>>,
+    /// Executor queue depth sampled over time (power-of-two depth
+    /// buckets, not microseconds) — the queue-depth-over-time series.
+    pub queue_depth: LatencyHistogram,
     /// When this registry (≈ the server) came up.
     started: StartTime,
 }
@@ -382,6 +389,19 @@ impl Metrics {
         self.par_grants.fetch_add(1, Ordering::Relaxed);
         self.par_grant_threads
             .fetch_add(u64::from(threads), Ordering::Relaxed);
+    }
+
+    /// Register one I/O event loop's health card; call once per loop
+    /// at spawn, in loop order.
+    pub fn register_io_loop(&self) -> Arc<IoLoopStats> {
+        let stats = Arc::new(IoLoopStats::default());
+        self.io_loops.write().unwrap().push(Arc::clone(&stats));
+        stats
+    }
+
+    /// Record one executor queue-depth observation.
+    pub fn record_queue_depth(&self, depth: usize) {
+        self.queue_depth.record(depth as u64);
     }
 
     /// The stage/work accumulator for `algo`, created on first use.
@@ -456,6 +476,14 @@ impl Metrics {
                 .iter()
                 .map(|(name, s)| s.snapshot(name))
                 .collect(),
+            io_loops: self
+                .io_loops
+                .read()
+                .unwrap()
+                .iter()
+                .map(|s| s.snapshot())
+                .collect(),
+            queue_depth: self.queue_depth.snapshot_full(),
             uptime_us: self.uptime_us(),
         }
     }
@@ -527,6 +555,11 @@ pub struct MetricsSnapshot {
     /// Per-algorithm stage histograms and work aggregates, sorted by
     /// algorithm name.
     pub stages: Vec<AlgoStagesSnapshot>,
+    /// Per-io-thread event-loop health, in loop order.
+    pub io_loops: Vec<IoLoopSnapshot>,
+    /// Executor queue-depth-over-time samples (power-of-two depth
+    /// buckets).
+    pub queue_depth: HistogramSnapshot,
     /// Server uptime at snapshot time, microseconds.
     pub uptime_us: u64,
 }
@@ -627,6 +660,25 @@ impl MetricsSnapshot {
                         .collect(),
                 ),
             ),
+            (
+                "io_loops",
+                Json::Array(
+                    self.io_loops
+                        .iter()
+                        .map(|l| {
+                            Json::obj([
+                                ("iterations", Json::from(l.iterations)),
+                                ("wait_us", Json::from(l.wait_us)),
+                                ("work_us", Json::from(l.work_us)),
+                                ("connections", Json::from(l.connections)),
+                                ("outbox_bytes", Json::from(l.outbox_bytes)),
+                                ("lag", l.lag.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("queue_depth", self.queue_depth.to_json()),
             ("uptime_s", Json::from(self.uptime_us as f64 / 1e6)),
             ("version", Json::from(env!("CARGO_PKG_VERSION"))),
         ])
@@ -829,6 +881,31 @@ mod tests {
             j.get("version").and_then(Json::as_str),
             Some(env!("CARGO_PKG_VERSION"))
         );
+    }
+
+    #[test]
+    fn io_loop_registry_and_queue_depth_sampling() {
+        let m = Metrics::default();
+        let l0 = m.register_io_loop();
+        let l1 = m.register_io_loop();
+        l0.record_iteration(10, 2);
+        l1.set_gauges(5, 100);
+        m.record_queue_depth(0);
+        m.record_queue_depth(7);
+        let s = m.snapshot();
+        assert_eq!(s.io_loops.len(), 2);
+        assert_eq!(s.io_loops[0].iterations, 1);
+        assert_eq!(s.io_loops[1].connections, 5);
+        assert_eq!(s.io_loops[1].outbox_bytes, 100);
+        assert_eq!(s.queue_depth.count, 2);
+        let j = s.to_json();
+        let loops = match j.get("io_loops").unwrap() {
+            Json::Array(items) => items.clone(),
+            other => panic!("io_loops should be an array: {other:?}"),
+        };
+        assert_eq!(loops.len(), 2);
+        assert_eq!(loops[0].get("iterations").and_then(Json::as_u64), Some(1));
+        assert!(j.get("queue_depth").is_some());
     }
 
     #[test]

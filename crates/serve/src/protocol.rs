@@ -43,6 +43,58 @@ pub enum Op {
     Health,
 }
 
+/// Wire-propagated distributed-trace context.  A client (or the
+/// router, on the client's behalf) attaches `trace` to an `eval` or
+/// `subeval`; the server echoes it in the reply together with its
+/// stage offsets, so the originating tier can graft the replica's
+/// work into its span tree as a child span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Fleet-unique trace identifier (opaque non-empty string).
+    pub trace_id: String,
+    /// Span id of the parent span at the sending tier; absent when
+    /// the sender is the trace root.
+    pub parent_span: Option<u64>,
+}
+
+impl TraceContext {
+    /// Parse a `trace` field value.  Strict: a present-but-malformed
+    /// context is a protocol error (the caller answers 400), never
+    /// silently dropped — a typo'd trace id should not turn into an
+    /// untraced request.
+    pub fn from_json(v: &Json) -> Result<TraceContext, String> {
+        if !matches!(v, Json::Object(_)) {
+            return Err("trace must be an object".into());
+        }
+        let trace_id = match v.get("trace_id") {
+            Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+            Some(Json::Str(_)) => return Err("trace.trace_id must be non-empty".into()),
+            Some(_) => return Err("trace.trace_id must be a string".into()),
+            None => return Err("trace needs a \"trace_id\" field".into()),
+        };
+        let parent_span =
+            match v.get("parent_span") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    "trace.parent_span must be a non-negative integer".to_string()
+                })?),
+            };
+        Ok(TraceContext {
+            trace_id,
+            parent_span,
+        })
+    }
+
+    /// Serialize as a `trace` field value.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("trace_id".to_string(), Json::from(self.trace_id.clone()))];
+        if let Some(span) = self.parent_span {
+            fields.push(("parent_span".into(), Json::from(span)));
+        }
+        Json::Object(fields)
+    }
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -66,6 +118,10 @@ pub struct Request {
     pub alpha: Option<i64>,
     /// For `subeval`: upper search bound; absent means unbounded.
     pub beta: Option<i64>,
+    /// Distributed-trace context: propagated on `eval`/`subeval` so
+    /// replica work can be grafted into the sender's span tree, and
+    /// accepted on `trace` as a span-tree lookup key.
+    pub trace: Option<TraceContext>,
 }
 
 impl Request {
@@ -119,6 +175,10 @@ impl Request {
         };
         let alpha = bound("alpha")?;
         let beta = bound("beta")?;
+        let trace = match j.get("trace") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(TraceContext::from_json(v)?),
+        };
         if matches!(op, Op::Eval | Op::Subeval) && spec.is_none() {
             return Err(format!("{op:?} request needs a \"spec\" field").to_lowercase());
         }
@@ -132,6 +192,7 @@ impl Request {
             path,
             alpha,
             beta,
+            trace,
         })
     }
 
@@ -147,6 +208,7 @@ impl Request {
             path: None,
             alpha: None,
             beta: None,
+            trace: None,
         }
     }
 
@@ -174,6 +236,7 @@ impl Request {
             },
             alpha: (alpha != i64::MIN).then_some(alpha),
             beta: (beta != i64::MAX).then_some(beta),
+            trace: None,
         }
     }
 
@@ -213,6 +276,9 @@ impl Request {
         }
         if let Some(beta) = self.beta {
             fields.push(("beta".into(), Json::from(beta)));
+        }
+        if let Some(trace) = &self.trace {
+            fields.push(("trace".into(), trace.to_json()));
         }
         Json::Object(fields).render()
     }
@@ -377,6 +443,20 @@ impl Response {
     pub fn retry_after_ms(&self) -> Option<u64> {
         self.body.get("retry_after_ms").and_then(Json::as_u64)
     }
+
+    /// The trace id echoed (replica) or minted (router) for this
+    /// request, from the reply's `trace_id` field or `trace` object.
+    pub fn trace_id(&self) -> Option<&str> {
+        self.body
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .or_else(|| {
+                self.body
+                    .get("trace")
+                    .and_then(|t| t.get("trace_id"))
+                    .and_then(Json::as_str)
+            })
+    }
 }
 
 #[cfg(test)]
@@ -526,6 +606,75 @@ mod tests {
         let resp = Response::parse(&line).unwrap();
         assert_eq!(resp.status, 429);
         assert_eq!(resp.retry_after_ms(), Some(40));
+    }
+
+    #[test]
+    fn absent_trace_context_parses_as_none() {
+        let r = Request::parse(r#"{"spec":"worst:d=2,n=4"}"#).unwrap();
+        assert_eq!(r.trace, None);
+        // Explicit null is treated the same as absent.
+        let r = Request::parse(r#"{"spec":"worst:d=2,n=4","trace":null}"#).unwrap();
+        assert_eq!(r.trace, None);
+        // And an untraced request renders without a trace field.
+        assert!(!Request::eval("worst:d=2,n=4", "seq", None)
+            .render()
+            .contains("trace"));
+    }
+
+    #[test]
+    fn client_supplied_trace_context_round_trips() {
+        let r = Request::parse(
+            r#"{"spec":"worst:d=2,n=4","trace":{"trace_id":"t-42","parent_span":7}}"#,
+        )
+        .unwrap();
+        let ctx = r.trace.clone().unwrap();
+        assert_eq!(ctx.trace_id, "t-42");
+        assert_eq!(ctx.parent_span, Some(7));
+        let back = Request::parse(&r.render()).unwrap();
+        assert_eq!(back.trace, r.trace);
+
+        // A root context has no parent_span, on the wire or back.
+        let mut req = Request::eval("worst:d=2,n=4", "seq", None);
+        req.trace = Some(TraceContext {
+            trace_id: "root-1".into(),
+            parent_span: None,
+        });
+        let text = req.render();
+        assert!(!text.contains("parent_span"));
+        assert_eq!(Request::parse(&text).unwrap().trace, req.trace);
+    }
+
+    #[test]
+    fn malformed_trace_context_is_rejected() {
+        // Each of these must fail the parse so the server's existing
+        // bad-request path answers 400.
+        for line in [
+            r#"{"spec":"x","trace":"t-1"}"#,           // not an object
+            r#"{"spec":"x","trace":{}}"#,              // missing trace_id
+            r#"{"spec":"x","trace":{"trace_id":""}}"#, // empty trace_id
+            r#"{"spec":"x","trace":{"trace_id":9}}"#,  // non-string trace_id
+            r#"{"spec":"x","trace":{"trace_id":"t","parent_span":-1}}"#, // negative span
+            r#"{"spec":"x","trace":{"trace_id":"t","parent_span":"s"}}"#, // non-integer span
+        ] {
+            assert!(Request::parse(line).is_err(), "should reject: {line}");
+        }
+    }
+
+    #[test]
+    fn response_trace_id_reads_both_shapes() {
+        // Router replies carry a flat trace_id...
+        let line = ok_line(&None, vec![("trace_id", Json::from("t-9"))]);
+        assert_eq!(Response::parse(&line).unwrap().trace_id(), Some("t-9"));
+        // ...replica replies echo the full trace object.
+        let line = ok_line(
+            &None,
+            vec![(
+                "trace",
+                Json::Object(vec![("trace_id".into(), Json::from("t-10"))]),
+            )],
+        );
+        assert_eq!(Response::parse(&line).unwrap().trace_id(), Some("t-10"));
+        assert_eq!(Response::parse(r#"{"ok":true}"#).unwrap().trace_id(), None);
     }
 
     #[test]

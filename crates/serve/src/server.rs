@@ -79,12 +79,12 @@
 use crate::cache::ShardedCache;
 use crate::executor::{ActiveGauge, CostClass, Executor, ExecutorConfig, SubmitError};
 use crate::io::{
-    drain_outbox, raise_nofile_limit, BufferPool, LineAction, LineReader, LineTooLong, Poller,
-    Waker,
+    drain_outbox, raise_nofile_limit, BufferPool, IoLoopStats, LineAction, LineReader, LineTooLong,
+    Poller, Waker,
 };
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::protocol::{
-    error_line, error_line_with, ok_line, ErrorCode, Op, Request, PROTOCOL_VERSION,
+    error_line, error_line_with, ok_line, ErrorCode, Op, Request, TraceContext, PROTOCOL_VERSION,
 };
 use crate::singleflight::{Flight, FlightResult, FlightTable, Joined};
 use crate::trace::{
@@ -397,6 +397,10 @@ struct Pending {
     parse_us: u64,
     /// recv → cache probed, microseconds.
     probe_us: u64,
+    /// Distributed-trace context the request carried, echoed (with
+    /// stage offsets) in the reply so the sender can graft this run
+    /// into its span tree.
+    trace: Option<TraceContext>,
     /// The connection's reply queue and pipelining window.
     conn: Arc<ConnReply>,
 }
@@ -440,7 +444,55 @@ fn trace_from(
         engine_start_us: rebase(stamps.and_then(StageStamps::engine_start_us)),
         engine_end_us: rebase(stamps.and_then(StageStamps::engine_end_us)),
         work,
+        trace_id: p.trace.as_ref().map(|t| t.trace_id.clone()),
+        parent_span: p.trace.as_ref().and_then(|t| t.parent_span),
     }
+}
+
+/// The reply's `trace` echo: the propagated context plus this
+/// replica's stage offsets (rebased onto recv, like the trace record)
+/// so the sender can place the replica span inside its own tree.
+fn trace_echo_json(
+    ctx: &TraceContext,
+    start: Instant,
+    parse_us: u64,
+    probe_us: u64,
+    stamps: Option<&StageStamps>,
+) -> Json {
+    let enqueue_us = stamps.map(|s| s.base().saturating_duration_since(start).as_micros() as u64);
+    let rebase = |offset: Option<u64>| match (enqueue_us, offset) {
+        (Some(e), Some(us)) => Some(e + us),
+        _ => None,
+    };
+    let mut stages: Vec<(String, Json)> = vec![
+        ("parse_us".into(), Json::from(parse_us)),
+        ("probe_us".into(), Json::from(probe_us)),
+    ];
+    for (k, v) in [
+        ("enqueue_us", enqueue_us),
+        (
+            "dispatch_us",
+            rebase(stamps.and_then(StageStamps::dispatch_us)),
+        ),
+        (
+            "engine_start_us",
+            rebase(stamps.and_then(StageStamps::engine_start_us)),
+        ),
+        (
+            "engine_end_us",
+            rebase(stamps.and_then(StageStamps::engine_end_us)),
+        ),
+    ] {
+        if let Some(us) = v {
+            stages.push((k.to_string(), Json::from(us)));
+        }
+    }
+    let mut fields = vec![("trace_id".to_string(), Json::from(ctx.trace_id.clone()))];
+    if let Some(span) = ctx.parent_span {
+        fields.push(("parent_span".into(), Json::from(span)));
+    }
+    fields.push(("stages".into(), Json::Object(stages)));
+    Json::Object(fields)
 }
 
 /// Answer a drained waiter with a flight result.  Safe to call from
@@ -465,8 +517,12 @@ fn answer_pending(
             // (… + write) and the histogram bracket the same interval.
             let render_us = p.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
             m.ok.fetch_add(1, Ordering::Relaxed);
+            let echo = p
+                .trace
+                .as_ref()
+                .map(|ctx| trace_echo_json(ctx, p.start, p.parse_us, p.probe_us, stamps));
             (
-                render_ok_eval(&p.id, outcome, false, p.coalesced, render_us),
+                render_ok_eval(&p.id, outcome, false, p.coalesced, render_us, echo),
                 "ok",
                 Some(*outcome),
             )
@@ -783,6 +839,7 @@ impl Server {
                 scratch: vec![0u8; READ_CHUNK],
                 idle_timeout,
                 draining: false,
+                stats: metrics.register_io_loop(),
             };
             io_joins.push(
                 thread::Builder::new()
@@ -1021,6 +1078,8 @@ struct IoThread {
     scratch: Vec<u8>,
     idle_timeout: Option<Duration>,
     draining: bool,
+    /// Event-loop health counters for this thread's `/metrics` series.
+    stats: Arc<IoLoopStats>,
 }
 
 impl IoThread {
@@ -1042,11 +1101,14 @@ impl IoThread {
             }
         }
         let mut events = Vec::with_capacity(256);
+        let mut last_gauge = Instant::now();
         loop {
             events.clear();
+            let wait_start = Instant::now();
             let _ = self
                 .poller
                 .wait(&mut events, POLL_INTERVAL.as_millis() as i32);
+            let work_start = Instant::now();
             if !self.draining && self.shared.shutdown.load(Ordering::SeqCst) {
                 self.begin_drain();
             }
@@ -1068,9 +1130,37 @@ impl IoThread {
                 }
             }
             self.sweep_idle();
+            // Gauges are a sweep over the slab (outbox locks), so
+            // refresh at most once per poll interval, not per wake.
+            if work_start.duration_since(last_gauge) >= POLL_INTERVAL {
+                last_gauge = work_start;
+                self.refresh_gauges();
+            }
+            self.stats.record_iteration(
+                work_start.duration_since(wait_start).as_micros() as u64,
+                work_start.elapsed().as_micros() as u64,
+            );
             if self.draining && self.conns.iter().all(Option::is_none) {
                 break;
             }
+        }
+    }
+
+    /// Publish per-loop gauges: live connections and total queued
+    /// outbound bytes.  Thread 0 also samples the shared executor's
+    /// queue depth into its distribution-over-time histogram.
+    fn refresh_gauges(&self) {
+        let mut connections = 0u64;
+        let mut outbox_bytes = 0u64;
+        for conn in self.conns.iter().flatten() {
+            connections += 1;
+            outbox_bytes += conn.reply.outbox.lock().unwrap().bytes as u64;
+        }
+        self.stats.set_gauges(connections, outbox_bytes);
+        if self.me == 0 {
+            self.shared
+                .metrics
+                .record_queue_depth(self.shared.executor.queued());
         }
     }
 
@@ -1425,12 +1515,14 @@ fn feed_conn(
                 start,
                 parse_us,
                 probe_us,
+                trace,
             } => {
                 // Claim the window slot here (the callback above
                 // guarantees one is free); settling releases it.
                 reply.inflight.fetch_add(1, Ordering::AcqRel);
                 dispatch_eval(
                     shared, reply, id, work, cache_key, cost, deadline, start, parse_us, probe_us,
+                    trace,
                 );
             }
         }
@@ -1454,6 +1546,9 @@ fn feed_conn(
 }
 
 /// How one request line is to be answered.
+// Transient: built and destructured within one reader turn, never
+// stored, so the Inline/Dispatch size gap costs nothing.
+#[allow(clippy::large_enum_variant)]
 enum Handled {
     /// Reply computed on the reader thread (control ops, cache hits,
     /// and every error that needs no engine run).
@@ -1471,6 +1566,7 @@ enum Handled {
         start: Instant,
         parse_us: u64,
         probe_us: u64,
+        trace: Option<TraceContext>,
     },
 }
 
@@ -1566,7 +1662,11 @@ fn process_eval(request: &Request, shared: &Shared, recv: Instant, parse_us: u64
     if let Some(hit) = shared.cache.get(&validated.cache_key) {
         m.cache_hits.fetch_add(1, Ordering::Relaxed);
         let probe_us = recv.elapsed().as_micros() as u64;
-        let reply = ok_eval_line(id, &hit, true, false, start, m);
+        let echo = request
+            .trace
+            .as_ref()
+            .map(|ctx| trace_echo_json(ctx, start, parse_us, probe_us, None));
+        let reply = ok_eval_line(id, &hit, true, false, start, m, echo);
         shared.recorder.record(TraceRecord {
             seq: 0,
             id: id.clone(),
@@ -1583,6 +1683,8 @@ fn process_eval(request: &Request, shared: &Shared, recv: Instant, parse_us: u64
             engine_start_us: None,
             engine_end_us: None,
             work: Some(hit),
+            trace_id: request.trace.as_ref().map(|t| t.trace_id.clone()),
+            parent_span: request.trace.as_ref().and_then(|t| t.parent_span),
         });
         return Handled::Inline(reply);
     }
@@ -1605,6 +1707,7 @@ fn process_eval(request: &Request, shared: &Shared, recv: Instant, parse_us: u64
         start,
         parse_us,
         probe_us,
+        trace: request.trace.clone(),
     }
 }
 
@@ -1633,7 +1736,11 @@ fn process_subeval(request: &Request, shared: &Shared, recv: Instant, parse_us: 
     if let Some(hit) = shared.cache.get(&validated.cache_key) {
         m.cache_hits.fetch_add(1, Ordering::Relaxed);
         let probe_us = recv.elapsed().as_micros() as u64;
-        let reply = ok_eval_line(id, &hit, true, false, start, m);
+        let echo = request
+            .trace
+            .as_ref()
+            .map(|ctx| trace_echo_json(ctx, start, parse_us, probe_us, None));
+        let reply = ok_eval_line(id, &hit, true, false, start, m, echo);
         shared.recorder.record(TraceRecord {
             seq: 0,
             id: id.clone(),
@@ -1650,6 +1757,8 @@ fn process_subeval(request: &Request, shared: &Shared, recv: Instant, parse_us: 
             engine_start_us: None,
             engine_end_us: None,
             work: Some(hit),
+            trace_id: request.trace.as_ref().map(|t| t.trace_id.clone()),
+            parent_span: request.trace.as_ref().and_then(|t| t.parent_span),
         });
         return Handled::Inline(reply);
     }
@@ -1668,6 +1777,7 @@ fn process_subeval(request: &Request, shared: &Shared, recv: Instant, parse_us: 
         start,
         parse_us,
         probe_us,
+        trace: request.trace.clone(),
     }
 }
 
@@ -1687,6 +1797,7 @@ fn dispatch_eval(
     start: Instant,
     parse_us: u64,
     probe_us: u64,
+    trace: Option<TraceContext>,
 ) {
     let m = &shared.metrics;
     let recorder = &shared.recorder;
@@ -1703,6 +1814,7 @@ fn dispatch_eval(
                 algo: algo_name.clone(),
                 parse_us,
                 probe_us,
+                trace,
                 conn: Arc::clone(conn),
             });
             // Fresh flight: nothing published yet, attach always parks.
@@ -1748,6 +1860,7 @@ fn dispatch_eval(
                 algo: algo_name,
                 parse_us,
                 probe_us,
+                trace,
                 conn: Arc::clone(conn),
             });
             if let Some(result) = flight.attach(&pending) {
@@ -1764,6 +1877,7 @@ fn dispatch_eval(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn ok_eval_line(
     id: &Option<String>,
     outcome: &EvalOutcome,
@@ -1771,11 +1885,12 @@ fn ok_eval_line(
     coalesced: bool,
     start: Instant,
     m: &Metrics,
+    trace: Option<Json>,
 ) -> String {
     let latency_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
     m.ok.fetch_add(1, Ordering::Relaxed);
     m.latency.record(latency_us);
-    render_ok_eval(id, outcome, cached, coalesced, latency_us)
+    render_ok_eval(id, outcome, cached, coalesced, latency_us, trace)
 }
 
 fn render_ok_eval(
@@ -1784,18 +1899,20 @@ fn render_ok_eval(
     cached: bool,
     coalesced: bool,
     latency_us: u64,
+    trace: Option<Json>,
 ) -> String {
-    ok_line(
-        id,
-        vec![
-            ("value", Json::from(outcome.value)),
-            ("work", outcome.work_json()),
-            ("steps", Json::from(outcome.steps)),
-            ("cached", Json::Bool(cached)),
-            ("coalesced", Json::Bool(coalesced)),
-            ("latency_us", Json::from(latency_us)),
-        ],
-    )
+    let mut fields = vec![
+        ("value", Json::from(outcome.value)),
+        ("work", outcome.work_json()),
+        ("steps", Json::from(outcome.steps)),
+        ("cached", Json::Bool(cached)),
+        ("coalesced", Json::Bool(coalesced)),
+        ("latency_us", Json::from(latency_us)),
+    ];
+    if let Some(t) = trace {
+        fields.push(("trace", t));
+    }
+    ok_line(id, fields)
 }
 
 #[cfg(test)]

@@ -147,6 +147,13 @@ pub struct TraceRecord {
     pub engine_end_us: Option<u64>,
     /// The engine's answer and work counters, when it produced one.
     pub work: Option<EvalOutcome>,
+    /// Distributed-trace id propagated on the request, when the
+    /// sender attached one — links this record to a fleet-wide span
+    /// tree assembled upstream.
+    pub trace_id: Option<String>,
+    /// Span id of the sender's dispatch span (this record is its
+    /// child).
+    pub parent_span: Option<u64>,
 }
 
 fn opt_u64(v: Option<u64>) -> Json {
@@ -192,6 +199,14 @@ impl TraceRecord {
                     None => Json::Null,
                 },
             ),
+            (
+                "trace_id",
+                match &self.trace_id {
+                    Some(t) => Json::from(t.as_str()),
+                    None => Json::Null,
+                },
+            ),
+            ("parent_span", opt_u64(self.parent_span)),
         ])
     }
 
@@ -256,6 +271,8 @@ impl TraceRecord {
             engine_start_us: opt("engine_start_us"),
             engine_end_us: opt("engine_end_us"),
             work,
+            trace_id: j.get("trace_id").and_then(Json::as_str).map(str::to_string),
+            parent_span: opt("parent_span"),
         })
     }
 }
@@ -417,6 +434,44 @@ fn histogram_header(out: &mut String, name: &str, help: &str) {
     let _ = writeln!(out, "# TYPE {name} histogram");
 }
 
+/// Render one *unitless* histogram's sample lines — power-of-two
+/// buckets whose `le` bounds are plain counts (queue depths), not
+/// seconds, and whose `_sum` is the raw observation sum.
+fn depth_histogram_samples(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    buckets: &[u64],
+    count: u64,
+    sum: u64,
+) {
+    use std::fmt::Write as _;
+    let with = |extra: &str| {
+        if labels.is_empty() {
+            format!("{{{extra}}}")
+        } else {
+            format!("{{{labels},{extra}}}")
+        }
+    };
+    let plain = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let mut cumulative = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cumulative += c;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            with(&format!("le=\"{}\"", 1u64 << (i + 1)))
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{} {count}", with("le=\"+Inf\""));
+    let _ = writeln!(out, "{name}_sum{plain} {sum}");
+    let _ = writeln!(out, "{name}_count{plain} {count}");
+}
+
 fn stage_histogram(out: &mut String, algo: &str, stage: &str, h: &HistogramSnapshot) {
     let labels = format!("algo=\"{algo}\",stage=\"{stage}\"");
     histogram_samples(
@@ -428,6 +483,16 @@ fn stage_histogram(out: &mut String, algo: &str, stage: &str, h: &HistogramSnaps
         h.sum_us,
     );
 }
+
+/// One per-io-thread Prometheus series: name, help text, the value
+/// drawn from an [`crate::io::IoLoopSnapshot`], and whether it is a
+/// cumulative counter (vs a gauge).
+type IoLoopSeries = (
+    &'static str,
+    &'static str,
+    fn(&crate::io::IoLoopSnapshot) -> f64,
+    bool,
+);
 
 /// Render the whole registry — request counters, the end-to-end and
 /// per-stage latency histograms, engine work counters, cache shards
@@ -694,6 +759,82 @@ pub fn render_prometheus(
         );
     }
 
+    if !m.io_loops.is_empty() {
+        let series: [IoLoopSeries; 5] = [
+            (
+                "gtserve_io_loop_iterations_total",
+                "Event-loop iterations completed, per I/O thread.",
+                |l| l.iterations as f64,
+                true,
+            ),
+            (
+                "gtserve_io_loop_wait_seconds_total",
+                "Seconds spent blocked in epoll/poll waits, per I/O thread.",
+                |l| l.wait_us as f64 / 1e6,
+                true,
+            ),
+            (
+                "gtserve_io_loop_work_seconds_total",
+                "Seconds spent doing work between waits, per I/O thread.",
+                |l| l.work_us as f64 / 1e6,
+                true,
+            ),
+            (
+                "gtserve_io_loop_connections",
+                "Connections currently owned by each I/O thread.",
+                |l| l.connections as f64,
+                false,
+            ),
+            (
+                "gtserve_io_loop_outbox_bytes",
+                "Bytes queued in each I/O thread's connection outboxes.",
+                |l| l.outbox_bytes as f64,
+                false,
+            ),
+        ];
+        for (name, help, value, is_counter) in series {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(
+                out,
+                "# TYPE {name} {}",
+                if is_counter { "counter" } else { "gauge" }
+            );
+            for (i, l) in m.io_loops.iter().enumerate() {
+                let _ = writeln!(out, "{name}{{loop=\"{i}\"}} {}", value(l));
+            }
+        }
+        histogram_header(
+            &mut out,
+            "gtserve_io_loop_lag_seconds",
+            "Per-iteration event-loop work time (loop-iteration lag), per I/O thread.",
+        );
+        for (i, l) in m.io_loops.iter().enumerate() {
+            histogram_samples(
+                &mut out,
+                "gtserve_io_loop_lag_seconds",
+                &format!("loop=\"{i}\""),
+                &l.lag.buckets,
+                l.lag.count,
+                l.lag.sum_us,
+            );
+        }
+    }
+    if m.queue_depth.count > 0 {
+        histogram_header(
+            &mut out,
+            "gtserve_executor_queue_depth",
+            "Executor queue depth sampled over time (le = jobs queued).",
+        );
+        depth_histogram_samples(
+            &mut out,
+            "gtserve_executor_queue_depth",
+            "",
+            &m.queue_depth.buckets,
+            m.queue_depth.count,
+            m.queue_depth.sum_us,
+        );
+    }
+
     gauge(
         &mut out,
         "gtserve_executor_queued",
@@ -867,6 +1008,8 @@ mod tests {
                 retired: 3,
                 narrowings: 7,
             }),
+            trace_id: None,
+            parent_span: None,
         }
     }
 
@@ -957,6 +1100,18 @@ mod tests {
         let text = hit.to_json().render();
         let back = TraceRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, hit);
+
+        // Distributed-trace linkage survives the round trip.
+        let linked = TraceRecord {
+            trace_id: Some("t-abc".into()),
+            parent_span: Some(12),
+            ..record(9, "ok", 500)
+        };
+        let text = linked.to_json().render();
+        let back = TraceRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.trace_id.as_deref(), Some("t-abc"));
+        assert_eq!(back.parent_span, Some(12));
+        assert_eq!(back, linked);
     }
 
     #[test]
@@ -979,6 +1134,11 @@ mod tests {
         });
         m.record_par_work(11, 3, 7);
         m.record_par_grant(4);
+        let loop0 = m.register_io_loop();
+        loop0.record_iteration(900, 100);
+        loop0.set_gauges(2, 512);
+        m.record_queue_depth(3);
+        m.record_queue_depth(5);
         let cache = CacheStats {
             hits: 1,
             misses: 2,
@@ -1010,6 +1170,16 @@ mod tests {
         assert!(text.contains("gtserve_engine_par_grants_total 1"));
         assert!(text.contains("gtserve_engine_par_grant_threads_total 4"));
         assert!(text.contains("gtserve_build_info{version=\""));
+        assert!(text.contains("gtserve_io_loop_iterations_total{loop=\"0\"} 1"));
+        assert!(text.contains("gtserve_io_loop_wait_seconds_total{loop=\"0\"} 0.0009"));
+        assert!(text.contains("gtserve_io_loop_connections{loop=\"0\"} 2"));
+        assert!(text.contains("gtserve_io_loop_outbox_bytes{loop=\"0\"} 512"));
+        assert!(text.contains("gtserve_io_loop_lag_seconds_count{loop=\"0\"} 1"));
+        assert!(text.contains("# TYPE gtserve_executor_queue_depth histogram"));
+        // Depth buckets are unitless: both samples (3 and 5) sit at or
+        // below the le="8" bound, and the sum is raw jobs not seconds.
+        assert!(text.contains("gtserve_executor_queue_depth_bucket{le=\"8\"} 2"));
+        assert!(text.contains("gtserve_executor_queue_depth_sum 8"));
         // Buckets are cumulative: each bucket line's value never
         // decreases as le grows.
         let mut last = 0u64;

@@ -58,6 +58,17 @@
 #                     stats must show retries > 0 — recorded alongside
 #                     the router's own snapshot.
 #
+# One tracing scenario (distributed traces, docs/OBSERVABILITY.md):
+#
+#   trace_overhead    the cached-pipeline8 load through a router over
+#                     one warm replica under the default sampled
+#                     tracing (--trace-sample 0.05, one request in
+#                     twenty).  Asserted < 3%: the same-run p50 gap
+#                     between the replies that carried a trace_id and
+#                     the run as a whole — span recording's cost with
+#                     run-to-run machine drift cancelled exactly.  A
+#                     --trace-sample 0 run rides along for context.
+#
 # Two split scenarios follow (scatter-gather, docs/ROUTING.md):
 #
 #   fleet_split       3 replicas behind a router with --split-cost:
@@ -454,8 +465,71 @@ split_window_gain=$(printf '{"spec":"%s","windowed_leaves":%s,"naive_leaves":%s}
   "$WINDOW_SPEC" "$windowed_leaves" "$naive_leaves")
 echo "bench_serve: split ok ($splits splits; windowed $windowed_leaves vs naive $naive_leaves leaves)" >&2
 
-printf '{"duration_s":%s,"cached_pipeline1":%s,"cached_pipeline8":%s,"coalesced":%s,"cold":%s,"cold_storm":%s,"c10k":%s,"c10k_server":%s,"par_scaling":%s,"fleet_direct":%s,"fleet_router":%s,"router_overhead_p50_pct":%s,"router_overhead_methodology":"both paths warmed 0.5s before the measured window","fleet_failover":%s,"fleet_failover_router_stats":%s,"fleet_split":%s,"fleet_split_router_stats":%s,"split_window_gain":%s}\n' \
+# --- Trace-overhead scenario -----------------------------------------
+# The cached-pipeline8 load through a router over one warm replica,
+# with the default sampled tracing (--trace-sample 0.05, one request
+# in twenty) and then tracing off (--trace-sample 0).  Cached hits
+# are the cheapest requests the fleet serves, so span recording has
+# nowhere to hide.
+#
+# The asserted figure is the *same-run* comparison: the p50 of the
+# replies that carried a trace_id (the requests the router actually
+# traced) against the run-wide p50.  Traced and untraced requests
+# interleave within one run on one fleet, so the gap is the cost of
+# span recording alone — machine drift between two separate runs (far
+# larger than 3% on a busy box) cancels exactly.  The --trace-sample 0
+# run is recorded for context and sanity-checked (no reply may carry a
+# trace_id), not asserted on.
+TRACE_SPEC="worst:d=2,n=6"
+start_server
+"$BIN" loadgen --addr "$ADDR" --rps 0 --duration 0.3 --conns 1 \
+  --spec "$TRACE_SPEC" --algo seq-solve >/dev/null
+
+trace_run() { # extra `gtree route` flags as args; prints loadgen JSON
+  "$BIN" route --addr "$ROUTE_ADDR" --replicas "$ADDR" "$@" >/dev/null 2>&1 &
+  ROUTER_PID=$!
+  FLEET_PIDS="$ROUTER_PID"
+  wait_up "$ROUTE_PORT"
+  "$BIN" loadgen --addr "$ROUTE_ADDR" --rps 0 --duration 0.5 \
+    --conns 4 --pipeline 8 --spec "$TRACE_SPEC" --algo seq-solve >/dev/null
+  "$BIN" loadgen --addr "$ROUTE_ADDR" --rps 0 --duration "$DUR" --json \
+    --conns 4 --pipeline 8 --spec "$TRACE_SPEC" --algo seq-solve
+  stop_fleet
+}
+
+trace_on=$(trace_run)
+summary trace_on "$trace_on"
+trace_off=$(trace_run --trace-sample 0)
+summary trace_off "$trace_off"
+stop_server
+
+traced_n=$(printf '%s' "$trace_on" | sed -n 's/.*"traced":\([0-9]*\).*/\1/p')
+p50_all=$(p50_of "$trace_on")
+p50_traced=$(printf '%s' "$trace_on" \
+  | sed -n 's/.*"latency_p50_traced_us":\([0-9.e+-]*\).*/\1/p')
+p50_off=$(p50_of "$trace_off")
+off_traced=$(printf '%s' "$trace_off" | sed -n 's/.*"traced":\([0-9]*\).*/\1/p')
+[ "${traced_n:-0}" -gt 0 ] || {
+  echo "bench_serve: default sampling traced no requests: $trace_on" >&2
+  exit 1
+}
+[ "${off_traced:-1}" -eq 0 ] || {
+  echo "bench_serve: --trace-sample 0 still traced $off_traced requests" >&2
+  exit 1
+}
+trace_overhead_pct=$(awk -v t="${p50_traced:-0}" -v a="${p50_all:-0}" \
+  'BEGIN { if (t > 0 && a > 0) { o = (t - a) / a * 100; if (o < 0) o = 0; printf "%.1f", o } else printf "null" }')
+echo "bench_serve: trace overhead at p50: ${trace_overhead_pct}% ($traced_n traced ${p50_traced}us vs run-wide ${p50_all}us; untraced run ${p50_off}us)" >&2
+awk -v o="${trace_overhead_pct:-100}" 'BEGIN { exit !(o < 3) }' || {
+  echo "bench_serve: tracing adds ${trace_overhead_pct}% at p50 (>= 3% budget)" >&2
+  exit 1
+}
+trace_overhead=$(printf '{"spec":"%s","traced_requests":%s,"p50_us":{"traced":%s,"run_wide":%s,"untraced_run":%s},"overhead_p50_pct":%s,"budget_pct":3,"methodology":"same-run traced-vs-run-wide p50 under default 1-in-20 sampling; the --trace-sample 0 run is context only"}' \
+  "$TRACE_SPEC" "${traced_n:-0}" "${p50_traced:-null}" "${p50_all:-null}" \
+  "${p50_off:-null}" "${trace_overhead_pct:-null}")
+
+printf '{"duration_s":%s,"cached_pipeline1":%s,"cached_pipeline8":%s,"coalesced":%s,"cold":%s,"cold_storm":%s,"c10k":%s,"c10k_server":%s,"par_scaling":%s,"fleet_direct":%s,"fleet_router":%s,"router_overhead_p50_pct":%s,"router_overhead_methodology":"both paths warmed 0.5s before the measured window","fleet_failover":%s,"fleet_failover_router_stats":%s,"fleet_split":%s,"fleet_split_router_stats":%s,"split_window_gain":%s,"trace_overhead":%s}\n' \
   "$DUR" "$cached_p1" "$cached_p8" "$coalesced" "$cold" "$cold_storm" "$c10k" "$c10k_extra" \
   "$par_scaling" "$fleet_direct" "$fleet_router" "${overhead:-null}" "$fleet_failover" \
-  "$failover_stats" "$fleet_split" "$split_stats" "$split_window_gain" > "$OUT"
+  "$failover_stats" "$fleet_split" "$split_stats" "$split_window_gain" "$trace_overhead" > "$OUT"
 echo "bench_serve: wrote $OUT" >&2

@@ -19,7 +19,10 @@
 # A router smoke rides along: a 1-router/2-replica fleet takes a
 # pipelined burst, loses a replica to kill -9 mid-life, takes a second
 # distinct-key burst with zero client-visible errors, and its stats
-# must show retries > 0 — the failover actually fired.
+# must show retries > 0 — the failover actually fired.  Between the
+# bursts, a cross-tier trace round-trip: one eval pinned to a client
+# trace id, its span tree fetched back via op:"trace", with >= 1
+# replica child span and monotone span offsets asserted.
 #
 # A split smoke closes out: a 1-router/3-replica fleet with
 # scatter-gather enabled (--split-cost).  A large eval must fan its
@@ -347,6 +350,46 @@ fail=""
 [ "${other:-0}" -eq 0 ] || { echo "ci_smoke: router burst got $other unexpected error replies" >&2; fail=1; }
 [ "${transport:-0}" -eq 0 ] || { echo "ci_smoke: router burst hit $transport transport errors" >&2; fail=1; }
 [ -z "$fail" ] || exit 1
+
+# Cross-tier trace round-trip: pin a client trace id on one eval
+# through the router, then pull its span tree back with op:"trace".
+# The tree must contain at least one replica-attributed child span
+# (the dispatch that actually reached a replica, carrying the echoed
+# stage offsets) and every finished span must have monotone offsets
+# (end_us >= start_us).
+exec 8<>"/dev/tcp/127.0.0.1/$ROUTE_PORT"
+printf '{"op":"eval","spec":"worst:d=2,n=8","algo":"seq-solve","trace":{"trace_id":"smoke-trace-1"}}\n' >&8
+IFS= read -r traced_eval <&8
+printf '{"op":"trace","trace":{"trace_id":"smoke-trace-1"}}\n' >&8
+IFS= read -r trace_reply <&8
+exec 8<&- 8>&-
+case "$traced_eval" in
+  *'"ok":true'*'"trace_id":"smoke-trace-1"'*) : ;;
+  *) echo "ci_smoke: traced eval through the router went wrong: $traced_eval" >&2; exit 1 ;;
+esac
+case "$trace_reply" in
+  *'"ok":true'*'"trace_id":"smoke-trace-1"'*'"spans":['*) : ;;
+  *) echo "ci_smoke: router op:trace lookup failed: $trace_reply" >&2; exit 1 ;;
+esac
+replica_spans=$(printf '%s' "$trace_reply" | grep -o '"replica":"127\.0\.0\.1:' | wc -l)
+[ "${replica_spans:-0}" -ge 1 ] || {
+  echo "ci_smoke: trace has no replica child span: $trace_reply" >&2
+  exit 1
+}
+finished_spans=$(printf '%s' "$trace_reply" \
+  | grep -o '"start_us":[0-9]*,"end_us":[0-9]*' | wc -l)
+[ "${finished_spans:-0}" -ge 1 ] || {
+  echo "ci_smoke: trace has no finished spans: $trace_reply" >&2
+  exit 1
+}
+bad_offsets=$(printf '%s' "$trace_reply" \
+  | grep -o '"start_us":[0-9]*,"end_us":[0-9]*' \
+  | awk -F'[:,]' '$2 + 0 > $4 + 0 { n++ } END { print n + 0 }')
+[ "${bad_offsets:-1}" -eq 0 ] || {
+  echo "ci_smoke: trace has $bad_offsets span(s) with end_us < start_us: $trace_reply" >&2
+  exit 1
+}
+echo "ci_smoke: trace round-trip ok ($replica_spans replica span(s), $finished_spans finished spans)" >&2
 
 # Yank a replica the hard way — mid-burst, so requests are in flight
 # toward it and others are still being routed at it.  Distinct keys

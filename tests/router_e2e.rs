@@ -122,15 +122,29 @@ fn control_verbs_answer_inline() {
         Some(false)
     );
 
+    // Tracing is on by default: a bare trace query lists recent trees
+    // (none yet), and an unknown id is a 400.
     let trace = client.send_line(r#"{"op":"trace","id":"t"}"#).unwrap();
-    assert!(!trace.ok);
-    assert_eq!(trace.status, 400);
+    assert!(trace.ok, "{trace:?}");
+    match trace.body.get("traces") {
+        Some(Json::Array(ts)) => assert!(ts.is_empty(), "no evals yet"),
+        other => panic!("traces not an array: {other:?}"),
+    }
+    let missing = client
+        .send_line(r#"{"op":"trace","id":"t2","trace":{"trace_id":"rt-nope"}}"#)
+        .unwrap();
+    assert!(!missing.ok);
+    assert_eq!(missing.status, 400);
 
     let stats = client.stats().unwrap();
     assert!(stats.ok);
     let body = stats.body.get("stats").expect("stats field");
     assert!(body.get("replicas").is_some());
     assert!(body.get("retries").is_some());
+    // Parity with the replica tier's stats reply.
+    assert_eq!(body.get("version").and_then(Json::as_u64), Some(1));
+    assert!(body.get("uptime_s").and_then(Json::as_f64).is_some());
+    assert!(body.get("traces").is_some());
 
     router.join();
 }

@@ -252,6 +252,7 @@ fn pipelined_connection_replies_out_of_order_with_id_echo() {
         path: None,
         alpha: None,
         beta: None,
+        trace: None,
     };
     let fast = Request {
         id: Some("fast".into()),
@@ -263,6 +264,7 @@ fn pipelined_connection_replies_out_of_order_with_id_echo() {
         path: None,
         alpha: None,
         beta: None,
+        trace: None,
     };
     client.write_request(&slow).unwrap();
     client.write_request(&fast).unwrap();
@@ -430,6 +432,7 @@ fn trace_op_returns_stamped_traces_and_retains_failures() {
             path: None,
             alpha: None,
             beta: None,
+            trace: None,
         })
         .unwrap();
     assert!(r.ok, "{:?}", r.error);

@@ -261,6 +261,126 @@ fn windowed_split_does_less_fleet_work_than_naive() {
     );
 }
 
+/// One subeval span's replica-side engine interval, rebased onto the
+/// router's trace clock (span start + replica-relative stage offset).
+struct SubSpan {
+    replica: String,
+    engine: Option<(u64, u64)>,
+    leaves: u64,
+}
+
+fn sub_spans_of(trace: &Json) -> Vec<SubSpan> {
+    let spans = match trace.get("spans") {
+        Some(Json::Array(spans)) => spans,
+        other => panic!("spans not an array: {other:?}"),
+    };
+    spans
+        .iter()
+        .filter(|s| {
+            matches!(
+                s.get("kind").and_then(Json::as_str),
+                Some("subeval") | Some("redispatch")
+            ) && s.get("status").and_then(Json::as_str) == Some("ok")
+        })
+        .map(|s| {
+            let start = s.get("start_us").and_then(Json::as_u64).unwrap_or(0);
+            let stages = s.get("stages");
+            let stage = |key: &str| stages.and_then(|st| st.get(key)).and_then(Json::as_u64);
+            SubSpan {
+                replica: s
+                    .get("replica")
+                    .and_then(Json::as_str)
+                    .expect("replica detail on a settled subeval span")
+                    .to_string(),
+                engine: match (stage("engine_start_us"), stage("engine_end_us")) {
+                    (Some(a), Some(b)) => Some((start + a, start + b)),
+                    _ => None,
+                },
+                leaves: s
+                    .get("work")
+                    .and_then(|w| w.get("leaves"))
+                    .and_then(Json::as_u64)
+                    .expect("work detail on a settled subeval span"),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn split_trace_shows_parallel_replica_work_that_sums_to_the_reply() {
+    let router = Router::start(RouterConfig {
+        spawn: 3,
+        split: SplitConfig {
+            // Naive dispatch of a worst-ordered tree: every sibling
+            // goes out at once, no cutoff ever discards or skips, so
+            // the trace's subeval spans are the complete work ledger.
+            cost_threshold: Some(64),
+            naive: true,
+            max_depth: 2,
+            ..SplitConfig::default()
+        },
+        ..RouterConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(router.local_addr()).unwrap();
+
+    // A client-pinned trace context always wins over sampling, so the
+    // tree is fetchable by a name the test chose.
+    let spec = "minmax-worst:d=6,n=8";
+    let expected = sequential_value(spec);
+    let reply = client
+        .send_line(&format!(
+            r#"{{"op":"eval","id":"s1","spec":"{spec}","algo":"cascade:w=1","trace":{{"trace_id":"e2e-split-trace"}}}}"#
+        ))
+        .unwrap();
+    assert!(reply.ok, "{reply:?}");
+    assert_eq!(reply.value(), Some(expected));
+    assert!(reply.body.get("split").is_some(), "{reply:?}");
+    assert_eq!(reply.trace_id(), Some("e2e-split-trace"), "{reply:?}");
+    let total_leaves = reply.leaves().expect("work.leaves on the split reply");
+
+    let fetched = client
+        .send_line(r#"{"op":"trace","id":"s2","trace":{"trace_id":"e2e-split-trace"}}"#)
+        .unwrap();
+    assert!(fetched.ok, "{fetched:?}");
+    let trace = fetched.body.get("trace").expect("trace tree");
+    let subs = sub_spans_of(trace);
+    assert!(
+        subs.len() >= 2,
+        "want >=2 subeval spans, got {}",
+        subs.len()
+    );
+
+    // The work really was distributed: spans on >=2 distinct replicas.
+    let replicas: std::collections::HashSet<&str> =
+        subs.iter().map(|s| s.replica.as_str()).collect();
+    assert!(
+        replicas.len() >= 2,
+        "all spans on one replica: {replicas:?}"
+    );
+
+    // The spans are the complete work ledger: their replica-reported
+    // leaf counters sum to the reply's total.
+    let span_leaves: u64 = subs.iter().map(|s| s.leaves).sum();
+    assert_eq!(span_leaves, total_leaves);
+
+    // And the work was concurrent: some pair of engine intervals
+    // (rebased onto the router's clock) overlaps in wall time.
+    let engines: Vec<(u64, u64)> = subs.iter().filter_map(|s| s.engine).collect();
+    assert!(
+        engines.len() >= 2,
+        "engine stages missing: {}",
+        engines.len()
+    );
+    let overlap = engines
+        .iter()
+        .enumerate()
+        .any(|(i, a)| engines[i + 1..].iter().any(|b| a.0 < b.1 && b.0 < a.1));
+    assert!(overlap, "no two engine intervals overlapped: {engines:?}");
+
+    router.join();
+}
+
 #[test]
 fn subeval_replies_annotate_the_owning_replica() {
     let router = Router::start(RouterConfig {
