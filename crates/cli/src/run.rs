@@ -48,7 +48,9 @@ USAGE:
                [--conn-window N] [--deadline-ms MS] [--trace-ring N]
                [--slow-us US] [--metrics-addr A] [--par-threshold C]
                [--par-max-workers K] [--io-threads N]
-               [--conn-idle-timeout MS]
+               [--conn-idle-timeout MS] [--snapshot PATH]
+               [--tenant-max-inflight N] [--announce ROUTER]
+               [--advertise ADDR] [--weight W] [--generation G]
   gtree route  [--addr A] [--replica ADDR]... [--spawn N] [--spawn-workers N]
                [--pool N] [--conn-window N] [--client-window N] [--retries N]
                [--hedge-ms MS] [--backoff-ms MS] [--probe-interval MS]
@@ -60,7 +62,7 @@ USAGE:
                [--duration SECS] [--pipeline N] [--spec SPEC]
                [--algo SERVE-ALGO] [--deadline-ms MS] [--distinct]
                [--split-heavy] [--server-stats] [--sample-traces N]
-               [--json]
+               [--tenants N] [--json]
 
 SPEC:     kind:key=val,...   kinds: nor crit worst allones minmax
                                     minmax-best minmax-worst minmax-corr
@@ -91,6 +93,22 @@ Observability (docs/OBSERVABILITY.md): the
 flight recorder keeps the last --trace-ring request traces plus every
 slow (>= --slow-us) or failed one, read back with {\"op\":\"trace\"};
 --metrics-addr serves Prometheus text exposition over HTTP.
+
+Fleet membership (docs/ROUTING.md): `serve --announce ROUTER` makes a
+replica announce itself to a running router via {\"op\":\"join\"}
+(retried until the router is up) and warm-fill its cache from up to
+three established peers via {\"op\":\"cachepull\"}; --advertise
+overrides the announced address, --weight sets the replica's share of
+the keyspace under weighted rendezvous hashing, and --generation
+disambiguates restarts of the same address (highest wins).  `serve
+--snapshot PATH` restores the result cache from PATH on boot and
+writes it back on drain, so a restarted replica rejoins warm.  `serve
+--tenant-max-inflight N` caps each tenant (the request's `tenant`
+field) at N dispatched-and-unanswered evals — excess is shed with a
+429 and retry_after_ms while other tenants keep their capacity;
+untagged requests are never capped.  `loadgen --tenants N` tags
+requests round-robin with tenants t0..t{N-1} and breaks the report
+out per tenant (sent/ok/shed, p50/p99).
 
 `route` fronts a fleet of serve replicas (docs/ROUTING.md): requests
 are routed by rendezvous hashing on the canonical cache key so each
@@ -596,6 +614,21 @@ fn run_serve(args: &[String]) -> Result<String, CliError> {
                 config.conn_idle_timeout_ms =
                     Some(parse_flag("--conn-idle-timeout", &next(&mut i)?)?);
             }
+            "--snapshot" => config.snapshot_path = Some(next(&mut i)?),
+            "--tenant-max-inflight" => {
+                config.tenant_max_inflight = parse_flag("--tenant-max-inflight", &next(&mut i)?)?;
+            }
+            "--announce" => config.announce = Some(next(&mut i)?),
+            "--advertise" => config.advertise = Some(next(&mut i)?),
+            "--weight" => {
+                config.weight = parse_flag("--weight", &next(&mut i)?)?;
+                if config.weight == 0 {
+                    return Err(CliError::usage(
+                        "--weight must be at least 1 (a zero-weight replica owns no keys)",
+                    ));
+                }
+            }
+            "--generation" => config.generation = parse_flag("--generation", &next(&mut i)?)?,
             other => return Err(CliError::usage(format!("unknown argument {other:?}"))),
         }
         i += 1;
@@ -752,6 +785,7 @@ fn run_loadgen_cmd(args: &[String]) -> Result<String, CliError> {
             "--sample-traces" => {
                 config.sample_traces = parse_flag("--sample-traces", &next(&mut i)?)?;
             }
+            "--tenants" => config.tenants = parse_flag("--tenants", &next(&mut i)?)?,
             "--json" => json = true,
             other => return Err(CliError::usage(format!("unknown argument {other:?}"))),
         }
@@ -1029,6 +1063,84 @@ mod tests {
         assert!(run_str(&["help"]).unwrap().contains("--trace-ring"));
         assert!(run_str(&["help"]).unwrap().contains("--sample-traces"));
         assert!(run_str(&["help"]).unwrap().contains("--trace-sample"));
+    }
+
+    #[test]
+    fn fleet_flags_are_validated() {
+        assert_eq!(
+            run_str(&["serve", "--tenant-max-inflight", "many"])
+                .unwrap_err()
+                .exit_code,
+            2
+        );
+        assert_eq!(
+            run_str(&["serve", "--weight", "heavy"])
+                .unwrap_err()
+                .exit_code,
+            2
+        );
+        let err = run_str(&["serve", "--weight", "0"]).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("at least 1"), "{}", err.message);
+        assert_eq!(
+            run_str(&["serve", "--generation", "latest"])
+                .unwrap_err()
+                .exit_code,
+            2
+        );
+        for flag in ["--snapshot", "--announce", "--advertise"] {
+            assert_eq!(
+                run_str(&["serve", flag]).unwrap_err().exit_code,
+                2,
+                "{flag} needs a value"
+            );
+        }
+        assert_eq!(
+            run_str(&["loadgen", "--tenants", "everyone"])
+                .unwrap_err()
+                .exit_code,
+            2
+        );
+        let help = run_str(&["help"]).unwrap();
+        for flag in [
+            "--snapshot",
+            "--tenant-max-inflight",
+            "--announce",
+            "--advertise",
+            "--weight",
+            "--generation",
+            "--tenants",
+        ] {
+            assert!(help.contains(flag), "usage must document {flag}");
+        }
+    }
+
+    #[test]
+    fn loadgen_tenants_flag_breaks_the_report_out() {
+        let server = gt_serve::Server::start(gt_serve::Config::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let out = run_str(&[
+            "loadgen",
+            "--addr",
+            &addr,
+            "--conns",
+            "2",
+            "--duration",
+            "0.2",
+            "--spec",
+            "worst:d=2,n=6",
+            "--algo",
+            "seq-solve",
+            "--tenants",
+            "2",
+            "--json",
+        ])
+        .unwrap();
+        assert!(out.contains("\"tenants\":{"), "{out}");
+        assert!(out.contains("\"t0\":{"), "{out}");
+        assert!(out.contains("\"t1\":{"), "{out}");
+        server.request_shutdown();
+        server.join();
     }
 
     #[test]

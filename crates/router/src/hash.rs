@@ -8,6 +8,20 @@
 //! failover order, so replica-local LRU caches stay warm through
 //! membership churn.  That minimal-disruption property is why this
 //! beats `hash(key) % n` for cache affinity.
+//!
+//! ## Weighted members
+//!
+//! Heterogeneous hosts carry an integer **weight** (announced at
+//! join time): a member's expected share of the keyspace is
+//! proportional to its weight.  [`weighted_score`] uses the standard
+//! logarithmic construction — map the raw 64-bit hash to a uniform
+//! `u ∈ (0,1)` and score `weight / -ln(u)` — which keeps every
+//! (key, member) score independent of every other member, so the
+//! minimal-disruption property survives joins, leaves, *and*
+//! reweights: changing one member's weight can only move keys onto or
+//! off that member, and never reorders the other members relative to
+//! each other.  With equal weights the ordering coincides with the
+//! unweighted [`rank`] (the transform is monotone in the raw hash).
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -37,6 +51,45 @@ pub fn rank(key: &str, members: &[String]) -> Vec<usize> {
     let scores: Vec<u64> = members.iter().map(|m| score(key, m)).collect();
     let mut order: Vec<usize> = (0..members.len()).collect();
     order.sort_by(|&a, &b| scores[b].cmp(&scores[a]).then(a.cmp(&b)));
+    order
+}
+
+/// Weight-scaled rendezvous score of `member` for `key`; higher wins.
+///
+/// The raw hash is mapped to a uniform `u ∈ (0,1)` and scored as
+/// `weight / -ln(u)`, so a member's long-run share of owned keys is
+/// proportional to its weight while each score stays independent of
+/// every other member.  Weight 0 scores 0 — the member never owns a
+/// key while any positively-weighted member exists, but still appears
+/// (last) in the failover order.
+pub fn weighted_score(key: &str, member: &str, weight: u64) -> f64 {
+    if weight == 0 {
+        return 0.0;
+    }
+    let h = score(key, member);
+    // (h + 0.5) / 2^64 ∈ (0,1) strictly, so ln(u) is finite and < 0.
+    let u = (h as f64 + 0.5) / 18_446_744_073_709_551_616.0;
+    weight as f64 / -u.ln()
+}
+
+/// Member indices ordered by descending [`weighted_score`] for `key`.
+/// Ties break on the lower index so the order is total and
+/// deterministic.  With all weights equal this agrees with [`rank`]
+/// wherever the raw 64-bit scores are distinct.
+pub fn rank_weighted(key: &str, members: &[(String, u64)]) -> Vec<usize> {
+    let scores: Vec<f64> = members
+        .iter()
+        .map(|(m, w)| weighted_score(key, m, *w))
+        .collect();
+    let mut order: Vec<usize> = (0..members.len()).collect();
+    // Scores are finite and non-negative (never NaN), so the partial
+    // order is total here.
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
     order
 }
 
@@ -103,6 +156,62 @@ mod tests {
                 .collect();
             let without = rank(&key, &reduced);
             assert_eq!(with, without, "survivor order changed for {key}");
+        }
+    }
+
+    #[test]
+    fn equal_weights_agree_with_the_unweighted_order() {
+        let ms = members(5);
+        let weighted: Vec<(String, u64)> = ms.iter().map(|m| (m.clone(), 3)).collect();
+        for key in keys(100) {
+            assert_eq!(rank(&key, &ms), rank_weighted(&key, &weighted), "{key}");
+        }
+    }
+
+    #[test]
+    fn ownership_tracks_weight_share() {
+        // Weights 1:2:4 over many keys: owned shares must order the
+        // same way and be roughly proportional.
+        let weighted: Vec<(String, u64)> = members(3).into_iter().zip([1u64, 2, 4]).collect();
+        let mut owners = [0usize; 3];
+        for key in keys(2000) {
+            owners[rank_weighted(&key, &weighted)[0]] += 1;
+        }
+        assert!(owners[0] < owners[1] && owners[1] < owners[2], "{owners:?}");
+        // Member 2 holds 4/7 ≈ 57% of the keyspace; allow wide slack.
+        assert!(
+            (900..=1400).contains(&owners[2]),
+            "weight-4 member owns {} of 2000",
+            owners[2]
+        );
+    }
+
+    #[test]
+    fn zero_weight_members_never_own_keys() {
+        let mut weighted: Vec<(String, u64)> = members(3).into_iter().map(|m| (m, 1)).collect();
+        weighted[1].1 = 0;
+        for key in keys(200) {
+            let order = rank_weighted(&key, &weighted);
+            assert_ne!(order[0], 1, "zero-weight member owned {key}");
+            assert_eq!(order[2], 1, "zero-weight member must rank last");
+        }
+    }
+
+    #[test]
+    fn reweighting_a_member_never_reorders_the_others() {
+        let base: Vec<(String, u64)> = members(4).into_iter().zip([2u64, 3, 1, 2]).collect();
+        let mut boosted = base.clone();
+        boosted[1].1 = 9;
+        for key in keys(300) {
+            let before: Vec<usize> = rank_weighted(&key, &base)
+                .into_iter()
+                .filter(|&i| i != 1)
+                .collect();
+            let after: Vec<usize> = rank_weighted(&key, &boosted)
+                .into_iter()
+                .filter(|&i| i != 1)
+                .collect();
+            assert_eq!(before, after, "non-reweighted order changed for {key}");
         }
     }
 

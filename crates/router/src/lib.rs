@@ -34,6 +34,7 @@
 
 pub mod hash;
 pub mod health;
+pub mod membership;
 pub mod metrics;
 pub mod router;
 pub mod split;

@@ -1,0 +1,233 @@
+//! Fleet membership: the control-plane half of dynamic replicas.
+//!
+//! The router's member set is **append-only**: every data-path
+//! structure (relays, split sub-flights, pending-reply entries) holds
+//! raw replica indices, so a member is never removed from the list —
+//! a replica that goes away is simply driven to health tier 3 by the
+//! probe loop and stops receiving traffic.  Joins extend the list;
+//! re-joins and reweights update the member in place.
+//!
+//! ## The join protocol
+//!
+//! A replica announces itself by sending the router a single line on
+//! the client port:
+//!
+//! ```text
+//! {"op":"join","addr":"10.0.0.7:7171","weight":4,"generation":2}
+//! ```
+//!
+//! `addr` is the replica's serving address (the router connects back;
+//! membership is never taken on faith from the socket's peer
+//! address).  `weight` scales the member's keyspace share under
+//! weighted rendezvous hashing ([`crate::hash::rank_weighted`]).
+//! `generation` is a counter the replica bumps every (re)start, so
+//! the router can order announcements from the same address:
+//!
+//! * unknown `addr` → **admit** (append a member),
+//! * known `addr`, higher generation → **refresh** (a reborn
+//!   replica: adopt its weight and generation),
+//! * same generation, different weight → **reweight** in place,
+//! * same generation and weight → harmless duplicate (announce
+//!   retries are idempotent),
+//! * lower generation → **stale** (an old announcement arriving
+//!   late; ignored).
+//!
+//! [`classify_join`] is that decision, pure and testable; the router
+//! applies it under its membership lock.
+//!
+//! ## The routing table
+//!
+//! Routing wants a stable `&[(addr, weight)]` slice per request
+//! without cloning addresses on the hot path, so the weighted pairs
+//! live in a [`RoutingTable`] — an `Arc`-swapped snapshot rebuilt
+//! only when membership actually changes.  Requests in flight keep
+//! whatever snapshot they started with; indices they carry stay
+//! valid forever because the member list only grows.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Default routing weight for members that never announced one (the
+/// static `--replica` list, and joins that omit `weight`).
+pub const DEFAULT_WEIGHT: u64 = 1;
+
+/// What a `join` announcement should do to the member set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAction {
+    /// Unknown address: append a new member.
+    Admit,
+    /// Known address announcing a higher generation: a reborn
+    /// replica.  Adopt its weight and generation.
+    Refresh,
+    /// Same generation, new weight: reweight the member in place.
+    Reweight,
+    /// Same generation and weight: an announce retry; nothing to do.
+    Duplicate,
+    /// Lower generation than the member already announced: a stale
+    /// duplicate arriving late.  Ignore it.
+    Stale,
+}
+
+/// Decide what a `join` for some address does, given the weight and
+/// generation that address currently has (`None` when unknown).
+pub fn classify_join(current: Option<(u64, u64)>, weight: u64, generation: u64) -> JoinAction {
+    match current {
+        None => JoinAction::Admit,
+        Some((_, cur_gen)) if generation > cur_gen => JoinAction::Refresh,
+        Some((_, cur_gen)) if generation < cur_gen => JoinAction::Stale,
+        Some((cur_weight, _)) if weight != cur_weight => JoinAction::Reweight,
+        Some(_) => JoinAction::Duplicate,
+    }
+}
+
+/// One member as the control plane reports it (health/stats rows and
+/// the warm-fill peer list).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberView {
+    /// Serving address.
+    pub addr: String,
+    /// Routing weight.
+    pub weight: u64,
+    /// Last announced generation (0 for static seed members that
+    /// never announced).
+    pub generation: u64,
+}
+
+/// The weighted `(addr, weight)` pairs routing hashes over, swapped
+/// atomically as a whole on every membership change so the request
+/// path reads one `Arc` and never takes the membership lock.
+pub struct RoutingTable {
+    pairs: RwLock<Arc<Vec<(String, u64)>>>,
+    /// Membership revision: bumped on every swap.  Cheap to read, so
+    /// pollers can skip re-reading an unchanged table.
+    version: AtomicU64,
+}
+
+impl RoutingTable {
+    /// Table over the seed addresses, all at [`DEFAULT_WEIGHT`].
+    pub fn seeded(addrs: &[String]) -> RoutingTable {
+        RoutingTable {
+            pairs: RwLock::new(Arc::new(
+                addrs.iter().map(|a| (a.clone(), DEFAULT_WEIGHT)).collect(),
+            )),
+            version: AtomicU64::new(0),
+        }
+    }
+
+    /// The current `(addr, weight)` snapshot.  Requests hold it for
+    /// their whole lifetime; a concurrent swap never perturbs it.
+    pub fn snapshot(&self) -> Arc<Vec<(String, u64)>> {
+        Arc::clone(&self.pairs.read().unwrap())
+    }
+
+    /// Replace the table (on admit/refresh/reweight) and bump the
+    /// version.  `pairs` must keep existing members at their existing
+    /// indices — the member list is append-only.
+    pub fn replace(&self, pairs: Vec<(String, u64)>) {
+        *self.pairs.write().unwrap() = Arc::new(pairs);
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// Members currently in the table.
+    pub fn len(&self) -> usize {
+        self.pairs.read().unwrap().len()
+    }
+
+    /// Whether the table has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership revision (number of swaps so far).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+}
+
+/// Membership-change counters, reported in `stats` and `/metrics` as
+/// the `router_members_*` series.
+#[derive(Default)]
+pub struct MembershipCounters {
+    /// Members admitted by a join (seed members not counted).
+    pub joined: AtomicU64,
+    /// Re-joins of a known address with a higher generation.
+    pub refreshed: AtomicU64,
+    /// In-place weight changes.
+    pub reweighted: AtomicU64,
+    /// Stale (lower-generation) announcements ignored.
+    pub stale_joins: AtomicU64,
+    /// Announce retries that changed nothing.
+    pub duplicate_joins: AtomicU64,
+}
+
+impl MembershipCounters {
+    /// Count one classified join.
+    pub fn record(&self, action: JoinAction) {
+        let c = match action {
+            JoinAction::Admit => &self.joined,
+            JoinAction::Refresh => &self.refreshed,
+            JoinAction::Reweight => &self.reweighted,
+            JoinAction::Duplicate => &self.duplicate_joins,
+            JoinAction::Stale => &self.stale_joins,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_classification_follows_the_generation_order() {
+        // Unknown address: admit.
+        assert_eq!(classify_join(None, 1, 0), JoinAction::Admit);
+        // Reborn replica: higher generation wins regardless of weight.
+        assert_eq!(classify_join(Some((1, 1)), 1, 2), JoinAction::Refresh);
+        assert_eq!(classify_join(Some((4, 1)), 4, 5), JoinAction::Refresh);
+        // Same generation: weight change is a reweight, else a no-op.
+        assert_eq!(classify_join(Some((1, 3)), 8, 3), JoinAction::Reweight);
+        assert_eq!(classify_join(Some((8, 3)), 8, 3), JoinAction::Duplicate);
+        // Older generation: stale, never applied.
+        assert_eq!(classify_join(Some((8, 3)), 2, 2), JoinAction::Stale);
+        assert_eq!(classify_join(Some((1, 1)), 1, 0), JoinAction::Stale);
+    }
+
+    #[test]
+    fn routing_table_snapshots_survive_swaps() {
+        let addrs: Vec<String> = (0..2).map(|i| format!("10.0.0.{i}:7171")).collect();
+        let table = RoutingTable::seeded(&addrs);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.version(), 0);
+        let held = table.snapshot();
+
+        // A join appends; the held snapshot is untouched.
+        let mut grown = held.as_ref().clone();
+        grown.push(("10.0.0.9:7171".to_string(), 4));
+        table.replace(grown);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.version(), 1);
+        assert_eq!(held.len(), 2, "in-flight snapshot must not grow");
+        assert_eq!(table.snapshot()[2].1, 4);
+    }
+
+    #[test]
+    fn membership_counters_track_each_action() {
+        let c = MembershipCounters::default();
+        for action in [
+            JoinAction::Admit,
+            JoinAction::Admit,
+            JoinAction::Refresh,
+            JoinAction::Reweight,
+            JoinAction::Duplicate,
+            JoinAction::Stale,
+        ] {
+            c.record(action);
+        }
+        assert_eq!(c.joined.load(Ordering::Relaxed), 2);
+        assert_eq!(c.refreshed.load(Ordering::Relaxed), 1);
+        assert_eq!(c.reweighted.load(Ordering::Relaxed), 1);
+        assert_eq!(c.duplicate_joins.load(Ordering::Relaxed), 1);
+        assert_eq!(c.stale_joins.load(Ordering::Relaxed), 1);
+    }
+}

@@ -9,6 +9,7 @@
 //! as `op:"stats"` JSON and Prometheus text exposition for the
 //! `/metrics` listener.
 
+use crate::membership::MembershipCounters;
 use crate::trace::TraceStats;
 use gt_analysis::json::Json;
 use gt_serve::metrics::{HistogramSnapshot, LatencyHistogram};
@@ -90,6 +91,8 @@ pub struct RouterMetrics {
     pub subevals_skipped_on_cutoff: AtomicU64,
     /// Deepest eldest chain any plan has used (monotone high-water).
     pub split_depth: AtomicU64,
+    /// Membership-change counters (joins, refreshes, reweights).
+    pub members: MembershipCounters,
     /// End-to-end latency of ok replies, microseconds.
     pub route_latency: LatencyHistogram,
 }
@@ -118,6 +121,7 @@ impl Default for RouterMetrics {
             subevals_discarded_on_cutoff: AtomicU64::new(0),
             subevals_skipped_on_cutoff: AtomicU64::new(0),
             split_depth: AtomicU64::new(0),
+            members: MembershipCounters::default(),
             route_latency: LatencyHistogram::default(),
         }
     }
@@ -134,12 +138,24 @@ impl RouterMetrics {
     }
 
     /// Freeze the fleet-level counters.  The router supplies the
-    /// per-replica rows it assembles from live replica state.
-    pub fn snapshot(&self, replicas: Vec<ReplicaSnapshot>, trace: TraceStats) -> RouterSnapshot {
+    /// per-replica rows it assembles from live replica state and the
+    /// routing table's membership revision.
+    pub fn snapshot(
+        &self,
+        replicas: Vec<ReplicaSnapshot>,
+        trace: TraceStats,
+        membership_version: u64,
+    ) -> RouterSnapshot {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         RouterSnapshot {
             uptime_us: self.start.elapsed().as_micros() as u64,
             trace,
+            membership_version,
+            members_joined: load(&self.members.joined),
+            members_refreshed: load(&self.members.refreshed),
+            members_reweighted: load(&self.members.reweighted),
+            members_stale_joins: load(&self.members.stale_joins),
+            members_duplicate_joins: load(&self.members.duplicate_joins),
             requests: load(&self.requests),
             ok: load(&self.ok),
             forwarded_errors: load(&self.forwarded_errors),
@@ -179,6 +195,10 @@ pub struct ReplicaSnapshot {
     pub state: &'static str,
     /// Routing preference tier (0 best, 3 worst).
     pub tier: u8,
+    /// Weighted-rendezvous routing weight.
+    pub weight: u64,
+    /// Last generation this member announced (0 for static seeds).
+    pub generation: u64,
     /// Times this replica has been ejected.
     pub ejects: u64,
     pub sent: u64,
@@ -200,6 +220,8 @@ impl ReplicaSnapshot {
             ("addr", Json::from(self.addr.as_str())),
             ("state", Json::from(self.state)),
             ("tier", Json::from(u64::from(self.tier))),
+            ("weight", Json::from(self.weight)),
+            ("generation", Json::from(self.generation)),
             ("ejects", Json::from(self.ejects)),
             ("sent", Json::from(self.sent)),
             ("ok", Json::from(self.ok)),
@@ -244,6 +266,13 @@ pub struct RouterSnapshot {
     pub subevals_discarded_on_cutoff: u64,
     pub subevals_skipped_on_cutoff: u64,
     pub split_depth: u64,
+    /// Routing-table revision: bumped on every membership change.
+    pub membership_version: u64,
+    pub members_joined: u64,
+    pub members_refreshed: u64,
+    pub members_reweighted: u64,
+    pub members_stale_joins: u64,
+    pub members_duplicate_joins: u64,
     pub route_latency: HistogramSnapshot,
     pub replicas: Vec<ReplicaSnapshot>,
     /// Span-recorder counters (traces started/finished, spans opened,
@@ -284,6 +313,18 @@ impl RouterSnapshot {
                 Json::from(self.subevals_skipped_on_cutoff),
             ),
             ("split_depth", Json::from(self.split_depth)),
+            (
+                "membership",
+                Json::obj([
+                    ("version", Json::from(self.membership_version)),
+                    ("members", Json::from(self.replicas.len())),
+                    ("joined", Json::from(self.members_joined)),
+                    ("refreshed", Json::from(self.members_refreshed)),
+                    ("reweighted", Json::from(self.members_reweighted)),
+                    ("stale_joins", Json::from(self.members_stale_joins)),
+                    ("duplicate_joins", Json::from(self.members_duplicate_joins)),
+                ]),
+            ),
             (
                 "traces",
                 Json::obj([
@@ -410,6 +451,58 @@ impl RouterSnapshot {
         let _ = writeln!(out, "# TYPE router_split_depth gauge");
         let _ = writeln!(out, "router_split_depth {}", self.split_depth);
 
+        let _ = writeln!(out, "# HELP router_members Members in the routing table.");
+        let _ = writeln!(out, "# TYPE router_members gauge");
+        let _ = writeln!(out, "router_members {}", self.replicas.len());
+        let _ = writeln!(
+            out,
+            "# HELP router_membership_version Routing-table revision (bumped per membership change)."
+        );
+        let _ = writeln!(out, "# TYPE router_membership_version gauge");
+        let _ = writeln!(out, "router_membership_version {}", self.membership_version);
+        counter(
+            &mut out,
+            "router_members_joined_total",
+            "Members admitted by a join announcement.",
+            self.members_joined,
+        );
+        counter(
+            &mut out,
+            "router_members_refreshed_total",
+            "Re-joins of a known address with a higher generation.",
+            self.members_refreshed,
+        );
+        counter(
+            &mut out,
+            "router_members_reweighted_total",
+            "In-place weight changes.",
+            self.members_reweighted,
+        );
+        counter(
+            &mut out,
+            "router_members_stale_joins_total",
+            "Stale (lower-generation) announcements ignored.",
+            self.members_stale_joins,
+        );
+        counter(
+            &mut out,
+            "router_members_duplicate_joins_total",
+            "Announce retries that changed nothing.",
+            self.members_duplicate_joins,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP router_replica_weight Weighted-rendezvous routing weight per member."
+        );
+        let _ = writeln!(out, "# TYPE router_replica_weight gauge");
+        for r in &self.replicas {
+            let _ = writeln!(
+                out,
+                "router_replica_weight{{replica=\"{}\"}} {}",
+                r.addr, r.weight
+            );
+        }
+
         counter(
             &mut out,
             "router_span_traces_started_total",
@@ -524,6 +617,8 @@ mod tests {
             addr: addr.to_string(),
             state: "healthy",
             tier: 0,
+            weight: 2,
+            generation: 1,
             ejects: 2,
             sent: 10,
             ok: 8,
@@ -548,6 +643,8 @@ mod tests {
         m.record_split_depth(3);
         m.record_split_depth(2);
         m.route_latency.record(500);
+        m.members.record(crate::membership::JoinAction::Admit);
+        m.members.record(crate::membership::JoinAction::Reweight);
         let snap = m.snapshot(
             vec![replica_row("127.0.0.1:7171")],
             TraceStats {
@@ -557,6 +654,7 @@ mod tests {
                 active: 1,
                 ringed: 4,
             },
+            3,
         );
         let j = snap.to_json();
         assert_eq!(j.get("version").and_then(Json::as_u64), Some(1));
@@ -580,6 +678,11 @@ mod tests {
             Some(3),
             "split_depth is a high-water mark, not a sum"
         );
+        let membership = j.get("membership").expect("membership block");
+        assert_eq!(membership.get("version").and_then(Json::as_u64), Some(3));
+        assert_eq!(membership.get("members").and_then(Json::as_u64), Some(1));
+        assert_eq!(membership.get("joined").and_then(Json::as_u64), Some(1));
+        assert_eq!(membership.get("reweighted").and_then(Json::as_u64), Some(1));
         let replicas = match j.get("replicas") {
             Some(Json::Array(rs)) => rs,
             other => panic!("replicas not an array: {other:?}"),
@@ -590,6 +693,11 @@ mod tests {
             Some("127.0.0.1:7171")
         );
         assert_eq!(replicas[0].get("ejects").and_then(Json::as_u64), Some(2));
+        assert_eq!(replicas[0].get("weight").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            replicas[0].get("generation").and_then(Json::as_u64),
+            Some(1)
+        );
     }
 
     #[test]
@@ -599,6 +707,7 @@ mod tests {
         m.splits_total.fetch_add(1, Ordering::Relaxed);
         m.subevals_skipped_on_cutoff.fetch_add(5, Ordering::Relaxed);
         m.route_latency.record(1_000);
+        m.members.record(crate::membership::JoinAction::Admit);
         let text = m
             .snapshot(
                 vec![replica_row("127.0.0.1:7171"), replica_row("127.0.0.1:7172")],
@@ -609,6 +718,7 @@ mod tests {
                     active: 0,
                     ringed: 6,
                 },
+                1,
             )
             .render_prometheus();
         assert!(text.contains("router_retries_total 4"), "{text}");
@@ -634,6 +744,13 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("router_split_depth 0"), "{text}");
+        assert!(text.contains("router_members 2"), "{text}");
+        assert!(text.contains("router_membership_version 1"), "{text}");
+        assert!(text.contains("router_members_joined_total 1"), "{text}");
+        assert!(
+            text.contains("router_replica_weight{replica=\"127.0.0.1:7171\"} 2"),
+            "{text}"
+        );
         assert!(
             text.contains("router_span_traces_started_total 6"),
             "{text}"

@@ -26,6 +26,7 @@
 
 use crate::hash;
 use crate::health::{tier_route, HealthMachine, HealthPolicy};
+use crate::membership::{self, JoinAction, RoutingTable};
 use crate::metrics::{ReplicaCounters, ReplicaSnapshot, RouterMetrics, RouterSnapshot};
 use crate::split::{plan_levels, Dispatch, Effects, FailKind, Outcome, SplitConfig, SplitMachine};
 use crate::trace::{SpanRecorder, TraceHandle, ROOT_SPAN};
@@ -42,7 +43,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -213,6 +214,11 @@ struct Replica {
     rr: AtomicUsize,
     health: Mutex<HealthMachine>,
     counters: ReplicaCounters,
+    /// Routing weight under weighted rendezvous hashing; updated in
+    /// place by `join` announcements (see [`crate::membership`]).
+    weight: AtomicU64,
+    /// Last generation this member announced (0 for static seeds).
+    generation: AtomicU64,
     /// When the prober last finished a round trip against this
     /// replica, in `RouterMetrics::uptime_us` units; `u64::MAX`
     /// until the first probe completes.
@@ -220,6 +226,27 @@ struct Replica {
 }
 
 impl Replica {
+    fn new(idx: usize, addr: String, pool: usize, health: HealthPolicy, weight: u64) -> Replica {
+        Replica {
+            idx,
+            addr,
+            conns: (0..pool.max(1))
+                .map(|_| {
+                    Arc::new(UpstreamConn {
+                        writer: Mutex::new(None),
+                        pending: Mutex::new(HashMap::new()),
+                    })
+                })
+                .collect(),
+            rr: AtomicUsize::new(0),
+            health: Mutex::new(HealthMachine::new(health)),
+            counters: ReplicaCounters::default(),
+            weight: AtomicU64::new(weight),
+            generation: AtomicU64::new(0),
+            last_probe_us: AtomicU64::new(u64::MAX),
+        }
+    }
+
     fn tier(&self) -> u8 {
         self.health.lock().unwrap().state().tier()
     }
@@ -260,6 +287,9 @@ struct Relay {
     path: Option<String>,
     alpha: Option<i64>,
     beta: Option<i64>,
+    /// Tenant id forwarded upstream so replica-side fair scheduling
+    /// sees the same tenant the client declared.
+    tenant: Option<String>,
     start: Instant,
     deadline: Instant,
     /// Replica indices in routing preference order.
@@ -372,8 +402,19 @@ impl Pacer {
 
 struct Inner {
     config: RouterConfig,
-    addrs: Vec<String>,
-    replicas: Vec<Arc<Replica>>,
+    /// The append-only member list.  Swapped whole (never mutated in
+    /// place) so every reader takes one `Arc` snapshot; raw replica
+    /// indices carried by relays and split plans stay valid across
+    /// joins because members are only ever appended.
+    replicas: RwLock<Arc<Vec<Arc<Replica>>>>,
+    /// `(addr, weight)` pairs routing hashes over; rebuilt from the
+    /// member list on every membership change.
+    table: RoutingTable,
+    /// Serializes membership changes; the data path never takes it.
+    member_lock: Mutex<()>,
+    /// Upstream reader threads spawned for members that joined at
+    /// runtime, joined at shutdown after the static pool's threads.
+    joined_threads: Mutex<Vec<JoinHandle<()>>>,
     metrics: RouterMetrics,
     recorder: SpanRecorder,
     pacer: Pacer,
@@ -384,19 +425,39 @@ struct Inner {
     stop_upstream: AtomicBool,
 }
 
-/// Compute a key's routing order: rendezvous rank over the replica
-/// addresses, stable-sorted by health tier so healthier replicas come
-/// first but hash affinity survives within a tier.
-fn route_for(key: &str, addrs: &[String], tiers: &[u8]) -> Vec<usize> {
-    tier_route(&hash::rank(key, addrs), tiers)
+impl Inner {
+    /// The current member list.  Holders keep whatever snapshot they
+    /// took; a concurrent join never perturbs it.
+    fn members(&self) -> Arc<Vec<Arc<Replica>>> {
+        Arc::clone(&self.replicas.read().unwrap())
+    }
+}
+
+/// Compute a key's routing order: weighted rendezvous rank over the
+/// routing table, stable-sorted by health tier so healthier replicas
+/// come first but hash affinity survives within a tier.
+fn route_for(key: &str, table: &[(String, u64)], tiers: &[u8]) -> Vec<usize> {
+    tier_route(&hash::rank_weighted(key, table), tiers)
+}
+
+/// One coherent routing view: the `(addr, weight)` table snapshot and
+/// the matching health tiers.  The member list is read *after* the
+/// table and truncated to it — a join appends to the member list
+/// before swapping the table in, so the list is never the shorter of
+/// the two.
+fn routing_view(inner: &Inner) -> (Arc<Vec<(String, u64)>>, Vec<u8>) {
+    let table = inner.table.snapshot();
+    let reps = inner.members();
+    let tiers = reps.iter().take(table.len()).map(|r| r.tier()).collect();
+    (table, tiers)
 }
 
 /// Record the routing decision as an instantaneous span: the chosen
 /// candidate order, each annotated with its health tier.
-fn record_route_span(h: &TraceHandle, route: &[usize], addrs: &[String], tiers: &[u8]) {
+fn record_route_span(h: &TraceHandle, route: &[usize], table: &[(String, u64)], tiers: &[u8]) {
     let label = route
         .iter()
-        .map(|&i| format!("{}(t{})", addrs[i], tiers[i]))
+        .map(|&i| format!("{}(t{})", table[i].0, tiers[i]))
         .collect::<Vec<_>>()
         .join(" > ");
     h.event(ROOT_SPAN, "route", label, "ok");
@@ -475,8 +536,9 @@ fn span_detail_from(resp: &Response, replica_addr: &str) -> Vec<(String, Json)> 
 /// late duplicate reply is counted stale instead of re-settling.
 fn cleanup_outstanding(inner: &Inner, relay: &Relay) {
     let entries: Vec<OutstandingEntry> = std::mem::take(&mut *relay.outstanding.lock().unwrap());
+    let reps = inner.members();
     for e in entries {
-        inner.replicas[e.replica].conns[e.conn]
+        reps[e.replica].conns[e.conn]
             .pending
             .lock()
             .unwrap()
@@ -639,10 +701,11 @@ fn dispatch_attempt(inner: &Inner, relay: &Arc<Relay>, kind: AttemptKind) {
         );
         return;
     }
+    let reps = inner.members();
     let len = relay.route.len();
     for iter in 0..len {
         let pos = relay.cursor.fetch_add(1, Ordering::SeqCst) % len;
-        let replica = &inner.replicas[relay.route[pos]];
+        let replica = &reps[relay.route[pos]];
         let free = iter == 0 && matches!(kind, AttemptKind::Initial | AttemptKind::Hedge);
         if !free {
             relay.retries.fetch_add(1, Ordering::SeqCst);
@@ -718,7 +781,6 @@ fn conn_try_send(
             _ => None,
         },
         deadline_ms: Some(remaining.max(1)),
-        n: None,
         path: relay.path.clone(),
         alpha: relay.alpha,
         beta: relay.beta,
@@ -726,6 +788,8 @@ fn conn_try_send(
             trace_id: h.trace_id.clone(),
             parent_span: Some(span),
         }),
+        tenant: relay.tenant.clone(),
+        ..Default::default()
     }
     .render();
     let wrote = {
@@ -986,8 +1050,8 @@ fn dispatch_new_sub(inner: &Inner, plan: &Arc<ActivePlan>, d: Dispatch) {
     // re-stamp the window from the live aggregator, and the subtree
     // keeps its replica (cache) affinity across that.
     let key = format!("sub:{}#{}", plan.spec_text, path_text(&d.sub.path));
-    let tiers: Vec<u8> = inner.replicas.iter().map(|r| r.tier()).collect();
-    let route = route_for(&key, &inner.addrs, &tiers);
+    let (table, tiers) = routing_view(inner);
+    let route = route_for(&key, &table, &tiers);
     let sf = Arc::new(SubFlight {
         plan: Arc::clone(plan),
         level: d.level,
@@ -1007,10 +1071,11 @@ fn send_sub(inner: &Inner, sf: &Arc<SubFlight>, sub: &SubtreeSpec, kind: &'stati
     if sf.plan.answered.load(Ordering::SeqCst) {
         return;
     }
+    let reps = inner.members();
     let len = sf.route.len();
     for _ in 0..len {
         let pos = sf.cursor.fetch_add(1, Ordering::SeqCst) % len;
-        let replica = &inner.replicas[sf.route[pos]];
+        let replica = &reps[sf.route[pos]];
         if sub_try_send(inner, sf, replica, sub, kind).is_ok() {
             RouterMetrics::bump(&inner.metrics.subevals_dispatched);
             return;
@@ -1520,7 +1585,10 @@ fn probe_loop(inner: Arc<Inner>) {
     let interval = Duration::from_millis(inner.config.probe_interval_ms.max(10));
     let timeout = Duration::from_millis(inner.config.probe_timeout_ms.max(10));
     while !inner.stop_upstream.load(Ordering::SeqCst) {
-        for replica in &inner.replicas {
+        // Re-snapshot each round so members that joined since the
+        // last round are probed too.
+        let reps = inner.members();
+        for replica in reps.iter() {
             if inner.stop_upstream.load(Ordering::SeqCst) {
                 break;
             }
@@ -1636,11 +1704,11 @@ fn route_eval(
     if start_split_plan(inner, writer, window, &req, spec_c) {
         return;
     }
-    let tiers: Vec<u8> = inner.replicas.iter().map(|r| r.tier()).collect();
-    let route = route_for(&key, &inner.addrs, &tiers);
+    let (table, tiers) = routing_view(inner);
+    let route = route_for(&key, &table, &tiers);
     let trace = inner.recorder.begin(req.trace.as_ref(), &key);
     if let Some(h) = &trace {
-        record_route_span(h, &route, &inner.addrs, &tiers);
+        record_route_span(h, &route, &table, &tiers);
     }
     window.acquire(inner.config.client_window);
     let deadline_ms = req
@@ -1656,6 +1724,7 @@ fn route_eval(
         path: None,
         alpha: None,
         beta: None,
+        tenant: req.tenant.clone(),
         start: now,
         deadline: now + Duration::from_millis(deadline_ms),
         route,
@@ -1723,11 +1792,11 @@ fn route_subeval(
     let rendered = sub.render();
     let spec_c = rendered.split('#').next().unwrap_or(spec_text).to_string();
     let key = format!("sub:{}#{}", spec_c, path_text(&sub.path));
-    let tiers: Vec<u8> = inner.replicas.iter().map(|r| r.tier()).collect();
-    let route = route_for(&key, &inner.addrs, &tiers);
+    let (table, tiers) = routing_view(inner);
+    let route = route_for(&key, &table, &tiers);
     let trace = inner.recorder.begin(req.trace.as_ref(), &key);
     if let Some(h) = &trace {
-        record_route_span(h, &route, &inner.addrs, &tiers);
+        record_route_span(h, &route, &table, &tiers);
     }
     window.acquire(inner.config.client_window);
     let deadline_ms = req
@@ -1743,6 +1812,7 @@ fn route_subeval(
         path: Some(path_text(&sub.path)).filter(|p| !p.is_empty()),
         alpha: (sub.alpha != Value::MIN).then_some(sub.alpha),
         beta: (sub.beta != Value::MAX).then_some(sub.beta),
+        tenant: req.tenant.clone(),
         start: now,
         deadline: now + Duration::from_millis(deadline_ms),
         route,
@@ -1766,6 +1836,128 @@ fn route_subeval(
         }
     }
     dispatch_attempt(inner, &relay, AttemptKind::Initial);
+}
+
+// ---------------------------------------------------------------------------
+// Membership: the `join` control verb.
+// ---------------------------------------------------------------------------
+
+/// Rebuild the routing table from the member list.  Caller holds the
+/// membership lock.
+fn rebuild_table(inner: &Inner) {
+    let reps = inner.members();
+    inner.table.replace(
+        reps.iter()
+            .map(|r| (r.addr.clone(), r.weight.load(Ordering::Relaxed)))
+            .collect(),
+    );
+}
+
+/// Start the upstream reader threads for a member admitted at runtime
+/// (the static pool's threads are spawned in [`Router::start`]).
+fn spawn_member_threads(inner: &Arc<Inner>, replica: &Arc<Replica>) {
+    let mut handles = inner.joined_threads.lock().unwrap();
+    for ci in 0..replica.conns.len() {
+        let inner2 = Arc::clone(inner);
+        let replica2 = Arc::clone(replica);
+        if let Ok(h) = std::thread::Builder::new()
+            .name(format!("gt-router-up-{}-{}", replica.idx, ci))
+            .spawn(move || upstream_loop(inner2, replica2, ci))
+        {
+            handles.push(h);
+        }
+    }
+}
+
+/// Record a membership change as its own queryable trace.  The
+/// synthetic context pins the trace past sampling, so every admit /
+/// refresh / reweight leaves a span tree (when tracing is on at all).
+fn record_membership_trace(inner: &Inner, action: JoinAction, addr: &str, weight: u64, gen: u64) {
+    let ctx = TraceContext {
+        trace_id: format!("member-{}-v{}", addr, inner.table.version()),
+        parent_span: None,
+    };
+    if let Some(h) = inner.recorder.begin(Some(&ctx), "membership") {
+        let label = format!("{action:?} {addr} weight={weight} generation={gen}");
+        h.event(ROOT_SPAN, "member", label, "ok");
+        h.end(ROOT_SPAN, "ok");
+        inner.recorder.finish(&h);
+    }
+}
+
+/// Apply one `join` announcement under the membership lock and answer
+/// the announcer.  See [`crate::membership`] for the protocol.
+fn handle_join(inner: &Arc<Inner>, writer: &Arc<Mutex<TcpStream>>, req: &Request) {
+    let addr = req.addr.clone().unwrap_or_default();
+    let weight = req.weight.unwrap_or(membership::DEFAULT_WEIGHT);
+    let generation = req.generation.unwrap_or(0);
+    let _guard = inner.member_lock.lock().unwrap();
+    let reps = inner.members();
+    let existing = reps.iter().find(|r| r.addr == addr);
+    let action = membership::classify_join(
+        existing.map(|r| {
+            (
+                r.weight.load(Ordering::Relaxed),
+                r.generation.load(Ordering::Relaxed),
+            )
+        }),
+        weight,
+        generation,
+    );
+    inner.metrics.members.record(action);
+    match action {
+        JoinAction::Admit => {
+            let replica = Arc::new(Replica::new(
+                reps.len(),
+                addr.clone(),
+                inner.config.pool,
+                inner.config.health.clone(),
+                weight,
+            ));
+            replica.generation.store(generation, Ordering::Relaxed);
+            let mut grown: Vec<Arc<Replica>> = reps.as_ref().clone();
+            grown.push(Arc::clone(&replica));
+            // List first, then table: `routing_view` relies on the
+            // member list never being the shorter of the two.
+            *inner.replicas.write().unwrap() = Arc::new(grown);
+            rebuild_table(inner);
+            spawn_member_threads(inner, &replica);
+        }
+        JoinAction::Refresh => {
+            let r = existing.expect("refresh implies a known member");
+            r.weight.store(weight, Ordering::Relaxed);
+            r.generation.store(generation, Ordering::Relaxed);
+            rebuild_table(inner);
+        }
+        JoinAction::Reweight => {
+            let r = existing.expect("reweight implies a known member");
+            r.weight.store(weight, Ordering::Relaxed);
+            rebuild_table(inner);
+        }
+        JoinAction::Duplicate | JoinAction::Stale => {}
+    }
+    if !matches!(action, JoinAction::Duplicate | JoinAction::Stale) {
+        record_membership_trace(inner, action, &addr, weight, generation);
+    }
+    let action_name = match action {
+        JoinAction::Admit => "admitted",
+        JoinAction::Refresh => "refreshed",
+        JoinAction::Reweight => "reweighted",
+        JoinAction::Duplicate => "duplicate",
+        JoinAction::Stale => "stale",
+    };
+    write_line(
+        writer,
+        &ok_line(
+            &req.id,
+            vec![
+                ("member", Json::from(addr)),
+                ("action", Json::from(action_name)),
+                ("members", Json::from(inner.table.len())),
+                ("membership_version", Json::from(inner.table.version())),
+            ],
+        ),
+    );
 }
 
 fn handle_client_line(
@@ -1811,12 +2003,27 @@ fn handle_client_line(
                 vec![
                     ("version", Json::from(PROTOCOL_VERSION)),
                     ("role", Json::from("router")),
-                    ("replicas", Json::from(inner.replicas.len())),
+                    ("replicas", Json::from(inner.members().len())),
                 ],
             ),
         ),
         Op::Health => {
-            let routable = inner.replicas.iter().filter(|r| r.tier() < 3).count();
+            let reps = inner.members();
+            let routable = reps.iter().filter(|r| r.tier() < 3).count();
+            let members: Vec<Json> = reps
+                .iter()
+                .map(|r| {
+                    Json::obj([
+                        ("addr", Json::from(r.addr.as_str())),
+                        ("weight", Json::from(r.weight.load(Ordering::Relaxed))),
+                        (
+                            "generation",
+                            Json::from(r.generation.load(Ordering::Relaxed)),
+                        ),
+                        ("tier", Json::from(u64::from(r.tier()))),
+                    ])
+                })
+                .collect();
             write_line(
                 writer,
                 &ok_line(
@@ -1826,13 +2033,28 @@ fn handle_client_line(
                             "uptime_s",
                             Json::from(inner.metrics.uptime_us() as f64 / 1e6),
                         ),
-                        ("replicas", Json::from(inner.replicas.len())),
+                        ("replicas", Json::from(reps.len())),
                         ("routable", Json::from(routable)),
+                        ("membership_version", Json::from(inner.table.version())),
+                        ("members", Json::Array(members)),
                         (
                             "draining",
                             Json::Bool(inner.draining.load(Ordering::SeqCst)),
                         ),
                     ],
+                ),
+            );
+        }
+        Op::Join => handle_join(inner, writer, &req),
+        Op::Cachepull => {
+            RouterMetrics::bump(&inner.metrics.bad_request);
+            write_line(
+                writer,
+                &error_line_with(
+                    &req.id,
+                    ErrorCode::BadRequest,
+                    "cachepull is a replica verb; ask a gt-serve member directly",
+                    Vec::new(),
                 ),
             );
         }
@@ -2128,7 +2350,7 @@ fn snapshot_of(inner: &Inner) -> RouterSnapshot {
     let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
     let now_us = inner.metrics.uptime_us();
     let rows = inner
-        .replicas
+        .members()
         .iter()
         .map(|r| {
             let (state, ejects) = {
@@ -2145,6 +2367,8 @@ fn snapshot_of(inner: &Inner) -> RouterSnapshot {
                 addr: r.addr.clone(),
                 state: state.name(),
                 tier: state.tier(),
+                weight: r.weight.load(Ordering::Relaxed),
+                generation: r.generation.load(Ordering::Relaxed),
                 ejects,
                 sent: load(&r.counters.sent),
                 ok: load(&r.counters.ok),
@@ -2157,7 +2381,9 @@ fn snapshot_of(inner: &Inner) -> RouterSnapshot {
             }
         })
         .collect();
-    inner.metrics.snapshot(rows, inner.recorder.stats())
+    inner
+        .metrics
+        .snapshot(rows, inner.recorder.stats(), inner.table.version())
 }
 
 // ---------------------------------------------------------------------------
@@ -2204,22 +2430,13 @@ impl Router {
             .iter()
             .enumerate()
             .map(|(idx, addr)| {
-                Arc::new(Replica {
+                Arc::new(Replica::new(
                     idx,
-                    addr: addr.clone(),
-                    conns: (0..pool)
-                        .map(|_| {
-                            Arc::new(UpstreamConn {
-                                writer: Mutex::new(None),
-                                pending: Mutex::new(HashMap::new()),
-                            })
-                        })
-                        .collect(),
-                    rr: AtomicUsize::new(0),
-                    health: Mutex::new(HealthMachine::new(config.health.clone())),
-                    counters: ReplicaCounters::default(),
-                    last_probe_us: AtomicU64::new(u64::MAX),
-                })
+                    addr.clone(),
+                    pool,
+                    config.health.clone(),
+                    membership::DEFAULT_WEIGHT,
+                ))
             })
             .collect();
         let listener = TcpListener::bind(&config.addr)?;
@@ -2228,8 +2445,10 @@ impl Router {
         let recorder = SpanRecorder::new(config.trace_sample, config.trace_ring);
         let inner = Arc::new(Inner {
             config,
-            addrs,
-            replicas,
+            table: RoutingTable::seeded(&addrs),
+            replicas: RwLock::new(Arc::new(replicas)),
+            member_lock: Mutex::new(()),
+            joined_threads: Mutex::new(Vec::new()),
             metrics: RouterMetrics::default(),
             pacer: Pacer::new(),
             seq: AtomicU64::new(0),
@@ -2245,7 +2464,7 @@ impl Router {
                 .spawn(move || pacer_loop(inner2))?
         };
         let mut upstream_threads = Vec::new();
-        for replica in &inner.replicas {
+        for replica in inner.members().iter() {
             for ci in 0..replica.conns.len() {
                 let inner2 = Arc::clone(&inner);
                 let replica2 = Arc::clone(replica);
@@ -2313,9 +2532,14 @@ impl Router {
         self.local_addr
     }
 
-    /// The upstream replica addresses, spawned ones included.
-    pub fn replica_addrs(&self) -> &[String] {
-        &self.inner.addrs
+    /// The upstream replica addresses, spawned and joined ones
+    /// included.
+    pub fn replica_addrs(&self) -> Vec<String> {
+        self.inner
+            .members()
+            .iter()
+            .map(|r| r.addr.clone())
+            .collect()
     }
 
     /// The bound `/metrics` address, when the listener is enabled.
@@ -2366,6 +2590,9 @@ impl Router {
         }
         self.inner.stop_upstream.store(true, Ordering::SeqCst);
         for h in self.upstream_threads.drain(..) {
+            let _ = h.join();
+        }
+        for h in std::mem::take(&mut *self.inner.joined_threads.lock().unwrap()) {
             let _ = h.join();
         }
         if let Some(h) = self.probe_thread.take() {
@@ -2419,15 +2646,15 @@ mod tests {
 
     #[test]
     fn route_prefers_health_but_keeps_affinity_within_a_tier() {
-        let addrs: Vec<String> = (0..3).map(|i| format!("10.0.0.{i}:7171")).collect();
+        let table: Vec<(String, u64)> = (0..3).map(|i| (format!("10.0.0.{i}:7171"), 1)).collect();
         let key = "worst:d=3,n=8|cascade:w=1";
-        let all_up = route_for(key, &addrs, &[0, 0, 0]);
+        let all_up = route_for(key, &table, &[0, 0, 0]);
         // Same key, same fleet: same route, every time.
-        assert_eq!(all_up, route_for(key, &addrs, &[0, 0, 0]));
+        assert_eq!(all_up, route_for(key, &table, &[0, 0, 0]));
         // Eject the owner: it drops to the back, the rest keep order.
         let mut tiers = [0u8; 3];
         tiers[all_up[0]] = 3;
-        let rerouted = route_for(key, &addrs, &tiers);
+        let rerouted = route_for(key, &table, &tiers);
         assert_eq!(rerouted[2], all_up[0]);
         assert_eq!(rerouted[..2], all_up[1..]);
     }
@@ -2535,6 +2762,73 @@ mod tests {
         assert_eq!(snap.splits_total, 1, "{snap:?}");
         assert_eq!(snap.subevals_skipped_on_cutoff, 3, "{snap:?}");
         assert_eq!(snap.subevals_dispatched, 7, "{snap:?}");
+    }
+
+    #[test]
+    fn join_admits_reweights_and_rejects_stale_announcements() {
+        let router = Router::start(RouterConfig {
+            spawn: 1,
+            ..RouterConfig::default()
+        })
+        .unwrap();
+        let extra = gt_serve::Server::start(gt_serve::Config {
+            addr: "127.0.0.1:0".into(),
+            ..gt_serve::Config::default()
+        })
+        .unwrap();
+        let addr = extra.local_addr().to_string();
+        let mut client = Client::connect(router.local_addr()).unwrap();
+
+        let action = |resp: &gt_serve::protocol::Response| {
+            resp.body
+                .get("action")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string()
+        };
+        // Admit: unknown address joins the fleet.
+        let r = client.send(&Request::join(&addr, 2, 1)).unwrap();
+        assert!(r.ok, "{r:?}");
+        assert_eq!(action(&r), "admitted");
+        assert_eq!(r.body.get("members").and_then(Json::as_u64), Some(2));
+        // Announce retries are idempotent.
+        let r = client.send(&Request::join(&addr, 2, 1)).unwrap();
+        assert_eq!(action(&r), "duplicate");
+        // Same generation, new weight: reweight in place.
+        let r = client.send(&Request::join(&addr, 5, 1)).unwrap();
+        assert_eq!(action(&r), "reweighted");
+        // An old announcement arriving late changes nothing.
+        let r = client.send(&Request::join(&addr, 9, 0)).unwrap();
+        assert_eq!(action(&r), "stale");
+        assert_eq!(r.body.get("members").and_then(Json::as_u64), Some(2));
+
+        // Health enumerates the membership with weight and generation.
+        let h = client.health().unwrap();
+        assert_eq!(h.body.get("replicas").and_then(Json::as_u64), Some(2));
+        let members = match h.body.get("members") {
+            Some(Json::Array(ms)) => ms.clone(),
+            other => panic!("members not an array: {other:?}"),
+        };
+        let joined = members
+            .iter()
+            .find(|m| m.get("addr").and_then(Json::as_str) == Some(addr.as_str()))
+            .expect("joined member listed");
+        assert_eq!(joined.get("weight").and_then(Json::as_u64), Some(5));
+        assert_eq!(joined.get("generation").and_then(Json::as_u64), Some(1));
+
+        // The fleet still answers evals after the churn, and stats
+        // reports the membership counters.
+        let reply = client.eval("worst:d=2,n=6", "cascade:w=1", None).unwrap();
+        assert!(reply.ok, "{reply:?}");
+        let snap = router.join();
+        assert_eq!(snap.members_joined, 1, "{snap:?}");
+        assert_eq!(snap.members_reweighted, 1, "{snap:?}");
+        assert_eq!(snap.members_duplicate_joins, 1, "{snap:?}");
+        assert_eq!(snap.members_stale_joins, 1, "{snap:?}");
+        assert_eq!(snap.replicas.len(), 2);
+        assert!(snap.membership_version >= 2, "{snap:?}");
+        extra.request_shutdown();
+        extra.join();
     }
 
     #[test]

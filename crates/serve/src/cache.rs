@@ -190,10 +190,28 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// [`insert`](Self::insert), reporting what happened so callers
     /// can keep exact admission/eviction accounts.
     pub fn insert_reporting(&mut self, key: K, value: V) -> InsertOutcome<K> {
+        self.insert_stamped(key, value, self.stamp())
+    }
+
+    /// Insert an entry that is already `age` old — the restore half of
+    /// snapshot/warm-fill.  An entry at or past the TTL is dropped
+    /// (and counted as a TTL eviction) instead of stored, so a stale
+    /// snapshot can never resurrect expired results.
+    pub fn insert_aged(&mut self, key: K, value: V, age: Duration) -> InsertOutcome<K> {
+        if let Some(ttl) = self.ttl {
+            if age >= ttl {
+                self.ttl_evictions += 1;
+                return InsertOutcome::Dropped;
+            }
+        }
+        let stamp = self.stamp().checked_sub(age).unwrap_or(self.epoch);
+        self.insert_stamped(key, value, stamp)
+    }
+
+    fn insert_stamped(&mut self, key: K, value: V, stamp: Instant) -> InsertOutcome<K> {
         if self.capacity == 0 {
             return InsertOutcome::Dropped;
         }
-        let stamp = self.stamp();
         if let Some(&i) = self.map.get(&key) {
             self.slots[i].value = value;
             self.slots[i].stamp = stamp;
@@ -226,6 +244,32 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.insert(key, i);
         self.push_front(i);
         outcome
+    }
+
+    /// Walk the live entries most-recently-used first, yielding each
+    /// key, value, and age.  TTL-expired entries are skipped (but not
+    /// removed — expiry stays lazy on lookup).  Without a TTL every
+    /// age reads 0: the no-TTL path never stamps a real clock.
+    pub fn export(&self) -> Vec<(K, V, Duration)>
+    where
+        V: Clone,
+    {
+        let mut out = Vec::with_capacity(self.map.len());
+        let now = Instant::now();
+        let mut i = self.head;
+        while i != NIL {
+            let slot = &self.slots[i];
+            let age = if self.ttl.is_some() {
+                now.saturating_duration_since(slot.stamp)
+            } else {
+                Duration::ZERO
+            };
+            if self.ttl.map(|ttl| age < ttl).unwrap_or(true) {
+                out.push((slot.key.clone(), slot.value.clone(), age));
+            }
+            i = slot.next;
+        }
+        out
     }
 }
 
@@ -394,6 +438,54 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
             }
             InsertOutcome::Refreshed | InsertOutcome::Dropped => {}
         }
+    }
+
+    /// [`insert`](Self::insert) for an entry that is already `age`
+    /// old — the restore half of snapshot/warm-fill.  Returns whether
+    /// the entry was actually stored (an entry past the TTL, or any
+    /// entry into a zero-capacity cache, is dropped).
+    pub fn insert_aged(&self, key: K, value: V, age: Duration) -> bool {
+        let outcome = self
+            .shard(&key)
+            .lock()
+            .unwrap()
+            .insert_aged(key, value, age);
+        match outcome {
+            InsertOutcome::Stored => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            InsertOutcome::Evicted(_) => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            InsertOutcome::Refreshed => true,
+            InsertOutcome::Dropped => false,
+        }
+    }
+
+    /// Up to `limit` live entries across all shards,
+    /// most-recently-used first within each shard, with their ages.
+    /// TTL-expired entries are excluded.  `limit` 0 means no bound.
+    /// This is the scan behind `op:"cachepull"` and snapshot writes;
+    /// shards are locked one at a time, never all at once.
+    pub fn export(&self, limit: usize) -> Vec<(K, V, Duration)> {
+        let bound = if limit == 0 { usize::MAX } else { limit };
+        let mut out = Vec::new();
+        for s in &self.shards {
+            if out.len() >= bound {
+                break;
+            }
+            let shard = s.lock().unwrap();
+            for entry in shard.export() {
+                if out.len() >= bound {
+                    break;
+                }
+                out.push(entry);
+            }
+        }
+        out
     }
 
     /// Counters plus per-shard occupancy and evictions.  Counters are
@@ -614,6 +706,61 @@ mod tests {
         use gt_analysis::Json;
         assert_eq!(j.get("ttl_evictions").and_then(Json::as_u64), Some(6));
         assert_eq!(j.get("ttl_ms").and_then(Json::as_u64), Some(15));
+    }
+
+    #[test]
+    fn export_walks_mru_first_and_skips_expired() {
+        let mut c = LruCache::with_ttl(8, Some(Duration::from_millis(30)));
+        c.insert("stale", 0);
+        std::thread::sleep(Duration::from_millis(50));
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // promote a to MRU
+        let entries = c.export();
+        let keys: Vec<&str> = entries.iter().map(|(k, _, _)| *k).collect();
+        assert_eq!(keys, vec!["a", "b"], "MRU first, expired skipped");
+        for (_, _, age) in &entries {
+            assert!(*age < Duration::from_millis(30));
+        }
+        // Export is read-only: the expired entry still expires lazily.
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&"stale"), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn insert_aged_backdates_the_ttl_clock() {
+        let mut c = LruCache::with_ttl(8, Some(Duration::from_millis(60)));
+        // Already past the TTL: dropped, counted as a TTL eviction.
+        assert_eq!(
+            c.insert_aged("dead", 0, Duration::from_millis(120)),
+            InsertOutcome::Dropped
+        );
+        assert_eq!(c.ttl_evictions(), 1);
+        assert!(c.is_empty());
+        // Backdated by 40ms of a 60ms TTL: expires ~20ms from now.
+        c.insert_aged("old", 1, Duration::from_millis(40));
+        assert_eq!(c.get(&"old"), Some(&1));
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(c.get(&"old"), None, "backdated entry ages out early");
+    }
+
+    #[test]
+    fn sharded_export_restore_round_trips() {
+        let a: ShardedCache<u32, u32> = ShardedCache::with_ttl(64, 4, None);
+        for k in 0..20u32 {
+            a.insert(k, k * 7);
+        }
+        let dump = a.export(0);
+        assert_eq!(dump.len(), 20);
+        assert!(a.export(5).len() == 5, "limit bounds the scan");
+        let b: ShardedCache<u32, u32> = ShardedCache::with_ttl(64, 4, None);
+        for (k, v, age) in dump {
+            assert!(b.insert_aged(k, v, age));
+        }
+        for k in 0..20u32 {
+            assert_eq!(b.get(&k), Some(k * 7));
+        }
     }
 
     #[test]

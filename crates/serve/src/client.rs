@@ -98,16 +98,8 @@ impl Client {
 
     fn control(&mut self, op: Op) -> std::io::Result<Response> {
         self.send(&Request {
-            id: None,
             op,
-            spec: None,
-            algo: None,
-            deadline_ms: None,
-            n: None,
-            path: None,
-            alpha: None,
-            beta: None,
-            trace: None,
+            ..Default::default()
         })
     }
 

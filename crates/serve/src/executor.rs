@@ -179,6 +179,215 @@ impl<J> Scheduler<J> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Per-tenant fairness: deficit round-robin over tenant lanes.
+// ---------------------------------------------------------------------------
+
+/// One tenant's lane: its own [`Scheduler`] (so the small/large and
+/// per-algorithm disciplines hold *within* the tenant) plus its DRR
+/// deficit.
+struct TenantLane<J> {
+    sched: Scheduler<J>,
+    /// Jobs this lane may still dispatch in its current turn.
+    deficit: u64,
+}
+
+/// Deficit-round-robin across per-tenant lanes, layered over the
+/// per-algorithm [`Scheduler`] discipline.
+///
+/// Every submitted job carries a tenant id (the anonymous tenant `""`
+/// is a lane like any other).  A lane with queued work is visited in
+/// round-robin order and granted a `quantum` of dispatch credit; each
+/// dispatch costs the number of jobs it pops, and the cursor only
+/// moves on when the lane's credit is spent or its queue drains.  A
+/// tenant flooding the queue therefore cannot starve another: each
+/// nonempty lane dispatches ~`quantum` jobs per cycle regardless of
+/// how deep any one lane's backlog is.
+///
+/// The cost unit is *jobs dispatched*, not engine time — a large job
+/// costs one unit just like a small one.  Runtime skew from expensive
+/// jobs is bounded separately, by the per-tenant inflight cap
+/// ([`TenantGovernor`]) and the router's deadline machinery.
+///
+/// Capacity is global across lanes, same contract as [`Scheduler`]:
+/// a push past the bound fails fast so the server sheds instead of
+/// building invisible backlog.
+pub struct TenantScheduler<J> {
+    lanes: Vec<TenantLane<J>>,
+    index: HashMap<String, usize>,
+    /// Round-robin cursor over `lanes`.
+    cursor: usize,
+    len: usize,
+    capacity: usize,
+    quantum: u64,
+}
+
+impl<J> TenantScheduler<J> {
+    /// A scheduler admitting at most `capacity` queued jobs across
+    /// all tenants, granting `quantum` jobs of credit per DRR turn
+    /// (both clamped to at least 1).
+    pub fn new(capacity: usize, quantum: u64) -> Self {
+        TenantScheduler {
+            lanes: Vec::new(),
+            index: HashMap::new(),
+            cursor: 0,
+            len: 0,
+            capacity: capacity.max(1),
+            quantum: quantum.max(1),
+        }
+    }
+
+    /// Queued jobs across all tenants.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured global bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs queued for one tenant.
+    pub fn queued_for(&self, tenant: &str) -> usize {
+        self.index
+            .get(tenant)
+            .map_or(0, |&ti| self.lanes[ti].sched.len())
+    }
+
+    /// Enqueue `job` for `tenant` on `algo`'s queue in its class
+    /// band; returns the job when the global bound is reached.
+    pub fn push(&mut self, tenant: &str, algo: &str, class: CostClass, job: J) -> Result<(), J> {
+        if self.len >= self.capacity {
+            return Err(job);
+        }
+        let ti = match self.index.get(tenant) {
+            Some(&ti) => ti,
+            None => {
+                let ti = self.lanes.len();
+                self.lanes.push(TenantLane {
+                    // The global bound is enforced here, so the inner
+                    // scheduler's own bound must never bind first.
+                    sched: Scheduler::new(self.capacity),
+                    deficit: 0,
+                });
+                self.index.insert(tenant.to_string(), ti);
+                ti
+            }
+        };
+        self.lanes[ti].sched.push(algo, class, job)?;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Dequeue the next dispatch from the lane whose DRR turn it is:
+    /// up to `batch_max` jobs (further capped by the lane's remaining
+    /// credit), chosen by the lane's own small/large discipline.  An
+    /// empty lane forfeits its credit and its turn.
+    pub fn pop_batch(&mut self, batch_max: usize) -> Vec<J> {
+        let n = self.lanes.len();
+        if n == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        for step in 0..n {
+            let ti = (self.cursor + step) % n;
+            if self.lanes[ti].sched.is_empty() {
+                self.lanes[ti].deficit = 0;
+                continue;
+            }
+            let quantum = self.quantum;
+            let lane = &mut self.lanes[ti];
+            if lane.deficit == 0 {
+                lane.deficit = quantum;
+            }
+            let cap = lane.deficit.min(batch_max.max(1) as u64) as usize;
+            let batch = lane.sched.pop_batch(cap);
+            self.len -= batch.len();
+            lane.deficit = lane.deficit.saturating_sub(batch.len() as u64);
+            if lane.sched.is_empty() {
+                lane.deficit = 0;
+            }
+            // A lane with credit left keeps the floor; otherwise the
+            // next lane is up.
+            self.cursor = if lane.deficit > 0 { ti } else { (ti + 1) % n };
+            return batch;
+        }
+        Vec::new()
+    }
+}
+
+/// Per-tenant inflight governor: admission control for
+/// `--tenant-max-inflight`.
+///
+/// A leader flight acquires a slot for its tenant before entering the
+/// executor and holds it until the flight publishes; past the cap the
+/// server sheds that tenant's request with `429` + `retry_after_ms`
+/// while other tenants sail on.  The anonymous tenant (`""`) is never
+/// limited — untagged traffic keeps the pre-tenant behaviour, bounded
+/// only by the global queue.
+pub struct TenantGovernor {
+    /// Per-tenant inflight cap; `0` disables the governor entirely.
+    max_inflight: usize,
+    counts: Mutex<HashMap<String, usize>>,
+}
+
+impl TenantGovernor {
+    pub fn new(max_inflight: usize) -> TenantGovernor {
+        TenantGovernor {
+            max_inflight,
+            counts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether the governor does anything at all.
+    pub fn enabled(&self) -> bool {
+        self.max_inflight > 0
+    }
+
+    /// Claim a slot for `tenant`; `false` means the tenant is at its
+    /// cap and the request should be shed.
+    pub fn try_acquire(&self, tenant: &str) -> bool {
+        if self.max_inflight == 0 || tenant.is_empty() {
+            return true;
+        }
+        let mut counts = self.counts.lock().unwrap();
+        let n = counts.entry(tenant.to_string()).or_insert(0);
+        if *n >= self.max_inflight {
+            return false;
+        }
+        *n += 1;
+        true
+    }
+
+    /// Release a slot claimed by [`try_acquire`](Self::try_acquire).
+    pub fn release(&self, tenant: &str) {
+        if self.max_inflight == 0 || tenant.is_empty() {
+            return;
+        }
+        let mut counts = self.counts.lock().unwrap();
+        if let Some(n) = counts.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                counts.remove(tenant);
+            }
+        }
+    }
+
+    /// Flights `tenant` currently has inside the evaluation pipeline.
+    pub fn inflight(&self, tenant: &str) -> usize {
+        self.counts
+            .lock()
+            .unwrap()
+            .get(tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
 /// Effective small-batch cap for the current backlog: spread the
 /// queued jobs evenly across the worker pool instead of always filling
 /// a dispatch to `batch_max`.
@@ -286,7 +495,7 @@ impl Default for ExecutorConfig {
 }
 
 struct Core<J> {
-    sched: Scheduler<J>,
+    sched: TenantScheduler<J>,
     closed: bool,
 }
 
@@ -316,7 +525,7 @@ impl<J: Send + 'static> Executor<J> {
     {
         let shared = Arc::new(ExecutorShared {
             core: Mutex::new(Core {
-                sched: Scheduler::new(config.queue_depth),
+                sched: TenantScheduler::new(config.queue_depth, config.batch_max.max(1) as u64),
                 closed: false,
             }),
             cv: Condvar::new(),
@@ -337,15 +546,27 @@ impl<J: Send + 'static> Executor<J> {
         }
     }
 
-    /// Submit one job; fails fast when the queue is at its bound or
-    /// the executor is closed.
+    /// Submit one job for the anonymous tenant; fails fast when the
+    /// queue is at its bound or the executor is closed.
     pub fn submit(&self, algo: &str, class: CostClass, job: J) -> Result<(), SubmitError> {
+        self.submit_tagged("", algo, class, job)
+    }
+
+    /// Submit one job for `tenant`; jobs are dispatched under deficit
+    /// round-robin across tenants (see [`TenantScheduler`]).
+    pub fn submit_tagged(
+        &self,
+        tenant: &str,
+        algo: &str,
+        class: CostClass,
+        job: J,
+    ) -> Result<(), SubmitError> {
         let mut core = self.shared.core.lock().unwrap();
         if core.closed {
             return Err(SubmitError::Closed);
         }
         core.sched
-            .push(algo, class, job)
+            .push(tenant, algo, class, job)
             .map_err(|_| SubmitError::Full)?;
         drop(core);
         self.shared.cv.notify_one();
@@ -519,6 +740,140 @@ mod tests {
         let _a = g.enter();
         assert_eq!(g.par_grant(8), 1);
         assert_eq!(g.par_grant(0), 1); // degenerate cap clamps up
+    }
+
+    #[test]
+    fn tenant_drr_shares_dispatches_between_backlogged_tenants() {
+        // Tenant "flood" queues 40 jobs, tenant "calm" queues 8.
+        // With a quantum of 4 the dispatch stream must alternate
+        // 4-job turns until calm drains, instead of serving flood's
+        // whole backlog first.
+        let mut s: TenantScheduler<&'static str> = TenantScheduler::new(64, 4);
+        for _ in 0..40 {
+            s.push("flood", "a", CostClass::Small, "flood").unwrap();
+        }
+        for _ in 0..8 {
+            s.push("calm", "a", CostClass::Small, "calm").unwrap();
+        }
+        let mut calm_done_at = None;
+        let mut served = 0usize;
+        while !s.is_empty() {
+            let batch = s.pop_batch(16);
+            assert!(!batch.is_empty());
+            served += batch.len();
+            if calm_done_at.is_none() && s.queued_for("calm") == 0 {
+                calm_done_at = Some(served);
+            }
+        }
+        assert_eq!(served, 48);
+        // Calm's 8 jobs ride along in the first few cycles: by the
+        // time ~2 full cycles (2 × (4+4) = 16 jobs) have been served,
+        // calm must be drained.  FIFO-by-arrival would have made calm
+        // wait for all 40 flood jobs.
+        assert!(
+            calm_done_at.unwrap() <= 16,
+            "calm drained only after {} dispatched jobs",
+            calm_done_at.unwrap()
+        );
+    }
+
+    #[test]
+    fn tenant_lane_keeps_the_floor_while_it_has_credit() {
+        // quantum 4, batch cap 2: a lane's turn spans two dispatches
+        // before the cursor moves on.
+        let mut s: TenantScheduler<u32> = TenantScheduler::new(64, 4);
+        for i in 0..8 {
+            s.push("a", "x", CostClass::Small, 10 + i).unwrap();
+            s.push("b", "x", CostClass::Small, 20 + i).unwrap();
+        }
+        assert_eq!(s.pop_batch(2), vec![10, 11]);
+        assert_eq!(s.pop_batch(2), vec![12, 13]); // credit left: same lane
+        assert_eq!(s.pop_batch(2), vec![20, 21]); // quantum spent: next lane
+        assert_eq!(s.pop_batch(2), vec![22, 23]);
+        assert_eq!(s.pop_batch(2), vec![14, 15]);
+    }
+
+    #[test]
+    fn tenant_scheduler_keeps_small_over_large_within_a_lane() {
+        let mut s: TenantScheduler<u32> = TenantScheduler::new(16, 8);
+        s.push("t", "a", CostClass::Large, 100).unwrap();
+        s.push("t", "a", CostClass::Small, 1).unwrap();
+        assert_eq!(s.pop_batch(8), vec![1]);
+        assert_eq!(s.pop_batch(8), vec![100]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn tenant_scheduler_capacity_is_global_across_lanes() {
+        let mut s: TenantScheduler<u32> = TenantScheduler::new(2, 4);
+        s.push("a", "x", CostClass::Small, 1).unwrap();
+        s.push("b", "x", CostClass::Small, 2).unwrap();
+        assert_eq!(s.push("c", "x", CostClass::Small, 3), Err(3));
+        let _ = s.pop_batch(8);
+        assert!(s.push("c", "x", CostClass::Small, 3).is_ok());
+    }
+
+    #[test]
+    fn governor_caps_each_tenant_but_never_the_anonymous_lane() {
+        let g = TenantGovernor::new(2);
+        assert!(g.enabled());
+        assert!(g.try_acquire("a"));
+        assert!(g.try_acquire("a"));
+        assert!(!g.try_acquire("a"), "third flight must shed");
+        // Another tenant is unaffected.
+        assert!(g.try_acquire("b"));
+        // Anonymous traffic is never limited.
+        for _ in 0..10 {
+            assert!(g.try_acquire(""));
+        }
+        g.release("a");
+        assert_eq!(g.inflight("a"), 1);
+        assert!(g.try_acquire("a"));
+        // Disabled governor admits everything.
+        let off = TenantGovernor::new(0);
+        assert!(!off.enabled());
+        for _ in 0..100 {
+            assert!(off.try_acquire("a"));
+        }
+    }
+
+    #[test]
+    fn executor_runs_tagged_jobs_from_every_tenant() {
+        let total = Arc::new(AtomicUsize::new(0));
+        let exec: Executor<usize> = Executor::start(
+            ExecutorConfig {
+                workers: 2,
+                queue_depth: 256,
+                batch_max: 4,
+            },
+            {
+                let total = Arc::clone(&total);
+                move |batch: Vec<usize>| {
+                    total.fetch_add(batch.iter().sum::<usize>(), Ordering::SeqCst);
+                }
+            },
+        );
+        let mut want = 0usize;
+        for i in 1..=60usize {
+            let tenant = ["", "team-a", "team-b"][i % 3];
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                match exec.submit_tagged(tenant, "algo", CostClass::Small, i) {
+                    Ok(()) => break,
+                    Err(SubmitError::Full) if Instant::now() < deadline => {
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => panic!("submit failed: {e:?}"),
+                }
+            }
+            want += i;
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while total.load(Ordering::SeqCst) < want && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(1));
+        }
+        exec.shutdown();
+        assert_eq!(total.load(Ordering::SeqCst), want);
     }
 
     #[test]

@@ -88,14 +88,17 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod singleflight;
+pub mod snapshot;
 pub mod trace;
 pub mod workload;
 
 pub use cache::{CacheStats, LruCache, ShardedCache};
 pub use client::Client;
-pub use executor::{CostClass, Executor, ExecutorConfig, Scheduler, SubmitError};
+pub use executor::{
+    CostClass, Executor, ExecutorConfig, Scheduler, SubmitError, TenantGovernor, TenantScheduler,
+};
 pub use io::{BufferPool, LineAction, LineReader, Poller, Waker};
-pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, TenantReport};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use protocol::{ErrorCode, Op, Request, Response};
 pub use server::{Config, Server};

@@ -82,6 +82,11 @@ pub struct LoadgenConfig {
     /// Requires the target to be a router with tracing enabled; 0
     /// disables.
     pub sample_traces: usize,
+    /// Multi-tenant mode (`--tenants N`): tag requests round-robin
+    /// with tenants `t0..t{N-1}` and break the report out per tenant
+    /// (sent/ok/shed and latency quantiles).  0 sends untagged
+    /// requests, exactly as before tenancy existed.
+    pub tenants: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -100,7 +105,20 @@ impl Default for LoadgenConfig {
             split_heavy: false,
             include_server_stats: false,
             sample_traces: 0,
+            tenants: 0,
         }
+    }
+}
+
+/// The tenant tag for one request: round-robin `t0..t{N-1}` over the
+/// request sequence when multi-tenant mode is on, `None` otherwise.
+/// The connection index is folded in so single-request connections
+/// still spread across tenants.
+fn tenant_for(config: &LoadgenConfig, conn: usize, seq: u64) -> Option<String> {
+    if config.tenants == 0 {
+        None
+    } else {
+        Some(format!("t{}", (conn as u64 + seq) % config.tenants as u64))
     }
 }
 
@@ -142,9 +160,30 @@ struct Tally {
     latencies_us: Vec<f64>,
     /// `(latency_us, trace_id)` of each ok reply that carried one.
     traced: Vec<(f64, String)>,
+    /// Per-tenant slices, populated when [`LoadgenConfig::tenants`]
+    /// tags requests.
+    tenants: HashMap<String, TenantTally>,
+}
+
+/// One tenant's slice of a [`Tally`].
+#[derive(Debug, Default, Clone)]
+struct TenantTally {
+    sent: u64,
+    ok: u64,
+    shed: u64,
+    latencies_us: Vec<f64>,
 }
 
 impl Tally {
+    /// Count one request sent, on the run total and on the tenant's
+    /// slice when the request was tagged.
+    fn note_sent(&mut self, tenant: Option<&str>) {
+        self.sent += 1;
+        if let Some(t) = tenant {
+            self.tenants.entry(t.to_string()).or_default().sent += 1;
+        }
+    }
+
     fn absorb(&mut self, other: Tally) {
         self.sent += other.sent;
         self.ok += other.ok;
@@ -159,6 +198,13 @@ impl Tally {
         self.retry_hints += other.retry_hints;
         self.latencies_us.extend(other.latencies_us);
         self.traced.extend(other.traced);
+        for (name, t) in other.tenants {
+            let mine = self.tenants.entry(name).or_default();
+            mine.sent += t.sent;
+            mine.ok += t.ok;
+            mine.shed += t.shed;
+            mine.latencies_us.extend(t.latencies_us);
+        }
     }
 }
 
@@ -212,6 +258,53 @@ pub struct LoadgenReport {
     /// when [`LoadgenConfig::sample_traces`] `> 0`.  Each entry is
     /// `{"latency_us":..., "trace":{"trace_id":...,"spans":[...]}}`.
     pub sampled_traces: Vec<Json>,
+    /// Per-tenant breakdown, sorted by tenant tag.  Empty unless
+    /// [`LoadgenConfig::tenants`] tagged the run's requests.
+    pub tenants: Vec<TenantReport>,
+}
+
+/// One tenant's slice of a [`LoadgenReport`]: how a single tenant
+/// fared inside a shared run — the view that makes fairness (or its
+/// absence) visible when one tenant floods the server.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant tag (`t0`, `t1`, ...).
+    pub tenant: String,
+    /// Requests sent under this tag.
+    pub sent: u64,
+    /// Successful replies.
+    pub ok: u64,
+    /// 429 `busy` rejections (queue full or tenant over its inflight
+    /// cap).
+    pub shed: u64,
+    /// Client-observed latencies of this tenant's successful replies,
+    /// microseconds.
+    pub latencies_us: Vec<f64>,
+}
+
+impl TenantReport {
+    /// Latency quantile over this tenant's successful replies.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        if self.latencies_us.is_empty() {
+            None
+        } else {
+            Some(percentile(&self.latencies_us, q))
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let quantile = |q: f64| match self.latency_quantile(q) {
+            Some(v) => Json::from(v),
+            None => Json::Null,
+        };
+        Json::obj([
+            ("sent", Json::from(self.sent)),
+            ("ok", Json::from(self.ok)),
+            ("shed", Json::from(self.shed)),
+            ("latency_p50_us", quantile(0.50)),
+            ("latency_p99_us", quantile(0.99)),
+        ])
+    }
 }
 
 impl LoadgenReport {
@@ -272,6 +365,15 @@ impl LoadgenReport {
                 },
             ),
             ("sampled_traces", Json::Array(self.sampled_traces.clone())),
+            (
+                "tenants",
+                Json::Object(
+                    self.tenants
+                        .iter()
+                        .map(|t| (t.tenant.clone(), t.to_json()))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -317,6 +419,18 @@ impl LoadgenReport {
                 self.latency_quantile(0.50).unwrap_or(0.0),
                 self.latency_quantile(0.90).unwrap_or(0.0),
                 self.latency_quantile(0.99).unwrap_or(0.0),
+            );
+        }
+        for t in &self.tenants {
+            let _ = writeln!(
+                out,
+                "tenant {}: sent {}  ok {}  shed {}  p50 {:.0}us  p99 {:.0}us",
+                t.tenant,
+                t.sent,
+                t.ok,
+                t.shed,
+                t.latency_quantile(0.50).unwrap_or(0.0),
+                t.latency_quantile(0.99).unwrap_or(0.0),
             );
         }
         if !self.traced_latencies_us.is_empty() {
@@ -435,7 +549,12 @@ fn honor_shed_hint(tally: &mut Tally, reply: &crate::protocol::Response) {
     }
 }
 
-fn classify(tally: &mut Tally, reply: &crate::protocol::Response, latency_us: Option<f64>) {
+fn classify(
+    tally: &mut Tally,
+    tenant: Option<&str>,
+    reply: &crate::protocol::Response,
+    latency_us: Option<f64>,
+) {
     if reply.ok {
         tally.ok += 1;
         if reply.cached() {
@@ -444,16 +563,32 @@ fn classify(tally: &mut Tally, reply: &crate::protocol::Response, latency_us: Op
         if reply.coalesced() {
             tally.coalesced += 1;
         }
+        if let Some(t) = tenant {
+            tally.tenants.entry(t.to_string()).or_default().ok += 1;
+        }
         if let Some(us) = latency_us {
             tally.latencies_us.push(us);
             if let Some(tid) = reply.trace_id() {
                 tally.traced.push((us, tid.to_string()));
             }
+            if let Some(t) = tenant {
+                tally
+                    .tenants
+                    .entry(t.to_string())
+                    .or_default()
+                    .latencies_us
+                    .push(us);
+            }
         }
         return;
     }
     match reply.status {
-        429 => tally.shed += 1,
+        429 => {
+            tally.shed += 1;
+            if let Some(t) = tenant {
+                tally.tenants.entry(t.to_string()).or_default().shed += 1;
+            }
+        }
         408 => tally.timeout += 1,
         400 => tally.bad += 1,
         503 => tally.draining += 1,
@@ -489,13 +624,22 @@ fn connection_worker(
             }
         }
         let spec = spec_for(config, conn, i as u64);
+        let tenant = tenant_for(config, conn, i as u64);
         i += 1;
-        tally.sent += 1;
+        tally.note_sent(tenant.as_deref());
+        let request = Request {
+            op: Op::Eval,
+            spec: Some(spec),
+            algo: Some(config.algo.clone()),
+            deadline_ms: config.deadline_ms,
+            tenant: tenant.clone(),
+            ..Default::default()
+        };
         let sent_at = Instant::now();
-        match client.eval(&spec, &config.algo, config.deadline_ms) {
+        match client.send(&request) {
             Ok(reply) => {
                 let latency_us = sent_at.elapsed().as_secs_f64() * 1e6;
-                classify(&mut tally, &reply, Some(latency_us));
+                classify(&mut tally, tenant.as_deref(), &reply, Some(latency_us));
                 honor_shed_hint(&mut tally, &reply);
             }
             Err(_) => {
@@ -521,37 +665,38 @@ fn pipelined_worker(config: &LoadgenConfig, conn: usize, window: usize) -> Tally
         }
     };
     let start = Instant::now();
-    let mut in_flight: HashMap<String, Instant> = HashMap::new();
+    // Replies arrive in completion order, so each in-flight id keeps
+    // both its send time and its tenant tag for correlation.
+    let mut in_flight: HashMap<String, (Instant, Option<String>)> = HashMap::new();
     let mut seq: u64 = 0;
-    let mut send_next =
-        |client: &mut Client, in_flight: &mut HashMap<String, Instant>, tally: &mut Tally| {
-            let id = seq.to_string();
-            let spec = spec_for(config, conn, seq);
-            seq += 1;
-            let request = Request {
-                id: Some(id.clone()),
-                op: Op::Eval,
-                spec: Some(spec),
-                algo: Some(config.algo.clone()),
-                deadline_ms: config.deadline_ms,
-                n: None,
-                path: None,
-                alpha: None,
-                beta: None,
-                trace: None,
-            };
-            tally.sent += 1;
-            match client.write_request(&request) {
-                Ok(()) => {
-                    in_flight.insert(id, Instant::now());
-                    true
-                }
-                Err(_) => {
-                    tally.transport_errors += 1;
-                    false
-                }
-            }
+    let mut send_next = |client: &mut Client,
+                         in_flight: &mut HashMap<String, (Instant, Option<String>)>,
+                         tally: &mut Tally| {
+        let id = seq.to_string();
+        let spec = spec_for(config, conn, seq);
+        let tenant = tenant_for(config, conn, seq);
+        seq += 1;
+        let request = Request {
+            id: Some(id.clone()),
+            op: Op::Eval,
+            spec: Some(spec),
+            algo: Some(config.algo.clone()),
+            deadline_ms: config.deadline_ms,
+            tenant: tenant.clone(),
+            ..Default::default()
         };
+        tally.note_sent(tenant.as_deref());
+        match client.write_request(&request) {
+            Ok(()) => {
+                in_flight.insert(id, (Instant::now(), tenant));
+                true
+            }
+            Err(_) => {
+                tally.transport_errors += 1;
+                false
+            }
+        }
+    };
     while in_flight.len() < window && start.elapsed() < config.duration {
         if !send_next(&mut client, &mut in_flight, &mut tally) {
             return tally;
@@ -567,9 +712,12 @@ fn pipelined_worker(config: &LoadgenConfig, conn: usize, window: usize) -> Tally
                 return tally;
             }
         };
-        let sent_at = reply.id.as_ref().and_then(|id| in_flight.remove(id));
-        let latency_us = sent_at.map(|at| at.elapsed().as_secs_f64() * 1e6);
-        classify(&mut tally, &reply, latency_us);
+        let entry = reply.id.as_ref().and_then(|id| in_flight.remove(id));
+        let latency_us = entry
+            .as_ref()
+            .map(|(at, _)| at.elapsed().as_secs_f64() * 1e6);
+        let tenant = entry.and_then(|(_, t)| t);
+        classify(&mut tally, tenant.as_deref(), &reply, latency_us);
         honor_shed_hint(&mut tally, &reply);
         if start.elapsed() < config.duration && !send_next(&mut client, &mut in_flight, &mut tally)
         {
@@ -681,6 +829,18 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
         Vec::new()
     };
     let traced_latencies_us: Vec<f64> = total.traced.iter().map(|(us, _)| *us).collect();
+    let mut tenants: Vec<TenantReport> = total
+        .tenants
+        .into_iter()
+        .map(|(tenant, t)| TenantReport {
+            tenant,
+            sent: t.sent,
+            ok: t.ok,
+            shed: t.shed,
+            latencies_us: t.latencies_us,
+        })
+        .collect();
+    tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
     LoadgenReport {
         sent: total.sent,
         ok: total.ok,
@@ -700,6 +860,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> LoadgenReport {
         traced_latencies_us,
         server_stats,
         sampled_traces,
+        tenants,
     }
 }
 
@@ -915,6 +1076,66 @@ mod tests {
         );
         // A span whose parent is missing from the tree prints as a root.
         assert!(lines[3].starts_with("  orphan"), "{out}");
+    }
+
+    #[test]
+    fn multi_tenant_runs_break_the_report_out_per_tenant() {
+        let server = Server::start(Config {
+            workers: 2,
+            ..Config::default()
+        })
+        .unwrap();
+        let report = run_loadgen(&LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            conns: 2,
+            duration: Duration::from_millis(300),
+            spec: "worst:d=2,n=6".into(),
+            algo: "seq-solve".into(),
+            deadline_ms: Some(5_000),
+            pipeline: 4,
+            tenants: 3,
+            include_server_stats: true,
+            ..LoadgenConfig::default()
+        });
+        assert_eq!(report.transport_errors, 0, "report: {}", report.render());
+        assert!(report.ok > 0);
+        // Every request was tagged, so the per-tenant slices cover the
+        // whole run exactly.
+        assert_eq!(report.tenants.len(), 3, "report: {}", report.render());
+        let tags: Vec<&str> = report.tenants.iter().map(|t| t.tenant.as_str()).collect();
+        assert_eq!(tags, ["t0", "t1", "t2"]);
+        let sent: u64 = report.tenants.iter().map(|t| t.sent).sum();
+        let ok: u64 = report.tenants.iter().map(|t| t.ok).sum();
+        let shed: u64 = report.tenants.iter().map(|t| t.shed).sum();
+        assert_eq!(sent, report.sent);
+        assert_eq!(ok, report.ok);
+        assert_eq!(shed, report.shed);
+        for t in &report.tenants {
+            assert_eq!(t.latencies_us.len() as u64, t.ok);
+        }
+        // The report surfaces the breakdown in both formats...
+        let j = report.to_json();
+        let jt = j.get("tenants").expect("tenants object in json");
+        assert_eq!(
+            jt.get("t0")
+                .and_then(|t| t.get("ok"))
+                .and_then(Json::as_u64),
+            Some(report.tenants[0].ok)
+        );
+        assert!(report.render().contains("tenant t0:"));
+        // ...and the server kept its own per-tenant cards for the same
+        // tags (dispatch-side accounting, so totals can differ from
+        // the client's view only by coalesced followers — never by tag).
+        let stats = report.server_stats.as_ref().expect("server stats embedded");
+        let server_tenants = stats.get("tenants").expect("server tenants object");
+        for tag in ["t0", "t1", "t2"] {
+            assert!(
+                server_tenants.get(tag).is_some(),
+                "server stats missing tenant {tag}: {stats:?}"
+            );
+        }
+        server.request_shutdown();
+        server.join();
     }
 
     #[test]

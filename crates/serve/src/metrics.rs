@@ -290,6 +290,61 @@ impl AlgoStagesSnapshot {
     }
 }
 
+/// Per-tenant request accounting, registered lazily on the first
+/// request that names the tenant (the anonymous shared tenant is not
+/// tracked here — it is the untagged remainder of the global
+/// counters).
+#[derive(Default)]
+pub struct TenantStats {
+    /// Eval/subeval requests attributed to this tenant.
+    pub requests: AtomicU64,
+    /// Successful replies.
+    pub ok: AtomicU64,
+    /// Requests shed by the tenant's inflight cap (429).
+    pub shed: AtomicU64,
+    /// End-to-end latency of this tenant's answered requests.
+    pub latency: LatencyHistogram,
+}
+
+impl TenantStats {
+    fn snapshot(&self, tenant: &str) -> TenantSnapshot {
+        TenantSnapshot {
+            tenant: tenant.to_string(),
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            latency: self.latency.snapshot_full(),
+        }
+    }
+}
+
+/// Frozen copy of one tenant's [`TenantStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Tenant id (the request's `tenant` field).
+    pub tenant: String,
+    /// See [`TenantStats::requests`].
+    pub requests: u64,
+    /// See [`TenantStats::ok`].
+    pub ok: u64,
+    /// See [`TenantStats::shed`].
+    pub shed: u64,
+    /// See [`TenantStats::latency`].
+    pub latency: HistogramSnapshot,
+}
+
+impl TenantSnapshot {
+    /// Serialize for the `stats` reply.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("requests", Json::from(self.requests)),
+            ("ok", Json::from(self.ok)),
+            ("shed", Json::from(self.shed)),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
 /// Server start time with a `Default` impl so [`Metrics`] can keep
 /// deriving `Default`.
 struct StartTime(Instant);
@@ -362,8 +417,18 @@ pub struct Metrics {
     pub latency: LatencyHistogram,
     /// Executor dispatch sizes (micro-batching telemetry).
     pub batches: BatchHistogram,
+    /// `cachepull` requests served (peers warm-filling from us).
+    pub cachepull_served: AtomicU64,
+    /// Entries shipped across all served `cachepull`s.
+    pub cachepull_entries: AtomicU64,
+    /// Entries this replica warm-filled from peers at (re)join.
+    pub warmfill_entries: AtomicU64,
+    /// Entries restored from the boot snapshot file.
+    pub snapshot_restored: AtomicU64,
     /// Per-algorithm stage histograms and work aggregates.
     stages: RwLock<BTreeMap<String, Arc<AlgoStages>>>,
+    /// Per-tenant request accounting, registered lazily on first use.
+    tenants: RwLock<BTreeMap<String, Arc<TenantStats>>>,
     /// Per-io-thread event-loop health, registered at loop spawn in
     /// loop order (index = loop number).
     io_loops: RwLock<Vec<Arc<IoLoopStats>>>,
@@ -411,6 +476,15 @@ impl Metrics {
         }
         let mut w = self.stages.write().unwrap();
         Arc::clone(w.entry(algo.to_string()).or_default())
+    }
+
+    /// The accounting card for `tenant`, created on first use.
+    pub fn tenant_stats(&self, tenant: &str) -> Arc<TenantStats> {
+        if let Some(s) = self.tenants.read().unwrap().get(tenant) {
+            return Arc::clone(s);
+        }
+        let mut w = self.tenants.write().unwrap();
+        Arc::clone(w.entry(tenant.to_string()).or_default())
     }
 
     /// Microseconds since the registry was created.
@@ -469,8 +543,19 @@ impl Metrics {
             batches: self.batches.batches.load(Ordering::Relaxed),
             batch_jobs: self.batches.jobs.load(Ordering::Relaxed),
             batch_size_buckets: self.batches.snapshot(),
+            cachepull_served: r(&self.cachepull_served),
+            cachepull_entries: r(&self.cachepull_entries),
+            warmfill_entries: r(&self.warmfill_entries),
+            snapshot_restored: r(&self.snapshot_restored),
             stages: self
                 .stages
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(name, s)| s.snapshot(name))
+                .collect(),
+            tenants: self
+                .tenants
                 .read()
                 .unwrap()
                 .iter()
@@ -552,9 +637,19 @@ pub struct MetricsSnapshot {
     /// Power-of-two dispatch-size bucket counts (bucket `i` covers
     /// batches of `[2^i, 2^{i+1})` jobs).
     pub batch_size_buckets: Vec<u64>,
+    /// See [`Metrics::cachepull_served`].
+    pub cachepull_served: u64,
+    /// See [`Metrics::cachepull_entries`].
+    pub cachepull_entries: u64,
+    /// See [`Metrics::warmfill_entries`].
+    pub warmfill_entries: u64,
+    /// See [`Metrics::snapshot_restored`].
+    pub snapshot_restored: u64,
     /// Per-algorithm stage histograms and work aggregates, sorted by
     /// algorithm name.
     pub stages: Vec<AlgoStagesSnapshot>,
+    /// Per-tenant request accounting, sorted by tenant id.
+    pub tenants: Vec<TenantSnapshot>,
     /// Per-io-thread event-loop health, in loop order.
     pub io_loops: Vec<IoLoopSnapshot>,
     /// Executor queue-depth-over-time samples (power-of-two depth
@@ -651,12 +746,25 @@ impl MetricsSnapshot {
                         .collect(),
                 ),
             ),
+            ("cachepull_served", Json::from(self.cachepull_served)),
+            ("cachepull_entries", Json::from(self.cachepull_entries)),
+            ("warmfill_entries", Json::from(self.warmfill_entries)),
+            ("snapshot_restored", Json::from(self.snapshot_restored)),
             (
                 "stages",
                 Json::Object(
                     self.stages
                         .iter()
                         .map(|s| (s.algo.clone(), s.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "tenants",
+                Json::Object(
+                    self.tenants
+                        .iter()
+                        .map(|t| (t.tenant.clone(), t.to_json()))
                         .collect(),
                 ),
             ),
@@ -727,6 +835,24 @@ impl MetricsSnapshot {
                 self.par_steals,
                 self.par_retires,
                 self.par_narrowings,
+            );
+        }
+        if self.snapshot_restored + self.warmfill_entries > 0 {
+            let _ = writeln!(
+                out,
+                "warm boot   : {} snapshot entries, {} warm-filled from peers",
+                self.snapshot_restored, self.warmfill_entries
+            );
+        }
+        for t in &self.tenants {
+            let _ = writeln!(
+                out,
+                "tenant {:12}: {} requests, {} ok, {} shed, p99~{}us",
+                t.tenant,
+                t.requests,
+                t.ok,
+                t.shed,
+                t.latency.quantile_us(0.99).unwrap_or(0),
             );
         }
         if self.batches > 0 {

@@ -41,6 +41,16 @@ pub enum Op {
     /// without the allocation cost of a full `stats` snapshot.  Built
     /// for high-frequency pollers (the gt-router health prober).
     Health,
+    /// Membership announcement (replica → router): `addr` is the
+    /// announcing replica's serving address, `weight` its routing
+    /// weight, `generation` a counter bumped on every (re)start so the
+    /// router can tell a reborn replica from a stale duplicate.
+    Join,
+    /// Bounded bulk cache read (peer → peer warm-fill): return up to
+    /// `n` of the hottest cache entries (MRU-first) as a `cachepull`
+    /// reply so a (re)joining replica can warm its shard from
+    /// hash-order peers instead of serving a cold storm.
+    Cachepull,
 }
 
 /// Wire-propagated distributed-trace context.  A client (or the
@@ -122,6 +132,42 @@ pub struct Request {
     /// replica work can be grafted into the sender's span tree, and
     /// accepted on `trace` as a span-tree lookup key.
     pub trace: Option<TraceContext>,
+    /// Tenant id for fair scheduling (`eval`/`subeval`); absent means
+    /// the anonymous shared tenant.
+    pub tenant: Option<String>,
+    /// For `join`: the announcing replica's serving address.
+    pub addr: Option<String>,
+    /// For `join`: the announcing replica's routing weight (keyspace
+    /// share is proportional; see `gt_router::hash::rank_weighted`).
+    pub weight: Option<u64>,
+    /// For `join`: restart counter distinguishing a reborn replica
+    /// from a stale announcement of its previous life.
+    pub generation: Option<u64>,
+}
+
+impl Default for Request {
+    /// An empty `eval` request — the base for struct-update literals
+    /// (`Request { op: Op::Stats, ..Default::default() }`).  `eval` is
+    /// the default because it is also the wire default for an absent
+    /// `op` field.
+    fn default() -> Request {
+        Request {
+            id: None,
+            op: Op::Eval,
+            spec: None,
+            algo: None,
+            deadline_ms: None,
+            n: None,
+            path: None,
+            alpha: None,
+            beta: None,
+            trace: None,
+            tenant: None,
+            addr: None,
+            weight: None,
+            generation: None,
+        }
+    }
 }
 
 impl Request {
@@ -139,6 +185,8 @@ impl Request {
             "shutdown" => Op::Shutdown,
             "trace" => Op::Trace,
             "health" => Op::Health,
+            "join" => Op::Join,
+            "cachepull" => Op::Cachepull,
             other => return Err(format!("unknown op {other:?}")),
         };
         let id = j.get("id").and_then(|v| match v {
@@ -179,8 +227,29 @@ impl Request {
             None | Some(Json::Null) => None,
             Some(v) => Some(TraceContext::from_json(v)?),
         };
+        let tenant = match j.get("tenant") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) if !s.is_empty() => Some(s.clone()),
+            Some(Json::Str(_)) => return Err("tenant must be non-empty".into()),
+            Some(_) => return Err("tenant must be a string".into()),
+        };
+        let addr = j.get("addr").and_then(Json::as_str).map(str::to_string);
+        let uint = |key: &str| -> Result<Option<u64>, String> {
+            match j.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => v
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("{key} must be a non-negative integer")),
+            }
+        };
+        let weight = uint("weight")?;
+        let generation = uint("generation")?;
         if matches!(op, Op::Eval | Op::Subeval) && spec.is_none() {
             return Err(format!("{op:?} request needs a \"spec\" field").to_lowercase());
+        }
+        if op == Op::Join && addr.as_deref().is_none_or(str::is_empty) {
+            return Err("join request needs a non-empty \"addr\" field".into());
         }
         Ok(Request {
             id,
@@ -193,22 +262,42 @@ impl Request {
             alpha,
             beta,
             trace,
+            tenant,
+            addr,
+            weight,
+            generation,
         })
     }
 
     /// Build an `eval` request (client side).
     pub fn eval(spec: &str, algo: &str, deadline_ms: Option<u64>) -> Request {
         Request {
-            id: None,
             op: Op::Eval,
             spec: Some(spec.to_string()),
             algo: Some(algo.to_string()),
             deadline_ms,
-            n: None,
-            path: None,
-            alpha: None,
-            beta: None,
-            trace: None,
+            ..Default::default()
+        }
+    }
+
+    /// Build a `join` announcement (replica → router).
+    pub fn join(addr: &str, weight: u64, generation: u64) -> Request {
+        Request {
+            op: Op::Join,
+            addr: Some(addr.to_string()),
+            weight: Some(weight),
+            generation: Some(generation),
+            ..Default::default()
+        }
+    }
+
+    /// Build a `cachepull` request (peer warm-fill): ask for up to
+    /// `limit` of the peer's hottest cache entries.
+    pub fn cachepull(limit: u64) -> Request {
+        Request {
+            op: Op::Cachepull,
+            n: Some(limit),
+            ..Default::default()
         }
     }
 
@@ -223,12 +312,9 @@ impl Request {
         deadline_ms: Option<u64>,
     ) -> Request {
         Request {
-            id: None,
             op: Op::Subeval,
             spec: Some(spec.to_string()),
-            algo: None,
             deadline_ms,
-            n: None,
             path: if path.is_empty() {
                 None
             } else {
@@ -236,7 +322,7 @@ impl Request {
             },
             alpha: (alpha != i64::MIN).then_some(alpha),
             beta: (beta != i64::MAX).then_some(beta),
-            trace: None,
+            ..Default::default()
         }
     }
 
@@ -251,6 +337,8 @@ impl Request {
             Op::Shutdown => "shutdown",
             Op::Trace => "trace",
             Op::Health => "health",
+            Op::Join => "join",
+            Op::Cachepull => "cachepull",
         };
         fields.push(("op".into(), Json::from(op)));
         if let Some(id) = &self.id {
@@ -279,6 +367,18 @@ impl Request {
         }
         if let Some(trace) = &self.trace {
             fields.push(("trace".into(), trace.to_json()));
+        }
+        if let Some(tenant) = &self.tenant {
+            fields.push(("tenant".into(), Json::from(tenant.clone())));
+        }
+        if let Some(addr) = &self.addr {
+            fields.push(("addr".into(), Json::from(addr.clone())));
+        }
+        if let Some(weight) = self.weight {
+            fields.push(("weight".into(), Json::from(weight)));
+        }
+        if let Some(generation) = self.generation {
+            fields.push(("generation".into(), Json::from(generation)));
         }
         Json::Object(fields).render()
     }
@@ -503,6 +603,50 @@ mod tests {
         let back = Request::parse(&r.render()).unwrap();
         assert_eq!(back.op, Op::Health);
         assert_eq!(back.id.as_deref(), Some("h1"));
+    }
+
+    #[test]
+    fn join_op_round_trips_and_requires_an_addr() {
+        let r = Request::parse(r#"{"op":"join","addr":"10.0.0.7:7171","weight":4,"generation":2}"#)
+            .unwrap();
+        assert_eq!(r.op, Op::Join);
+        assert_eq!(r.addr.as_deref(), Some("10.0.0.7:7171"));
+        assert_eq!(r.weight, Some(4));
+        assert_eq!(r.generation, Some(2));
+        // Render/parse round-trip via the constructor.
+        let back = Request::parse(&Request::join("10.0.0.7:7171", 4, 2).render()).unwrap();
+        assert_eq!(back.op, Op::Join);
+        assert_eq!(back.addr.as_deref(), Some("10.0.0.7:7171"));
+        assert_eq!(back.weight, Some(4));
+        assert_eq!(back.generation, Some(2));
+        // A join without (or with an empty) addr is malformed.
+        assert!(Request::parse(r#"{"op":"join"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"join","addr":""}"#).is_err());
+        assert!(Request::parse(r#"{"op":"join","addr":"a:1","weight":-2}"#).is_err());
+        assert!(Request::parse(r#"{"op":"join","addr":"a:1","generation":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn cachepull_op_round_trips_with_its_limit() {
+        let r = Request::parse(r#"{"op":"cachepull","n":64}"#).unwrap();
+        assert_eq!(r.op, Op::Cachepull);
+        assert_eq!(r.n, Some(64));
+        let back = Request::parse(&Request::cachepull(64).render()).unwrap();
+        assert_eq!(back.op, Op::Cachepull);
+        assert_eq!(back.n, Some(64));
+        // Limit is optional: the replica applies its default.
+        assert_eq!(Request::parse(r#"{"op":"cachepull"}"#).unwrap().n, None);
+    }
+
+    #[test]
+    fn tenant_field_round_trips_and_rejects_junk() {
+        let r = Request::parse(r#"{"spec":"worst:d=2,n=4","tenant":"team-a"}"#).unwrap();
+        assert_eq!(r.tenant.as_deref(), Some("team-a"));
+        let back = Request::parse(&r.render()).unwrap();
+        assert_eq!(back.tenant.as_deref(), Some("team-a"));
+        // Empty or non-string tenants are malformed, not ignored.
+        assert!(Request::parse(r#"{"spec":"worst:d=2,n=4","tenant":""}"#).is_err());
+        assert!(Request::parse(r#"{"spec":"worst:d=2,n=4","tenant":7}"#).is_err());
     }
 
     #[test]

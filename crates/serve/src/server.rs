@@ -77,16 +77,20 @@
 //! snapshot.
 
 use crate::cache::ShardedCache;
-use crate::executor::{ActiveGauge, CostClass, Executor, ExecutorConfig, SubmitError};
+use crate::executor::{
+    ActiveGauge, CostClass, Executor, ExecutorConfig, SubmitError, TenantGovernor,
+};
 use crate::io::{
     drain_outbox, raise_nofile_limit, BufferPool, IoLoopStats, LineAction, LineReader, LineTooLong,
     Poller, Waker,
 };
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::protocol::{
-    error_line, error_line_with, ok_line, ErrorCode, Op, Request, TraceContext, PROTOCOL_VERSION,
+    error_line, error_line_with, ok_line, ErrorCode, Op, Request, Response, TraceContext,
+    PROTOCOL_VERSION,
 };
 use crate::singleflight::{Flight, FlightResult, FlightTable, Joined};
+use crate::snapshot;
 use crate::trace::{
     render_prometheus, spawn_metrics_listener, FlightRecorder, MetricsListener, StageStamps,
     TraceRecord,
@@ -98,9 +102,10 @@ use crate::workload::{
 use gt_analysis::Json;
 use gt_tree::{GenSpec, SubtreeSpec};
 use std::collections::{BinaryHeap, VecDeque};
-use std::io::{ErrorKind, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write as IoWrite};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::{self, JoinHandle};
@@ -133,6 +138,24 @@ const NOFILE_TARGET: u64 = 1 << 16;
 /// Algorithm used when an eval names none: cancellable and valid for
 /// both NOR and minmax workloads.
 const DEFAULT_ALGO: &str = "cascade:w=1";
+
+/// Entries a `cachepull` returns when the request names no `n`.
+const CACHEPULL_DEFAULT_LIMIT: u64 = 512;
+/// Hard per-request cap on `cachepull` entries, bounding reply size
+/// (and the reader-thread time spent serializing it).
+const CACHEPULL_MAX_LIMIT: u64 = 4096;
+
+/// How many times the announce thread retries a join before giving up
+/// (the router may come up after its replicas).
+const ANNOUNCE_ATTEMPTS: u32 = 50;
+/// Pause between announce retries.
+const ANNOUNCE_RETRY: Duration = Duration::from_millis(100);
+/// Connect/read/write timeout for every fleet control call (join,
+/// health, cachepull) so a dead peer can never wedge the announce
+/// thread past shutdown.
+const FLEET_IO_TIMEOUT: Duration = Duration::from_millis(2_000);
+/// Most peers a (re)joining replica warm-fills from.
+const WARMFILL_PEERS: usize = 3;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -188,6 +211,33 @@ pub struct Config {
     /// completed request line, once nothing is in flight on it
     /// (`--conn-idle-timeout`); `None` keeps idle connections forever.
     pub conn_idle_timeout_ms: Option<u64>,
+    /// Cache snapshot file (`--snapshot`): restored on boot (stale
+    /// entries age out, never un-expire), rewritten on drain.  `None`
+    /// boots cold and saves nothing.
+    pub snapshot_path: Option<String>,
+    /// Most dispatched-and-unanswered evals a single named tenant may
+    /// hold (`--tenant-max-inflight`); past it the tenant is shed with
+    /// `busy` + `retry_after_ms`.  0 disables the cap.  Untagged
+    /// requests are never capped (they are bounded by the global
+    /// queue, exactly as before tenancy existed).
+    pub tenant_max_inflight: usize,
+    /// Router address to announce this replica to at boot
+    /// (`--announce`); also the membership source for peer warm-fill.
+    /// `None` means a statically configured replica: no announcement,
+    /// no warm-fill.
+    pub announce: Option<String>,
+    /// Address announced to the router (`--advertise`); defaults to
+    /// the bound listener address, which is wrong exactly when binding
+    /// a wildcard address.
+    pub advertise: Option<String>,
+    /// Routing weight announced on join (`--weight`): this replica
+    /// receives keys in proportion to its weight under weighted
+    /// rendezvous hashing.
+    pub weight: u64,
+    /// Announce generation (`--generation`): the router accepts the
+    /// highest generation it has seen per address, so a restarted
+    /// replica announces a higher one to refresh its registration.
+    pub generation: u64,
 }
 
 impl Default for Config {
@@ -210,6 +260,12 @@ impl Default for Config {
             par_max_workers: 4,
             io_threads: 2,
             conn_idle_timeout_ms: None,
+            snapshot_path: None,
+            tenant_max_inflight: 0,
+            announce: None,
+            advertise: None,
+            weight: 1,
+            generation: 0,
         }
     }
 }
@@ -256,6 +312,7 @@ struct Shared {
     executor: Arc<Executor<Job>>,
     reaper: Arc<Reaper>,
     recorder: Arc<FlightRecorder>,
+    governor: Arc<TenantGovernor>,
     shutdown: Arc<AtomicBool>,
     default_deadline_ms: u64,
     conn_window: usize,
@@ -401,8 +458,31 @@ struct Pending {
     /// stage offsets) in the reply so the sender can graft this run
     /// into its span tree.
     trace: Option<TraceContext>,
+    /// The request's `tenant` tag, if any — the per-tenant accounting
+    /// dimension.
+    tenant: Option<String>,
+    /// The tenant-inflight slot this request holds.  Released
+    /// explicitly before the reply is enqueued (so a one-at-a-time
+    /// client's next request can never race the release and get shed
+    /// at its own cap), and by Drop on every other settling path —
+    /// deadline, drain, connection teardown.
+    slot: Mutex<Option<GovernorSlot>>,
     /// The connection's reply queue and pipelining window.
     conn: Arc<ConnReply>,
+}
+
+/// One held per-tenant inflight slot.  Lives inside the [`Pending`]
+/// it was claimed for, so however the request settles — publish,
+/// deadline, drain — dropping the answered record releases the slot.
+struct GovernorSlot {
+    governor: Arc<TenantGovernor>,
+    tenant: String,
+}
+
+impl Drop for GovernorSlot {
+    fn drop(&mut self) {
+        self.governor.release(&self.tenant);
+    }
 }
 
 impl Pending {
@@ -410,6 +490,13 @@ impl Pending {
     /// replied.
     fn try_claim(&self) -> bool {
         !self.answered.swap(true, Ordering::SeqCst)
+    }
+
+    /// Release the tenant-inflight slot now instead of at drop time.
+    /// Idempotent; the Drop impl on the slot handles paths that never
+    /// call this.
+    fn release_tenant_slot(&self) {
+        drop(self.slot.lock().unwrap().take());
     }
 }
 
@@ -446,6 +533,7 @@ fn trace_from(
         work,
         trace_id: p.trace.as_ref().map(|t| t.trace_id.clone()),
         parent_span: p.trace.as_ref().and_then(|t| t.parent_span),
+        tenant: p.tenant.clone(),
     }
 }
 
@@ -509,6 +597,10 @@ fn answer_pending(
     if !p.try_claim() {
         return;
     }
+    // Free the tenant's inflight slot before the reply can reach the
+    // client: a closed-loop client's follow-up request must find the
+    // slot open, not race the answered record's teardown.
+    p.release_tenant_slot();
     let (reply, status, work) = match result {
         FlightResult::Done(outcome) => {
             // Render with the pre-write latency (a reply cannot embed
@@ -560,6 +652,22 @@ fn answer_pending(
     let latency_us = p.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
     if matches!(result, FlightResult::Done(_)) {
         m.latency.record(latency_us);
+    }
+    // Fold the outcome into the tenant's accounting card.  (Timeouts
+    // settle through the reaper, internal failures through neither
+    // counter — requests/ok/shed is the fairness ledger.)
+    if let Some(t) = &p.tenant {
+        let ts = m.tenant_stats(t);
+        match result {
+            FlightResult::Done(_) => {
+                ts.ok.fetch_add(1, Ordering::Relaxed);
+                ts.latency.record(latency_us);
+            }
+            FlightResult::Busy(_) => {
+                ts.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
     }
     // The write stage: result published (≈ engine end) → reply handed
     // to the connection's outbound queue (the latency above brackets
@@ -692,6 +800,9 @@ impl Reaper {
             if !p.try_claim() {
                 continue; // publication won the race
             }
+            // The request is answered: its tenant-inflight slot frees
+            // before the timeout reply can trigger a follow-up.
+            p.release_tenant_slot();
             metrics.timeout.fetch_add(1, Ordering::Relaxed);
             let _ = p
                 .conn
@@ -726,6 +837,9 @@ pub struct Server {
     reaper_handle: JoinHandle<()>,
     recorder: Arc<FlightRecorder>,
     metrics_listener: Option<MetricsListener>,
+    cache: ResultCache,
+    snapshot_path: Option<String>,
+    announce_handle: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -746,6 +860,22 @@ impl Server {
         ));
         let flights: Arc<FlightTable<Pending>> = Arc::new(FlightTable::new());
         let recorder = Arc::new(FlightRecorder::new(config.trace_ring, config.slow_us));
+        let governor = Arc::new(TenantGovernor::new(config.tenant_max_inflight));
+
+        // Boot warm: restore the previous drain's snapshot, if one
+        // exists.  A missing file is a first boot; a damaged one is
+        // reported and skipped — the server comes up cold either way.
+        if let Some(path) = &config.snapshot_path {
+            match snapshot::load(Path::new(path), &cache) {
+                Ok(report) => {
+                    metrics
+                        .snapshot_restored
+                        .fetch_add(report.restored as u64, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == ErrorKind::NotFound => {}
+                Err(e) => eprintln!("gt-serve: snapshot {path} not restored: {e}"),
+            }
+        }
 
         let reaper = Arc::new(Reaper::new());
         let reaper_handle = {
@@ -805,11 +935,12 @@ impl Server {
         let io_threads = config.io_threads.max(1);
         let shared = Shared {
             metrics: Arc::clone(&metrics),
-            cache,
+            cache: Arc::clone(&cache),
             flights,
             executor: Arc::clone(&executor),
             reaper: Arc::clone(&reaper),
             recorder: Arc::clone(&recorder),
+            governor,
             shutdown: Arc::clone(&shutdown),
             default_deadline_ms: config.default_deadline_ms,
             conn_window: config.conn_window,
@@ -848,6 +979,36 @@ impl Server {
             );
         }
 
+        // Dynamic membership: announce this replica to the router and
+        // warm-fill from already-joined peers, off the serving path —
+        // the listener is live before the first announce attempt, so a
+        // routed request can never beat the replica it is routed to.
+        let announce_handle = match &config.announce {
+            Some(router) => {
+                let router = router.clone();
+                let advertise = config
+                    .advertise
+                    .clone()
+                    .unwrap_or_else(|| local_addr.to_string());
+                let weight = config.weight;
+                let generation = config.generation;
+                let cache = Arc::clone(&cache);
+                let metrics = Arc::clone(&metrics);
+                let shutdown = Arc::clone(&shutdown);
+                Some(
+                    thread::Builder::new()
+                        .name("gt-serve-announce".into())
+                        .spawn(move || {
+                            announce_and_warmfill(
+                                &router, &advertise, weight, generation, &cache, &metrics,
+                                &shutdown,
+                            )
+                        })?,
+                )
+            }
+            None => None,
+        };
+
         Ok(Server {
             local_addr,
             shutdown,
@@ -859,6 +1020,9 @@ impl Server {
             reaper_handle,
             recorder,
             metrics_listener,
+            cache,
+            snapshot_path: config.snapshot_path.clone(),
+            announce_handle,
         })
     }
 
@@ -915,11 +1079,143 @@ impl Server {
         self.executor.shutdown();
         self.reaper.stop();
         let _ = self.reaper_handle.join();
+        if let Some(h) = self.announce_handle {
+            let _ = h.join();
+        }
         if let Some(listener) = self.metrics_listener {
             listener.shutdown();
         }
+        // Every engine result is published and cached by now: freeze
+        // the hit set to disk so the next boot starts warm.
+        if let Some(path) = &self.snapshot_path {
+            if let Err(e) = snapshot::save(Path::new(path), &self.cache) {
+                eprintln!("gt-serve: snapshot {path} not saved: {e}");
+            }
+        }
         self.metrics.snapshot()
     }
+}
+
+/// One fleet control call: connect with a timeout, send one request
+/// line, read one reply line.  Bounded at every step, so a dead or
+/// wedged peer costs at most the I/O timeout — never a hung thread.
+fn fleet_request(addr: &str, request: &Request) -> std::io::Result<Response> {
+    let sockaddr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidInput, "unresolvable address"))?;
+    let mut stream = TcpStream::connect_timeout(&sockaddr, FLEET_IO_TIMEOUT)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(FLEET_IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(FLEET_IO_TIMEOUT))?;
+    stream.write_all(request.render().as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            ErrorKind::UnexpectedEof,
+            "peer closed the connection",
+        ));
+    }
+    Response::parse(line.trim()).map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))
+}
+
+/// The member addresses in a router `health` reply.
+fn member_addrs(r: &Response) -> Vec<String> {
+    match r.body.get("members") {
+        Some(Json::Array(list)) => list
+            .iter()
+            .filter_map(|m| m.get("addr").and_then(Json::as_str).map(str::to_string))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Join the fleet: announce `advertise` to the router (retrying while
+/// it comes up), then warm-fill the cache from peers the router
+/// already knows, via bounded `cachepull`s.  Gives up quietly on
+/// shutdown or once the retry budget is spent — a replica that never
+/// reaches its router still serves direct traffic, exactly like a
+/// statically configured one.
+fn announce_and_warmfill(
+    router: &str,
+    advertise: &str,
+    weight: u64,
+    generation: u64,
+    cache: &ResultCache,
+    metrics: &Metrics,
+    shutdown: &AtomicBool,
+) {
+    let join = Request::join(advertise, weight, generation);
+    let mut announced = false;
+    for _ in 0..ANNOUNCE_ATTEMPTS {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match fleet_request(router, &join) {
+            Ok(r) if r.ok => {
+                announced = true;
+                break;
+            }
+            Ok(r) => {
+                // The router heard us and said no (a stale generation,
+                // say): repeating the same announcement cannot succeed.
+                eprintln!(
+                    "gt-serve: join rejected by {router}: {}",
+                    r.error.as_deref().unwrap_or("error")
+                );
+                return;
+            }
+            Err(_) => thread::sleep(ANNOUNCE_RETRY),
+        }
+    }
+    if !announced {
+        eprintln!("gt-serve: router {router} unreachable; serving unannounced");
+        return;
+    }
+    // Peer warm-fill: ask the router who else is in, then pull each
+    // peer's hottest entries.  `insert_aged` honors the TTL and the
+    // LRU bound, so an over-pull costs wire bytes, never correctness.
+    let members = match fleet_request(
+        router,
+        &Request {
+            op: Op::Health,
+            ..Default::default()
+        },
+    ) {
+        Ok(r) if r.ok => member_addrs(&r),
+        _ => Vec::new(),
+    };
+    let mut filled = 0u64;
+    for peer in members
+        .iter()
+        .filter(|a| a.as_str() != advertise)
+        .take(WARMFILL_PEERS)
+    {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(r) = fleet_request(peer, &Request::cachepull(CACHEPULL_MAX_LIMIT)) else {
+            continue;
+        };
+        if !r.ok {
+            continue;
+        }
+        let Some(Json::Array(entries)) = r.body.get("entries") else {
+            continue;
+        };
+        for e in entries {
+            if let Some((key, outcome, age_ms)) = snapshot::entry_from(e) {
+                if cache.insert_aged(key, outcome, Duration::from_millis(age_ms)) {
+                    filled += 1;
+                }
+            }
+        }
+    }
+    metrics
+        .warmfill_entries
+        .fetch_add(filled, Ordering::Relaxed);
 }
 
 /// When and how widely a worker may fan a single `par-*` evaluation
@@ -1516,13 +1812,14 @@ fn feed_conn(
                 parse_us,
                 probe_us,
                 trace,
+                tenant,
             } => {
                 // Claim the window slot here (the callback above
                 // guarantees one is free); settling releases it.
                 reply.inflight.fetch_add(1, Ordering::AcqRel);
                 dispatch_eval(
                     shared, reply, id, work, cache_key, cost, deadline, start, parse_us, probe_us,
-                    trace,
+                    trace, tenant,
                 );
             }
         }
@@ -1567,6 +1864,7 @@ enum Handled {
         parse_us: u64,
         probe_us: u64,
         trace: Option<TraceContext>,
+        tenant: Option<String>,
     },
 }
 
@@ -1636,6 +1934,37 @@ fn process_line(line: &str, shared: &Shared, recv: Instant) -> Handled {
                 ),
             ],
         )),
+        // A replica is never the membership authority; a misdirected
+        // announcement gets a crisp 400 instead of a silent ok.
+        Op::Join => Handled::Inline(error_line(
+            &id,
+            ErrorCode::BadRequest,
+            "join is a router verb; replicas only announce, never accept",
+        )),
+        // Bounded bulk cache read for peer warm-fill: up to `n` of the
+        // hottest entries (MRU-first), in the snapshot entry shape.
+        Op::Cachepull => {
+            let limit = request
+                .n
+                .unwrap_or(CACHEPULL_DEFAULT_LIMIT)
+                .min(CACHEPULL_MAX_LIMIT) as usize;
+            let entries: Vec<Json> = shared
+                .cache
+                .export(limit)
+                .iter()
+                .map(|(k, o, age)| crate::snapshot::entry_json(k, o, *age))
+                .collect();
+            m.cachepull_served.fetch_add(1, Ordering::Relaxed);
+            m.cachepull_entries
+                .fetch_add(entries.len() as u64, Ordering::Relaxed);
+            Handled::Inline(ok_line(
+                &id,
+                vec![
+                    ("count", Json::from(entries.len())),
+                    ("entries", Json::Array(entries)),
+                ],
+            ))
+        }
         Op::Eval => process_eval(&request, shared, recv, parse_us),
         Op::Subeval => process_subeval(&request, shared, recv, parse_us),
     }
@@ -1662,6 +1991,7 @@ fn process_eval(request: &Request, shared: &Shared, recv: Instant, parse_us: u64
     if let Some(hit) = shared.cache.get(&validated.cache_key) {
         m.cache_hits.fetch_add(1, Ordering::Relaxed);
         let probe_us = recv.elapsed().as_micros() as u64;
+        record_tenant_hit(m, request.tenant.as_deref(), recv);
         let echo = request
             .trace
             .as_ref()
@@ -1685,6 +2015,7 @@ fn process_eval(request: &Request, shared: &Shared, recv: Instant, parse_us: u64
             work: Some(hit),
             trace_id: request.trace.as_ref().map(|t| t.trace_id.clone()),
             parent_span: request.trace.as_ref().and_then(|t| t.parent_span),
+            tenant: request.tenant.clone(),
         });
         return Handled::Inline(reply);
     }
@@ -1708,6 +2039,19 @@ fn process_eval(request: &Request, shared: &Shared, recv: Instant, parse_us: u64
         parse_us,
         probe_us,
         trace: request.trace.clone(),
+        tenant: request.tenant.clone(),
+    }
+}
+
+/// Tenant accounting for a request answered straight from the cache:
+/// requests, ok, and latency all land on the tenant's card without
+/// ever touching the governor (a hit holds no inflight slot).
+fn record_tenant_hit(m: &Metrics, tenant: Option<&str>, recv: Instant) {
+    if let Some(t) = tenant {
+        let ts = m.tenant_stats(t);
+        ts.requests.fetch_add(1, Ordering::Relaxed);
+        ts.ok.fetch_add(1, Ordering::Relaxed);
+        ts.latency.record(recv.elapsed().as_micros() as u64);
     }
 }
 
@@ -1736,6 +2080,7 @@ fn process_subeval(request: &Request, shared: &Shared, recv: Instant, parse_us: 
     if let Some(hit) = shared.cache.get(&validated.cache_key) {
         m.cache_hits.fetch_add(1, Ordering::Relaxed);
         let probe_us = recv.elapsed().as_micros() as u64;
+        record_tenant_hit(m, request.tenant.as_deref(), recv);
         let echo = request
             .trace
             .as_ref()
@@ -1759,6 +2104,7 @@ fn process_subeval(request: &Request, shared: &Shared, recv: Instant, parse_us: 
             work: Some(hit),
             trace_id: request.trace.as_ref().map(|t| t.trace_id.clone()),
             parent_span: request.trace.as_ref().and_then(|t| t.parent_span),
+            tenant: request.tenant.clone(),
         });
         return Handled::Inline(reply);
     }
@@ -1778,6 +2124,7 @@ fn process_subeval(request: &Request, shared: &Shared, recv: Instant, parse_us: 
         parse_us,
         probe_us,
         trace: request.trace.clone(),
+        tenant: request.tenant.clone(),
     }
 }
 
@@ -1798,11 +2145,62 @@ fn dispatch_eval(
     parse_us: u64,
     probe_us: u64,
     trace: Option<TraceContext>,
+    tenant: Option<String>,
 ) {
     let m = &shared.metrics;
     let recorder = &shared.recorder;
     let key = cache_key;
     let algo_name = work.algo_label().to_string();
+    // Every dispatched request lands on its tenant's card and claims
+    // a tenant-inflight slot (leaders and coalesced followers alike —
+    // the cap bounds dispatched-and-unanswered requests, however they
+    // are served).  A tenant at its cap is shed here, before it can
+    // occupy a flight, a queue slot, or an engine.
+    if let Some(t) = tenant.as_deref() {
+        m.tenant_stats(t).requests.fetch_add(1, Ordering::Relaxed);
+    }
+    let slot = match tenant.as_deref() {
+        Some(t) if shared.governor.enabled() => {
+            if !shared.governor.try_acquire(t) {
+                let hint = retry_after_hint_ms(
+                    shared.governor.inflight(t),
+                    shared.workers,
+                    m.mean_engine_us(),
+                );
+                let pending = Pending {
+                    answered: AtomicBool::new(true),
+                    id,
+                    coalesced: false,
+                    start,
+                    key,
+                    algo: algo_name,
+                    parse_us,
+                    probe_us,
+                    trace,
+                    tenant: tenant.clone(),
+                    slot: Mutex::new(None),
+                    conn: Arc::clone(conn),
+                };
+                m.shed.fetch_add(1, Ordering::Relaxed);
+                m.tenant_stats(t).shed.fetch_add(1, Ordering::Relaxed);
+                let _ = conn.enqueue(&error_line_with(
+                    &pending.id,
+                    ErrorCode::Busy,
+                    "tenant at max inflight",
+                    vec![("retry_after_ms", Json::from(hint))],
+                ));
+                let latency_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                recorder.record(trace_from(&pending, "busy", None, None, latency_us));
+                conn.release_slot();
+                return;
+            }
+            Some(GovernorSlot {
+                governor: Arc::clone(&shared.governor),
+                tenant: t.to_string(),
+            })
+        }
+        _ => None,
+    };
     let (pending, flight) = match shared.flights.join(&key) {
         Joined::Leader(flight) => {
             let pending = Arc::new(Pending {
@@ -1815,6 +2213,8 @@ fn dispatch_eval(
                 parse_us,
                 probe_us,
                 trace,
+                tenant: tenant.clone(),
+                slot: Mutex::new(slot),
                 conn: Arc::clone(conn),
             });
             // Fresh flight: nothing published yet, attach always parks.
@@ -1825,7 +2225,12 @@ fn dispatch_eval(
                 cache_key: key.clone(),
                 flight: Arc::clone(&flight),
             };
-            match shared.executor.submit(&algo_name, class, job) {
+            match shared.executor.submit_tagged(
+                tenant.as_deref().unwrap_or(""),
+                &algo_name,
+                class,
+                job,
+            ) {
                 Ok(()) => {}
                 Err(SubmitError::Full) => {
                     // Publish so any follower that raced in is also
@@ -1861,6 +2266,8 @@ fn dispatch_eval(
                 parse_us,
                 probe_us,
                 trace,
+                tenant: tenant.clone(),
+                slot: Mutex::new(slot),
                 conn: Arc::clone(conn),
             });
             if let Some(result) = flight.attach(&pending) {
@@ -2080,6 +2487,7 @@ mod tests {
             )),
             reaper: Arc::new(Reaper::new()),
             recorder: Arc::new(FlightRecorder::new(16, 100_000)),
+            governor: Arc::new(TenantGovernor::new(0)),
             shutdown: Arc::new(AtomicBool::new(draining)),
             default_deadline_ms: 1000,
             conn_window: 4,
@@ -2309,5 +2717,244 @@ mod tests {
         let snapshot = server.join();
         assert_eq!(snapshot.evaluated, 3);
         assert!(snapshot.batches >= 2, "large job gets its own dispatch");
+    }
+
+    #[test]
+    fn tagged_evals_land_on_the_tenant_card() {
+        let server = Server::start(Config {
+            workers: 2,
+            tenant_max_inflight: 8,
+            ..Config::default()
+        })
+        .unwrap();
+        let (stream, mut reader) = connect(server.local_addr());
+        // A miss and then a hit, both tagged: two requests, two oks.
+        for _ in 0..2 {
+            let r = send(
+                &stream,
+                &mut reader,
+                r#"{"spec":"worst:d=2,n=6","algo":"seq-solve","tenant":"acme"}"#,
+            );
+            assert!(r.ok, "{:?}", r.error);
+        }
+        // An untagged request stays off every tenant card.
+        let r = send(&stream, &mut reader, r#"{"spec":"worst:d=2,n=5"}"#);
+        assert!(r.ok);
+
+        let s = send(&stream, &mut reader, r#"{"op":"stats"}"#);
+        let tenants = s.body.get("stats").and_then(|s| s.get("tenants")).unwrap();
+        let acme = tenants.get("acme").expect("acme card in stats");
+        assert_eq!(acme.get("requests").and_then(Json::as_u64), Some(2));
+        assert_eq!(acme.get("ok").and_then(Json::as_u64), Some(2));
+        assert_eq!(acme.get("shed").and_then(Json::as_u64), Some(0));
+
+        server.request_shutdown();
+        let snapshot = server.join();
+        assert_eq!(snapshot.tenants.len(), 1, "only named tenants tracked");
+        assert_eq!(snapshot.tenants[0].tenant, "acme");
+        assert_eq!(snapshot.tenants[0].ok, 2);
+    }
+
+    #[test]
+    fn tenant_governor_sheds_at_cap_with_retry_hint() {
+        let mut shared = test_shared(false);
+        shared.governor = Arc::new(TenantGovernor::new(1));
+        // Occupy the tenant's only slot, as a dispatched-and-pending
+        // request would.
+        assert!(shared.governor.try_acquire("acme"));
+        let io = Arc::new(IoHandle::new().unwrap());
+        let reply = Arc::new(ConnReply::new(TOKEN_BASE, io));
+        reply.inflight.fetch_add(1, Ordering::AcqRel);
+        let line = r#"{"id":"x","spec":"worst:d=2,n=4","algo":"seq-solve","tenant":"acme"}"#;
+        let Handled::Dispatch {
+            id,
+            work,
+            cache_key,
+            cost,
+            deadline,
+            start,
+            parse_us,
+            probe_us,
+            trace,
+            tenant,
+        } = process_line(line, &shared, Instant::now())
+        else {
+            panic!("miss must dispatch");
+        };
+        dispatch_eval(
+            &shared, &reply, id, work, cache_key, cost, deadline, start, parse_us, probe_us, trace,
+            tenant,
+        );
+        // The shed reply is already in the outbox: 429, with a hint.
+        let front = {
+            let ob = reply.outbox.lock().unwrap();
+            String::from_utf8(ob.queue.front().expect("shed reply").clone()).unwrap()
+        };
+        let r = Response::parse(front.trim()).unwrap();
+        assert!(!r.ok);
+        assert_eq!(r.status, 429);
+        assert_eq!(r.code.as_deref(), Some("busy"));
+        assert!(r.body.get("retry_after_ms").and_then(Json::as_u64).unwrap() >= 1);
+        // The window slot came back and the ledger shows the shed.
+        assert_eq!(reply.inflight.load(Ordering::Acquire), 0);
+        let snap = shared.metrics.snapshot();
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.tenants.len(), 1);
+        assert_eq!(snap.tenants[0].requests, 1);
+        assert_eq!(snap.tenants[0].shed, 1);
+        // Releasing the held slot reopens the tenant — nothing leaked.
+        shared.governor.release("acme");
+        assert!(shared.governor.try_acquire("acme"));
+        shared.executor.shutdown();
+    }
+
+    #[test]
+    fn snapshot_restores_the_cache_across_a_restart() {
+        let path = std::env::temp_dir().join(format!(
+            "gt-serve-restart-snapshot-{}.ndjson",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let config = Config {
+            workers: 2,
+            snapshot_path: Some(path.to_string_lossy().into_owned()),
+            ..Config::default()
+        };
+
+        let server = Server::start(config.clone()).unwrap();
+        let (stream, mut reader) = connect(server.local_addr());
+        let r = send(
+            &stream,
+            &mut reader,
+            r#"{"spec":"worst:d=2,n=6","algo":"seq-solve"}"#,
+        );
+        assert!(r.ok);
+        assert!(!r.cached());
+        server.request_shutdown();
+        server.join(); // writes the snapshot
+
+        // The reborn server answers the same request from the restored
+        // cache without running an engine.
+        let server = Server::start(config).unwrap();
+        let (stream, mut reader) = connect(server.local_addr());
+        let r = send(
+            &stream,
+            &mut reader,
+            r#"{"spec":"worst:d=2,n=6","algo":"seq-solve"}"#,
+        );
+        assert!(r.ok);
+        assert!(r.cached(), "restored entry must hit");
+        server.request_shutdown();
+        let snapshot = server.join();
+        assert_eq!(snapshot.snapshot_restored, 1);
+        assert_eq!(snapshot.cache_hits, 1);
+        assert_eq!(snapshot.evaluated, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replica_announces_and_warmfills_from_peers() {
+        // A warm peer holding one cached result.
+        let peer = Server::start(Config {
+            workers: 2,
+            ..Config::default()
+        })
+        .unwrap();
+        let (stream, mut reader) = connect(peer.local_addr());
+        let r = send(
+            &stream,
+            &mut reader,
+            r#"{"spec":"worst:d=2,n=6","algo":"seq-solve"}"#,
+        );
+        assert!(r.ok);
+
+        // A hand-rolled router: records the join, then answers health
+        // with the warm peer as the only member.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let router_addr = listener.local_addr().unwrap().to_string();
+        let peer_addr = peer.local_addr().to_string();
+        let joins: Arc<Mutex<Vec<(String, u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let router = {
+            let joins = Arc::clone(&joins);
+            thread::spawn(move || {
+                for _ in 0..2 {
+                    let Ok((stream, _)) = listener.accept() else {
+                        return;
+                    };
+                    let mut rd = BufReader::new(stream.try_clone().unwrap());
+                    let mut line = String::new();
+                    if rd.read_line(&mut line).unwrap_or(0) == 0 {
+                        continue;
+                    }
+                    let req = Request::parse(line.trim()).unwrap();
+                    let mut w = stream;
+                    let reply = match req.op {
+                        Op::Join => {
+                            joins.lock().unwrap().push((
+                                req.addr.clone().unwrap(),
+                                req.weight.unwrap(),
+                                req.generation.unwrap(),
+                            ));
+                            ok_line(&req.id, vec![("action", Json::from("admitted"))])
+                        }
+                        Op::Health => ok_line(
+                            &req.id,
+                            vec![(
+                                "members",
+                                Json::Array(vec![Json::obj([(
+                                    "addr",
+                                    Json::from(peer_addr.as_str()),
+                                )])]),
+                            )],
+                        ),
+                        _ => panic!("unexpected op from announce thread"),
+                    };
+                    writeln!(w, "{reply}").unwrap();
+                }
+            })
+        };
+
+        let replica = Server::start(Config {
+            workers: 2,
+            announce: Some(router_addr),
+            weight: 3,
+            generation: 7,
+            ..Config::default()
+        })
+        .unwrap();
+        // The announce thread runs off the serving path; wait for the
+        // warm-fill to land.
+        let metrics = replica.metrics();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while metrics.snapshot().warmfill_entries == 0 {
+            assert!(Instant::now() < deadline, "warm-fill never arrived");
+            thread::sleep(Duration::from_millis(10));
+        }
+        router.join().unwrap();
+        assert_eq!(
+            joins.lock().unwrap().as_slice(),
+            &[(replica.local_addr().to_string(), 3, 7)],
+            "announcement carries the advertised addr, weight, generation"
+        );
+
+        // The pulled entry answers without an engine run.
+        let (stream, mut reader) = connect(replica.local_addr());
+        let r = send(
+            &stream,
+            &mut reader,
+            r#"{"spec":"worst:d=2,n=6","algo":"seq-solve"}"#,
+        );
+        assert!(r.ok);
+        assert!(r.cached(), "warm-filled entry must hit");
+
+        replica.request_shutdown();
+        let snapshot = replica.join();
+        assert_eq!(snapshot.warmfill_entries, 1);
+        assert_eq!(snapshot.evaluated, 0);
+        // The peer served exactly one cachepull.
+        peer.request_shutdown();
+        let snapshot = peer.join();
+        assert_eq!(snapshot.cachepull_served, 1);
+        assert_eq!(snapshot.cachepull_entries, 1);
     }
 }

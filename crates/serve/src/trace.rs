@@ -154,6 +154,9 @@ pub struct TraceRecord {
     /// Span id of the sender's dispatch span (this record is its
     /// child).
     pub parent_span: Option<u64>,
+    /// The request's `tenant` tag, when it carried one — lets a trace
+    /// query attribute a slow or shed request to its tenant.
+    pub tenant: Option<String>,
 }
 
 fn opt_u64(v: Option<u64>) -> Json {
@@ -207,6 +210,13 @@ impl TraceRecord {
                 },
             ),
             ("parent_span", opt_u64(self.parent_span)),
+            (
+                "tenant",
+                match &self.tenant {
+                    Some(t) => Json::from(t.as_str()),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -273,6 +283,7 @@ impl TraceRecord {
             work,
             trace_id: j.get("trace_id").and_then(Json::as_str).map(str::to_string),
             parent_span: opt("parent_span"),
+            tenant: j.get("tenant").and_then(Json::as_str).map(str::to_string),
         })
     }
 }
@@ -715,6 +726,72 @@ pub fn render_prometheus(
         }
     }
 
+    if !m.tenants.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP gtserve_tenant_requests_total Requests attributed to each tenant."
+        );
+        let _ = writeln!(out, "# TYPE gtserve_tenant_requests_total counter");
+        for t in &m.tenants {
+            let _ = writeln!(
+                out,
+                "gtserve_tenant_requests_total{{tenant=\"{}\"}} {}",
+                t.tenant, t.requests
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP gtserve_tenant_shed_total Requests shed by a tenant's inflight cap."
+        );
+        let _ = writeln!(out, "# TYPE gtserve_tenant_shed_total counter");
+        for t in &m.tenants {
+            let _ = writeln!(
+                out,
+                "gtserve_tenant_shed_total{{tenant=\"{}\"}} {}",
+                t.tenant, t.shed
+            );
+        }
+        histogram_header(
+            &mut out,
+            "gtserve_tenant_latency_seconds",
+            "End-to-end latency by tenant.",
+        );
+        for t in &m.tenants {
+            histogram_samples(
+                &mut out,
+                "gtserve_tenant_latency_seconds",
+                &format!("tenant=\"{}\"", t.tenant),
+                &t.latency.buckets,
+                t.latency.count,
+                t.latency.sum_us,
+            );
+        }
+    }
+
+    counter(
+        &mut out,
+        "gtserve_warmfill_entries_total",
+        "Cache entries warm-filled from peers at (re)join.",
+        m.warmfill_entries,
+    );
+    counter(
+        &mut out,
+        "gtserve_snapshot_restored_total",
+        "Cache entries restored from the boot snapshot.",
+        m.snapshot_restored,
+    );
+    counter(
+        &mut out,
+        "gtserve_cachepull_served_total",
+        "cachepull requests served to warm-filling peers.",
+        m.cachepull_served,
+    );
+    counter(
+        &mut out,
+        "gtserve_cachepull_entries_total",
+        "Entries shipped across served cachepulls.",
+        m.cachepull_entries,
+    );
     counter(
         &mut out,
         "gtserve_cache_admitted_total",
@@ -1010,6 +1087,7 @@ mod tests {
             }),
             trace_id: None,
             parent_span: None,
+            tenant: None,
         }
     }
 
@@ -1105,12 +1183,14 @@ mod tests {
         let linked = TraceRecord {
             trace_id: Some("t-abc".into()),
             parent_span: Some(12),
+            tenant: Some("acme".into()),
             ..record(9, "ok", 500)
         };
         let text = linked.to_json().render();
         let back = TraceRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.trace_id.as_deref(), Some("t-abc"));
         assert_eq!(back.parent_span, Some(12));
+        assert_eq!(back.tenant.as_deref(), Some("acme"));
         assert_eq!(back, linked);
     }
 

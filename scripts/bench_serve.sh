@@ -19,6 +19,17 @@
 #                     distribution here is the micro-batching evidence
 #                     for the cold path.
 #
+#   tenant_fairness   4 round-robin tenants (loadgen --tenants 4) into
+#                     a server capped at --tenant-max-inflight 2: the
+#                     standing pipelined windows keep ~8 distinct-key
+#                     requests in flight per tenant, so the governor
+#                     sheds the overflow (429) while the weighted DRR
+#                     lanes keep service even.  Recorded: the report's
+#                     per-tenant sent/ok/shed/p99 slices.  Asserted:
+#                     the cap engaged (shed > 0), every tenant kept
+#                     making progress, and the busiest tenant's ok
+#                     count stays within 3x of the quietest's.
+#
 #   c10k              10,000 mostly-idle fan-in connections (loadgen
 #                     --connections) held open while the warm-key
 #                     pipelined load runs underneath.  The server
@@ -182,6 +193,46 @@ cold_storm=$(loadgen --conns 64 --pipeline 4 --spec worst:d=2,n=12 --algo seq-so
   --distinct)
 summary cold_storm "$cold_storm"
 stop_server
+
+# --- Tenant-fairness scenario ----------------------------------------
+# Distinct keys defeat the cache and single-flight coalescing, so
+# every request crosses the per-tenant governor (docs/SERVING.md).
+# 4 conns x window 8 over 4 round-robin tenants keeps up to 8 requests
+# in flight per tenant against a cap of 2: the overflow sheds, the
+# DRR lanes keep what's admitted even.
+start_server --queue-depth 1024 --tenant-max-inflight 2
+tenant_fairness=$(loadgen --conns 4 --pipeline 8 --tenants 4 \
+  --spec worst:d=2,n=12 --algo seq-solve --distinct)
+summary tenant_fairness "$tenant_fairness"
+stop_server
+
+# Per-tenant rows render as "tN":{"sent":..,"ok":..,"shed":..,...}.
+tf_rows=$(printf '%s' "$tenant_fairness" \
+  | grep -o '"t[0-9]*":{"sent":[0-9]*,"ok":[0-9]*,"shed":[0-9]*')
+tf_count=$(printf '%s\n' "$tf_rows" | grep -c . || true)
+tf_ok_min=$(printf '%s\n' "$tf_rows" | sed -n 's/.*"ok":\([0-9]*\).*/\1/p' | sort -n | head -n 1)
+tf_ok_max=$(printf '%s\n' "$tf_rows" | sed -n 's/.*"ok":\([0-9]*\).*/\1/p' | sort -n | tail -n 1)
+tf_shed=$(printf '%s\n' "$tf_rows" | sed -n 's/.*"shed":\([0-9]*\).*/\1/p' \
+  | awk '{ s += $1 } END { print s + 0 }')
+echo "bench_serve: tenant fairness: $tf_count tenants, ok min/max $tf_ok_min/$tf_ok_max, shed $tf_shed" >&2
+[ "${tf_count:-0}" -eq 4 ] || {
+  echo "bench_serve: tenant run reported $tf_count tenant slices (wanted 4)" >&2
+  exit 1
+}
+[ "${tf_shed:-0}" -gt 0 ] || {
+  echo "bench_serve: the tenant cap never shed under an 8x overload" >&2
+  exit 1
+}
+[ "${tf_ok_min:-0}" -gt 0 ] || {
+  echo "bench_serve: a capped tenant was starved (ok = 0)" >&2
+  exit 1
+}
+[ "${tf_ok_max:-0}" -le $((tf_ok_min * 3)) ] || {
+  echo "bench_serve: tenant service is uneven (ok $tf_ok_min .. $tf_ok_max)" >&2
+  exit 1
+}
+tenant_fairness_summary=$(printf '{"tenant_max_inflight":2,"tenants":%s,"ok_min":%s,"ok_max":%s,"shed_total":%s}' \
+  "${tf_count:-0}" "${tf_ok_min:-0}" "${tf_ok_max:-0}" "${tf_shed:-0}")
 
 # --- c10k scenario ---------------------------------------------------
 # Ten thousand idle connections under an active cached-pipeline load.
@@ -528,8 +579,9 @@ trace_overhead=$(printf '{"spec":"%s","traced_requests":%s,"p50_us":{"traced":%s
   "$TRACE_SPEC" "${traced_n:-0}" "${p50_traced:-null}" "${p50_all:-null}" \
   "${p50_off:-null}" "${trace_overhead_pct:-null}")
 
-printf '{"duration_s":%s,"cached_pipeline1":%s,"cached_pipeline8":%s,"coalesced":%s,"cold":%s,"cold_storm":%s,"c10k":%s,"c10k_server":%s,"par_scaling":%s,"fleet_direct":%s,"fleet_router":%s,"router_overhead_p50_pct":%s,"router_overhead_methodology":"both paths warmed 0.5s before the measured window","fleet_failover":%s,"fleet_failover_router_stats":%s,"fleet_split":%s,"fleet_split_router_stats":%s,"split_window_gain":%s,"trace_overhead":%s}\n' \
-  "$DUR" "$cached_p1" "$cached_p8" "$coalesced" "$cold" "$cold_storm" "$c10k" "$c10k_extra" \
+printf '{"duration_s":%s,"cached_pipeline1":%s,"cached_pipeline8":%s,"coalesced":%s,"cold":%s,"cold_storm":%s,"tenant_fairness":%s,"tenant_fairness_summary":%s,"c10k":%s,"c10k_server":%s,"par_scaling":%s,"fleet_direct":%s,"fleet_router":%s,"router_overhead_p50_pct":%s,"router_overhead_methodology":"both paths warmed 0.5s before the measured window","fleet_failover":%s,"fleet_failover_router_stats":%s,"fleet_split":%s,"fleet_split_router_stats":%s,"split_window_gain":%s,"trace_overhead":%s}\n' \
+  "$DUR" "$cached_p1" "$cached_p8" "$coalesced" "$cold" "$cold_storm" \
+  "$tenant_fairness" "$tenant_fairness_summary" "$c10k" "$c10k_extra" \
   "$par_scaling" "$fleet_direct" "$fleet_router" "${overhead:-null}" "$fleet_failover" \
   "$failover_stats" "$fleet_split" "$split_stats" "$split_window_gain" "$trace_overhead" > "$OUT"
 echo "bench_serve: wrote $OUT" >&2

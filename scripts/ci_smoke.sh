@@ -33,6 +33,13 @@
 # losers after its cutoff (subevals_discarded_on_cutoff > 0) without
 # ever aborting them.
 #
+# A fleet-membership smoke closes the file: a replica announces
+# itself to a live 1-seed router mid-load (serve --announce) with zero
+# client-visible errors, is SIGINT-drained (writing its --snapshot),
+# and rejoins on the same address at --generation 2 — snapshot
+# restored, health showing the new generation, post-restart burst
+# clean.
+#
 # A fan-in smoke rides between the single-server and router sections:
 # a fresh server with a fixed 2-thread I/O pool takes >= 1k concurrent
 # mostly-idle connections (loadgen --connections) alongside an active
@@ -608,3 +615,200 @@ done
 stop_split_fleet
 trap - EXIT
 echo "ci_smoke: split ok ($discarded in-flight losers discarded on cutoff, no aborts)" >&2
+
+# ---------------------------------------------------------------------
+# Fleet membership smoke: dynamic join + kill-restart with a warm
+# snapshot (docs/ROUTING.md).  A router boots knowing only a seed
+# replica; a second replica announces itself mid-load (serve
+# --announce sends op:"join") and must take a share of the distinct
+# keyspace with zero client-visible errors.  The joiner then drains on
+# SIGINT — writing its cache to --snapshot — and rejoins on the same
+# address at --generation 2: its stats must show snapshot_restored > 0,
+# the router's health must list it at the new generation, and a
+# post-restart burst must again be error-free.
+
+SEED_PORT=$((PORT + 30))
+JOIN_PORT=$((PORT + 31))
+FLEET_ROUTE_PORT=$((PORT + 32))
+FLEET_ROUTE_ADDR="127.0.0.1:$FLEET_ROUTE_PORT"
+JOIN_ADDR="127.0.0.1:$JOIN_PORT"
+SNAP_FILE="$(mktemp -u)"
+
+"$BIN" serve --addr "127.0.0.1:$SEED_PORT" --eval-workers 2 --queue-depth 1024 \
+  >/dev/null 2>&1 &
+SEED_PID=$!
+"$BIN" route --addr "$FLEET_ROUTE_ADDR" --replicas "127.0.0.1:$SEED_PORT" \
+  --retries 5 --probe-interval 25 --probe-timeout 100 >/dev/null 2>&1 &
+ROUTER_PID=$!
+JOIN_PID=""
+trap 'for p in "$ROUTER_PID" "$SEED_PID" "$JOIN_PID"; do [ -n "$p" ] && kill "$p" 2>/dev/null || true; done; wait 2>/dev/null || true; rm -f "$SNAP_FILE"' EXIT
+
+up=""
+for _ in $(seq 1 100); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/$FLEET_ROUTE_PORT") 2>/dev/null; then
+    up=1
+    break
+  fi
+  sleep 0.05
+done
+[ -n "$up" ] || { echo "ci_smoke: membership router did not come up" >&2; exit 1; }
+
+fleet_health() { # prints the router's raw health reply
+  exec 8<>"/dev/tcp/127.0.0.1/$FLEET_ROUTE_PORT"
+  printf '{"op":"health"}\n' >&8
+  IFS= read -r health_reply <&8
+  exec 8<&- 8>&-
+  printf '%s' "$health_reply"
+}
+
+replica_stats() { # port -> the replica's raw stats reply
+  exec 8<>"/dev/tcp/127.0.0.1/$1"
+  printf '{"op":"stats"}\n' >&8
+  IFS= read -r stats_reply <&8
+  exec 8<&- 8>&-
+  printf '%s' "$stats_reply"
+}
+
+# Health rows render as {"addr":...,"weight":...,"generation":...,
+# "tier":...}; a member is routable below tier 3 (ejected).
+routable_at_gen() { # generation -> grep success if JOIN_ADDR is listed
+  fleet_health \
+    | grep -q '"addr":"'"$JOIN_ADDR"'","weight":[0-9]*,"generation":'"$1"',"tier":[0-2]'
+}
+
+# Distinct-key load across the join: every reply must stay clean while
+# the member set grows under it.
+join_out="$(mktemp)"
+"$BIN" loadgen --addr "$FLEET_ROUTE_ADDR" --rps 0 --duration 3 --conns 2 \
+  --pipeline 4 --spec worst:d=2,n=10 --algo seq-solve --distinct --json \
+  > "$join_out" &
+LOADGEN_PID=$!
+sleep 0.5
+"$BIN" serve --addr "$JOIN_ADDR" --eval-workers 2 --queue-depth 1024 \
+  --announce "$FLEET_ROUTE_ADDR" --snapshot "$SNAP_FILE" --generation 1 \
+  >/dev/null 2>&1 &
+JOIN_PID=$!
+
+admitted=""
+for _ in $(seq 1 100); do
+  if routable_at_gen 1; then
+    admitted=1
+    break
+  fi
+  sleep 0.05
+done
+[ -n "$admitted" ] || {
+  echo "ci_smoke: announced replica was never admitted: $(fleet_health)" >&2
+  exit 1
+}
+wait "$LOADGEN_PID"
+json=$(cat "$join_out")
+rm -f "$join_out"
+echo "ci_smoke: join burst $json"
+
+ok=$(field ok)
+fail=""
+[ "${ok:-0}" -gt 0 ] || { echo "ci_smoke: join burst got no successful replies" >&2; fail=1; }
+for f in bad shed timeout other_error transport_errors; do
+  v=$(field "$f")
+  [ "${v:-0}" -eq 0 ] || { echo "ci_smoke: join burst saw $v $f" >&2; fail=1; }
+done
+[ -z "$fail" ] || exit 1
+
+# The joiner owns a share of the keyspace under rendezvous hashing:
+# keep sending distinct keys until one lands on it and is evaluated
+# there (stats "evaluated" counts engine runs, not stats probes).
+joined_served=""
+salt=900000
+for _ in $(seq 1 200); do
+  salt=$((salt + 1))
+  exec 8<>"/dev/tcp/127.0.0.1/$FLEET_ROUTE_PORT"
+  printf '{"op":"eval","spec":"worst:d=2,n=6,seed=%s","algo":"seq-solve","deadline_ms":10000}\n' "$salt" >&8
+  IFS= read -r _ <&8
+  exec 8<&- 8>&-
+  evaluated=$(replica_stats "$JOIN_PORT" | sed -n 's/.*"evaluated":\([0-9][0-9]*\).*/\1/p')
+  if [ "${evaluated:-0}" -gt 0 ]; then
+    joined_served=1
+    break
+  fi
+done
+[ -n "$joined_served" ] || {
+  echo "ci_smoke: the joined replica never evaluated a routed key" >&2
+  exit 1
+}
+
+# SIGINT the joiner: the drain must write its cache snapshot.
+kill -INT "$JOIN_PID"
+if ! wait "$JOIN_PID"; then
+  echo "ci_smoke: joiner did not exit cleanly on SIGINT" >&2
+  exit 1
+fi
+JOIN_PID=""
+[ -s "$SNAP_FILE" ] || { echo "ci_smoke: drain wrote no snapshot at $SNAP_FILE" >&2; exit 1; }
+
+# Restart on the SAME address (same rendezvous identity) at a higher
+# generation.  The freed port can linger briefly, so retry the bind.
+restarted=""
+for _ in $(seq 1 40); do
+  "$BIN" serve --addr "$JOIN_ADDR" --eval-workers 2 --queue-depth 1024 \
+    --announce "$FLEET_ROUTE_ADDR" --snapshot "$SNAP_FILE" --generation 2 \
+    >/dev/null 2>&1 &
+  JOIN_PID=$!
+  for _ in $(seq 1 20); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$JOIN_PORT") 2>/dev/null; then
+      restarted=1
+      break
+    fi
+    kill -0 "$JOIN_PID" 2>/dev/null || break
+    sleep 0.05
+  done
+  [ -n "$restarted" ] && break
+  wait "$JOIN_PID" 2>/dev/null || true
+  JOIN_PID=""
+  sleep 0.1
+done
+[ -n "$restarted" ] || { echo "ci_smoke: joiner could not rebind $JOIN_ADDR" >&2; exit 1; }
+
+restored=$(replica_stats "$JOIN_PORT" | sed -n 's/.*"snapshot_restored":\([0-9][0-9]*\).*/\1/p')
+[ "${restored:-0}" -gt 0 ] || {
+  echo "ci_smoke: restart restored no snapshot entries" >&2
+  exit 1
+}
+
+rejoined=""
+for _ in $(seq 1 100); do
+  if routable_at_gen 2; then
+    rejoined=1
+    break
+  fi
+  sleep 0.05
+done
+[ -n "$rejoined" ] || {
+  echo "ci_smoke: restarted replica never rejoined at generation 2: $(fleet_health)" >&2
+  exit 1
+}
+
+# Post-restart burst: the healed two-member fleet must again be clean.
+json=$("$BIN" loadgen --addr "$FLEET_ROUTE_ADDR" --rps 0 --duration "$DUR" --conns 2 \
+  --pipeline 4 --spec worst:d=2,n=10 --algo seq-solve --distinct --json)
+echo "ci_smoke: rejoin burst $json"
+
+ok=$(field ok)
+fail=""
+[ "${ok:-0}" -gt 0 ] || { echo "ci_smoke: rejoin burst got no successful replies" >&2; fail=1; }
+for f in bad shed timeout other_error transport_errors; do
+  v=$(field "$f")
+  [ "${v:-0}" -eq 0 ] || { echo "ci_smoke: rejoin burst saw $v $f" >&2; fail=1; }
+done
+[ -z "$fail" ] || exit 1
+
+for p in "$ROUTER_PID" "$JOIN_PID" "$SEED_PID"; do
+  kill -INT "$p" 2>/dev/null || true
+  wait "$p" 2>/dev/null || true
+done
+ROUTER_PID=""
+SEED_PID=""
+JOIN_PID=""
+rm -f "$SNAP_FILE"
+trap - EXIT
+echo "ci_smoke: membership ok (join under load, $restored entries restored, rejoined at generation 2)" >&2

@@ -1,0 +1,165 @@
+//! Property tests for weighted rendezvous hashing: the
+//! minimal-disruption guarantee must survive joins, leaves, and
+//! reweights.  For every membership change, only keys that move onto
+//! or off the affected member may change hands — every other key
+//! keeps its owner, and the relative failover order of the
+//! *unaffected* members never changes.
+
+use gt_router::hash::{rank, rank_weighted};
+use proptest::prelude::*;
+
+fn member_set(n: usize) -> Vec<(String, u64)> {
+    (0..n).map(|i| (format!("10.9.{i}.1:7171"), 1)).collect()
+}
+
+fn keys(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("minmax:d=3,n=8,seed={i}|cascade:w=1"))
+        .collect()
+}
+
+/// The order of `members \ {skip}` induced by `order`, as original
+/// indices.
+fn order_without(order: &[usize], skip: usize) -> Vec<usize> {
+    order.iter().copied().filter(|&i| i != skip).collect()
+}
+
+proptest! {
+    /// Join: adding a member moves only the keys the newcomer now
+    /// owns, and never perturbs the relative order of the incumbents.
+    #[test]
+    fn join_preserves_incumbent_order(
+        n in 2usize..7,
+        weights in proptest::collection::vec(1u64..16, 8),
+        new_weight in 1u64..16,
+        nkeys in 20usize..80,
+    ) {
+        let mut members = member_set(n);
+        for (m, w) in members.iter_mut().zip(&weights) {
+            m.1 = *w;
+        }
+        let mut grown = members.clone();
+        grown.push(("10.9.200.1:7171".to_string(), new_weight));
+        let newcomer = grown.len() - 1;
+        for key in keys(nkeys) {
+            let before = rank_weighted(&key, &members);
+            let after = rank_weighted(&key, &grown);
+            // Incumbents keep their relative order exactly.
+            prop_assert_eq!(
+                &before,
+                &order_without(&after, newcomer),
+                "incumbent order changed on join for {}",
+                key
+            );
+            // An ownership change can only hand the key to the newcomer.
+            if after[0] != before[0] {
+                prop_assert_eq!(after[0], newcomer, "key moved between incumbents: {}", key);
+            }
+        }
+    }
+
+    /// Leave: removing a member moves only the keys it owned; every
+    /// other key keeps its owner and its whole failover order.
+    #[test]
+    fn leave_moves_only_the_leavers_keys(
+        n in 3usize..8,
+        weights in proptest::collection::vec(1u64..16, 8),
+        leaver_seed in any::<u32>(),
+        nkeys in 20usize..80,
+    ) {
+        let mut members = member_set(n);
+        for (m, w) in members.iter_mut().zip(&weights) {
+            m.1 = *w;
+        }
+        let leaver = (leaver_seed as usize) % n;
+        let reduced: Vec<(String, u64)> = members
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != leaver)
+            .map(|(_, m)| m.clone())
+            .collect();
+        // Map a reduced index back to the full-set index.
+        let back = |i: usize| if i >= leaver { i + 1 } else { i };
+        for key in keys(nkeys) {
+            let full = rank_weighted(&key, &members);
+            let survivors_before = order_without(&full, leaver);
+            let survivors_after: Vec<usize> =
+                rank_weighted(&key, &reduced).into_iter().map(back).collect();
+            prop_assert_eq!(
+                survivors_before,
+                survivors_after,
+                "survivor order changed on leave for {}",
+                key
+            );
+        }
+    }
+
+    /// Reweight: changing one member's weight can move keys onto or
+    /// off that member only; the other members' relative order is
+    /// untouched for every key.  Raising a weight never sheds keys;
+    /// lowering one never attracts them.
+    #[test]
+    fn reweight_moves_keys_monotonically(
+        n in 2usize..7,
+        weights in proptest::collection::vec(1u64..16, 8),
+        target_seed in any::<u32>(),
+        new_weight in 1u64..32,
+        nkeys in 20usize..80,
+    ) {
+        let mut members = member_set(n);
+        for (m, w) in members.iter_mut().zip(&weights) {
+            m.1 = *w;
+        }
+        let target = (target_seed as usize) % n;
+        let old_weight = members[target].1;
+        let mut reweighted = members.clone();
+        reweighted[target].1 = new_weight;
+        for key in keys(nkeys) {
+            let before = rank_weighted(&key, &members);
+            let after = rank_weighted(&key, &reweighted);
+            prop_assert_eq!(
+                order_without(&before, target),
+                order_without(&after, target),
+                "unaffected order changed on reweight for {}",
+                key
+            );
+            if before[0] != after[0] {
+                prop_assert!(
+                    before[0] == target || after[0] == target,
+                    "key changed hands between unaffected members: {}",
+                    key
+                );
+                if new_weight > old_weight {
+                    prop_assert_eq!(after[0], target, "raised weight shed a key: {}", key);
+                } else {
+                    prop_assert_eq!(before[0], target, "lowered weight attracted a key: {}", key);
+                }
+            }
+        }
+    }
+
+    /// Sanity: weighted ranking is always a permutation and, with all
+    /// weights equal, matches the unweighted order.
+    #[test]
+    fn weighted_rank_is_a_permutation_and_degenerates_cleanly(
+        n in 1usize..8,
+        weight in 1u64..16,
+        nkeys in 1usize..40,
+    ) {
+        let members = {
+            let mut m = member_set(n);
+            for e in &mut m {
+                e.1 = weight;
+            }
+            m
+        };
+        let addrs: Vec<String> = members.iter().map(|(m, _)| m.clone()).collect();
+        for key in keys(nkeys) {
+            let order = rank_weighted(&key, &members);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+            prop_assert_eq!(order, rank(&key, &addrs));
+        }
+    }
+}

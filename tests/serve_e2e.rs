@@ -248,11 +248,7 @@ fn pipelined_connection_replies_out_of_order_with_id_echo() {
         spec: Some("worst:d=2,n=32".into()),
         algo: Some("cascade:w=1".into()),
         deadline_ms: Some(600),
-        n: None,
-        path: None,
-        alpha: None,
-        beta: None,
-        trace: None,
+        ..Default::default()
     };
     let fast = Request {
         id: Some("fast".into()),
@@ -260,11 +256,7 @@ fn pipelined_connection_replies_out_of_order_with_id_echo() {
         spec: Some("worst:d=2,n=6".into()),
         algo: Some("seq-solve".into()),
         deadline_ms: Some(5_000),
-        n: None,
-        path: None,
-        alpha: None,
-        beta: None,
-        trace: None,
+        ..Default::default()
     };
     client.write_request(&slow).unwrap();
     client.write_request(&fast).unwrap();
@@ -425,14 +417,8 @@ fn trace_op_returns_stamped_traces_and_retains_failures() {
         .send(&Request {
             id: Some("t".into()),
             op: gt_serve::Op::Trace,
-            spec: None,
-            algo: None,
-            deadline_ms: None,
             n: Some(16),
-            path: None,
-            alpha: None,
-            beta: None,
-            trace: None,
+            ..Default::default()
         })
         .unwrap();
     assert!(r.ok, "{:?}", r.error);
